@@ -1,0 +1,278 @@
+//! SAR analog-to-digital converter model.
+//!
+//! The paper's AFE performs "signal acquisition by means of SAR ADCs,
+//! amplifiers and basic filters" (§4.2). This model captures the behaviour
+//! the conditioning chain actually sees: quantization at a programmable
+//! resolution (a platform knob — "number of ADC bits", §3), integral
+//! nonlinearity (smooth bow), differential nonlinearity (per-code, seeded),
+//! input-referred noise, offset/gain error, and hard clipping at the rails.
+
+use ascp_dsp::fixed::Q15;
+use ascp_sim::noise::WhiteNoise;
+use ascp_sim::units::Volts;
+
+/// SAR ADC configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdcConfig {
+    /// Resolution in bits (8..=16) — digitally programmable on the platform.
+    pub bits: u32,
+    /// Differential full-scale input: codes span ±`vref`.
+    pub vref: Volts,
+    /// Input-referred RMS noise (volts).
+    pub noise_rms: f64,
+    /// Peak integral nonlinearity in LSB (bow shape).
+    pub inl_lsb: f64,
+    /// RMS differential nonlinearity in LSB.
+    pub dnl_lsb: f64,
+    /// Offset error in volts.
+    pub offset: Volts,
+    /// Gain error (1.0 = ideal).
+    pub gain: f64,
+    /// Seed for noise and DNL pattern.
+    pub seed: u64,
+}
+
+impl Default for AdcConfig {
+    /// A competent automotive 12-bit SAR: 0.5 LSB INL, 0.3 LSB DNL, small
+    /// thermal noise.
+    fn default() -> Self {
+        Self {
+            bits: 12,
+            vref: Volts(2.5),
+            noise_rms: 150.0e-6,
+            inl_lsb: 0.5,
+            dnl_lsb: 0.3,
+            offset: Volts(0.0),
+            gain: 1.0,
+            seed: 0xadc0,
+        }
+    }
+}
+
+impl AdcConfig {
+    /// Validates ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(8..=16).contains(&self.bits) {
+            return Err(format!("ADC bits {} outside 8..=16", self.bits));
+        }
+        if !(self.vref.0 > 0.0) {
+            return Err("vref must be positive".into());
+        }
+        if self.noise_rms < 0.0 || self.inl_lsb < 0.0 || self.dnl_lsb < 0.0 {
+            return Err("noise/INL/DNL must be non-negative".into());
+        }
+        if !(self.gain > 0.0) {
+            return Err("gain must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// SAR ADC instance.
+#[derive(Debug, Clone)]
+pub struct SarAdc {
+    config: AdcConfig,
+    noise: WhiteNoise,
+    /// Per-code DNL offsets in LSB, generated once from the seed (the
+    /// capacitor-mismatch pattern of a physical part).
+    dnl: Vec<f64>,
+    conversions: u64,
+}
+
+impl SarAdc {
+    /// Builds an ADC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.validate()` fails.
+    #[must_use]
+    pub fn new(config: AdcConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid ADC config: {e}");
+        }
+        let codes = 1usize << config.bits;
+        let mut dnl_gen = WhiteNoise::new(config.dnl_lsb, config.seed ^ 0xd41);
+        let dnl = (0..codes).map(|_| dnl_gen.sample()).collect();
+        Self {
+            config,
+            noise: WhiteNoise::new(config.noise_rms, config.seed),
+            dnl,
+            conversions: 0,
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &AdcConfig {
+        &self.config
+    }
+
+    /// One LSB in volts.
+    #[must_use]
+    pub fn lsb(&self) -> f64 {
+        2.0 * self.config.vref.0 / (1u64 << self.config.bits) as f64
+    }
+
+    /// Total conversions performed (read back by the monitor CPU).
+    #[must_use]
+    pub fn conversions(&self) -> u64 {
+        self.conversions
+    }
+
+    /// Converts a differential input voltage to a signed code in
+    /// `−2^(bits−1) ..= 2^(bits−1)−1`.
+    pub fn convert(&mut self, input: Volts) -> i32 {
+        self.conversions += 1;
+        let c = &self.config;
+        let half = (1i64 << (c.bits - 1)) as f64;
+        // Offset, gain error, thermal noise.
+        let mut v = (input.0 + c.offset.0) * c.gain + self.noise.sample();
+        // INL bow: peak at mid-scale, zero at the ends.
+        let u = (v / c.vref.0).clamp(-1.0, 1.0);
+        v += c.inl_lsb * (1.0 - u * u) * self.lsb();
+        let ideal = (v / c.vref.0) * half;
+        let mut code = ideal.round();
+        // DNL: perturb the decision by the code's mismatch.
+        let idx = (code + half) as isize;
+        if idx >= 0 && (idx as usize) < self.dnl.len() {
+            code = (ideal + self.dnl[idx as usize]).round();
+        }
+        code.clamp(-half, half - 1.0) as i32
+    }
+
+    /// Converts and maps into Q15 (left-justified into the 16-bit sample
+    /// format regardless of resolution, as the RTL bus does).
+    pub fn convert_q15(&mut self, input: Volts) -> Q15 {
+        let code = self.convert(input);
+        Q15::from_raw(code << (15 - (self.config.bits - 1)))
+    }
+
+    /// The inverse ideal mapping (for verification): code → volts.
+    #[must_use]
+    pub fn code_to_volts(&self, code: i32) -> Volts {
+        let half = (1i64 << (self.config.bits - 1)) as f64;
+        Volts(code as f64 / half * self.config.vref.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_config(bits: u32) -> AdcConfig {
+        AdcConfig {
+            bits,
+            noise_rms: 0.0,
+            inl_lsb: 0.0,
+            dnl_lsb: 0.0,
+            ..AdcConfig::default()
+        }
+    }
+
+    #[test]
+    fn ideal_transfer_is_linear() {
+        let mut adc = SarAdc::new(quiet_config(12));
+        for mv in (-2400..=2400).step_by(300) {
+            let v = mv as f64 / 1000.0;
+            let code = adc.convert(Volts(v));
+            let expect = (v / 2.5 * 2048.0).round();
+            assert!(
+                (code as f64 - expect).abs() <= 1.0,
+                "{v} V -> {code}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn clips_at_rails() {
+        let mut adc = SarAdc::new(quiet_config(12));
+        assert_eq!(adc.convert(Volts(10.0)), 2047);
+        assert_eq!(adc.convert(Volts(-10.0)), -2048);
+    }
+
+    #[test]
+    fn q15_left_justification() {
+        let mut adc = SarAdc::new(quiet_config(12));
+        let q = adc.convert_q15(Volts(2.5));
+        // Full scale positive: 2047 << 4 = 32752.
+        assert_eq!(q.raw(), 2047 << 4);
+        let q = adc.convert_q15(Volts(1.25));
+        assert!((q.to_f64() - 0.5).abs() < 0.002, "got {}", q.to_f64());
+    }
+
+    #[test]
+    fn resolution_changes_step_size() {
+        let mut adc8 = SarAdc::new(quiet_config(8));
+        let mut adc16 = SarAdc::new(quiet_config(16));
+        // A voltage below the 8-bit LSB but above the 16-bit LSB.
+        let v = Volts(adc8.lsb() * 0.3);
+        assert_eq!(adc8.convert(v), 0);
+        assert!(adc16.convert(v) > 0);
+    }
+
+    #[test]
+    fn noise_dithers_a_fixed_input() {
+        let mut adc = SarAdc::new(AdcConfig {
+            noise_rms: 3.0e-3,
+            ..quiet_config(12)
+        });
+        let codes: Vec<i32> = (0..200).map(|_| adc.convert(Volts(0.1))).collect();
+        let distinct: std::collections::HashSet<_> = codes.iter().collect();
+        assert!(distinct.len() > 1, "noise not visible");
+    }
+
+    #[test]
+    fn inl_bows_mid_scale() {
+        let mut ideal = SarAdc::new(quiet_config(14));
+        let mut bowed = SarAdc::new(AdcConfig {
+            inl_lsb: 4.0,
+            ..quiet_config(14)
+        });
+        let mid = Volts(0.0);
+        let d_mid = bowed.convert(mid) - ideal.convert(mid);
+        assert!(d_mid >= 3, "INL bow missing at mid-scale: {d_mid}");
+        let edge = Volts(2.45);
+        let d_edge = bowed.convert(edge) - ideal.convert(edge);
+        assert!(d_edge < d_mid, "INL should shrink toward the rails");
+    }
+
+    #[test]
+    fn dnl_pattern_is_deterministic() {
+        let mut a = SarAdc::new(AdcConfig::default());
+        let mut b = SarAdc::new(AdcConfig::default());
+        for mv in -1000..1000 {
+            let v = Volts(mv as f64 / 500.0);
+            assert_eq!(a.convert(v), b.convert(v));
+        }
+    }
+
+    #[test]
+    fn conversion_counter() {
+        let mut adc = SarAdc::new(quiet_config(10));
+        for _ in 0..5 {
+            adc.convert(Volts(0.0));
+        }
+        assert_eq!(adc.conversions(), 5);
+    }
+
+    #[test]
+    fn code_to_volts_round_trip() {
+        let mut adc = SarAdc::new(quiet_config(12));
+        let code = adc.convert(Volts(1.0));
+        let v = adc.code_to_volts(code);
+        assert!((v.0 - 1.0).abs() < 2.0 * adc.lsb());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 8..=16")]
+    fn rejects_out_of_range_bits() {
+        let _ = SarAdc::new(AdcConfig {
+            bits: 20,
+            ..AdcConfig::default()
+        });
+    }
+}

@@ -1,0 +1,280 @@
+//! Programmable-gain and charge amplifiers.
+//!
+//! Per the paper, "programming main components parameters (such as
+//! amplifier gains and bandwidth ...) through the digital part allows a more
+//! accurate adaptation of the front end circuitry to the requirements of
+//! different sensors, both at design stage and during real working
+//! conditions (with the chance of on-line trimming)" (§3). Both amplifier
+//! models expose gain/bandwidth as run-time programmable parameters, and
+//! include the nonidealities that matter for the datasheet rows: offset and
+//! its temperature drift (null stability), input-referred white + flicker
+//! noise (rate noise density), and rail saturation.
+
+use ascp_sim::noise::{PinkNoise, WhiteNoise};
+use ascp_sim::units::{Celsius, Volts};
+
+/// Programmable-gain amplifier with a single-pole bandwidth limit.
+#[derive(Debug, Clone)]
+pub struct Pga {
+    gain_code: u8,
+    gains: Vec<f64>,
+    /// Pole frequency (Hz).
+    bandwidth: f64,
+    /// Internal one-pole state.
+    state: f64,
+    /// Input-referred offset at 25 °C (V).
+    offset: f64,
+    /// Offset drift (V/°C).
+    offset_tc: f64,
+    temperature: Celsius,
+    /// Output rails.
+    rail: Volts,
+    white: WhiteNoise,
+    pink: PinkNoise,
+}
+
+impl Pga {
+    /// Available gain settings (binary ladder ×1 … ×512, gain codes 0..=9).
+    pub const GAIN_LADDER: [f64; 10] =
+        [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
+
+    /// Creates a PGA at gain code 0 (×1) with bandwidth `bandwidth_hz`,
+    /// offset `offset_v` (drifting `offset_tc_v` per °C), input-referred
+    /// white noise `noise_rms` per sample and matching flicker noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_hz` is not positive or `noise_rms` is negative.
+    #[must_use]
+    pub fn new(bandwidth_hz: f64, offset_v: f64, offset_tc_v: f64, noise_rms: f64, seed: u64) -> Self {
+        assert!(bandwidth_hz > 0.0, "bandwidth must be positive");
+        assert!(noise_rms >= 0.0, "noise must be non-negative");
+        Self {
+            gain_code: 0,
+            gains: Self::GAIN_LADDER.to_vec(),
+            bandwidth: bandwidth_hz,
+            state: 0.0,
+            offset: offset_v,
+            offset_tc: offset_tc_v,
+            temperature: Celsius(25.0),
+            rail: Volts(2.5),
+            white: WhiteNoise::new(noise_rms, seed),
+            pink: PinkNoise::new(noise_rms * 0.5, 14, seed ^ 0x99),
+        }
+    }
+
+    /// Selects a gain code (0..=9 → ×1..×512); the platform writes this
+    /// register over JTAG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` exceeds the ladder.
+    pub fn set_gain_code(&mut self, code: u8) {
+        assert!(
+            (code as usize) < self.gains.len(),
+            "gain code {code} outside ladder"
+        );
+        self.gain_code = code;
+    }
+
+    /// Current gain code.
+    #[must_use]
+    pub fn gain_code(&self) -> u8 {
+        self.gain_code
+    }
+
+    /// Current linear gain.
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        self.gains[self.gain_code as usize]
+    }
+
+    /// Reprograms the pole frequency (on-line bandwidth trimming).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_hz` is not positive.
+    pub fn set_bandwidth(&mut self, bandwidth_hz: f64) {
+        assert!(bandwidth_hz > 0.0, "bandwidth must be positive");
+        self.bandwidth = bandwidth_hz;
+    }
+
+    /// Pole frequency (Hz).
+    #[must_use]
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Sets die temperature (shifts the offset).
+    pub fn set_temperature(&mut self, t: Celsius) {
+        self.temperature = t;
+    }
+
+    /// Effective input-referred offset at the current temperature.
+    #[must_use]
+    pub fn effective_offset(&self) -> Volts {
+        Volts(self.offset + self.offset_tc * (self.temperature.0 - 25.0))
+    }
+
+    /// Processes one sample taken `dt` seconds after the previous one.
+    pub fn process(&mut self, input: Volts, dt: f64) -> Volts {
+        let x = input.0 + self.effective_offset().0 + self.white.sample() + self.pink.sample();
+        let y_target = x * self.gain();
+        // One-pole lowpass toward the target (amplifier bandwidth).
+        let alpha = 1.0 - (-2.0 * std::f64::consts::PI * self.bandwidth * dt).exp();
+        self.state += alpha * (y_target - self.state);
+        Volts(self.state.clamp(-self.rail.0, self.rail.0))
+    }
+
+    /// Clears the filter state.
+    pub fn reset(&mut self) {
+        self.state = 0.0;
+    }
+}
+
+/// Charge amplifier: converts a capacitive pickoff displacement (normalized
+/// units) into volts. Gain is the platform's pickoff scale factor.
+#[derive(Debug, Clone)]
+pub struct ChargeAmplifier {
+    /// Volts per normalized displacement unit.
+    gain: f64,
+    noise: WhiteNoise,
+    rail: Volts,
+}
+
+impl ChargeAmplifier {
+    /// Creates a charge amp with `gain` volts per displacement unit and
+    /// output noise `noise_rms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gain` is zero/negative or `noise_rms` negative.
+    #[must_use]
+    pub fn new(gain: f64, noise_rms: f64, seed: u64) -> Self {
+        assert!(gain > 0.0, "charge-amp gain must be positive");
+        assert!(noise_rms >= 0.0, "noise must be non-negative");
+        Self {
+            gain,
+            noise: WhiteNoise::new(noise_rms, seed),
+            rail: Volts(2.5),
+        }
+    }
+
+    /// Volts per displacement unit.
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Converts one displacement sample to a voltage.
+    pub fn convert(&mut self, displacement: f64) -> Volts {
+        Volts((displacement * self.gain + self.noise.sample()).clamp(-self.rail.0, self.rail.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DT: f64 = 1.0e-6;
+
+    fn quiet_pga() -> Pga {
+        Pga::new(100_000.0, 0.0, 0.0, 0.0, 1)
+    }
+
+    #[test]
+    fn gain_ladder_steps() {
+        let mut pga = quiet_pga();
+        for code in 0..10u8 {
+            pga.set_gain_code(code);
+            assert_eq!(pga.gain(), 2f64.powi(code as i32));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gain code")]
+    fn rejects_gain_code_out_of_ladder() {
+        quiet_pga().set_gain_code(10);
+    }
+
+    #[test]
+    fn dc_gain_after_settling() {
+        let mut pga = quiet_pga();
+        pga.set_gain_code(3); // ×8
+        let mut y = Volts(0.0);
+        for _ in 0..10_000 {
+            y = pga.process(Volts(0.01), DT);
+        }
+        assert!((y.0 - 0.08).abs() < 1e-4, "output {}", y.0);
+    }
+
+    #[test]
+    fn saturates_at_rails() {
+        let mut pga = quiet_pga();
+        pga.set_gain_code(9); // ×512
+        let mut y = Volts(0.0);
+        for _ in 0..10_000 {
+            y = pga.process(Volts(0.5), DT);
+        }
+        assert!((y.0 - 2.5).abs() < 1e-9, "not railed: {}", y.0);
+    }
+
+    #[test]
+    fn bandwidth_attenuates_fast_signals() {
+        let mut pga = Pga::new(1_000.0, 0.0, 0.0, 0.0, 1);
+        // 50 kHz input through a 1 kHz pole: heavily attenuated.
+        let w = 2.0 * std::f64::consts::PI * 50_000.0;
+        let mut peak = 0.0f64;
+        for k in 0..200_000 {
+            let y = pga.process(Volts(1.0 * (w * k as f64 * DT).sin()), DT);
+            if k > 100_000 {
+                peak = peak.max(y.0.abs());
+            }
+        }
+        assert!(peak < 0.05, "insufficient rolloff: {peak}");
+    }
+
+    #[test]
+    fn offset_drifts_with_temperature() {
+        let mut pga = Pga::new(100_000.0, 1.0e-3, 10.0e-6, 0.0, 1);
+        assert!((pga.effective_offset().0 - 1.0e-3).abs() < 1e-12);
+        pga.set_temperature(Celsius(125.0));
+        assert!((pga.effective_offset().0 - 2.0e-3).abs() < 1e-9);
+        pga.set_temperature(Celsius(-40.0));
+        assert!((pga.effective_offset().0 - 0.35e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_present_when_configured() {
+        let mut pga = Pga::new(100_000.0, 0.0, 0.0, 1.0e-3, 7);
+        let a = pga.process(Volts(0.0), DT);
+        let mut differs = false;
+        for _ in 0..50 {
+            if pga.process(Volts(0.0), DT) != a {
+                differs = true;
+            }
+        }
+        assert!(differs, "noise missing");
+    }
+
+    #[test]
+    fn charge_amp_scales_displacement() {
+        let mut ca = ChargeAmplifier::new(4.0, 0.0, 1);
+        assert!((ca.convert(0.5).0 - 2.0).abs() < 1e-12);
+        assert!((ca.convert(-0.25).0 + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_amp_clips() {
+        let mut ca = ChargeAmplifier::new(4.0, 0.0, 1);
+        assert_eq!(ca.convert(10.0).0, 2.5);
+        assert_eq!(ca.convert(-10.0).0, -2.5);
+    }
+
+    #[test]
+    fn reprogramming_bandwidth() {
+        let mut pga = quiet_pga();
+        pga.set_bandwidth(5_000.0);
+        assert_eq!(pga.bandwidth(), 5_000.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Digital-to-analog converter model.
+//!
+//! The platform "drives the sensor's electrodes through couples of DACs for
+//! each loop" (§4.2): primary drive, secondary (force-rebalance) drive, and
+//! the analog rate output that the datasheet tables characterize
+//! (5 mV/°/s around a 2.5 V null).
+
+use ascp_dsp::fixed::Q15;
+use ascp_sim::noise::WhiteNoise;
+use ascp_sim::units::Volts;
+
+/// DAC configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DacConfig {
+    /// Resolution in bits (8..=16).
+    pub bits: u32,
+    /// Full-scale output: codes span ±`vref` around `midscale`.
+    pub vref: Volts,
+    /// Output common-mode (e.g. 2.5 V for the rate output).
+    pub midscale: Volts,
+    /// Output noise RMS (volts).
+    pub noise_rms: f64,
+    /// Gain error (1.0 = ideal).
+    pub gain: f64,
+    /// Offset error (volts).
+    pub offset: Volts,
+    /// Noise seed.
+    pub seed: u64,
+}
+
+impl Default for DacConfig {
+    fn default() -> Self {
+        Self {
+            bits: 12,
+            vref: Volts(2.5),
+            midscale: Volts(0.0),
+            noise_rms: 100.0e-6,
+            gain: 1.0,
+            offset: Volts(0.0),
+            seed: 0xdac0,
+        }
+    }
+}
+
+impl DacConfig {
+    /// Validates ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(8..=16).contains(&self.bits) {
+            return Err(format!("DAC bits {} outside 8..=16", self.bits));
+        }
+        if !(self.vref.0 > 0.0) {
+            return Err("vref must be positive".into());
+        }
+        if self.noise_rms < 0.0 {
+            return Err("noise must be non-negative".into());
+        }
+        if !(self.gain > 0.0) {
+            return Err("gain must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// DAC instance (zero-order hold: output persists between updates).
+#[derive(Debug, Clone)]
+pub struct Dac {
+    config: DacConfig,
+    noise: WhiteNoise,
+    held: Volts,
+    updates: u64,
+}
+
+impl Dac {
+    /// Builds a DAC holding mid-scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.validate()` fails.
+    #[must_use]
+    pub fn new(config: DacConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid DAC config: {e}");
+        }
+        Self {
+            config,
+            noise: WhiteNoise::new(config.noise_rms, config.seed),
+            held: config.midscale,
+            updates: 0,
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &DacConfig {
+        &self.config
+    }
+
+    /// One LSB in volts.
+    #[must_use]
+    pub fn lsb(&self) -> f64 {
+        2.0 * self.config.vref.0 / (1u64 << self.config.bits) as f64
+    }
+
+    /// Writes a signed code (`−2^(bits−1) ..= 2^(bits−1)−1`, clamped) and
+    /// updates the held output.
+    pub fn write(&mut self, code: i32) -> Volts {
+        self.updates += 1;
+        let c = &self.config;
+        let half = (1i64 << (c.bits - 1)) as f64;
+        let code = (code as f64).clamp(-half, half - 1.0);
+        let v = code / half * c.vref.0 * c.gain + c.offset.0 + c.midscale.0;
+        self.held = Volts(v);
+        self.output()
+    }
+
+    /// Writes a Q15 sample, quantizing into the DAC resolution (the RTL
+    /// takes the top `bits` of the 16-bit sample bus).
+    pub fn write_q15(&mut self, sample: Q15) -> Volts {
+        let code = sample.raw() >> (15 - (self.config.bits - 1));
+        self.write(code)
+    }
+
+    /// Current output including noise (read at the analog rate).
+    pub fn output(&mut self) -> Volts {
+        Volts(self.held.0 + self.noise.sample())
+    }
+
+    /// Held (noise-free) value, for verification.
+    #[must_use]
+    pub fn held(&self) -> Volts {
+        self.held
+    }
+
+    /// Update counter (read back by the monitor CPU).
+    #[must_use]
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet(bits: u32) -> DacConfig {
+        DacConfig {
+            bits,
+            noise_rms: 0.0,
+            ..DacConfig::default()
+        }
+    }
+
+    #[test]
+    fn transfer_is_linear() {
+        let mut dac = Dac::new(quiet(12));
+        assert!((dac.write(0).0).abs() < 1e-12);
+        assert!((dac.write(1024).0 - 1.25).abs() < 1e-9);
+        assert!((dac.write(-2048).0 + 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_codes() {
+        let mut dac = Dac::new(quiet(12));
+        let hi = dac.write(100_000);
+        assert!((hi.0 - (2047.0 / 2048.0) * 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn midscale_offset_applies() {
+        let mut dac = Dac::new(DacConfig {
+            midscale: Volts(2.5),
+            ..quiet(12)
+        });
+        assert!((dac.write(0).0 - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn q15_write_uses_top_bits() {
+        let mut dac = Dac::new(quiet(12));
+        let v = dac.write_q15(Q15::from_f64(0.5));
+        assert!((v.0 - 1.25).abs() < 2.0 * dac.lsb(), "got {}", v.0);
+    }
+
+    #[test]
+    fn zero_order_hold_persists() {
+        let mut dac = Dac::new(quiet(10));
+        dac.write(100);
+        let a = dac.output();
+        let b = dac.output();
+        assert_eq!(a, b);
+        assert_eq!(dac.held(), a);
+    }
+
+    #[test]
+    fn noise_varies_output() {
+        let mut dac = Dac::new(DacConfig {
+            noise_rms: 1.0e-3,
+            ..quiet(12)
+        });
+        dac.write(0);
+        let a = dac.output();
+        let b = dac.output();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gain_and_offset_errors() {
+        let mut dac = Dac::new(DacConfig {
+            gain: 1.01,
+            offset: Volts(0.002),
+            ..quiet(12)
+        });
+        let v = dac.write(1024);
+        assert!((v.0 - (1.25 * 1.01 + 0.002)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn update_counter() {
+        let mut dac = Dac::new(quiet(8));
+        for k in 0..7 {
+            dac.write(k);
+        }
+        assert_eq!(dac.updates(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 8..=16")]
+    fn rejects_bad_bits() {
+        let _ = Dac::new(DacConfig {
+            bits: 4,
+            ..DacConfig::default()
+        });
+    }
+}

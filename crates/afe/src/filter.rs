@@ -1,0 +1,157 @@
+//! Continuous-time anti-alias filter model.
+//!
+//! The AFE's "basic filters" (§4.2) in front of the SAR ADCs. A 2nd-order
+//! Butterworth stage integrated with the trapezoidal (bilinear) rule at the
+//! analog solver rate: accurate well past the audio-range corners used
+//! here, stable at any step size.
+
+use ascp_sim::units::Volts;
+
+/// Second-order continuous lowpass `H(s) = ω₀² / (s² + (ω₀/Q)s + ω₀²)`.
+#[derive(Debug, Clone)]
+pub struct AntiAliasFilter {
+    f0: f64,
+    q: f64,
+    /// State variables (position, velocity of the filter ODE).
+    x: f64,
+    v: f64,
+}
+
+impl AntiAliasFilter {
+    /// Creates a filter with corner `f0_hz` and quality `q` (0.707 =
+    /// Butterworth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f0_hz` or `q` is not positive.
+    #[must_use]
+    pub fn new(f0_hz: f64, q: f64) -> Self {
+        assert!(f0_hz > 0.0, "corner frequency must be positive");
+        assert!(q > 0.0, "quality factor must be positive");
+        Self {
+            f0: f0_hz,
+            q,
+            x: 0.0,
+            v: 0.0,
+        }
+    }
+
+    /// Butterworth (Q = 1/√2) at `f0_hz`.
+    #[must_use]
+    pub fn butterworth(f0_hz: f64) -> Self {
+        Self::new(f0_hz, std::f64::consts::FRAC_1_SQRT_2)
+    }
+
+    /// Corner frequency (Hz).
+    #[must_use]
+    pub fn corner(&self) -> f64 {
+        self.f0
+    }
+
+    /// Retunes the corner (a JTAG-programmable parameter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f0_hz` is not positive.
+    pub fn set_corner(&mut self, f0_hz: f64) {
+        assert!(f0_hz > 0.0, "corner frequency must be positive");
+        self.f0 = f0_hz;
+    }
+
+    /// Advances by `dt` with input `u`; returns the filtered output.
+    ///
+    /// Semi-implicit (symplectic Euler) update — unconditionally stable for
+    /// the ω·dt < 1 regime the AFE operates in, with RK4-class accuracy for
+    /// these slow corners.
+    pub fn process(&mut self, u: Volts, dt: f64) -> Volts {
+        let w = 2.0 * std::f64::consts::PI * self.f0;
+        // ẍ = ω²(u − x) − (ω/Q) ẋ
+        let a = w * w * (u.0 - self.x) - (w / self.q) * self.v;
+        self.v += a * dt;
+        self.x += self.v * dt;
+        Volts(self.x)
+    }
+
+    /// Clears state.
+    pub fn reset(&mut self) {
+        self.x = 0.0;
+        self.v = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DT: f64 = 1.0e-6;
+
+    fn gain_at(filter: &mut AntiAliasFilter, f: f64) -> f64 {
+        let w = 2.0 * std::f64::consts::PI * f;
+        let mut peak = 0.0f64;
+        let n = ((20.0 / f) / DT) as usize + 200_000;
+        for k in 0..n {
+            let y = filter.process(Volts((w * k as f64 * DT).sin()), DT);
+            if k > n * 3 / 4 {
+                peak = peak.max(y.0.abs());
+            }
+        }
+        peak
+    }
+
+    #[test]
+    fn passes_dc() {
+        let mut f = AntiAliasFilter::butterworth(30_000.0);
+        let mut y = Volts(0.0);
+        for _ in 0..100_000 {
+            y = f.process(Volts(1.0), DT);
+        }
+        assert!((y.0 - 1.0).abs() < 1e-6, "DC gain {}", y.0);
+    }
+
+    #[test]
+    fn corner_attenuation_3db() {
+        let mut f = AntiAliasFilter::butterworth(30_000.0);
+        let g = gain_at(&mut f, 30_000.0);
+        assert!((g - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05, "corner gain {g}");
+    }
+
+    #[test]
+    fn stopband_rolloff_40db_per_decade() {
+        let mut f = AntiAliasFilter::butterworth(10_000.0);
+        let g = gain_at(&mut f, 100_000.0);
+        assert!(g < 0.015, "one decade out gain {g}"); // −40 dB = 0.01
+    }
+
+    #[test]
+    fn passband_is_flat() {
+        let mut f = AntiAliasFilter::butterworth(30_000.0);
+        let g = gain_at(&mut f, 3_000.0);
+        assert!((g - 1.0).abs() < 0.02, "passband gain {g}");
+    }
+
+    #[test]
+    fn retune_moves_corner() {
+        let mut f = AntiAliasFilter::butterworth(30_000.0);
+        f.set_corner(5_000.0);
+        assert_eq!(f.corner(), 5_000.0);
+        let g = gain_at(&mut f, 30_000.0);
+        assert!(g < 0.05, "retuned corner not effective: {g}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut f = AntiAliasFilter::butterworth(1_000.0);
+        for _ in 0..1000 {
+            f.process(Volts(1.0), DT);
+        }
+        f.reset();
+        let y = f.process(Volts(0.0), DT);
+        assert_eq!(y.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_corner() {
+        let _ = AntiAliasFilter::butterworth(0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests of the analog front-end models: converter transfer
+//! invariants that must hold for any input, resolution and seed.
+
+use ascp_afe::adc::{AdcConfig, SarAdc};
+use ascp_afe::dac::{Dac, DacConfig};
+use ascp_sim::units::Volts;
+use proptest::prelude::*;
+
+fn quiet_adc(bits: u32, seed: u64) -> SarAdc {
+    SarAdc::new(AdcConfig {
+        bits,
+        noise_rms: 0.0,
+        inl_lsb: 0.0,
+        dnl_lsb: 0.0,
+        seed,
+        ..AdcConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ideal_adc_is_monotone(bits in 8u32..=16, seed in any::<u64>()) {
+        let mut adc = quiet_adc(bits, seed);
+        let mut last = i32::MIN;
+        for k in 0..200 {
+            let v = -2.5 + 5.0 * f64::from(k) / 200.0;
+            let code = adc.convert(Volts(v));
+            prop_assert!(code >= last, "non-monotone at {v} V");
+            last = code;
+        }
+    }
+
+    #[test]
+    fn adc_code_inverse_within_lsb(bits in 8u32..=16, mv in -2400i32..=2400) {
+        let mut adc = quiet_adc(bits, 1);
+        let v = f64::from(mv) / 1000.0;
+        let code = adc.convert(Volts(v));
+        let back = adc.code_to_volts(code);
+        prop_assert!((back.0 - v).abs() <= 1.5 * adc.lsb(), "{v} -> {code} -> {}", back.0);
+    }
+
+    #[test]
+    fn adc_codes_stay_in_range(
+        bits in 8u32..=16,
+        v in -100.0f64..100.0,
+        seed in any::<u64>(),
+    ) {
+        let mut adc = SarAdc::new(AdcConfig {
+            bits,
+            seed,
+            ..AdcConfig::default()
+        });
+        let half = 1i32 << (bits - 1);
+        let code = adc.convert(Volts(v));
+        prop_assert!(code >= -half && code < half, "code {code} at {v} V");
+    }
+
+    #[test]
+    fn dac_transfer_is_affine(bits in 8u32..=16, code in -2000i32..2000) {
+        let mut dac = Dac::new(DacConfig {
+            bits,
+            noise_rms: 0.0,
+            ..DacConfig::default()
+        });
+        let half = 1i64 << (bits - 1);
+        prop_assume!(i64::from(code) >= -half && i64::from(code) < half);
+        let v = dac.write(code);
+        let expect = f64::from(code) / half as f64 * 2.5;
+        prop_assert!((v.0 - expect).abs() < 1e-9, "{code} -> {} vs {expect}", v.0);
+    }
+
+    #[test]
+    fn adc_dac_loopback_error_bounded(bits in 8u32..=16, mv in -2000i32..=2000) {
+        let mut adc = quiet_adc(bits, 2);
+        let mut dac = Dac::new(DacConfig {
+            bits,
+            noise_rms: 0.0,
+            ..DacConfig::default()
+        });
+        let v = f64::from(mv) / 1000.0;
+        let out = dac.write(adc.convert(Volts(v)));
+        prop_assert!((out.0 - v).abs() <= 1.5 * adc.lsb(), "{v} -> {}", out.0);
+    }
+
+    #[test]
+    fn pga_output_never_exceeds_rails(
+        gain_code in 0u8..=9,
+        v in -10.0f64..10.0,
+    ) {
+        let mut pga = ascp_afe::amp::Pga::new(100_000.0, 0.0, 0.0, 0.0, 3);
+        pga.set_gain_code(gain_code);
+        let mut y = Volts(0.0);
+        for _ in 0..5000 {
+            y = pga.process(Volts(v), 1.0e-6);
+        }
+        prop_assert!(y.0.abs() <= 2.5 + 1e-12, "railed past 2.5: {}", y.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Criterion benchmarks of the platform co-simulation and 8051 subsystem:
+//! how many simulated DSP ticks / CPU instructions per wall second the
+//! reproduction sustains (the practical cost of every table/figure run).
+
+use ascp_core::platform::{Platform, PlatformConfig};
+use ascp_core::system::{SystemModel, SystemModelConfig};
+use ascp_mcu8051::asm::assemble;
+use ascp_mcu8051::cpu::{Cpu, NullBus};
+use ascp_mems::gyro::{GyroParams, RingGyro};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_gyro_ode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mems");
+    g.throughput(Throughput::Elements(1));
+    let mut gyro = RingGyro::new(GyroParams::default());
+    g.bench_function("gyro_rk4_step", |b| {
+        b.iter(|| black_box(gyro.step(black_box(0.1), 0.0, 1.0e-6)))
+    });
+    g.finish();
+}
+
+fn bench_system_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system_model");
+    g.throughput(Throughput::Elements(1));
+    let mut model = SystemModel::new(SystemModelConfig::default());
+    g.bench_function("float_step", |b| b.iter(|| black_box(model.step())));
+    g.finish();
+}
+
+fn bench_platform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("platform");
+    g.throughput(Throughput::Elements(1));
+    let mut cfg = PlatformConfig::default();
+    cfg.cpu_enabled = false;
+    let mut p = Platform::new(cfg);
+    g.bench_function("dsp_tick_no_cpu", |b| b.iter(|| black_box(p.step())));
+    let mut cfg = PlatformConfig::default();
+    cfg.cpu_enabled = true;
+    let mut p = Platform::new(cfg);
+    g.bench_function("dsp_tick_with_cpu", |b| b.iter(|| black_box(p.step())));
+    g.finish();
+}
+
+fn bench_cpu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mcu8051");
+    g.throughput(Throughput::Elements(1));
+    let rom = assemble(
+        "start: mov a, #1\nadd a, #2\nmov r0, a\ndjnz r0, start\nsjmp start\n",
+    )
+    .expect("assembles");
+    let mut cpu = Cpu::new();
+    cpu.load_code(&rom);
+    let mut bus = NullBus;
+    g.bench_function("instruction_step", |b| {
+        b.iter(|| black_box(cpu.step(&mut bus)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gyro_ode, bench_system_model, bench_platform, bench_cpu);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation: ADC resolution sweep (8–16 bits).
+//!
+//! "Programming main components parameters (such as ... number of ADC
+//! bits ...) allows a more accurate adaptation of the front end circuitry"
+//! (§3). This sweep shows where the platform's quantization knee sits: the
+//! rate noise floor and nonlinearity versus converter resolution.
+//!
+//! ```sh
+//! cargo run --release -p ascp-bench --bin ablation_adc_bits
+//! ```
+
+use ascp_core::characterize::{measure_noise_density, measure_static_transfer, CharacterizationConfig};
+use ascp_core::platform::{Platform, PlatformConfig};
+
+fn main() {
+    println!("ablation: ADC resolution sweep");
+    println!(
+        "  {:>5} {:>14} {:>14} {:>12}",
+        "bits", "noise °/s/√Hz", "nonlin % FS", "sens mV/°/s"
+    );
+    let mut cfg_meas = CharacterizationConfig::default();
+    cfg_meas.rate_points = vec![-300.0, -150.0, 0.0, 150.0, 300.0];
+    cfg_meas.samples_per_point = 400;
+    cfg_meas.noise_samples = 1 << 14;
+
+    for bits in [8u32, 10, 12, 14, 16] {
+        let mut cfg = PlatformConfig::default();
+        cfg.adc.bits = bits;
+        cfg.cpu_enabled = false;
+        let mut p = Platform::new(cfg);
+        if p.wait_for_ready(2.0).is_none() {
+            println!("  {bits:>5} failed to lock");
+            continue;
+        }
+        let t = measure_static_transfer(&mut p, &cfg_meas, 25.0);
+        let noise = measure_noise_density(&mut p, &cfg_meas, t.sensitivity);
+        println!(
+            "  {bits:>5} {noise:>14.4} {:>14.4} {:>12.4}",
+            t.nonlinearity_pct_fs,
+            t.sensitivity * 1.0e3
+        );
+    }
+    println!("expected shape: flat across 8..16 bits — the ~15 kHz carrier dithers");
+    println!("converter quantization through the demodulator, and the mechanical");
+    println!("floor dominates. The knob costs nothing on this sensor, which is why");
+    println!("the paper can leave 'number of ADC bits' programmable per application.");
+}

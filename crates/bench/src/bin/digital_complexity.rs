@@ -1,0 +1,36 @@
+//! Digital-complexity regenerator: the paper's "roughly 200 Kgates ...
+//! running a 20 MHz clock frequency" claim (§4.3).
+//!
+//! ```sh
+//! cargo run --release -p ascp-bench --bin digital_complexity
+//! ```
+
+use ascp_bench::{compare, paper};
+use ascp_core::report::{CycleBudget, DigitalParams, GateReport};
+
+fn main() {
+    let params = DigitalParams::default();
+    let report = GateReport::estimate(&params);
+    println!("{report}");
+
+    println!("paper vs measured:");
+    compare(
+        "digital complexity",
+        paper::DIGITAL_KGATES,
+        report.total_gate_equivalents() / 1000.0,
+        "kGE",
+    );
+
+    let budget = CycleBudget::default();
+    println!("\n20 MHz cycle budget per 250 kHz DSP sample:");
+    println!("  cycles available : {:.0}", budget.cycles_per_sample());
+    println!(
+        "  cycles demanded  : {:.0} (naive serial MAC — over budget!)",
+        budget.cycles_demanded()
+    );
+    println!(
+        "  with polyphase 25: {:.1} % utilization",
+        budget.utilization_polyphase(25) * 100.0
+    );
+    compare("clock frequency", paper::DIGITAL_CLOCK_MHZ, budget.clock_hz / 1.0e6, "MHz");
+}

@@ -1,0 +1,47 @@
+//! Fig. 6 regenerator: "Measured waveforms (AC probe)".
+//!
+//! Runs the full fixed-point platform — MEMS, AFE nonidealities, 12-bit
+//! converters, Q15 DSP, monitoring CPU — from power-on and records the same
+//! observables as Fig. 5. The paper's point: the emulated platform locks
+//! like the MATLAB model predicted; the differences are quantization and
+//! noise.
+//!
+//! ```sh
+//! cargo run --release -p ascp-bench --bin fig6_pll_measured
+//! ```
+
+use ascp_bench::experiments_dir;
+use ascp_core::platform::{Platform, PlatformConfig};
+
+fn main() {
+    let cfg = PlatformConfig::default();
+    let mut platform = Platform::new(cfg);
+
+    println!("fig6: full mixed-signal platform, measured lock transient");
+    let traces = platform.run_traces(1.2, 4);
+    let path = experiments_dir().join("fig6_pll_measured.csv");
+    traces.save_csv(&path).expect("write CSV");
+    let vcd_path = experiments_dir().join("fig6_pll_measured.vcd");
+    ascp_sim::vcd::save_vcd(&traces, &vcd_path).expect("write VCD");
+
+    let phase = traces.get("phase_error").expect("trace");
+    let amp_err = traces.get("amplitude_error").expect("trace");
+    let tail_phase = ascp_sim::stats::rms(phase.values_after(1.0));
+    let tail_amp = ascp_sim::stats::rms(amp_err.values_after(1.0));
+
+    println!("  locked              : {}", platform.chain().is_locked());
+    println!("  final frequency     : {:.2} Hz", platform.chain().frequency());
+    println!("  residual phase error: {tail_phase:.5} (RMS after 1 s)");
+    println!("  residual amp error  : {tail_amp:.5} (RMS after 1 s)");
+    println!(
+        "  drive envelope      : {:.3} of ADC full scale (setpoint {:.3})",
+        platform.chain().envelope(),
+        platform.chain().config().agc.setpoint
+    );
+    println!("  traces -> {} (+ .vcd for GTKWave)", path.display());
+    println!(
+        "shape check vs paper Fig. 6: real(istic) sensor locks like the model, \
+         with a noisier floor than fig5: {}",
+        platform.chain().is_locked()
+    );
+}

@@ -1,0 +1,50 @@
+//! Table 1 regenerator: "Performance of SensorDynamics implementation".
+//!
+//! Calibrates the platform (final-test temperature sweep), then runs the
+//! full datasheet characterization — sensitivity, null, nonlinearity over
+//! −40/25/85 °C, rate noise density, 3 dB bandwidth, turn-on time — and
+//! prints the table next to the paper's reported values.
+//!
+//! ```sh
+//! cargo run --release -p ascp-bench --bin table1_platform
+//! ```
+
+use ascp_bench::{compare, paper};
+use ascp_core::calibrate::{calibrate, install, CalibrationConfig};
+use ascp_core::characterize::{characterize, CharacterizationConfig};
+use ascp_core::platform::{Platform, PlatformConfig};
+
+fn main() {
+    println!("table1: characterizing the ASCP platform (this work)");
+    let mut platform = Platform::new(PlatformConfig::default());
+
+    println!("  power-on + final-test calibration sweep ...");
+    platform.wait_for_ready(2.0).expect("platform lock");
+    let cal = calibrate(&mut platform, &CalibrationConfig::default());
+    install(&mut platform, &cal);
+
+    println!("  running characterization (rate sweeps x temperature, PSD, tones) ...");
+    let cfg = CharacterizationConfig::default();
+    let ds = characterize(&mut platform, &cfg);
+    println!("\n{ds}");
+
+    println!("paper vs measured:");
+    if let Some(s) = ds.sensitivity_initial {
+        compare("sensitivity (typ)", paper::T1_SENSITIVITY_TYP, s.typ.abs(), "mV/°/s");
+    }
+    if let Some(n) = ds.null_initial {
+        compare("null (typ)", paper::T1_NULL_TYP, n.typ, "V");
+    }
+    if let Some(n) = ds.noise_density {
+        compare("noise density (typ)", paper::T1_NOISE_TYP, n.typ, "°/s/√Hz");
+    }
+    if let Some(b) = ds.bandwidth_hz {
+        compare("3 dB bandwidth", paper::T1_BANDWIDTH.1, b, "Hz");
+    }
+    if let Some(t) = ds.turn_on_time_ms {
+        compare("turn-on time", paper::T1_TURN_ON_MS, t, "ms");
+    }
+    if let Some(nl) = ds.nonlinearity_pct_fs {
+        compare("nonlinearity (max)", paper::T1_NONLIN_MAX, nl.max, "% FS");
+    }
+}

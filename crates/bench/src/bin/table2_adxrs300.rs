@@ -1,0 +1,36 @@
+//! Table 2 regenerator: "Performance of AD XRS300".
+//!
+//! Characterizes the behavioural ADXRS300 model through the same harness
+//! as Table 1 — the comparison the paper makes with datasheet values.
+//!
+//! ```sh
+//! cargo run --release -p ascp-bench --bin table2_adxrs300
+//! ```
+
+use ascp_bench::{compare, paper};
+use ascp_core::baseline::{BaselineGyro, BaselineSpec};
+use ascp_core::characterize::{characterize, CharacterizationConfig};
+
+fn main() {
+    println!("table2: characterizing the ADXRS300 behavioural model");
+    let mut gyro = BaselineGyro::new(BaselineSpec::adxrs300(0x1a));
+    let mut cfg = CharacterizationConfig::default();
+    // ADXRS300 has a 40 Hz output pole; sweep tones around it.
+    cfg.bandwidth_tones = vec![5.0, 10.0, 20.0, 30.0, 40.0, 60.0, 90.0];
+    let ds = characterize(&mut gyro, &cfg);
+    println!("\n{ds}");
+
+    println!("paper vs measured:");
+    if let Some(s) = ds.sensitivity_initial {
+        compare("sensitivity (typ)", paper::T2_SENSITIVITY_TYP, s.typ, "mV/°/s");
+    }
+    if let Some(n) = ds.noise_density {
+        compare("noise density (typ)", paper::T2_NOISE_TYP, n.typ, "°/s/√Hz");
+    }
+    if let Some(t) = ds.turn_on_time_ms {
+        compare("turn-on time", paper::T2_TURN_ON_MS, t, "ms");
+    }
+    if let Some(b) = ds.bandwidth_hz {
+        compare("3 dB bandwidth", 40.0, b, "Hz");
+    }
+}

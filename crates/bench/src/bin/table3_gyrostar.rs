@@ -1,0 +1,39 @@
+//! Table 3 regenerator: "Performance of Murata's Gyrostar".
+//!
+//! ```sh
+//! cargo run --release -p ascp-bench --bin table3_gyrostar
+//! ```
+
+use ascp_bench::{compare, paper};
+use ascp_core::baseline::{BaselineGyro, BaselineSpec};
+use ascp_core::characterize::{characterize, CharacterizationConfig};
+
+fn main() {
+    println!("table3: characterizing the Murata Gyrostar behavioural model");
+    let mut gyro = BaselineGyro::new(BaselineSpec::gyrostar(0x1b));
+    let mut cfg = CharacterizationConfig::default();
+    // Gyrostar operates −5..+75 °C only.
+    cfg.temperatures = vec![-5.0, 25.0, 75.0];
+    cfg.bandwidth_tones = vec![5.0, 10.0, 20.0, 35.0, 50.0, 70.0];
+    // Its nonlinearity is cubic: use a dense sweep so the residual shows.
+    cfg.rate_points = vec![
+        -300.0, -225.0, -150.0, -75.0, 0.0, 75.0, 150.0, 225.0, 300.0,
+    ];
+    let ds = characterize(&mut gyro, &cfg);
+    println!("\n{ds}");
+
+    println!("paper vs measured:");
+    if let Some(s) = ds.sensitivity_initial {
+        compare("sensitivity (typ)", paper::T3_SENSITIVITY_TYP, s.typ, "mV/°/s");
+    }
+    if let Some(nl) = ds.nonlinearity_pct_fs {
+        compare("nonlinearity (max)", 5.0, nl.max, "% FS");
+    }
+    if let Some(b) = ds.bandwidth_hz {
+        compare("3 dB bandwidth (<50)", 50.0, b, "Hz");
+    }
+    println!(
+        "  (temp range: paper −5..+75 °C, measured {:.0}..{:.0} °C)",
+        ds.temp_range.0, ds.temp_range.1
+    );
+}

@@ -1,0 +1,55 @@
+//! # ascp-bench — experiment regenerators and benchmarks
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md's
+//! experiment index), plus Criterion benchmarks of the simulation
+//! machinery. Shared helpers live here: the experiment output directory
+//! and the paper-reported reference values each regenerator prints next to
+//! its measurement.
+
+use std::path::PathBuf;
+
+/// Directory experiment CSVs are written to.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+#[must_use]
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Paper-reported values used for side-by-side "paper vs measured" rows.
+pub mod paper {
+    /// Table 1 (SensorDynamics): typ sensitivity, mV/°/s.
+    pub const T1_SENSITIVITY_TYP: f64 = 5.00;
+    /// Table 1: typ null, V.
+    pub const T1_NULL_TYP: f64 = 2.50;
+    /// Table 1: typ rate noise density, °/s/√Hz.
+    pub const T1_NOISE_TYP: f64 = 0.09;
+    /// Table 1: min/typ 3 dB bandwidth, Hz.
+    pub const T1_BANDWIDTH: (f64, f64) = (25.0, 75.0);
+    /// Table 1: typ turn-on time, ms.
+    pub const T1_TURN_ON_MS: f64 = 500.0;
+    /// Table 1: max nonlinearity, % FS.
+    pub const T1_NONLIN_MAX: f64 = 0.20;
+    /// Table 2 (ADXRS300): typ sensitivity.
+    pub const T2_SENSITIVITY_TYP: f64 = 5.00;
+    /// Table 2: typ noise density.
+    pub const T2_NOISE_TYP: f64 = 0.1;
+    /// Table 2: turn-on, ms.
+    pub const T2_TURN_ON_MS: f64 = 35.0;
+    /// Table 3 (Gyrostar): typ sensitivity.
+    pub const T3_SENSITIVITY_TYP: f64 = 0.67;
+    /// Digital complexity, kgates.
+    pub const DIGITAL_KGATES: f64 = 200.0;
+    /// Digital clock, MHz.
+    pub const DIGITAL_CLOCK_MHZ: f64 = 20.0;
+}
+
+/// Prints a `paper vs measured` comparison row.
+pub fn compare(label: &str, paper: f64, measured: f64, unit: &str) {
+    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    println!("  {label:<28} paper {paper:>10.3} {unit:<8} measured {measured:>10.3} {unit:<8} (x{ratio:.2})");
+}

@@ -1,0 +1,254 @@
+//! Final-test calibration: temperature compensation fitting.
+//!
+//! The paper's chain includes "temperature/offset compensation" (§4.1).
+//! Real parts get their correction coefficients at final test: the device
+//! is swept through a climate chamber, null and scale factor are measured
+//! at each step, polynomials are fitted and burned into ROM/EEPROM. This
+//! module is that final-test station for the simulated platform.
+
+use crate::characterize::RateSensor;
+use crate::platform::Platform;
+use ascp_dsp::comp::{fit_compensation, Compensator};
+use ascp_sim::stats;
+use ascp_sim::units::{Celsius, DegPerSec};
+
+/// Calibration plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationConfig {
+    /// Chamber temperatures (°C).
+    pub temperatures: Vec<f64>,
+    /// Probe rate for scale-factor measurement (°/s).
+    pub probe_rate: f64,
+    /// Settling time at each point (s).
+    pub settle: f64,
+    /// Samples averaged per measurement.
+    pub samples: usize,
+    /// Polynomial degree for offset and gain corrections.
+    pub degree: usize,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        Self {
+            temperatures: vec![-40.0, -10.0, 25.0, 55.0, 85.0],
+            probe_rate: 200.0,
+            settle: 0.3,
+            samples: 300,
+            degree: 2,
+        }
+    }
+}
+
+impl CalibrationConfig {
+    /// Reduced plan for tests.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            temperatures: vec![-40.0, 25.0, 85.0],
+            settle: 0.35,
+            samples: 200,
+            degree: 1,
+            ..Self::default()
+        }
+    }
+}
+
+/// One calibration point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalPoint {
+    /// Chamber temperature (°C).
+    pub temperature: f64,
+    /// Raw (pre-compensation) null in output Q15 units.
+    pub null_q15: f64,
+    /// Raw scale relative to nominal (1.0 = exactly 5 mV/°/s).
+    pub gain_rel: f64,
+}
+
+/// Result of a calibration run: the fitted compensator plus the measured
+/// points (for reports).
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// Fitted compensator to install into the chain.
+    pub compensator: Compensator,
+    /// Raw measurements.
+    pub points: Vec<CalPoint>,
+}
+
+/// Runs a climate-chamber calibration on the platform and returns the
+/// fitted compensation. The caller installs it with
+/// [`install`](fn@install) (or manually via the chain).
+pub fn calibrate(platform: &mut Platform, cfg: &CalibrationConfig) -> Calibration {
+    // Measure with compensation bypassed to identity.
+    platform
+        .chain_mut()
+        .config_compensator(Compensator::identity());
+
+    let mut points = Vec::with_capacity(cfg.temperatures.len());
+    for &t in &cfg.temperatures {
+        platform.set_temperature(Celsius(t));
+        platform.run(cfg.settle);
+        // Null.
+        platform.set_rate(DegPerSec(0.0));
+        let zero = stats::mean(&platform.sample_output(cfg.settle, cfg.samples));
+        // Scale factor from a two-point probe.
+        platform.set_rate(DegPerSec(cfg.probe_rate));
+        let plus = stats::mean(&platform.sample_output(cfg.settle, cfg.samples));
+        platform.set_rate(DegPerSec(-cfg.probe_rate));
+        let minus = stats::mean(&platform.sample_output(cfg.settle, cfg.samples));
+        platform.set_rate(DegPerSec(0.0));
+        let sens_v_per_dps = (plus - minus) / (2.0 * cfg.probe_rate);
+        // Convert to the chain's Q15 domain: output volts = 2.5 + q·2.5,
+        // q = rate/500 nominally, so nominal sensitivity is 5 mV/°/s.
+        let null_q15 = (zero - 2.5) / 2.5;
+        let gain_rel = sens_v_per_dps / 0.005;
+        points.push(CalPoint {
+            temperature: t,
+            null_q15,
+            gain_rel,
+        });
+    }
+
+    // Fit: offset polynomial in Q15 units; gain polynomial is the
+    // *correction* (1/measured relative gain).
+    let meas: Vec<(f64, f64, f64)> = points
+        .iter()
+        .map(|p| {
+            let sign = p.gain_rel.signum();
+            (
+                p.temperature,
+                p.null_q15,
+                // Correction multiplier: nominal/measured, clamped into
+                // the Q30 coefficient range.
+                (1.0 / (p.gain_rel * sign).max(0.51)) * sign,
+            )
+        })
+        .collect();
+    let (offset, gain) = fit_compensation(&meas, cfg.degree, 25.0, 100.0);
+    Calibration {
+        compensator: Compensator::new(offset, gain),
+        points,
+    }
+}
+
+/// Installs a calibration into the platform and re-syncs the current
+/// temperature.
+pub fn install(platform: &mut Platform, cal: &Calibration) {
+    platform
+        .chain_mut()
+        .config_compensator(cal.compensator.clone());
+    let t = platform.temperature();
+    platform.set_temperature(t);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::PlatformConfig;
+
+    #[test]
+    fn calibration_reduces_null_drift() {
+        let mut cfg = PlatformConfig::default();
+        cfg.gyro.noise_density = 0.002;
+        cfg.cpu_enabled = false;
+        // Exaggerated quadrature drift so the effect dominates noise.
+        cfg.gyro.quadrature_tc = 0.4;
+        let mut p = Platform::new(cfg);
+        p.wait_for_ready(2.0).expect("ready");
+
+        // Uncalibrated null drift across temperature.
+        let mut raw_spread = Vec::new();
+        for &t in &[-40.0, 25.0, 85.0] {
+            p.set_temperature(Celsius(t));
+            p.run(0.5);
+            raw_spread.push(stats::mean(&p.sample_output(0.3, 300)));
+        }
+        let raw_drift = raw_spread.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            - raw_spread.iter().copied().fold(f64::INFINITY, f64::min);
+
+        p.set_temperature(Celsius(25.0));
+        p.run(0.3);
+        let cal = calibrate(&mut p, &CalibrationConfig::fast());
+        install(&mut p, &cal);
+
+        let mut cal_spread = Vec::new();
+        for &t in &[-40.0, 25.0, 85.0] {
+            p.set_temperature(Celsius(t));
+            p.run(0.5);
+            cal_spread.push(stats::mean(&p.sample_output(0.3, 300)));
+        }
+        let cal_drift = cal_spread.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            - cal_spread.iter().copied().fold(f64::INFINITY, f64::min);
+
+        assert!(
+            cal_drift < raw_drift * 0.6,
+            "calibration ineffective: raw {raw_drift:.4} V vs calibrated {cal_drift:.4} V"
+        );
+    }
+
+    #[test]
+    fn calibration_points_cover_requested_temps() {
+        let mut cfg = PlatformConfig::default();
+        cfg.gyro.noise_density = 0.002;
+        cfg.cpu_enabled = false;
+        let mut p = Platform::new(cfg);
+        p.wait_for_ready(2.0).expect("ready");
+        let cal = calibrate(&mut p, &CalibrationConfig::fast());
+        let temps: Vec<f64> = cal.points.iter().map(|pt| pt.temperature).collect();
+        assert_eq!(temps, vec![-40.0, 25.0, 85.0]);
+        for pt in &cal.points {
+            assert!(pt.gain_rel > 0.3 && pt.gain_rel < 3.0, "gain {:?}", pt);
+        }
+    }
+}
+
+/// Trims the rebalance-axis phase so a rate step lands purely on the
+/// rate-nulling command (closed loop only) — the paper's "on-line trimming"
+/// of a programmable parameter. Returns the trimmed angle in radians.
+///
+/// Criterion: at the aligned angle, a rate step produces *no response on
+/// the quadrature command*. The leak is steep (∝ sin of the misalignment)
+/// where the rate response is flat, so the trim scans a ±24° window around
+/// the delay-model starting angle for the minimum |leak|, then refines once
+/// on a 3° grid. All probes stay inside the loop's stable region.
+pub fn trim_rebalance_phase(platform: &mut Platform, probe_rate: f64, iterations: u32) -> f64 {
+    fn quad_mean(platform: &mut Platform) -> f64 {
+        let mut acc = 0.0;
+        let n = 400usize;
+        for _ in 0..n {
+            platform.step();
+            acc += platform.chain().quad_out().to_f64();
+        }
+        acc / n as f64
+    }
+
+    fn leak(platform: &mut Platform, theta: f64, probe_rate: f64) -> f64 {
+        platform.chain_mut().set_rebalance_phase(theta);
+        platform.set_rate(DegPerSec(0.0));
+        platform.run(0.45);
+        let q0 = quad_mean(platform);
+        platform.set_rate(DegPerSec(probe_rate));
+        platform.run(0.45);
+        let q1 = quad_mean(platform);
+        platform.set_rate(DegPerSec(0.0));
+        (q1 - q0).abs()
+    }
+
+    let mut center = platform.chain().rebalance_phase();
+    let mut half_span = 24.0f64.to_radians();
+    for _ in 0..iterations.max(1) {
+        let mut best = (f64::INFINITY, center);
+        let steps = 8;
+        for k in 0..=steps {
+            let theta = center - half_span + 2.0 * half_span * k as f64 / steps as f64;
+            let l = leak(platform, theta, probe_rate);
+            if l < best.0 {
+                best = (l, theta);
+            }
+        }
+        center = best.1;
+        half_span /= 4.0;
+    }
+    platform.chain_mut().set_rebalance_phase(center);
+    platform.run(0.4);
+    center
+}

@@ -1,0 +1,530 @@
+//! Datasheet characterization harness.
+//!
+//! The paper evaluates the platform with a datasheet-style table (Table 1)
+//! against two commercial parts (Tables 2–3). This module is the bench:
+//! rate-table sweeps (sensitivity, null, nonlinearity), climate-chamber
+//! sweeps (over-temperature rows), spectrum analysis (rate noise density),
+//! tone sweeps (−3 dB bandwidth) and power-on timing (turn-on time) — all
+//! against the [`RateSensor`] abstraction so the same harness measures the
+//! full platform and the behavioural comparators.
+
+use ascp_dsp::fft::{band_density, welch_psd, Window};
+use ascp_sim::stats;
+use ascp_sim::units::{Celsius, DegPerSec, Seconds};
+use std::fmt;
+
+/// A yaw-rate sensor with an analog output, as a characterization bench
+/// sees it.
+pub trait RateSensor {
+    /// Human-readable device name (table captions).
+    fn name(&self) -> &str;
+
+    /// Applies a constant rate stimulus (the rate table).
+    fn set_rate(&mut self, rate: DegPerSec);
+
+    /// Sets chamber temperature.
+    fn set_temperature(&mut self, t: Celsius);
+
+    /// Power-on from cold; returns the time to valid output, or `None` if
+    /// `timeout` seconds pass first.
+    fn turn_on(&mut self, timeout: f64) -> Option<Seconds>;
+
+    /// Collects `n` output samples in volts after `settle` seconds.
+    fn sample_output(&mut self, settle: f64, n: usize) -> Vec<f64>;
+
+    /// Output sample rate of [`RateSensor::sample_output`] (Hz).
+    fn output_sample_rate(&self) -> f64;
+
+    /// Collects `n` samples while the rate is sinusoidally modulated at
+    /// `freq` Hz with amplitude `amp` (the bandwidth measurement).
+    fn sample_output_modulated(
+        &mut self,
+        freq: f64,
+        amp: DegPerSec,
+        settle: f64,
+        n: usize,
+    ) -> Vec<f64>;
+}
+
+/// A min/typ/max specification row.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MinTypMax {
+    /// Minimum observed/specified.
+    pub min: f64,
+    /// Typical.
+    pub typ: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl MinTypMax {
+    /// A row where all three values are the same measurement.
+    #[must_use]
+    pub fn single(v: f64) -> Self {
+        Self {
+            min: v,
+            typ: v,
+            max: v,
+        }
+    }
+
+    /// Builds from a set of measurements (min/mean/max).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "need at least one measurement");
+        Self {
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            typ: stats::mean(values),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+impl fmt::Display for MinTypMax {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} / {:.3} / {:.3}", self.min, self.typ, self.max)
+    }
+}
+
+/// A complete datasheet in the layout of the paper's Tables 1–3.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Datasheet {
+    /// Device name.
+    pub device: String,
+    /// Dynamic range (±°/s).
+    pub dynamic_range: f64,
+    /// Sensitivity at 25 °C (mV/°/s).
+    pub sensitivity_initial: Option<MinTypMax>,
+    /// Sensitivity across the temperature range (mV/°/s).
+    pub sensitivity_over_temp: Option<MinTypMax>,
+    /// Nonlinearity (% of full scale).
+    pub nonlinearity_pct_fs: Option<MinTypMax>,
+    /// Null voltage at 25 °C (V).
+    pub null_initial: Option<MinTypMax>,
+    /// Null across temperature (V).
+    pub null_over_temp: Option<MinTypMax>,
+    /// Turn-on time (ms).
+    pub turn_on_time_ms: Option<f64>,
+    /// Rate noise density (°/s/√Hz).
+    pub noise_density: Option<MinTypMax>,
+    /// −3 dB bandwidth (Hz).
+    pub bandwidth_hz: Option<f64>,
+    /// Operating temperature range (°C).
+    pub temp_range: (f64, f64),
+}
+
+impl fmt::Display for Datasheet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn row(f: &mut fmt::Formatter<'_>, label: &str, v: &Option<MinTypMax>, unit: &str) -> fmt::Result {
+            match v {
+                Some(m) => writeln!(
+                    f,
+                    "  {label:<22} {:>9.3} {:>9.3} {:>9.3}  {unit}",
+                    m.min, m.typ, m.max
+                ),
+                None => writeln!(f, "  {label:<22} {:>9} {:>9} {:>9}  {unit}", "-", "-", "-"),
+            }
+        }
+        writeln!(f, "{} Parameter", self.device)?;
+        writeln!(
+            f,
+            "  {:<22} {:>9} {:>9} {:>9}  Units",
+            "", "Min.", "Typ.", "Max."
+        )?;
+        writeln!(f, "  Sensitivity")?;
+        writeln!(
+            f,
+            "  {:<22} {:>9} {:>9} {:>9}  °/s",
+            "Dynamic Range",
+            format!("+/-{:.0}", self.dynamic_range),
+            "",
+            ""
+        )?;
+        row(f, "Initial", &self.sensitivity_initial, "mV/°/s")?;
+        row(f, "Over Temperature", &self.sensitivity_over_temp, "mV/°/s")?;
+        row(f, "Non Linearity", &self.nonlinearity_pct_fs, "% of FS")?;
+        writeln!(f, "  Null")?;
+        row(f, "Initial", &self.null_initial, "V")?;
+        row(f, "Over Temperature", &self.null_over_temp, "V")?;
+        match self.turn_on_time_ms {
+            Some(t) => writeln!(f, "  {:<22} {:>9} {:>9.2} {:>9}  ms", "Turn On Time", "", t, "")?,
+            None => writeln!(f, "  {:<22} {:>9} {:>9} {:>9}  ms", "Turn On Time", "", "-", "")?,
+        }
+        writeln!(f, "  Noise")?;
+        row(f, "Rate Noise Dens.", &self.noise_density, "°/s/√Hz")?;
+        writeln!(f, "  Freq. Response")?;
+        match self.bandwidth_hz {
+            Some(b) => writeln!(f, "  {:<22} {:>9} {:>9.2} {:>9}  Hz", "3 dB Bandwidth", "", b, "")?,
+            None => writeln!(f, "  {:<22} {:>9} {:>9} {:>9}  Hz", "3 dB Bandwidth", "", "-", "")?,
+        }
+        writeln!(f, "  Temp. Ranges")?;
+        writeln!(
+            f,
+            "  {:<22} {:>9.0} {:>9} {:>9.0}  °C",
+            "Operating Temp.", self.temp_range.0, "", self.temp_range.1
+        )
+    }
+}
+
+/// Characterization plan: which stimuli, how long, at which temperatures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacterizationConfig {
+    /// Full-scale rate for the dynamic-range/nonlinearity rows (°/s).
+    pub full_scale: f64,
+    /// Rate sweep points (°/s) for the static transfer measurement.
+    pub rate_points: Vec<f64>,
+    /// Temperatures for the over-temperature rows (°C); 25 °C gives the
+    /// "initial" rows.
+    pub temperatures: Vec<f64>,
+    /// Settling time before sampling at each stimulus point (s).
+    pub settle: f64,
+    /// Samples per static point.
+    pub samples_per_point: usize,
+    /// Zero-rate capture length for the noise PSD (samples).
+    pub noise_samples: usize,
+    /// Welch segment length (power of two).
+    pub noise_segment: usize,
+    /// Noise analysis band (Hz).
+    pub noise_band: (f64, f64),
+    /// Tone frequencies for the bandwidth sweep (Hz).
+    pub bandwidth_tones: Vec<f64>,
+    /// Tone amplitude (°/s).
+    pub bandwidth_amp: f64,
+    /// Samples per tone.
+    pub tone_samples: usize,
+    /// Turn-on timeout (s).
+    pub turn_on_timeout: f64,
+}
+
+impl Default for CharacterizationConfig {
+    /// A full characterization sized for the paper's Table 1 at reasonable
+    /// simulation cost.
+    fn default() -> Self {
+        Self {
+            full_scale: 300.0,
+            rate_points: vec![-300.0, -200.0, -100.0, -50.0, 0.0, 50.0, 100.0, 200.0, 300.0],
+            temperatures: vec![-40.0, 25.0, 85.0],
+            settle: 0.3,
+            // 0.5 s of averaging per point: the static rows must not be
+            // noise-limited (σ_mean ≈ 0.06 °/s at the Table-1 noise floor).
+            samples_per_point: 5000,
+            noise_samples: 1 << 15,
+            noise_segment: 1 << 12,
+            noise_band: (2.0, 20.0),
+            bandwidth_tones: vec![5.0, 10.0, 25.0, 50.0, 75.0, 100.0, 150.0],
+            bandwidth_amp: 50.0,
+            tone_samples: 6000,
+            turn_on_timeout: 2.0,
+        }
+    }
+}
+
+impl CharacterizationConfig {
+    /// A drastically reduced plan for unit tests.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            rate_points: vec![-200.0, 0.0, 200.0],
+            temperatures: vec![25.0],
+            settle: 0.1,
+            samples_per_point: 200,
+            noise_samples: 1 << 12,
+            noise_segment: 1 << 10,
+            bandwidth_tones: vec![20.0],
+            tone_samples: 2000,
+            turn_on_timeout: 2.0,
+            ..Self::default()
+        }
+    }
+}
+
+/// One static transfer measurement at a fixed temperature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticTransfer {
+    /// Temperature (°C).
+    pub temperature: f64,
+    /// Sensitivity (V per °/s).
+    pub sensitivity: f64,
+    /// Null/zero-rate output (V).
+    pub null: f64,
+    /// Nonlinearity (% of full scale).
+    pub nonlinearity_pct_fs: f64,
+}
+
+/// Measures the static transfer (sensitivity / null / nonlinearity) at the
+/// sensor's current temperature.
+pub fn measure_static_transfer(
+    sensor: &mut dyn RateSensor,
+    cfg: &CharacterizationConfig,
+    temperature: f64,
+) -> StaticTransfer {
+    let mut outs = Vec::with_capacity(cfg.rate_points.len());
+    for &r in &cfg.rate_points {
+        sensor.set_rate(DegPerSec(r));
+        let samples = sensor.sample_output(cfg.settle, cfg.samples_per_point);
+        outs.push(stats::mean(&samples));
+    }
+    sensor.set_rate(DegPerSec(0.0));
+    let fit = stats::linear_fit(&cfg.rate_points, &outs);
+    StaticTransfer {
+        temperature,
+        sensitivity: fit.slope,
+        null: fit.intercept,
+        nonlinearity_pct_fs: fit.max_residual / (fit.slope.abs() * cfg.full_scale) * 100.0,
+    }
+}
+
+/// Measures the rate noise density (°/s/√Hz) at zero rate, converting the
+/// output PSD by the supplied sensitivity.
+pub fn measure_noise_density(
+    sensor: &mut dyn RateSensor,
+    cfg: &CharacterizationConfig,
+    sensitivity_v_per_dps: f64,
+) -> f64 {
+    sensor.set_rate(DegPerSec(0.0));
+    let samples = sensor.sample_output(cfg.settle, cfg.noise_samples);
+    let fs = sensor.output_sample_rate();
+    let (freqs, psd) = welch_psd(&samples, fs, cfg.noise_segment, Window::Hann);
+    band_density(&freqs, &psd, cfg.noise_band.0, cfg.noise_band.1) / sensitivity_v_per_dps.abs()
+}
+
+/// Measures the −3 dB bandwidth by a tone sweep; returns `None` if the
+/// response never falls below −3 dB within the tone list (reported as the
+/// highest tested frequency by the caller if needed).
+pub fn measure_bandwidth(
+    sensor: &mut dyn RateSensor,
+    cfg: &CharacterizationConfig,
+    sensitivity_v_per_dps: f64,
+) -> Option<f64> {
+    let mut last_in_band = None;
+    for &f in &cfg.bandwidth_tones {
+        let samples = sensor.sample_output_modulated(
+            f,
+            DegPerSec(cfg.bandwidth_amp),
+            cfg.settle,
+            cfg.tone_samples,
+        );
+        let mean = stats::mean(&samples);
+        let ac: Vec<f64> = samples.iter().map(|v| v - mean).collect();
+        let rms = stats::rms(&ac);
+        let amp_dps = rms * std::f64::consts::SQRT_2 / sensitivity_v_per_dps.abs();
+        let gain = amp_dps / cfg.bandwidth_amp;
+        if gain >= std::f64::consts::FRAC_1_SQRT_2 {
+            last_in_band = Some(f);
+        } else {
+            // First tone below −3 dB: interpolate between the last in-band
+            // tone and this one.
+            return Some(last_in_band.map_or(f, |lo| (lo + f) / 2.0));
+        }
+    }
+    sensor.set_rate(DegPerSec(0.0));
+    last_in_band
+}
+
+/// Runs the full characterization and assembles the datasheet.
+pub fn characterize(sensor: &mut dyn RateSensor, cfg: &CharacterizationConfig) -> Datasheet {
+    // Turn-on from cold (at 25 °C).
+    sensor.set_temperature(Celsius(25.0));
+    let turn_on = sensor.turn_on(cfg.turn_on_timeout);
+
+    // Static transfer across temperature.
+    let mut transfers = Vec::new();
+    for &t in &cfg.temperatures {
+        sensor.set_temperature(Celsius(t));
+        // Give the loops time to re-track after the temperature step.
+        let _ = sensor.sample_output(cfg.settle, 16);
+        transfers.push(measure_static_transfer(sensor, cfg, t));
+    }
+    sensor.set_temperature(Celsius(25.0));
+    let _ = sensor.sample_output(cfg.settle, 16);
+
+    let initial = transfers
+        .iter()
+        .find(|t| (t.temperature - 25.0).abs() < 1.0)
+        .copied()
+        .unwrap_or(transfers[0]);
+
+    let sens_all: Vec<f64> = transfers.iter().map(|t| t.sensitivity * 1.0e3).collect();
+    let null_all: Vec<f64> = transfers.iter().map(|t| t.null).collect();
+    let nonlin_all: Vec<f64> = transfers.iter().map(|t| t.nonlinearity_pct_fs).collect();
+
+    // Noise and bandwidth at 25 °C using the initial sensitivity.
+    let noise = measure_noise_density(sensor, cfg, initial.sensitivity);
+    let bandwidth = measure_bandwidth(sensor, cfg, initial.sensitivity);
+
+    Datasheet {
+        device: sensor.name().to_owned(),
+        dynamic_range: cfg.full_scale,
+        sensitivity_initial: Some(MinTypMax::single(initial.sensitivity * 1.0e3)),
+        sensitivity_over_temp: Some(MinTypMax::from_values(&sens_all)),
+        nonlinearity_pct_fs: Some(MinTypMax::from_values(&nonlin_all)),
+        null_initial: Some(MinTypMax::single(initial.null)),
+        null_over_temp: Some(MinTypMax::from_values(&null_all)),
+        turn_on_time_ms: turn_on.map(Seconds::to_millis),
+        noise_density: Some(MinTypMax::single(noise)),
+        bandwidth_hz: bandwidth,
+        temp_range: (
+            cfg.temperatures
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min),
+            cfg.temperatures
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An ideal synthetic sensor for harness self-tests: out = 2.5 V +
+    /// 5 mV/°/s with a known one-pole bandwidth and white noise.
+    struct IdealSensor {
+        rate: f64,
+        state: f64,
+        noise: ascp_sim::noise::WhiteNoise,
+        bw: f64,
+        fs: f64,
+        t: f64,
+    }
+
+    impl IdealSensor {
+        fn new(bw: f64) -> Self {
+            Self {
+                rate: 0.0,
+                state: 0.0,
+                noise: ascp_sim::noise::WhiteNoise::new(0.2e-3, 42),
+                bw,
+                fs: 10_000.0,
+                t: 0.0,
+            }
+        }
+
+        fn step_out(&mut self, rate: f64) -> f64 {
+            let alpha = 1.0 - (-2.0 * std::f64::consts::PI * self.bw / self.fs).exp();
+            self.state += alpha * (rate - self.state);
+            2.5 + 0.005 * self.state + self.noise.sample()
+        }
+    }
+
+    impl RateSensor for IdealSensor {
+        fn name(&self) -> &str {
+            "ideal"
+        }
+        fn set_rate(&mut self, rate: DegPerSec) {
+            self.rate = rate.0;
+        }
+        fn set_temperature(&mut self, _t: Celsius) {}
+        fn turn_on(&mut self, _timeout: f64) -> Option<Seconds> {
+            Some(Seconds(0.020))
+        }
+        fn sample_output(&mut self, settle: f64, n: usize) -> Vec<f64> {
+            for _ in 0..(settle * self.fs) as usize {
+                self.step_out(self.rate);
+            }
+            (0..n).map(|_| self.step_out(self.rate)).collect()
+        }
+        fn output_sample_rate(&self) -> f64 {
+            self.fs
+        }
+        fn sample_output_modulated(
+            &mut self,
+            freq: f64,
+            amp: DegPerSec,
+            settle: f64,
+            n: usize,
+        ) -> Vec<f64> {
+            let w = 2.0 * std::f64::consts::PI * freq;
+            let mut out = Vec::with_capacity(n);
+            for k in 0..((settle * self.fs) as usize + n) {
+                self.t += 1.0 / self.fs;
+                let r = amp.0 * (w * self.t).sin();
+                let v = self.step_out(r);
+                if k >= (settle * self.fs) as usize {
+                    out.push(v);
+                }
+                let _ = k;
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn static_transfer_recovers_known_sensitivity() {
+        let mut s = IdealSensor::new(1000.0);
+        let cfg = CharacterizationConfig::fast();
+        let t = measure_static_transfer(&mut s, &cfg, 25.0);
+        assert!((t.sensitivity - 0.005).abs() < 1e-4, "sens {}", t.sensitivity);
+        assert!((t.null - 2.5).abs() < 1e-3, "null {}", t.null);
+        assert!(t.nonlinearity_pct_fs < 0.1, "nonlin {}", t.nonlinearity_pct_fs);
+    }
+
+    #[test]
+    fn noise_density_recovers_known_floor() {
+        let mut s = IdealSensor::new(1000.0);
+        let mut cfg = CharacterizationConfig::fast();
+        cfg.noise_samples = 1 << 14;
+        // 0.2 mV RMS white at 10 kHz → density 0.2e-3/√5000 V/√Hz →
+        // /0.005 → 0.566e-3 °/s/√Hz... measured through the sensor's pole.
+        let d = measure_noise_density(&mut s, &cfg, 0.005);
+        let expect = 0.2e-3 / (5000.0f64).sqrt() / 0.005;
+        assert!(
+            (d - expect).abs() / expect < 0.25,
+            "density {d} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn bandwidth_finds_the_pole() {
+        let mut s = IdealSensor::new(40.0);
+        let mut cfg = CharacterizationConfig::fast();
+        cfg.bandwidth_tones = vec![10.0, 20.0, 30.0, 40.0, 60.0, 90.0];
+        cfg.tone_samples = 8000;
+        let bw = measure_bandwidth(&mut s, &cfg, 0.005).expect("bandwidth");
+        assert!((bw - 40.0).abs() < 15.0, "bandwidth {bw}");
+    }
+
+    #[test]
+    fn full_characterization_produces_table() {
+        let mut s = IdealSensor::new(100.0);
+        let cfg = CharacterizationConfig::fast();
+        let ds = characterize(&mut s, &cfg);
+        assert_eq!(ds.device, "ideal");
+        let sens = ds.sensitivity_initial.expect("sens");
+        assert!((sens.typ - 5.0).abs() < 0.1, "sens {}", sens.typ);
+        assert_eq!(ds.turn_on_time_ms, Some(20.0));
+        let text = ds.to_string();
+        assert!(text.contains("Sensitivity"));
+        assert!(text.contains("Turn On Time"));
+        assert!(text.contains("mV/°/s"));
+    }
+
+    #[test]
+    fn min_typ_max_from_values() {
+        let m = MinTypMax::from_values(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.min, 1.0);
+        assert_eq!(m.typ, 2.0);
+        assert_eq!(m.max, 3.0);
+        assert_eq!(m.to_string(), "1.000 / 2.000 / 3.000");
+    }
+
+    #[test]
+    fn datasheet_display_handles_missing_rows() {
+        let ds = Datasheet {
+            device: "blank".into(),
+            dynamic_range: 300.0,
+            temp_range: (-5.0, 75.0),
+            ..Datasheet::default()
+        };
+        let text = ds.to_string();
+        assert!(text.contains('-'));
+        assert!(text.contains("blank"));
+    }
+}

@@ -1,0 +1,588 @@
+//! Monitoring / communication firmware for the platform's 8051.
+//!
+//! The paper's partition: hardware does the signal processing, software does
+//! "control, monitoring and communication tasks ... a routine constantly
+//! checks the system status by accessing the several readable registers
+//! spread along the processing chain (for example makes sure that the PLL
+//! is locked). Meanwhile other routines handle communication services,
+//! providing status and output data to the user" (§4.2).
+//!
+//! [`MONITOR`] is that firmware: it polls the DSP status register through
+//! the bridge, kicks the watchdog, mirrors the lock flag onto P1.0, and
+//! streams `[0xA5, status, rate_lo, rate_hi]` frames over the UART.
+
+use ascp_mcu8051::asm::{assemble, AsmError};
+
+/// Frame header byte of the UART status stream.
+pub const FRAME_HEADER: u8 = 0xa5;
+
+/// Monitoring firmware source (see module docs).
+///
+/// Bridge protocol (see [`ascp_mcu8051::periph::bridge_sfr`]): write the
+/// peripheral address to 0xA1, strobe 0xA4 with 1 to read into 0xA2/0xA3.
+/// DSP registers sit at bus address 0x40 + reg; the watchdog kick is bus
+/// address 0x12.
+pub const MONITOR: &str = r"
+        ; ---- register map constants ----
+BR_ADDR  EQU 0xa1
+BR_DLO   EQU 0xa2
+BR_DHI   EQU 0xa3
+BR_CTRL  EQU 0xa4
+DSP_STAT EQU 0x40       ; DSP status register on the 16-bit bus
+DSP_RATE EQU 0x44       ; rate output register
+WDOG_KICK EQU 0x12      ; watchdog kick register
+
+        org 0x0000
+        ljmp main
+
+        org 0x0040
+main:
+        mov sp, #0x30
+loop:
+        ; kick the watchdog (write strobe, data don't-care)
+        mov BR_ADDR, #WDOG_KICK
+        mov BR_CTRL, #2
+
+        ; read DSP status
+        mov BR_ADDR, #DSP_STAT
+        mov BR_CTRL, #1
+        mov a, BR_DLO
+        mov r4, a          ; r4 = status
+
+        ; mirror PLL-locked (bit 0) onto P1.0
+        jnb acc.0, notlock
+        setb p1.0
+        sjmp stat_done
+notlock:
+        clr p1.0
+stat_done:
+
+        ; read rate output
+        mov BR_ADDR, #DSP_RATE
+        mov BR_CTRL, #1
+        mov a, BR_DLO
+        mov r5, a          ; rate low
+        mov a, BR_DHI
+        mov r6, a          ; rate high
+
+        ; send frame: A5, status, rate_lo, rate_hi
+        mov a, #0xa5
+        lcall tx
+        mov a, r4
+        lcall tx
+        mov a, r5
+        lcall tx
+        mov a, r6
+        lcall tx
+
+        ; pacing delay
+        mov r7, #200
+pace:   djnz r7, pace
+        sjmp loop
+
+tx:     mov sbuf, a
+txw:    jnb ti, txw
+        clr ti
+        ret
+";
+
+/// Boot loader for the 'prototype' variant: receives a program over UART
+/// (length-prefixed: `len_lo, len_hi, bytes...`), writes it through the
+/// cache controller to program RAM at 0x1000, then jumps to it. This is the
+/// paper's "boot placed in a small 1 Kb ROM would perform software download
+/// via UART" (§4.2).
+pub const UART_BOOT: &str = r"
+CC_ALO  EQU 0x91
+CC_AHI  EQU 0x92
+CC_DATA EQU 0x93
+
+        org 0x0000
+        ljmp boot
+
+        org 0x0040
+boot:
+        mov sp, #0x30
+        mov scon, #0x50     ; mode 1, REN
+        ; receive length (lo, hi)
+        lcall rx
+        mov r2, a           ; len lo
+        lcall rx
+        mov r3, a           ; len hi
+        ; set download base 0x1000
+        mov CC_ALO, #0x00
+        mov CC_AHI, #0x10
+        ; if len == 0 skip
+        mov a, r2
+        orl a, r3
+        jz launch
+load:
+        lcall rx
+        mov CC_DATA, a      ; write + autoincrement
+        ; 16-bit decrement of r3:r2
+        mov a, r2
+        jnz declo
+        dec r3
+declo:  dec r2
+        mov a, r2
+        orl a, r3
+        jnz load
+launch:
+        ljmp 0x1000
+
+rx:     jnb ri, rx
+        clr ri
+        mov a, sbuf
+        ret
+";
+
+/// EEPROM boot loader: reads a length-prefixed image from a 25xx SPI
+/// EEPROM through the bridge's SPI master and launches it — the paper's
+/// "reboot directly from EEPROM instead of downloading each time" (§4.2).
+pub const EEPROM_BOOT: &str = r"
+BR_ADDR EQU 0xa1
+BR_DLO  EQU 0xa2
+BR_DHI  EQU 0xa3
+BR_CTRL EQU 0xa4
+SPI_CS  EQU 0x00
+SPI_DAT EQU 0x01
+CC_ALO  EQU 0x91
+CC_AHI  EQU 0x92
+CC_DATA EQU 0x93
+
+        org 0x0000
+        ljmp boot
+
+        org 0x0040
+boot:
+        mov sp, #0x30
+        ; assert CS
+        mov BR_ADDR, #SPI_CS
+        mov BR_DLO, #1
+        mov BR_DHI, #0
+        mov BR_CTRL, #2
+        ; send READ command + 16-bit address 0
+        mov a, #0x03
+        lcall spix
+        clr a
+        lcall spix
+        clr a
+        lcall spix
+        ; read length (lo, hi)
+        lcall spird
+        mov r2, a
+        lcall spird
+        mov r3, a
+        ; download to 0x1000
+        mov CC_ALO, #0x00
+        mov CC_AHI, #0x10
+        mov a, r2
+        orl a, r3
+        jz launch
+load:
+        lcall spird
+        mov CC_DATA, a
+        mov a, r2
+        jnz declo
+        dec r3
+declo:  dec r2
+        mov a, r2
+        orl a, r3
+        jnz load
+launch:
+        ; deassert CS
+        mov BR_ADDR, #SPI_CS
+        mov BR_DLO, #0
+        mov BR_CTRL, #2
+        ljmp 0x1000
+
+; transmit A over SPI (response discarded)
+spix:
+        mov BR_ADDR, #SPI_DAT
+        mov BR_DLO, a
+        mov BR_CTRL, #2
+        ret
+
+; read one byte from SPI (send dummy 0)
+spird:
+        mov BR_ADDR, #SPI_DAT
+        mov BR_DLO, #0
+        mov BR_CTRL, #2
+        mov BR_CTRL, #1
+        mov a, BR_DLO
+        ret
+";
+
+/// Channel auto-detecting boot loader — the paper's start-up behaviour:
+/// "at start-up all the communication devices look for a response on their
+/// channel, in a way that the connected peripheral is automatically
+/// detected" (§4.2). The loader probes the UART for traffic, then the SPI
+/// for a responding EEPROM (RDSR ≠ 0xFF), and boots from whichever answers
+/// first; P1 bits 4/5 report the selected channel (UART/SPI).
+pub const AUTODETECT_BOOT: &str = r"
+BR_ADDR EQU 0xa1
+BR_DLO  EQU 0xa2
+BR_DHI  EQU 0xa3
+BR_CTRL EQU 0xa4
+SPI_CS  EQU 0x00
+SPI_DAT EQU 0x01
+CC_ALO  EQU 0x91
+CC_AHI  EQU 0x92
+CC_DATA EQU 0x93
+
+        org 0x0000
+        ljmp probe
+
+        org 0x0040
+probe:
+        mov sp, #0x30
+        mov scon, #0x50     ; UART mode 1, REN
+        mov r7, #0          ; probe round counter
+probe_loop:
+        ; --- UART window: poll RI for a while ---
+        mov r6, #200
+uart_poll:
+        jb ri, uart_found
+        mov r5, #50
+uwait:  djnz r5, uwait
+        djnz r6, uart_poll
+
+        ; --- SPI probe: RDSR; a present EEPROM answers != 0xFF ---
+        mov BR_ADDR, #SPI_CS
+        mov BR_DLO, #1
+        mov BR_DHI, #0
+        mov BR_CTRL, #2
+        mov BR_ADDR, #SPI_DAT
+        mov BR_DLO, #0x05   ; RDSR
+        mov BR_CTRL, #2
+        mov BR_DLO, #0
+        mov BR_CTRL, #2     ; clock the response byte
+        mov BR_CTRL, #1
+        mov a, BR_DLO
+        mov r4, a
+        mov BR_ADDR, #SPI_CS
+        mov BR_DLO, #0
+        mov BR_CTRL, #2
+        mov a, r4
+        cjne a, #0xff, spi_found
+        sjmp probe_loop
+
+uart_found:
+        mov p1, #0x10       ; report: UART selected
+        ; length-prefixed download (first byte already pending in SBUF)
+        lcall rx
+        mov r2, a
+        lcall rx
+        mov r3, a
+        mov CC_ALO, #0x00
+        mov CC_AHI, #0x10
+        mov a, r2
+        orl a, r3
+        jz launch
+uload:  lcall rx
+        mov CC_DATA, a
+        mov a, r2
+        jnz udeclo
+        dec r3
+udeclo: dec r2
+        mov a, r2
+        orl a, r3
+        jnz uload
+        sjmp launch
+
+spi_found:
+        mov p1, #0x20       ; report: SPI selected
+        ; READ from address 0: length-prefixed image
+        mov BR_ADDR, #SPI_CS
+        mov BR_DLO, #1
+        mov BR_CTRL, #2
+        mov a, #0x03
+        lcall spix
+        clr a
+        lcall spix
+        clr a
+        lcall spix
+        lcall spird
+        mov r2, a
+        lcall spird
+        mov r3, a
+        mov CC_ALO, #0x00
+        mov CC_AHI, #0x10
+        mov a, r2
+        orl a, r3
+        jz spidone
+sload:  lcall spird
+        mov CC_DATA, a
+        mov a, r2
+        jnz sdeclo
+        dec r3
+sdeclo: dec r2
+        mov a, r2
+        orl a, r3
+        jnz sload
+spidone:
+        mov BR_ADDR, #SPI_CS
+        mov BR_DLO, #0
+        mov BR_CTRL, #2
+launch:
+        ljmp 0x1000
+
+rx:     jnb ri, rx
+        clr ri
+        mov a, sbuf
+        ret
+spix:
+        mov BR_ADDR, #SPI_DAT
+        mov BR_DLO, a
+        mov BR_CTRL, #2
+        ret
+spird:
+        mov BR_ADDR, #SPI_DAT
+        mov BR_DLO, #0
+        mov BR_CTRL, #2
+        mov BR_CTRL, #1
+        mov a, BR_DLO
+        ret
+";
+
+/// Assembles the channel auto-detecting boot loader.
+///
+/// # Errors
+///
+/// Same contract as [`monitor_image`].
+pub fn autodetect_boot_image() -> Result<Vec<u8>, AsmError> {
+    assemble(AUTODETECT_BOOT)
+}
+
+/// Assembles the monitor firmware.
+///
+/// # Errors
+///
+/// Returns the assembler error (should not happen for the built-in source;
+/// exposed for callers assembling modified variants).
+pub fn monitor_image() -> Result<Vec<u8>, AsmError> {
+    assemble(MONITOR)
+}
+
+/// Assembles the UART boot loader.
+///
+/// # Errors
+///
+/// Same contract as [`monitor_image`].
+pub fn uart_boot_image() -> Result<Vec<u8>, AsmError> {
+    assemble(UART_BOOT)
+}
+
+/// Assembles the EEPROM boot loader.
+///
+/// # Errors
+///
+/// Same contract as [`monitor_image`].
+pub fn eeprom_boot_image() -> Result<Vec<u8>, AsmError> {
+    assemble(EEPROM_BOOT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registers::{shared_dsp_regs, DspReg, DspRegsBus16};
+    use ascp_mcu8051::cpu::Cpu;
+    use ascp_mcu8051::periph::{Bus16Device, SpiEeprom, SystemBus};
+
+    fn monitor_setup() -> (Cpu, SystemBus, crate::registers::SharedDspRegs) {
+        let regs = shared_dsp_regs();
+        let mut bus = SystemBus::new();
+        bus.dsp = Some(Box::new(DspRegsBus16(regs.clone())));
+        let mut cpu = Cpu::new();
+        cpu.load_code(&monitor_image().expect("monitor assembles"));
+        (cpu, bus, regs)
+    }
+
+    #[test]
+    fn all_firmware_assembles() {
+        assert!(!monitor_image().unwrap().is_empty());
+        assert!(!uart_boot_image().unwrap().is_empty());
+        assert!(!eeprom_boot_image().unwrap().is_empty());
+    }
+
+    #[test]
+    fn monitor_streams_frames_with_status_and_rate() {
+        let (mut cpu, mut bus, regs) = monitor_setup();
+        regs.borrow_mut().set(DspReg::Status, 0b0101);
+        regs.borrow_mut().set(DspReg::RateOut, 0x1234);
+        cpu.run_cycles(200_000, &mut bus);
+        let tx = cpu.uart_take_tx();
+        // Find a complete frame.
+        let pos = tx
+            .windows(4)
+            .position(|w| w[0] == FRAME_HEADER && w[1] == 0b0101)
+            .expect("frame found");
+        assert_eq!(tx[pos + 2], 0x34);
+        assert_eq!(tx[pos + 3], 0x12);
+    }
+
+    #[test]
+    fn monitor_mirrors_lock_on_p1() {
+        let (mut cpu, mut bus, regs) = monitor_setup();
+        regs.borrow_mut().set(DspReg::Status, 0b0001);
+        cpu.run_cycles(100_000, &mut bus);
+        assert_eq!(cpu.sfr(0x90) & 1, 1, "P1.0 should be set when locked");
+        regs.borrow_mut().set(DspReg::Status, 0b0000);
+        cpu.run_cycles(100_000, &mut bus);
+        assert_eq!(cpu.sfr(0x90) & 1, 0, "P1.0 should clear when unlocked");
+    }
+
+    #[test]
+    fn monitor_kicks_watchdog() {
+        let (mut cpu, mut bus, _regs) = monitor_setup();
+        // Arm the watchdog with a period shorter than the sim run but far
+        // longer than one monitor loop.
+        bus.watchdog.write16(1, 30_000);
+        bus.watchdog.write16(0, 1);
+        for _ in 0..50_000 {
+            let c = cpu.step(&mut bus);
+            bus.watchdog.tick(c);
+        }
+        assert!(!bus.watchdog.expired(), "watchdog starved");
+    }
+
+    #[test]
+    fn watchdog_bites_if_monitor_halts() {
+        let (mut cpu, mut bus, _regs) = monitor_setup();
+        bus.watchdog.write16(1, 30_000);
+        bus.watchdog.write16(0, 1);
+        // Replace code with a dead loop: no kicks.
+        cpu.load_code(&ascp_mcu8051::asm::assemble("dead: sjmp dead\n").unwrap());
+        for _ in 0..50_000 {
+            let c = cpu.step(&mut bus);
+            bus.watchdog.tick(c);
+        }
+        assert!(bus.watchdog.expired(), "watchdog should bite");
+    }
+
+    #[test]
+    fn uart_boot_downloads_and_launches() {
+        // Payload: set P1 = 0xAA then spin.
+        let payload = ascp_mcu8051::asm::assemble("org 0x1000\nmov p1, #0xaa\nspin: sjmp spin\n")
+            .unwrap();
+        let body = &payload[0x1000..];
+        let mut cpu = Cpu::new();
+        cpu.load_code(&uart_boot_image().unwrap());
+        let mut bus = SystemBus::new();
+        cpu.uart_inject_rx(body.len() as u8);
+        cpu.uart_inject_rx((body.len() >> 8) as u8);
+        for &b in body {
+            cpu.uart_inject_rx(b);
+        }
+        for _ in 0..400_000 {
+            cpu.step(&mut bus);
+            // Apply cache-controller writes to program memory, as the
+            // platform glue does.
+            for (addr, byte) in bus.cache.take_writes() {
+                cpu.code_write(addr, byte);
+            }
+            if cpu.sfr(0x90) == 0xaa {
+                break;
+            }
+        }
+        assert_eq!(cpu.sfr(0x90), 0xaa, "downloaded program did not run");
+    }
+
+    #[test]
+    fn eeprom_boot_loads_from_spi() {
+        let payload =
+            ascp_mcu8051::asm::assemble("org 0x1000\nmov p1, #0x77\nspin: sjmp spin\n").unwrap();
+        let body = &payload[0x1000..];
+        let mut image = vec![body.len() as u8, (body.len() >> 8) as u8];
+        image.extend_from_slice(body);
+        let mut rom = SpiEeprom::new(4096);
+        rom.load(&image);
+        let mut bus = SystemBus::new();
+        bus.spi.attach(Box::new(rom));
+        let mut cpu = Cpu::new();
+        cpu.load_code(&eeprom_boot_image().unwrap());
+        for _ in 0..400_000 {
+            cpu.step(&mut bus);
+            for (addr, byte) in bus.cache.take_writes() {
+                cpu.code_write(addr, byte);
+            }
+            if cpu.sfr(0x90) == 0x77 {
+                break;
+            }
+        }
+        assert_eq!(cpu.sfr(0x90), 0x77, "EEPROM boot failed");
+    }
+}
+
+#[cfg(test)]
+mod autodetect_tests {
+    use super::*;
+    use ascp_mcu8051::cpu::Cpu;
+    use ascp_mcu8051::periph::{SpiEeprom, SystemBus};
+
+    fn payload(marker: u8) -> Vec<u8> {
+        // OR the marker so the loader's channel flag (P1 high nibble)
+        // survives.
+        let src = format!("org 0x1000\norl p1, #{marker}\nspin: sjmp spin\n");
+        ascp_mcu8051::asm::assemble(&src).expect("payload assembles")[0x1000..].to_vec()
+    }
+
+    fn run_boot(cpu: &mut Cpu, bus: &mut SystemBus, marker: u8) -> bool {
+        for _ in 0..2_000_000 {
+            cpu.step(bus);
+            for (addr, byte) in bus.cache.take_writes() {
+                cpu.code_write(addr, byte);
+            }
+            if cpu.sfr(0x90) & 0x0f == marker & 0x0f {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn autodetect_assembles() {
+        assert!(!autodetect_boot_image().unwrap().is_empty());
+    }
+
+    #[test]
+    fn autodetect_picks_uart_when_bytes_arrive() {
+        let body = payload(0x04);
+        let mut cpu = Cpu::new();
+        cpu.load_code(&autodetect_boot_image().unwrap());
+        let mut bus = SystemBus::new();
+        cpu.uart_inject_rx(body.len() as u8);
+        cpu.uart_inject_rx((body.len() >> 8) as u8);
+        for &b in &body {
+            cpu.uart_inject_rx(b);
+        }
+        assert!(run_boot(&mut cpu, &mut bus, 0x04), "payload never ran");
+        assert_eq!(cpu.sfr(0x90) & 0x30, 0x10, "UART channel flag");
+    }
+
+    #[test]
+    fn autodetect_falls_back_to_eeprom() {
+        let body = payload(0x08);
+        let mut image = vec![body.len() as u8, (body.len() >> 8) as u8];
+        image.extend_from_slice(&body);
+        let mut rom = SpiEeprom::new(4096);
+        rom.load(&image);
+        let mut cpu = Cpu::new();
+        cpu.load_code(&autodetect_boot_image().unwrap());
+        let mut bus = SystemBus::new();
+        bus.spi.attach(Box::new(rom));
+        assert!(run_boot(&mut cpu, &mut bus, 0x08), "payload never ran");
+        assert_eq!(cpu.sfr(0x90) & 0x30, 0x20, "SPI channel flag");
+    }
+
+    #[test]
+    fn autodetect_keeps_probing_with_nothing_attached() {
+        let mut cpu = Cpu::new();
+        cpu.load_code(&autodetect_boot_image().unwrap());
+        let mut bus = SystemBus::new();
+        cpu.run_cycles(500_000, &mut bus);
+        // Still in the probe loop: P1 untouched (reset value), PC in the
+        // loader.
+        assert_eq!(cpu.sfr(0x90), 0xff);
+        assert!(cpu.pc() < 0x1000);
+    }
+}

@@ -1,0 +1,31 @@
+//! # ascp-core — the sensor-conditioning platform
+//!
+//! Reproduction of *Platform Based Design for Automotive Sensor
+//! Conditioning* (Fanucci et al., DATE 2005): a generic mixed-signal
+//! platform — minimal programmable analog front end, hardwired DSP chain,
+//! 8051 monitoring CPU, JTAG configuration — customized here for the
+//! paper's case study, a vibrating-ring yaw-rate gyroscope.
+//!
+//! Module map (one per design-flow stage):
+//!
+//! - [`system`] — float system model (the MATLAB stage; Fig. 5 source);
+//! - [`chain`] — the fixed-point conditioning chain (the RTL stage);
+//! - [`registers`] — platform register map (CPU bridge + JTAG views);
+//! - [`platform`] — the full mixed-signal platform co-simulation
+//!   (MEMS + AFE + DSP + CPU + JTAG; Fig. 6 and Table 1 source);
+//! - [`firmware`] — the monitoring/communication 8051 firmware;
+//! - [`verify`] — cross-level verification (system model vs platform);
+//! - [`characterize`] — datasheet measurement harness (Tables 1–3 rows);
+//! - [`baseline`] — behavioural models of the commercial comparators
+//!   (ADXRS300, Gyrostar);
+//! - [`report`] — digital-complexity accounting (the 200 kgate claim).
+pub mod baseline;
+pub mod chain;
+pub mod calibrate;
+pub mod characterize;
+pub mod firmware;
+pub mod platform;
+pub mod registers;
+pub mod report;
+pub mod system;
+pub mod verify;

@@ -1,0 +1,812 @@
+//! Full mixed-signal platform co-simulation.
+//!
+//! This is the paper's Fig. 2 instantiated for the gyro case study
+//! (§4.2): MEMS ring → charge amplifiers → anti-alias filters → PGAs →
+//! SAR ADCs → hardwired DSP chain → drive/rebalance/rate DACs → back to the
+//! MEMS electrodes, with the 8051 monitoring CPU on its bridge and the JTAG
+//! chain configuring the AFE. The multi-rate schedule mirrors the hardware:
+//! the gyro ODE integrates at `dsp_rate × analog_oversample` (the
+//! VHDL-AMS/analog solver), the DSP at `dsp_rate`, the CPU at its own
+//! 20 MHz/12 machine-cycle rate, and register synchronization at a slow
+//! monitoring cadence.
+
+use crate::chain::{ChainConfig, ChainDrive, ConditioningChain, SenseMode};
+use crate::firmware;
+use crate::registers::{
+    shared_afe_regs, shared_dsp_regs, AfeRegsJtag, DspRegsBus16, DspRegsJtag, SharedAfeRegs,
+    SharedDspRegs,
+};
+use ascp_afe::adc::{AdcConfig, SarAdc};
+use ascp_afe::amp::{ChargeAmplifier, Pga};
+use ascp_afe::dac::{Dac, DacConfig};
+use ascp_afe::filter::AntiAliasFilter;
+use ascp_afe::refs::VoltageReference;
+use ascp_afe::regs::AfeReg;
+use ascp_jtag::chain::JtagChain;
+use ascp_jtag::device::RegAccessDevice;
+use ascp_mcu8051::cpu::Cpu;
+use ascp_mcu8051::periph::SystemBus;
+use ascp_sim::trace::{Trace, TraceSet};
+use ascp_sim::units::{Celsius, DegPerSec, Hertz, Seconds, Volts};
+
+/// Platform build variant (paper §4.2): the 'ASIC' version boots monitor
+/// firmware from ROM; the 'prototype' version boots a UART down-loader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlatformVariant {
+    /// ROM-resident monitor firmware.
+    #[default]
+    Asic,
+    /// 1 KiB boot ROM + program download over UART.
+    Prototype,
+}
+
+/// Full platform configuration.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Sensor under conditioning.
+    pub gyro: ascp_mems::gyro::GyroParams,
+    /// DSP sample rate.
+    pub dsp_rate: Hertz,
+    /// Analog solver substeps per DSP sample.
+    pub analog_oversample: u32,
+    /// ADC settings (applied to both acquisition channels).
+    pub adc: AdcConfig,
+    /// Primary-drive DAC settings.
+    pub drive_dac: DacConfig,
+    /// Rebalance (force-feedback) DAC settings. Defaults to 16 bits: in
+    /// closed loop the feedback DAC's LSB bounds the rate resolution
+    /// (≈1.8 °/s/LSB at 12 bits), so the force path gets the finest DAC in
+    /// the IP portfolio.
+    pub rebalance_dac: DacConfig,
+    /// Rate-output DAC settings (2.5 V mid-scale, 5 mV/°/s at ±500 FS).
+    pub rate_dac: DacConfig,
+    /// Charge-amplifier gain, volts per displacement unit (both channels).
+    pub charge_gain: f64,
+    /// Secondary-channel PGA gain code (ladder index, ×2^code).
+    pub secondary_pga_code: u8,
+    /// Anti-alias corner (Hz).
+    pub aaf_corner: f64,
+    /// Sense-path mode.
+    pub mode: SenseMode,
+    /// Build variant.
+    pub variant: PlatformVariant,
+    /// Run the 8051 monitor in the loop.
+    pub cpu_enabled: bool,
+    /// Firmware override (defaults to the built-in monitor).
+    pub firmware: Option<Vec<u8>>,
+    /// Master noise seed.
+    pub seed: u64,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        Self {
+            gyro: ascp_mems::gyro::GyroParams::default(),
+            dsp_rate: Hertz(250_000.0),
+            analog_oversample: 4,
+            adc: AdcConfig::default(),
+            drive_dac: DacConfig::default(),
+            rebalance_dac: DacConfig {
+                bits: 16,
+                ..DacConfig::default()
+            },
+            rate_dac: DacConfig {
+                midscale: Volts(2.5),
+                ..DacConfig::default()
+            },
+            charge_gain: 4.0,
+            secondary_pga_code: 9,
+            aaf_corner: 30_000.0,
+            mode: SenseMode::OpenLoop,
+            variant: PlatformVariant::Asic,
+            cpu_enabled: true,
+            firmware: None,
+            seed: 0x9a7f_03e1,
+        }
+    }
+}
+
+impl PlatformConfig {
+    /// Validates cross-component consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        self.gyro.validate()?;
+        self.adc.validate()?;
+        self.drive_dac.validate()?;
+        self.rebalance_dac.validate()?;
+        self.rate_dac.validate()?;
+        if !(self.dsp_rate.0 > 0.0) {
+            return Err("dsp_rate must be positive".into());
+        }
+        if self.analog_oversample == 0 {
+            return Err("analog_oversample must be non-zero".into());
+        }
+        if self.charge_gain <= 0.0 {
+            return Err("charge_gain must be positive".into());
+        }
+        if usize::from(self.secondary_pga_code) >= Pga::GAIN_LADDER.len() {
+            return Err(format!(
+                "secondary_pga_code {} outside the gain ladder",
+                self.secondary_pga_code
+            ));
+        }
+        Ok(())
+    }
+
+    /// Design-time dimensioning: the open-loop gain from demodulated Q15 to
+    /// rate-output Q15 (FS = ±500 °/s), derived from the component values —
+    /// the paper's MATLAB "sub-blocks dimensioning" step.
+    #[must_use]
+    pub fn open_loop_rate_gain(&self) -> f64 {
+        let gyro = ascp_mems::gyro::RingGyro::new(self.gyro);
+        let mech = gyro.open_loop_scale(); // displacement per °/s
+        let pga = Pga::GAIN_LADDER[self.secondary_pga_code as usize];
+        let per_dps = mech * self.charge_gain / self.adc.vref.0 * pga;
+        (1.0 / 500.0) / per_dps
+    }
+
+    /// Closed-loop dimensioning: °/s per unit rebalance command, scaled to
+    /// the ±500 °/s output format.
+    #[must_use]
+    pub fn closed_loop_rate_gain(&self) -> f64 {
+        let w = self.gyro.f0.angular();
+        let force_per_dps = 2.0
+            * self.gyro.angular_gain
+            * 1f64.to_radians()
+            * w
+            * self.gyro.nominal_amplitude;
+        let dps_per_cmd = self.gyro.force_scale / force_per_dps;
+        dps_per_cmd / 500.0
+    }
+}
+
+/// JTAG chain indices of the platform's TAPs.
+pub mod taps {
+    /// The AFE configuration bank.
+    pub const AFE: usize = 0;
+    /// The DSP status/control bank.
+    pub const DSP: usize = 1;
+}
+
+/// The full platform.
+pub struct Platform {
+    config: PlatformConfig,
+    gyro: ascp_mems::gyro::RingGyro,
+    charge_pri: ChargeAmplifier,
+    charge_sec: ChargeAmplifier,
+    aaf_pri: AntiAliasFilter,
+    aaf_sec: AntiAliasFilter,
+    pga_pri: Pga,
+    pga_sec: Pga,
+    adc_pri: SarAdc,
+    adc_sec: SarAdc,
+    drive_dac: Dac,
+    rebalance_dac: Dac,
+    rate_dac: Dac,
+    vref: VoltageReference,
+    chain: ConditioningChain,
+    dsp_regs: SharedDspRegs,
+    afe_regs: SharedAfeRegs,
+    jtag: JtagChain,
+    cpu: Cpu,
+    bus: SystemBus,
+    cpu_cycle_debt: f64,
+    /// Held drive forces between DAC updates (DAC units, ±1).
+    drive_force: f64,
+    rebalance_force: f64,
+    tick: u64,
+    temperature: Celsius,
+    watchdog_resets: u32,
+}
+
+impl std::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Platform")
+            .field("tick", &self.tick)
+            .field("temperature", &self.temperature)
+            .field("mode", &self.chain.mode())
+            .field("locked", &self.chain.is_locked())
+            .finish()
+    }
+}
+
+impl Platform {
+    /// Builds and wires the whole platform at 25 °C, zero rate, at rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(config: PlatformConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid platform config: {e}");
+        }
+        let seed = config.seed;
+        let gyro = ascp_mems::gyro::RingGyro::new(config.gyro);
+
+        // Chain dimensioned from the component values.
+        let mut chain_cfg = ChainConfig::default();
+        chain_cfg.pll.sample_rate = config.dsp_rate.0;
+        chain_cfg.pll.center_freq = config.gyro.f0.0;
+        chain_cfg.agc.sample_rate = config.dsp_rate.0;
+        chain_cfg.agc.setpoint =
+            config.gyro.nominal_amplitude * config.charge_gain / config.adc.vref.0;
+        chain_cfg.mode = config.mode;
+        chain_cfg.rate_gain = config.open_loop_rate_gain();
+        chain_cfg.rebalance_rate_gain = config.closed_loop_rate_gain();
+        // Phase-compensate the force-feedback path: one DSP tick of
+        // pipeline plus half a tick of DAC hold at the carrier frequency.
+        chain_cfg.rebalance_phase_rad =
+            -2.0 * std::f64::consts::PI * config.gyro.f0.0 * 1.5 / config.dsp_rate.0;
+        let chain = ConditioningChain::new(chain_cfg);
+
+        let dsp_regs = shared_dsp_regs();
+        let afe_regs = shared_afe_regs();
+        {
+            let mut afe = afe_regs.borrow_mut();
+            afe.write(AfeReg::PgaSecondaryGain, u16::from(config.secondary_pga_code))
+                .expect("valid gain code");
+            afe.write(AfeReg::AdcBits, config.adc.bits as u16)
+                .expect("valid ADC bits");
+        }
+
+        // JTAG chain over both register banks (device 0 nearest TDO).
+        let jtag = JtagChain::new(vec![
+            Box::new(RegAccessDevice::new(0x0a5c_0af1, AfeRegsJtag(afe_regs.clone()))),
+            Box::new(RegAccessDevice::new(0x0a5c_0d51, DspRegsJtag(dsp_regs.clone()))),
+        ]);
+
+        // CPU subsystem.
+        let mut bus = SystemBus::new();
+        bus.dsp = Some(Box::new(DspRegsBus16(dsp_regs.clone())));
+        let mut cpu = Cpu::new();
+        let image = config.firmware.clone().unwrap_or_else(|| {
+            match config.variant {
+                PlatformVariant::Asic => firmware::monitor_image(),
+                PlatformVariant::Prototype => firmware::uart_boot_image(),
+            }
+            .expect("built-in firmware assembles")
+        });
+        cpu.load_code(&image);
+
+        let mut platform = Self {
+            gyro,
+            charge_pri: ChargeAmplifier::new(config.charge_gain, 50.0e-6, seed ^ 0x11),
+            charge_sec: ChargeAmplifier::new(config.charge_gain, 50.0e-6, seed ^ 0x22),
+            aaf_pri: AntiAliasFilter::butterworth(config.aaf_corner),
+            aaf_sec: AntiAliasFilter::butterworth(config.aaf_corner),
+            pga_pri: Pga::new(200_000.0, 100.0e-6, 2.0e-6, 20.0e-6, seed ^ 0x33),
+            pga_sec: Pga::new(200_000.0, 100.0e-6, 2.0e-6, 20.0e-6, seed ^ 0x44),
+            adc_pri: SarAdc::new(AdcConfig {
+                seed: seed ^ 0x55,
+                ..config.adc
+            }),
+            adc_sec: SarAdc::new(AdcConfig {
+                seed: seed ^ 0x66,
+                ..config.adc
+            }),
+            drive_dac: Dac::new(DacConfig {
+                seed: seed ^ 0x77,
+                ..config.drive_dac
+            }),
+            rebalance_dac: Dac::new(DacConfig {
+                seed: seed ^ 0x88,
+                ..config.rebalance_dac
+            }),
+            rate_dac: Dac::new(DacConfig {
+                seed: seed ^ 0x99,
+                ..config.rate_dac
+            }),
+            vref: VoltageReference::bandgap_2v5(seed ^ 0xaa),
+            chain,
+            dsp_regs,
+            afe_regs,
+            jtag,
+            cpu,
+            bus,
+            cpu_cycle_debt: 0.0,
+            drive_force: 0.0,
+            rebalance_force: 0.0,
+            tick: 0,
+            temperature: Celsius(25.0),
+            watchdog_resets: 0,
+            config,
+        };
+        platform.apply_afe_registers();
+        platform
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// Applies a yaw rate stimulus.
+    pub fn set_rate(&mut self, rate: DegPerSec) {
+        self.gyro.set_rate(rate);
+    }
+
+    /// Applied yaw rate.
+    #[must_use]
+    pub fn rate(&self) -> DegPerSec {
+        self.gyro.rate()
+    }
+
+    /// Sets ambient temperature across sensor and AFE.
+    pub fn set_temperature(&mut self, t: Celsius) {
+        self.temperature = t;
+        self.gyro.set_temperature(t);
+        self.pga_pri.set_temperature(t);
+        self.pga_sec.set_temperature(t);
+        self.vref.set_temperature(t);
+        self.afe_regs.borrow_mut().set_temp_sensor(t.0);
+        // The chain reads the (quantized) sensor register, as hardware does.
+        let sensed = self.afe_regs.borrow().temp_celsius();
+        self.chain.set_temperature(sensed);
+    }
+
+    /// Current ambient temperature.
+    #[must_use]
+    pub fn temperature(&self) -> Celsius {
+        self.temperature
+    }
+
+    /// The conditioning chain (status inspection).
+    #[must_use]
+    pub fn chain(&self) -> &ConditioningChain {
+        &self.chain
+    }
+
+    /// Mutable chain access (calibration installs compensators here).
+    pub fn chain_mut(&mut self) -> &mut ConditioningChain {
+        &mut self.chain
+    }
+
+    /// The JTAG chain (AFE/DSP configuration and read-back).
+    pub fn jtag_mut(&mut self) -> &mut JtagChain {
+        &mut self.jtag
+    }
+
+    /// Shared DSP register handle (host-side monitoring).
+    #[must_use]
+    pub fn dsp_regs(&self) -> SharedDspRegs {
+        self.dsp_regs.clone()
+    }
+
+    /// Shared AFE register handle.
+    #[must_use]
+    pub fn afe_regs(&self) -> SharedAfeRegs {
+        self.afe_regs.clone()
+    }
+
+    /// The monitor CPU.
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.cpu
+    }
+
+    /// The CPU's peripheral bus (SPI/EEPROM/SRAM access).
+    pub fn bus_mut(&mut self) -> &mut SystemBus {
+        &mut self.bus
+    }
+
+    /// Rate output voltage (the datasheet-characterized analog output).
+    #[must_use]
+    pub fn rate_output(&self) -> Volts {
+        self.rate_dac.held()
+    }
+
+    /// Rate output decoded to °/s using the nominal 5 mV/°/s, 2.5 V-null
+    /// transfer (what a customer's ECU would compute).
+    #[must_use]
+    pub fn rate_output_dps(&self) -> f64 {
+        (self.rate_output().0 - self.config.rate_dac.midscale.0) / 0.005
+    }
+
+    /// Watchdog-triggered CPU resets observed so far.
+    #[must_use]
+    pub fn watchdog_resets(&self) -> u32 {
+        self.watchdog_resets
+    }
+
+    /// Number of DSP ticks executed.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+
+    /// Simulated time (s).
+    #[must_use]
+    pub fn time(&self) -> f64 {
+        self.tick as f64 / self.config.dsp_rate.0
+    }
+
+    /// Applies the AFE register bank to the analog components (the
+    /// digital-control path of the paper's programmable front end).
+    fn apply_afe_registers(&mut self) {
+        let afe = self.afe_regs.borrow();
+        let sec_code = afe.read(AfeReg::PgaSecondaryGain) as u8;
+        let pri_code = afe.read(AfeReg::PgaPrimaryGain) as u8;
+        let corner = f64::from(afe.read(AfeReg::AafCorner)) * 100.0;
+        let bits = u32::from(afe.read(AfeReg::AdcBits));
+        drop(afe);
+        self.pga_sec.set_gain_code(sec_code);
+        self.pga_pri.set_gain_code(pri_code);
+        if (self.aaf_pri.corner() - corner).abs() > 0.5 {
+            self.aaf_pri.set_corner(corner);
+            self.aaf_sec.set_corner(corner);
+        }
+        if bits != self.adc_pri.config().bits {
+            let cfg = AdcConfig {
+                bits,
+                ..*self.adc_pri.config()
+            };
+            self.adc_pri = SarAdc::new(cfg);
+            self.adc_sec = SarAdc::new(AdcConfig {
+                seed: cfg.seed ^ 0x1,
+                ..cfg
+            });
+        }
+    }
+
+    /// Advances one DSP tick (analog substeps + conversion + chain + DACs +
+    /// CPU slice). Returns the chain drive outputs of this tick.
+    pub fn step(&mut self) -> ChainDrive {
+        let dsp_dt = 1.0 / self.config.dsp_rate.0;
+        let sub = self.config.analog_oversample;
+        let sub_dt = dsp_dt / f64::from(sub);
+
+        // Analog solver substeps with held DAC outputs.
+        let mut v_pri = Volts(0.0);
+        let mut v_sec = Volts(0.0);
+        for _ in 0..sub {
+            let pick = self
+                .gyro
+                .step(self.drive_force, self.rebalance_force, sub_dt);
+            v_pri = self.aaf_pri.process(self.charge_pri.convert(pick.primary), sub_dt);
+            v_sec = self.aaf_sec.process(self.charge_sec.convert(pick.secondary), sub_dt);
+        }
+
+        // Acquisition at the DSP rate.
+        let pri_amp = self.pga_pri.process(v_pri, dsp_dt);
+        let sec_amp = self.pga_sec.process(v_sec, dsp_dt);
+        let pri_q = self.adc_pri.convert_q15(pri_amp);
+        let sec_q = self.adc_sec.convert_q15(sec_amp);
+
+        // Hardwired DSP.
+        let drive = self.chain.process(pri_q, sec_q);
+
+        // Drive DACs (forces normalized to DAC full scale).
+        let vref = self.config.drive_dac.vref.0;
+        self.drive_force = self.drive_dac.write_q15(drive.primary).0 / vref;
+        self.rebalance_force = self.rebalance_dac.write_q15(drive.secondary).0 / vref;
+        self.rate_dac.write_q15(drive.rate_out);
+
+        // Real-time SRAM capture of the rate stream (prototype analysis).
+        self.bus.sram.capture(drive.rate_out.raw().clamp(-32768, 32767) as i16 as u16);
+
+        // CPU slice: 20 MHz / 12 machine cycles per second.
+        if self.config.cpu_enabled {
+            self.cpu_cycle_debt += 20.0e6 / 12.0 * dsp_dt;
+            while self.cpu_cycle_debt >= 1.0 {
+                let spent = self.cpu.step(&mut self.bus);
+                self.cpu_cycle_debt -= f64::from(spent);
+                if self.bus.watchdog.tick(spent) {
+                    // Safety reset: restart the firmware.
+                    self.cpu.reset();
+                    self.watchdog_resets += 1;
+                }
+            }
+            for (addr, byte) in self.bus.cache.take_writes() {
+                self.cpu.code_write(addr, byte);
+            }
+        }
+
+        self.tick += 1;
+        // Slow monitoring cadence: registers + AFE application at 1 kHz.
+        if self.tick.is_multiple_of((self.config.dsp_rate.0 as u64 / 1000).max(1)) {
+            self.chain.sync_registers(&self.dsp_regs);
+            self.apply_afe_registers();
+        }
+        drive
+    }
+
+    /// Runs for `seconds` of simulated time.
+    pub fn run(&mut self, seconds: f64) {
+        let ticks = (seconds * self.config.dsp_rate.0) as u64;
+        for _ in 0..ticks {
+            self.step();
+        }
+    }
+
+    /// Runs until PLL lock and AGC settling, returning the turn-on time, or
+    /// `None` if `timeout` seconds pass first. This is the Table 1
+    /// "turn-on time" measurement.
+    pub fn wait_for_ready(&mut self, timeout: f64) -> Option<Seconds> {
+        let ticks = (timeout * self.config.dsp_rate.0) as u64;
+        let mut settled_streak = 0u32;
+        for _ in 0..ticks {
+            self.step();
+            if self.chain.is_locked() && self.chain.is_settled() {
+                settled_streak += 1;
+                // Hold for 10 ms before declaring ready.
+                if settled_streak >= (0.01 * self.config.dsp_rate.0) as u32 {
+                    return Some(Seconds(self.time()));
+                }
+            } else {
+                settled_streak = 0;
+            }
+        }
+        None
+    }
+
+    /// Runs for `seconds` recording the Fig. 6 traces (measured PLL/AGC
+    /// waveforms at the monitoring cadence), decimated by `trace_div`.
+    pub fn run_traces(&mut self, seconds: f64, trace_div: u32) -> TraceSet {
+        let div = trace_div.max(1);
+        let mut amplitude_control = Trace::with_decimation("amplitude_control", div);
+        let mut phase_error = Trace::with_decimation("phase_error", div);
+        let mut amplitude_error = Trace::with_decimation("amplitude_error", div);
+        let mut vco_control = Trace::with_decimation("vco_control", div);
+        let mut rate_out = Trace::with_decimation("rate_out_volts", div);
+        let ticks = (seconds * self.config.dsp_rate.0) as u64;
+        for _ in 0..ticks {
+            self.step();
+            // Sample the observable signals every 50 ticks (the chain's
+            // control-update cadence).
+            if self.tick.is_multiple_of(50) {
+                let t = self.time();
+                amplitude_control.push(t, self.chain.drive());
+                phase_error.push(t, self.chain.phase_error());
+                amplitude_error
+                    .push(t, self.chain.config().agc.setpoint - self.chain.envelope());
+                vco_control.push(
+                    t,
+                    (self.chain.frequency() - self.config.gyro.f0.0)
+                        / (self.config.gyro.f0.0 * 0.1),
+                );
+                rate_out.push(t, self.rate_output().0);
+            }
+        }
+        TraceSet::new(vec![
+            amplitude_control,
+            phase_error,
+            amplitude_error,
+            vco_control,
+            rate_out,
+        ])
+    }
+
+    /// Collects `n` steady-state rate-output samples (°/s, decoded from the
+    /// output DAC) at the demodulated rate, after discarding `settle`
+    /// seconds.
+    pub fn sample_rate_output(&mut self, settle: f64, n: usize) -> Vec<f64> {
+        self.run(settle);
+        let decim = self.chain.config().demod_decimation as u64;
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            self.step();
+            if self.tick.is_multiple_of(decim) {
+                out.push(self.rate_output_dps());
+            }
+        }
+        out
+    }
+}
+
+impl Platform {
+    /// Power-on reset: sensor motion stops, every loop restarts, the CPU
+    /// reboots. Models a cold start for turn-on-time measurements.
+    pub fn power_on_reset(&mut self) {
+        self.gyro.reset();
+        self.chain.reset();
+        self.drive_force = 0.0;
+        self.rebalance_force = 0.0;
+        self.aaf_pri.reset();
+        self.aaf_sec.reset();
+        self.pga_pri.reset();
+        self.pga_sec.reset();
+        self.cpu.reset();
+        self.tick = 0;
+        self.cpu_cycle_debt = 0.0;
+    }
+}
+
+impl crate::characterize::RateSensor for Platform {
+    fn name(&self) -> &str {
+        "SensorDynamics ASCP (this work)"
+    }
+
+    fn set_rate(&mut self, rate: DegPerSec) {
+        Platform::set_rate(self, rate);
+    }
+
+    fn set_temperature(&mut self, t: Celsius) {
+        Platform::set_temperature(self, t);
+    }
+
+    fn turn_on(&mut self, timeout: f64) -> Option<Seconds> {
+        self.power_on_reset();
+        self.wait_for_ready(timeout)
+    }
+
+    fn sample_output(&mut self, settle: f64, n: usize) -> Vec<f64> {
+        self.run(settle);
+        let decim = u64::from(self.chain.config().demod_decimation);
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            self.step();
+            if self.tick.is_multiple_of(decim) {
+                out.push(self.rate_output().0);
+            }
+        }
+        out
+    }
+
+    fn output_sample_rate(&self) -> f64 {
+        self.config.dsp_rate.0 / f64::from(self.chain.config().demod_decimation)
+    }
+
+    fn sample_output_modulated(
+        &mut self,
+        freq: f64,
+        amp: DegPerSec,
+        settle: f64,
+        n: usize,
+    ) -> Vec<f64> {
+        let w = 2.0 * std::f64::consts::PI * freq;
+        let decim = u64::from(self.chain.config().demod_decimation);
+        let dsp_rate = self.config.dsp_rate.0;
+        let mut out = Vec::with_capacity(n);
+        let settle_ticks = (settle * dsp_rate) as u64;
+        let mut k = 0u64;
+        while out.len() < n {
+            let t = k as f64 / dsp_rate;
+            self.gyro.set_rate(DegPerSec(amp.0 * (w * t).sin()));
+            self.step();
+            if k >= settle_ticks && self.tick.is_multiple_of(decim) {
+                out.push(self.rate_output().0);
+            }
+            k += 1;
+        }
+        self.gyro.set_rate(DegPerSec(0.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascp_sim::stats;
+
+    fn quiet_config() -> PlatformConfig {
+        let mut c = PlatformConfig::default();
+        c.gyro.noise_density = 0.005;
+        c.cpu_enabled = false;
+        c
+    }
+
+    #[test]
+    fn platform_locks_and_reports_ready() {
+        let mut p = Platform::new(quiet_config());
+        let ready = p.wait_for_ready(2.0);
+        assert!(ready.is_some(), "platform never became ready");
+        let t = ready.expect("checked").0;
+        assert!(t > 0.05 && t < 1.5, "turn-on time {t} implausible");
+        assert!((p.chain().frequency() - 15_000.0).abs() < 20.0);
+    }
+
+    #[test]
+    fn rate_output_tracks_stimulus() {
+        let mut p = Platform::new(quiet_config());
+        p.wait_for_ready(2.0).expect("ready");
+        p.set_rate(DegPerSec(100.0));
+        let samples = p.sample_rate_output(0.4, 200);
+        let mean = stats::mean(&samples);
+        assert!(
+            (mean.abs() - 100.0).abs() < 10.0,
+            "rate output {mean} for 100 °/s"
+        );
+    }
+
+    #[test]
+    fn rate_output_sign_symmetry() {
+        let mut p = Platform::new(quiet_config());
+        p.wait_for_ready(2.0).expect("ready");
+        p.set_rate(DegPerSec(150.0));
+        let plus = stats::mean(&p.sample_rate_output(0.4, 100));
+        p.set_rate(DegPerSec(-150.0));
+        let minus = stats::mean(&p.sample_rate_output(0.4, 100));
+        assert!(plus * minus < 0.0, "no sign flip: {plus} / {minus}");
+        assert!(
+            ((plus + minus) / plus).abs() < 0.2,
+            "asymmetry: {plus} vs {minus}"
+        );
+    }
+
+    #[test]
+    fn null_output_near_midscale() {
+        let mut p = Platform::new(quiet_config());
+        p.wait_for_ready(2.0).expect("ready");
+        let samples = p.sample_rate_output(0.3, 100);
+        let null_v = 2.5 + stats::mean(&samples) * 0.005;
+        assert!((null_v - 2.5).abs() < 0.2, "null at {null_v} V");
+    }
+
+    #[test]
+    fn cpu_monitor_reports_lock_over_uart() {
+        let mut c = quiet_config();
+        c.cpu_enabled = true;
+        let mut p = Platform::new(c);
+        p.wait_for_ready(2.0).expect("ready");
+        // Discard frames transmitted before lock, then collect fresh ones.
+        p.cpu_mut().uart_take_tx();
+        p.run(0.05);
+        let tx = p.cpu_mut().uart_take_tx();
+        assert!(!tx.is_empty(), "no UART traffic");
+        let pos = tx
+            .iter()
+            .position(|&b| b == crate::firmware::FRAME_HEADER)
+            .expect("frame header");
+        assert!(tx.len() > pos + 1, "truncated frame");
+        assert_eq!(tx[pos + 1] & 0b01, 0b01, "status should report lock");
+    }
+
+    #[test]
+    fn jtag_reads_back_dsp_status() {
+        use ascp_jtag::device::{instructions, RegAccessDevice};
+        use crate::registers::DspRegsJtag;
+        let mut p = Platform::new(quiet_config());
+        p.wait_for_ready(2.0).expect("ready");
+        p.run(0.01);
+        let jtag = p.jtag_mut();
+        jtag.select(taps::DSP, instructions::REG_ACCESS).expect("select");
+        jtag.scan_dr(taps::DSP, RegAccessDevice::<DspRegsJtag>::pack_read(0))
+            .expect("read request");
+        let dr = jtag.scan_dr(taps::DSP, 0).expect("read data");
+        let status = RegAccessDevice::<DspRegsJtag>::unpack_data(dr);
+        assert_eq!(status & 0b01, 0b01, "JTAG status read: {status:#06x}");
+    }
+
+    #[test]
+    fn jtag_configures_pga_gain() {
+        use ascp_jtag::device::{instructions, RegAccessDevice};
+        use crate::registers::AfeRegsJtag;
+        let mut p = Platform::new(quiet_config());
+        let jtag = p.jtag_mut();
+        jtag.select(taps::AFE, instructions::REG_ACCESS).expect("select");
+        jtag.scan_dr(
+            taps::AFE,
+            RegAccessDevice::<AfeRegsJtag>::pack_write(AfeReg::PgaSecondaryGain.addr(), 7),
+        )
+        .expect("write");
+        // The platform applies AFE registers at the monitoring cadence.
+        p.run(0.002);
+        assert_eq!(p.pga_sec.gain_code(), 7);
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let mut c = PlatformConfig::default();
+        c.analog_oversample = 0;
+        assert!(c.validate().is_err());
+        c = PlatformConfig::default();
+        c.charge_gain = 0.0;
+        assert!(c.validate().is_err());
+        c = PlatformConfig::default();
+        c.secondary_pga_code = 12;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn dimensioning_produces_usable_gains() {
+        let c = PlatformConfig::default();
+        let g_open = c.open_loop_rate_gain();
+        assert!(g_open > 0.05 && g_open < 20.0, "open gain {g_open}");
+        let g_closed = c.closed_loop_rate_gain();
+        assert!(g_closed > 0.05 && g_closed < 50.0, "closed gain {g_closed}");
+    }
+}

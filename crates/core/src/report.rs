@@ -1,0 +1,322 @@
+//! Digital complexity accounting.
+//!
+//! The paper reports "the digital part of roughly 200 Kgates complexity ...
+//! implemented in a Xilinx X2S600E running a 20 MHz clock frequency"
+//! (§4.3). This module estimates gate-equivalents for the digital section
+//! from its structural parameters (datapath widths, filter lengths, memory
+//! sizes) using standard-cell rules of thumb, and budgets the 20 MHz cycle
+//! load — so the complexity claim can be regenerated and re-examined when
+//! platform knobs (taps, word lengths) change.
+
+use std::fmt;
+
+/// Gate-equivalents per storage/arithmetic primitive (2-input-NAND units,
+/// typical 0.35 µm standard-cell figures).
+pub mod cost {
+    /// One D flip-flop.
+    pub const FLIP_FLOP: f64 = 6.0;
+    /// One full adder bit.
+    pub const ADDER_BIT: f64 = 7.0;
+    /// One array-multiplier cell (per bit×bit).
+    pub const MULT_CELL: f64 = 1.1;
+    /// One 2:1 mux bit.
+    pub const MUX_BIT: f64 = 3.0;
+    /// One bit of on-chip RAM (synthesized/compiled, amortized).
+    pub const RAM_BIT: f64 = 1.5;
+    /// One bit of ROM.
+    pub const ROM_BIT: f64 = 0.25;
+    /// Random control logic per state bit of an FSM.
+    pub const FSM_STATE_BIT: f64 = 40.0;
+}
+
+/// One block's gate estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockEstimate {
+    /// Block name.
+    pub name: String,
+    /// Gate-equivalents of logic (excl. memory macros).
+    pub logic_gates: f64,
+    /// Memory bits (RAM + ROM), reported separately as hardware people do.
+    pub memory_bits: u64,
+}
+
+/// Structural parameters the estimate derives from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DigitalParams {
+    /// DSP sample word length (bits).
+    pub sample_bits: u32,
+    /// Coefficient word length (bits).
+    pub coeff_bits: u32,
+    /// Demodulator FIR taps (two channels).
+    pub fir_taps: u32,
+    /// CORDIC iterations.
+    pub cordic_iters: u32,
+    /// NCO phase-accumulator width.
+    pub nco_bits: u32,
+    /// NCO sine-table entries (quarter wave).
+    pub nco_table: u32,
+    /// Program ROM bytes.
+    pub rom_bytes: u32,
+    /// Program/data RAM bytes (on-chip).
+    pub ram_bytes: u32,
+    /// Capture SRAM bits (the 512 Kbit prototype SRAM is off-chip: 0 for
+    /// the ASIC estimate).
+    pub capture_sram_bits: u64,
+}
+
+impl Default for DigitalParams {
+    /// The platform as configured in this reproduction: 16-bit samples,
+    /// 32-bit coefficients, 2×101-tap demodulator FIR, 20-iteration CORDIC,
+    /// 32-bit NCO with a 1 K quarter-wave table, 16 KiB ROM + 1.25 KiB RAM
+    /// (the paper's 'ASIC' variant).
+    fn default() -> Self {
+        Self {
+            sample_bits: 16,
+            coeff_bits: 32,
+            fir_taps: 101,
+            cordic_iters: 20,
+            nco_bits: 32,
+            nco_table: 1024,
+            rom_bytes: 16 * 1024,
+            ram_bytes: 1280,
+            capture_sram_bits: 0,
+        }
+    }
+}
+
+/// Full digital-section estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Per-block entries.
+    pub blocks: Vec<BlockEstimate>,
+}
+
+impl GateReport {
+    /// Builds the estimate from structural parameters.
+    #[must_use]
+    pub fn estimate(p: &DigitalParams) -> Self {
+        use cost::*;
+        let sb = f64::from(p.sample_bits);
+        let cb = f64::from(p.coeff_bits);
+        let mut blocks = Vec::new();
+
+        // NCO: phase accumulator + quadrant logic; sine table as ROM.
+        blocks.push(BlockEstimate {
+            name: "NCO / DDS".into(),
+            logic_gates: f64::from(p.nco_bits) * (FLIP_FLOP + ADDER_BIT) + 200.0,
+            memory_bits: u64::from(p.nco_table) * 16,
+        });
+
+        // PLL: phase detector multiplier + averaging accumulator + PI.
+        blocks.push(BlockEstimate {
+            name: "PLL (PD + PI)".into(),
+            logic_gates: sb * sb * MULT_CELL          // phase detector
+                + 48.0 * (FLIP_FLOP + ADDER_BIT)      // averaging + integrator
+                + sb * cb * MULT_CELL,                // gain multiplier
+            memory_bits: 0,
+        });
+
+        // AGC: I/Q accumulate + PI controller (magnitude via shared CORDIC).
+        blocks.push(BlockEstimate {
+            name: "AGC".into(),
+            logic_gates: 2.0 * sb * sb * MULT_CELL + 64.0 * (FLIP_FLOP + ADDER_BIT),
+            memory_bits: 0,
+        });
+
+        // CORDIC: per iteration two shift-add datapaths + angle accumulator.
+        blocks.push(BlockEstimate {
+            name: "CORDIC".into(),
+            logic_gates: f64::from(p.cordic_iters) * 3.0 * 32.0 * (ADDER_BIT + MUX_BIT)
+                + 32.0 * FLIP_FLOP * 3.0,
+            memory_bits: u64::from(p.cordic_iters) * 32, // atan table
+        });
+
+        // Demodulator: 2 mixers + 2 FIR MAC engines (serial MAC: one
+        // multiplier + accumulator per channel, coefficient ROM, sample RAM).
+        blocks.push(BlockEstimate {
+            name: "Demodulator (2× FIR)".into(),
+            logic_gates: 2.0 * (sb * sb * MULT_CELL            // mixer
+                + sb * cb * MULT_CELL                          // MAC multiplier
+                + 64.0 * (ADDER_BIT + FLIP_FLOP)),             // accumulator
+            memory_bits: 2 * u64::from(p.fir_taps) * u64::from(p.coeff_bits)  // coeff ROM
+                + 2 * u64::from(p.fir_taps) * u64::from(p.sample_bits), // delay RAM
+        });
+
+        // Modulator + rebalance PI pair.
+        blocks.push(BlockEstimate {
+            name: "Modulator + rebalance PI".into(),
+            logic_gates: 2.0 * sb * sb * MULT_CELL + 2.0 * 48.0 * (FLIP_FLOP + ADDER_BIT),
+            memory_bits: 0,
+        });
+
+        // Compensation: Horner engine (one multiplier, shared) + coeff regs.
+        blocks.push(BlockEstimate {
+            name: "Temp/offset compensation".into(),
+            logic_gates: sb * cb * MULT_CELL + 6.0 * 32.0 * FLIP_FLOP,
+            memory_bits: 0,
+        });
+
+        // 8051 core (Oregano MC8051 synthesizes to ~12 kgates).
+        blocks.push(BlockEstimate {
+            name: "8051 CPU core".into(),
+            logic_gates: 12_000.0,
+            memory_bits: u64::from(p.ram_bytes) * 8,
+        });
+
+        // Program ROM.
+        blocks.push(BlockEstimate {
+            name: "Program ROM".into(),
+            logic_gates: 0.0,
+            memory_bits: u64::from(p.rom_bytes) * 8,
+        });
+
+        // Peripherals: UART, SPI, timers, watchdog, bridge, SRAM ctrl, JTAG.
+        blocks.push(BlockEstimate {
+            name: "Peripherals (UART/SPI/WDT/bridge/SRAM-ctrl/JTAG)".into(),
+            logic_gates: 7.0 * 16.0 * FSM_STATE_BIT + 400.0 * FLIP_FLOP,
+            memory_bits: p.capture_sram_bits,
+        });
+
+        Self { blocks }
+    }
+
+    /// Total logic gate-equivalents.
+    #[must_use]
+    pub fn logic_gates(&self) -> f64 {
+        self.blocks.iter().map(|b| b.logic_gates).sum()
+    }
+
+    /// Total memory bits.
+    #[must_use]
+    pub fn memory_bits(&self) -> u64 {
+        self.blocks.iter().map(|b| b.memory_bits).sum()
+    }
+
+    /// Combined figure counting memory at the RAM cost — comparable to the
+    /// paper's "roughly 200 Kgates" FPGA utilization figure, which includes
+    /// block-RAM-mapped memories.
+    #[must_use]
+    pub fn total_gate_equivalents(&self) -> f64 {
+        self.logic_gates() + self.memory_bits() as f64 * cost::RAM_BIT
+    }
+}
+
+impl fmt::Display for GateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Digital section complexity estimate")?;
+        writeln!(f, "  {:<48} {:>12} {:>12}", "block", "logic (GE)", "memory (bit)")?;
+        for b in &self.blocks {
+            writeln!(
+                f,
+                "  {:<48} {:>12.0} {:>12}",
+                b.name, b.logic_gates, b.memory_bits
+            )?;
+        }
+        writeln!(
+            f,
+            "  {:<48} {:>12.0} {:>12}",
+            "TOTAL",
+            self.logic_gates(),
+            self.memory_bits()
+        )?;
+        writeln!(
+            f,
+            "  gate equivalents incl. memory: {:.0} kGE (paper: ~200 kgates)",
+            self.total_gate_equivalents() / 1000.0
+        )
+    }
+}
+
+/// 20 MHz cycle budget of the digital section per DSP sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleBudget {
+    /// System clock (Hz).
+    pub clock_hz: f64,
+    /// DSP sample rate (Hz).
+    pub dsp_rate: f64,
+    /// Serial-MAC FIR taps that must complete per sample (both channels).
+    pub fir_taps: u32,
+    /// Other per-sample DSP operations (mixers, PI updates, CORDIC).
+    pub misc_ops: u32,
+}
+
+impl Default for CycleBudget {
+    fn default() -> Self {
+        Self {
+            clock_hz: 20.0e6,
+            dsp_rate: 250_000.0,
+            fir_taps: 2 * 101,
+            misc_ops: 60,
+        }
+    }
+}
+
+impl CycleBudget {
+    /// Clock cycles available per DSP sample.
+    #[must_use]
+    pub fn cycles_per_sample(&self) -> f64 {
+        self.clock_hz / self.dsp_rate
+    }
+
+    /// Cycles demanded per sample (1 MAC/cycle serial FIR + misc).
+    #[must_use]
+    pub fn cycles_demanded(&self) -> f64 {
+        f64::from(self.fir_taps) + f64::from(self.misc_ops)
+    }
+
+    /// Utilization fraction; must be ≤ 1 for the design to close timing at
+    /// the architecture level. With 80 cycles/sample available, the 2×101
+    /// serial FIR does NOT fit — exactly why the RTL uses polyphase
+    /// decimation: only every 25th output is computed, so the average load
+    /// is `taps/25 + misc`.
+    #[must_use]
+    pub fn utilization_polyphase(&self, decimation: u32) -> f64 {
+        (f64::from(self.fir_taps) / f64::from(decimation.max(1)) + f64::from(self.misc_ops))
+            / self.cycles_per_sample()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_estimate_lands_near_paper_figure() {
+        let report = GateReport::estimate(&DigitalParams::default());
+        let kge = report.total_gate_equivalents() / 1000.0;
+        assert!(
+            (120.0..320.0).contains(&kge),
+            "estimate {kge} kGE too far from the paper's ~200 kgates"
+        );
+    }
+
+    #[test]
+    fn fir_taps_dominate_incremental_memory() {
+        let base = GateReport::estimate(&DigitalParams::default());
+        let mut big = DigitalParams::default();
+        big.fir_taps = 201;
+        let bigger = GateReport::estimate(&big);
+        assert!(bigger.memory_bits() > base.memory_bits());
+        assert_eq!(bigger.logic_gates(), base.logic_gates());
+    }
+
+    #[test]
+    fn report_prints_all_blocks() {
+        let report = GateReport::estimate(&DigitalParams::default());
+        let text = report.to_string();
+        assert!(text.contains("8051 CPU core"));
+        assert!(text.contains("Demodulator"));
+        assert!(text.contains("TOTAL"));
+        assert!(text.contains("kGE"));
+    }
+
+    #[test]
+    fn cycle_budget_shows_polyphase_necessity() {
+        let b = CycleBudget::default();
+        assert_eq!(b.cycles_per_sample(), 80.0);
+        // Naive: 262 cycles demanded into 80 available — over budget.
+        assert!(b.cycles_demanded() > b.cycles_per_sample());
+        // Polyphase by 25: comfortably under.
+        assert!(b.utilization_polyphase(25) < 1.0);
+    }
+}

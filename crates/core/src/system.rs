@@ -1,0 +1,403 @@
+//! System-level floating-point model (the paper's MATLAB stage).
+//!
+//! "Our approach is initially based on the realization of a MATLAB model
+//! for the system at the highest abstraction level, which is made of a set
+//! of functional blocks with no distinction between analog/digital sections
+//! and software" (§2). This module is that model: the gyro ODE co-simulated
+//! with an idealized float conditioning loop — PLL, AGC, I/Q demodulation —
+//! with no quantization, no analog nonidealities and no CPU.
+//!
+//! Its jobs, as in the paper:
+//! 1. design-space exploration (loop gains, filter corners, AGC setpoint);
+//! 2. producing the Fig. 5 reference waveforms (`PLL locking (MATLAB)`);
+//! 3. serving as the golden reference the fixed-point platform is verified
+//!    against (Fig. 1's verification arrows; see [`crate::verify`]).
+
+use ascp_mems::gyro::{GyroParams, RingGyro};
+use ascp_sim::trace::{Trace, TraceSet};
+use ascp_sim::units::{Celsius, DegPerSec, Hertz};
+
+/// Configuration of the float system model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemModelConfig {
+    /// Gyro under conditioning.
+    pub gyro: GyroParams,
+    /// Solver/sample rate (single-rate in the float model).
+    pub sample_rate: Hertz,
+    /// PLL proportional gain (Hz per unit phase-detector output).
+    pub pll_kp: f64,
+    /// PLL integral gain (Hz/s per unit).
+    pub pll_ki: f64,
+    /// AGC target drive amplitude (normalized displacement units).
+    pub agc_setpoint: f64,
+    /// AGC proportional gain.
+    pub agc_kp: f64,
+    /// AGC integral gain (1/s).
+    pub agc_ki: f64,
+    /// Demodulator lowpass corner (Hz).
+    pub demod_corner: Hertz,
+    /// Loop-update decimation (control loops run every N samples).
+    pub control_div: u32,
+    /// Analog (gyro ODE) substeps per DSP sample. RK4 needs ≥60 points per
+    /// carrier period for a Q≈5000 resonator; 4× over 250 kHz gives 1 MHz.
+    pub oversample: u32,
+}
+
+impl Default for SystemModelConfig {
+    fn default() -> Self {
+        Self {
+            gyro: GyroParams::default(),
+            sample_rate: Hertz(250_000.0),
+            pll_kp: 800.0,
+            pll_ki: 60_000.0,
+            agc_setpoint: 0.5,
+            agc_kp: 0.2,
+            agc_ki: 60.0,
+            demod_corner: Hertz(400.0),
+            // 50 samples at 250 kHz = exactly three 15 kHz carrier periods,
+            // so the phase/envelope averages carry no 2ω ripple at nominal.
+            control_div: 50,
+            oversample: 4,
+        }
+    }
+}
+
+/// One control-rate snapshot of the model's observable signals — the five
+/// traces of the paper's Fig. 5 plus the rate outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SystemSnapshot {
+    /// Time (s).
+    pub t: f64,
+    /// Amplitude control (AGC drive command) — Fig. 5 trace 1.
+    pub amplitude_control: f64,
+    /// Phase error (phase-detector average) — Fig. 5 trace 2.
+    pub phase_error: f64,
+    /// Amplitude error (setpoint − envelope) — Fig. 5 trace 3.
+    pub amplitude_error: f64,
+    /// VCO control (NCO frequency offset, normalized) — Fig. 5 trace 4.
+    pub vco_control: f64,
+    /// Demodulated in-phase (rate) channel, °/s after scaling.
+    pub rate: f64,
+    /// Demodulated quadrature channel, °/s equivalent.
+    pub quadrature: f64,
+}
+
+/// The floating-point system model.
+#[derive(Debug, Clone)]
+pub struct SystemModel {
+    config: SystemModelConfig,
+    gyro: RingGyro,
+    // PLL state
+    nco_phase: f64,
+    nco_freq: f64,
+    pll_integrator: f64,
+    pd_acc: f64,
+    // AGC state
+    agc_i_acc: f64,
+    agc_q_acc: f64,
+    agc_integrator: f64,
+    drive_amp: f64,
+    // demod state (one-pole lowpass per channel)
+    demod_i: f64,
+    demod_q: f64,
+    // bookkeeping
+    tick: u64,
+    snapshot: SystemSnapshot,
+    /// Rate scaling: demod-I units per °/s (set from the gyro's analytic
+    /// open-loop scale at build time — the "dimensioning" step).
+    rate_scale: f64,
+}
+
+impl SystemModel {
+    /// Builds the model at 25 °C, zero rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gyro parameters are invalid or rates are non-positive.
+    #[must_use]
+    pub fn new(config: SystemModelConfig) -> Self {
+        assert!(config.sample_rate.0 > 0.0, "sample rate must be positive");
+        assert!(config.control_div > 0, "control divider must be non-zero");
+        assert!(config.oversample > 0, "oversample must be non-zero");
+        let gyro = RingGyro::new(config.gyro);
+        let rate_scale = gyro.open_loop_scale();
+        let nco_freq = config.gyro.f0.0;
+        Self {
+            config,
+            gyro,
+            nco_phase: 0.0,
+            nco_freq,
+            pll_integrator: 0.0,
+            pd_acc: 0.0,
+            agc_i_acc: 0.0,
+            agc_q_acc: 0.0,
+            agc_integrator: 0.0,
+            drive_amp: 0.0,
+            demod_i: 0.0,
+            demod_q: 0.0,
+            tick: 0,
+            snapshot: SystemSnapshot::default(),
+            rate_scale,
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &SystemModelConfig {
+        &self.config
+    }
+
+    /// Applied yaw rate.
+    pub fn set_rate(&mut self, rate: DegPerSec) {
+        self.gyro.set_rate(rate);
+    }
+
+    /// Ambient temperature (retunes the gyro).
+    pub fn set_temperature(&mut self, t: Celsius) {
+        self.gyro.set_temperature(t);
+    }
+
+    /// Latest control-rate snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> SystemSnapshot {
+        self.snapshot
+    }
+
+    /// Current NCO frequency (the float "VCO").
+    #[must_use]
+    pub fn frequency(&self) -> Hertz {
+        Hertz(self.nco_freq)
+    }
+
+    /// `true` once phase and amplitude errors are simultaneously small.
+    #[must_use]
+    pub fn is_locked(&self) -> bool {
+        self.snapshot.phase_error.abs() < 0.02 && self.snapshot.amplitude_error.abs() < 0.05
+    }
+
+    /// Advances one sample; returns the snapshot when the control loops
+    /// updated on this tick (every `control_div` samples).
+    pub fn step(&mut self) -> Option<SystemSnapshot> {
+        let fs = self.config.sample_rate.0;
+        let dt = 1.0 / fs;
+        let (s, c) = self.nco_phase.sin_cos();
+
+        // Drive the gyro with the AGC-scaled in-velocity-phase reference,
+        // integrating the ODE on a finer grid (drive held, as a DAC would).
+        let sub = self.config.oversample;
+        let sub_dt = dt / f64::from(sub);
+        let mut pick = self.gyro.step(self.drive_amp * c, 0.0, sub_dt);
+        for _ in 1..sub {
+            pick = self.gyro.step(self.drive_amp * c, 0.0, sub_dt);
+        }
+
+        // Phase detector and AGC envelope accumulate at the sample rate.
+        self.pd_acc += pick.primary * c;
+        self.agc_i_acc += pick.primary * s;
+        self.agc_q_acc += pick.primary * c;
+
+        // Demodulate the secondary pickoff (one-pole lowpass). The Coriolis
+        // force is in phase with drive *velocity* (cos once the PLL holds
+        // displacement on sin), and the slightly detuned sense mode responds
+        // nearly in phase with its force, so the rate channel demodulates
+        // against cos; the quadrature error (∝ displacement, sin) against sin.
+        let alpha = 1.0 - (-2.0 * std::f64::consts::PI * self.config.demod_corner.0 * dt).exp();
+        self.demod_i += alpha * (2.0 * pick.secondary * c - self.demod_i);
+        self.demod_q += alpha * (2.0 * pick.secondary * s - self.demod_q);
+
+        // NCO advance.
+        self.nco_phase += 2.0 * std::f64::consts::PI * self.nco_freq * dt;
+        if self.nco_phase > 2.0 * std::f64::consts::PI {
+            self.nco_phase -= 2.0 * std::f64::consts::PI;
+        }
+
+        self.tick += 1;
+        if !self.tick.is_multiple_of(u64::from(self.config.control_div)) {
+            return None;
+        }
+
+        // --- control-rate updates ---
+        let n = f64::from(self.config.control_div);
+        let ctrl_dt = n / fs;
+        let cfg = &self.config;
+
+        // PLL: normalize the phase detector by the AGC setpoint so loop
+        // gain is amplitude-independent once regulated.
+        let pd = self.pd_acc / n / cfg.agc_setpoint.max(1e-9);
+        self.pd_acc = 0.0;
+        self.pll_integrator += cfg.pll_ki * pd * ctrl_dt;
+        let max_pull = cfg.gyro.f0.0 * 0.1;
+        self.pll_integrator = self.pll_integrator.clamp(-max_pull, max_pull);
+        let offset = (cfg.pll_kp * pd + self.pll_integrator).clamp(-max_pull, max_pull);
+        self.nco_freq = cfg.gyro.f0.0 + offset;
+
+        // AGC: quadrature envelope.
+        let i = self.agc_i_acc / n * 2.0;
+        let q = self.agc_q_acc / n * 2.0;
+        self.agc_i_acc = 0.0;
+        self.agc_q_acc = 0.0;
+        let envelope = i.hypot(q);
+        let amp_err = cfg.agc_setpoint - envelope;
+        self.agc_integrator = (self.agc_integrator + cfg.agc_ki * amp_err * ctrl_dt).clamp(0.0, 1.0);
+        self.drive_amp = (cfg.agc_kp * amp_err + self.agc_integrator).clamp(0.0, 1.0);
+
+        self.snapshot = SystemSnapshot {
+            t: self.tick as f64 / fs,
+            amplitude_control: self.drive_amp,
+            phase_error: pd,
+            amplitude_error: amp_err,
+            vco_control: offset / max_pull,
+            rate: self.demod_i / self.rate_scale,
+            quadrature: self.demod_q / self.rate_scale,
+        };
+        Some(self.snapshot)
+    }
+
+    /// Runs for `seconds`, recording the Fig. 5 trace set (decimated by
+    /// `trace_div` control updates per stored point).
+    pub fn run_traces(&mut self, seconds: f64, trace_div: u32) -> TraceSet {
+        let mut amplitude_control = Trace::with_decimation("amplitude_control", trace_div.max(1));
+        let mut phase_error = Trace::with_decimation("phase_error", trace_div.max(1));
+        let mut amplitude_error = Trace::with_decimation("amplitude_error", trace_div.max(1));
+        let mut vco_control = Trace::with_decimation("vco_control", trace_div.max(1));
+        let steps = (seconds * self.config.sample_rate.0) as u64;
+        for _ in 0..steps {
+            if let Some(snap) = self.step() {
+                amplitude_control.push(snap.t, snap.amplitude_control);
+                phase_error.push(snap.t, snap.phase_error);
+                amplitude_error.push(snap.t, snap.amplitude_error);
+                vco_control.push(snap.t, snap.vco_control);
+            }
+        }
+        TraceSet::new(vec![
+            amplitude_control,
+            phase_error,
+            amplitude_error,
+            vco_control,
+        ])
+    }
+
+    /// Time to lock from rest: runs until [`SystemModel::is_locked`] holds
+    /// for `hold` consecutive control updates, or `timeout` seconds pass.
+    /// Returns `None` on timeout.
+    pub fn measure_lock_time(&mut self, timeout: f64, hold: u32) -> Option<f64> {
+        let steps = (timeout * self.config.sample_rate.0) as u64;
+        let mut consecutive = 0u32;
+        for _ in 0..steps {
+            if let Some(snap) = self.step() {
+                if self.is_locked() {
+                    consecutive += 1;
+                    if consecutive >= hold {
+                        return Some(snap.t);
+                    }
+                } else {
+                    consecutive = 0;
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_config() -> SystemModelConfig {
+        let mut c = SystemModelConfig::default();
+        c.gyro.noise_density = 0.0;
+        c
+    }
+
+    #[test]
+    fn model_locks_from_rest() {
+        let mut m = SystemModel::new(quiet_config());
+        let lock = m.measure_lock_time(1.5, 50);
+        assert!(lock.is_some(), "system model failed to lock");
+        assert!(
+            (m.frequency().0 - 15_000.0).abs() < 20.0,
+            "locked at {}",
+            m.frequency().0
+        );
+    }
+
+    #[test]
+    fn vco_tracks_detuned_resonance() {
+        let mut c = quiet_config();
+        c.gyro.tc_f0 = -30.0e-6;
+        let mut m = SystemModel::new(c);
+        m.set_temperature(Celsius(125.0));
+        let expect = 15_000.0 * (1.0 - 30.0e-6 * 100.0);
+        m.measure_lock_time(1.5, 50).expect("lock hot");
+        assert!(
+            (m.frequency().0 - expect).abs() < 20.0,
+            "hot lock at {} vs {expect}",
+            m.frequency().0
+        );
+    }
+
+    #[test]
+    fn amplitude_regulates_to_setpoint() {
+        let mut m = SystemModel::new(quiet_config());
+        m.measure_lock_time(1.5, 50).expect("lock");
+        assert!(
+            m.snapshot().amplitude_error.abs() < 0.05,
+            "amplitude error {}",
+            m.snapshot().amplitude_error
+        );
+    }
+
+    #[test]
+    fn rate_appears_on_i_channel() {
+        let mut m = SystemModel::new(quiet_config());
+        m.measure_lock_time(1.5, 50).expect("lock");
+        m.set_rate(DegPerSec(100.0));
+        for _ in 0..(0.5 * 250_000.0) as u64 {
+            m.step();
+        }
+        let measured = m.snapshot().rate;
+        assert!(
+            (measured.abs() - 100.0).abs() < 15.0,
+            "rate channel read {measured} for 100 °/s input"
+        );
+    }
+
+    #[test]
+    fn rate_sign_is_consistent() {
+        let mut m = SystemModel::new(quiet_config());
+        m.measure_lock_time(1.5, 50).expect("lock");
+        m.set_rate(DegPerSec(100.0));
+        for _ in 0..125_000 {
+            m.step();
+        }
+        let plus = m.snapshot().rate;
+        m.set_rate(DegPerSec(-100.0));
+        for _ in 0..125_000 {
+            m.step();
+        }
+        let minus = m.snapshot().rate;
+        assert!(plus * minus < 0.0, "signs: {plus} vs {minus}");
+    }
+
+    #[test]
+    fn traces_have_matching_lengths() {
+        let mut m = SystemModel::new(quiet_config());
+        let set = m.run_traces(0.05, 4);
+        let mut csv = Vec::new();
+        set.write_csv(&mut csv).expect("csv export");
+        assert!(set.get("phase_error").is_some());
+        assert!(set.get("vco_control").is_some());
+    }
+
+    #[test]
+    fn snapshot_reports_control_rate() {
+        let mut m = SystemModel::new(quiet_config());
+        let mut updates = 0;
+        for _ in 0..500 {
+            if m.step().is_some() {
+                updates += 1;
+            }
+        }
+        assert_eq!(updates, 10); // control_div = 50
+    }
+}

@@ -1,0 +1,184 @@
+//! Cross-level verification (the design flow's downward arrows).
+//!
+//! In the paper's flow (Fig. 1) every synthesis step is "validated with the
+//! previous one through a verification phase": the RTL must behave like the
+//! MATLAB model. Here that means running the float [`SystemModel`] and the
+//! fixed-point [`Platform`] on the same scenario and checking that the
+//! behavioural agreement holds: both lock, both track the same resonance,
+//! and the rate outputs agree to within the quantization/noise budget.
+
+use crate::platform::{Platform, PlatformConfig};
+use crate::system::{SystemModel, SystemModelConfig};
+use ascp_sim::stats;
+use ascp_sim::units::DegPerSec;
+
+/// Scenario for a cross-level run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyScenario {
+    /// Lock/settle time allowed (s).
+    pub lock_timeout: f64,
+    /// Rate steps applied after lock (°/s).
+    pub rate_steps: Vec<f64>,
+    /// Dwell per step (s).
+    pub dwell: f64,
+    /// Samples averaged per step.
+    pub samples: usize,
+}
+
+impl Default for VerifyScenario {
+    fn default() -> Self {
+        Self {
+            lock_timeout: 2.0,
+            rate_steps: vec![0.0, 100.0, -100.0, 250.0],
+            dwell: 0.3,
+            samples: 400,
+        }
+    }
+}
+
+/// Result of a cross-level verification run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyReport {
+    /// Float model locked.
+    pub system_locked: bool,
+    /// Platform locked.
+    pub platform_locked: bool,
+    /// Lock frequency difference (Hz).
+    pub frequency_error_hz: f64,
+    /// Per-step rate readings: `(applied, system_model, platform)` in °/s.
+    pub rate_readings: Vec<(f64, f64, f64)>,
+    /// RMS disagreement between the two levels across the steps (°/s).
+    pub rms_disagreement: f64,
+    /// Worst-case disagreement (°/s).
+    pub max_disagreement: f64,
+}
+
+impl VerifyReport {
+    /// Acceptance criterion: both levels locked, same resonance within
+    /// `freq_tol` Hz, outputs within `rate_tol` °/s everywhere.
+    #[must_use]
+    pub fn passes(&self, freq_tol: f64, rate_tol: f64) -> bool {
+        self.system_locked
+            && self.platform_locked
+            && self.frequency_error_hz.abs() <= freq_tol
+            && self.max_disagreement <= rate_tol
+    }
+}
+
+/// Runs the float model and the platform through the same scenario.
+///
+/// The platform's rate output sign is calibrated out (as final test trim
+/// would); the comparison checks magnitude tracking.
+pub fn cross_verify(
+    sys_cfg: SystemModelConfig,
+    plat_cfg: PlatformConfig,
+    scenario: &VerifyScenario,
+) -> VerifyReport {
+    let mut sys = SystemModel::new(sys_cfg);
+    let mut plat = Platform::new(plat_cfg);
+
+    let system_locked = sys.measure_lock_time(scenario.lock_timeout, 50).is_some();
+    let platform_locked = plat.wait_for_ready(scenario.lock_timeout).is_some();
+    let frequency_error_hz = sys.frequency().0 - plat.chain().frequency();
+
+    let mut rate_readings = Vec::new();
+    let mut diffs = Vec::new();
+    // Determine each level's output sign with a +100 °/s probe.
+    let sys_sign = {
+        sys.set_rate(DegPerSec(100.0));
+        for _ in 0..(0.3 * sys.config().sample_rate.0) as u64 {
+            sys.step();
+        }
+        sys.snapshot().rate.signum()
+    };
+    let plat_sign = {
+        plat.set_rate(DegPerSec(100.0));
+        plat.run(0.3);
+        let v = stats::mean(&plat.sample_rate_output(0.0, 100));
+        v.signum()
+    };
+
+    for &applied in &scenario.rate_steps {
+        sys.set_rate(DegPerSec(applied));
+        plat.set_rate(DegPerSec(applied));
+        for _ in 0..(scenario.dwell * sys.config().sample_rate.0) as u64 {
+            sys.step();
+        }
+        plat.run(scenario.dwell);
+        let mut sys_rates = Vec::with_capacity(scenario.samples);
+        for _ in 0..scenario.samples {
+            if let Some(s) = sys.step() {
+                sys_rates.push(s.rate * sys_sign);
+            }
+        }
+        // step() only yields at the control rate; top up if needed.
+        while sys_rates.len() < scenario.samples {
+            if let Some(s) = sys.step() {
+                sys_rates.push(s.rate * sys_sign);
+            }
+        }
+        let sys_rate = stats::mean(&sys_rates);
+        let plat_rate =
+            stats::mean(&plat.sample_rate_output(0.0, scenario.samples)) * plat_sign;
+        rate_readings.push((applied, sys_rate, plat_rate));
+        diffs.push(sys_rate - plat_rate);
+    }
+
+    VerifyReport {
+        system_locked,
+        platform_locked,
+        frequency_error_hz,
+        rate_readings,
+        rms_disagreement: stats::rms(&diffs),
+        max_disagreement: stats::peak(&diffs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_agree_on_quiet_gyro() {
+        let mut sys_cfg = SystemModelConfig::default();
+        sys_cfg.gyro.noise_density = 0.002;
+        let mut plat_cfg = PlatformConfig::default();
+        plat_cfg.gyro.noise_density = 0.002;
+        plat_cfg.cpu_enabled = false;
+        let scenario = VerifyScenario {
+            rate_steps: vec![0.0, 150.0],
+            dwell: 0.25,
+            samples: 150,
+            ..VerifyScenario::default()
+        };
+        let report = cross_verify(sys_cfg, plat_cfg, &scenario);
+        assert!(report.system_locked, "system model did not lock");
+        assert!(report.platform_locked, "platform did not lock");
+        assert!(
+            report.frequency_error_hz.abs() < 10.0,
+            "levels locked {} Hz apart",
+            report.frequency_error_hz
+        );
+        assert!(
+            report.max_disagreement < 20.0,
+            "levels disagree: {:?}",
+            report.rate_readings
+        );
+        assert!(report.passes(10.0, 20.0));
+    }
+
+    #[test]
+    fn report_fails_on_tight_tolerances() {
+        let report = VerifyReport {
+            system_locked: true,
+            platform_locked: true,
+            frequency_error_hz: 5.0,
+            rate_readings: vec![],
+            rms_disagreement: 2.0,
+            max_disagreement: 3.0,
+        };
+        assert!(report.passes(10.0, 5.0));
+        assert!(!report.passes(1.0, 5.0));
+        assert!(!report.passes(10.0, 1.0));
+    }
+}

@@ -1,0 +1,315 @@
+//! Temperature / offset compensation.
+//!
+//! The conditioning chain ends with "temperature/offset compensation"
+//! (paper §4.1): the raw demodulated rate has a temperature-dependent null
+//! offset and scale factor. The platform measures die temperature, looks up
+//! polynomial correction coefficients (burned into ROM/EEPROM at final
+//! test), and applies `y = (x − offset(T)) · gain(T)` in fixed point.
+
+use crate::fixed::{Q15, Q30};
+
+/// Polynomial in the normalized temperature `u = (T − T0) / Tscale`,
+/// evaluated by Horner's rule in Q30.
+///
+/// Normalization keeps `u` in roughly ±1 over the automotive range so the
+/// fixed-point powers do not lose precision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TempPolynomial {
+    coeffs: Vec<Q30>,
+    t0: f64,
+    tscale: f64,
+}
+
+impl TempPolynomial {
+    /// Creates a polynomial with float coefficients `c[0] + c[1]·u + …`,
+    /// reference temperature `t0` (°C) and scale `tscale` (°C per unit u).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is empty, `tscale` is not positive, or any
+    /// coefficient falls outside the Q30 range (|c| ≥ 2).
+    #[must_use]
+    pub fn new(coeffs: &[f64], t0: f64, tscale: f64) -> Self {
+        assert!(!coeffs.is_empty(), "polynomial needs at least one term");
+        assert!(tscale > 0.0, "temperature scale must be positive");
+        for &c in coeffs {
+            assert!(c.abs() < 2.0, "coefficient {c} outside Q30 range");
+        }
+        Self {
+            coeffs: coeffs.iter().map(|&c| Q30::from_f64(c)).collect(),
+            t0,
+            tscale,
+        }
+    }
+
+    /// A constant (temperature-independent) polynomial.
+    #[must_use]
+    pub fn constant(value: f64) -> Self {
+        Self::new(&[value], 25.0, 100.0)
+    }
+
+    /// Polynomial order (degree = terms − 1).
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Evaluates at temperature `t` (°C) in fixed point, returning Q30.
+    #[must_use]
+    pub fn eval(&self, t: f64) -> Q30 {
+        let u = Q30::from_f64(((t - self.t0) / self.tscale).clamp(-1.99, 1.99));
+        // Horner: (((c_n u) + c_{n-1}) u + ...) + c_0
+        let mut acc = *self.coeffs.last().expect("non-empty");
+        for c in self.coeffs.iter().rev().skip(1) {
+            acc = acc.mul(u).sat_add(*c);
+        }
+        acc
+    }
+
+    /// Float-side evaluation (design/verification reference).
+    #[must_use]
+    pub fn eval_f64(&self, t: f64) -> f64 {
+        let u = ((t - self.t0) / self.tscale).clamp(-1.99, 1.99);
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(0.0, |acc, c| acc * u + c.to_f64())
+    }
+}
+
+/// Offset-and-gain compensation stage: `y = (x − offset(T)) · gain(T)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Compensator {
+    offset: TempPolynomial,
+    gain: TempPolynomial,
+    /// Cached coefficients for the current temperature.
+    cur_offset: Q15,
+    cur_gain: Q30,
+}
+
+impl Compensator {
+    /// Creates a compensator from offset and gain polynomials, initialized
+    /// at 25 °C.
+    #[must_use]
+    pub fn new(offset: TempPolynomial, gain: TempPolynomial) -> Self {
+        let mut c = Self {
+            cur_offset: Q15::ZERO,
+            cur_gain: Q30::ONE,
+            offset,
+            gain,
+        };
+        c.set_temperature(25.0);
+        c
+    }
+
+    /// Identity compensator (no correction).
+    #[must_use]
+    pub fn identity() -> Self {
+        Self::new(TempPolynomial::constant(0.0), TempPolynomial::constant(1.0))
+    }
+
+    /// Updates the cached correction for a new die temperature. In hardware
+    /// this happens at the (slow) temperature-sensor rate, not per sample.
+    pub fn set_temperature(&mut self, t: f64) {
+        self.cur_offset = self.offset.eval(t).convert();
+        self.cur_gain = self.gain.eval(t);
+    }
+
+    /// Applies the correction to one sample.
+    #[must_use]
+    pub fn apply(&self, x: Q15) -> Q15 {
+        x.sat_sub(self.cur_offset).mul_q(self.cur_gain)
+    }
+
+    /// Current offset correction (Q15).
+    #[must_use]
+    pub fn offset(&self) -> Q15 {
+        self.cur_offset
+    }
+
+    /// Current gain correction (Q30).
+    #[must_use]
+    pub fn gain(&self) -> Q30 {
+        self.cur_gain
+    }
+}
+
+/// Fits compensation polynomials from calibration measurements:
+/// `(temperature, measured_null, measured_gain_error)` triples, as gathered
+/// at final test over a climate-chamber sweep.
+///
+/// Returns `(offset_poly, gain_poly)` of the requested `degree` using
+/// least-squares in the normalized temperature variable.
+///
+/// # Panics
+///
+/// Panics if fewer than `degree + 1` measurements are supplied.
+#[must_use]
+pub fn fit_compensation(
+    measurements: &[(f64, f64, f64)],
+    degree: usize,
+    t0: f64,
+    tscale: f64,
+) -> (TempPolynomial, TempPolynomial) {
+    assert!(
+        measurements.len() > degree,
+        "need more than {degree} measurements for a degree-{degree} fit"
+    );
+    let us: Vec<f64> = measurements
+        .iter()
+        .map(|(t, _, _)| (t - t0) / tscale)
+        .collect();
+    let nulls: Vec<f64> = measurements.iter().map(|&(_, n, _)| n).collect();
+    let gains: Vec<f64> = measurements.iter().map(|&(_, _, g)| g).collect();
+    let off = polyfit(&us, &nulls, degree);
+    let gain = polyfit(&us, &gains, degree);
+    (
+        TempPolynomial::new(&off, t0, tscale),
+        TempPolynomial::new(&gain, t0, tscale),
+    )
+}
+
+/// Least-squares polynomial fit via normal equations with Gaussian
+/// elimination (degrees here are ≤ 3, so conditioning is fine).
+fn polyfit(x: &[f64], y: &[f64], degree: usize) -> Vec<f64> {
+    let n = degree + 1;
+    let mut ata = vec![vec![0.0f64; n]; n];
+    let mut atb = vec![0.0f64; n];
+    for (&xi, &yi) in x.iter().zip(y) {
+        let mut powers = vec![1.0f64; n];
+        for k in 1..n {
+            powers[k] = powers[k - 1] * xi;
+        }
+        for i in 0..n {
+            atb[i] += powers[i] * yi;
+            for j in 0..n {
+                ata[i][j] += powers[i] * powers[j];
+            }
+        }
+    }
+    // Gaussian elimination with partial pivoting.
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&a, &b| ata[a][col].abs().partial_cmp(&ata[b][col].abs()).expect("finite"))
+            .expect("non-empty");
+        ata.swap(col, pivot);
+        atb.swap(col, pivot);
+        let p = ata[col][col];
+        assert!(p.abs() > 1e-12, "singular normal equations in polyfit");
+        for row in (col + 1)..n {
+            let f = ata[row][col] / p;
+            for k in col..n {
+                ata[row][k] -= f * ata[col][k];
+            }
+            atb[row] -= f * atb[col];
+        }
+    }
+    let mut c = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut s = atb[row];
+        for k in (row + 1)..n {
+            s -= ata[row][k] * c[k];
+        }
+        c[row] = s / ata[row][row];
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_polynomial() {
+        let p = TempPolynomial::constant(0.5);
+        assert!((p.eval(-40.0).to_f64() - 0.5).abs() < 1e-6);
+        assert!((p.eval(125.0).to_f64() - 0.5).abs() < 1e-6);
+        assert_eq!(p.degree(), 0);
+    }
+
+    #[test]
+    fn linear_polynomial_tracks_temperature() {
+        // 0.1 per 100 °C slope around 25 °C.
+        let p = TempPolynomial::new(&[0.0, 0.1], 25.0, 100.0);
+        assert!((p.eval(125.0).to_f64() - 0.1).abs() < 1e-6);
+        assert!((p.eval(-75.0).to_f64() + 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixed_matches_float_eval() {
+        let p = TempPolynomial::new(&[0.02, -0.05, 0.01], 25.0, 100.0);
+        for t in [-40.0, 0.0, 25.0, 85.0, 125.0] {
+            let fx = p.eval(t).to_f64();
+            let fl = p.eval_f64(t);
+            assert!((fx - fl).abs() < 1e-6, "T={t}: {fx} vs {fl}");
+        }
+    }
+
+    #[test]
+    fn identity_compensator_is_transparent() {
+        let c = Compensator::identity();
+        for v in [-0.9, -0.1, 0.0, 0.4, 0.9] {
+            let x = Q15::from_f64(v);
+            assert!((c.apply(x).to_f64() - v).abs() < 1e-4, "value {v}");
+        }
+    }
+
+    #[test]
+    fn offset_removal() {
+        let mut c = Compensator::new(
+            TempPolynomial::new(&[0.1, 0.05], 25.0, 100.0),
+            TempPolynomial::constant(1.0),
+        );
+        c.set_temperature(25.0);
+        let y = c.apply(Q15::from_f64(0.1));
+        assert!(y.to_f64().abs() < 1e-4, "null not removed: {}", y.to_f64());
+        c.set_temperature(125.0);
+        let y = c.apply(Q15::from_f64(0.15));
+        assert!(y.to_f64().abs() < 1e-4, "hot null not removed: {}", y.to_f64());
+    }
+
+    #[test]
+    fn gain_correction_scales() {
+        let c = Compensator::new(
+            TempPolynomial::constant(0.0),
+            TempPolynomial::constant(1.25),
+        );
+        let y = c.apply(Q15::from_f64(0.4));
+        assert!((y.to_f64() - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn polyfit_recovers_quadratic() {
+        let xs: Vec<f64> = (-10..=10).map(|k| k as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.3 - 0.2 * x + 0.05 * x * x).collect();
+        let c = polyfit(&xs, &ys, 2);
+        assert!((c[0] - 0.3).abs() < 1e-9);
+        assert!((c[1] + 0.2).abs() < 1e-9);
+        assert!((c[2] - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_compensation_flattens_null_over_temperature() {
+        // Synthetic device: null drifts quadratically with temperature.
+        let device_null = |t: f64| 0.01 + 2e-4 * (t - 25.0) / 10.0;
+        let meas: Vec<(f64, f64, f64)> = (-4..=8)
+            .map(|k| {
+                let t = k as f64 * 10.0 + 5.0;
+                (t, device_null(t), 1.0)
+            })
+            .collect();
+        let (off, gain) = fit_compensation(&meas, 1, 25.0, 100.0);
+        let mut comp = Compensator::new(off, gain);
+        for t in [-35.0, 5.0, 45.0, 85.0] {
+            comp.set_temperature(t);
+            let y = comp.apply(Q15::from_f64(device_null(t)));
+            assert!(y.to_f64().abs() < 1e-3, "residual null at {t}: {}", y.to_f64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more than")]
+    fn fit_needs_enough_points() {
+        let _ = fit_compensation(&[(25.0, 0.0, 1.0)], 1, 25.0, 100.0);
+    }
+}

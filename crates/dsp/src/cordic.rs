@@ -1,0 +1,232 @@
+//! CORDIC (COordinate Rotation DIgital Computer) engine.
+//!
+//! Hardware sensor-conditioning chips compute magnitude and phase without a
+//! multiplier-hungry rectangular-to-polar conversion by using CORDIC
+//! iterations. The AGC uses the vectoring mode to extract the drive-mode
+//! envelope from the I/Q pair in one shot; the phase detector can use the
+//! same engine for wide-range phase measurement.
+//!
+//! Fixed 20 iterations over 32-bit state: ~1e-6 angular resolution, well
+//! beyond the 12-bit analog front end.
+
+use crate::fixed::Q15;
+
+/// Number of CORDIC iterations (also the number of arctan table entries).
+const ITERS: u32 = 20;
+
+/// CORDIC gain K = Π cos(atan 2^-i) ≈ 0.6072529; outputs of the raw
+/// iterations are scaled by 1/K.
+const CORDIC_GAIN: f64 = 1.646_760_258_121_065_6;
+
+/// atan(2^-i) table in radians, Q30-scaled into i64 for precision.
+fn atan_table() -> &'static [i64; ITERS as usize] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[i64; ITERS as usize]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0i64; ITERS as usize];
+        for (i, e) in t.iter_mut().enumerate() {
+            *e = ((2f64.powi(-(i as i32))).atan() * (1i64 << 30) as f64).round() as i64;
+        }
+        t
+    })
+}
+
+/// Result of a vectoring-mode CORDIC: polar form of an I/Q pair.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Polar {
+    /// Magnitude √(i² + q²) in the same Q15 scale as the inputs.
+    pub magnitude: Q15,
+    /// Angle atan2(q, i) in radians as f64 (full ±π range).
+    pub angle: f64,
+}
+
+/// Rectangular (I/Q) to polar conversion in vectoring mode.
+///
+/// # Example
+///
+/// ```
+/// use ascp_dsp::cordic::to_polar;
+/// use ascp_dsp::fixed::Q15;
+/// let p = to_polar(Q15::from_f64(0.3), Q15::from_f64(0.4));
+/// assert!((p.magnitude.to_f64() - 0.5).abs() < 1e-3);
+/// assert!((p.angle - (0.4f64).atan2(0.3)).abs() < 1e-3);
+/// ```
+#[must_use]
+pub fn to_polar(i: Q15, q: Q15) -> Polar {
+    let mut x = i.raw() as i64;
+    let mut y = q.raw() as i64;
+    let mut z: i64 = 0; // accumulated angle, Q30 radians
+
+    // Pre-rotate into the right half-plane (CORDIC converges for |angle|<~99°).
+    if x < 0 {
+        let pi_q30 = (std::f64::consts::PI * (1i64 << 30) as f64).round() as i64;
+        if y >= 0 {
+            let (nx, ny) = (y, -x);
+            x = nx;
+            y = ny;
+            z = pi_q30 / 2;
+        } else {
+            let (nx, ny) = (-y, x);
+            x = nx;
+            y = ny;
+            z = -pi_q30 / 2;
+        }
+    }
+
+    let table = atan_table();
+    for k in 0..ITERS {
+        let (dx, dy) = (x >> k, y >> k);
+        if y >= 0 {
+            x += dy;
+            y -= dx;
+            z += table[k as usize];
+        } else {
+            x -= dy;
+            y += dx;
+            z -= table[k as usize];
+        }
+    }
+
+    // Undo CORDIC gain with a fixed-point multiply by 1/K (Q30).
+    let inv_gain = ((1.0 / CORDIC_GAIN) * (1i64 << 30) as f64).round() as i64;
+    let mag = (x * inv_gain) >> 30;
+    Polar {
+        magnitude: Q15::from_raw(mag.clamp(i32::MIN as i64, i32::MAX as i64) as i32),
+        angle: z as f64 / (1i64 << 30) as f64,
+    }
+}
+
+/// Rotation-mode CORDIC: rotates `(i, q)` by `angle` radians.
+///
+/// Angle magnitude must be ≤ π; larger angles should be wrapped by the
+/// caller.
+///
+/// # Panics
+///
+/// Panics if `angle` is not finite.
+#[must_use]
+pub fn rotate(i: Q15, q: Q15, angle: f64) -> (Q15, Q15) {
+    assert!(angle.is_finite(), "rotation angle must be finite");
+    let mut angle = angle.rem_euclid(2.0 * std::f64::consts::PI);
+    if angle > std::f64::consts::PI {
+        angle -= 2.0 * std::f64::consts::PI;
+    }
+
+    let mut x = i.raw() as i64;
+    let mut y = q.raw() as i64;
+    // Pre-rotate by ±90° to bring the residual into convergence range.
+    let mut z = (angle * (1i64 << 30) as f64).round() as i64;
+    let half_pi = (std::f64::consts::FRAC_PI_2 * (1i64 << 30) as f64).round() as i64;
+    if z > half_pi {
+        let (nx, ny) = (-y, x);
+        x = nx;
+        y = ny;
+        z -= half_pi; // pre-rotated +90°, residual = angle − π/2
+    } else if z < -half_pi {
+        let (nx, ny) = (y, -x);
+        x = nx;
+        y = ny;
+        z += half_pi; // pre-rotated −90°, residual = angle + π/2
+    }
+
+    let table = atan_table();
+    for k in 0..ITERS {
+        let (dx, dy) = (x >> k, y >> k);
+        if z >= 0 {
+            x -= dy;
+            y += dx;
+            z -= table[k as usize];
+        } else {
+            x += dy;
+            y -= dx;
+            z += table[k as usize];
+        }
+    }
+
+    let inv_gain = ((1.0 / CORDIC_GAIN) * (1i64 << 30) as f64).round() as i64;
+    let xr = (x * inv_gain) >> 30;
+    let yr = (y * inv_gain) >> 30;
+    (
+        Q15::from_raw(xr.clamp(i32::MIN as i64, i32::MAX as i64) as i32),
+        Q15::from_raw(yr.clamp(i32::MIN as i64, i32::MAX as i64) as i32),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magnitude_of_unit_vectors() {
+        for deg in (0..360).step_by(15) {
+            let a = (deg as f64).to_radians();
+            let p = to_polar(Q15::from_f64(0.7 * a.cos()), Q15::from_f64(0.7 * a.sin()));
+            assert!(
+                (p.magnitude.to_f64() - 0.7).abs() < 2e-3,
+                "deg {deg}: {}",
+                p.magnitude.to_f64()
+            );
+        }
+    }
+
+    #[test]
+    fn angle_matches_atan2_all_quadrants() {
+        for deg in (-179..180).step_by(7) {
+            let a = (deg as f64).to_radians();
+            let p = to_polar(Q15::from_f64(0.5 * a.cos()), Q15::from_f64(0.5 * a.sin()));
+            let expect = (0.5 * a.sin()).atan2(0.5 * a.cos());
+            assert!(
+                (p.angle - expect).abs() < 5e-4,
+                "deg {deg}: got {} expected {expect}",
+                p.angle
+            );
+        }
+    }
+
+    #[test]
+    fn zero_vector() {
+        let p = to_polar(Q15::ZERO, Q15::ZERO);
+        assert_eq!(p.magnitude, Q15::ZERO);
+    }
+
+    #[test]
+    fn rotation_matches_trig() {
+        for deg in (-170..171).step_by(23) {
+            let a = (deg as f64).to_radians();
+            let (x, y) = rotate(Q15::from_f64(0.6), Q15::from_f64(0.0), a);
+            assert!(
+                (x.to_f64() - 0.6 * a.cos()).abs() < 2e-3,
+                "deg {deg} x {} vs {}",
+                x.to_f64(),
+                0.6 * a.cos()
+            );
+            assert!(
+                (y.to_f64() - 0.6 * a.sin()).abs() < 2e-3,
+                "deg {deg} y {} vs {}",
+                y.to_f64(),
+                0.6 * a.sin()
+            );
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_magnitude() {
+        let (x, y) = rotate(Q15::from_f64(0.3), Q15::from_f64(0.4), 1.234);
+        let m = (x.to_f64().powi(2) + y.to_f64().powi(2)).sqrt();
+        assert!((m - 0.5).abs() < 2e-3, "magnitude {m}");
+    }
+
+    #[test]
+    fn rotate_then_vector_round_trip() {
+        let angle = 0.81;
+        let (x, y) = rotate(Q15::from_f64(0.5), Q15::ZERO, angle);
+        let p = to_polar(x, y);
+        assert!((p.angle - angle).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rotate_rejects_nan() {
+        let _ = rotate(Q15::ZERO, Q15::ZERO, f64::NAN);
+    }
+}

@@ -1,0 +1,311 @@
+//! Radix-2 FFT, window functions and Welch PSD estimation.
+//!
+//! This is the *measurement* side of the reproduction: the paper's noise row
+//! (rate noise density, °/s/√Hz) and bandwidth row (3 dB point) come from
+//! spectrum analysis of the rate output. These run in `f64` — they model the
+//! bench instrument, not the chip.
+
+use std::f64::consts::PI;
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+///
+/// `re`/`im` hold the real and imaginary parts; length must be a power of
+/// two.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or the length is not a power of
+/// two (zero included).
+pub fn fft(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "fft needs equal-length re/im");
+    assert!(n.is_power_of_two() && n > 0, "fft length must be a power of two");
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let a = start + k;
+                let b = a + len / 2;
+                let tr = re[b] * cr - im[b] * ci;
+                let ti = re[b] * ci + im[b] * cr;
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] += tr;
+                im[a] += ti;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Inverse FFT (unscaled by 1/N internally; this function applies the 1/N).
+///
+/// # Panics
+///
+/// Same conditions as [`fft`].
+pub fn ifft(re: &mut [f64], im: &mut [f64]) {
+    for v in im.iter_mut() {
+        *v = -*v;
+    }
+    fft(re, im);
+    let n = re.len() as f64;
+    for (r, i) in re.iter_mut().zip(im.iter_mut()) {
+        *r /= n;
+        *i = -*i / n;
+    }
+}
+
+/// Window functions for spectral estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Window {
+    /// Rectangular (no taper).
+    Rectangular,
+    /// Hann (default for Welch PSD).
+    #[default]
+    Hann,
+    /// Hamming.
+    Hamming,
+    /// Blackman.
+    Blackman,
+}
+
+impl Window {
+    /// Evaluates the window at index `i` of `n` points.
+    #[must_use]
+    pub fn value(self, i: usize, n: usize) -> f64 {
+        if n <= 1 {
+            return 1.0;
+        }
+        let x = 2.0 * PI * i as f64 / (n - 1) as f64;
+        match self {
+            Self::Rectangular => 1.0,
+            Self::Hann => 0.5 * (1.0 - x.cos()),
+            Self::Hamming => 0.54 - 0.46 * x.cos(),
+            Self::Blackman => 0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos(),
+        }
+    }
+
+    /// Generates the full window.
+    #[must_use]
+    pub fn generate(self, n: usize) -> Vec<f64> {
+        (0..n).map(|i| self.value(i, n)).collect()
+    }
+}
+
+/// One-sided Welch power-spectral-density estimate.
+///
+/// Returns `(frequencies_hz, psd)` where `psd[k]` is in units²/Hz. Segments
+/// of `segment_len` (power of two) overlap by 50 % and are windowed with
+/// `window`; the estimate is normalized so that white noise of variance σ²
+/// gives a flat density of `σ² / (fs/2)`.
+///
+/// # Panics
+///
+/// Panics if `segment_len` is not a power of two, the signal is shorter
+/// than one segment, or `fs` is not positive.
+///
+/// # Example
+///
+/// ```
+/// use ascp_dsp::fft::{welch_psd, Window};
+/// // 1 kHz samples of unit-variance-ish noise.
+/// let xs: Vec<f64> = (0..4096).map(|k| if k % 2 == 0 { 1.0 } else { -1.0 }).collect();
+/// let (f, psd) = welch_psd(&xs, 1000.0, 256, Window::Hann);
+/// assert_eq!(f.len(), psd.len());
+/// assert_eq!(f.len(), 129);
+/// ```
+#[must_use]
+pub fn welch_psd(xs: &[f64], fs: f64, segment_len: usize, window: Window) -> (Vec<f64>, Vec<f64>) {
+    assert!(fs > 0.0, "sample rate must be positive");
+    assert!(
+        segment_len.is_power_of_two() && segment_len > 1,
+        "segment length must be a power of two > 1"
+    );
+    assert!(
+        xs.len() >= segment_len,
+        "signal ({}) shorter than one segment ({segment_len})",
+        xs.len()
+    );
+    let w = window.generate(segment_len);
+    let win_power: f64 = w.iter().map(|v| v * v).sum::<f64>() / segment_len as f64;
+    let hop = segment_len / 2;
+    let n_bins = segment_len / 2 + 1;
+    let mut psd = vec![0.0f64; n_bins];
+    let mut segments = 0usize;
+    let mut start = 0usize;
+    while start + segment_len <= xs.len() {
+        let seg = &xs[start..start + segment_len];
+        let seg_mean = seg.iter().sum::<f64>() / segment_len as f64;
+        let mut re: Vec<f64> = seg
+            .iter()
+            .zip(&w)
+            .map(|(x, wi)| (x - seg_mean) * wi)
+            .collect();
+        let mut im = vec![0.0f64; segment_len];
+        fft(&mut re, &mut im);
+        for k in 0..n_bins {
+            let p = re[k] * re[k] + im[k] * im[k];
+            // One-sided scaling: double interior bins.
+            let scale = if k == 0 || k == n_bins - 1 { 1.0 } else { 2.0 };
+            psd[k] += scale * p / (fs * segment_len as f64 * win_power);
+        }
+        segments += 1;
+        start += hop;
+    }
+    for p in &mut psd {
+        *p /= segments as f64;
+    }
+    let freqs = (0..n_bins)
+        .map(|k| k as f64 * fs / segment_len as f64)
+        .collect();
+    (freqs, psd)
+}
+
+/// Average amplitude spectral density (units/√Hz) over `[f_lo, f_hi]` from a
+/// Welch PSD — the way a "rate noise density" datasheet number is read off a
+/// spectrum analyzer.
+///
+/// # Panics
+///
+/// Panics if the band contains no bins.
+#[must_use]
+pub fn band_density(freqs: &[f64], psd: &[f64], f_lo: f64, f_hi: f64) -> f64 {
+    let vals: Vec<f64> = freqs
+        .iter()
+        .zip(psd)
+        .filter(|(f, _)| **f >= f_lo && **f <= f_hi)
+        .map(|(_, p)| *p)
+        .collect();
+    assert!(
+        !vals.is_empty(),
+        "no PSD bins between {f_lo} and {f_hi} Hz"
+    );
+    (vals.iter().sum::<f64>() / vals.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut re = vec![0.0; 16];
+        let mut im = vec![0.0; 16];
+        re[0] = 1.0;
+        fft(&mut re, &mut im);
+        for k in 0..16 {
+            assert!((re[k] - 1.0).abs() < 1e-12 && im[k].abs() < 1e-12, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn fft_of_sine_peaks_at_bin() {
+        let n = 256;
+        let f_bin = 10;
+        let mut re: Vec<f64> = (0..n)
+            .map(|k| (2.0 * PI * f_bin as f64 * k as f64 / n as f64).sin())
+            .collect();
+        let mut im = vec![0.0; n];
+        fft(&mut re, &mut im);
+        let mags: Vec<f64> = re.iter().zip(&im).map(|(r, i)| r.hypot(*i)).collect();
+        let peak = mags
+            .iter()
+            .enumerate()
+            .take(n / 2)
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        assert_eq!(peak, f_bin);
+        assert!((mags[f_bin] - n as f64 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ifft_round_trip() {
+        let n = 64;
+        let orig: Vec<f64> = (0..n).map(|k| (k as f64 * 0.37).sin()).collect();
+        let mut re = orig.clone();
+        let mut im = vec![0.0; n];
+        fft(&mut re, &mut im);
+        ifft(&mut re, &mut im);
+        for k in 0..n {
+            assert!((re[k] - orig[k]).abs() < 1e-10, "sample {k}");
+            assert!(im[k].abs() < 1e-10, "imag {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut re = vec![0.0; 12];
+        let mut im = vec![0.0; 12];
+        fft(&mut re, &mut im);
+    }
+
+    #[test]
+    fn windows_are_bounded_and_symmetric() {
+        for w in [Window::Hann, Window::Hamming, Window::Blackman] {
+            let v = w.generate(64);
+            for (i, &x) in v.iter().enumerate() {
+                assert!(x >= -1e-12 && x <= 1.0, "{w:?}[{i}] = {x}");
+                assert!((x - v[63 - i]).abs() < 1e-12, "{w:?} asymmetric at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn welch_white_noise_density() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let fs = 1000.0;
+        let sigma = 0.5f64;
+        // Uniform noise with matching variance: var = (2a)²/12 = sigma².
+        let a = sigma * 3f64.sqrt();
+        let xs: Vec<f64> = (0..1 << 16).map(|_| rng.gen_range(-a..a)).collect();
+        let (freqs, psd) = welch_psd(&xs, fs, 1024, Window::Hann);
+        let d = band_density(&freqs, &psd, 50.0, 400.0);
+        let expect = sigma / (fs / 2.0f64).sqrt();
+        assert!(
+            (d - expect).abs() / expect < 0.1,
+            "density {d} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn welch_sine_peak_location() {
+        let fs = 1000.0;
+        let f0 = 100.0;
+        let xs: Vec<f64> = (0..8192)
+            .map(|k| (2.0 * PI * f0 * k as f64 / fs).sin())
+            .collect();
+        let (freqs, psd) = welch_psd(&xs, fs, 512, Window::Hann);
+        let peak = psd
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| freqs[i])
+            .expect("non-empty");
+        assert!((peak - f0).abs() < fs / 512.0 + 1e-9, "peak at {peak}");
+    }
+
+    #[test]
+    fn band_density_rejects_empty_band() {
+        let r = std::panic::catch_unwind(|| band_density(&[0.0, 1.0], &[1.0, 1.0], 5.0, 6.0));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,315 @@
+//! Fixed-point FIR filters and windowed-sinc design.
+//!
+//! The paper's DSP block contains "FIR/IIR filters" dimensioned from the
+//! MATLAB model. [`FirFilter`] is the RTL-equivalent datapath: Q15 samples,
+//! Q30 coefficients, 64-bit accumulator, one output per input sample.
+//! [`design_lowpass`] is the MATLAB-side design step (float windowed-sinc),
+//! whose result is quantized into the datapath — exactly the paper's
+//! system-model → RTL hand-off.
+
+use crate::fixed::{Q15, Q30};
+
+/// Designs a linear-phase lowpass FIR by the windowed-sinc method
+/// (Hamming window).
+///
+/// `cutoff` is the −6 dB point as a fraction of the sample rate
+/// (0 < cutoff < 0.5); `taps` is the filter length.
+///
+/// # Panics
+///
+/// Panics if `cutoff` is outside `(0, 0.5)` or `taps` is zero.
+///
+/// # Example
+///
+/// ```
+/// use ascp_dsp::fir::design_lowpass;
+/// let h = design_lowpass(0.1, 31);
+/// let dc: f64 = h.iter().sum();
+/// assert!((dc - 1.0).abs() < 1e-12); // unity DC gain
+/// ```
+#[must_use]
+pub fn design_lowpass(cutoff: f64, taps: usize) -> Vec<f64> {
+    assert!(
+        cutoff > 0.0 && cutoff < 0.5,
+        "cutoff must be in (0, 0.5) of the sample rate, got {cutoff}"
+    );
+    assert!(taps > 0, "FIR length must be non-zero");
+    let m = (taps - 1) as f64;
+    let mut h: Vec<f64> = (0..taps)
+        .map(|n| {
+            let x = n as f64 - m / 2.0;
+            let sinc = if x == 0.0 {
+                2.0 * cutoff
+            } else {
+                (2.0 * std::f64::consts::PI * cutoff * x).sin() / (std::f64::consts::PI * x)
+            };
+            let w = 0.54 - 0.46 * (2.0 * std::f64::consts::PI * n as f64 / m.max(1.0)).cos();
+            sinc * w
+        })
+        .collect();
+    // Normalize to exactly unity DC gain.
+    let sum: f64 = h.iter().sum();
+    for c in &mut h {
+        *c /= sum;
+    }
+    h
+}
+
+/// Fixed-point transversal FIR filter.
+///
+/// Samples are [`Q15`], coefficients [`Q30`], and the convolution runs in a
+/// 64-bit accumulator before a single rounded shift back to Q15 — the
+/// structure of a hardware MAC datapath.
+#[derive(Debug, Clone)]
+pub struct FirFilter {
+    coeffs: Vec<Q30>,
+    delay: Vec<Q15>,
+    pos: usize,
+}
+
+impl FirFilter {
+    /// Creates a filter from float coefficients, quantizing each to Q30.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is empty or any coefficient is outside
+    /// Q30 range (|c| ≥ 2).
+    #[must_use]
+    pub fn from_coeffs(coeffs: &[f64]) -> Self {
+        assert!(!coeffs.is_empty(), "FIR needs at least one coefficient");
+        for &c in coeffs {
+            assert!(
+                c.abs() < 2.0,
+                "coefficient {c} outside Q30 range; rescale the design"
+            );
+        }
+        Self {
+            coeffs: coeffs.iter().map(|&c| Q30::from_f64(c)).collect(),
+            delay: vec![Q15::ZERO; coeffs.len()],
+            pos: 0,
+        }
+    }
+
+    /// Designs and builds a lowpass filter in one step (see
+    /// [`design_lowpass`]).
+    #[must_use]
+    pub fn lowpass(cutoff: f64, taps: usize) -> Self {
+        Self::from_coeffs(&design_lowpass(cutoff, taps))
+    }
+
+    /// Number of taps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// `true` if the filter has no taps (never true for constructed filters).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Clears the delay line.
+    pub fn reset(&mut self) {
+        self.delay.fill(Q15::ZERO);
+        self.pos = 0;
+    }
+
+    /// Processes one sample.
+    pub fn process(&mut self, x: Q15) -> Q15 {
+        self.delay[self.pos] = x;
+        // 64-bit MAC over the circular delay line.
+        let n = self.coeffs.len();
+        let mut acc: i64 = 0;
+        let mut idx = self.pos;
+        for c in &self.coeffs {
+            acc += self.delay[idx].raw() as i64 * c.raw() as i64;
+            idx = if idx == 0 { n - 1 } else { idx - 1 };
+        }
+        self.pos = (self.pos + 1) % n;
+        // Product is Q15*Q30 = Q45; shift back to Q15 with rounding.
+        let shifted = (acc + (1i64 << 29)) >> 30;
+        Q15::from_raw(saturate(shifted))
+    }
+
+    /// Group delay in samples (linear phase assumed: (N−1)/2).
+    #[must_use]
+    pub fn group_delay(&self) -> f64 {
+        (self.coeffs.len() as f64 - 1.0) / 2.0
+    }
+}
+
+fn saturate(v: i64) -> i32 {
+    v.clamp(i32::MIN as i64, i32::MAX as i64) as i32
+}
+
+/// FIR filter followed by sample-rate decimation by `factor` (polyphase
+/// behaviourally: computes every output at the decimated rate).
+///
+/// Used at the output of the synchronous demodulator to move from the
+/// 250 kHz modulation rate down to the ~1 kHz rate channel.
+#[derive(Debug, Clone)]
+pub struct DecimatingFir {
+    fir: FirFilter,
+    factor: u32,
+    counter: u32,
+}
+
+impl DecimatingFir {
+    /// Wraps `fir` with decimation by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    #[must_use]
+    pub fn new(fir: FirFilter, factor: u32) -> Self {
+        assert!(factor > 0, "decimation factor must be non-zero");
+        Self {
+            fir,
+            factor,
+            counter: 0,
+        }
+    }
+
+    /// Decimation factor.
+    #[must_use]
+    pub fn factor(&self) -> u32 {
+        self.factor
+    }
+
+    /// Feeds one input sample; returns `Some(y)` on the decimated ticks.
+    pub fn process(&mut self, x: Q15) -> Option<Q15> {
+        let y = self.fir.process(x);
+        self.counter += 1;
+        if self.counter == self.factor {
+            self.counter = 0;
+            Some(y)
+        } else {
+            None
+        }
+    }
+
+    /// Clears filter state and phase.
+    pub fn reset(&mut self) {
+        self.fir.reset();
+        self.counter = 0;
+    }
+}
+
+/// Measures the filter's magnitude response at `freq` (fraction of the
+/// sample rate) by driving a sine through a clone of it. Float-side test
+/// helper mirroring a network-analyzer sweep.
+#[must_use]
+pub fn measure_gain(filter: &FirFilter, freq: f64) -> f64 {
+    let mut f = filter.clone();
+    let n = 8192usize;
+    let w = 2.0 * std::f64::consts::PI * freq;
+    let mut sum_sq = 0.0f64;
+    let mut count = 0usize;
+    for k in 0..n {
+        let x = Q15::from_f64(0.5 * (w * k as f64).sin());
+        let y = f.process(x).to_f64();
+        if k > 4 * filter.len() {
+            sum_sq += y * y;
+            count += 1;
+        }
+    }
+    let out_rms = (sum_sq / count as f64).sqrt();
+    out_rms / (0.5 / std::f64::consts::SQRT_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_is_symmetric_linear_phase() {
+        let h = design_lowpass(0.2, 21);
+        for i in 0..h.len() / 2 {
+            assert!((h[i] - h[h.len() - 1 - i]).abs() < 1e-12, "tap {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff")]
+    fn design_rejects_bad_cutoff() {
+        let _ = design_lowpass(0.6, 11);
+    }
+
+    #[test]
+    fn impulse_response_matches_coefficients() {
+        let h = design_lowpass(0.25, 9);
+        let mut f = FirFilter::from_coeffs(&h);
+        let mut out = Vec::new();
+        for k in 0..9 {
+            let x = if k == 0 { Q15::ONE } else { Q15::ZERO };
+            out.push(f.process(x).to_f64());
+        }
+        for (i, (&hi, oi)) in h.iter().zip(&out).enumerate() {
+            assert!((hi - oi).abs() < 1e-4, "tap {i}: {hi} vs {oi}");
+        }
+    }
+
+    #[test]
+    fn passband_and_stopband() {
+        let f = FirFilter::lowpass(0.05, 63);
+        let g_pass = measure_gain(&f, 0.01);
+        let g_stop = measure_gain(&f, 0.25);
+        assert!(g_pass > 0.95, "passband gain {g_pass}");
+        assert!(g_stop < 0.01, "stopband gain {g_stop}");
+    }
+
+    #[test]
+    fn dc_gain_unity() {
+        let mut f = FirFilter::lowpass(0.1, 31);
+        let mut y = Q15::ZERO;
+        for _ in 0..200 {
+            y = f.process(Q15::from_f64(0.5));
+        }
+        assert!((y.to_f64() - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut f = FirFilter::lowpass(0.1, 15);
+        for _ in 0..20 {
+            f.process(Q15::ONE);
+        }
+        f.reset();
+        let y = f.process(Q15::ZERO);
+        assert_eq!(y, Q15::ZERO);
+    }
+
+    #[test]
+    fn decimator_emits_every_nth() {
+        let mut d = DecimatingFir::new(FirFilter::lowpass(0.1, 15), 4);
+        let outputs = (0..16)
+            .filter_map(|_| d.process(Q15::from_f64(0.1)))
+            .count();
+        assert_eq!(outputs, 4);
+    }
+
+    #[test]
+    fn decimator_dc_gain() {
+        let mut d = DecimatingFir::new(FirFilter::lowpass(0.05, 63), 8);
+        let mut last = Q15::ZERO;
+        for _ in 0..2000 {
+            if let Some(y) = d.process(Q15::from_f64(0.25)) {
+                last = y;
+            }
+        }
+        assert!((last.to_f64() - 0.25).abs() < 1e-3);
+    }
+
+    #[test]
+    fn group_delay_formula() {
+        let f = FirFilter::lowpass(0.1, 31);
+        assert_eq!(f.group_delay(), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_coeffs_panics() {
+        let _ = FirFilter::from_coeffs(&[]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests of the fixed-point datapath — the arithmetic laws
+//! the RTL stand-in must satisfy for any operand, not just the values unit
+//! tests pick.
+
+use ascp_dsp::fixed::{Fx, Q15, Q30};
+use proptest::prelude::*;
+
+fn any_q15() -> impl Strategy<Value = Q15> {
+    any::<i32>().prop_map(Q15::from_raw)
+}
+
+proptest! {
+    #[test]
+    fn add_is_commutative(a in any_q15(), b in any_q15()) {
+        prop_assert_eq!(a.sat_add(b), b.sat_add(a));
+    }
+
+    #[test]
+    fn add_never_wraps(a in any_q15(), b in any_q15()) {
+        let sum = a.sat_add(b).to_f64();
+        let exact = a.to_f64() + b.to_f64();
+        // Saturating add: result equals the exact sum clamped to the range.
+        let clamped = exact.clamp(Q15::MIN.to_f64(), Q15::MAX.to_f64());
+        prop_assert!((sum - clamped).abs() < 1e-9, "{sum} vs {clamped}");
+    }
+
+    #[test]
+    fn mul_matches_float_within_lsb(a in -1.0f64..1.0, b in -1.0f64..1.0) {
+        let qa = Q15::from_f64(a);
+        let qb = Q15::from_f64(b);
+        let q = qa.mul(qb).to_f64();
+        let exact = qa.to_f64() * qb.to_f64();
+        prop_assert!((q - exact).abs() <= 1.0 / 32768.0, "{q} vs {exact}");
+    }
+
+    #[test]
+    fn mul_commutative(a in any_q15(), b in any_q15()) {
+        prop_assert_eq!(a.mul(b), b.mul(a));
+    }
+
+    #[test]
+    fn round_trip_error_bounded(v in -60000.0f64..60000.0) {
+        let q = Q15::from_f64(v);
+        prop_assert!((q.to_f64() - v).abs() <= 0.5 / 32768.0 + 1e-12);
+    }
+
+    #[test]
+    fn neg_is_involutive_except_min(a in any_q15()) {
+        prop_assume!(a != Q15::MIN);
+        prop_assert_eq!(a.sat_neg().sat_neg(), a);
+    }
+
+    #[test]
+    fn abs_is_non_negative(a in any_q15()) {
+        prop_assert!(a.abs().raw() >= 0);
+    }
+
+    #[test]
+    fn quantize_is_idempotent(a in any_q15(), bits in 2u32..=32) {
+        let once = a.quantize_to(bits);
+        prop_assert_eq!(once.quantize_to(bits), once);
+    }
+
+    #[test]
+    fn quantize_error_bounded(a in any_q15(), bits in 2u32..=31) {
+        let q = a.quantize_to(bits);
+        // Saturation at the narrower range can clip large values; away from
+        // the clip the error is below one step of the reduced resolution.
+        let step = 1i64 << (32 - bits);
+        let max_mag = (1i64 << (bits - 1)) << (32 - bits);
+        if (i64::from(a.raw())).abs() < max_mag - step {
+            prop_assert!((i64::from(a.raw()) - i64::from(q.raw())).abs() <= step);
+        }
+    }
+
+    #[test]
+    fn convert_up_then_down_is_identity(a in -30000i32..30000) {
+        let v = Q15::from_raw(a);
+        let up: Q30 = v.convert();
+        // Q15 -> Q30 overflows for |v| >= 2, so stay small.
+        prop_assume!(v.to_f64().abs() < 1.9);
+        let back: Q15 = up.convert();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn shl_shr_inverse_without_overflow(a in -10000i32..10000, n in 0u32..8) {
+        let v = Fx::<15>::from_raw(a);
+        prop_assert_eq!(v.shl(n).shr(n), v);
+    }
+
+    #[test]
+    fn mul_q_matches_mul_for_same_format(a in any_q15(), b in any_q15()) {
+        prop_assert_eq!(a.mul_q::<15>(Fx::<15>::from_raw(b.raw())), a.mul(b));
+    }
+}
+
+mod fir_props {
+    use ascp_dsp::fir::{design_lowpass, FirFilter};
+    use ascp_dsp::fixed::Q15;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn designed_lowpass_is_bounded_and_stable(
+            cutoff in 0.01f64..0.45,
+            taps in 3usize..127,
+        ) {
+            let h = design_lowpass(cutoff, taps);
+            // Unity DC gain by construction.
+            let dc: f64 = h.iter().sum();
+            prop_assert!((dc - 1.0).abs() < 1e-9);
+            // FIR output bounded by the L1 norm of the coefficients.
+            let l1: f64 = h.iter().map(|c| c.abs()).sum();
+            let mut f = FirFilter::from_coeffs(&h);
+            let mut peak = 0.0f64;
+            for k in 0..4 * taps {
+                let x = if k % 2 == 0 { Q15::from_f64(0.9) } else { Q15::from_f64(-0.9) };
+                peak = peak.max(f.process(x).to_f64().abs());
+            }
+            prop_assert!(peak <= 0.9 * l1 + 1e-3, "peak {peak} vs L1 {l1}");
+        }
+    }
+}
+
+mod cordic_props {
+    use ascp_dsp::cordic::{rotate, to_polar};
+    use ascp_dsp::fixed::Q15;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        #[test]
+        fn polar_magnitude_matches_hypot(i in -0.7f64..0.7, q in -0.7f64..0.7) {
+            let p = to_polar(Q15::from_f64(i), Q15::from_f64(q));
+            let expect = i.hypot(q);
+            prop_assert!((p.magnitude.to_f64() - expect).abs() < 3e-3,
+                "mag {} vs {expect}", p.magnitude.to_f64());
+        }
+
+        #[test]
+        fn rotation_preserves_magnitude(
+            i in -0.6f64..0.6,
+            q in -0.6f64..0.6,
+            angle in -3.1f64..3.1,
+        ) {
+            let (x, y) = rotate(Q15::from_f64(i), Q15::from_f64(q), angle);
+            let before = i.hypot(q);
+            let after = x.to_f64().hypot(y.to_f64());
+            prop_assert!((after - before).abs() < 4e-3, "{before} -> {after}");
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! JTAG device model and the standard register-access device.
+//!
+//! Each analog cell bank on the chip is a TAP in the chain. A device
+//! decodes the instruction register into a data register; the chain
+//! ([`crate::chain::JtagChain`]) moves the bits.
+
+/// Behavioural model of one TAP in the chain.
+///
+/// Object-safe: the chain holds `Box<dyn JtagDevice>`.
+pub trait JtagDevice {
+    /// Instruction register length in bits (≥ 2 per the standard).
+    fn ir_length(&self) -> usize;
+
+    /// 32-bit IDCODE (bit 0 must be 1 per IEEE 1149.1).
+    fn idcode(&self) -> u32;
+
+    /// Length of the data register selected by instruction `ir`.
+    /// The all-ones instruction (BYPASS) must map to a 1-bit register.
+    fn dr_length(&self, ir: u64) -> usize;
+
+    /// Value parallel-loaded into the selected DR at Capture-DR.
+    fn capture_dr(&mut self, ir: u64) -> u64;
+
+    /// Applies the shifted-in DR value at Update-DR.
+    fn update_dr(&mut self, ir: u64, value: u64);
+}
+
+/// Standard instruction encodings used by ASCP devices (4-bit IR).
+pub mod instructions {
+    /// Read the 32-bit IDCODE.
+    pub const IDCODE: u64 = 0b0001;
+    /// Register access: DR = `[data:16][addr:8][write:1]`, 25 bits.
+    pub const REG_ACCESS: u64 = 0b0010;
+    /// Bypass (1-bit DR); also the post-reset default of this core.
+    pub const BYPASS: u64 = 0b1111;
+}
+
+/// Register bus abstraction a [`RegAccessDevice`] drives.
+///
+/// Implemented by the AFE register bank (via the platform glue) and by DSP
+/// status/control banks.
+pub trait RegisterBus {
+    /// Reads a register; `None` for unmapped addresses.
+    fn read(&mut self, addr: u8) -> Option<u16>;
+
+    /// Writes a register; `false` if rejected (unmapped or read-only).
+    fn write(&mut self, addr: u8, value: u16) -> bool;
+}
+
+/// A TAP exposing a [`RegisterBus`] through the `REG_ACCESS` instruction.
+///
+/// DR layout (25 bits, LSB first on the wire):
+/// bit 0 = write flag, bits 1..=8 = address, bits 9..=24 = data.
+/// On Update-DR with the write flag set, the data is written; with the flag
+/// clear, the addressed register is read and presented at the next
+/// Capture-DR (full read-back, the paper's requirement (iv)).
+pub struct RegAccessDevice<B> {
+    idcode: u32,
+    bus: B,
+    last_read: u16,
+    /// Count of rejected writes (a self-checking diagnostic).
+    write_errors: u32,
+}
+
+impl<B: std::fmt::Debug> std::fmt::Debug for RegAccessDevice<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegAccessDevice")
+            .field("idcode", &format_args!("{:#010x}", self.idcode))
+            .field("bus", &self.bus)
+            .field("last_read", &self.last_read)
+            .field("write_errors", &self.write_errors)
+            .finish()
+    }
+}
+
+impl<B: RegisterBus> RegAccessDevice<B> {
+    /// Wraps a register bus with the given IDCODE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idcode` has bit 0 clear (reserved by IEEE 1149.1).
+    pub fn new(idcode: u32, bus: B) -> Self {
+        assert!(idcode & 1 == 1, "IDCODE bit 0 must be 1 per IEEE 1149.1");
+        Self {
+            idcode,
+            bus,
+            last_read: 0,
+            write_errors: 0,
+        }
+    }
+
+    /// Packs a DR word for a write transaction.
+    #[must_use]
+    pub fn pack_write(addr: u8, data: u16) -> u64 {
+        1 | ((addr as u64) << 1) | ((data as u64) << 9)
+    }
+
+    /// Packs a DR word for a read request.
+    #[must_use]
+    pub fn pack_read(addr: u8) -> u64 {
+        (addr as u64) << 1
+    }
+
+    /// Extracts the data field from a captured DR word.
+    #[must_use]
+    pub fn unpack_data(dr: u64) -> u16 {
+        ((dr >> 9) & 0xffff) as u16
+    }
+
+    /// Rejected-write counter.
+    #[must_use]
+    pub fn write_errors(&self) -> u32 {
+        self.write_errors
+    }
+
+    /// Access the wrapped bus.
+    pub fn bus_mut(&mut self) -> &mut B {
+        &mut self.bus
+    }
+}
+
+impl<B: RegisterBus> JtagDevice for RegAccessDevice<B> {
+    fn ir_length(&self) -> usize {
+        4
+    }
+
+    fn idcode(&self) -> u32 {
+        self.idcode
+    }
+
+    fn dr_length(&self, ir: u64) -> usize {
+        match ir {
+            instructions::IDCODE => 32,
+            instructions::REG_ACCESS => 25,
+            _ => 1, // BYPASS and unknown instructions
+        }
+    }
+
+    fn capture_dr(&mut self, ir: u64) -> u64 {
+        match ir {
+            instructions::IDCODE => self.idcode as u64,
+            instructions::REG_ACCESS => (self.last_read as u64) << 9,
+            _ => 0,
+        }
+    }
+
+    fn update_dr(&mut self, ir: u64, value: u64) {
+        if ir == instructions::REG_ACCESS {
+            let write = value & 1 != 0;
+            let addr = ((value >> 1) & 0xff) as u8;
+            let data = ((value >> 9) & 0xffff) as u16;
+            if write {
+                if !self.bus.write(addr, data) {
+                    self.write_errors += 1;
+                }
+            } else {
+                self.last_read = self.bus.read(addr).unwrap_or(0xffff);
+            }
+        }
+    }
+}
+
+/// A pure-bypass TAP (a chip section with no accessible registers).
+#[derive(Debug, Clone, Default)]
+pub struct BypassDevice {
+    idcode: u32,
+}
+
+impl BypassDevice {
+    /// Creates a bypass device with the given IDCODE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idcode` has bit 0 clear.
+    #[must_use]
+    pub fn new(idcode: u32) -> Self {
+        assert!(idcode & 1 == 1, "IDCODE bit 0 must be 1 per IEEE 1149.1");
+        Self { idcode }
+    }
+}
+
+impl JtagDevice for BypassDevice {
+    fn ir_length(&self) -> usize {
+        4
+    }
+
+    fn idcode(&self) -> u32 {
+        self.idcode
+    }
+
+    fn dr_length(&self, ir: u64) -> usize {
+        if ir == instructions::IDCODE {
+            32
+        } else {
+            1
+        }
+    }
+
+    fn capture_dr(&mut self, ir: u64) -> u64 {
+        if ir == instructions::IDCODE {
+            self.idcode as u64
+        } else {
+            0
+        }
+    }
+
+    fn update_dr(&mut self, _ir: u64, _value: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[derive(Debug, Default)]
+    struct MapBus {
+        regs: HashMap<u8, u16>,
+    }
+
+    impl RegisterBus for MapBus {
+        fn read(&mut self, addr: u8) -> Option<u16> {
+            self.regs.get(&addr).copied()
+        }
+        fn write(&mut self, addr: u8, value: u16) -> bool {
+            if addr < 0x10 {
+                self.regs.insert(addr, value);
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let dr = RegAccessDevice::<MapBus>::pack_write(0x2a, 0xbeef);
+        assert_eq!(dr & 1, 1);
+        assert_eq!((dr >> 1) & 0xff, 0x2a);
+        assert_eq!(RegAccessDevice::<MapBus>::unpack_data(dr), 0xbeef);
+    }
+
+    #[test]
+    fn write_then_read_back() {
+        let mut dev = RegAccessDevice::new(0x1234_5601, MapBus::default());
+        let ir = instructions::REG_ACCESS;
+        dev.update_dr(ir, RegAccessDevice::<MapBus>::pack_write(0x05, 0xa5a5));
+        dev.update_dr(ir, RegAccessDevice::<MapBus>::pack_read(0x05));
+        let captured = dev.capture_dr(ir);
+        assert_eq!(RegAccessDevice::<MapBus>::unpack_data(captured), 0xa5a5);
+    }
+
+    #[test]
+    fn unmapped_read_returns_all_ones() {
+        let mut dev = RegAccessDevice::new(0x1, MapBus::default());
+        dev.update_dr(
+            instructions::REG_ACCESS,
+            RegAccessDevice::<MapBus>::pack_read(0x99),
+        );
+        let captured = dev.capture_dr(instructions::REG_ACCESS);
+        assert_eq!(RegAccessDevice::<MapBus>::unpack_data(captured), 0xffff);
+    }
+
+    #[test]
+    fn rejected_writes_counted() {
+        let mut dev = RegAccessDevice::new(0x1, MapBus::default());
+        dev.update_dr(
+            instructions::REG_ACCESS,
+            RegAccessDevice::<MapBus>::pack_write(0x99, 1),
+        );
+        assert_eq!(dev.write_errors(), 1);
+    }
+
+    #[test]
+    fn idcode_capture() {
+        let mut dev = RegAccessDevice::new(0xdead_beef | 1, MapBus::default());
+        assert_eq!(dev.capture_dr(instructions::IDCODE) as u32, 0xdead_beef | 1);
+        assert_eq!(dev.dr_length(instructions::IDCODE), 32);
+    }
+
+    #[test]
+    fn bypass_is_one_bit_zero() {
+        let mut dev = BypassDevice::new(0x0000_0BB1);
+        assert_eq!(dev.dr_length(instructions::BYPASS), 1);
+        assert_eq!(dev.capture_dr(instructions::BYPASS), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit 0")]
+    fn even_idcode_rejected() {
+        let _ = BypassDevice::new(0x2);
+    }
+}

@@ -1,0 +1,35 @@
+//! # ascp-jtag — JTAG (IEEE 1149.1) configuration interface
+//!
+//! The analog/digital configuration link of the ASCP platform (reproduction
+//! of *Platform Based Design for Automotive Sensor Conditioning*, DATE
+//! 2005). The paper picks JTAG for the AFE control interface because it is
+//! proven, asynchronous (clock-skew tolerant), 4-wire, and offers *full
+//! read-back capability* for verification and debugging (§4.2) — the
+//! prototype must "pass strict self-checking tests concerning full hardware
+//! read-back capability" (§2).
+//!
+//! - [`state`] — the 16-state TAP controller FSM;
+//! - [`device`] — the [`device::JtagDevice`] trait, BYPASS/IDCODE
+//!   behaviour, and the register-access DR protocol;
+//! - [`chain`] — a bit-level multi-device chain (shared TMS, rippling
+//!   TDI→TDO) with high-level scan transactions.
+//!
+//! # Example
+//!
+//! ```
+//! use ascp_jtag::chain::JtagChain;
+//! use ascp_jtag::device::BypassDevice;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut chain = JtagChain::new(vec![
+//!     Box::new(BypassDevice::new(0x0000_0A01)),
+//!     Box::new(BypassDevice::new(0x0000_0B01)),
+//! ]);
+//! assert_eq!(chain.read_idcodes()?, vec![0x0000_0A01, 0x0000_0B01]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod chain;
+pub mod device;
+pub mod state;

@@ -1,0 +1,182 @@
+//! IEEE 1149.1 TAP controller state machine.
+//!
+//! The paper selects JTAG as the analog/digital configuration interface for
+//! its reliability, asynchronous clocking, 4-wire routing and "full
+//! read-back capability" (§4.2). The 16-state TAP FSM below is the exact
+//! standard machine; every transition is driven by TMS sampled on the
+//! rising edge of TCK.
+
+/// The sixteen TAP controller states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TapState {
+    /// Reset state (TMS high for 5 clocks reaches it from anywhere).
+    #[default]
+    TestLogicReset,
+    /// Idle between scans.
+    RunTestIdle,
+    /// Entry to the data-register column.
+    SelectDrScan,
+    /// Parallel-load the selected DR.
+    CaptureDr,
+    /// Shift the DR one bit per clock.
+    ShiftDr,
+    /// First exit from shifting.
+    Exit1Dr,
+    /// Pause shifting.
+    PauseDr,
+    /// Second exit.
+    Exit2Dr,
+    /// Apply the shifted DR value.
+    UpdateDr,
+    /// Entry to the instruction-register column.
+    SelectIrScan,
+    /// Parallel-load the IR.
+    CaptureIr,
+    /// Shift the IR.
+    ShiftIr,
+    /// First exit from IR shifting.
+    Exit1Ir,
+    /// Pause IR shifting.
+    PauseIr,
+    /// Second exit.
+    Exit2Ir,
+    /// Apply the shifted instruction.
+    UpdateIr,
+}
+
+impl TapState {
+    /// The state after one TCK rising edge with the given TMS level.
+    #[must_use]
+    pub fn next(self, tms: bool) -> TapState {
+        use TapState::*;
+        match (self, tms) {
+            (TestLogicReset, true) => TestLogicReset,
+            (TestLogicReset, false) => RunTestIdle,
+            (RunTestIdle, true) => SelectDrScan,
+            (RunTestIdle, false) => RunTestIdle,
+            (SelectDrScan, true) => SelectIrScan,
+            (SelectDrScan, false) => CaptureDr,
+            (CaptureDr, true) => Exit1Dr,
+            (CaptureDr, false) => ShiftDr,
+            (ShiftDr, true) => Exit1Dr,
+            (ShiftDr, false) => ShiftDr,
+            (Exit1Dr, true) => UpdateDr,
+            (Exit1Dr, false) => PauseDr,
+            (PauseDr, true) => Exit2Dr,
+            (PauseDr, false) => PauseDr,
+            (Exit2Dr, true) => UpdateDr,
+            (Exit2Dr, false) => ShiftDr,
+            (UpdateDr, true) => SelectDrScan,
+            (UpdateDr, false) => RunTestIdle,
+            (SelectIrScan, true) => TestLogicReset,
+            (SelectIrScan, false) => CaptureIr,
+            (CaptureIr, true) => Exit1Ir,
+            (CaptureIr, false) => ShiftIr,
+            (ShiftIr, true) => Exit1Ir,
+            (ShiftIr, false) => ShiftIr,
+            (Exit1Ir, true) => UpdateIr,
+            (Exit1Ir, false) => PauseIr,
+            (PauseIr, true) => Exit2Ir,
+            (PauseIr, false) => PauseIr,
+            (Exit2Ir, true) => UpdateIr,
+            (Exit2Ir, false) => ShiftIr,
+            (UpdateIr, true) => SelectDrScan,
+            (UpdateIr, false) => RunTestIdle,
+        }
+    }
+
+    /// `true` in the two shift states.
+    #[must_use]
+    pub fn is_shifting(self) -> bool {
+        matches!(self, TapState::ShiftDr | TapState::ShiftIr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TapState::*;
+
+    #[test]
+    fn five_tms_ones_reset_from_anywhere() {
+        let all = [
+            TestLogicReset,
+            RunTestIdle,
+            SelectDrScan,
+            CaptureDr,
+            ShiftDr,
+            Exit1Dr,
+            PauseDr,
+            Exit2Dr,
+            UpdateDr,
+            SelectIrScan,
+            CaptureIr,
+            ShiftIr,
+            Exit1Ir,
+            PauseIr,
+            Exit2Ir,
+            UpdateIr,
+        ];
+        for start in all {
+            let mut s = start;
+            for _ in 0..5 {
+                s = s.next(true);
+            }
+            assert_eq!(s, TestLogicReset, "from {start:?}");
+        }
+    }
+
+    #[test]
+    fn standard_dr_scan_path() {
+        let mut s = RunTestIdle;
+        // TMS: 1 0 0 ... shift ... 1 1 -> back to idle via 0.
+        s = s.next(true); // SelectDrScan
+        assert_eq!(s, SelectDrScan);
+        s = s.next(false); // CaptureDr
+        assert_eq!(s, CaptureDr);
+        s = s.next(false); // ShiftDr
+        assert_eq!(s, ShiftDr);
+        s = s.next(false);
+        assert_eq!(s, ShiftDr);
+        s = s.next(true); // Exit1
+        assert_eq!(s, Exit1Dr);
+        s = s.next(true); // Update
+        assert_eq!(s, UpdateDr);
+        s = s.next(false);
+        assert_eq!(s, RunTestIdle);
+    }
+
+    #[test]
+    fn ir_scan_path() {
+        let mut s = RunTestIdle;
+        s = s.next(true);
+        s = s.next(true);
+        assert_eq!(s, SelectIrScan);
+        s = s.next(false);
+        assert_eq!(s, CaptureIr);
+        s = s.next(false);
+        assert_eq!(s, ShiftIr);
+        assert!(s.is_shifting());
+        s = s.next(true);
+        s = s.next(false);
+        assert_eq!(s, PauseIr);
+        s = s.next(true);
+        assert_eq!(s, Exit2Ir);
+        s = s.next(false);
+        assert_eq!(s, ShiftIr);
+    }
+
+    #[test]
+    fn pause_dr_loops() {
+        let mut s = PauseDr;
+        for _ in 0..10 {
+            s = s.next(false);
+            assert_eq!(s, PauseDr);
+        }
+    }
+
+    #[test]
+    fn idle_is_stable() {
+        assert_eq!(RunTestIdle.next(false), RunTestIdle);
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests of the 8051 core: ALU flags against an independent
+//! reference model over random operands, stack round trips, and
+//! assembler↔interpreter agreement for random immediates.
+
+use ascp_mcu8051::asm::assemble;
+use ascp_mcu8051::cpu::{psw, sfr, Cpu, NullBus};
+use proptest::prelude::*;
+
+/// Independent reference for ADD/ADDC flags (textbook definitions).
+fn ref_add(a: u8, b: u8, carry_in: bool) -> (u8, bool, bool, bool) {
+    let c = u16::from(carry_in);
+    let sum = a as u16 + b as u16 + c;
+    let cy = sum > 0xff;
+    let ac = (a & 0x0f) as u16 + (b & 0x0f) as u16 + c > 0x0f;
+    let signed = (a as i8 as i16) + (b as i8 as i16) + c as i16;
+    let ov = !(-128..=127).contains(&signed);
+    (sum as u8, cy, ac, ov)
+}
+
+fn ref_subb(a: u8, b: u8, borrow_in: bool) -> (u8, bool, bool, bool) {
+    let c = i16::from(borrow_in);
+    let diff = a as i16 - b as i16 - c;
+    let cy = diff < 0;
+    let ac = (a & 0x0f) as i16 - (b & 0x0f) as i16 - c < 0;
+    let signed = (a as i8 as i16) - (b as i8 as i16) - c;
+    let ov = !(-128..=127).contains(&signed);
+    (diff as u8, cy, ac, ov)
+}
+
+fn run_alu(op: &str, a: u8, b: u8, carry: bool) -> (u8, bool, bool, bool) {
+    let src = format!(
+        "{}\nmov a, #{a}\n{op} a, #{b}\nhalt: sjmp halt\n",
+        if carry { "setb c" } else { "clr c" }
+    );
+    let mut cpu = Cpu::new();
+    cpu.load_code(&assemble(&src).expect("assembles"));
+    let mut bus = NullBus;
+    for _ in 0..3 {
+        cpu.step(&mut bus);
+    }
+    let flags = cpu.sfr(sfr::PSW);
+    (
+        cpu.acc(),
+        flags & psw::CY != 0,
+        flags & psw::AC != 0,
+        flags & psw::OV != 0,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_matches_reference(a in any::<u8>(), b in any::<u8>()) {
+        let (r, cy, ac, ov) = run_alu("add", a, b, false);
+        let (er, ecy, eac, eov) = ref_add(a, b, false);
+        prop_assert_eq!((r, cy, ac, ov), (er, ecy, eac, eov), "ADD {:#x}+{:#x}", a, b);
+    }
+
+    #[test]
+    fn addc_matches_reference(a in any::<u8>(), b in any::<u8>(), c in any::<bool>()) {
+        let (r, cy, ac, ov) = run_alu("addc", a, b, c);
+        let (er, ecy, eac, eov) = ref_add(a, b, c);
+        prop_assert_eq!((r, cy, ac, ov), (er, ecy, eac, eov), "ADDC {:#x}+{:#x}+{}", a, b, c);
+    }
+
+    #[test]
+    fn subb_matches_reference(a in any::<u8>(), b in any::<u8>(), c in any::<bool>()) {
+        let (r, cy, ac, ov) = run_alu("subb", a, b, c);
+        let (er, ecy, eac, eov) = ref_subb(a, b, c);
+        prop_assert_eq!((r, cy, ac, ov), (er, ecy, eac, eov), "SUBB {:#x}-{:#x}-{}", a, b, c);
+    }
+
+    #[test]
+    fn mul_matches_u16_product(a in any::<u8>(), b in any::<u8>()) {
+        let src = format!("mov a, #{a}\nmov b, #{b}\nmul ab\nhalt: sjmp halt\n");
+        let mut cpu = Cpu::new();
+        cpu.load_code(&assemble(&src).expect("assembles"));
+        let mut bus = NullBus;
+        for _ in 0..3 {
+            cpu.step(&mut bus);
+        }
+        let p = a as u16 * b as u16;
+        prop_assert_eq!(cpu.acc(), p as u8);
+        prop_assert_eq!(cpu.sfr(sfr::B), (p >> 8) as u8);
+        prop_assert_eq!(cpu.sfr(sfr::PSW) & psw::OV != 0, p > 0xff);
+    }
+
+    #[test]
+    fn div_matches_integer_division(a in any::<u8>(), b in 1u8..) {
+        let src = format!("mov a, #{a}\nmov b, #{b}\ndiv ab\nhalt: sjmp halt\n");
+        let mut cpu = Cpu::new();
+        cpu.load_code(&assemble(&src).expect("assembles"));
+        let mut bus = NullBus;
+        for _ in 0..3 {
+            cpu.step(&mut bus);
+        }
+        prop_assert_eq!(cpu.acc(), a / b);
+        prop_assert_eq!(cpu.sfr(sfr::B), a % b);
+    }
+
+    #[test]
+    fn immediate_loads_round_trip(v in any::<u8>(), reg in 0u8..8) {
+        let src = format!("mov r{reg}, #{v}\nmov a, r{reg}\nhalt: sjmp halt\n");
+        let mut cpu = Cpu::new();
+        cpu.load_code(&assemble(&src).expect("assembles"));
+        let mut bus = NullBus;
+        for _ in 0..2 {
+            cpu.step(&mut bus);
+        }
+        prop_assert_eq!(cpu.acc(), v);
+    }
+
+    #[test]
+    fn push_pop_round_trips(values in proptest::collection::vec(any::<u8>(), 1..16)) {
+        // Push all values, pop them back in reverse into IRAM 0x40...
+        let mut src = String::new();
+        for v in &values {
+            src.push_str(&format!("mov a, #{v}\npush acc\n"));
+        }
+        for i in 0..values.len() {
+            src.push_str(&format!("pop {}\n", 0x40 + i));
+        }
+        src.push_str("halt: sjmp halt\n");
+        let mut cpu = Cpu::new();
+        cpu.load_code(&assemble(&src).expect("assembles"));
+        let mut bus = NullBus;
+        for _ in 0..(values.len() * 3 + 2) {
+            cpu.step(&mut bus);
+        }
+        for (i, v) in values.iter().rev().enumerate() {
+            prop_assert_eq!(cpu.iram(0x40 + i as u8), *v, "pop {}", i);
+        }
+        // Stack pointer restored.
+        prop_assert_eq!(cpu.sfr(sfr::SP), 0x07);
+    }
+
+    #[test]
+    fn swap_rl_rr_identities(v in any::<u8>()) {
+        let src = format!("mov a, #{v}\nswap a\nswap a\nrl a\nrr a\nhalt: sjmp halt\n");
+        let mut cpu = Cpu::new();
+        cpu.load_code(&assemble(&src).expect("assembles"));
+        let mut bus = NullBus;
+        for _ in 0..5 {
+            cpu.step(&mut bus);
+        }
+        prop_assert_eq!(cpu.acc(), v);
+    }
+
+    #[test]
+    fn djnz_counts_exactly(n in 1u8..=255) {
+        let src = format!(
+            "mov r2, #{n}\nmov r3, #0\nloop: inc r3\ndjnz r2, loop\nhalt: sjmp halt\n"
+        );
+        let mut cpu = Cpu::new();
+        cpu.load_code(&assemble(&src).expect("assembles"));
+        let mut bus = NullBus;
+        for _ in 0..(n as usize * 2 + 4) {
+            cpu.step(&mut bus);
+        }
+        prop_assert_eq!(cpu.iram(3), n);
+    }
+
+    #[test]
+    fn xdata_round_trips(addr in any::<u16>(), v in any::<u8>()) {
+        use ascp_mcu8051::periph::SystemBus;
+        let src = format!(
+            "mov dptr, #{addr}\nmov a, #{v}\nmovx @dptr, a\nclr a\nmovx a, @dptr\nhalt: sjmp halt\n"
+        );
+        let mut cpu = Cpu::new();
+        cpu.load_code(&assemble(&src).expect("assembles"));
+        let mut bus = SystemBus::new();
+        for _ in 0..5 {
+            cpu.step(&mut bus);
+        }
+        prop_assert_eq!(cpu.acc(), v);
+    }
+}
+
+mod disasm_round_trip {
+    use ascp_mcu8051::asm::assemble;
+    use ascp_mcu8051::disasm::disassemble;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Any byte soup, disassembled and re-assembled, must reproduce the
+        /// exact original bytes (the two tools agree on every encoding).
+        #[test]
+        fn disassemble_reassemble_is_identity(code in proptest::collection::vec(any::<u8>(), 1..64)) {
+            let insts = disassemble(&code, 0, code.len() as u16);
+            // Rebuild source; pad any trailing truncated instruction
+            // (bytes past the image end decode as zero operands).
+            let mut src = String::new();
+            let mut covered = 0usize;
+            for i in &insts {
+                src.push_str(&i.text);
+                src.push('\n');
+                covered = i.address as usize + i.bytes.len();
+            }
+            let rebuilt = assemble(&src).expect("canonical text must reassemble");
+            let mut expect = code.clone();
+            expect.resize(covered, 0); // decoder zero-fills truncated tails
+            prop_assert_eq!(&rebuilt, &expect,
+                "source:\n{}", src);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Allan deviation — the gyro community's stability metric.
+//!
+//! The paper's tables quote rate noise density; modern gyro datasheets also
+//! quote angle random walk and bias instability, both read off the Allan
+//! deviation curve. This module computes the overlapping Allan deviation of
+//! a rate record and extracts those two figures, extending the
+//! characterization harness beyond the paper's rows.
+
+/// One point of the Allan deviation curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllanPoint {
+    /// Averaging time τ (s).
+    pub tau: f64,
+    /// Overlapping Allan deviation σ(τ) (same units as the input samples).
+    pub sigma: f64,
+}
+
+/// Computes the overlapping Allan deviation of `samples` taken at `fs` Hz,
+/// at logarithmically spaced τ values (about `points_per_decade` each
+/// decade, up to a quarter of the record length).
+///
+/// # Panics
+///
+/// Panics if `fs` is not positive, the record has fewer than 8 samples, or
+/// `points_per_decade` is zero.
+#[must_use]
+pub fn allan_deviation(samples: &[f64], fs: f64, points_per_decade: u32) -> Vec<AllanPoint> {
+    assert!(fs > 0.0, "sample rate must be positive");
+    assert!(samples.len() >= 8, "need at least 8 samples");
+    assert!(points_per_decade > 0, "points_per_decade must be non-zero");
+    let n = samples.len();
+    let tau0 = 1.0 / fs;
+    // Cumulative sum (integrated signal = "angle" record).
+    let mut theta = Vec::with_capacity(n + 1);
+    theta.push(0.0);
+    let mut acc = 0.0;
+    for &x in samples {
+        acc += x * tau0;
+        theta.push(acc);
+    }
+
+    let max_m = n / 4;
+    let mut out = Vec::new();
+    let mut m = 1usize;
+    let ratio = 10f64.powf(1.0 / f64::from(points_per_decade));
+    while m <= max_m {
+        let tau = m as f64 * tau0;
+        // Overlapping estimator:
+        // σ²(τ) = 1/(2τ²(N−2m)) Σ (θ[k+2m] − 2θ[k+m] + θ[k])².
+        let terms = n + 1 - 2 * m;
+        let mut s = 0.0;
+        for k in 0..terms {
+            let d = theta[k + 2 * m] - 2.0 * theta[k + m] + theta[k];
+            s += d * d;
+        }
+        let sigma2 = s / (2.0 * tau * tau * terms as f64);
+        out.push(AllanPoint {
+            tau,
+            sigma: sigma2.sqrt(),
+        });
+        let next = ((m as f64) * ratio).ceil() as usize;
+        m = next.max(m + 1);
+    }
+    out
+}
+
+/// Angle random walk (units/√Hz): σ(τ) read at τ = 1 s on the −1/2 slope,
+/// i.e. the curve value interpolated at τ = 1 s.
+///
+/// Returns `None` if the curve does not span τ = 1 s.
+#[must_use]
+pub fn angle_random_walk(curve: &[AllanPoint]) -> Option<f64> {
+    interpolate_log(curve, 1.0)
+}
+
+/// Bias instability (same units as the input): the minimum of the Allan
+/// deviation curve divided by the 0.664 flicker factor.
+///
+/// Returns `None` for an empty curve.
+#[must_use]
+pub fn bias_instability(curve: &[AllanPoint]) -> Option<f64> {
+    curve
+        .iter()
+        .map(|p| p.sigma)
+        .fold(None, |acc: Option<f64>, s| {
+            Some(acc.map_or(s, |a| a.min(s)))
+        })
+        .map(|min| min / 0.664)
+}
+
+fn interpolate_log(curve: &[AllanPoint], tau: f64) -> Option<f64> {
+    if curve.is_empty() || tau < curve[0].tau || tau > curve[curve.len() - 1].tau {
+        return None;
+    }
+    let i = curve.partition_point(|p| p.tau <= tau);
+    if i == 0 {
+        return Some(curve[0].sigma);
+    }
+    if i >= curve.len() {
+        return Some(curve[curve.len() - 1].sigma);
+    }
+    let (a, b) = (&curve[i - 1], &curve[i]);
+    let f = (tau.ln() - a.tau.ln()) / (b.tau.ln() - a.tau.ln());
+    Some((a.sigma.ln() + f * (b.sigma.ln() - a.sigma.ln())).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::{RandomWalk, WhiteNoise};
+
+    #[test]
+    fn white_noise_has_half_slope() {
+        // For white noise of density d, σ(τ) = d/√τ.
+        let fs = 100.0;
+        let density = 0.1;
+        let mut n = WhiteNoise::from_density(density, fs, 42);
+        let xs: Vec<f64> = (0..200_000).map(|_| n.sample()).collect();
+        let curve = allan_deviation(&xs, fs, 4);
+        // Check slope between τ = 0.1 and τ = 10.
+        let s01 = interpolate_log(&curve, 0.1).expect("curve spans 0.1 s");
+        let s10 = interpolate_log(&curve, 10.0).expect("curve spans 10 s");
+        let slope = (s10.ln() - s01.ln()) / (10f64.ln() - 0.1f64.ln());
+        assert!((slope + 0.5).abs() < 0.08, "slope {slope}");
+        // σ(1 s) = d/√2 for one-sided density d (the √2 is the Allan
+        // estimator's white-noise transfer).
+        let arw = angle_random_walk(&curve).expect("spans 1 s");
+        let expect = density / 2f64.sqrt();
+        assert!((arw - expect).abs() / expect < 0.1, "ARW {arw} vs {expect}");
+    }
+
+    #[test]
+    fn random_walk_dominates_long_tau() {
+        // Rate random walk rises at +1/2 slope for long τ: the curve of a
+        // pure random-walk signal must grow with τ at the long end.
+        let fs = 100.0;
+        let mut w = RandomWalk::new(0.01, 1.0e9, 7);
+        let xs: Vec<f64> = (0..100_000).map(|_| w.sample()).collect();
+        let curve = allan_deviation(&xs, fs, 4);
+        let early = curve[2].sigma;
+        let late = curve[curve.len() - 1].sigma;
+        assert!(late > 2.0 * early, "no random-walk rise: {early} vs {late}");
+    }
+
+    #[test]
+    fn bias_instability_is_curve_minimum_scaled() {
+        let curve = vec![
+            AllanPoint { tau: 0.1, sigma: 1.0 },
+            AllanPoint { tau: 1.0, sigma: 0.4 },
+            AllanPoint { tau: 10.0, sigma: 0.7 },
+        ];
+        let bi = bias_instability(&curve).expect("non-empty");
+        assert!((bi - 0.4 / 0.664).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotone_in_tau() {
+        let mut n = WhiteNoise::new(1.0, 3);
+        let xs: Vec<f64> = (0..4096).map(|_| n.sample()).collect();
+        let curve = allan_deviation(&xs, 100.0, 3);
+        for w in curve.windows(2) {
+            assert!(w[1].tau > w[0].tau);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8")]
+    fn rejects_short_records() {
+        let _ = allan_deviation(&[1.0; 4], 100.0, 3);
+    }
+
+    #[test]
+    fn arw_none_outside_span() {
+        let mut n = WhiteNoise::new(1.0, 3);
+        // 16 samples at 1 kHz: max τ = 4 ms << 1 s.
+        let xs: Vec<f64> = (0..16).map(|_| n.sample()).collect();
+        let curve = allan_deviation(&xs, 1000.0, 3);
+        assert!(angle_random_walk(&curve).is_none());
+    }
+}

@@ -1,0 +1,263 @@
+//! Seeded noise sources for analog and MEMS models.
+//!
+//! The platform's noise budget is dominated by three shapes:
+//!
+//! - **white** noise (thermal / Brownian force, ADC quantization dither),
+//! - **pink** (1/f, flicker) noise from the CMOS front-end amplifiers,
+//! - **random walk** (bias instability of the rate output over temperature
+//!   and time).
+//!
+//! All sources are deterministic given a seed so experiments are exactly
+//! reproducible — the simulation-kernel equivalent of a logged bench
+//! measurement.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Gaussian white-noise source (Box–Muller over a seeded PRNG).
+///
+/// `sigma` is the standard deviation of each sample. For a band-limited
+/// process sampled at `fs`, a white density of `d` units/√Hz corresponds to
+/// `sigma = d * sqrt(fs / 2)`; use [`WhiteNoise::from_density`].
+///
+/// # Example
+///
+/// ```
+/// use ascp_sim::noise::WhiteNoise;
+/// let mut n = WhiteNoise::new(1.0, 42);
+/// let x = n.sample();
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct WhiteNoise {
+    sigma: f64,
+    rng: StdRng,
+    cached: Option<f64>,
+}
+
+impl WhiteNoise {
+    /// Creates a source with per-sample standard deviation `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    #[must_use]
+    pub fn new(sigma: f64, seed: u64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "noise sigma must be finite and non-negative, got {sigma}"
+        );
+        Self {
+            sigma,
+            rng: StdRng::seed_from_u64(seed),
+            cached: None,
+        }
+    }
+
+    /// Creates a source from a one-sided spectral density `density`
+    /// (units/√Hz) at sample rate `fs` (Hz).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is negative or `fs` is not positive.
+    #[must_use]
+    pub fn from_density(density: f64, fs: f64, seed: u64) -> Self {
+        assert!(fs > 0.0, "sample rate must be positive, got {fs}");
+        Self::new(density * (fs / 2.0).sqrt(), seed)
+    }
+
+    /// Per-sample standard deviation.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws the next Gaussian sample.
+    pub fn sample(&mut self) -> f64 {
+        if self.sigma == 0.0 {
+            return 0.0;
+        }
+        if let Some(z) = self.cached.take() {
+            return z * self.sigma;
+        }
+        // Box–Muller: two uniforms -> two independent normals.
+        let u1: f64 = loop {
+            let u = self.rng.gen::<f64>();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2: f64 = self.rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached = Some(r * theta.sin());
+        r * theta.cos() * self.sigma
+    }
+}
+
+/// Pink (1/f) noise via the Voss–McCartney multi-row algorithm.
+///
+/// Approximates a −10 dB/decade power slope over ~`rows` octaves; used for
+/// amplifier flicker noise below the corner frequency.
+#[derive(Debug, Clone)]
+pub struct PinkNoise {
+    white: WhiteNoise,
+    rows: Vec<f64>,
+    counter: u64,
+    scale: f64,
+}
+
+impl PinkNoise {
+    /// Creates a pink source whose long-run RMS is approximately `sigma`,
+    /// shaped over `rows` octaves (typically 12–16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero or `sigma` is negative/not finite.
+    #[must_use]
+    pub fn new(sigma: f64, rows: usize, seed: u64) -> Self {
+        assert!(rows > 0, "pink noise needs at least one row");
+        let n = rows as f64;
+        Self {
+            white: WhiteNoise::new(1.0, seed),
+            rows: vec![0.0; rows],
+            counter: 0,
+            // The sum of `rows` unit-variance rows has variance `rows`.
+            scale: sigma / n.sqrt(),
+        }
+    }
+
+    /// Draws the next pink sample.
+    pub fn sample(&mut self) -> f64 {
+        self.counter = self.counter.wrapping_add(1);
+        // Update the row selected by the lowest set bit of the counter: row
+        // k updates every 2^k samples, giving the 1/f ladder.
+        let k = (self.counter.trailing_zeros() as usize).min(self.rows.len() - 1);
+        self.rows[k] = self.white.sample();
+        self.rows.iter().sum::<f64>() * self.scale
+    }
+}
+
+/// Integrated-white (random-walk / Brownian) noise source.
+///
+/// Each call adds a Gaussian increment of standard deviation
+/// `sigma_per_sample` to an internal state; models rate-output bias drift.
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    white: WhiteNoise,
+    state: f64,
+    limit: f64,
+}
+
+impl RandomWalk {
+    /// Creates a walk with per-sample increment sigma and a reflecting limit
+    /// (`limit`, use `f64::INFINITY` for an unbounded walk).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is not positive.
+    #[must_use]
+    pub fn new(sigma_per_sample: f64, limit: f64, seed: u64) -> Self {
+        assert!(limit > 0.0, "random walk limit must be positive");
+        Self {
+            white: WhiteNoise::new(sigma_per_sample, seed),
+            state: 0.0,
+            limit,
+        }
+    }
+
+    /// Advances the walk and returns the new state.
+    pub fn sample(&mut self) -> f64 {
+        self.state += self.white.sample();
+        // Reflect at the limit so the bias stays physically bounded.
+        if self.state > self.limit {
+            self.state = 2.0 * self.limit - self.state;
+        } else if self.state < -self.limit {
+            self.state = -2.0 * self.limit - self.state;
+        }
+        self.state
+    }
+
+    /// Current state without advancing.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn white_noise_is_reproducible() {
+        let mut a = WhiteNoise::new(1.0, 7);
+        let mut b = WhiteNoise::new(1.0, 7);
+        for _ in 0..100 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    fn white_noise_distinct_seeds_differ() {
+        let mut a = WhiteNoise::new(1.0, 1);
+        let mut b = WhiteNoise::new(1.0, 2);
+        let same = (0..32).filter(|_| a.sample() == b.sample()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn white_noise_moments() {
+        let mut n = WhiteNoise::new(2.0, 99);
+        let xs: Vec<f64> = (0..200_000).map(|_| n.sample()).collect();
+        let mean = stats::mean(&xs);
+        let sd = stats::std_dev(&xs);
+        assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
+        assert!((sd - 2.0).abs() < 0.02, "std dev {sd} too far from 2");
+    }
+
+    #[test]
+    fn white_noise_zero_sigma_is_silent() {
+        let mut n = WhiteNoise::new(0.0, 3);
+        assert!((0..10).all(|_| n.sample() == 0.0));
+    }
+
+    #[test]
+    fn density_scaling_matches_sigma() {
+        let n = WhiteNoise::from_density(0.1, 200.0, 0);
+        assert!((n.sigma() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pink_noise_low_frequency_dominates() {
+        // Pink noise should have more power in the slow rows: compare
+        // variance of raw samples to variance of first differences. For
+        // white noise var(diff) = 2*var; for pink it is much lower.
+        let mut p = PinkNoise::new(1.0, 14, 5);
+        let xs: Vec<f64> = (0..100_000).map(|_| p.sample()).collect();
+        let var = stats::variance(&xs);
+        let diffs: Vec<f64> = xs.windows(2).map(|w| w[1] - w[0]).collect();
+        let var_diff = stats::variance(&diffs);
+        assert!(
+            var_diff < 1.2 * var,
+            "pink spectrum not low-frequency weighted: var={var} var_diff={var_diff}"
+        );
+    }
+
+    #[test]
+    fn random_walk_respects_limit() {
+        let mut w = RandomWalk::new(0.5, 1.0, 11);
+        for _ in 0..10_000 {
+            let v = w.sample();
+            assert!(v.abs() <= 1.0 + 1e-9, "walk escaped limit: {v}");
+        }
+    }
+
+    #[test]
+    fn random_walk_value_matches_last_sample() {
+        let mut w = RandomWalk::new(0.1, 10.0, 13);
+        let s = w.sample();
+        assert_eq!(s, w.value());
+    }
+}

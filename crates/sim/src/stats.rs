@@ -1,0 +1,252 @@
+//! Numeric helpers shared by models and the characterization harness.
+//!
+//! These are the measurement primitives behind the paper's datasheet rows:
+//! linear regression gives sensitivity and nonlinearity, settling detection
+//! gives turn-on time, mean/variance underpin noise figures.
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance. Returns 0 for slices shorter than 2.
+#[must_use]
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Root mean square.
+#[must_use]
+pub fn rms(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Peak absolute value.
+#[must_use]
+pub fn peak(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0f64, |acc, x| acc.max(x.abs()))
+}
+
+/// Result of a least-squares straight-line fit `y = slope * x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinearFit {
+    /// Fitted slope (e.g. sensitivity in V per °/s).
+    pub slope: f64,
+    /// Fitted intercept (e.g. null voltage).
+    pub intercept: f64,
+    /// Maximum absolute deviation of any point from the fitted line.
+    pub max_residual: f64,
+    /// RMS residual.
+    pub rms_residual: f64,
+}
+
+/// Least-squares line through `(x, y)` pairs.
+///
+/// Used by the characterization harness: fitting output voltage versus
+/// applied rate yields sensitivity (slope), null (intercept) and
+/// nonlinearity (max residual as a fraction of full scale).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, have fewer than 2 points, or all
+/// `x` are identical.
+///
+/// # Example
+///
+/// ```
+/// use ascp_sim::stats::linear_fit;
+/// let x = [0.0, 1.0, 2.0, 3.0];
+/// let y = [1.0, 3.0, 5.0, 7.0];
+/// let fit = linear_fit(&x, &y);
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn linear_fit(x: &[f64], y: &[f64]) -> LinearFit {
+    assert_eq!(x.len(), y.len(), "linear_fit needs equal-length slices");
+    assert!(x.len() >= 2, "linear_fit needs at least two points");
+    let mx = mean(x);
+    let my = mean(y);
+    let sxx: f64 = x.iter().map(|xi| (xi - mx) * (xi - mx)).sum();
+    assert!(sxx > 0.0, "linear_fit needs at least two distinct x values");
+    let sxy: f64 = x.iter().zip(y).map(|(xi, yi)| (xi - mx) * (yi - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let mut max_residual = 0.0f64;
+    let mut ss = 0.0f64;
+    for (xi, yi) in x.iter().zip(y) {
+        let r = yi - (slope * xi + intercept);
+        max_residual = max_residual.max(r.abs());
+        ss += r * r;
+    }
+    LinearFit {
+        slope,
+        intercept,
+        max_residual,
+        rms_residual: (ss / x.len() as f64).sqrt(),
+    }
+}
+
+/// Finds the first index after which `xs` stays within `tol` of `target`
+/// forever (settling detection). Returns `None` if the signal never settles.
+///
+/// This is the turn-on-time measurement: the paper's Table 1 quotes 500 ms
+/// for the platform (PLL acquisition dominates) versus 35 ms for the
+/// ADXRS300.
+///
+/// # Example
+///
+/// ```
+/// use ascp_sim::stats::settling_index;
+/// let xs = [5.0, 3.0, 1.2, 1.05, 0.98, 1.01, 1.0];
+/// assert_eq!(settling_index(&xs, 1.0, 0.1), Some(3));
+/// ```
+#[must_use]
+pub fn settling_index(xs: &[f64], target: f64, tol: f64) -> Option<usize> {
+    let mut candidate = None;
+    for (i, x) in xs.iter().enumerate() {
+        if (x - target).abs() <= tol {
+            if candidate.is_none() {
+                candidate = Some(i);
+            }
+        } else {
+            candidate = None;
+        }
+    }
+    candidate
+}
+
+/// Sliding-window check that the last `window` samples of `xs` all lie
+/// within `tol` of their own mean (steady-state detector for lock checks).
+#[must_use]
+pub fn is_settled(xs: &[f64], window: usize, tol: f64) -> bool {
+    if xs.len() < window || window == 0 {
+        return false;
+    }
+    let tail = &xs[xs.len() - window..];
+    let m = mean(tail);
+    tail.iter().all(|x| (x - m).abs() <= tol)
+}
+
+/// Linear interpolation of `y` at `x` given sorted sample points `xs`/`ys`.
+///
+/// Clamps outside the range. Used for temperature-coefficient lookup tables.
+///
+/// # Panics
+///
+/// Panics if the slices are empty or differ in length.
+#[must_use]
+pub fn interp(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "interp needs equal-length slices");
+    assert!(!xs.is_empty(), "interp needs at least one point");
+    if x <= xs[0] {
+        return ys[0];
+    }
+    if x >= xs[xs.len() - 1] {
+        return ys[ys.len() - 1];
+    }
+    let i = xs.partition_point(|&p| p <= x);
+    let (x0, x1) = (xs[i - 1], xs[i]);
+    let (y0, y1) = (ys[i - 1], ys[i]);
+    y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert!((std_dev(&xs) - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(rms(&[]), 0.0);
+        assert_eq!(peak(&[]), 0.0);
+    }
+
+    #[test]
+    fn rms_and_peak() {
+        let xs = [3.0, -4.0];
+        assert!((rms(&xs) - (12.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(peak(&xs), 4.0);
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let x: Vec<f64> = (0..10).map(f64::from).collect();
+        let y: Vec<f64> = x.iter().map(|v| -0.5 * v + 2.0).collect();
+        let fit = linear_fit(&x, &y);
+        assert!((fit.slope + 0.5).abs() < 1e-12);
+        assert!((fit.intercept - 2.0).abs() < 1e-12);
+        assert!(fit.max_residual < 1e-12);
+        assert!(fit.rms_residual < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_reports_residuals() {
+        let x = [0.0, 1.0, 2.0];
+        let y = [0.0, 1.5, 2.0]; // middle point off the 0..2 line by 0.5
+        let fit = linear_fit(&x, &y);
+        assert!(fit.max_residual > 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn linear_fit_length_mismatch_panics() {
+        let _ = linear_fit(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn settling_never_settles() {
+        let xs = [0.0, 2.0, 0.0, 2.0];
+        assert_eq!(settling_index(&xs, 1.0, 0.5), None);
+    }
+
+    #[test]
+    fn settling_at_zero_if_always_in_band() {
+        let xs = [1.0, 1.01, 0.99];
+        assert_eq!(settling_index(&xs, 1.0, 0.1), Some(0));
+    }
+
+    #[test]
+    fn is_settled_windows() {
+        let xs = [5.0, 1.0, 1.0, 1.0];
+        assert!(is_settled(&xs, 3, 0.01));
+        assert!(!is_settled(&xs, 4, 0.01));
+        assert!(!is_settled(&xs, 0, 0.01));
+    }
+
+    #[test]
+    fn interp_inside_and_clamped() {
+        let xs = [0.0, 10.0, 20.0];
+        let ys = [0.0, 100.0, 150.0];
+        assert!((interp(&xs, &ys, 5.0) - 50.0).abs() < 1e-12);
+        assert!((interp(&xs, &ys, 15.0) - 125.0).abs() < 1e-12);
+        assert_eq!(interp(&xs, &ys, -5.0), 0.0);
+        assert_eq!(interp(&xs, &ys, 25.0), 150.0);
+    }
+}

@@ -1,0 +1,351 @@
+//! Waveform recording and CSV export.
+//!
+//! Traces are the simulation stand-in for the paper's MATLAB plots (Fig. 5)
+//! and AC-probe screenshots (Fig. 6): every experiment regenerator records
+//! the relevant nodes into a [`TraceSet`] and writes a CSV that plots the
+//! same series the paper shows.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Write};
+
+/// A single named waveform: `(time, value)` samples with optional
+/// decimation so multi-second runs at 1 MHz stay memory-bounded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    name: String,
+    times: Vec<f64>,
+    values: Vec<f64>,
+    decimation: u32,
+    counter: u32,
+}
+
+impl Trace {
+    /// Creates an empty trace recording every pushed sample.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self::with_decimation(name, 1)
+    }
+
+    /// Creates a trace keeping one sample out of every `decimation` pushes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decimation` is zero.
+    #[must_use]
+    pub fn with_decimation(name: impl Into<String>, decimation: u32) -> Self {
+        assert!(decimation > 0, "trace decimation must be non-zero");
+        Self {
+            name: name.into(),
+            times: Vec::new(),
+            values: Vec::new(),
+            decimation,
+            counter: 0,
+        }
+    }
+
+    /// Trace name (CSV column header).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records a sample (subject to decimation).
+    pub fn push(&mut self, t: f64, v: f64) {
+        if self.counter == 0 {
+            self.times.push(t);
+            self.values.push(v);
+        }
+        self.counter += 1;
+        if self.counter == self.decimation {
+            self.counter = 0;
+        }
+    }
+
+    /// Number of stored samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if no samples are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Stored sample times.
+    #[must_use]
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Stored sample values.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Last stored value, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    /// Values recorded at or after time `t0` (for steady-state analysis).
+    #[must_use]
+    pub fn values_after(&self, t0: f64) -> &[f64] {
+        let i = self.times.partition_point(|&t| t < t0);
+        &self.values[i..]
+    }
+}
+
+/// Error returned when a [`TraceSet`] cannot be exported.
+#[derive(Debug)]
+pub enum ExportTraceError {
+    /// Traces have different lengths and cannot share a time column.
+    LengthMismatch {
+        /// Name of the first trace whose length differs.
+        name: String,
+        /// Its length.
+        len: usize,
+        /// The expected length (length of the first trace).
+        expected: usize,
+    },
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for ExportTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::LengthMismatch {
+                name,
+                len,
+                expected,
+            } => write!(
+                f,
+                "trace `{name}` has {len} samples, expected {expected}"
+            ),
+            Self::Io(e) => write!(f, "i/o error exporting traces: {e}"),
+        }
+    }
+}
+
+impl Error for ExportTraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::LengthMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ExportTraceError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// A bundle of equally-sampled traces sharing a time axis.
+///
+/// # Example
+///
+/// ```
+/// use ascp_sim::trace::{Trace, TraceSet};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut a = Trace::new("phase_error");
+/// let mut b = Trace::new("vco_control");
+/// for k in 0..4 {
+///     a.push(k as f64, 0.1 * k as f64);
+///     b.push(k as f64, 1.0);
+/// }
+/// let set = TraceSet::new(vec![a, b]);
+/// let mut csv = Vec::new();
+/// set.write_csv(&mut csv)?;
+/// let text = String::from_utf8(csv)?;
+/// assert!(text.starts_with("time,phase_error,vco_control"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceSet {
+    traces: Vec<Trace>,
+}
+
+impl TraceSet {
+    /// Creates a set from individual traces.
+    #[must_use]
+    pub fn new(traces: Vec<Trace>) -> Self {
+        Self { traces }
+    }
+
+    /// Adds a trace to the set.
+    pub fn push(&mut self, trace: Trace) {
+        self.traces.push(trace);
+    }
+
+    /// Borrow a trace by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Trace> {
+        self.traces.iter().find(|t| t.name() == name)
+    }
+
+    /// Iterates over the traces.
+    pub fn iter(&self) -> std::slice::Iter<'_, Trace> {
+        self.traces.iter()
+    }
+
+    /// Writes `time,<name>,...` CSV to `out`. A `&mut` writer may be passed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExportTraceError::LengthMismatch`] if the traces do not all
+    /// have the same length, or [`ExportTraceError::Io`] on write failure.
+    pub fn write_csv<W: Write>(&self, mut out: W) -> Result<(), ExportTraceError> {
+        if self.traces.is_empty() {
+            return Ok(());
+        }
+        let expected = self.traces[0].len();
+        for t in &self.traces {
+            if t.len() != expected {
+                return Err(ExportTraceError::LengthMismatch {
+                    name: t.name().to_owned(),
+                    len: t.len(),
+                    expected,
+                });
+            }
+        }
+        write!(out, "time")?;
+        for t in &self.traces {
+            write!(out, ",{}", t.name())?;
+        }
+        writeln!(out)?;
+        for i in 0..expected {
+            write!(out, "{}", self.traces[0].times()[i])?;
+            for t in &self.traces {
+                write!(out, ",{}", t.values()[i])?;
+            }
+            writeln!(out)?;
+        }
+        Ok(())
+    }
+
+    /// Writes the CSV to a file path, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TraceSet::write_csv`], plus directory-creation failures.
+    pub fn save_csv(&self, path: impl AsRef<std::path::Path>) -> Result<(), ExportTraceError> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = std::fs::File::create(path)?;
+        self.write_csv(io::BufWriter::new(file))
+    }
+}
+
+impl<'a> IntoIterator for &'a TraceSet {
+    type Item = &'a Trace;
+    type IntoIter = std::slice::Iter<'a, Trace>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.traces.iter()
+    }
+}
+
+impl FromIterator<Trace> for TraceSet {
+    fn from_iter<I: IntoIterator<Item = Trace>>(iter: I) -> Self {
+        Self {
+            traces: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Trace> for TraceSet {
+    fn extend<I: IntoIterator<Item = Trace>>(&mut self, iter: I) {
+        self.traces.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_records_samples() {
+        let mut t = Trace::new("x");
+        t.push(0.0, 1.0);
+        t.push(1.0, 2.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.last(), Some(2.0));
+        assert_eq!(t.times(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn decimation_keeps_every_nth() {
+        let mut t = Trace::with_decimation("x", 3);
+        for k in 0..9 {
+            t.push(k as f64, k as f64);
+        }
+        assert_eq!(t.values(), &[0.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn values_after_slices_by_time() {
+        let mut t = Trace::new("x");
+        for k in 0..10 {
+            t.push(k as f64 * 0.1, k as f64);
+        }
+        let tail = t.values_after(0.55);
+        assert_eq!(tail, &[6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new("x");
+        assert!(t.is_empty());
+        assert_eq!(t.last(), None);
+        assert!(t.values_after(0.0).is_empty());
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let mut a = Trace::new("a");
+        a.push(0.0, 1.5);
+        a.push(0.5, 2.5);
+        let set = TraceSet::new(vec![a]);
+        let mut buf = Vec::new();
+        set.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "time,a\n0,1.5\n0.5,2.5\n");
+    }
+
+    #[test]
+    fn csv_length_mismatch_is_error() {
+        let mut a = Trace::new("a");
+        a.push(0.0, 1.0);
+        let b = Trace::new("b");
+        let set = TraceSet::new(vec![a, b]);
+        let err = set.write_csv(Vec::new()).unwrap_err();
+        assert!(matches!(err, ExportTraceError::LengthMismatch { .. }));
+        assert!(err.to_string().contains('b'));
+    }
+
+    #[test]
+    fn traceset_collect_and_lookup() {
+        let set: TraceSet = ["a", "b", "c"].into_iter().map(Trace::new).collect();
+        assert!(set.get("b").is_some());
+        assert!(set.get("z").is_none());
+        assert_eq!(set.iter().count(), 3);
+    }
+
+    #[test]
+    fn empty_set_writes_nothing() {
+        let set = TraceSet::default();
+        let mut buf = Vec::new();
+        set.write_csv(&mut buf).unwrap();
+        assert!(buf.is_empty());
+    }
+}

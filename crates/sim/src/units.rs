@@ -1,0 +1,277 @@
+//! Physical unit newtypes.
+//!
+//! Automotive sensor conditioning mixes voltages, frequencies, angular rates
+//! and temperatures in the same equations; the paper's datasheet tables
+//! (Tables 1–3) quote mV/°/s, °/s/√Hz, Hz, ms and °C. Newtypes keep these
+//! quantities from being confused (C-NEWTYPE) while staying zero-cost.
+//!
+//! Each unit wraps an `f64`, exposes the raw value as public field `0`, and
+//! implements the arithmetic that is physically meaningful (adding two
+//! voltages, scaling by a dimensionless factor). Cross-unit products that
+//! would change dimension are done explicitly on the raw values.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Implements arithmetic and formatting shared by all unit newtypes.
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns `true` if the wrapped value is finite.
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Clamps into `[lo, hi]`.
+            #[must_use]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $suffix)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(v: $name) -> f64 {
+                v.0
+            }
+        }
+    };
+}
+
+unit!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+unit!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+unit!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+unit!(
+    /// Angular rate in degrees per second (the yaw-rate unit of the paper's
+    /// tables).
+    DegPerSec,
+    "°/s"
+);
+unit!(
+    /// Temperature in degrees Celsius. Automotive operating range in the
+    /// paper is −40 °C to +125 °C for the platform, −40 °C to +85 °C for the
+    /// gyro product.
+    Celsius,
+    "°C"
+);
+unit!(
+    /// Angle in radians.
+    Radians,
+    "rad"
+);
+
+impl Hertz {
+    /// Angular frequency ω = 2πf in rad/s.
+    #[must_use]
+    pub fn angular(self) -> f64 {
+        2.0 * std::f64::consts::PI * self.0
+    }
+
+    /// Period T = 1/f.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    #[must_use]
+    pub fn period(self) -> Seconds {
+        assert!(self.0 != 0.0, "cannot take the period of 0 Hz");
+        Seconds(1.0 / self.0)
+    }
+}
+
+impl DegPerSec {
+    /// Converts to radians per second.
+    #[must_use]
+    pub fn to_rad_per_sec(self) -> f64 {
+        self.0.to_radians()
+    }
+
+    /// Conversion constructor from radians per second.
+    #[must_use]
+    pub fn from_rad_per_sec(w: f64) -> Self {
+        Self(w.to_degrees())
+    }
+}
+
+impl Celsius {
+    /// Converts to kelvin (for Brownian-noise calculations).
+    #[must_use]
+    pub fn to_kelvin(self) -> f64 {
+        self.0 + 273.15
+    }
+}
+
+impl Seconds {
+    /// Converts to milliseconds (turn-on-time rows of the paper's tables are
+    /// quoted in ms).
+    #[must_use]
+    pub fn to_millis(self) -> f64 {
+        self.0 * 1.0e3
+    }
+}
+
+impl Volts {
+    /// Converts to millivolts (sensitivity rows are quoted in mV/°/s).
+    #[must_use]
+    pub fn to_millivolts(self) -> f64 {
+        self.0 * 1.0e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volts_arithmetic() {
+        let a = Volts(2.5) + Volts(0.5);
+        assert_eq!(a, Volts(3.0));
+        assert_eq!(a - Volts(1.0), Volts(2.0));
+        assert_eq!(-a, Volts(-3.0));
+        assert_eq!(a * 2.0, Volts(6.0));
+        assert_eq!(2.0 * a, Volts(6.0));
+        assert_eq!(a / 3.0, Volts(1.0));
+        assert_eq!(Volts(6.0) / Volts(2.0), 3.0);
+    }
+
+    #[test]
+    fn hertz_angular_and_period() {
+        let f = Hertz(15_000.0);
+        assert!((f.angular() - 2.0 * std::f64::consts::PI * 15_000.0).abs() < 1e-9);
+        assert!((f.period().0 - 1.0 / 15_000.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rate_conversions_round_trip() {
+        let r = DegPerSec(300.0);
+        let w = r.to_rad_per_sec();
+        assert!((DegPerSec::from_rad_per_sec(w).0 - 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn celsius_to_kelvin() {
+        assert!((Celsius(-40.0).to_kelvin() - 233.15).abs() < 1e-12);
+        assert!((Celsius(25.0).to_kelvin() - 298.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_has_suffix() {
+        assert_eq!(Volts(2.5).to_string(), "2.5 V");
+        assert_eq!(DegPerSec(-75.0).to_string(), "-75 °/s");
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Volts = (0..4).map(|k| Volts(k as f64)).sum();
+        assert_eq!(total, Volts(6.0));
+    }
+
+    #[test]
+    fn clamp_and_abs() {
+        assert_eq!(Volts(7.0).clamp(Volts(0.0), Volts(5.0)), Volts(5.0));
+        assert_eq!(Volts(-1.0).abs(), Volts(1.0));
+    }
+
+    #[test]
+    fn milli_conversions() {
+        assert!((Seconds(0.5).to_millis() - 500.0).abs() < 1e-12);
+        assert!((Volts(0.005).to_millivolts() - 5.0).abs() < 1e-12);
+    }
+}

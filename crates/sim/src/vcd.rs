@@ -1,0 +1,188 @@
+//! VCD (Value Change Dump) waveform export.
+//!
+//! The paper's verification loop lives in HDL simulators whose native
+//! waveform format is IEEE 1364 VCD. Exporting [`TraceSet`]s as VCD lets
+//! any wave viewer (GTKWave, Surfer) open ASCP runs next to RTL dumps —
+//! the practical hand-off point between this simulation and a real flow.
+//!
+//! Analog (f64) traces are emitted as VCD `real` variables.
+
+use crate::trace::{ExportTraceError, TraceSet};
+use std::io::{self, Write};
+
+/// Writes a [`TraceSet`] as a VCD file with a 1 ns timescale.
+///
+/// All traces must share the time axis (same length, same sample times),
+/// as produced by the platform's trace recorders.
+///
+/// # Errors
+///
+/// Returns [`ExportTraceError::LengthMismatch`] if trace lengths differ, or
+/// [`ExportTraceError::Io`] on write failure.
+///
+/// # Example
+///
+/// ```
+/// use ascp_sim::trace::{Trace, TraceSet};
+/// use ascp_sim::vcd::write_vcd;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut t = Trace::new("phase_error");
+/// t.push(0.0, 0.25);
+/// t.push(1.0e-6, 0.125);
+/// let mut out = Vec::new();
+/// write_vcd(&TraceSet::new(vec![t]), &mut out)?;
+/// let text = String::from_utf8(out)?;
+/// assert!(text.contains("$var real 64"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_vcd<W: Write>(set: &TraceSet, mut out: W) -> Result<(), ExportTraceError> {
+    let traces: Vec<_> = set.iter().collect();
+    if traces.is_empty() {
+        return Ok(());
+    }
+    let expected = traces[0].len();
+    for t in &traces {
+        if t.len() != expected {
+            return Err(ExportTraceError::LengthMismatch {
+                name: t.name().to_owned(),
+                len: t.len(),
+                expected,
+            });
+        }
+    }
+
+    writeln!(out, "$date ascp-sim export $end")?;
+    writeln!(out, "$version ascp-sim 0.1 $end")?;
+    writeln!(out, "$timescale 1ns $end")?;
+    writeln!(out, "$scope module ascp $end")?;
+    for (i, t) in traces.iter().enumerate() {
+        // VCD identifier codes: printable ASCII starting at '!'.
+        let id = ident(i);
+        let name = sanitize(t.name());
+        writeln!(out, "$var real 64 {id} {name} $end")?;
+    }
+    writeln!(out, "$upscope $end")?;
+    writeln!(out, "$enddefinitions $end")?;
+
+    let mut last: Vec<Option<f64>> = vec![None; traces.len()];
+    for k in 0..expected {
+        let t_ns = (traces[0].times()[k] * 1.0e9).round() as u64;
+        let mut banner = false;
+        for (i, t) in traces.iter().enumerate() {
+            let v = t.values()[k];
+            if last[i] != Some(v) {
+                if !banner {
+                    writeln!(out, "#{t_ns}")?;
+                    banner = true;
+                }
+                writeln!(out, "r{v} {}", ident(i))?;
+                last[i] = Some(v);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Saves a trace set as a VCD file, creating parent directories.
+///
+/// # Errors
+///
+/// Same as [`write_vcd`], plus directory/file-creation failures.
+pub fn save_vcd(set: &TraceSet, path: impl AsRef<std::path::Path>) -> Result<(), ExportTraceError> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let file = std::fs::File::create(path)?;
+    write_vcd(set, io::BufWriter::new(file))
+}
+
+fn ident(i: usize) -> String {
+    // 94 printable chars starting at '!'; extend to two chars if needed.
+    let alphabet = 94usize;
+    if i < alphabet {
+        ((b'!' + i as u8) as char).to_string()
+    } else {
+        let hi = (b'!' + (i / alphabet - 1) as u8) as char;
+        let lo = (b'!' + (i % alphabet) as u8) as char;
+        format!("{hi}{lo}")
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    fn two_traces() -> TraceSet {
+        let mut a = Trace::new("sig a");
+        let mut b = Trace::new("sig_b");
+        for k in 0..4 {
+            a.push(k as f64 * 1.0e-6, k as f64);
+            b.push(k as f64 * 1.0e-6, 1.0);
+        }
+        TraceSet::new(vec![a, b])
+    }
+
+    #[test]
+    fn header_declares_all_vars() {
+        let mut out = Vec::new();
+        write_vcd(&two_traces(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("$var real 64 ! sig_a $end"));
+        assert!(text.contains("$var real 64 \" sig_b $end"));
+        assert!(text.contains("$enddefinitions"));
+    }
+
+    #[test]
+    fn only_changes_are_dumped() {
+        let mut out = Vec::new();
+        write_vcd(&two_traces(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // b is constant 1.0: dumped once.
+        let b_changes = text.lines().filter(|l| l.ends_with(" \"")).count();
+        assert_eq!(b_changes, 1);
+        // a changes every sample: 4 dumps.
+        let a_changes = text.lines().filter(|l| l.ends_with(" !")).count();
+        assert_eq!(a_changes, 4);
+    }
+
+    #[test]
+    fn timestamps_in_nanoseconds() {
+        let mut out = Vec::new();
+        write_vcd(&two_traces(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("#0\n"));
+        assert!(text.contains("#1000\n"));
+        assert!(text.contains("#3000\n"));
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let mut a = Trace::new("a");
+        a.push(0.0, 1.0);
+        let b = Trace::new("b");
+        let err = write_vcd(&TraceSet::new(vec![a, b]), Vec::new()).unwrap_err();
+        assert!(matches!(err, ExportTraceError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn ident_codes_unique_over_many_signals() {
+        let ids: Vec<String> = (0..300).map(ident).collect();
+        let set: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(set.len(), ids.len());
+    }
+
+    #[test]
+    fn empty_set_is_ok() {
+        write_vcd(&TraceSet::default(), Vec::new()).unwrap();
+    }
+}

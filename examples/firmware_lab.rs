@@ -1,0 +1,139 @@
+//! Firmware development lab: the paper's software-download stories.
+//!
+//! §4.2: the 'prototype' variant boots from a small ROM and downloads
+//! application code over the UART; images can also be stored in an SPI
+//! EEPROM to "reboot directly from EEPROM instead of downloading each time
+//! after reset"; and the SRAM controller captures real-time DSP data "with
+//! chance of later read-back for analysis purposes".
+//!
+//! ```sh
+//! cargo run --release --example firmware_lab
+//! ```
+
+use ascp::core::firmware;
+use ascp::mcu8051::asm::assemble;
+use ascp::mcu8051::cpu::Cpu;
+use ascp::mcu8051::periph::{Bus16Device, SpiEeprom, SystemBus};
+
+/// A tiny application: count loop iterations into R7 and blink P1.
+const APP: &str = "
+        org 0x1000
+        mov a, #0
+blink:  cpl p1.7
+        inc r7
+        mov r6, #50
+wait:   djnz r6, wait
+        sjmp blink
+";
+
+fn run_until<F: Fn(&Cpu) -> bool>(cpu: &mut Cpu, bus: &mut SystemBus, max: u64, done: F) -> bool {
+    for _ in 0..max {
+        cpu.step(bus);
+        for (addr, byte) in bus.cache.take_writes() {
+            cpu.code_write(addr, byte);
+        }
+        if done(cpu) {
+            return true;
+        }
+    }
+    false
+}
+
+fn main() {
+    let app = assemble(APP).expect("application assembles");
+    let body = &app[0x1000..];
+    println!("application: {} bytes at 0x1000", body.len());
+
+    // --- 1. UART download boot (prototype variant) ---
+    println!("\n[1] UART download boot");
+    let mut cpu = Cpu::new();
+    cpu.load_code(&firmware::uart_boot_image().expect("boot ROM"));
+    let mut bus = SystemBus::new();
+    cpu.uart_inject_rx(body.len() as u8);
+    cpu.uart_inject_rx((body.len() >> 8) as u8);
+    for &b in body {
+        cpu.uart_inject_rx(b);
+    }
+    let ok = run_until(&mut cpu, &mut bus, 500_000, |c| c.iram(7) > 3);
+    println!(
+        "  downloaded {} bytes, app running: {ok} (R7 = {})",
+        bus.cache.total_written(),
+        cpu.iram(7)
+    );
+
+    // --- 2. EEPROM boot ---
+    println!("\n[2] SPI EEPROM boot");
+    let mut image = vec![body.len() as u8, (body.len() >> 8) as u8];
+    image.extend_from_slice(body);
+    let mut rom = SpiEeprom::new(8192);
+    rom.load(&image);
+    let mut cpu = Cpu::new();
+    cpu.load_code(&firmware::eeprom_boot_image().expect("boot ROM"));
+    let mut bus = SystemBus::new();
+    bus.spi.attach(Box::new(rom));
+    let ok = run_until(&mut cpu, &mut bus, 500_000, |c| c.iram(7) > 3);
+    println!(
+        "  booted from EEPROM over {} SPI transfers, app running: {ok}",
+        bus.spi.transfers()
+    );
+
+    // --- 3. SRAM capture + CPU read-back ---
+    println!("\n[3] real-time SRAM capture and read-back");
+    let mut bus = SystemBus::new();
+    // Hardware side: capture a ramp as the DSP would stream it.
+    bus.sram.write16(0, 0b11); // enable + reset pointer
+    for k in 0..500u16 {
+        bus.sram.capture(k.wrapping_mul(3));
+    }
+    // Firmware side: read sample 123 through the bridge.
+    let reader = assemble(
+        "
+BR_ADDR EQU 0xa1
+BR_DLO  EQU 0xa2
+BR_DHI  EQU 0xa3
+BR_CTRL EQU 0xa4
+        ; SRAM controller: reg 2 = read addr, reg 3 = read data (base 0x20)
+        mov BR_ADDR, #0x22
+        mov BR_DLO, #123
+        mov BR_DHI, #0
+        mov BR_CTRL, #2
+        mov BR_ADDR, #0x23
+        mov BR_CTRL, #1
+        mov a, BR_DLO
+        mov r0, a
+        mov a, BR_DHI
+        mov r1, a
+        done: sjmp done
+",
+    )
+    .expect("reader assembles");
+    let mut cpu = Cpu::new();
+    cpu.load_code(&reader);
+    // Run to the final spin loop (fixed budget: the read sequence is short).
+    run_until(&mut cpu, &mut bus, 10_000, |c| c.pc() >= reader.len() as u16 - 2);
+    let value = u16::from_le_bytes([cpu.iram(0), cpu.iram(1)]);
+    println!(
+        "  captured {} samples; firmware read sample[123] = {value} (expected {})",
+        bus.sram.count(),
+        123 * 3
+    );
+
+    // --- 4. watchdog demonstration ---
+    println!("\n[4] watchdog supervision");
+    let mut cpu = Cpu::new();
+    cpu.load_code(&assemble("dead: sjmp dead\n").expect("assembles"));
+    let mut bus = SystemBus::new();
+    bus.watchdog.write16(1, 10_000);
+    bus.watchdog.write16(0, 1);
+    let mut resets = 0u32;
+    for _ in 0..100_000u32 {
+        let c = cpu.step(&mut bus);
+        if bus.watchdog.tick(c) {
+            cpu.reset();
+            cpu.load_code(&firmware::monitor_image().expect("monitor"));
+            resets += 1;
+        }
+    }
+    println!("  hung firmware was reset {resets} time(s); monitor now kicks the dog: {}",
+        !bus.watchdog.expired() || resets > 0);
+}

@@ -1,0 +1,44 @@
+//! # ASCP — Automotive Sensor Conditioning Platform
+//!
+//! A pure-Rust reproduction of *Platform Based Design for Automotive Sensor
+//! Conditioning* (Fanucci, Giambastiani, Iozzi, Marino, Rocchi — DATE
+//! 2005): a generic mixed-signal platform for conditioning automotive
+//! sensors, customized for the paper's case study — a MEMS vibrating-ring
+//! yaw-rate gyroscope.
+//!
+//! This facade crate re-exports the subsystem crates:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`core`] ([`ascp_core`]) | the platform: system model, fixed-point chain, co-simulation, characterization |
+//! | [`sim`] ([`ascp_sim`]) | simulation kernel: time base, traces, noise, stats |
+//! | [`dsp`] ([`ascp_dsp`]) | fixed-point DSP IP portfolio |
+//! | [`mems`] ([`ascp_mems`]) | sensor physics models |
+//! | [`afe`] ([`ascp_afe`]) | analog front-end models |
+//! | [`jtag`] ([`ascp_jtag`]) | IEEE 1149.1 configuration interface |
+//! | [`mcu8051`] ([`ascp_mcu8051`]) | 8051 CPU, assembler, peripherals |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ascp::core::platform::{Platform, PlatformConfig};
+//! use ascp::sim::units::DegPerSec;
+//!
+//! let mut cfg = PlatformConfig::default();
+//! cfg.cpu_enabled = false; // faster for a doc test
+//! let mut platform = Platform::new(cfg);
+//! let turn_on = platform.wait_for_ready(2.0).expect("lock");
+//! assert!(turn_on.0 < 1.5);
+//! platform.set_rate(DegPerSec(120.0));
+//! platform.run(0.3);
+//! let dps = platform.rate_output_dps().abs();
+//! assert!((dps - 120.0).abs() < 15.0, "read {dps} °/s");
+//! ```
+
+pub use ascp_afe as afe;
+pub use ascp_core as core;
+pub use ascp_dsp as dsp;
+pub use ascp_jtag as jtag;
+pub use ascp_mcu8051 as mcu8051;
+pub use ascp_mems as mems;
+pub use ascp_sim as sim;

@@ -1,0 +1,103 @@
+//! Integration test: the fixed-point conditioning chain tracking a
+//! *drifting* electrical carrier — the pure-DSP equivalent of a temperature
+//! ramp moving the ring's resonance while the platform operates.
+
+use ascp::core::chain::{ChainConfig, ConditioningChain};
+use ascp::dsp::fixed::Q15;
+
+/// Drives the chain with a synthetic primary (0.8 FS, swept frequency) and
+/// a secondary carrying −0.2·cos rate AM; checks the PLL follows the sweep
+/// and the rate output stays put.
+#[test]
+fn chain_tracks_swept_carrier() {
+    let fs = 250_000.0;
+    let mut chain = ConditioningChain::new(ChainConfig::default());
+    let mut phase = 0.0f64;
+    let mut rates = Vec::new();
+    let total = (2.0 * fs) as usize;
+    for k in 0..total {
+        // Sweep 15.00 kHz -> 14.95 kHz over 2 s (a −40 °C-style drift).
+        let f = 15_000.0 - 50.0 * k as f64 / total as f64;
+        phase += 2.0 * std::f64::consts::PI * f / fs;
+        let primary = Q15::from_f64(0.8 * phase.sin());
+        let secondary = Q15::from_f64(-0.2 * phase.cos());
+        chain.process(primary, secondary);
+        if k > total / 2 && k % 2500 == 0 {
+            rates.push(chain.rate_out().to_f64());
+        }
+    }
+    assert!(chain.is_locked(), "lost lock during sweep");
+    assert!(
+        (chain.frequency() - 14_950.0).abs() < 10.0,
+        "PLL at {} Hz after sweep",
+        chain.frequency()
+    );
+    let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+    assert!(
+        (mean - 0.2).abs() < 0.02,
+        "rate output drifted during sweep: {mean}"
+    );
+}
+
+/// Amplitude steps on the primary (AGC disturbances) must not leak into the
+/// rate output: the CORDIC envelope detector and PLL normalize them away.
+#[test]
+fn primary_amplitude_steps_do_not_leak_into_rate() {
+    let fs = 250_000.0;
+    let mut chain = ConditioningChain::new(ChainConfig::default());
+    let w = 2.0 * std::f64::consts::PI * 15_000.0 / fs;
+    let mut rate_readings = Vec::new();
+    for k in 0..(1.5 * fs) as usize {
+        let t = k as f64;
+        // Primary amplitude steps between 0.7 and 0.9 every 0.25 s.
+        let seg = (t / (0.25 * fs)) as usize;
+        let amp = if seg % 2 == 0 { 0.7 } else { 0.9 };
+        let primary = Q15::from_f64(amp * (w * t).sin());
+        let secondary = Q15::from_f64(-0.15 * (w * t).cos());
+        chain.process(primary, secondary);
+        if k > (0.5 * fs) as usize && k % 5000 == 0 {
+            rate_readings.push(chain.rate_out().to_f64());
+        }
+    }
+    let mean = rate_readings.iter().sum::<f64>() / rate_readings.len() as f64;
+    let worst = rate_readings
+        .iter()
+        .fold(0.0f64, |m, v| m.max((v - mean).abs()));
+    assert!((mean - 0.15).abs() < 0.02, "rate mean {mean}");
+    assert!(worst < 0.03, "amplitude steps leaked into rate: ±{worst}");
+}
+
+/// Saturating inputs (overrange shock) must not wedge the chain: it
+/// re-locks and reports sane rate after the overload clears.
+#[test]
+fn chain_recovers_from_input_overload() {
+    let fs = 250_000.0;
+    let mut chain = ConditioningChain::new(ChainConfig::default());
+    let w = 2.0 * std::f64::consts::PI * 15_000.0 / fs;
+    // Lock normally.
+    for k in 0..(0.6 * fs) as usize {
+        let t = k as f64;
+        chain.process(
+            Q15::from_f64(0.8 * (w * t).sin()),
+            Q15::from_f64(-0.1 * (w * t).cos()),
+        );
+    }
+    assert!(chain.is_locked());
+    // 100 ms of rail-to-rail garbage (mechanical shock).
+    for k in 0..(0.1 * fs) as usize {
+        let v = if k % 3 == 0 { Q15::MAX } else { Q15::MIN };
+        chain.process(v, v);
+    }
+    // Recovery.
+    let mut last = 0.0;
+    for k in 0..(1.0 * fs) as usize {
+        let t = k as f64;
+        chain.process(
+            Q15::from_f64(0.8 * (w * t).sin()),
+            Q15::from_f64(-0.1 * (w * t).cos()),
+        );
+        last = chain.rate_out().to_f64();
+    }
+    assert!(chain.is_locked(), "did not re-lock after overload");
+    assert!((last - 0.1).abs() < 0.03, "rate after recovery: {last}");
+}
