@@ -81,6 +81,7 @@ pub struct SarAdc {
     /// capacitor-mismatch pattern of a physical part).
     dnl: Vec<f64>,
     conversions: u64,
+    clips: u64,
 }
 
 impl SarAdc {
@@ -102,6 +103,7 @@ impl SarAdc {
             noise: WhiteNoise::new(config.noise_rms, config.seed),
             dnl,
             conversions: 0,
+            clips: 0,
         }
     }
 
@@ -123,6 +125,12 @@ impl SarAdc {
         self.conversions
     }
 
+    /// Conversions that hit a rail (signal overload; telemetry reads this).
+    #[must_use]
+    pub fn clips(&self) -> u64 {
+        self.clips
+    }
+
     /// Converts a differential input voltage to a signed code in
     /// `−2^(bits−1) ..= 2^(bits−1)−1`.
     pub fn convert(&mut self, input: Volts) -> i32 {
@@ -140,6 +148,9 @@ impl SarAdc {
         let idx = (code + half) as isize;
         if idx >= 0 && (idx as usize) < self.dnl.len() {
             code = (ideal + self.dnl[idx as usize]).round();
+        }
+        if code < -half || code > half - 1.0 {
+            self.clips += 1;
         }
         code.clamp(-half, half - 1.0) as i32
     }
@@ -192,6 +203,9 @@ mod tests {
         let mut adc = SarAdc::new(quiet_config(12));
         assert_eq!(adc.convert(Volts(10.0)), 2047);
         assert_eq!(adc.convert(Volts(-10.0)), -2048);
+        assert_eq!(adc.clips(), 2);
+        adc.convert(Volts(0.0));
+        assert_eq!(adc.clips(), 2, "in-range conversion must not count");
     }
 
     #[test]

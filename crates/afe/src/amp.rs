@@ -35,8 +35,7 @@ pub struct Pga {
 
 impl Pga {
     /// Available gain settings (binary ladder ×1 … ×512, gain codes 0..=9).
-    pub const GAIN_LADDER: [f64; 10] =
-        [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
+    pub const GAIN_LADDER: [f64; 10] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
 
     /// Creates a PGA at gain code 0 (×1) with bandwidth `bandwidth_hz`,
     /// offset `offset_v` (drifting `offset_tc_v` per °C), input-referred
@@ -46,7 +45,13 @@ impl Pga {
     ///
     /// Panics if `bandwidth_hz` is not positive or `noise_rms` is negative.
     #[must_use]
-    pub fn new(bandwidth_hz: f64, offset_v: f64, offset_tc_v: f64, noise_rms: f64, seed: u64) -> Self {
+    pub fn new(
+        bandwidth_hz: f64,
+        offset_v: f64,
+        offset_tc_v: f64,
+        noise_rms: f64,
+        seed: u64,
+    ) -> Self {
         assert!(bandwidth_hz > 0.0, "bandwidth must be positive");
         assert!(noise_rms >= 0.0, "noise must be non-negative");
         Self {

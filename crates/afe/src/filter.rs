@@ -112,7 +112,10 @@ mod tests {
     fn corner_attenuation_3db() {
         let mut f = AntiAliasFilter::butterworth(30_000.0);
         let g = gain_at(&mut f, 30_000.0);
-        assert!((g - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05, "corner gain {g}");
+        assert!(
+            (g - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05,
+            "corner gain {g}"
+        );
     }
 
     #[test]

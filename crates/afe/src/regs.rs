@@ -92,6 +92,9 @@ impl Error for WriteRegError {}
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AfeRegisterFile {
     values: [u16; 8],
+    /// Successful configuration writes (telemetry; hardware-side
+    /// temperature updates are not counted).
+    writes: u64,
 }
 
 impl Default for AfeRegisterFile {
@@ -111,7 +114,7 @@ impl AfeRegisterFile {
         values[AfeReg::Excitation.addr() as usize] = 2500;
         values[AfeReg::TempSensor.addr() as usize] = 750; // 25 °C
         values[AfeReg::Status.addr() as usize] = 0x0001;
-        Self { values }
+        Self { values, writes: 0 }
     }
 
     /// Reads a register by typed name.
@@ -157,6 +160,7 @@ impl AfeRegisterFile {
             });
         }
         self.values[reg.addr() as usize] = value;
+        self.writes += 1;
         Ok(())
     }
 
@@ -178,6 +182,12 @@ impl AfeRegisterFile {
     pub fn set_temp_sensor(&mut self, celsius: f64) {
         let code = ((celsius + 50.0) * 10.0).clamp(0.0, u16::MAX as f64) as u16;
         self.values[AfeReg::TempSensor.addr() as usize] = code;
+    }
+
+    /// Successful configuration writes since reset (telemetry).
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
     }
 
     /// Die temperature decoded from the sensor register (°C).
@@ -239,10 +249,7 @@ mod tests {
         let mut r = AfeRegisterFile::new();
         r.write_addr(0x02, 14).unwrap();
         assert_eq!(r.read_addr(0x02).unwrap(), 14);
-        assert_eq!(
-            r.read_addr(0x55),
-            Err(WriteRegError::UnknownAddress(0x55))
-        );
+        assert_eq!(r.read_addr(0x55), Err(WriteRegError::UnknownAddress(0x55)));
         assert_eq!(
             r.write_addr(0x55, 0),
             Err(WriteRegError::UnknownAddress(0x55))

@@ -1,8 +1,9 @@
-//! Criterion benchmarks of the fixed-point DSP IP blocks — the cost model
-//! behind the cycle-budget analysis (each block must fit the 20 MHz / 12
-//! machine-cycle budget in hardware; here we check the simulation kernel
-//! sustains real-time-class throughput).
+//! Benchmarks of the fixed-point DSP IP blocks — the cost model behind the
+//! cycle-budget analysis (each block must fit the 20 MHz / 12 machine-cycle
+//! budget in hardware; here we check the simulation kernel sustains
+//! real-time-class throughput).
 
+use ascp_bench::harness::{bench, black_box};
 use ascp_dsp::agc::{Agc, AgcConfig};
 use ascp_dsp::cic::CicDecimator;
 use ascp_dsp::cordic::to_polar;
@@ -13,84 +14,42 @@ use ascp_dsp::fixed::Q15;
 use ascp_dsp::iir::{Biquad, BiquadCoeffs};
 use ascp_dsp::nco::Nco;
 use ascp_dsp::pll::{Pll, PllConfig};
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
-fn bench_fir(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fir");
-    g.throughput(Throughput::Elements(1));
+fn main() {
+    println!("== dsp_blocks ==");
+
     let mut f = FirFilter::lowpass(0.05, 101);
     let x = Q15::from_f64(0.3);
-    g.bench_function("101tap_per_sample", |b| {
-        b.iter(|| black_box(f.process(black_box(x))))
-    });
-    g.finish();
-}
+    bench("fir/101tap_per_sample", || f.process(black_box(x)));
 
-fn bench_iir(c: &mut Criterion) {
-    let mut g = c.benchmark_group("iir");
-    g.throughput(Throughput::Elements(1));
     let mut bq = Biquad::new(BiquadCoeffs::lowpass(0.05, 0.707));
-    let x = Q15::from_f64(0.3);
-    g.bench_function("biquad_per_sample", |b| {
-        b.iter(|| black_box(bq.process(black_box(x))))
-    });
-    g.finish();
-}
+    bench("iir/biquad_per_sample", || bq.process(black_box(x)));
 
-fn bench_nco_cordic(c: &mut Criterion) {
-    let mut g = c.benchmark_group("nco_cordic");
-    g.throughput(Throughput::Elements(1));
     let mut nco = Nco::new();
     nco.set_frequency(15_000.0, 250_000.0);
-    g.bench_function("nco_tick", |b| b.iter(|| black_box(nco.tick())));
+    bench("nco_cordic/nco_tick", || nco.tick());
     let i = Q15::from_f64(0.3);
     let q = Q15::from_f64(0.4);
-    g.bench_function("cordic_to_polar", |b| {
-        b.iter(|| black_box(to_polar(black_box(i), black_box(q))))
+    bench("nco_cordic/cordic_to_polar", || {
+        to_polar(black_box(i), black_box(q))
     });
-    g.finish();
-}
 
-fn bench_loops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("loops");
-    g.throughput(Throughput::Elements(1));
     let mut pll = Pll::new(PllConfig::default());
     let x = Q15::from_f64(0.4);
-    g.bench_function("pll_per_sample", |b| {
-        b.iter(|| black_box(pll.process(black_box(x))))
-    });
+    bench("loops/pll_per_sample", || pll.process(black_box(x)));
     let mut agc = Agc::new(AgcConfig::default());
     let s = Q15::from_f64(0.6);
     let cc = Q15::from_f64(0.8);
-    g.bench_function("agc_per_sample", |b| {
-        b.iter(|| black_box(agc.process(black_box(x), s, cc)))
-    });
+    bench("loops/agc_per_sample", || agc.process(black_box(x), s, cc));
     let mut demod = Demodulator::new(400.0 / 250_000.0, 101, 25);
-    g.bench_function("demod_per_sample", |b| {
-        b.iter(|| black_box(demod.process(black_box(x), s, cc)))
+    bench("loops/demod_per_sample", || {
+        demod.process(black_box(x), s, cc)
     });
     let mut cic = CicDecimator::new(3, 16);
-    g.bench_function("cic_per_sample", |b| {
-        b.iter(|| black_box(cic.process(black_box(x))))
-    });
-    g.finish();
-}
+    bench("loops/cic_per_sample", || cic.process(black_box(x)));
 
-fn bench_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft");
     let xs: Vec<f64> = (0..1 << 14).map(|k| (k as f64 * 0.1).sin()).collect();
-    g.bench_function("welch_psd_16k", |b| {
-        b.iter(|| black_box(welch_psd(black_box(&xs), 10_000.0, 1024, Window::Hann)))
+    bench("fft/welch_psd_16k", || {
+        welch_psd(black_box(&xs), 10_000.0, 1024, Window::Hann)
     });
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_fir,
-    bench_iir,
-    bench_nco_cordic,
-    bench_loops,
-    bench_fft
-);
-criterion_main!(benches);

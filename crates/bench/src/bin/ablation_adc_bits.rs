@@ -9,10 +9,13 @@
 //! cargo run --release -p ascp-bench --bin ablation_adc_bits
 //! ```
 
-use ascp_core::characterize::{measure_noise_density, measure_static_transfer, CharacterizationConfig};
+use ascp_bench::write_metrics;
+use ascp_core::characterize::{
+    measure_noise_density, measure_static_transfer, CharacterizationConfig,
+};
 use ascp_core::platform::{Platform, PlatformConfig};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     println!("ablation: ADC resolution sweep");
     println!(
         "  {:>5} {:>14} {:>14} {:>12}",
@@ -23,6 +26,7 @@ fn main() {
     cfg_meas.samples_per_point = 400;
     cfg_meas.noise_samples = 1 << 14;
 
+    let mut last_snapshot = None;
     for bits in [8u32, 10, 12, 14, 16] {
         let mut cfg = PlatformConfig::default();
         cfg.adc.bits = bits;
@@ -39,9 +43,14 @@ fn main() {
             t.nonlinearity_pct_fs,
             t.sensitivity * 1.0e3
         );
+        last_snapshot = Some(p.telemetry_snapshot());
+    }
+    if let Some(snap) = &last_snapshot {
+        write_metrics("ablation_adc_bits", snap)?;
     }
     println!("expected shape: flat across 8..16 bits — the ~15 kHz carrier dithers");
     println!("converter quantization through the demodulator, and the mechanical");
     println!("floor dominates. The knob costs nothing on this sensor, which is why");
     println!("the paper can leave 'number of ADC bits' programmable per application.");
+    Ok(())
 }

@@ -10,6 +10,7 @@
 //! cargo run --release -p ascp-bench --bin ablation_agc
 //! ```
 
+use ascp_bench::write_metrics;
 use ascp_core::platform::{Platform, PlatformConfig};
 use ascp_sim::stats;
 use ascp_sim::units::{Celsius, DegPerSec};
@@ -32,7 +33,7 @@ fn spread(vals: &[f64]) -> f64 {
     (max - min) / stats::mean(vals).abs() * 100.0
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     println!("ablation: AGC on vs off (scale factor across -40/25/85 degC)");
     let temps = [-40.0, 25.0, 85.0];
     // Exaggerate the Q temperature coefficient so the effect is clearly
@@ -47,6 +48,7 @@ fn main() {
     let mut p = Platform::new(cfg);
     p.wait_for_ready(2.0).expect("lock");
     let on: Vec<f64> = temps.iter().map(|&t| sensitivity(&mut p, t)).collect();
+    write_metrics("ablation_agc", &p.telemetry_snapshot())?;
 
     // --- AGC effectively disabled: clamp the drive to the 25 degC value ---
     let mut cfg = PlatformConfig::default();
@@ -79,4 +81,5 @@ fn main() {
     );
     println!("expected shape: the regulated loop holds the scale factor; the fixed");
     println!("drive inherits Q(T), exactly why the platform includes an AGC IP.");
+    Ok(())
 }

@@ -15,13 +15,15 @@
 //! cargo run --release -p ascp-bench --bin ablation_loop_mode
 //! ```
 
+use ascp_bench::write_metrics;
 use ascp_core::calibrate::trim_rebalance_phase;
 use ascp_core::chain::SenseMode;
 use ascp_core::platform::{Platform, PlatformConfig};
 use ascp_sim::stats;
+use ascp_sim::telemetry::TelemetrySnapshot;
 use ascp_sim::units::DegPerSec;
 
-fn nonlinearity(mode: SenseMode, pickoff_nl: f64) -> f64 {
+fn nonlinearity(mode: SenseMode, pickoff_nl: f64) -> (f64, TelemetrySnapshot) {
     let mut cfg = PlatformConfig::default();
     cfg.mode = mode;
     cfg.cpu_enabled = false;
@@ -42,21 +44,28 @@ fn nonlinearity(mode: SenseMode, pickoff_nl: f64) -> f64 {
         outs.push(stats::mean(&p.sample_rate_output(0.2, 1000)));
     }
     let fit = stats::linear_fit(&rates, &outs);
-    fit.max_residual / (fit.slope.abs() * 300.0) * 100.0
+    let pct = fit.max_residual / (fit.slope.abs() * 300.0) * 100.0;
+    (pct, p.telemetry_snapshot())
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     println!("ablation: open loop vs force rebalance across electrode quality");
     println!(
         "  {:>22} {:>14} {:>14}",
         "pickoff cubic coeff", "open loop", "closed loop"
     );
+    let mut last_snapshot = None;
     for nl in [3.0e3, 3.0e4, 1.0e5] {
-        let open = nonlinearity(SenseMode::OpenLoop, nl);
-        let closed = nonlinearity(SenseMode::ClosedLoop, nl);
+        let (open, _) = nonlinearity(SenseMode::OpenLoop, nl);
+        let (closed, snap) = nonlinearity(SenseMode::ClosedLoop, nl);
         println!("  {nl:>22.0} {open:>13.3}% {closed:>13.3}%");
+        last_snapshot = Some(snap);
+    }
+    if let Some(snap) = &last_snapshot {
+        write_metrics("ablation_loop_mode", snap)?;
     }
     println!("expected shape: open-loop nonlinearity grows with the electrode cubic;");
     println!("force rebalance keeps the deflection at zero and stays flat — the");
     println!("paper's 'more linear and accurate measures' (§4.1).");
+    Ok(())
 }

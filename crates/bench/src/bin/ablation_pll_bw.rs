@@ -9,11 +9,12 @@
 //! cargo run --release -p ascp-bench --bin ablation_pll_bw
 //! ```
 
+use ascp_bench::write_metrics;
 use ascp_core::platform::{Platform, PlatformConfig};
 use ascp_core::system::{SystemModel, SystemModelConfig};
 use ascp_sim::stats;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     println!("ablation: PLL loop gain sweep (float model for speed, platform spot check)");
     println!(
         "  {:>8} {:>8} {:>12} {:>18}",
@@ -42,7 +43,10 @@ fn main() {
                 t * 1.0e3,
                 jitter
             ),
-            None => println!("  {:>8.0} {:>8.0} {:>12} {:>18.6}", cfg.pll_kp, cfg.pll_ki, "no lock", jitter),
+            None => println!(
+                "  {:>8.0} {:>8.0} {:>12} {:>18.6}",
+                cfg.pll_kp, cfg.pll_ki, "no lock", jitter
+            ),
         }
     }
 
@@ -55,6 +59,8 @@ fn main() {
         "  platform (shipped gains): turn-on {} ms",
         t.map_or("timeout".into(), |v| format!("{v:.0}"))
     );
+    write_metrics("ablation_pll_bw", &p.telemetry_snapshot())?;
     println!("expected shape: lock time falls ~1/gain; jitter grows with gain —");
     println!("the paper's 500 ms sits at the low-jitter end of this trade.");
+    Ok(())
 }

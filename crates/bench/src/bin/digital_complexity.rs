@@ -5,10 +5,11 @@
 //! cargo run --release -p ascp-bench --bin digital_complexity
 //! ```
 
-use ascp_bench::{compare, paper};
+use ascp_bench::{compare, paper, write_metrics};
 use ascp_core::report::{CycleBudget, DigitalParams, GateReport};
+use ascp_sim::telemetry::Telemetry;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let params = DigitalParams::default();
     let report = GateReport::estimate(&params);
     println!("{report}");
@@ -32,5 +33,23 @@ fn main() {
         "  with polyphase 25: {:.1} % utilization",
         budget.utilization_polyphase(25) * 100.0
     );
-    compare("clock frequency", paper::DIGITAL_CLOCK_MHZ, budget.clock_hz / 1.0e6, "MHz");
+    compare(
+        "clock frequency",
+        paper::DIGITAL_CLOCK_MHZ,
+        budget.clock_hz / 1.0e6,
+        "MHz",
+    );
+
+    let mut tele = Telemetry::default();
+    tele.gauge_set(
+        "complexity.kgates",
+        report.total_gate_equivalents() / 1000.0,
+    );
+    tele.gauge_set("clock.mhz", budget.clock_hz / 1.0e6);
+    tele.gauge_set(
+        "cycle_budget.utilization_polyphase25",
+        budget.utilization_polyphase(25),
+    );
+    write_metrics("digital_complexity", &tele.snapshot(0.0))?;
+    Ok(())
 }

@@ -10,11 +10,13 @@
 //! cargo run --release -p ascp-bench --bin fig1_flow
 //! ```
 
+use ascp_bench::write_metrics;
 use ascp_core::platform::PlatformConfig;
 use ascp_core::system::SystemModelConfig;
 use ascp_core::verify::{cross_verify, VerifyScenario};
+use ascp_sim::telemetry::Telemetry;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     println!("fig1: cross-level verification (system model vs full platform)");
     let mut sys_cfg = SystemModelConfig::default();
     let mut plat_cfg = PlatformConfig::default();
@@ -41,4 +43,13 @@ fn main() {
     );
     let pass = report.passes(10.0, 20.0);
     println!("  VERIFICATION {}", if pass { "PASSED" } else { "FAILED" });
+
+    let mut tele = Telemetry::default();
+    tele.gauge_set("verify.frequency_error_hz", report.frequency_error_hz);
+    tele.gauge_set("verify.rms_disagreement_dps", report.rms_disagreement);
+    tele.gauge_set("verify.max_disagreement_dps", report.max_disagreement);
+    tele.counter_set("verify.rate_points", report.rate_readings.len() as u64);
+    tele.counter_set("verify.passed", u64::from(pass));
+    write_metrics("fig1_flow", &tele.snapshot(0.0))?;
+    Ok(())
 }

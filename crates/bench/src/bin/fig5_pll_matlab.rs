@@ -8,16 +8,17 @@
 //! cargo run --release -p ascp-bench --bin fig5_pll_matlab
 //! ```
 
-use ascp_bench::experiments_dir;
+use ascp_bench::{experiments_dir, write_metrics};
 use ascp_core::system::{SystemModel, SystemModelConfig};
+use ascp_sim::telemetry::{Event, Telemetry};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let cfg = SystemModelConfig::default();
     let mut model = SystemModel::new(cfg);
 
     println!("fig5: float system model, PLL+AGC locking from rest");
     let traces = model.run_traces(1.2, 4);
-    let path = experiments_dir().join("fig5_pll_matlab.csv");
+    let path = experiments_dir()?.join("fig5_pll_matlab.csv");
     traces.save_csv(&path).expect("write CSV");
 
     // Shape summary (what the paper's figure shows qualitatively).
@@ -44,6 +45,23 @@ fn main() {
         vco.last().unwrap_or(0.0)
     );
     println!("  traces -> {}", path.display());
-    println!("shape check vs paper Fig. 5: errors decay to ~0, VCO and drive settle: {}",
-        model.is_locked() && tail_phase < 0.01 && tail_amp < 0.02);
+
+    // The float model has no built-in collector; record the run summary.
+    let mut tele = Telemetry::default();
+    tele.gauge_set("pll.frequency_hz", model.frequency().0);
+    tele.gauge_set("phase_error.rms_tail", tail_phase);
+    tele.gauge_set("amplitude_error.rms_tail", tail_amp);
+    tele.gauge_set("phase_error.peak", peak_phase);
+    if model.is_locked() {
+        tele.record_event(Event::PllLocked {
+            t: 1.2,
+            frequency_hz: model.frequency().0,
+        });
+    }
+    write_metrics("fig5_pll_matlab", &tele.snapshot(1.2))?;
+    println!(
+        "shape check vs paper Fig. 5: errors decay to ~0, VCO and drive settle: {}",
+        model.is_locked() && tail_phase < 0.01 && tail_amp < 0.02
+    );
+    Ok(())
 }

@@ -10,18 +10,19 @@
 //! cargo run --release -p ascp-bench --bin fig6_pll_measured
 //! ```
 
-use ascp_bench::experiments_dir;
+use ascp_bench::{experiments_dir, write_metrics};
 use ascp_core::platform::{Platform, PlatformConfig};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let cfg = PlatformConfig::default();
     let mut platform = Platform::new(cfg);
 
     println!("fig6: full mixed-signal platform, measured lock transient");
     let traces = platform.run_traces(1.2, 4);
-    let path = experiments_dir().join("fig6_pll_measured.csv");
+    let dir = experiments_dir()?;
+    let path = dir.join("fig6_pll_measured.csv");
     traces.save_csv(&path).expect("write CSV");
-    let vcd_path = experiments_dir().join("fig6_pll_measured.vcd");
+    let vcd_path = dir.join("fig6_pll_measured.vcd");
     ascp_sim::vcd::save_vcd(&traces, &vcd_path).expect("write VCD");
 
     let phase = traces.get("phase_error").expect("trace");
@@ -30,7 +31,10 @@ fn main() {
     let tail_amp = ascp_sim::stats::rms(amp_err.values_after(1.0));
 
     println!("  locked              : {}", platform.chain().is_locked());
-    println!("  final frequency     : {:.2} Hz", platform.chain().frequency());
+    println!(
+        "  final frequency     : {:.2} Hz",
+        platform.chain().frequency()
+    );
     println!("  residual phase error: {tail_phase:.5} (RMS after 1 s)");
     println!("  residual amp error  : {tail_amp:.5} (RMS after 1 s)");
     println!(
@@ -39,9 +43,11 @@ fn main() {
         platform.chain().config().agc.setpoint
     );
     println!("  traces -> {} (+ .vcd for GTKWave)", path.display());
+    write_metrics("fig6_pll_measured", &platform.telemetry_snapshot())?;
     println!(
         "shape check vs paper Fig. 6: real(istic) sensor locks like the model, \
          with a noisier floor than fig5: {}",
         platform.chain().is_locked()
     );
+    Ok(())
 }

@@ -11,13 +11,13 @@
 //! cargo run --release -p ascp-bench --bin stability_allan
 //! ```
 
-use ascp_bench::experiments_dir;
+use ascp_bench::{experiments_dir, write_metrics};
 use ascp_core::characterize::RateSensor;
 use ascp_core::platform::{Platform, PlatformConfig};
 use ascp_sim::allan::{allan_deviation, angle_random_walk, bias_instability};
 use std::io::Write;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let mut cfg = PlatformConfig::default();
     cfg.cpu_enabled = false;
     let mut p = Platform::new(cfg);
@@ -31,11 +31,11 @@ fn main() {
     let rate: Vec<f64> = volts.iter().map(|v| (v - 2.5) / 0.005).collect();
 
     let curve = allan_deviation(&rate, fs, 5);
-    let path = experiments_dir().join("stability_allan.csv");
-    let mut f = std::fs::File::create(&path).expect("create CSV");
-    writeln!(f, "tau_s,sigma_dps").expect("write");
+    let path = experiments_dir()?.join("stability_allan.csv");
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "tau_s,sigma_dps")?;
     for pt in &curve {
-        writeln!(f, "{},{}", pt.tau, pt.sigma).expect("write");
+        writeln!(f, "{},{}", pt.tau, pt.sigma)?;
     }
 
     let arw = angle_random_walk(&curve);
@@ -50,6 +50,8 @@ fn main() {
         bi.map_or("n/a".into(), |v| format!("{v:.4}"))
     );
     println!("  curve -> {}", path.display());
+    write_metrics("stability_allan", &p.telemetry_snapshot())?;
     println!("shape check: −1/2 slope at short τ (white rate noise consistent with");
     println!("Table 1's density row), flattening toward the bias floor at long τ.");
+    Ok(())
 }

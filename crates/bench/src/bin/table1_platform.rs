@@ -9,12 +9,12 @@
 //! cargo run --release -p ascp-bench --bin table1_platform
 //! ```
 
-use ascp_bench::{compare, paper};
+use ascp_bench::{compare, paper, write_metrics};
 use ascp_core::calibrate::{calibrate, install, CalibrationConfig};
 use ascp_core::characterize::{characterize, CharacterizationConfig};
 use ascp_core::platform::{Platform, PlatformConfig};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     println!("table1: characterizing the ASCP platform (this work)");
     let mut platform = Platform::new(PlatformConfig::default());
 
@@ -30,7 +30,12 @@ fn main() {
 
     println!("paper vs measured:");
     if let Some(s) = ds.sensitivity_initial {
-        compare("sensitivity (typ)", paper::T1_SENSITIVITY_TYP, s.typ.abs(), "mV/°/s");
+        compare(
+            "sensitivity (typ)",
+            paper::T1_SENSITIVITY_TYP,
+            s.typ.abs(),
+            "mV/°/s",
+        );
     }
     if let Some(n) = ds.null_initial {
         compare("null (typ)", paper::T1_NULL_TYP, n.typ, "V");
@@ -47,4 +52,6 @@ fn main() {
     if let Some(nl) = ds.nonlinearity_pct_fs {
         compare("nonlinearity (max)", paper::T1_NONLIN_MAX, nl.max, "% FS");
     }
+    write_metrics("table1_platform", &platform.telemetry_snapshot())?;
+    Ok(())
 }

@@ -7,11 +7,12 @@
 //! cargo run --release -p ascp-bench --bin table2_adxrs300
 //! ```
 
-use ascp_bench::{compare, paper};
+use ascp_bench::{compare, paper, write_metrics};
 use ascp_core::baseline::{BaselineGyro, BaselineSpec};
 use ascp_core::characterize::{characterize, CharacterizationConfig};
+use ascp_sim::telemetry::Telemetry;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     println!("table2: characterizing the ADXRS300 behavioural model");
     let mut gyro = BaselineGyro::new(BaselineSpec::adxrs300(0x1a));
     let mut cfg = CharacterizationConfig::default();
@@ -22,7 +23,12 @@ fn main() {
 
     println!("paper vs measured:");
     if let Some(s) = ds.sensitivity_initial {
-        compare("sensitivity (typ)", paper::T2_SENSITIVITY_TYP, s.typ, "mV/°/s");
+        compare(
+            "sensitivity (typ)",
+            paper::T2_SENSITIVITY_TYP,
+            s.typ,
+            "mV/°/s",
+        );
     }
     if let Some(n) = ds.noise_density {
         compare("noise density (typ)", paper::T2_NOISE_TYP, n.typ, "°/s/√Hz");
@@ -33,4 +39,21 @@ fn main() {
     if let Some(b) = ds.bandwidth_hz {
         compare("3 dB bandwidth", 40.0, b, "Hz");
     }
+    // The behavioural baseline has no platform collector; record the
+    // datasheet figures the run produced.
+    let mut tele = Telemetry::default();
+    if let Some(s) = ds.sensitivity_initial {
+        tele.gauge_set("sensitivity.mv_per_dps", s.typ);
+    }
+    if let Some(n) = ds.noise_density {
+        tele.gauge_set("noise_density.dps_rthz", n.typ);
+    }
+    if let Some(b) = ds.bandwidth_hz {
+        tele.gauge_set("bandwidth.hz", b);
+    }
+    if let Some(t) = ds.turn_on_time_ms {
+        tele.gauge_set("turn_on.ms", t);
+    }
+    write_metrics("table2_adxrs300", &tele.snapshot(0.0))?;
+    Ok(())
 }

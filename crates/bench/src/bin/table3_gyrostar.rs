@@ -4,11 +4,12 @@
 //! cargo run --release -p ascp-bench --bin table3_gyrostar
 //! ```
 
-use ascp_bench::{compare, paper};
+use ascp_bench::{compare, paper, write_metrics};
 use ascp_core::baseline::{BaselineGyro, BaselineSpec};
 use ascp_core::characterize::{characterize, CharacterizationConfig};
+use ascp_sim::telemetry::Telemetry;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     println!("table3: characterizing the Murata Gyrostar behavioural model");
     let mut gyro = BaselineGyro::new(BaselineSpec::gyrostar(0x1b));
     let mut cfg = CharacterizationConfig::default();
@@ -24,7 +25,12 @@ fn main() {
 
     println!("paper vs measured:");
     if let Some(s) = ds.sensitivity_initial {
-        compare("sensitivity (typ)", paper::T3_SENSITIVITY_TYP, s.typ, "mV/°/s");
+        compare(
+            "sensitivity (typ)",
+            paper::T3_SENSITIVITY_TYP,
+            s.typ,
+            "mV/°/s",
+        );
     }
     if let Some(nl) = ds.nonlinearity_pct_fs {
         compare("nonlinearity (max)", 5.0, nl.max, "% FS");
@@ -36,4 +42,16 @@ fn main() {
         "  (temp range: paper −5..+75 °C, measured {:.0}..{:.0} °C)",
         ds.temp_range.0, ds.temp_range.1
     );
+    let mut tele = Telemetry::default();
+    if let Some(s) = ds.sensitivity_initial {
+        tele.gauge_set("sensitivity.mv_per_dps", s.typ);
+    }
+    if let Some(nl) = ds.nonlinearity_pct_fs {
+        tele.gauge_set("nonlinearity.pct_fs", nl.max);
+    }
+    if let Some(b) = ds.bandwidth_hz {
+        tele.gauge_set("bandwidth.hz", b);
+    }
+    write_metrics("table3_gyrostar", &tele.snapshot(0.0))?;
+    Ok(())
 }

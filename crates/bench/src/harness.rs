@@ -1,0 +1,98 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! Replaces criterion so the benches build with no registry access. The
+//! protocol is the classic warmup → calibrate → sample loop: each sample
+//! times a fixed batch of iterations, and the *median* sample is reported
+//! to resist scheduler noise. Accuracy is in the few-percent range, which
+//! is all the cycle-budget comparisons here need.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Result of one [`bench`] run.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    /// Benchmark label.
+    pub name: String,
+    /// Iterations per timed sample.
+    pub iters_per_sample: u64,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Minimum nanoseconds per iteration across samples.
+    pub min_ns_per_iter: f64,
+}
+
+impl BenchStats {
+    /// Iterations per second implied by the median sample.
+    #[must_use]
+    pub fn per_second(&self) -> f64 {
+        1.0e9 / self.ns_per_iter
+    }
+}
+
+impl std::fmt::Display for BenchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<28} {:>12.1} ns/iter  ({:>14.0} iter/s)",
+            self.name,
+            self.ns_per_iter,
+            self.per_second()
+        )
+    }
+}
+
+/// Times `f`, prints the result, and returns the stats.
+///
+/// The return value of `f` is passed through [`black_box`] so the work is
+/// not optimized away; wrap inputs in `black_box` at the call site when
+/// they are loop-invariant.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> BenchStats {
+    // Warm up (and measure a rough per-call cost) for ~20 ms.
+    let warmup = Duration::from_millis(20);
+    let start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while start.elapsed() < warmup {
+        black_box(f());
+        warm_iters += 1;
+    }
+    let rough_ns = warmup.as_nanos() as f64 / warm_iters.max(1) as f64;
+
+    // Calibrate batches to ~10 ms each, then take the median of 9.
+    let iters_per_sample = ((10.0e6 / rough_ns) as u64).clamp(1, 100_000_000);
+    let mut samples: Vec<f64> = (0..9)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            t.elapsed().as_nanos() as f64 / iters_per_sample as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let stats = BenchStats {
+        name: name.to_owned(),
+        iters_per_sample,
+        ns_per_iter: samples[samples.len() / 2],
+        min_ns_per_iter: samples[0],
+    };
+    println!("{stats}");
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_plausible_timing() {
+        let s = bench("noop_add", || black_box(1u64) + black_box(2u64));
+        assert!(
+            s.ns_per_iter > 0.0 && s.ns_per_iter < 1.0e6,
+            "{}",
+            s.ns_per_iter
+        );
+        assert!(s.min_ns_per_iter <= s.ns_per_iter);
+    }
+}

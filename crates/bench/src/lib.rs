@@ -1,23 +1,41 @@
 //! # ascp-bench — experiment regenerators and benchmarks
 //!
 //! One binary per table/figure of the paper's evaluation (see DESIGN.md's
-//! experiment index), plus Criterion benchmarks of the simulation
-//! machinery. Shared helpers live here: the experiment output directory
-//! and the paper-reported reference values each regenerator prints next to
-//! its measurement.
+//! experiment index), plus wall-clock benchmarks of the simulation
+//! machinery (`benches/`, on the vendored [`harness`]). Shared helpers
+//! live here: the experiment output directory and the paper-reported
+//! reference values each regenerator prints next to its measurement.
 
+use ascp_sim::telemetry::TelemetrySnapshot;
+use std::io;
 use std::path::PathBuf;
 
-/// Directory experiment CSVs are written to.
+pub mod harness;
+
+/// Directory experiment CSVs and `.metrics.json` snapshots are written to.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the directory cannot be created.
-#[must_use]
-pub fn experiments_dir() -> PathBuf {
+/// Returns the underlying I/O error if the directory cannot be created.
+pub fn experiments_dir() -> io::Result<PathBuf> {
     let dir = PathBuf::from("target/experiments");
-    std::fs::create_dir_all(&dir).expect("create target/experiments");
-    dir
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Writes a telemetry snapshot to `target/experiments/<name>.metrics.json`
+/// and reports the path on stdout, so every regenerator run leaves a
+/// machine-readable record next to its CSVs.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the directory or file cannot be
+/// written.
+pub fn write_metrics(name: &str, snapshot: &TelemetrySnapshot) -> io::Result<PathBuf> {
+    let path = experiments_dir()?.join(format!("{name}.metrics.json"));
+    std::fs::write(&path, snapshot.to_json())?;
+    println!("  metrics -> {}", path.display());
+    Ok(path)
 }
 
 /// Paper-reported values used for side-by-side "paper vs measured" rows.
@@ -48,8 +66,57 @@ pub mod paper {
     pub const DIGITAL_CLOCK_MHZ: f64 = 20.0;
 }
 
+/// Measured/paper ratios outside this band are flagged by [`compare`].
+pub const COMPARE_BAND: (f64, f64) = (0.5, 2.0);
+
 /// Prints a `paper vs measured` comparison row.
-pub fn compare(label: &str, paper: f64, measured: f64, unit: &str) {
-    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
-    println!("  {label:<28} paper {paper:>10.3} {unit:<8} measured {measured:>10.3} {unit:<8} (x{ratio:.2})");
+///
+/// Returns `true` when the measured/paper ratio lies inside
+/// [`COMPARE_BAND`]; out-of-band rows (and non-finite ratios) are marked
+/// `** OUT OF BAND **` so a regenerator run cannot silently drift away
+/// from the reference values.
+pub fn compare(label: &str, paper: f64, measured: f64, unit: &str) -> bool {
+    let ratio = if paper != 0.0 {
+        measured / paper
+    } else {
+        f64::NAN
+    };
+    let in_band = ratio.is_finite() && ratio >= COMPARE_BAND.0 && ratio <= COMPARE_BAND.1;
+    let flag = if in_band { "" } else { "  ** OUT OF BAND **" };
+    println!(
+        "  {label:<28} paper {paper:>10.3} {unit:<8} measured {measured:>10.3} {unit:<8} (x{ratio:.2}){flag}"
+    );
+    in_band
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_flags_out_of_band() {
+        assert!(compare("in band", 1.0, 1.4, "u"));
+        assert!(compare("low edge", 1.0, 0.5, "u"));
+        assert!(!compare("too low", 1.0, 0.4, "u"));
+        assert!(!compare("too high", 1.0, 2.5, "u"));
+        assert!(!compare("zero paper", 0.0, 1.0, "u"));
+    }
+
+    #[test]
+    fn experiments_dir_is_creatable() {
+        let dir = experiments_dir().expect("create experiments dir");
+        assert!(dir.ends_with("target/experiments") || dir.ends_with("experiments"));
+    }
+
+    #[test]
+    fn write_metrics_round_trips_json() {
+        use ascp_sim::telemetry::Telemetry;
+        let mut t = Telemetry::default();
+        t.counter_set("sim.ticks", 99);
+        let path =
+            write_metrics("write_metrics_test", &t.snapshot(0.1)).expect("write metrics file");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert!(body.contains("\"sim.ticks\": 99"), "{body}");
+        std::fs::remove_file(path).ok();
+    }
 }

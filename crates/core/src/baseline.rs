@@ -236,7 +236,11 @@ mod tests {
         g.turn_on(1.0).expect("turn on");
         let cfg = CharacterizationConfig::fast();
         let t = measure_static_transfer(&mut g, &cfg, 25.0);
-        assert!((t.sensitivity * 1e3 - 5.0).abs() < 0.2, "sens {}", t.sensitivity);
+        assert!(
+            (t.sensitivity * 1e3 - 5.0).abs() < 0.2,
+            "sens {}",
+            t.sensitivity
+        );
         assert!((t.null - 2.5).abs() < 0.02, "null {}", t.null);
     }
 
@@ -257,8 +261,16 @@ mod tests {
         // residual against the best-fit line.
         cfg.rate_points = vec![-300.0, -150.0, 0.0, 150.0, 300.0];
         let t = measure_static_transfer(&mut g, &cfg, 25.0);
-        assert!((t.sensitivity * 1e3 - 0.67).abs() < 0.1, "sens {}", t.sensitivity * 1e3);
-        assert!(t.nonlinearity_pct_fs > 0.5, "nonlin {}", t.nonlinearity_pct_fs);
+        assert!(
+            (t.sensitivity * 1e3 - 0.67).abs() < 0.1,
+            "sens {}",
+            t.sensitivity * 1e3
+        );
+        assert!(
+            t.nonlinearity_pct_fs > 0.5,
+            "nonlin {}",
+            t.nonlinearity_pct_fs
+        );
     }
 
     #[test]

@@ -140,6 +140,58 @@ pub fn install(platform: &mut Platform, cal: &Calibration) {
     platform.set_temperature(t);
 }
 
+/// Trims the rebalance-axis phase so a rate step lands purely on the
+/// rate-nulling command (closed loop only) — the paper's "on-line trimming"
+/// of a programmable parameter. Returns the trimmed angle in radians.
+///
+/// Criterion: at the aligned angle, a rate step produces *no response on
+/// the quadrature command*. The leak is steep (∝ sin of the misalignment)
+/// where the rate response is flat, so the trim scans a ±24° window around
+/// the delay-model starting angle for the minimum |leak|, then refines once
+/// on a 3° grid. All probes stay inside the loop's stable region.
+pub fn trim_rebalance_phase(platform: &mut Platform, probe_rate: f64, iterations: u32) -> f64 {
+    fn quad_mean(platform: &mut Platform) -> f64 {
+        let mut acc = 0.0;
+        let n = 400usize;
+        for _ in 0..n {
+            platform.step();
+            acc += platform.chain().quad_out().to_f64();
+        }
+        acc / n as f64
+    }
+
+    fn leak(platform: &mut Platform, theta: f64, probe_rate: f64) -> f64 {
+        platform.chain_mut().set_rebalance_phase(theta);
+        platform.set_rate(DegPerSec(0.0));
+        platform.run(0.45);
+        let q0 = quad_mean(platform);
+        platform.set_rate(DegPerSec(probe_rate));
+        platform.run(0.45);
+        let q1 = quad_mean(platform);
+        platform.set_rate(DegPerSec(0.0));
+        (q1 - q0).abs()
+    }
+
+    let mut center = platform.chain().rebalance_phase();
+    let mut half_span = 24.0f64.to_radians();
+    for _ in 0..iterations.max(1) {
+        let mut best = (f64::INFINITY, center);
+        let steps = 8;
+        for k in 0..=steps {
+            let theta = center - half_span + 2.0 * half_span * k as f64 / steps as f64;
+            let l = leak(platform, theta, probe_rate);
+            if l < best.0 {
+                best = (l, theta);
+            }
+        }
+        center = best.1;
+        half_span /= 4.0;
+    }
+    platform.chain_mut().set_rebalance_phase(center);
+    platform.run(0.4);
+    center
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,56 +251,4 @@ mod tests {
             assert!(pt.gain_rel > 0.3 && pt.gain_rel < 3.0, "gain {:?}", pt);
         }
     }
-}
-
-/// Trims the rebalance-axis phase so a rate step lands purely on the
-/// rate-nulling command (closed loop only) — the paper's "on-line trimming"
-/// of a programmable parameter. Returns the trimmed angle in radians.
-///
-/// Criterion: at the aligned angle, a rate step produces *no response on
-/// the quadrature command*. The leak is steep (∝ sin of the misalignment)
-/// where the rate response is flat, so the trim scans a ±24° window around
-/// the delay-model starting angle for the minimum |leak|, then refines once
-/// on a 3° grid. All probes stay inside the loop's stable region.
-pub fn trim_rebalance_phase(platform: &mut Platform, probe_rate: f64, iterations: u32) -> f64 {
-    fn quad_mean(platform: &mut Platform) -> f64 {
-        let mut acc = 0.0;
-        let n = 400usize;
-        for _ in 0..n {
-            platform.step();
-            acc += platform.chain().quad_out().to_f64();
-        }
-        acc / n as f64
-    }
-
-    fn leak(platform: &mut Platform, theta: f64, probe_rate: f64) -> f64 {
-        platform.chain_mut().set_rebalance_phase(theta);
-        platform.set_rate(DegPerSec(0.0));
-        platform.run(0.45);
-        let q0 = quad_mean(platform);
-        platform.set_rate(DegPerSec(probe_rate));
-        platform.run(0.45);
-        let q1 = quad_mean(platform);
-        platform.set_rate(DegPerSec(0.0));
-        (q1 - q0).abs()
-    }
-
-    let mut center = platform.chain().rebalance_phase();
-    let mut half_span = 24.0f64.to_radians();
-    for _ in 0..iterations.max(1) {
-        let mut best = (f64::INFINITY, center);
-        let steps = 8;
-        for k in 0..=steps {
-            let theta = center - half_span + 2.0 * half_span * k as f64 / steps as f64;
-            let l = leak(platform, theta, probe_rate);
-            if l < best.0 {
-                best = (l, theta);
-            }
-        }
-        center = best.1;
-        half_span /= 4.0;
-    }
-    platform.chain_mut().set_rebalance_phase(center);
-    platform.run(0.4);
-    center
 }

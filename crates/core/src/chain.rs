@@ -12,8 +12,8 @@ use crate::registers::{DspReg, SharedDspRegs};
 use ascp_dsp::agc::{Agc, AgcConfig};
 use ascp_dsp::comp::Compensator;
 use ascp_dsp::demod::{Demodulator, IqSample, Modulator};
-use ascp_dsp::iir::{Biquad, BiquadCoeffs};
 use ascp_dsp::fixed::{Q15, Q30};
+use ascp_dsp::iir::{Biquad, BiquadCoeffs};
 use ascp_dsp::pll::{PiController, Pll, PllConfig};
 
 /// A positive gain of arbitrary magnitude factored into a Q30 mantissa in
@@ -192,6 +192,9 @@ pub struct ConditioningChain {
     enabled: bool,
     output_valid: bool,
     temperature: f64,
+    /// Decimated output samples whose compensated rate hit a Q15 rail
+    /// (over-range rotation or mis-set gains; telemetry).
+    saturation_events: u64,
 }
 
 impl ConditioningChain {
@@ -245,6 +248,7 @@ impl ConditioningChain {
             enabled: true,
             output_valid: false,
             temperature: 25.0,
+            saturation_events: 0,
             config,
         }
     }
@@ -352,6 +356,24 @@ impl ConditioningChain {
         self.agc.drive()
     }
 
+    /// PLL lock/unlock state changes since reset (telemetry).
+    #[must_use]
+    pub fn lock_transitions(&self) -> u64 {
+        self.pll.lock_transitions()
+    }
+
+    /// AGC settle milestone: seconds to first entry into the ±5 % band.
+    #[must_use]
+    pub fn settle_time_s(&self) -> Option<f64> {
+        self.agc.settle_time_s()
+    }
+
+    /// Output samples whose compensated rate saturated at a Q15 rail.
+    #[must_use]
+    pub fn saturation_events(&self) -> u64 {
+        self.saturation_events
+    }
+
     /// Processes one DSP-rate sample pair from the ADCs.
     pub fn process(&mut self, primary: Q15, secondary: Q15) -> ChainDrive {
         if !self.enabled {
@@ -379,6 +401,7 @@ impl ConditioningChain {
         if let Some(bb) = rate_sample {
             self.heartbeat = self.heartbeat.wrapping_add(1);
             self.output_valid = true;
+            let rate_before = self.rate_out;
             match self.config.mode {
                 SenseMode::OpenLoop => {
                     // The Coriolis force is −2·k·Ω·v: a positive rate puts a
@@ -415,6 +438,10 @@ impl ConditioningChain {
                     self.rate_out = self.config.compensator.apply(filtered);
                     self.quad_out = self.cmd.q;
                 }
+            }
+            let raw = self.rate_out.raw();
+            if (raw == 32767 || raw == -32768) && raw != rate_before.raw() {
+                self.saturation_events += 1;
             }
         }
         if self.config.mode == SenseMode::ClosedLoop {
@@ -478,8 +505,14 @@ impl ConditioningChain {
             DspReg::AgcEnvelope,
             (self.agc.envelope().clamp(0.0, 1.999) * 32768.0) as u16,
         );
-        r.set(DspReg::RateOut, self.rate_out.raw().clamp(-32768, 32767) as i16 as u16);
-        r.set(DspReg::QuadOut, self.quad_out.raw().clamp(-32768, 32767) as i16 as u16);
+        r.set(
+            DspReg::RateOut,
+            self.rate_out.raw().clamp(-32768, 32767) as i16 as u16,
+        );
+        r.set(
+            DspReg::QuadOut,
+            self.quad_out.raw().clamp(-32768, 32767) as i16 as u16,
+        );
         r.set(
             DspReg::PhaseError,
             ((self.pll.phase_error() * 32768.0).clamp(-32768.0, 32767.0)) as i16 as u16,
@@ -509,6 +542,7 @@ impl ConditioningChain {
         self.quad_out = Q15::ZERO;
         self.heartbeat = 0;
         self.output_valid = false;
+        self.saturation_events = 0;
     }
 }
 

@@ -119,7 +119,12 @@ pub struct Datasheet {
 
 impl fmt::Display for Datasheet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn row(f: &mut fmt::Formatter<'_>, label: &str, v: &Option<MinTypMax>, unit: &str) -> fmt::Result {
+        fn row(
+            f: &mut fmt::Formatter<'_>,
+            label: &str,
+            v: &Option<MinTypMax>,
+            unit: &str,
+        ) -> fmt::Result {
             match v {
                 Some(m) => writeln!(
                     f,
@@ -151,15 +156,31 @@ impl fmt::Display for Datasheet {
         row(f, "Initial", &self.null_initial, "V")?;
         row(f, "Over Temperature", &self.null_over_temp, "V")?;
         match self.turn_on_time_ms {
-            Some(t) => writeln!(f, "  {:<22} {:>9} {:>9.2} {:>9}  ms", "Turn On Time", "", t, "")?,
-            None => writeln!(f, "  {:<22} {:>9} {:>9} {:>9}  ms", "Turn On Time", "", "-", "")?,
+            Some(t) => writeln!(
+                f,
+                "  {:<22} {:>9} {:>9.2} {:>9}  ms",
+                "Turn On Time", "", t, ""
+            )?,
+            None => writeln!(
+                f,
+                "  {:<22} {:>9} {:>9} {:>9}  ms",
+                "Turn On Time", "", "-", ""
+            )?,
         }
         writeln!(f, "  Noise")?;
         row(f, "Rate Noise Dens.", &self.noise_density, "°/s/√Hz")?;
         writeln!(f, "  Freq. Response")?;
         match self.bandwidth_hz {
-            Some(b) => writeln!(f, "  {:<22} {:>9} {:>9.2} {:>9}  Hz", "3 dB Bandwidth", "", b, "")?,
-            None => writeln!(f, "  {:<22} {:>9} {:>9} {:>9}  Hz", "3 dB Bandwidth", "", "-", "")?,
+            Some(b) => writeln!(
+                f,
+                "  {:<22} {:>9} {:>9.2} {:>9}  Hz",
+                "3 dB Bandwidth", "", b, ""
+            )?,
+            None => writeln!(
+                f,
+                "  {:<22} {:>9} {:>9} {:>9}  Hz",
+                "3 dB Bandwidth", "", "-", ""
+            )?,
         }
         writeln!(f, "  Temp. Ranges")?;
         writeln!(
@@ -206,7 +227,9 @@ impl Default for CharacterizationConfig {
     fn default() -> Self {
         Self {
             full_scale: 300.0,
-            rate_points: vec![-300.0, -200.0, -100.0, -50.0, 0.0, 50.0, 100.0, 200.0, 300.0],
+            rate_points: vec![
+                -300.0, -200.0, -100.0, -50.0, 0.0, 50.0, 100.0, 200.0, 300.0,
+            ],
             temperatures: vec![-40.0, 25.0, 85.0],
             settle: 0.3,
             // 0.5 s of averaging per point: the static rows must not be
@@ -461,9 +484,17 @@ mod tests {
         let mut s = IdealSensor::new(1000.0);
         let cfg = CharacterizationConfig::fast();
         let t = measure_static_transfer(&mut s, &cfg, 25.0);
-        assert!((t.sensitivity - 0.005).abs() < 1e-4, "sens {}", t.sensitivity);
+        assert!(
+            (t.sensitivity - 0.005).abs() < 1e-4,
+            "sens {}",
+            t.sensitivity
+        );
         assert!((t.null - 2.5).abs() < 1e-3, "null {}", t.null);
-        assert!(t.nonlinearity_pct_fs < 0.1, "nonlin {}", t.nonlinearity_pct_fs);
+        assert!(
+            t.nonlinearity_pct_fs < 0.1,
+            "nonlin {}",
+            t.nonlinearity_pct_fs
+        );
     }
 
     #[test]

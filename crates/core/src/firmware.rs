@@ -462,8 +462,8 @@ mod tests {
     #[test]
     fn uart_boot_downloads_and_launches() {
         // Payload: set P1 = 0xAA then spin.
-        let payload = ascp_mcu8051::asm::assemble("org 0x1000\nmov p1, #0xaa\nspin: sjmp spin\n")
-            .unwrap();
+        let payload =
+            ascp_mcu8051::asm::assemble("org 0x1000\nmov p1, #0xaa\nspin: sjmp spin\n").unwrap();
         let body = &payload[0x1000..];
         let mut cpu = Cpu::new();
         cpu.load_code(&uart_boot_image().unwrap());

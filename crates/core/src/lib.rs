@@ -20,8 +20,8 @@
 //!   (ADXRS300, Gyrostar);
 //! - [`report`] — digital-complexity accounting (the 200 kgate claim).
 pub mod baseline;
-pub mod chain;
 pub mod calibrate;
+pub mod chain;
 pub mod characterize;
 pub mod firmware;
 pub mod platform;

@@ -26,6 +26,7 @@ use ascp_jtag::chain::JtagChain;
 use ascp_jtag::device::RegAccessDevice;
 use ascp_mcu8051::cpu::Cpu;
 use ascp_mcu8051::periph::SystemBus;
+use ascp_sim::telemetry::{Event, Telemetry, TelemetryConfig, TelemetrySnapshot};
 use ascp_sim::trace::{Trace, TraceSet};
 use ascp_sim::units::{Celsius, DegPerSec, Hertz, Seconds, Volts};
 
@@ -76,6 +77,8 @@ pub struct PlatformConfig {
     pub firmware: Option<Vec<u8>>,
     /// Master noise seed.
     pub seed: u64,
+    /// Observability settings (metrics, events, stage profiling).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for PlatformConfig {
@@ -102,6 +105,7 @@ impl Default for PlatformConfig {
             cpu_enabled: true,
             firmware: None,
             seed: 0x9a7f_03e1,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -153,11 +157,8 @@ impl PlatformConfig {
     #[must_use]
     pub fn closed_loop_rate_gain(&self) -> f64 {
         let w = self.gyro.f0.angular();
-        let force_per_dps = 2.0
-            * self.gyro.angular_gain
-            * 1f64.to_radians()
-            * w
-            * self.gyro.nominal_amplitude;
+        let force_per_dps =
+            2.0 * self.gyro.angular_gain * 1f64.to_radians() * w * self.gyro.nominal_amplitude;
         let dps_per_cmd = self.gyro.force_scale / force_per_dps;
         dps_per_cmd / 500.0
     }
@@ -200,6 +201,17 @@ pub struct Platform {
     tick: u64,
     temperature: Celsius,
     watchdog_resets: u32,
+    telemetry: Telemetry,
+    /// Scrape state for delta-based event emission (monitoring cadence).
+    last_locked: bool,
+    last_clips_pri: u64,
+    last_clips_sec: u64,
+    last_wd_resets: u32,
+    last_uart_tx: u64,
+    uart_was_idle: bool,
+    last_dsp_writes: u64,
+    last_afe_writes: u64,
+    agc_settled_seen: bool,
 }
 
 impl std::fmt::Debug for Platform {
@@ -247,16 +259,25 @@ impl Platform {
         let afe_regs = shared_afe_regs();
         {
             let mut afe = afe_regs.borrow_mut();
-            afe.write(AfeReg::PgaSecondaryGain, u16::from(config.secondary_pga_code))
-                .expect("valid gain code");
+            afe.write(
+                AfeReg::PgaSecondaryGain,
+                u16::from(config.secondary_pga_code),
+            )
+            .expect("valid gain code");
             afe.write(AfeReg::AdcBits, config.adc.bits as u16)
                 .expect("valid ADC bits");
         }
 
         // JTAG chain over both register banks (device 0 nearest TDO).
         let jtag = JtagChain::new(vec![
-            Box::new(RegAccessDevice::new(0x0a5c_0af1, AfeRegsJtag(afe_regs.clone()))),
-            Box::new(RegAccessDevice::new(0x0a5c_0d51, DspRegsJtag(dsp_regs.clone()))),
+            Box::new(RegAccessDevice::new(
+                0x0a5c_0af1,
+                AfeRegsJtag(afe_regs.clone()),
+            )),
+            Box::new(RegAccessDevice::new(
+                0x0a5c_0d51,
+                DspRegsJtag(dsp_regs.clone()),
+            )),
         ]);
 
         // CPU subsystem.
@@ -313,6 +334,16 @@ impl Platform {
             tick: 0,
             temperature: Celsius(25.0),
             watchdog_resets: 0,
+            telemetry: Telemetry::new(config.telemetry.clone()),
+            last_locked: false,
+            last_clips_pri: 0,
+            last_clips_sec: 0,
+            last_wd_resets: 0,
+            last_uart_tx: 0,
+            uart_was_idle: true,
+            last_dsp_writes: 0,
+            last_afe_writes: 0,
+            agc_settled_seen: false,
             config,
         };
         platform.apply_afe_registers();
@@ -458,6 +489,8 @@ impl Platform {
         let dsp_dt = 1.0 / self.config.dsp_rate.0;
         let sub = self.config.analog_oversample;
         let sub_dt = dsp_dt / f64::from(sub);
+        // Sampled profiling: `mark` is Some only on profiled ticks.
+        let mut mark = self.telemetry.profile_tick();
 
         // Analog solver substeps with held DAC outputs.
         let mut v_pri = Volts(0.0);
@@ -466,8 +499,15 @@ impl Platform {
             let pick = self
                 .gyro
                 .step(self.drive_force, self.rebalance_force, sub_dt);
-            v_pri = self.aaf_pri.process(self.charge_pri.convert(pick.primary), sub_dt);
-            v_sec = self.aaf_sec.process(self.charge_sec.convert(pick.secondary), sub_dt);
+            v_pri = self
+                .aaf_pri
+                .process(self.charge_pri.convert(pick.primary), sub_dt);
+            v_sec = self
+                .aaf_sec
+                .process(self.charge_sec.convert(pick.secondary), sub_dt);
+        }
+        if let Some(m) = mark {
+            mark = Some(self.telemetry.stage_mark("analog_ode", m));
         }
 
         // Acquisition at the DSP rate.
@@ -475,9 +515,15 @@ impl Platform {
         let sec_amp = self.pga_sec.process(v_sec, dsp_dt);
         let pri_q = self.adc_pri.convert_q15(pri_amp);
         let sec_q = self.adc_sec.convert_q15(sec_amp);
+        if let Some(m) = mark {
+            mark = Some(self.telemetry.stage_mark("acquisition", m));
+        }
 
         // Hardwired DSP.
         let drive = self.chain.process(pri_q, sec_q);
+        if let Some(m) = mark {
+            mark = Some(self.telemetry.stage_mark("dsp_chain", m));
+        }
 
         // Drive DACs (forces normalized to DAC full scale).
         let vref = self.config.drive_dac.vref.0;
@@ -486,7 +532,12 @@ impl Platform {
         self.rate_dac.write_q15(drive.rate_out);
 
         // Real-time SRAM capture of the rate stream (prototype analysis).
-        self.bus.sram.capture(drive.rate_out.raw().clamp(-32768, 32767) as i16 as u16);
+        self.bus
+            .sram
+            .capture(drive.rate_out.raw().clamp(-32768, 32767) as i16 as u16);
+        if let Some(m) = mark {
+            mark = Some(self.telemetry.stage_mark("dac_update", m));
+        }
 
         // CPU slice: 20 MHz / 12 machine cycles per second.
         if self.config.cpu_enabled {
@@ -504,14 +555,177 @@ impl Platform {
                 self.cpu.code_write(addr, byte);
             }
         }
+        if let Some(m) = mark {
+            mark = Some(self.telemetry.stage_mark("cpu", m));
+        }
 
         self.tick += 1;
         // Slow monitoring cadence: registers + AFE application at 1 kHz.
-        if self.tick.is_multiple_of((self.config.dsp_rate.0 as u64 / 1000).max(1)) {
+        if self
+            .tick
+            .is_multiple_of((self.config.dsp_rate.0 as u64 / 1000).max(1))
+        {
             self.chain.sync_registers(&self.dsp_regs);
             self.apply_afe_registers();
+            self.scrape_telemetry();
+            if let Some(m) = mark {
+                self.telemetry.stage_mark("register_sync", m);
+            }
         }
         drive
+    }
+
+    /// Mirrors the components' local counters into the telemetry registry
+    /// and emits milestone events from the deltas since the last scrape.
+    /// Runs at the monitoring cadence — the same rhythm at which the
+    /// paper's 8051 routine "constantly checks the system status" (§4.2).
+    fn scrape_telemetry(&mut self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let t = self.time();
+
+        self.telemetry.counter_set("sim.ticks", self.tick);
+        self.telemetry.counter_set(
+            "adc.conversions",
+            self.adc_pri.conversions() + self.adc_sec.conversions(),
+        );
+        self.telemetry
+            .counter_set("adc.clips", self.adc_pri.clips() + self.adc_sec.clips());
+        self.telemetry.counter_set(
+            "dac.updates",
+            self.drive_dac.updates() + self.rebalance_dac.updates() + self.rate_dac.updates(),
+        );
+        self.telemetry
+            .counter_set("pll.lock_transitions", self.chain.lock_transitions());
+        self.telemetry
+            .counter_set("chain.saturation_events", self.chain.saturation_events());
+        self.telemetry
+            .counter_set("cpu.instructions", self.cpu.instructions());
+        self.telemetry
+            .counter_set("cpu.machine_cycles", self.cpu.cycles());
+        self.telemetry
+            .counter_set("cpu.watchdog_resets", u64::from(self.watchdog_resets));
+        self.telemetry
+            .counter_set("cpu.uart_tx_bytes", self.cpu.uart_tx_total());
+        self.telemetry
+            .counter_set("spi.transfers", self.bus.spi.transfers());
+        self.telemetry
+            .counter_set("jtag.shifts", self.jtag.shifts());
+        self.telemetry
+            .counter_set("jtag.tck_cycles", self.jtag.cycles());
+
+        self.telemetry
+            .gauge_set("pll.frequency_hz", self.chain.frequency());
+        self.telemetry
+            .gauge_set("agc.envelope", self.chain.envelope());
+        self.telemetry.gauge_set("agc.drive", self.chain.drive());
+        self.telemetry
+            .gauge_set("rate.output_dps", self.rate_output_dps());
+        self.telemetry.gauge_set("temp.celsius", self.temperature.0);
+
+        // Milestone events from scrape-to-scrape deltas.
+        let locked = self.chain.is_locked();
+        if locked != self.last_locked {
+            if locked {
+                self.telemetry.record_event(Event::PllLocked {
+                    t,
+                    frequency_hz: self.chain.frequency(),
+                });
+            } else {
+                self.telemetry.record_event(Event::PllUnlocked { t });
+            }
+            self.last_locked = locked;
+        }
+        if !self.agc_settled_seen {
+            if let Some(settle) = self.chain.settle_time_s() {
+                self.telemetry.histogram_record("agc.settle_time_s", settle);
+                self.telemetry.record_event(Event::AgcSettled {
+                    t,
+                    settle_time_s: settle,
+                });
+                self.agc_settled_seen = true;
+            }
+        }
+        let clips_pri = self.adc_pri.clips();
+        if clips_pri > self.last_clips_pri {
+            self.telemetry.record_event(Event::AdcClip {
+                t,
+                channel: "primary",
+                total: clips_pri,
+            });
+            self.last_clips_pri = clips_pri;
+        }
+        let clips_sec = self.adc_sec.clips();
+        if clips_sec > self.last_clips_sec {
+            self.telemetry.record_event(Event::AdcClip {
+                t,
+                channel: "secondary",
+                total: clips_sec,
+            });
+            self.last_clips_sec = clips_sec;
+        }
+        if self.watchdog_resets > self.last_wd_resets {
+            self.telemetry.record_event(Event::WatchdogReset {
+                t,
+                total: u64::from(self.watchdog_resets),
+            });
+            self.last_wd_resets = self.watchdog_resets;
+        }
+        // UART activity is edge-triggered: the monitor firmware streams
+        // status frames continuously, so an event per scrape would flood
+        // the bounded ring and evict rare events (lock, watchdog). Emit
+        // only when transmission resumes after an idle scrape interval.
+        let uart = self.cpu.uart_tx_total();
+        if uart > self.last_uart_tx {
+            if self.uart_was_idle {
+                self.telemetry.record_event(Event::UartTx {
+                    t,
+                    bytes: uart - self.last_uart_tx,
+                });
+            }
+            self.uart_was_idle = false;
+            self.last_uart_tx = uart;
+        } else {
+            self.uart_was_idle = true;
+        }
+        let dsp_writes = self.dsp_regs.borrow().bus_writes();
+        if dsp_writes > self.last_dsp_writes {
+            self.telemetry.record_event(Event::RegisterWrite {
+                t,
+                bank: "dsp",
+                writes: dsp_writes - self.last_dsp_writes,
+            });
+            self.last_dsp_writes = dsp_writes;
+        }
+        let afe_writes = self.afe_regs.borrow().writes();
+        if afe_writes > self.last_afe_writes {
+            self.telemetry.record_event(Event::RegisterWrite {
+                t,
+                bank: "afe",
+                writes: afe_writes - self.last_afe_writes,
+            });
+            self.last_afe_writes = afe_writes;
+        }
+    }
+
+    /// The telemetry collector (read access).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable telemetry access (reset between experiment phases).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Captures a telemetry snapshot at the current simulation time,
+    /// scraping the component counters first so the snapshot is current
+    /// even between monitoring ticks.
+    pub fn telemetry_snapshot(&mut self) -> TelemetrySnapshot {
+        self.scrape_telemetry();
+        self.telemetry.snapshot(self.time())
     }
 
     /// Runs for `seconds` of simulated time.
@@ -561,8 +775,7 @@ impl Platform {
                 let t = self.time();
                 amplitude_control.push(t, self.chain.drive());
                 phase_error.push(t, self.chain.phase_error());
-                amplitude_error
-                    .push(t, self.chain.config().agc.setpoint - self.chain.envelope());
+                amplitude_error.push(t, self.chain.config().agc.setpoint - self.chain.envelope());
                 vco_control.push(
                     t,
                     (self.chain.frequency() - self.config.gyro.f0.0)
@@ -757,13 +970,14 @@ mod tests {
 
     #[test]
     fn jtag_reads_back_dsp_status() {
-        use ascp_jtag::device::{instructions, RegAccessDevice};
         use crate::registers::DspRegsJtag;
+        use ascp_jtag::device::{instructions, RegAccessDevice};
         let mut p = Platform::new(quiet_config());
         p.wait_for_ready(2.0).expect("ready");
         p.run(0.01);
         let jtag = p.jtag_mut();
-        jtag.select(taps::DSP, instructions::REG_ACCESS).expect("select");
+        jtag.select(taps::DSP, instructions::REG_ACCESS)
+            .expect("select");
         jtag.scan_dr(taps::DSP, RegAccessDevice::<DspRegsJtag>::pack_read(0))
             .expect("read request");
         let dr = jtag.scan_dr(taps::DSP, 0).expect("read data");
@@ -773,11 +987,12 @@ mod tests {
 
     #[test]
     fn jtag_configures_pga_gain() {
-        use ascp_jtag::device::{instructions, RegAccessDevice};
         use crate::registers::AfeRegsJtag;
+        use ascp_jtag::device::{instructions, RegAccessDevice};
         let mut p = Platform::new(quiet_config());
         let jtag = p.jtag_mut();
-        jtag.select(taps::AFE, instructions::REG_ACCESS).expect("select");
+        jtag.select(taps::AFE, instructions::REG_ACCESS)
+            .expect("select");
         jtag.scan_dr(
             taps::AFE,
             RegAccessDevice::<AfeRegsJtag>::pack_write(AfeReg::PgaSecondaryGain.addr(), 7),

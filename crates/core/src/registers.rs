@@ -67,6 +67,8 @@ pub struct DspRegs {
     values: [u16; DSP_REG_COUNT],
     /// Writes from the CPU/JTAG side that the chain must apply (control).
     control_dirty: bool,
+    /// Successful bus-side writes (CPU/JTAG control traffic; telemetry).
+    bus_writes: u64,
 }
 
 impl DspRegs {
@@ -94,6 +96,7 @@ impl DspRegs {
         if addr == DspReg::Control.addr() {
             self.values[addr as usize] = value;
             self.control_dirty = true;
+            self.bus_writes += 1;
             true
         } else {
             false
@@ -109,6 +112,12 @@ impl DspRegs {
     /// Takes the control-dirty flag (chain applies new control bits).
     pub fn take_control_dirty(&mut self) -> bool {
         std::mem::take(&mut self.control_dirty)
+    }
+
+    /// Successful bus-side (CPU/JTAG) writes since construction (telemetry).
+    #[must_use]
+    pub fn bus_writes(&self) -> u64 {
+        self.bus_writes
     }
 }
 

@@ -98,21 +98,19 @@ impl GateReport {
         use cost::*;
         let sb = f64::from(p.sample_bits);
         let cb = f64::from(p.coeff_bits);
-        let mut blocks = Vec::new();
-
         // NCO: phase accumulator + quadrant logic; sine table as ROM.
-        blocks.push(BlockEstimate {
+        let mut blocks = vec![BlockEstimate {
             name: "NCO / DDS".into(),
             logic_gates: f64::from(p.nco_bits) * (FLIP_FLOP + ADDER_BIT) + 200.0,
             memory_bits: u64::from(p.nco_table) * 16,
-        });
+        }];
 
         // PLL: phase detector multiplier + averaging accumulator + PI.
         blocks.push(BlockEstimate {
             name: "PLL (PD + PI)".into(),
             logic_gates: sb * sb * MULT_CELL          // phase detector
                 + 48.0 * (FLIP_FLOP + ADDER_BIT)      // averaging + integrator
-                + sb * cb * MULT_CELL,                // gain multiplier
+                + sb * cb * MULT_CELL, // gain multiplier
             memory_bits: 0,
         });
 
@@ -135,9 +133,10 @@ impl GateReport {
         // multiplier + accumulator per channel, coefficient ROM, sample RAM).
         blocks.push(BlockEstimate {
             name: "Demodulator (2× FIR)".into(),
-            logic_gates: 2.0 * (sb * sb * MULT_CELL            // mixer
+            logic_gates: 2.0
+                * (sb * sb * MULT_CELL            // mixer
                 + sb * cb * MULT_CELL                          // MAC multiplier
-                + 64.0 * (ADDER_BIT + FLIP_FLOP)),             // accumulator
+                + 64.0 * (ADDER_BIT + FLIP_FLOP)), // accumulator
             memory_bits: 2 * u64::from(p.fir_taps) * u64::from(p.coeff_bits)  // coeff ROM
                 + 2 * u64::from(p.fir_taps) * u64::from(p.sample_bits), // delay RAM
         });
@@ -204,7 +203,11 @@ impl GateReport {
 impl fmt::Display for GateReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Digital section complexity estimate")?;
-        writeln!(f, "  {:<48} {:>12} {:>12}", "block", "logic (GE)", "memory (bit)")?;
+        writeln!(
+            f,
+            "  {:<48} {:>12} {:>12}",
+            "block", "logic (GE)", "memory (bit)"
+        )?;
         for b in &self.blocks {
             writeln!(
                 f,

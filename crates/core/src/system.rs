@@ -238,7 +238,8 @@ impl SystemModel {
         self.agc_q_acc = 0.0;
         let envelope = i.hypot(q);
         let amp_err = cfg.agc_setpoint - envelope;
-        self.agc_integrator = (self.agc_integrator + cfg.agc_ki * amp_err * ctrl_dt).clamp(0.0, 1.0);
+        self.agc_integrator =
+            (self.agc_integrator + cfg.agc_ki * amp_err * ctrl_dt).clamp(0.0, 1.0);
         self.drive_amp = (cfg.agc_kp * amp_err + self.agc_integrator).clamp(0.0, 1.0);
 
         self.snapshot = SystemSnapshot {

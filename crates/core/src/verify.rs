@@ -118,8 +118,7 @@ pub fn cross_verify(
             }
         }
         let sys_rate = stats::mean(&sys_rates);
-        let plat_rate =
-            stats::mean(&plat.sample_rate_output(0.0, scenario.samples)) * plat_sign;
+        let plat_rate = stats::mean(&plat.sample_rate_output(0.0, scenario.samples)) * plat_sign;
         rate_readings.push((applied, sys_rate, plat_rate));
         diffs.push(sys_rate - plat_rate);
     }

@@ -79,6 +79,8 @@ pub struct Agc {
     error: f64,
     drive: f64,
     pi: PiController,
+    samples: u64,
+    settled_at_sample: Option<u64>,
 }
 
 impl Agc {
@@ -103,6 +105,8 @@ impl Agc {
             error: config.setpoint,
             drive: 0.0,
             pi,
+            samples: 0,
+            settled_at_sample: None,
         }
     }
 
@@ -119,6 +123,7 @@ impl Agc {
         self.i_acc += pickoff.mul(sin_ref).raw() as i64;
         self.q_acc += pickoff.mul(cos_ref).raw() as i64;
         self.count += 1;
+        self.samples += 1;
         if self.count == self.config.average {
             let scale = 1.0 / (self.config.average as f64);
             let i = Q15::from_f64(self.i_acc as f64 * scale / 32768.0 * 2.0);
@@ -130,6 +135,11 @@ impl Agc {
             self.envelope = polar.magnitude.to_f64();
             self.error = self.config.setpoint - self.envelope;
             self.drive = self.pi.update(self.error);
+            // Settling milestone: the first window whose error is inside a
+            // 5 %-of-setpoint band. Latched until reset.
+            if self.settled_at_sample.is_none() && self.error.abs() <= 0.05 * self.config.setpoint {
+                self.settled_at_sample = Some(self.samples);
+            }
             self.i_acc = 0;
             self.q_acc = 0;
             self.count = 0;
@@ -161,6 +171,14 @@ impl Agc {
         self.error.abs() <= tol
     }
 
+    /// Time (seconds since construction/reset) when the amplitude error
+    /// first entered the ±5 %-of-setpoint band, or `None` before that.
+    #[must_use]
+    pub fn settle_time_s(&self) -> Option<f64> {
+        self.settled_at_sample
+            .map(|n| n as f64 / self.config.sample_rate)
+    }
+
     /// Resets detector and controller state.
     pub fn reset(&mut self) {
         self.i_acc = 0;
@@ -170,6 +188,8 @@ impl Agc {
         self.error = self.config.setpoint;
         self.drive = 0.0;
         self.pi.reset();
+        self.samples = 0;
+        self.settled_at_sample = None;
     }
 }
 
@@ -240,7 +260,11 @@ mod tests {
             phase += 2.0 * std::f64::consts::PI * 15_000.0 / fs;
         }
         // envelope should be near 0.4 despite the offset phase
-        assert!((agc.envelope() - 0.4).abs() < 0.05, "env {}", agc.envelope());
+        assert!(
+            (agc.envelope() - 0.4).abs() < 0.05,
+            "env {}",
+            agc.envelope()
+        );
     }
 
     #[test]
@@ -263,6 +287,33 @@ mod tests {
         agc.reset();
         assert_eq!(agc.drive(), 0.0);
         assert_eq!(agc.envelope(), 0.0);
+    }
+
+    #[test]
+    fn settle_time_latches_once() {
+        let config = AgcConfig::default();
+        let fs = config.sample_rate;
+        let mut agc = Agc::new(config);
+        assert_eq!(agc.settle_time_s(), None);
+        let mut nco = Nco::new();
+        nco.set_frequency(15_000.0, fs);
+        let mut drive = 0.0f64;
+        for _ in 0..(0.4 * fs) as usize {
+            let (s, c) = nco.tick();
+            let pickoff = Q15::from_f64(drive * s.to_f64());
+            drive = agc.process(pickoff, s, c);
+        }
+        let settle = agc.settle_time_s().expect("AGC settled");
+        assert!(settle > 0.0 && settle < 0.4, "settle {settle}");
+        // Latched: running longer must not move it.
+        for _ in 0..10_000 {
+            let (s, c) = nco.tick();
+            let pickoff = Q15::from_f64(drive * s.to_f64());
+            drive = agc.process(pickoff, s, c);
+        }
+        assert_eq!(agc.settle_time_s(), Some(settle));
+        agc.reset();
+        assert_eq!(agc.settle_time_s(), None);
     }
 
     #[test]

@@ -84,7 +84,7 @@ impl CicDecimator {
         }
         let scaled = (y as f64 * self.gain).round();
         Some(Q15::from_raw(
-            scaled.clamp(i32::MIN as f64, i32::MAX as f64) as i32
+            scaled.clamp(i32::MIN as f64, i32::MAX as f64) as i32,
         ))
     }
 

@@ -190,7 +190,12 @@ fn polyfit(x: &[f64], y: &[f64], degree: usize) -> Vec<f64> {
     // Gaussian elimination with partial pivoting.
     for col in 0..n {
         let pivot = (col..n)
-            .max_by(|&a, &b| ata[a][col].abs().partial_cmp(&ata[b][col].abs()).expect("finite"))
+            .max_by(|&a, &b| {
+                ata[a][col]
+                    .abs()
+                    .partial_cmp(&ata[b][col].abs())
+                    .expect("finite")
+            })
             .expect("non-empty");
         ata.swap(col, pivot);
         atb.swap(col, pivot);
@@ -198,6 +203,9 @@ fn polyfit(x: &[f64], y: &[f64], degree: usize) -> Vec<f64> {
         assert!(p.abs() > 1e-12, "singular normal equations in polyfit");
         for row in (col + 1)..n {
             let f = ata[row][col] / p;
+            // Indexed on purpose: `ata[row]` and `ata[col]` alias the same
+            // matrix, which rules out a borrowed iterator over either row.
+            #[allow(clippy::needless_range_loop)]
             for k in col..n {
                 ata[row][k] -= f * ata[col][k];
             }
@@ -265,7 +273,11 @@ mod tests {
         assert!(y.to_f64().abs() < 1e-4, "null not removed: {}", y.to_f64());
         c.set_temperature(125.0);
         let y = c.apply(Q15::from_f64(0.15));
-        assert!(y.to_f64().abs() < 1e-4, "hot null not removed: {}", y.to_f64());
+        assert!(
+            y.to_f64().abs() < 1e-4,
+            "hot null not removed: {}",
+            y.to_f64()
+        );
     }
 
     #[test]
@@ -303,7 +315,11 @@ mod tests {
         for t in [-35.0, 5.0, 45.0, 85.0] {
             comp.set_temperature(t);
             let y = comp.apply(Q15::from_f64(device_null(t)));
-            assert!(y.to_f64().abs() < 1e-3, "residual null at {t}: {}", y.to_f64());
+            assert!(
+                y.to_f64().abs() < 1e-3,
+                "residual null at {t}: {}",
+                y.to_f64()
+            );
         }
     }
 

@@ -138,7 +138,11 @@ mod tests {
                 last = out;
             }
         }
-        assert!((last.i.to_f64() - 0.3).abs() < 0.01, "I = {}", last.i.to_f64());
+        assert!(
+            (last.i.to_f64() - 0.3).abs() < 0.01,
+            "I = {}",
+            last.i.to_f64()
+        );
         assert!(last.q.to_f64().abs() < 0.01, "Q = {}", last.q.to_f64());
     }
 
@@ -156,7 +160,11 @@ mod tests {
             }
         }
         assert!(last.i.to_f64().abs() < 0.01, "I = {}", last.i.to_f64());
-        assert!((last.q.to_f64() - 0.2).abs() < 0.01, "Q = {}", last.q.to_f64());
+        assert!(
+            (last.q.to_f64() - 0.2).abs() < 0.01,
+            "Q = {}",
+            last.q.to_f64()
+        );
     }
 
     #[test]
@@ -197,9 +205,7 @@ mod tests {
         }
         let tail = &outs[outs.len() - 200..];
         let mean = tail.iter().sum::<f64>() / tail.len() as f64;
-        let ripple = tail
-            .iter()
-            .fold(0.0f64, |m, v| m.max((v - mean).abs()));
+        let ripple = tail.iter().fold(0.0f64, |m, v| m.max((v - mean).abs()));
         assert!(ripple < 2e-3, "ripple {ripple}");
     }
 
@@ -223,8 +229,16 @@ mod tests {
         }
         // Modulator does not apply the ×2 restore; demod channel gain is ×1
         // for a modulated pair at half amplitude.
-        assert!((last.i.to_f64() - 0.15).abs() < 0.01, "I {}", last.i.to_f64());
-        assert!((last.q.to_f64() + 0.1).abs() < 0.01, "Q {}", last.q.to_f64());
+        assert!(
+            (last.i.to_f64() - 0.15).abs() < 0.01,
+            "I {}",
+            last.i.to_f64()
+        );
+        assert!(
+            (last.q.to_f64() + 0.1).abs() < 0.01,
+            "Q {}",
+            last.q.to_f64()
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ use std::f64::consts::PI;
 pub fn fft(re: &mut [f64], im: &mut [f64]) {
     let n = re.len();
     assert_eq!(n, im.len(), "fft needs equal-length re/im");
-    assert!(n.is_power_of_two() && n > 0, "fft length must be a power of two");
+    assert!(
+        n.is_power_of_two() && n > 0,
+        "fft length must be a power of two"
+    );
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
@@ -192,10 +195,7 @@ pub fn band_density(freqs: &[f64], psd: &[f64], f_lo: f64, f_hi: f64) -> f64 {
         .filter(|(f, _)| **f >= f_lo && **f <= f_hi)
         .map(|(_, p)| *p)
         .collect();
-    assert!(
-        !vals.is_empty(),
-        "no PSD bins between {f_lo} and {f_hi} Hz"
-    );
+    assert!(!vals.is_empty(), "no PSD bins between {f_lo} and {f_hi} Hz");
     (vals.iter().sum::<f64>() / vals.len() as f64).sqrt()
 }
 
@@ -210,7 +210,10 @@ mod tests {
         re[0] = 1.0;
         fft(&mut re, &mut im);
         for k in 0..16 {
-            assert!((re[k] - 1.0).abs() < 1e-12 && im[k].abs() < 1e-12, "bin {k}");
+            assert!(
+                (re[k] - 1.0).abs() < 1e-12 && im[k].abs() < 1e-12,
+                "bin {k}"
+            );
         }
     }
 
@@ -262,7 +265,7 @@ mod tests {
         for w in [Window::Hann, Window::Hamming, Window::Blackman] {
             let v = w.generate(64);
             for (i, &x) in v.iter().enumerate() {
-                assert!(x >= -1e-12 && x <= 1.0, "{w:?}[{i}] = {x}");
+                assert!((-1e-12..=1.0).contains(&x), "{w:?}[{i}] = {x}");
                 assert!((x - v[63 - i]).abs() < 1e-12, "{w:?} asymmetric at {i}");
             }
         }
@@ -270,13 +273,12 @@ mod tests {
 
     #[test]
     fn welch_white_noise_density() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = ascp_sim::noise::Rng64::new(1);
         let fs = 1000.0;
         let sigma = 0.5f64;
         // Uniform noise with matching variance: var = (2a)²/12 = sigma².
         let a = sigma * 3f64.sqrt();
-        let xs: Vec<f64> = (0..1 << 16).map(|_| rng.gen_range(-a..a)).collect();
+        let xs: Vec<f64> = (0..1 << 16).map(|_| rng.gen_range(-a, a)).collect();
         let (freqs, psd) = welch_psd(&xs, fs, 1024, Window::Hann);
         let d = band_density(&freqs, &psd, 50.0, 400.0);
         let expect = sigma / (fs / 2.0f64).sqrt();

@@ -29,11 +29,6 @@ use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Fx<const FRAC: u32>(i32);
 
-// `mul`/`shl`/`shr` are the DSP-datapath names (explicit, saturating,
-// rounding variants) — deliberately distinct from the wrapping `std::ops`
-// operators, which this type does not implement.
-#[allow(clippy::should_implement_trait)]
-
 /// 32-bit word with 15 fractional bits (ADC/DAC sample format; values in
 /// roughly ±65536 with 2⁻¹⁵ resolution).
 pub type Q15 = Fx<15>;
@@ -42,6 +37,10 @@ pub type Q30 = Fx<30>;
 /// 32-bit word with 20 fractional bits (filter coefficients with headroom).
 pub type Q20 = Fx<20>;
 
+// `mul`/`shl`/`shr` are the DSP-datapath names (explicit, saturating,
+// rounding variants) — deliberately distinct from the wrapping `std::ops`
+// operators, which this type does not implement.
+#[allow(clippy::should_implement_trait)]
 impl<const FRAC: u32> Fx<FRAC> {
     /// The representable maximum.
     pub const MAX: Self = Self(i32::MAX);

@@ -226,7 +226,9 @@ mod tests {
         let mut sum_sq = 0.0;
         let mut count = 0;
         for k in 0..n {
-            let y = bq.process(Q15::from_f64(amp * (w * k as f64).sin())).to_f64();
+            let y = bq
+                .process(Q15::from_f64(amp * (w * k as f64).sin()))
+                .to_f64();
             if k > n / 2 {
                 sum_sq += y * y;
                 count += 1;

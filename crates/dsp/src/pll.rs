@@ -68,7 +68,10 @@ impl PllConfig {
     /// are negative, or the averaging length is zero.
     pub fn validate(&self) -> Result<(), String> {
         if !(self.sample_rate > 0.0) {
-            return Err(format!("sample_rate must be positive: {}", self.sample_rate));
+            return Err(format!(
+                "sample_rate must be positive: {}",
+                self.sample_rate
+            ));
         }
         if !(self.center_freq > 0.0 && self.center_freq < self.sample_rate / 2.0) {
             return Err(format!(
@@ -103,6 +106,7 @@ pub struct Pll {
     locked_windows: u32,
     unlocked_windows: u32,
     locked: bool,
+    lock_transitions: u64,
 }
 
 impl Pll {
@@ -130,6 +134,7 @@ impl Pll {
             locked_windows: 0,
             unlocked_windows: 0,
             locked: false,
+            lock_transitions: 0,
         }
     }
 
@@ -176,7 +181,11 @@ impl Pll {
                 self.locked_windows = 0;
                 self.unlocked_windows = self.unlocked_windows.saturating_add(1);
             }
-            self.locked = self.locked_windows >= self.config.lock_count;
+            let locked_now = self.locked_windows >= self.config.lock_count;
+            if locked_now != self.locked {
+                self.lock_transitions += 1;
+            }
+            self.locked = locked_now;
             // Re-acquisition aid: an overload can wind the integrator onto
             // its rail, far outside the capture range. Only in that state
             // (persistently unlocked AND integrator near the rail) leak it
@@ -216,6 +225,13 @@ impl Pll {
     #[must_use]
     pub fn is_locked(&self) -> bool {
         self.locked
+    }
+
+    /// Number of lock-state changes (lock acquisitions + losses) since
+    /// construction. [`Pll::reset`] does not count as a transition.
+    #[must_use]
+    pub fn lock_transitions(&self) -> u64 {
+        self.lock_transitions
     }
 
     /// Current NCO phase word (for demodulator phase alignment).
@@ -387,6 +403,31 @@ mod tests {
     }
 
     #[test]
+    fn lock_transitions_count_state_changes() {
+        let config = PllConfig::default();
+        let fs = config.sample_rate;
+        let mut pll = Pll::new(config);
+        assert_eq!(pll.lock_transitions(), 0);
+        let w = 2.0 * std::f64::consts::PI * 15_000.0;
+        let mut phase = 0.0f64;
+        for _ in 0..(0.3 * fs) as usize {
+            pll.process(Q15::from_f64(0.5 * phase.sin()));
+            phase += w / fs;
+        }
+        assert!(pll.is_locked());
+        assert_eq!(pll.lock_transitions(), 1);
+        // Kill the input: the detector eventually reads large errors only if
+        // noise is present; silence keeps phase error small, so instead slam
+        // in an off-frequency tone to force unlock.
+        let w2 = 2.0 * std::f64::consts::PI * 18_000.0;
+        for _ in 0..(0.3 * fs) as usize {
+            pll.process(Q15::from_f64(0.5 * phase.sin()));
+            phase += w2 / fs;
+        }
+        assert!(pll.lock_transitions() >= 2, "{}", pll.lock_transitions());
+    }
+
+    #[test]
     fn config_validation() {
         let mut c = PllConfig::default();
         assert!(c.validate().is_ok());
@@ -420,7 +461,7 @@ mod tests {
         let mut pi = PiController::new(10.0, 1000.0, 1e-3, -0.5, 0.5);
         for _ in 0..1000 {
             let u = pi.update(10.0);
-            assert!(u <= 0.5 && u >= -0.5);
+            assert!((-0.5..=0.5).contains(&u));
         }
     }
 

@@ -65,6 +65,8 @@ pub struct JtagChain {
     state: TapState,
     /// Total TCK cycles applied (diagnostics).
     cycles: u64,
+    /// TCK cycles spent in Shift-IR/Shift-DR (telemetry: payload bits moved).
+    shifts: u64,
 }
 
 impl JtagChain {
@@ -88,6 +90,7 @@ impl JtagChain {
             slots,
             state: TapState::TestLogicReset,
             cycles: 0,
+            shifts: 0,
         };
         chain.reset();
         chain
@@ -115,6 +118,12 @@ impl JtagChain {
     #[must_use]
     pub fn cycles(&self) -> u64 {
         self.cycles
+    }
+
+    /// Shift-state TCK cycles (IR + DR payload bits moved through the chain).
+    #[must_use]
+    pub fn shifts(&self) -> u64 {
+        self.shifts
     }
 
     /// Applies 5 TMS-high clocks (hardware reset) and lands in
@@ -145,6 +154,7 @@ impl JtagChain {
                 }
             }
             TapState::ShiftIr => {
+                self.shifts += 1;
                 // Bit ripples from high-index device toward TDO (device 0).
                 let mut carry = tdi;
                 for slot in self.slots.iter_mut().rev() {
@@ -171,6 +181,7 @@ impl JtagChain {
                 }
             }
             TapState::ShiftDr => {
+                self.shifts += 1;
                 let mut carry = tdi;
                 for slot in self.slots.iter_mut().rev() {
                     let out = slot.dr_shift & 1 != 0;
@@ -466,5 +477,16 @@ mod tests {
         let c0 = chain.cycles();
         chain.read_idcodes().unwrap();
         assert!(chain.cycles() > c0 + 100);
+    }
+
+    #[test]
+    fn shift_counter_counts_payload_cycles() {
+        let mut chain = reg_chain();
+        assert_eq!(chain.shifts(), 0, "reset path never enters shift states");
+        chain.read_idcodes().unwrap();
+        let shifts = chain.shifts();
+        // Each scan moves real payload bits, but far fewer than total TCK.
+        assert!(shifts > 0);
+        assert!(shifts < chain.cycles());
     }
 }

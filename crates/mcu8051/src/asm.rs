@@ -180,13 +180,10 @@ fn eval(
     // SFR.bit / symbol.bit notation.
     if bits {
         if let Some((base, bitn)) = t.rsplit_once('.') {
-            let bit: u16 = bitn
-                .trim()
-                .parse()
-                .map_err(|_| AsmError {
-                    line,
-                    message: format!("bad bit number in `{t}`"),
-                })?;
+            let bit: u16 = bitn.trim().parse().map_err(|_| AsmError {
+                line,
+                message: format!("bad bit number in `{t}`"),
+            })?;
             if bit > 7 {
                 return err(line, format!("bit number {bit} > 7 in `{t}`"));
             }
@@ -560,10 +557,7 @@ pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
             if label.is_empty() || !is_ident(label) {
                 return err(line_no, format!("bad label `{label}`"));
             }
-            if symbols
-                .insert(label.to_ascii_uppercase(), pc)
-                .is_some()
-            {
+            if symbols.insert(label.to_ascii_uppercase(), pc).is_some() {
                 return err(line_no, format!("duplicate label `{label}`"));
             }
             text = text[colon + 1..].trim();
@@ -611,7 +605,10 @@ pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
             }
             _ => {}
         }
-        let operands: Vec<Operand> = split_operands(rest).iter().map(|s| parse_operand(s)).collect();
+        let operands: Vec<Operand> = split_operands(rest)
+            .iter()
+            .map(|s| parse_operand(s))
+            .collect();
         let item = Item {
             line: line_no,
             mnemonic,
@@ -679,7 +676,9 @@ fn find_label_colon(s: &str) -> Option<usize> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -800,10 +799,7 @@ mod tests {
     #[test]
     fn alu_encodings() {
         let img = assemble("add a, #5\nadd a, 0x30\nadd a, @r1\nadd a, r7\nsubb a, #1\n").unwrap();
-        assert_eq!(
-            img,
-            vec![0x24, 5, 0x25, 0x30, 0x27, 0x2f, 0x94, 1]
-        );
+        assert_eq!(img, vec![0x24, 5, 0x25, 0x30, 0x27, 0x2f, 0x94, 1]);
     }
 
     #[test]
@@ -814,8 +810,8 @@ mod tests {
 
     #[test]
     fn movx_and_movc() {
-        let img = assemble("movx a, @dptr\nmovx @dptr, a\nmovc a, @a+dptr\nmovc a, @a+pc\n")
-            .unwrap();
+        let img =
+            assemble("movx a, @dptr\nmovx @dptr, a\nmovc a, @a+dptr\nmovc a, @a+pc\n").unwrap();
         assert_eq!(img, vec![0xe0, 0xf0, 0x93, 0x83]);
     }
 

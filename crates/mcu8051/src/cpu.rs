@@ -152,6 +152,11 @@ pub struct Cpu {
     sfrs: [u8; 128],
     code: Vec<u8>,
     cycles: u64,
+    /// Instructions retired (telemetry).
+    instructions: u64,
+    /// Bytes ever written to SBUF for transmit (monotonic; `uart_take_tx`
+    /// drains the queue but not this counter).
+    uart_tx_total: u64,
     /// Machine cycles spent in the current UART transmission, if any.
     uart_tx_countdown: Option<u32>,
     /// Bytes the firmware has transmitted (host-visible).
@@ -186,6 +191,8 @@ impl Cpu {
             sfrs: [0; 128],
             code: Vec::new(),
             cycles: 0,
+            instructions: 0,
+            uart_tx_total: 0,
             uart_tx_countdown: None,
             uart_tx: VecDeque::new(),
             uart_rx: VecDeque::new(),
@@ -233,6 +240,8 @@ impl Cpu {
         self.sfr_store(sfr::P2, 0xff);
         self.sfr_store(sfr::P3, 0xff);
         self.cycles = 0;
+        self.instructions = 0;
+        self.uart_tx_total = 0;
         self.uart_tx_countdown = None;
         self.uart_tx.clear();
         self.uart_rx.clear();
@@ -251,6 +260,19 @@ impl Cpu {
     #[must_use]
     pub fn cycles(&self) -> u64 {
         self.cycles
+    }
+
+    /// Instructions retired since reset.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Total bytes the firmware has queued for UART transmit since reset
+    /// (monotonic — unaffected by [`Cpu::uart_take_tx`] draining the queue).
+    #[must_use]
+    pub fn uart_tx_total(&self) -> u64 {
+        self.uart_tx_total
     }
 
     /// `true` after executing the idle pseudo-halt (`SJMP $` detection is
@@ -372,6 +394,7 @@ impl Cpu {
             if addr == sfr::SBUF {
                 // Writing SBUF starts a transmission.
                 self.uart_tx.push_back(value);
+                self.uart_tx_total += 1;
                 self.uart_tx_countdown = Some(self.uart_cycles_per_byte);
             }
             if addr == sfr::PCON && value & 0x02 != 0 {
@@ -731,6 +754,7 @@ impl Cpu {
         }
         let op = self.fetch();
         let cycles = self.execute(op, bus);
+        self.instructions += 1;
         self.cycles += cycles as u64;
         self.tick_timers(cycles);
         self.tick_uart(cycles);
@@ -1198,8 +1222,7 @@ impl Cpu {
                 2
             }
             0xe2 | 0xe3 => {
-                let addr =
-                    u16::from_le_bytes([self.reg(op & 1), self.sfr_load(sfr::P2)]);
+                let addr = u16::from_le_bytes([self.reg(op & 1), self.sfr_load(sfr::P2)]);
                 let v = bus.xdata_read(addr);
                 self.sfr_store(sfr::ACC, v);
                 2
@@ -1209,8 +1232,7 @@ impl Cpu {
                 2
             }
             0xf2 | 0xf3 => {
-                let addr =
-                    u16::from_le_bytes([self.reg(op & 1), self.sfr_load(sfr::P2)]);
+                let addr = u16::from_le_bytes([self.reg(op & 1), self.sfr_load(sfr::P2)]);
                 bus.xdata_write(addr, self.sfr_load(sfr::ACC));
                 2
             }
@@ -1227,12 +1249,12 @@ impl Cpu {
                 let a = self.sfr_load(sfr::ACC);
                 let b = self.sfr_load(sfr::B);
                 self.set_flag(psw::CY, false);
-                if b == 0 {
-                    self.set_flag(psw::OV, true);
-                } else {
+                if let Some(q) = a.checked_div(b) {
                     self.set_flag(psw::OV, false);
-                    self.sfr_store(sfr::ACC, a / b);
+                    self.sfr_store(sfr::ACC, q);
                     self.sfr_store(sfr::B, a % b);
+                } else {
+                    self.set_flag(psw::OV, true);
                 }
                 4
             }

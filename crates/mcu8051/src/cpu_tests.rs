@@ -156,7 +156,10 @@ fn cjne_sets_carry_on_less() {
 
 #[test]
 fn djnz_loops_exact_count() {
-    let cpu = run("mov r2, #5\nmov r3, #0\nloop: inc r3\ndjnz r2, loop\n", 2 + 10);
+    let cpu = run(
+        "mov r2, #5\nmov r3, #0\nloop: inc r3\ndjnz r2, loop\n",
+        2 + 10,
+    );
     assert_eq!(cpu.iram(3), 5);
     assert_eq!(cpu.iram(2), 0);
 }
@@ -185,7 +188,10 @@ fn xch_and_xchd() {
     assert_eq!(cpu.acc(), 0x34);
     assert_eq!(cpu.iram(0x30), 0x12);
 
-    let cpu = run("mov r0, #0x30\nmov 0x30, #0xab\nmov a, #0xcd\nxchd a, @r0\n", 4);
+    let cpu = run(
+        "mov r0, #0x30\nmov 0x30, #0xab\nmov a, #0xcd\nxchd a, @r0\n",
+        4,
+    );
     assert_eq!(cpu.acc(), 0xcb);
     assert_eq!(cpu.iram(0x30), 0xad);
 }

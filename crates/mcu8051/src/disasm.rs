@@ -22,7 +22,13 @@ pub struct Instruction {
 impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let hex: Vec<String> = self.bytes.iter().map(|b| format!("{b:02x}")).collect();
-        write!(f, "{:04x}:  {:<9} {}", self.address, hex.join(" "), self.text)
+        write!(
+            f,
+            "{:04x}:  {:<9} {}",
+            self.address,
+            hex.join(" "),
+            self.text
+        )
     }
 }
 
@@ -71,7 +77,11 @@ fn bit_name(bit: u8) -> String {
 /// walker always advances.
 #[must_use]
 pub fn decode(code: &[u8], addr: u16) -> Instruction {
-    let at = |o: u16| code.get((addr.wrapping_add(o)) as usize).copied().unwrap_or(0);
+    let at = |o: u16| {
+        code.get((addr.wrapping_add(o)) as usize)
+            .copied()
+            .unwrap_or(0)
+    };
     let op = at(0);
     let b1 = at(1);
     let b2 = at(2);
@@ -105,9 +115,18 @@ pub fn decode(code: &[u8], addr: u16) -> Instruction {
         0x08..=0x0f => (1, format!("inc r{r}")),
         0x18..=0x1f => (1, format!("dec r{r}")),
         0xa3 => (1, "inc dptr".into()),
-        0x10 => (3, format!("jbc {}, 0x{:04x}", bit_name(b1), rel_target(addr, 3, b2))),
-        0x20 => (3, format!("jb {}, 0x{:04x}", bit_name(b1), rel_target(addr, 3, b2))),
-        0x30 => (3, format!("jnb {}, 0x{:04x}", bit_name(b1), rel_target(addr, 3, b2))),
+        0x10 => (
+            3,
+            format!("jbc {}, 0x{:04x}", bit_name(b1), rel_target(addr, 3, b2)),
+        ),
+        0x20 => (
+            3,
+            format!("jb {}, 0x{:04x}", bit_name(b1), rel_target(addr, 3, b2)),
+        ),
+        0x30 => (
+            3,
+            format!("jnb {}, 0x{:04x}", bit_name(b1), rel_target(addr, 3, b2)),
+        ),
         0x40 => (2, format!("jc 0x{:04x}", rel_target(addr, 2, b1))),
         0x50 => (2, format!("jnc 0x{:04x}", rel_target(addr, 2, b1))),
         0x60 => (2, format!("jz 0x{:04x}", rel_target(addr, 2, b1))),
@@ -157,7 +176,10 @@ pub fn decode(code: &[u8], addr: u16) -> Instruction {
         0x85 => (3, format!("mov {}, {}", direct_name(b2), direct_name(b1))),
         0x86 | 0x87 => (2, format!("mov {}, @r{ri}", direct_name(b1))),
         0x88..=0x8f => (2, format!("mov {}, r{r}", direct_name(b1))),
-        0x90 => (3, format!("mov dptr, #0x{:04x}", u16::from_be_bytes([b1, b2]))),
+        0x90 => (
+            3,
+            format!("mov dptr, #0x{:04x}", u16::from_be_bytes([b1, b2])),
+        ),
         0x92 => (2, format!("mov {}, c", bit_name(b1))),
         0xa2 => (2, format!("mov c, {}", bit_name(b1))),
         0xa6 | 0xa7 => (2, format!("mov @r{ri}, {}", direct_name(b1))),
@@ -192,14 +214,24 @@ pub fn decode(code: &[u8], addr: u16) -> Instruction {
         0xc6 | 0xc7 => (1, format!("xch a, @r{ri}")),
         0xc8..=0xcf => (1, format!("xch a, r{r}")),
         0xd6 | 0xd7 => (1, format!("xchd a, @r{ri}")),
-        0xb4 => (3, format!("cjne a, #0x{b1:02x}, 0x{:04x}", rel_target(addr, 3, b2))),
+        0xb4 => (
+            3,
+            format!("cjne a, #0x{b1:02x}, 0x{:04x}", rel_target(addr, 3, b2)),
+        ),
         0xb5 => (
             3,
-            format!("cjne a, {}, 0x{:04x}", direct_name(b1), rel_target(addr, 3, b2)),
+            format!(
+                "cjne a, {}, 0x{:04x}",
+                direct_name(b1),
+                rel_target(addr, 3, b2)
+            ),
         ),
         0xb6 | 0xb7 => (
             3,
-            format!("cjne @r{ri}, #0x{b1:02x}, 0x{:04x}", rel_target(addr, 3, b2)),
+            format!(
+                "cjne @r{ri}, #0x{b1:02x}, 0x{:04x}",
+                rel_target(addr, 3, b2)
+            ),
         ),
         0xb8..=0xbf => (
             3,
@@ -207,7 +239,11 @@ pub fn decode(code: &[u8], addr: u16) -> Instruction {
         ),
         0xd5 => (
             3,
-            format!("djnz {}, 0x{:04x}", direct_name(b1), rel_target(addr, 3, b2)),
+            format!(
+                "djnz {}, 0x{:04x}",
+                direct_name(b1),
+                rel_target(addr, 3, b2)
+            ),
         ),
         0xd8..=0xdf => (2, format!("djnz r{r}, 0x{:04x}", rel_target(addr, 2, b1))),
         0xa5 => (1, "db 0xa5".into()), // reserved opcode
@@ -306,10 +342,9 @@ mod tests {
     fn monitor_firmware_disassembles_cleanly() {
         // The real monitor firmware must contain no reserved opcodes along
         // its linear encoding (sanity of both tools).
-        let img = assemble(
-            "start: mov a, #1\nadd a, acc\njnz start\nlcall sub\nsjmp start\nsub: ret\n",
-        )
-        .unwrap();
+        let img =
+            assemble("start: mov a, #1\nadd a, acc\njnz start\nlcall sub\nsjmp start\nsub: ret\n")
+                .unwrap();
         let insts = disassemble(&img, 0, img.len() as u16);
         assert!(insts.iter().all(|i| !i.text.starts_with("db ")));
     }

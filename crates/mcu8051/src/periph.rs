@@ -139,14 +139,13 @@ impl Bus16Device for Spi {
                     }
                 }
             }
-            1
-                if self.cs => {
-                    self.transfers += 1;
-                    self.last_rx = self
-                        .slave
-                        .as_mut()
-                        .map_or(0xff, |s| s.transfer(value as u8));
-                }
+            1 if self.cs => {
+                self.transfers += 1;
+                self.last_rx = self
+                    .slave
+                    .as_mut()
+                    .map_or(0xff, |s| s.transfer(value as u8));
+            }
             _ => {}
         }
     }
@@ -166,8 +165,14 @@ pub struct SpiEeprom {
 enum EepromState {
     Idle,
     AddrHi(u8),
-    AddrLo { cmd: u8, hi: u8 },
-    Stream { cmd: u8, addr: u16 },
+    AddrLo {
+        cmd: u8,
+        hi: u8,
+    },
+    Stream {
+        cmd: u8,
+        addr: u16,
+    },
     /// RDSR selected: every following byte returns the status register.
     Status,
 }
@@ -264,7 +269,13 @@ impl SpiSlave for SpiEeprom {
     fn set_selected(&mut self, selected: bool) {
         if !selected {
             // Command boundary; WREN latches until a write completes.
-            if matches!(self.state, EepromState::Stream { cmd: Self::CMD_WRITE, .. }) {
+            if matches!(
+                self.state,
+                EepromState::Stream {
+                    cmd: Self::CMD_WRITE,
+                    ..
+                }
+            ) {
                 self.write_enabled = false;
             }
             self.state = EepromState::Idle;
@@ -357,10 +368,9 @@ impl Bus16Device for Watchdog {
                 self.counter = self.reload as u32;
             }
             2 => self.counter = self.reload as u32, // kick
-            3
-                if value & 1 != 0 => {
-                    self.expired = false;
-                }
+            3 if value & 1 != 0 => {
+                self.expired = false;
+            }
             _ => {}
         }
     }
@@ -686,7 +696,7 @@ mod tests {
         bus.sfr_write(bridge_sfr::DATA_LO, 0x34);
         bus.sfr_write(bridge_sfr::DATA_HI, 0x12);
         bus.sfr_write(bridge_sfr::CTRL, 2); // write strobe
-        // Read it back.
+                                            // Read it back.
         bus.sfr_write(bridge_sfr::CTRL, 1); // read strobe
         assert_eq!(bus.sfr_read(bridge_sfr::DATA_LO), Some(0x34));
         assert_eq!(bus.sfr_read(bridge_sfr::DATA_HI), Some(0x12));

@@ -321,8 +321,8 @@ mod tests {
     #[test]
     fn drive_amplitude_reaches_resonant_gain() {
         let (p_peak, _, g) = run_open_loop(0.0, 1.0, false);
-        let expect = g.params().q_drive * g.params().force_scale * 0.4
-            / g.resonance().angular().powi(2);
+        let expect =
+            g.params().q_drive * g.params().force_scale * 0.4 / g.resonance().angular().powi(2);
         assert!(
             (p_peak - expect).abs() / expect < 0.05,
             "primary {p_peak} vs {expect}"
@@ -390,7 +390,10 @@ mod tests {
                 s_noisy = s_noisy.max(out.secondary.abs());
             }
         }
-        assert!(s_noisy > s_quiet, "noise had no effect: {s_noisy} vs {s_quiet}");
+        assert!(
+            s_noisy > s_quiet,
+            "noise had no effect: {s_noisy} vs {s_quiet}"
+        );
     }
 
     #[test]

@@ -145,9 +145,18 @@ mod tests {
     #[test]
     fn bias_instability_is_curve_minimum_scaled() {
         let curve = vec![
-            AllanPoint { tau: 0.1, sigma: 1.0 },
-            AllanPoint { tau: 1.0, sigma: 0.4 },
-            AllanPoint { tau: 10.0, sigma: 0.7 },
+            AllanPoint {
+                tau: 0.1,
+                sigma: 1.0,
+            },
+            AllanPoint {
+                tau: 1.0,
+                sigma: 0.4,
+            },
+            AllanPoint {
+                tau: 10.0,
+                sigma: 0.7,
+            },
         ];
         let bi = bias_instability(&curve).expect("non-empty");
         assert!((bi - 0.4 / 0.664).abs() < 1e-12);

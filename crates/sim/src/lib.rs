@@ -38,6 +38,7 @@
 pub mod allan;
 pub mod noise;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 pub mod units;
 pub mod vcd;

@@ -11,8 +11,70 @@
 //! reproducible — the simulation-kernel equivalent of a logged bench
 //! measurement.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// Minimal deterministic PRNG: xorshift64* with a SplitMix64-scrambled
+/// seed.
+///
+/// Vendored so the simulation kernel has no external dependencies (the
+/// build must work with no registry access). The statistical quality is
+/// more than sufficient for noise synthesis: xorshift64* passes the usual
+/// empirical batteries except for the lowest bit, and all consumers here
+/// use the high 53 bits via [`Rng64::next_f64`].
+///
+/// # Example
+///
+/// ```
+/// use ascp_sim::noise::Rng64;
+/// let mut a = Rng64::new(42);
+/// let mut b = Rng64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let u = a.next_f64();
+/// assert!((0.0..1.0).contains(&u));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from any 64-bit seed (zero included).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 finalizer: decorrelates sequential/sparse seeds and
+        // maps 0 to a non-zero xorshift state.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        Self {
+            state: if z == 0 { 0x9e37_79b9_7f4a_7c15 } else { z },
+        }
+    }
+
+    /// Next raw 64-bit output (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform sample in `[0, 1)` from the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or not finite.
+    pub fn gen_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi && (hi - lo).is_finite(), "empty range {lo}..{hi}");
+        lo + (hi - lo) * self.next_f64()
+    }
+}
 
 /// Gaussian white-noise source (Box–Muller over a seeded PRNG).
 ///
@@ -31,7 +93,7 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct WhiteNoise {
     sigma: f64,
-    rng: StdRng,
+    rng: Rng64,
     cached: Option<f64>,
 }
 
@@ -49,7 +111,7 @@ impl WhiteNoise {
         );
         Self {
             sigma,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng64::new(seed),
             cached: None,
         }
     }
@@ -82,12 +144,12 @@ impl WhiteNoise {
         }
         // Box–Muller: two uniforms -> two independent normals.
         let u1: f64 = loop {
-            let u = self.rng.gen::<f64>();
+            let u = self.rng.next_f64();
             if u > 0.0 {
                 break u;
             }
         };
-        let u2: f64 = self.rng.gen();
+        let u2: f64 = self.rng.next_f64();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.cached = Some(r * theta.sin());
@@ -189,6 +251,31 @@ impl RandomWalk {
 mod tests {
     use super::*;
     use crate::stats;
+
+    #[test]
+    fn rng64_uniformity_and_determinism() {
+        let mut a = Rng64::new(0);
+        let mut b = Rng64::new(0);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = Rng64::new(1234);
+        let xs: Vec<f64> = (0..100_000).map(|_| r.next_f64()).collect();
+        let mean = stats::mean(&xs);
+        assert!((mean - 0.5).abs() < 0.01, "uniform mean {mean}");
+        // Variance of U(0,1) is 1/12.
+        let var = stats::variance(&xs);
+        assert!((var - 1.0 / 12.0).abs() < 0.005, "uniform variance {var}");
+        assert!(xs.iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn rng64_distinct_seeds_diverge() {
+        let mut a = Rng64::new(5);
+        let mut b = Rng64::new(6);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
 
     #[test]
     fn white_noise_is_reproducible() {

@@ -1,0 +1,271 @@
+//! Structured, timestamped simulation events with bounded storage.
+//!
+//! Events are the discrete milestones of a run — the PLL locking, the AGC
+//! settling, a watchdog firing — the things a bench engineer would note in
+//! a lab book next to the scope screenshot. Storage is a ring buffer: when
+//! full, the *oldest* events are dropped and counted, so a long run keeps
+//! its most recent history and never grows without bound.
+
+use std::collections::VecDeque;
+
+/// A typed, timestamped simulation event. `t` is simulation time, seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The drive PLL achieved phase lock.
+    PllLocked {
+        /// Simulation time, seconds.
+        t: f64,
+        /// Locked frequency estimate, Hz.
+        frequency_hz: f64,
+    },
+    /// The drive PLL lost phase lock.
+    PllUnlocked {
+        /// Simulation time, seconds.
+        t: f64,
+    },
+    /// The AGC amplitude error first entered its settling band.
+    AgcSettled {
+        /// Simulation time, seconds.
+        t: f64,
+        /// Time from reset to settling, seconds.
+        settle_time_s: f64,
+    },
+    /// An ADC conversion clipped at full scale.
+    AdcClip {
+        /// Simulation time, seconds.
+        t: f64,
+        /// Which converter (`"primary"` / `"secondary"`).
+        channel: &'static str,
+        /// Clips on this channel so far (monotonic).
+        total: u64,
+    },
+    /// The watchdog expired and reset the monitoring CPU.
+    WatchdogReset {
+        /// Simulation time, seconds.
+        t: f64,
+        /// Resets so far (monotonic).
+        total: u64,
+    },
+    /// The monitoring CPU resumed transmitting on its UART after an idle
+    /// interval (edge-triggered; steady streaming emits no further events).
+    UartTx {
+        /// Simulation time, seconds.
+        t: f64,
+        /// Bytes sent in the interval that resumed transmission.
+        bytes: u64,
+    },
+    /// Control/AFE register writes were observed.
+    RegisterWrite {
+        /// Simulation time, seconds.
+        t: f64,
+        /// Register bank (`"dsp"` / `"afe"`).
+        bank: &'static str,
+        /// Writes since the previous event.
+        writes: u64,
+    },
+}
+
+impl Event {
+    /// Stable kind label (used for export and aggregation).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::PllLocked { .. } => "PllLocked",
+            Self::PllUnlocked { .. } => "PllUnlocked",
+            Self::AgcSettled { .. } => "AgcSettled",
+            Self::AdcClip { .. } => "AdcClip",
+            Self::WatchdogReset { .. } => "WatchdogReset",
+            Self::UartTx { .. } => "UartTx",
+            Self::RegisterWrite { .. } => "RegisterWrite",
+        }
+    }
+
+    /// Simulation time of the event, seconds.
+    #[must_use]
+    pub fn time(&self) -> f64 {
+        match self {
+            Self::PllLocked { t, .. }
+            | Self::PllUnlocked { t }
+            | Self::AgcSettled { t, .. }
+            | Self::AdcClip { t, .. }
+            | Self::WatchdogReset { t, .. }
+            | Self::UartTx { t, .. }
+            | Self::RegisterWrite { t, .. } => *t,
+        }
+    }
+}
+
+/// Bounded ring buffer of [`Event`]s.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    ring: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+    total: u64,
+}
+
+impl EventLog {
+    /// A log holding at most `capacity` events (`0` keeps nothing but still
+    /// counts totals).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+            total: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, event: Event) {
+        self.total += 1;
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(event);
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.ring.iter()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` when nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Maximum retained events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted (or never stored) because of the bound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events ever pushed, retained or not.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count of retained events of the given kind.
+    #[must_use]
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.ring.iter().filter(|e| e.kind() == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64) -> Event {
+        Event::PllUnlocked { t }
+    }
+
+    #[test]
+    fn push_and_iterate_in_order() {
+        let mut log = EventLog::new(8);
+        log.push(ev(0.1));
+        log.push(Event::PllLocked {
+            t: 0.2,
+            frequency_hz: 15_000.0,
+        });
+        let kinds: Vec<&str> = log.iter().map(Event::kind).collect();
+        assert_eq!(kinds, ["PllUnlocked", "PllLocked"]);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.total(), 2);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let mut log = EventLog::new(3);
+        for k in 0..5 {
+            log.push(ev(f64::from(k)));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.total(), 5);
+        let times: Vec<f64> = log.iter().map(Event::time).collect();
+        assert_eq!(times, [2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn zero_capacity_counts_but_keeps_nothing() {
+        let mut log = EventLog::new(0);
+        log.push(ev(1.0));
+        assert!(log.is_empty());
+        assert_eq!(log.total(), 1);
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        let all = [
+            Event::PllLocked {
+                t: 0.0,
+                frequency_hz: 1.0,
+            },
+            Event::PllUnlocked { t: 0.0 },
+            Event::AgcSettled {
+                t: 0.0,
+                settle_time_s: 0.1,
+            },
+            Event::AdcClip {
+                t: 0.0,
+                channel: "primary",
+                total: 1,
+            },
+            Event::WatchdogReset { t: 0.0, total: 1 },
+            Event::UartTx { t: 0.0, bytes: 4 },
+            Event::RegisterWrite {
+                t: 0.0,
+                bank: "dsp",
+                writes: 2,
+            },
+        ];
+        let kinds: Vec<&str> = all.iter().map(Event::kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                "PllLocked",
+                "PllUnlocked",
+                "AgcSettled",
+                "AdcClip",
+                "WatchdogReset",
+                "UartTx",
+                "RegisterWrite"
+            ]
+        );
+    }
+
+    #[test]
+    fn count_kind_filters() {
+        let mut log = EventLog::new(8);
+        log.push(ev(0.0));
+        log.push(ev(1.0));
+        log.push(Event::UartTx { t: 2.0, bytes: 1 });
+        assert_eq!(log.count_kind("PllUnlocked"), 2);
+        assert_eq!(log.count_kind("UartTx"), 1);
+        assert_eq!(log.count_kind("PllLocked"), 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Snapshot exporters: JSON, Prometheus text exposition, human summary.
+//!
+//! All three render a [`TelemetrySnapshot`](super::TelemetrySnapshot) —
+//! the immutable view captured at the end of a run — so exporting never
+//! races the simulation and the formats cannot drift apart.
+
+use super::{Event, TelemetrySnapshot};
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON value position.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (`null` for non-finite values).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders one event as a JSON object.
+fn event_json(e: &Event) -> String {
+    let mut fields = vec![
+        format!("\"kind\":\"{}\"", e.kind()),
+        format!("\"t\":{}", json_f64(e.time())),
+    ];
+    match e {
+        Event::PllLocked { frequency_hz, .. } => {
+            fields.push(format!("\"frequency_hz\":{}", json_f64(*frequency_hz)));
+        }
+        Event::AgcSettled { settle_time_s, .. } => {
+            fields.push(format!("\"settle_time_s\":{}", json_f64(*settle_time_s)));
+        }
+        Event::AdcClip { channel, total, .. } => {
+            fields.push(format!("\"channel\":\"{}\"", json_escape(channel)));
+            fields.push(format!("\"total\":{total}"));
+        }
+        Event::WatchdogReset { total, .. } => fields.push(format!("\"total\":{total}")),
+        Event::UartTx { bytes, .. } => fields.push(format!("\"bytes\":{bytes}")),
+        Event::RegisterWrite { bank, writes, .. } => {
+            fields.push(format!("\"bank\":\"{}\"", json_escape(bank)));
+            fields.push(format!("\"writes\":{writes}"));
+        }
+        Event::PllUnlocked { .. } => {}
+    }
+    format!("{{{}}}", fields.join(","))
+}
+
+/// Maps a dotted metric name to a Prometheus-legal one
+/// (`adc.conversions` → `ascp_adc_conversions`).
+#[must_use]
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("ascp_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+impl TelemetrySnapshot {
+    /// Serializes the snapshot as a self-contained JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"sim_time_s\": {},", json_f64(self.sim_time_s));
+        let _ = writeln!(s, "  \"wall_time_s\": {},", json_f64(self.wall_time_s));
+
+        s.push_str("  \"counters\": {");
+        let items: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(n, v)| format!("\"{}\": {v}", json_escape(n)))
+            .collect();
+        s.push_str(&items.join(", "));
+        s.push_str("},\n");
+
+        s.push_str("  \"gauges\": {");
+        let items: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|(n, v)| format!("\"{}\": {}", json_escape(n), json_f64(*v)))
+            .collect();
+        s.push_str(&items.join(", "));
+        s.push_str("},\n");
+
+        s.push_str("  \"histograms\": {");
+        let items: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(n, h)| {
+                let buckets: Vec<String> = h
+                    .buckets
+                    .iter()
+                    .map(|(le, c)| format!("{{\"le\": {}, \"count\": {c}}}", json_f64(*le)))
+                    .collect();
+                format!(
+                    "\"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"buckets\": [{}]}}",
+                    json_escape(n),
+                    h.count,
+                    json_f64(h.sum),
+                    json_f64(h.mean),
+                    buckets.join(", ")
+                )
+            })
+            .collect();
+        s.push_str(&items.join(", "));
+        s.push_str("},\n");
+
+        s.push_str("  \"stages\": {");
+        let items: Vec<String> = self
+            .stages
+            .iter()
+            .map(|st| {
+                format!(
+                    "\"{}\": {{\"seconds\": {}, \"samples\": {}, \"share\": {}}}",
+                    json_escape(st.stage),
+                    json_f64(st.seconds),
+                    st.samples,
+                    json_f64(st.share)
+                )
+            })
+            .collect();
+        s.push_str(&items.join(", "));
+        s.push_str("},\n");
+
+        s.push_str("  \"events\": [");
+        let items: Vec<String> = self.events.iter().map(event_json).collect();
+        s.push_str(&items.join(", "));
+        s.push_str("],\n");
+        let _ = writeln!(s, "  \"events_total\": {},", self.events_total);
+        let _ = writeln!(s, "  \"events_dropped\": {}", self.events_dropped);
+        s.push_str("}\n");
+        s
+    }
+
+    /// Serializes the snapshot in the Prometheus text exposition format.
+    ///
+    /// Every non-comment line is `name value` or `name{label="v"} value`;
+    /// comment lines start with `#`. Counters get the conventional
+    /// `_total` suffix, per-stage timings come out as one
+    /// `ascp_stage_seconds_total{stage="..."}` family, and event counts as
+    /// `ascp_events_total{kind="..."}`.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        for (name, v) in &self.counters {
+            let p = prometheus_name(name);
+            let _ = writeln!(s, "# TYPE {p}_total counter");
+            let _ = writeln!(s, "{p}_total {v}");
+        }
+        for (name, v) in &self.gauges {
+            let p = prometheus_name(name);
+            let _ = writeln!(s, "# TYPE {p} gauge");
+            let _ = writeln!(s, "{p} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let p = prometheus_name(name);
+            let _ = writeln!(s, "# TYPE {p} histogram");
+            let mut cumulative = 0u64;
+            for (le, c) in &h.buckets {
+                cumulative += c;
+                let _ = writeln!(s, "{p}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(s, "{p}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(s, "{p}_sum {}", h.sum);
+            let _ = writeln!(s, "{p}_count {}", h.count);
+        }
+        if !self.stages.is_empty() {
+            let _ = writeln!(s, "# TYPE ascp_stage_seconds_total counter");
+            for st in &self.stages {
+                let _ = writeln!(
+                    s,
+                    "ascp_stage_seconds_total{{stage=\"{}\"}} {}",
+                    st.stage, st.seconds
+                );
+            }
+        }
+        let mut kinds: Vec<&'static str> = self.events.iter().map(Event::kind).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        if !kinds.is_empty() {
+            let _ = writeln!(s, "# TYPE ascp_events counter");
+            for kind in kinds {
+                let n = self.events.iter().filter(|e| e.kind() == kind).count();
+                let _ = writeln!(s, "ascp_events{{kind=\"{kind}\"}} {n}");
+            }
+        }
+        let _ = writeln!(s, "# TYPE ascp_sim_time_seconds gauge");
+        let _ = writeln!(s, "ascp_sim_time_seconds {}", self.sim_time_s);
+        s
+    }
+}
+
+impl std::fmt::Display for TelemetrySnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "telemetry @ t = {:.3} s ({} events, {} dropped)",
+            self.sim_time_s, self.events_total, self.events_dropped
+        )?;
+        if !self.counters.is_empty() {
+            writeln!(f, "  counters:")?;
+            for (n, v) in &self.counters {
+                writeln!(f, "    {n:<28} {v}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "  gauges:")?;
+            for (n, v) in &self.gauges {
+                writeln!(f, "    {n:<28} {v:.6}")?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(f, "  histograms:")?;
+            for (n, h) in &self.histograms {
+                writeln!(
+                    f,
+                    "    {n:<28} n={} mean={:.3e} max={:.3e}",
+                    h.count,
+                    h.mean,
+                    h.max.unwrap_or(0.0)
+                )?;
+            }
+        }
+        if !self.stages.is_empty() {
+            writeln!(f, "  stage breakdown:")?;
+            for st in &self.stages {
+                writeln!(
+                    f,
+                    "    {:<28} {:>10.3} ms  ({:>5.1} %)",
+                    st.stage,
+                    st.seconds * 1.0e3,
+                    st.share * 100.0
+                )?;
+            }
+        }
+        for e in self.events.iter().take(12) {
+            writeln!(f, "  event @ {:>9.4} s  {}", e.time(), e.kind())?;
+        }
+        if self.events.len() > 12 {
+            writeln!(f, "  ... {} more events", self.events.len() - 12)?;
+        }
+        Ok(())
+    }
+}

@@ -123,10 +123,7 @@ impl fmt::Display for ExportTraceError {
                 name,
                 len,
                 expected,
-            } => write!(
-                f,
-                "trace `{name}` has {len} samples, expected {expected}"
-            ),
+            } => write!(f, "trace `{name}` has {len} samples, expected {expected}"),
             Self::Io(e) => write!(f, "i/o error exporting traces: {e}"),
         }
     }

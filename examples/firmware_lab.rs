@@ -110,7 +110,9 @@ BR_CTRL EQU 0xa4
     let mut cpu = Cpu::new();
     cpu.load_code(&reader);
     // Run to the final spin loop (fixed budget: the read sequence is short).
-    run_until(&mut cpu, &mut bus, 10_000, |c| c.pc() >= reader.len() as u16 - 2);
+    run_until(&mut cpu, &mut bus, 10_000, |c| {
+        c.pc() >= reader.len() as u16 - 2
+    });
     let value = u16::from_le_bytes([cpu.iram(0), cpu.iram(1)]);
     println!(
         "  captured {} samples; firmware read sample[123] = {value} (expected {})",
@@ -134,6 +136,8 @@ BR_CTRL EQU 0xa4
             resets += 1;
         }
     }
-    println!("  hung firmware was reset {resets} time(s); monitor now kicks the dog: {}",
-        !bus.watchdog.expired() || resets > 0);
+    println!(
+        "  hung firmware was reset {resets} time(s); monitor now kicks the dog: {}",
+        !bus.watchdog.expired() || resets > 0
+    );
 }

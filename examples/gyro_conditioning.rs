@@ -53,9 +53,13 @@ fn main() {
     // --- 2. JTAG trimming: drop the secondary PGA one step and read back ---
     println!("JTAG: trimming secondary PGA gain ×512 -> ×256 and reading back ...");
     let jtag = platform.jtag_mut();
-    jtag.select(taps::AFE, instructions::REG_ACCESS).expect("select AFE tap");
-    jtag.scan_dr(taps::AFE, RegAccessDevice::<AfeRegsJtag>::pack_write(0x01, 8))
-        .expect("write gain code");
+    jtag.select(taps::AFE, instructions::REG_ACCESS)
+        .expect("select AFE tap");
+    jtag.scan_dr(
+        taps::AFE,
+        RegAccessDevice::<AfeRegsJtag>::pack_write(0x01, 8),
+    )
+    .expect("write gain code");
     jtag.scan_dr(taps::AFE, RegAccessDevice::<AfeRegsJtag>::pack_read(0x01))
         .expect("request read-back");
     let dr = jtag.scan_dr(taps::AFE, 0).expect("read data");
@@ -65,8 +69,11 @@ fn main() {
     );
     // Restore ×512 (the dimensioned value) the same way.
     let jtag = platform.jtag_mut();
-    jtag.scan_dr(taps::AFE, RegAccessDevice::<AfeRegsJtag>::pack_write(0x01, 9))
-        .expect("restore gain code");
+    jtag.scan_dr(
+        taps::AFE,
+        RegAccessDevice::<AfeRegsJtag>::pack_write(0x01, 9),
+    )
+    .expect("restore gain code");
     platform.run(0.01);
 
     // --- 3. temperature behaviour, before and after calibration ---

@@ -13,7 +13,6 @@
 
 use ascp::afe::adc::{AdcConfig, SarAdc};
 use ascp::dsp::demod::Demodulator;
-use ascp::dsp::fixed::Q15;
 use ascp::dsp::nco::Nco;
 use ascp::mems::generic::{AnalogSensor, InductivePositionSensor};
 use ascp::sim::stats;
@@ -73,7 +72,10 @@ fn main() {
         "LVDT channel: 5 kHz excitation, coherent demodulation at {} kHz",
         ch.fs() / 1000.0
     );
-    println!("  {:>12} {:>12} {:>10}", "applied mm", "read mm", "error µm");
+    println!(
+        "  {:>12} {:>12} {:>10}",
+        "applied mm", "read mm", "error µm"
+    );
     let mut worst = 0.0f64;
     for x in [-5.0, -3.0, -1.0, -0.1, 0.0, 0.1, 1.0, 3.0, 5.0] {
         ch.sensor.set_stimulus(x);

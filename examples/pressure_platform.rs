@@ -16,7 +16,6 @@ use ascp::afe::amp::Pga;
 use ascp::afe::refs::VoltageReference;
 use ascp::dsp::cic::CicDecimator;
 use ascp::dsp::comp::{Compensator, TempPolynomial};
-use ascp::dsp::fixed::Q15;
 use ascp::mems::generic::{AnalogSensor, CapacitivePressureSensor};
 use ascp::sim::stats;
 use ascp::sim::units::{Celsius, Volts};
@@ -92,7 +91,10 @@ fn main() {
     println!("uncalibrated transfer:");
     for p in [0.0, 100.0, 200.0, 300.0, 400.0] {
         ch.sensor.set_stimulus(p);
-        println!("  applied {p:>5.0} kPa -> read {:>7.2} kPa", ch.read_kpa(40));
+        println!(
+            "  applied {p:>5.0} kPa -> read {:>7.2} kPa",
+            ch.read_kpa(40)
+        );
     }
 
     ch.sensor.set_stimulus(0.0);

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Repository gate: formatting, lints, build, tests. Everything runs offline
+# (no registry access — the only external crate, proptest, is vendored as a
+# shim under vendor/ behind an off-by-default feature).
+#
+# Usage: scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "All checks passed."

@@ -51,7 +51,7 @@ fn primary_amplitude_steps_do_not_leak_into_rate() {
         let t = k as f64;
         // Primary amplitude steps between 0.7 and 0.9 every 0.25 s.
         let seg = (t / (0.25 * fs)) as usize;
-        let amp = if seg % 2 == 0 { 0.7 } else { 0.9 };
+        let amp = if seg.is_multiple_of(2) { 0.7 } else { 0.9 };
         let primary = Q15::from_f64(amp * (w * t).sin());
         let secondary = Q15::from_f64(-0.15 * (w * t).cos());
         chain.process(primary, secondary);

@@ -3,7 +3,7 @@
 
 use ascp::core::calibrate::{calibrate, install, CalibrationConfig};
 use ascp::core::chain::SenseMode;
-use ascp::core::characterize::{characterize, CharacterizationConfig, RateSensor};
+use ascp::core::characterize::{characterize, CharacterizationConfig};
 use ascp::core::platform::{taps, Platform, PlatformConfig, PlatformVariant};
 use ascp::core::registers::{AfeRegsJtag, DspReg, DspRegsJtag};
 use ascp::jtag::device::{instructions, RegAccessDevice};
@@ -43,7 +43,8 @@ fn end_to_end_rate_measurement_with_cpu_and_jtag() {
 
     // JTAG view of the same register.
     let jtag = p.jtag_mut();
-    jtag.select(taps::DSP, instructions::REG_ACCESS).expect("select");
+    jtag.select(taps::DSP, instructions::REG_ACCESS)
+        .expect("select");
     jtag.scan_dr(
         taps::DSP,
         RegAccessDevice::<DspRegsJtag>::pack_read(DspReg::RateOut.addr()),
@@ -54,8 +55,14 @@ fn end_to_end_rate_measurement_with_cpu_and_jtag() {
         f64::from(RegAccessDevice::<DspRegsJtag>::unpack_data(dr) as i16) / 32768.0 * 500.0;
 
     assert!((analog.abs() - 200.0).abs() < 20.0, "analog {analog}");
-    assert!((cpu_rate - analog).abs() < 15.0, "cpu {cpu_rate} vs {analog}");
-    assert!((jtag_rate - analog).abs() < 15.0, "jtag {jtag_rate} vs {analog}");
+    assert!(
+        (cpu_rate - analog).abs() < 15.0,
+        "cpu {cpu_rate} vs {analog}"
+    );
+    assert!(
+        (jtag_rate - analog).abs() < 15.0,
+        "jtag {jtag_rate} vs {analog}"
+    );
 }
 
 #[test]
@@ -135,10 +142,7 @@ fn temperature_step_keeps_lock_and_output() {
         p.run(0.4);
         assert!(p.chain().is_locked(), "lost lock at {t} °C");
         let out = stats::mean(&p.sample_rate_output(0.1, 200));
-        assert!(
-            (out.abs() - 100.0).abs() < 25.0,
-            "output {out} at {t} °C"
-        );
+        assert!((out.abs() - 100.0).abs() < 25.0, "output {out} at {t} °C");
     }
 }
 
@@ -151,10 +155,14 @@ fn jtag_full_readback_over_both_taps() {
     assert_eq!(ids.len(), 2);
     assert_ne!(ids[0], ids[1]);
     // Write/read-back every writable AFE register.
-    jtag.select(taps::AFE, instructions::REG_ACCESS).expect("select");
+    jtag.select(taps::AFE, instructions::REG_ACCESS)
+        .expect("select");
     for (addr, value) in [(0x00u8, 3u16), (0x01, 6), (0x02, 14), (0x03, 250)] {
-        jtag.scan_dr(taps::AFE, RegAccessDevice::<AfeRegsJtag>::pack_write(addr, value))
-            .expect("write");
+        jtag.scan_dr(
+            taps::AFE,
+            RegAccessDevice::<AfeRegsJtag>::pack_write(addr, value),
+        )
+        .expect("write");
         jtag.scan_dr(taps::AFE, RegAccessDevice::<AfeRegsJtag>::pack_read(addr))
             .expect("request");
         let dr = jtag.scan_dr(taps::AFE, 0).expect("data");
@@ -233,4 +241,106 @@ fn channel_autodetect_boots_platform_firmware() {
     let p1 = p.cpu_mut().sfr(0x90);
     assert_eq!(p1 & 0x30, 0x10, "UART channel flag: {p1:#04x}");
     assert_eq!(p1 & 0x01, 0x01, "payload marker: {p1:#04x}");
+}
+
+#[test]
+fn default_run_populates_telemetry() {
+    // The default platform (telemetry enabled out of the box) must yield a
+    // meaningful snapshot after an ordinary lock + measure session: stage
+    // timing, a metric set spanning every subsystem, and the lock event.
+    let mut cfg = quiet();
+    cfg.cpu_enabled = true;
+    let mut p = Platform::new(cfg);
+    p.wait_for_ready(2.0).expect("lock");
+    p.set_rate(DegPerSec(100.0));
+    p.run(0.3);
+    let snap = p.telemetry_snapshot();
+
+    // Lock accounting: the PLL locked at least once, and the event log saw it.
+    assert!(snap.counter("pll.lock_transitions") >= 1, "{snap}");
+    assert!(snap.count_events("PllLocked") >= 1, "{snap}");
+    // The streaming UART must not flood the ring (edge-triggered events);
+    // a flood here would evict the lock event on longer runs.
+    assert!(snap.count_events("UartTx") <= 8, "{snap}");
+
+    // Profiling: the sampled spans accumulated real wall time per stage.
+    for stage in [
+        "analog_ode",
+        "acquisition",
+        "dsp_chain",
+        "dac_update",
+        "cpu",
+    ] {
+        let row = snap
+            .stages
+            .iter()
+            .find(|s| s.stage == stage)
+            .unwrap_or_else(|| panic!("missing stage {stage}"));
+        assert!(row.samples > 0, "stage {stage} never sampled");
+        assert!(row.seconds > 0.0, "stage {stage} has zero time");
+    }
+
+    // Breadth: metrics from AFE, DSP, CPU and JTAG all present.
+    for name in [
+        "sim.ticks",
+        "adc.conversions",
+        "dac.updates",
+        "pll.lock_transitions",
+        "chain.saturation_events",
+        "cpu.instructions",
+        "spi.transfers",
+        "jtag.tck_cycles",
+    ] {
+        assert!(
+            snap.counters.iter().any(|(n, _)| *n == name),
+            "missing metric {name}"
+        );
+    }
+    assert!(snap.counter("sim.ticks") > 0);
+    assert!(snap.counter("adc.conversions") > 0);
+    assert!(snap.counter("cpu.instructions") > 0);
+    assert!(snap.gauge("pll.frequency_hz").is_some());
+}
+
+#[test]
+fn telemetry_exports_parse_and_disabled_is_silent() {
+    let mut p = Platform::new(quiet());
+    p.wait_for_ready(2.0).expect("lock");
+    let snap = p.telemetry_snapshot();
+
+    // Prometheus exposition: every non-comment line is `name{labels} value`.
+    let prom = snap.to_prometheus();
+    let mut metric_lines = 0;
+    for line in prom
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let (name_part, value_part) = line.rsplit_once(' ').expect("name value split");
+        let bare = name_part.split('{').next().unwrap();
+        assert!(
+            !bare.is_empty()
+                && bare
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in {line:?}"
+        );
+        assert!(value_part.parse::<f64>().is_ok(), "bad value in {line:?}");
+        metric_lines += 1;
+    }
+    assert!(metric_lines >= 8, "only {metric_lines} prometheus lines");
+
+    // JSON export mentions the same counters.
+    let json = snap.to_json();
+    assert!(json.contains("\"sim.ticks\""), "{json}");
+    assert!(json.contains("\"events\""), "{json}");
+
+    // A disabled collector records nothing for the same scenario.
+    let mut cfg = quiet();
+    cfg.telemetry = ascp::sim::telemetry::TelemetryConfig::disabled();
+    let mut p = Platform::new(cfg);
+    p.wait_for_ready(2.0).expect("lock");
+    let snap = p.telemetry_snapshot();
+    assert!(snap.counters.is_empty(), "{snap}");
+    assert!(snap.events.is_empty());
+    assert!(snap.stages.is_empty());
 }

@@ -1,0 +1,610 @@
+//! Offline property-testing shim.
+//!
+//! This crate implements the subset of the `proptest` API that the ASCP
+//! test suite uses — `proptest!`, `prop_assert*`, `prop_assume!`, `any`,
+//! numeric range strategies, tuple strategies, `prop_map`, and
+//! `collection::vec` — so the property tests run with **no registry
+//! access**. It is a behavioural stand-in, not a fork: cases are sampled
+//! from a deterministic per-test PRNG and failures are reported with the
+//! sampled inputs, but there is **no shrinking** and no persistence of
+//! failing cases (`*.proptest-regressions` files are ignored).
+//!
+//! If you have network access and want the real engine, point the
+//! workspace `proptest` dependency back at crates.io — the test sources
+//! are written against the upstream API and compile against either.
+
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// Deterministic xorshift64* generator used to sample strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator; zero is remapped internally.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        Self {
+            state: if z == 0 { 1 } else { z },
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Modulo bias is irrelevant at test-sampling quality.
+        self.next_u64() % n
+    }
+}
+
+/// A source of values for one generated test argument.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps the produced value through `f` (upstream: `Strategy::prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adaptor returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always produces a clone of the given value (upstream: `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy (upstream: `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 != 0
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric, spanning a wide magnitude range.
+        let mag = rng.next_f64() * 2.0 - 1.0;
+        let exp = rng.below(64) as i32 - 32;
+        mag * f64::from(exp).exp2()
+    }
+}
+
+/// Strategy for an unconstrained value of `A` (upstream: `any`).
+#[derive(Debug, Clone, Default)]
+pub struct Any<A>(std::marker::PhantomData<A>);
+
+/// Returns the canonical strategy for any value of `A`.
+#[must_use]
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(std::marker::PhantomData)
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn sample(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// Integers sampleable uniformly from a range (implementation detail).
+pub trait SampleUniform: Copy {
+    /// Uniform draw in `[lo, hi]`.
+    fn uniform_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+    /// Uniform draw in `[lo, hi)`; the range must be non-empty.
+    fn uniform_exclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+    /// The maximum representable value (for `lo..` ranges).
+    const MAX_VALUE: Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn uniform_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                debug_assert!(lo <= hi);
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (u128::from(rng.next_u64()) % span) as i128;
+                (lo as i128 + draw) as $t
+            }
+            fn uniform_exclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo < hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128;
+                let draw = (u128::from(rng.next_u64()) % span) as i128;
+                (lo as i128 + draw) as $t
+            }
+            const MAX_VALUE: Self = <$t>::MAX;
+        }
+    )*};
+}
+
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::uniform_exclusive(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::uniform_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeFrom<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::uniform_inclusive(self.start, T::MAX_VALUE, rng)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start() + (self.end() - self.start()) * rng.next_f64()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A / 0)
+    (A / 0, B / 1)
+    (A / 0, B / 1, C / 2)
+    (A / 0, B / 1, C / 2, D / 3)
+    (A / 0, B / 1, C / 2, D / 3, E / 4)
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5)
+}
+
+/// Collection strategies (upstream: `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification accepted by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner types (upstream: `proptest::test_runner`).
+pub mod test_runner {
+    use super::TestRng;
+
+    /// Per-block configuration (upstream: `proptest::test_runner::Config`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required.
+        pub cases: u32,
+        /// Maximum rejected (`prop_assume!`) cases before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` successful cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is re-drawn.
+        Reject(String),
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// An assertion failure carrying `msg`.
+        #[must_use]
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+
+        /// An input rejection carrying `msg`.
+        #[must_use]
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+
+        /// `true` for [`TestCaseError::Reject`].
+        #[must_use]
+        pub fn is_reject(&self) -> bool {
+            matches!(self, Self::Reject(_))
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                Self::Reject(m) => write!(f, "input rejected: {m}"),
+                Self::Fail(m) => write!(f, "{m}"),
+            }
+        }
+    }
+
+    /// Result type each generated case body produces.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Derives a deterministic per-test seed from the test path.
+    #[must_use]
+    pub fn seed_for(test_name: &str) -> u64 {
+        // FNV-1a: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `case` until `config.cases` successes; panics on the first
+    /// failure, echoing the sampled inputs via the message `case` builds.
+    pub fn run(
+        config: &Config,
+        test_name: &str,
+        mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+    ) {
+        let mut rng = TestRng::new(seed_for(test_name));
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < config.cases {
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(e) if e.is_reject() => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= config.max_global_rejects,
+                        "{test_name}: too many prop_assume! rejections ({rejected})"
+                    );
+                }
+                Err(e) => panic!("{test_name}: case failed after {passed} passing cases\n{e}"),
+            }
+        }
+    }
+}
+
+/// Everything the test files import (upstream: `proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest, Just, Strategy};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} != {:?}: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond).to_owned(),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let test_name = concat!(module_path!(), "::", stringify!($name));
+                $crate::test_runner::run(&config, test_name, |rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), rng);)+
+                    // Echo string built before the body so the body may
+                    // freely consume the inputs by value.
+                    let __proptest_inputs = [
+                        $(format!(concat!(stringify!($arg), " = {:?}"), $arg)),+
+                    ]
+                    .join(", ");
+                    let result: $crate::test_runner::TestCaseResult = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match result {
+                        ::std::result::Result::Err(e) if !e.is_reject() => {
+                            ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                                format!("{e}\ninputs: {__proptest_inputs}"),
+                            ))
+                        }
+                        other => other,
+                    }
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::{run, seed_for, Config, TestCaseError};
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        assert_eq!(seed_for("a::b"), seed_for("a::b"));
+        assert_ne!(seed_for("a::b"), seed_for("a::c"));
+    }
+
+    #[test]
+    fn failing_case_panics_with_message() {
+        let result = std::panic::catch_unwind(|| {
+            run(&Config::with_cases(4), "shim::fail_demo", |rng| {
+                let v = crate::Strategy::sample(&(0u8..=255), rng);
+                let _ = v;
+                Err(TestCaseError::fail("always fails"))
+            });
+        });
+        let msg = *result
+            .expect_err("must panic")
+            .downcast::<String>()
+            .expect("string panic");
+        assert!(msg.contains("always fails"), "panic message: {msg}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(a in 3u32..=9, b in -5i32..5, x in 0.25f64..0.75) {
+            prop_assert!((3..=9).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&x), "x = {x}");
+        }
+
+        #[test]
+        fn range_from_saturates_high(v in 250u8..) {
+            prop_assert!(v >= 250);
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in crate::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6, "len {}", v.len());
+        }
+
+        #[test]
+        fn map_applies(v in any::<i32>().prop_map(|x| i64::from(x) * 2)) {
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn assume_rejects_and_redraws(v in 0u8..=255) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn tuples_sample_elementwise(pair in (any::<bool>(), 1u8..=3)) {
+            prop_assert!((1..=3).contains(&pair.1));
+        }
+
+        #[test]
+        fn body_may_consume_inputs(v in crate::collection::vec(any::<u16>(), 1..4)) {
+            let owned: Vec<u16> = v;
+            prop_assert!(!owned.is_empty());
+        }
+    }
+}
