@@ -72,6 +72,31 @@ impl AdcConfig {
     }
 }
 
+/// An injectable converter fault (see `ascp_sim::fault`): the physical
+/// failure modes a SAR exhibits in the field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdcFault {
+    /// One bit of the offset-binary output code stuck at a level
+    /// (metallization short on the capacitor DAC).
+    StuckBit {
+        /// Bit index, 0 = LSB.
+        bit: u32,
+        /// Stuck level.
+        value: bool,
+    },
+    /// Output frozen at one two's-complement code (sample/hold failure).
+    StuckCode {
+        /// Frozen code.
+        code: i32,
+    },
+    /// Input overdrive: the signal reaching the comparator is scaled by
+    /// `gain` (> 1 clips at the rails).
+    Overload {
+        /// Overdrive factor.
+        gain: f64,
+    },
+}
+
 /// SAR ADC instance.
 #[derive(Debug, Clone)]
 pub struct SarAdc {
@@ -82,6 +107,12 @@ pub struct SarAdc {
     dnl: Vec<f64>,
     conversions: u64,
     clips: u64,
+    /// Active injected fault, if any.
+    fault: Option<AdcFault>,
+    /// Reference scale factor (1.0 nominal). A drooped reference shrinks
+    /// the full scale, so codes grow by `1/ref_scale` — the ratiometric
+    /// signature a supervisor can catch.
+    ref_scale: f64,
 }
 
 impl SarAdc {
@@ -104,7 +135,31 @@ impl SarAdc {
             dnl,
             conversions: 0,
             clips: 0,
+            fault: None,
+            ref_scale: 1.0,
         }
+    }
+
+    /// Installs (or with `None` clears) an injected fault.
+    pub fn set_fault(&mut self, fault: Option<AdcFault>) {
+        self.fault = fault;
+    }
+
+    /// The active injected fault.
+    #[must_use]
+    pub fn fault(&self) -> Option<AdcFault> {
+        self.fault
+    }
+
+    /// Scales the conversion reference (1.0 nominal; 0.9 models a −10%
+    /// droop of the shared bandgap).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` is positive and finite.
+    pub fn set_ref_scale(&mut self, scale: f64) {
+        assert!(scale.is_finite() && scale > 0.0, "ref scale {scale}");
+        self.ref_scale = scale;
     }
 
     /// The active configuration.
@@ -139,10 +194,15 @@ impl SarAdc {
         let half = (1i64 << (c.bits - 1)) as f64;
         // Offset, gain error, thermal noise.
         let mut v = (input.0 + c.offset.0) * c.gain + self.noise.sample();
+        if let Some(AdcFault::Overload { gain }) = self.fault {
+            v *= gain;
+        }
+        // A drooped reference shrinks the comparison full scale.
+        let vref = c.vref.0 * self.ref_scale;
         // INL bow: peak at mid-scale, zero at the ends.
-        let u = (v / c.vref.0).clamp(-1.0, 1.0);
+        let u = (v / vref).clamp(-1.0, 1.0);
         v += c.inl_lsb * (1.0 - u * u) * self.lsb();
-        let ideal = (v / c.vref.0) * half;
+        let ideal = (v / vref) * half;
         let mut code = ideal.round();
         // DNL: perturb the decision by the code's mismatch.
         let idx = (code + half) as isize;
@@ -152,7 +212,24 @@ impl SarAdc {
         if code < -half || code > half - 1.0 {
             self.clips += 1;
         }
-        code.clamp(-half, half - 1.0) as i32
+        let mut out = code.clamp(-half, half - 1.0) as i32;
+        match self.fault {
+            Some(AdcFault::StuckCode { code }) => {
+                out = code.clamp(-(half as i32), half as i32 - 1);
+            }
+            Some(AdcFault::StuckBit { bit, value }) if bit < c.bits => {
+                // Apply to the offset-binary code the SAR actually emits.
+                let mut raw = (out + half as i32) as u32;
+                if value {
+                    raw |= 1 << bit;
+                } else {
+                    raw &= !(1 << bit);
+                }
+                out = raw as i32 - half as i32;
+            }
+            _ => {}
+        }
+        out
     }
 
     /// Converts and maps into Q15 (left-justified into the 16-bit sample
@@ -279,6 +356,50 @@ mod tests {
         let code = adc.convert(Volts(1.0));
         let v = adc.code_to_volts(code);
         assert!((v.0 - 1.0).abs() < 2.0 * adc.lsb());
+    }
+
+    #[test]
+    fn stuck_code_freezes_output() {
+        let mut adc = SarAdc::new(quiet_config(12));
+        adc.set_fault(Some(AdcFault::StuckCode { code: 123 }));
+        assert_eq!(adc.convert(Volts(2.0)), 123);
+        assert_eq!(adc.convert(Volts(-2.0)), 123);
+        adc.set_fault(None);
+        assert!(adc.convert(Volts(2.0)) > 1000, "fault cleared");
+    }
+
+    #[test]
+    fn stuck_bit_forces_the_bit() {
+        let mut adc = SarAdc::new(quiet_config(12));
+        adc.set_fault(Some(AdcFault::StuckBit {
+            bit: 10,
+            value: true,
+        }));
+        for mv in [-2000, -500, 0, 500, 2000] {
+            let code = adc.convert(Volts(mv as f64 / 1000.0));
+            let raw = (code + 2048) as u32;
+            assert_eq!(raw & (1 << 10), 1 << 10, "bit 10 must read high");
+        }
+    }
+
+    #[test]
+    fn overload_clips_mid_scale_inputs() {
+        let mut adc = SarAdc::new(quiet_config(12));
+        assert_eq!(adc.clips(), 0);
+        adc.set_fault(Some(AdcFault::Overload { gain: 8.0 }));
+        let code = adc.convert(Volts(1.0));
+        assert_eq!(code, 2047, "overdriven input rails");
+        assert_eq!(adc.clips(), 1);
+    }
+
+    #[test]
+    fn reference_droop_inflates_codes() {
+        let mut adc = SarAdc::new(quiet_config(12));
+        let nominal = adc.convert(Volts(1.0));
+        adc.set_ref_scale(0.9);
+        let drooped = adc.convert(Volts(1.0));
+        let ratio = drooped as f64 / nominal as f64;
+        assert!((ratio - 1.0 / 0.9).abs() < 0.01, "ratio {ratio}");
     }
 
     #[test]

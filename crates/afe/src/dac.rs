@@ -72,6 +72,9 @@ pub struct Dac {
     noise: WhiteNoise,
     held: Volts,
     updates: u64,
+    /// Reference scale factor (1.0 nominal): a drooped bandgap shrinks the
+    /// output full scale ratiometrically.
+    ref_scale: f64,
 }
 
 impl Dac {
@@ -90,7 +93,19 @@ impl Dac {
             noise: WhiteNoise::new(config.noise_rms, config.seed),
             held: config.midscale,
             updates: 0,
+            ref_scale: 1.0,
         }
+    }
+
+    /// Scales the output reference (1.0 nominal; 0.9 models a −10% droop
+    /// of the shared bandgap). Takes effect on the next write.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` is positive and finite.
+    pub fn set_ref_scale(&mut self, scale: f64) {
+        assert!(scale.is_finite() && scale > 0.0, "ref scale {scale}");
+        self.ref_scale = scale;
     }
 
     /// The active configuration.
@@ -112,7 +127,7 @@ impl Dac {
         let c = &self.config;
         let half = (1i64 << (c.bits - 1)) as f64;
         let code = (code as f64).clamp(-half, half - 1.0);
-        let v = code / half * c.vref.0 * c.gain + c.offset.0 + c.midscale.0;
+        let v = code / half * c.vref.0 * self.ref_scale * c.gain + c.offset.0 + c.midscale.0;
         self.held = Volts(v);
         self.output()
     }
@@ -225,6 +240,15 @@ mod tests {
             dac.write(k);
         }
         assert_eq!(dac.updates(), 7);
+    }
+
+    #[test]
+    fn ref_droop_shrinks_full_scale() {
+        let mut dac = Dac::new(quiet(12));
+        let nominal = dac.write(1024);
+        dac.set_ref_scale(0.9);
+        let drooped = dac.write(1024);
+        assert!((drooped.0 / nominal.0 - 0.9).abs() < 1e-9);
     }
 
     #[test]

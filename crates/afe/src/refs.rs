@@ -17,6 +17,8 @@ pub struct VoltageReference {
     tempco: f64,
     temperature: Celsius,
     noise: WhiteNoise,
+    /// Injected supply droop as a fraction of nominal (0.0 = healthy).
+    droop: f64,
 }
 
 impl VoltageReference {
@@ -35,7 +37,25 @@ impl VoltageReference {
             tempco,
             temperature: Celsius(25.0),
             noise: WhiteNoise::new(noise_rms, seed),
+            droop: 0.0,
         }
+    }
+
+    /// Injects a supply/reference droop as a fraction of nominal
+    /// (0.1 = −10%); `0.0` restores a healthy reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `frac` is in `[0, 1)`.
+    pub fn set_droop(&mut self, frac: f64) {
+        assert!((0.0..1.0).contains(&frac), "droop fraction {frac}");
+        self.droop = frac;
+    }
+
+    /// Currently injected droop fraction.
+    #[must_use]
+    pub fn droop(&self) -> f64 {
+        self.droop
     }
 
     /// A typical automotive bandgap: 2.5 V, 25 ppm/°C, 20 µV RMS.
@@ -58,7 +78,7 @@ impl VoltageReference {
     /// Instantaneous output voltage.
     pub fn output(&mut self) -> Volts {
         let drift = 1.0 + self.tempco * (self.temperature.0 - 25.0);
-        Volts(self.nominal.0 * drift + self.noise.sample())
+        Volts(self.nominal.0 * drift * (1.0 - self.droop) + self.noise.sample())
     }
 }
 
@@ -168,6 +188,16 @@ mod tests {
             }
         }
         assert!(differs, "jitter missing");
+    }
+
+    #[test]
+    fn droop_scales_output() {
+        let mut r = VoltageReference::new(Volts(2.5), 0.0, 0.0, 1);
+        r.set_droop(0.1);
+        assert!((r.output().0 - 2.25).abs() < 1e-12);
+        assert!((r.droop() - 0.1).abs() < 1e-15);
+        r.set_droop(0.0);
+        assert!((r.output().0 - 2.5).abs() < 1e-12);
     }
 
     #[test]

@@ -58,6 +58,28 @@ fn main() {
         }
     );
 
+    // Fault-injection + supervisor overhead: with an empty fault plan the
+    // injection hook is one branch per tick, and the supervisor runs only
+    // at the 1 kHz monitoring cadence. Acceptance bar: <= 2% on the
+    // default sim loop versus the supervisor disabled outright.
+    let mut cfg = PlatformConfig::default();
+    cfg.cpu_enabled = false;
+    let mut p_sup = Platform::new(cfg);
+    let sup_on = bench("platform/tick_supervisor_on", || p_sup.step());
+
+    let mut cfg = PlatformConfig::default();
+    cfg.cpu_enabled = false;
+    cfg.supervisor.enabled = false;
+    let mut p_nosup = Platform::new(cfg);
+    let sup_off = bench("platform/tick_supervisor_off", || p_nosup.step());
+
+    let sup_pct =
+        (sup_on.min_ns_per_iter - sup_off.min_ns_per_iter) / sup_off.min_ns_per_iter * 100.0;
+    println!(
+        "fault/supervisor overhead: {sup_pct:+.2}% per tick ({} <= 2% budget)",
+        if sup_pct <= 2.0 { "within" } else { "OVER" }
+    );
+
     let rom = assemble("start: mov a, #1\nadd a, #2\nmov r0, a\ndjnz r0, start\nsjmp start\n")
         .expect("assembles");
     let mut cpu = Cpu::new();

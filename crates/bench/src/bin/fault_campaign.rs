@@ -1,0 +1,299 @@
+//! Fault-injection campaign: sweeps every fault class in the catalog
+//! through the full platform and records, per class, whether the safety
+//! supervisor detected it, the detection latency, the recovery time after
+//! the fault clears, and the residual rate error once service resumes.
+//!
+//! ```sh
+//! cargo run --release -p ascp-bench --bin fault_campaign            # full
+//! cargo run --release -p ascp-bench --bin fault_campaign -- --smoke # CI
+//! ```
+//!
+//! Results land in `target/experiments/fault_campaign.csv` and
+//! `target/experiments/fault_campaign.metrics.json`. The process exits
+//! non-zero if any fault class goes undetected — `--smoke` runs the same
+//! sweep but skips the (slow) recovery measurements.
+
+use ascp_bench::{experiments_dir, write_metrics};
+use ascp_core::platform::{Platform, PlatformConfig};
+use ascp_core::supervisor::SupervisorState;
+use ascp_mcu8051::periph::Bus16Device;
+use ascp_sim::fault::{AdcChannel, FaultKind};
+use ascp_sim::telemetry::{Telemetry, TelemetryConfig};
+use std::io::Write as _;
+
+/// One campaign entry: the fault to inject and its timing envelope.
+struct Case {
+    kind: FaultKind,
+    /// Fault active time, seconds (one-shot from `T_INJECT`).
+    duration_s: f64,
+    /// Wall deadline for the supervisor to leave `Normal`, from injection.
+    detect_budget_s: f64,
+    /// Wall deadline to return to `Normal` after the fault clears.
+    recover_budget_s: f64,
+    /// Whether the 8051 monitor must run (UART framing, watchdog).
+    needs_cpu: bool,
+}
+
+/// Measured outcome for one campaign case.
+struct Outcome {
+    label: &'static str,
+    detected: bool,
+    detection_latency_s: f64,
+    recovered: bool,
+    recovery_time_s: f64,
+    residual_rate_dps: f64,
+    final_state: &'static str,
+}
+
+const T_INJECT: f64 = 0.7;
+
+fn catalog() -> Vec<Case> {
+    let case = |kind, duration_s, detect_budget_s, recover_budget_s, needs_cpu| Case {
+        kind,
+        duration_s,
+        detect_budget_s,
+        recover_budget_s,
+        needs_cpu,
+    };
+    vec![
+        case(FaultKind::MemsDriveLoss, 0.45, 0.8, 3.0, false),
+        case(FaultKind::SensorDisconnect, 0.3, 0.2, 2.5, false),
+        case(
+            FaultKind::AdcStuckBit {
+                channel: AdcChannel::Secondary,
+                bit: 11,
+                value: false,
+            },
+            0.3,
+            0.2,
+            2.0,
+            false,
+        ),
+        case(
+            FaultKind::AdcStuckCode {
+                channel: AdcChannel::Primary,
+                code: 0,
+            },
+            0.3,
+            0.2,
+            3.5,
+            false,
+        ),
+        case(
+            FaultKind::AdcOverload {
+                channel: AdcChannel::Primary,
+                gain: 4.0,
+            },
+            0.3,
+            0.15,
+            2.0,
+            false,
+        ),
+        case(
+            FaultKind::ReferenceDroop { frac: 0.4 },
+            0.3,
+            0.35,
+            2.5,
+            false,
+        ),
+        case(FaultKind::PllUnlock, 0.05, 0.15, 8.0, false),
+        case(FaultKind::SpiBitErrors { rate: 0.9 }, 0.3, 0.15, 1.0, false),
+        case(FaultKind::UartBitErrors { rate: 0.5 }, 0.3, 0.35, 1.0, true),
+        case(
+            FaultKind::JtagCorruption { rate: 0.1 },
+            0.3,
+            0.25,
+            1.0,
+            false,
+        ),
+        case(FaultKind::CpuHang, 0.06, 0.25, 2.0, true),
+    ]
+}
+
+/// Steps `p` until `pred` holds or `timeout_s` elapses.
+fn run_until(
+    p: &mut Platform,
+    timeout_s: f64,
+    mut pred: impl FnMut(&Platform) -> bool,
+) -> Option<f64> {
+    let ticks = (timeout_s * p.config().dsp_rate.0) as u64;
+    for _ in 0..ticks {
+        p.step();
+        if pred(p) {
+            return Some(p.time());
+        }
+    }
+    None
+}
+
+/// Mean |rate output| over `window_s`.
+fn mean_rate(p: &mut Platform, window_s: f64) -> f64 {
+    let ticks = ((window_s * p.config().dsp_rate.0) as u64).max(1);
+    let mut acc = 0.0;
+    for _ in 0..ticks {
+        p.step();
+        acc += p.rate_output_dps();
+    }
+    acc / ticks as f64
+}
+
+fn run_case(case: &Case, smoke: bool) -> Outcome {
+    let label = case.kind.label();
+    let mut config = PlatformConfig::default();
+    config.gyro.noise_density = 0.005;
+    config.cpu_enabled = case.needs_cpu;
+    config.supervisor.spi_probe_period_ticks = 1;
+    config.supervisor.jtag_probe_period_ticks = 10;
+    config.faults.one_shot(case.kind, T_INJECT, case.duration_s);
+    let mut p = Platform::new(config);
+    if case.needs_cpu {
+        // Arm the watchdog through its register interface: 20 000 machine
+        // cycles ≈ 12 ms at the divided CPU clock.
+        p.bus_mut().watchdog.write16(1, 20_000);
+        p.bus_mut().watchdog.write16(0, 1);
+    }
+
+    p.wait_for_ready(2.0).expect("platform bring-up");
+    run_until(&mut p, 0.1, |p| {
+        p.supervisor().state() == SupervisorState::Normal
+    })
+    .expect("supervisor Normal before injection");
+
+    let baseline = mean_rate(&mut p, 0.05);
+    assert!(p.time() < T_INJECT, "baseline window overran the injection");
+
+    // Detection: first departure from Normal after the injection point.
+    let detect_window = (T_INJECT - p.time()) + case.detect_budget_s;
+    let detected_at = run_until(&mut p, detect_window, |p| {
+        p.supervisor().state() != SupervisorState::Normal
+    });
+    let (detected, detection_latency_s) = match detected_at {
+        Some(t) => (true, t - T_INJECT),
+        None => (false, f64::NAN),
+    };
+
+    let t_clear = T_INJECT + case.duration_s;
+    let (mut recovered, mut recovery_time_s) = (false, f64::NAN);
+    let mut residual_rate_dps = f64::NAN;
+    if detected && !smoke {
+        // Recovery: first return to Normal after the fault clears.
+        let remaining = (t_clear - p.time()).max(0.0) + case.recover_budget_s;
+        if let Some(t) = run_until(&mut p, remaining, |p| {
+            p.supervisor().state() == SupervisorState::Normal
+        }) {
+            recovered = true;
+            recovery_time_s = (t - t_clear).max(0.0);
+            residual_rate_dps = (mean_rate(&mut p, 0.1) - baseline).abs();
+        }
+    }
+
+    Outcome {
+        label,
+        detected,
+        detection_latency_s,
+        recovered,
+        recovery_time_s,
+        residual_rate_dps,
+        final_state: p.supervisor().state().label(),
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!(
+        "fault_campaign: sweeping {} fault classes{}",
+        catalog().len(),
+        if smoke {
+            " (smoke: detection only)"
+        } else {
+            ""
+        }
+    );
+
+    let mut outcomes = Vec::new();
+    for case in catalog() {
+        let label = case.kind.label();
+        print!("  {label:<20}");
+        std::io::stdout().flush()?;
+        let o = run_case(&case, smoke);
+        if o.detected {
+            print!("detected in {:>6.1} ms", o.detection_latency_s * 1e3);
+        } else {
+            print!("NOT DETECTED          ");
+        }
+        if o.recovered {
+            print!(
+                ", recovered in {:.2} s, residual {:.2} °/s",
+                o.recovery_time_s, o.residual_rate_dps
+            );
+        } else if !smoke && o.detected {
+            print!(", no recovery (final state: {})", o.final_state);
+        }
+        println!();
+        outcomes.push(o);
+    }
+
+    // CSV record, one row per fault class.
+    let csv_path = experiments_dir()?.join("fault_campaign.csv");
+    let mut csv = String::from(
+        "fault,detected,detection_latency_s,recovered,recovery_time_s,residual_rate_dps,final_state\n",
+    );
+    for o in &outcomes {
+        csv.push_str(&format!(
+            "{},{},{:.4},{},{:.3},{:.3},{}\n",
+            o.label,
+            o.detected,
+            o.detection_latency_s,
+            o.recovered,
+            o.recovery_time_s,
+            o.residual_rate_dps,
+            o.final_state
+        ));
+    }
+    std::fs::write(&csv_path, csv)?;
+    println!("  csv -> {}", csv_path.display());
+
+    // Metrics snapshot mirroring the CSV for machine consumption.
+    let mut tel = Telemetry::new(TelemetryConfig::default());
+    let mut detected_total = 0u64;
+    let mut recovered_total = 0u64;
+    for o in &outcomes {
+        let name = |suffix: &str| -> &'static str {
+            Box::leak(format!("fault.{}.{suffix}", o.label).into_boxed_str())
+        };
+        tel.counter_set(name("detected"), u64::from(o.detected));
+        if o.detected {
+            tel.gauge_set(name("detection_latency_s"), o.detection_latency_s);
+            detected_total += 1;
+        }
+        if o.recovered {
+            tel.gauge_set(name("recovery_time_s"), o.recovery_time_s);
+            tel.gauge_set(name("residual_rate_dps"), o.residual_rate_dps);
+            recovered_total += 1;
+        }
+    }
+    tel.counter_set("campaign.classes", outcomes.len() as u64);
+    tel.counter_set("campaign.detected", detected_total);
+    tel.counter_set("campaign.recovered", recovered_total);
+    write_metrics("fault_campaign", &tel.snapshot(0.0))?;
+
+    let undetected: Vec<_> = outcomes
+        .iter()
+        .filter(|o| !o.detected)
+        .map(|o| o.label)
+        .collect();
+    if !undetected.is_empty() {
+        eprintln!("fault_campaign: UNDETECTED fault classes: {undetected:?}");
+        std::process::exit(1);
+    }
+    println!(
+        "fault_campaign: all {} classes detected{}",
+        outcomes.len(),
+        if smoke {
+            String::new()
+        } else {
+            format!(", {recovered_total} recovered")
+        }
+    );
+    Ok(())
+}

@@ -374,6 +374,21 @@ impl ConditioningChain {
         self.saturation_events
     }
 
+    /// Total fixed-point accumulator clamps inside the chain's filters
+    /// (demodulator channel FIRs plus the output biquad) — the telemetry
+    /// view of the `ascp-dsp` saturating-arithmetic audit.
+    #[must_use]
+    pub fn fixed_saturations(&self) -> u64 {
+        self.demod.saturations() + self.output_lp.saturations()
+    }
+
+    /// Kicks the drive PLL off frequency (shock-induced phase slip): rails
+    /// the loop integrator so the NCO runs at the edge of its pull range
+    /// and lock is lost until the loop re-acquires. Fault-injection hook.
+    pub fn kick_pll(&mut self) {
+        self.pll.kick();
+    }
+
     /// Processes one DSP-rate sample pair from the ADCs.
     pub fn process(&mut self, primary: Q15, secondary: Q15) -> ChainDrive {
         if !self.enabled {

@@ -13,6 +13,8 @@
 //! - [`registers`] — platform register map (CPU bridge + JTAG views);
 //! - [`platform`] — the full mixed-signal platform co-simulation
 //!   (MEMS + AFE + DSP + CPU + JTAG; Fig. 6 and Table 1 source);
+//! - [`supervisor`] — safety supervisor FSM (plausibility checks,
+//!   graceful degradation, safe state);
 //! - [`firmware`] — the monitoring/communication 8051 firmware;
 //! - [`verify`] — cross-level verification (system model vs platform);
 //! - [`characterize`] — datasheet measurement harness (Tables 1–3 rows);
@@ -27,5 +29,6 @@ pub mod firmware;
 pub mod platform;
 pub mod registers;
 pub mod report;
+pub mod supervisor;
 pub mod system;
 pub mod verify;

@@ -16,16 +16,19 @@ use crate::registers::{
     shared_afe_regs, shared_dsp_regs, AfeRegsJtag, DspRegsBus16, DspRegsJtag, SharedAfeRegs,
     SharedDspRegs,
 };
-use ascp_afe::adc::{AdcConfig, SarAdc};
+use crate::supervisor::{MonitorSample, SafetySupervisor, SupervisorConfig, SupervisorState};
+use ascp_afe::adc::{AdcConfig, AdcFault, SarAdc};
 use ascp_afe::amp::{ChargeAmplifier, Pga};
 use ascp_afe::dac::{Dac, DacConfig};
 use ascp_afe::filter::AntiAliasFilter;
 use ascp_afe::refs::VoltageReference;
 use ascp_afe::regs::AfeReg;
+use ascp_dsp::fixed::Q15;
 use ascp_jtag::chain::JtagChain;
 use ascp_jtag::device::RegAccessDevice;
 use ascp_mcu8051::cpu::Cpu;
 use ascp_mcu8051::periph::SystemBus;
+use ascp_sim::fault::{AdcChannel, FaultEdge, FaultKind, FaultPlan};
 use ascp_sim::telemetry::{Event, Telemetry, TelemetryConfig, TelemetrySnapshot};
 use ascp_sim::trace::{Trace, TraceSet};
 use ascp_sim::units::{Celsius, DegPerSec, Hertz, Seconds, Volts};
@@ -79,6 +82,10 @@ pub struct PlatformConfig {
     pub seed: u64,
     /// Observability settings (metrics, events, stage profiling).
     pub telemetry: TelemetryConfig,
+    /// Scheduled fault injections (empty = a single branch per tick).
+    pub faults: FaultPlan,
+    /// Safety-supervisor settings (FSM, plausibility checks, probes).
+    pub supervisor: SupervisorConfig,
 }
 
 impl Default for PlatformConfig {
@@ -106,6 +113,8 @@ impl Default for PlatformConfig {
             firmware: None,
             seed: 0x9a7f_03e1,
             telemetry: TelemetryConfig::default(),
+            faults: FaultPlan::new(),
+            supervisor: SupervisorConfig::default(),
         }
     }
 }
@@ -212,6 +221,34 @@ pub struct Platform {
     last_dsp_writes: u64,
     last_afe_writes: u64,
     agc_settled_seen: bool,
+    /// Safety supervisor (polled at the monitoring cadence).
+    supervisor: SafetySupervisor,
+    /// Reusable fault-edge buffer (no per-tick allocation).
+    fault_edges: Vec<FaultEdge>,
+    /// Multiplier on the MEMS drive force (0.0 while drive-loss faulted).
+    drive_gate: f64,
+    /// Multiplier on both pickoff signals (0.0 while disconnected).
+    pickoff_gate: f64,
+    /// ADC window extrema for the supervisor's plausibility checks
+    /// (reset every monitor tick).
+    pri_min: f64,
+    pri_max: f64,
+    sec_min: f64,
+    sec_max: f64,
+    /// Supervisor delta-tracking scrape state.
+    last_sup_clips: u64,
+    last_sup_wd: u32,
+    last_spi_errors: u64,
+    last_uart_errors: u64,
+    last_jtag_errors: u64,
+    /// IDCODE probe mismatches observed by the JTAG chain probe.
+    jtag_probe_errors: u64,
+    /// Monitoring-cadence tick counter (probe scheduling).
+    monitor_ticks: u64,
+    /// CpuHang fault currently latched (re-asserted after watchdog reset).
+    cpu_hang_active: bool,
+    /// Supervisor forced the chain open loop (restored on recovery).
+    open_loop_forced: bool,
 }
 
 impl std::fmt::Debug for Platform {
@@ -344,6 +381,23 @@ impl Platform {
             last_dsp_writes: 0,
             last_afe_writes: 0,
             agc_settled_seen: false,
+            supervisor: SafetySupervisor::new(config.supervisor.clone()),
+            fault_edges: Vec::new(),
+            drive_gate: 1.0,
+            pickoff_gate: 1.0,
+            pri_min: f64::INFINITY,
+            pri_max: f64::NEG_INFINITY,
+            sec_min: f64::INFINITY,
+            sec_max: f64::NEG_INFINITY,
+            last_sup_clips: 0,
+            last_sup_wd: 0,
+            last_spi_errors: 0,
+            last_uart_errors: 0,
+            last_jtag_errors: 0,
+            jtag_probe_errors: 0,
+            monitor_ticks: 0,
+            cpu_hang_active: false,
+            open_loop_forced: false,
             config,
         };
         platform.apply_afe_registers();
@@ -443,6 +497,30 @@ impl Platform {
         self.watchdog_resets
     }
 
+    /// The safety supervisor (state and directives inspection).
+    #[must_use]
+    pub fn supervisor(&self) -> &SafetySupervisor {
+        &self.supervisor
+    }
+
+    /// IDCODE probe mismatches observed so far (JTAG chain integrity).
+    #[must_use]
+    pub fn jtag_probe_errors(&self) -> u64 {
+        self.jtag_probe_errors
+    }
+
+    /// The supervised rate estimate: `(value_dps, stale)`. While the
+    /// supervisor trusts the live output this is the decoded DAC value;
+    /// degraded, it holds the last rate observed healthy and flags it
+    /// stale (the graceful-degradation output contract).
+    #[must_use]
+    pub fn supervised_rate_dps(&self) -> (f64, bool) {
+        match self.supervisor.rate_estimate() {
+            Some((held, _)) => (held, true),
+            None => (self.rate_output_dps(), false),
+        }
+    }
+
     /// Number of DSP ticks executed.
     #[must_use]
     pub fn ticks(&self) -> u64 {
@@ -489,6 +567,11 @@ impl Platform {
         let dsp_dt = 1.0 / self.config.dsp_rate.0;
         let sub = self.config.analog_oversample;
         let sub_dt = dsp_dt / f64::from(sub);
+        // Fault engine: a single branch per tick when no faults are
+        // scheduled (the common case).
+        if !self.config.faults.is_empty() {
+            self.apply_faults();
+        }
         // Sampled profiling: `mark` is Some only on profiled ticks.
         let mut mark = self.telemetry.profile_tick();
 
@@ -499,12 +582,14 @@ impl Platform {
             let pick = self
                 .gyro
                 .step(self.drive_force, self.rebalance_force, sub_dt);
-            v_pri = self
-                .aaf_pri
-                .process(self.charge_pri.convert(pick.primary), sub_dt);
-            v_sec = self
-                .aaf_sec
-                .process(self.charge_sec.convert(pick.secondary), sub_dt);
+            v_pri = self.aaf_pri.process(
+                self.charge_pri.convert(pick.primary * self.pickoff_gate),
+                sub_dt,
+            );
+            v_sec = self.aaf_sec.process(
+                self.charge_sec.convert(pick.secondary * self.pickoff_gate),
+                sub_dt,
+            );
         }
         if let Some(m) = mark {
             mark = Some(self.telemetry.stage_mark("analog_ode", m));
@@ -515,6 +600,14 @@ impl Platform {
         let sec_amp = self.pga_sec.process(v_sec, dsp_dt);
         let pri_q = self.adc_pri.convert_q15(pri_amp);
         let sec_q = self.adc_sec.convert_q15(sec_amp);
+        if self.config.supervisor.enabled {
+            let pf = pri_q.to_f64();
+            let sf = sec_q.to_f64();
+            self.pri_min = self.pri_min.min(pf);
+            self.pri_max = self.pri_max.max(pf);
+            self.sec_min = self.sec_min.min(sf);
+            self.sec_max = self.sec_max.max(sf);
+        }
         if let Some(m) = mark {
             mark = Some(self.telemetry.stage_mark("acquisition", m));
         }
@@ -525,11 +618,18 @@ impl Platform {
             mark = Some(self.telemetry.stage_mark("dsp_chain", m));
         }
 
-        // Drive DACs (forces normalized to DAC full scale).
+        // Drive DACs (forces normalized to DAC full scale). The drive gate
+        // models a broken drive electrode; the safe-output directive parks
+        // the customer-facing rate DAC at mid-scale.
         let vref = self.config.drive_dac.vref.0;
-        self.drive_force = self.drive_dac.write_q15(drive.primary).0 / vref;
+        self.drive_force = self.drive_dac.write_q15(drive.primary).0 / vref * self.drive_gate;
         self.rebalance_force = self.rebalance_dac.write_q15(drive.secondary).0 / vref;
-        self.rate_dac.write_q15(drive.rate_out);
+        let rate_word = if self.supervisor.wants_safe_output() {
+            Q15::ZERO
+        } else {
+            drive.rate_out
+        };
+        self.rate_dac.write_q15(rate_word);
 
         // Real-time SRAM capture of the rate stream (prototype analysis).
         self.bus
@@ -545,10 +645,15 @@ impl Platform {
             while self.cpu_cycle_debt >= 1.0 {
                 let spent = self.cpu.step(&mut self.bus);
                 self.cpu_cycle_debt -= f64::from(spent);
-                if self.bus.watchdog.tick(spent) {
-                    // Safety reset: restart the firmware.
+                if self.bus.watchdog.tick(spent) && self.bus.watchdog.auto_reset() {
+                    // Safety reset: restart the firmware. A latched-up CPU
+                    // (CpuHang fault) re-hangs immediately — the bounded
+                    // retry budget in the supervisor decides when to stop.
                     self.cpu.reset();
                     self.watchdog_resets += 1;
+                    if self.cpu_hang_active {
+                        self.cpu.set_hung(true);
+                    }
                 }
             }
             for (addr, byte) in self.bus.cache.take_writes() {
@@ -560,19 +665,209 @@ impl Platform {
         }
 
         self.tick += 1;
-        // Slow monitoring cadence: registers + AFE application at 1 kHz.
+        // Slow monitoring cadence: registers + AFE application + safety
+        // supervision at 1 kHz.
         if self
             .tick
             .is_multiple_of((self.config.dsp_rate.0 as u64 / 1000).max(1))
         {
             self.chain.sync_registers(&self.dsp_regs);
             self.apply_afe_registers();
+            self.monitor_ticks += 1;
+            self.run_probes();
+            self.poll_supervisor();
             self.scrape_telemetry();
             if let Some(m) = mark {
                 self.telemetry.stage_mark("register_sync", m);
             }
         }
         drive
+    }
+
+    /// Polls the fault plan and maps activation/clear edges onto the
+    /// component models.
+    fn apply_faults(&mut self) {
+        let t = self.time();
+        let mut edges = std::mem::take(&mut self.fault_edges);
+        edges.clear();
+        self.config.faults.poll(t, &mut edges);
+        for e in &edges {
+            self.apply_fault_edge(*e, t);
+        }
+        self.fault_edges = edges;
+    }
+
+    fn adc_mut(&mut self, channel: AdcChannel) -> &mut SarAdc {
+        match channel {
+            AdcChannel::Primary => &mut self.adc_pri,
+            AdcChannel::Secondary => &mut self.adc_sec,
+        }
+    }
+
+    fn apply_fault_edge(&mut self, e: FaultEdge, t: f64) {
+        let on = e.activated;
+        match e.kind {
+            FaultKind::MemsDriveLoss => self.drive_gate = if on { 0.0 } else { 1.0 },
+            FaultKind::SensorDisconnect => self.pickoff_gate = if on { 0.0 } else { 1.0 },
+            FaultKind::AdcStuckBit {
+                channel,
+                bit,
+                value,
+            } => self
+                .adc_mut(channel)
+                .set_fault(on.then_some(AdcFault::StuckBit { bit, value })),
+            FaultKind::AdcStuckCode { channel, code } => self
+                .adc_mut(channel)
+                .set_fault(on.then_some(AdcFault::StuckCode { code })),
+            FaultKind::AdcOverload { channel, gain } => self
+                .adc_mut(channel)
+                .set_fault(on.then_some(AdcFault::Overload { gain })),
+            FaultKind::ReferenceDroop { frac } => {
+                // The bandgap feeds the reference buffers of every
+                // converter: ADC codes inflate, DAC full scales shrink.
+                let (droop, scale) = if on { (frac, 1.0 - frac) } else { (0.0, 1.0) };
+                self.vref.set_droop(droop);
+                self.adc_pri.set_ref_scale(scale);
+                self.adc_sec.set_ref_scale(scale);
+                self.drive_dac.set_ref_scale(scale);
+                self.rebalance_dac.set_ref_scale(scale);
+                self.rate_dac.set_ref_scale(scale);
+            }
+            FaultKind::PllUnlock => {
+                if on {
+                    self.chain.kick_pll();
+                }
+            }
+            FaultKind::SpiBitErrors { rate } => {
+                if on {
+                    self.bus.spi.set_fault(rate, self.config.seed ^ 0x5b17);
+                } else {
+                    self.bus.spi.clear_fault();
+                }
+            }
+            FaultKind::UartBitErrors { rate } => {
+                if on {
+                    self.cpu.set_uart_fault(rate, self.config.seed ^ 0x0a27);
+                } else {
+                    self.cpu.clear_uart_fault();
+                }
+            }
+            FaultKind::JtagCorruption { rate } => {
+                if on {
+                    self.jtag.set_fault(rate, self.config.seed ^ 0x17a6);
+                } else {
+                    self.jtag.clear_fault();
+                }
+            }
+            FaultKind::CpuHang => {
+                self.cpu_hang_active = on;
+                self.cpu.set_hung(on);
+            }
+        }
+        self.telemetry.record_event(if on {
+            Event::FaultInjected {
+                t,
+                fault: e.kind.label(),
+            }
+        } else {
+            Event::FaultCleared {
+                t,
+                fault: e.kind.label(),
+            }
+        });
+    }
+
+    /// Active communication-link probes at the monitoring cadence: a
+    /// one-byte SPI bus probe (parity-checked by the external receiver
+    /// model) and a JTAG IDCODE scan compared against the known chain.
+    /// Both are off by default (`*_probe_period_ticks == 0`).
+    fn run_probes(&mut self) {
+        let sup = &self.config.supervisor;
+        if !sup.enabled {
+            return;
+        }
+        let spi_period = u64::from(sup.spi_probe_period_ticks);
+        if spi_period > 0 && self.monitor_ticks.is_multiple_of(spi_period) {
+            // Corruption surfaces in the SPI line-error counter.
+            let _ = self.bus.spi.probe();
+        }
+        let jtag_period = u64::from(sup.jtag_probe_period_ticks);
+        if jtag_period > 0 && self.monitor_ticks.is_multiple_of(jtag_period) {
+            match self.jtag.read_idcodes() {
+                Ok(ids) if ids == [0x0a5c_0af1, 0x0a5c_0d51] => {}
+                _ => self.jtag_probe_errors += 1,
+            }
+        }
+    }
+
+    /// Peak-to-peak and midpoint of an ADC observation window; a window
+    /// that saw no samples reads as healthy.
+    fn window_stats(min: f64, max: f64) -> (f64, f64) {
+        if max < min {
+            (1.0, 0.0)
+        } else {
+            (max - min, 0.5 * (max + min))
+        }
+    }
+
+    fn reset_adc_window(&mut self) {
+        self.pri_min = f64::INFINITY;
+        self.pri_max = f64::NEG_INFINITY;
+        self.sec_min = f64::INFINITY;
+        self.sec_max = f64::NEG_INFINITY;
+    }
+
+    /// Builds the monitoring sample, advances the supervisor FSM and
+    /// applies its graceful-degradation directives.
+    fn poll_supervisor(&mut self) {
+        if !self.config.supervisor.enabled {
+            return;
+        }
+        let t = self.time();
+        let clips = self.adc_pri.clips() + self.adc_sec.clips();
+        let spi_errors = self.bus.spi.line_errors();
+        let uart_errors = self.cpu.uart_line_errors();
+        let jtag_errors = self.jtag_probe_errors;
+        let (pri_pp, pri_mid) = Self::window_stats(self.pri_min, self.pri_max);
+        let (sec_pp, sec_mid) = Self::window_stats(self.sec_min, self.sec_max);
+        let sample = MonitorSample {
+            t,
+            locked: self.chain.is_locked(),
+            settled: self.chain.is_settled(),
+            envelope: self.chain.envelope(),
+            setpoint: self.chain.config().agc.setpoint,
+            adc_clips_delta: clips - self.last_sup_clips,
+            adc_pri_pp: pri_pp,
+            adc_pri_mid: pri_mid,
+            adc_sec_pp: sec_pp,
+            adc_sec_mid: sec_mid,
+            rate_dps: self.rate_output_dps(),
+            rate_raw: self.chain.rate_out().raw(),
+            closed_loop: self.chain.mode() == SenseMode::ClosedLoop,
+            watchdog_resets_delta: self.watchdog_resets - self.last_sup_wd,
+            spi_errors_delta: spi_errors - self.last_spi_errors,
+            uart_errors_delta: uart_errors - self.last_uart_errors,
+            jtag_errors_delta: jtag_errors - self.last_jtag_errors,
+        };
+        self.last_sup_clips = clips;
+        self.last_sup_wd = self.watchdog_resets;
+        self.last_spi_errors = spi_errors;
+        self.last_uart_errors = uart_errors;
+        self.last_jtag_errors = jtag_errors;
+        self.reset_adc_window();
+        self.supervisor.poll(&sample, &mut self.telemetry);
+
+        // Graceful degradation: open-loop fallback while the rebalance
+        // path is implicated, restored once the FSM is Normal again.
+        if self.supervisor.wants_open_loop() {
+            if self.chain.mode() == SenseMode::ClosedLoop {
+                self.chain.set_mode(SenseMode::OpenLoop);
+                self.open_loop_forced = true;
+            }
+        } else if self.open_loop_forced && self.supervisor.state() == SupervisorState::Normal {
+            self.chain.set_mode(self.config.mode);
+            self.open_loop_forced = false;
+        }
     }
 
     /// Mirrors the components' local counters into the telemetry registry
@@ -614,6 +909,16 @@ impl Platform {
             .counter_set("jtag.shifts", self.jtag.shifts());
         self.telemetry
             .counter_set("jtag.tck_cycles", self.jtag.cycles());
+        self.telemetry
+            .counter_set("spi.line_errors", self.bus.spi.line_errors());
+        self.telemetry
+            .counter_set("uart.line_errors", self.cpu.uart_line_errors());
+        self.telemetry
+            .counter_set("jtag.probe_errors", self.jtag_probe_errors);
+        self.telemetry
+            .counter_set("jtag.corrupted_bits", self.jtag.corrupted_bits());
+        self.telemetry
+            .counter_set("dsp.filter_saturations", self.chain.fixed_saturations());
 
         self.telemetry
             .gauge_set("pll.frequency_hz", self.chain.frequency());
@@ -825,6 +1130,19 @@ impl Platform {
         self.cpu.reset();
         self.tick = 0;
         self.cpu_cycle_debt = 0.0;
+        // The supervisor reboots with the platform; a forced open-loop
+        // fallback does not survive a cold start.
+        self.supervisor.reset();
+        if self.open_loop_forced {
+            self.chain.set_mode(self.config.mode);
+            self.open_loop_forced = false;
+        }
+        self.reset_adc_window();
+        if self.cpu_hang_active {
+            // Latch-up persists through a power cycle only while the
+            // fault is scheduled active; re-assert it.
+            self.cpu.set_hung(true);
+        }
     }
 }
 

@@ -1,0 +1,773 @@
+//! Safety supervisor: plausibility monitoring and graceful degradation.
+//!
+//! Automotive conditioning ASICs pair the signal chain with a safety
+//! manager that watches for implausible behaviour and degrades the output
+//! contract instead of silently streaming garbage. This module implements
+//! that manager for the platform: a five-state FSM evaluated at the 1 kHz
+//! monitoring cadence (the same rhythm at which the paper's 8051 routine
+//! "constantly checks the system status", §4.2), driven by plausibility
+//! checks over the telemetry the platform already collects.
+//!
+//! ```text
+//!             ready                 check fails
+//!   Init ───────────────▶ Normal ───────────────▶ Degraded
+//!     │                     ▲                      │     │
+//!     │ init                │ healthy held         │     │ severe check
+//!     │ timeout             │                      │     │ persists /
+//!     │                  Recovery ◀────────────────┘     │ watchdog
+//!     │                     ▲        checks clear        │ retries
+//!     │                     │ backoff + checks           │ exhausted
+//!     │                     │ clear (bounded)            ▼
+//!     └─────────────────────┴───────────────────────▶ SafeState
+//! ```
+//!
+//! `SafeState` never transitions straight back to `Normal`: every exit
+//! goes through `Recovery`, which must hold a healthy streak first. That
+//! invariant is what the property test in `tests/prop_supervisor.rs`
+//! pins down.
+//!
+//! Degradation is graceful: while out of `Normal` the supervisor exposes a
+//! hold-last-valid rate estimate with a staleness flag, can request an
+//! open-loop fallback when the force-rebalance path is implicated, and in
+//! `SafeState` directs the platform to park the rate output at mid-scale
+//! (the customer-visible "output invalid" level).
+
+use ascp_sim::telemetry::{Event, Telemetry};
+
+/// Supervisor FSM states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SupervisorState {
+    /// Power-on: waiting for PLL lock and AGC settling.
+    #[default]
+    Init,
+    /// All plausibility checks pass; output contract fully valid.
+    Normal,
+    /// At least one check failing; output degraded (held / open loop).
+    Degraded,
+    /// Persistent or severe failure: output parked at mid-scale.
+    SafeState,
+    /// Checks cleared; holding a healthy streak before declaring Normal.
+    Recovery,
+}
+
+impl SupervisorState {
+    /// Stable label for telemetry events and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Init => "init",
+            Self::Normal => "normal",
+            Self::Degraded => "degraded",
+            Self::SafeState => "safe_state",
+            Self::Recovery => "recovery",
+        }
+    }
+
+    /// Numeric code for the `supervisor.state` gauge (0..=4).
+    #[must_use]
+    pub fn code(self) -> f64 {
+        match self {
+            Self::Init => 0.0,
+            Self::Normal => 1.0,
+            Self::Degraded => 2.0,
+            Self::SafeState => 3.0,
+            Self::Recovery => 4.0,
+        }
+    }
+}
+
+/// Supervisor tuning. Defaults are sized for the platform's 1 kHz
+/// monitoring cadence and the gyro case study's time constants.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Master enable; disabled, `poll` is a no-op (zero overhead).
+    pub enabled: bool,
+    /// Seconds allowed in `Init` before latching `SafeState`.
+    pub init_timeout_s: f64,
+    /// Consecutive unlocked monitor ticks before the PLL check fails.
+    pub lock_loss_ticks: u32,
+    /// AGC envelope / setpoint ratio lower plausibility bound.
+    pub envelope_lo: f64,
+    /// AGC envelope / setpoint ratio upper plausibility bound.
+    pub envelope_hi: f64,
+    /// Consecutive out-of-bounds ticks before the envelope check fails.
+    pub envelope_streak: u32,
+    /// ADC clips per monitor window treated as an overload.
+    pub clip_limit: u64,
+    /// Consecutive over-limit windows before the clip check fails.
+    pub clip_streak: u32,
+    /// Plausible |rate| bound, °/s (full scale plus margin).
+    pub rate_limit_dps: f64,
+    /// Consecutive over-range ticks before the range check fails.
+    pub rate_streak: u32,
+    /// Consecutive ticks with a bit-identical rate word before the
+    /// stuck-output check fails.
+    pub rate_stuck_ticks: u32,
+    /// Consecutive windows with zero ADC peak-to-peak before the
+    /// stuck-converter check fails.
+    pub adc_stuck_windows: u32,
+    /// |window midpoint| (FS units) beyond which a converter is counted
+    /// as grossly DC-shifted (stuck MSB, rail latch-up). A stuck MSB on a
+    /// near-zero signal shifts only the codes on one side of mid-scale, so
+    /// the window midpoint lands at ±0.5 FS — the limit must sit below
+    /// that while staying far above a healthy window's ~0 midpoint.
+    pub adc_dc_limit: f64,
+    /// Consecutive DC-shifted windows before the DC check fails.
+    pub adc_dc_streak: u32,
+    /// New communication-link errors per window that fail the link checks.
+    pub comm_error_limit: u64,
+    /// Monitor ticks a link check stays failed after its last error
+    /// (debounce, so a single corrupt byte produces a visible episode).
+    pub comm_hold_ticks: u32,
+    /// Watchdog resets tolerated inside `wd_retry_window_s` before the
+    /// bounded retry budget is exhausted and the FSM latches `SafeState`.
+    pub wd_retry_limit: u32,
+    /// Sliding window for the watchdog retry budget, seconds.
+    pub wd_retry_window_s: f64,
+    /// Monitor ticks the CPU check stays failed after a watchdog reset.
+    pub wd_hold_ticks: u32,
+    /// Healthy ticks `Recovery` must hold before declaring `Normal`.
+    pub recovery_hold_ticks: u32,
+    /// Seconds a severe check may persist in `Degraded` before escalation.
+    pub degraded_timeout_s: f64,
+    /// Base backoff before a `SafeState` recovery attempt, seconds
+    /// (scaled by the attempt number).
+    pub safe_retry_backoff_s: f64,
+    /// Recovery attempts allowed out of `SafeState` before latching it
+    /// permanently.
+    pub safe_retry_limit: u32,
+    /// Fall back to open-loop sensing when a closed-loop sense-path check
+    /// fails (graceful degradation of the force-rebalance path).
+    pub auto_open_loop: bool,
+    /// Park the rate DAC at mid-scale while in `SafeState`.
+    pub force_safe_output: bool,
+    /// Monitor ticks between SPI link probes (0 disables probing).
+    pub spi_probe_period_ticks: u32,
+    /// Monitor ticks between JTAG IDCODE probes (0 disables probing).
+    pub jtag_probe_period_ticks: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            init_timeout_s: 2.5,
+            lock_loss_ticks: 5,
+            envelope_lo: 0.5,
+            envelope_hi: 1.5,
+            envelope_streak: 20,
+            clip_limit: 16,
+            clip_streak: 3,
+            rate_limit_dps: 550.0,
+            rate_streak: 3,
+            rate_stuck_ticks: 250,
+            adc_stuck_windows: 5,
+            adc_dc_limit: 0.4,
+            adc_dc_streak: 5,
+            comm_error_limit: 1,
+            comm_hold_ticks: 50,
+            wd_retry_limit: 3,
+            wd_retry_window_s: 1.0,
+            wd_hold_ticks: 100,
+            recovery_hold_ticks: 100,
+            degraded_timeout_s: 1.5,
+            safe_retry_backoff_s: 0.5,
+            safe_retry_limit: 3,
+            auto_open_loop: true,
+            force_safe_output: true,
+            spi_probe_period_ticks: 0,
+            jtag_probe_period_ticks: 0,
+        }
+    }
+}
+
+/// One monitoring-cadence observation of the platform, assembled by the
+/// platform from telemetry counters and live chain state. All `_delta`
+/// fields are since the previous sample.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MonitorSample {
+    /// Simulation time, seconds.
+    pub t: f64,
+    /// PLL lock flag.
+    pub locked: bool,
+    /// AGC settled flag.
+    pub settled: bool,
+    /// AGC envelope (ADC FS units).
+    pub envelope: f64,
+    /// AGC setpoint (ADC FS units).
+    pub setpoint: f64,
+    /// New ADC clips in the window (both channels).
+    pub adc_clips_delta: u64,
+    /// Primary ADC peak-to-peak over the window (FS units).
+    pub adc_pri_pp: f64,
+    /// Primary ADC window midpoint (FS units).
+    pub adc_pri_mid: f64,
+    /// Secondary ADC peak-to-peak over the window (FS units).
+    pub adc_sec_pp: f64,
+    /// Secondary ADC window midpoint (FS units).
+    pub adc_sec_mid: f64,
+    /// Decoded rate output, °/s.
+    pub rate_dps: f64,
+    /// Raw rate word (stuck-output detection needs bit identity).
+    pub rate_raw: i32,
+    /// Whether the chain is running closed loop.
+    pub closed_loop: bool,
+    /// New watchdog-forced CPU resets in the window.
+    pub watchdog_resets_delta: u32,
+    /// New SPI line errors in the window.
+    pub spi_errors_delta: u64,
+    /// New UART line errors in the window.
+    pub uart_errors_delta: u64,
+    /// New JTAG probe errors in the window.
+    pub jtag_errors_delta: u64,
+}
+
+/// Plausibility checks, in evaluation (and cause-priority) order.
+const CHECKS: [&str; 11] = [
+    "pll_lock",
+    "agc_envelope",
+    "adc_clip",
+    "adc_stuck",
+    "adc_dc",
+    "rate_range",
+    "rate_stuck",
+    "cpu_watchdog",
+    "spi_link",
+    "uart_link",
+    "jtag_chain",
+];
+
+/// Index into [`CHECKS`] of the first communication-link check; checks at
+/// or past this index never escalate `Degraded` to `SafeState` on their
+/// own (the signal path is still plausible).
+const FIRST_COMM_CHECK: usize = 8;
+
+/// The safety supervisor.
+#[derive(Debug, Clone)]
+pub struct SafetySupervisor {
+    config: SupervisorConfig,
+    state: SupervisorState,
+    /// Per-check consecutive-failure streaks.
+    streaks: [u32; CHECKS.len()],
+    /// Per-check failing flags (streak threshold crossed).
+    failing: [bool; CHECKS.len()],
+    /// Rate word of the previous sample (stuck detection).
+    last_rate_raw: i32,
+    /// Debounce countdowns for the link checks and the CPU check.
+    spi_hold: u32,
+    uart_hold: u32,
+    jtag_hold: u32,
+    wd_hold: u32,
+    /// Watchdog reset timestamps inside the sliding retry window.
+    wd_times: Vec<f64>,
+    /// First poll time (Init timeout reference).
+    init_start: Option<f64>,
+    degraded_since: f64,
+    recovery_streak: u32,
+    safe_entered: f64,
+    safe_retries: u32,
+    /// Hold-last-valid state.
+    last_valid_rate: f64,
+    last_valid_t: f64,
+    open_loop_fallback: bool,
+    transitions: u64,
+    faults_detected: u64,
+}
+
+impl SafetySupervisor {
+    /// Builds the supervisor in `Init`.
+    #[must_use]
+    pub fn new(config: SupervisorConfig) -> Self {
+        Self {
+            config,
+            state: SupervisorState::Init,
+            streaks: [0; CHECKS.len()],
+            failing: [false; CHECKS.len()],
+            last_rate_raw: 0,
+            spi_hold: 0,
+            uart_hold: 0,
+            jtag_hold: 0,
+            wd_hold: 0,
+            wd_times: Vec::new(),
+            init_start: None,
+            degraded_since: 0.0,
+            recovery_streak: 0,
+            safe_entered: 0.0,
+            safe_retries: 0,
+            last_valid_rate: 0.0,
+            last_valid_t: 0.0,
+            open_loop_fallback: false,
+            transitions: 0,
+            faults_detected: 0,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.config
+    }
+
+    /// Current FSM state.
+    #[must_use]
+    pub fn state(&self) -> SupervisorState {
+        self.state
+    }
+
+    /// Total FSM transitions since reset.
+    #[must_use]
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Total check-failure episodes detected since reset.
+    #[must_use]
+    pub fn faults_detected(&self) -> u64 {
+        self.faults_detected
+    }
+
+    /// Labels of the currently failing checks.
+    pub fn failing_checks(&self) -> impl Iterator<Item = &'static str> + '_ {
+        CHECKS
+            .iter()
+            .zip(self.failing.iter())
+            .filter(|(_, &f)| f)
+            .map(|(&label, _)| label)
+    }
+
+    /// Graceful-degradation directive: hold-last-valid rate estimate.
+    /// `Some((value, valid_at))` while the live output is not trustworthy
+    /// (`value` is the last rate observed in `Normal`, `valid_at` its
+    /// timestamp); `None` while the live output is valid.
+    #[must_use]
+    pub fn rate_estimate(&self) -> Option<(f64, f64)> {
+        match self.state {
+            SupervisorState::Normal => None,
+            _ => Some((self.last_valid_rate, self.last_valid_t)),
+        }
+    }
+
+    /// Graceful-degradation directive: the platform should switch the
+    /// sense path to open loop (force-rebalance path implicated).
+    #[must_use]
+    pub fn wants_open_loop(&self) -> bool {
+        self.open_loop_fallback
+    }
+
+    /// Safe-state directive: park the rate output at mid-scale.
+    #[must_use]
+    pub fn wants_safe_output(&self) -> bool {
+        self.state == SupervisorState::SafeState && self.config.force_safe_output
+    }
+
+    /// `true` once the `SafeState` retry budget is exhausted (terminal).
+    #[must_use]
+    pub fn is_latched(&self) -> bool {
+        self.state == SupervisorState::SafeState
+            && self.safe_retries >= self.config.safe_retry_limit
+    }
+
+    /// Power-on reset: back to `Init` with all episode state cleared.
+    pub fn reset(&mut self) {
+        let config = self.config.clone();
+        *self = Self::new(config);
+    }
+
+    /// Evaluates one monitoring sample and advances the FSM, recording
+    /// detection and transition events into `telemetry`.
+    pub fn poll(&mut self, s: &MonitorSample, telemetry: &mut Telemetry) {
+        if !self.config.enabled {
+            return;
+        }
+        if self.init_start.is_none() {
+            self.init_start = Some(s.t);
+        }
+        // Checks only run once the platform has been up; during Init the
+        // loops are still converging and every check would trip.
+        if self.state != SupervisorState::Init {
+            self.evaluate_checks(s, telemetry);
+        }
+        self.step_fsm(s, telemetry);
+        telemetry.gauge_set("supervisor.state", self.state.code());
+        telemetry.counter_set("supervisor.transitions", self.transitions);
+        telemetry.counter_set("supervisor.faults_detected", self.faults_detected);
+    }
+
+    fn evaluate_checks(&mut self, s: &MonitorSample, telemetry: &mut Telemetry) {
+        let c = self.config.clone();
+        // Streak-based checks: (index, failing now).
+        let ratio = if s.setpoint > 0.0 {
+            s.envelope / s.setpoint
+        } else {
+            1.0
+        };
+        let raw_fail = [
+            (0, !s.locked),
+            (1, !(c.envelope_lo..=c.envelope_hi).contains(&ratio)),
+            (2, s.adc_clips_delta >= c.clip_limit),
+            (3, s.adc_pri_pp <= 0.0 || s.adc_sec_pp <= 0.0),
+            (
+                4,
+                s.adc_pri_mid.abs() > c.adc_dc_limit || s.adc_sec_mid.abs() > c.adc_dc_limit,
+            ),
+            (5, s.rate_dps.abs() > c.rate_limit_dps),
+            (6, s.rate_raw == self.last_rate_raw),
+        ];
+        let thresholds = [
+            c.lock_loss_ticks,
+            c.envelope_streak,
+            c.clip_streak,
+            c.adc_stuck_windows,
+            c.adc_dc_streak,
+            c.rate_streak,
+            c.rate_stuck_ticks,
+        ];
+        self.last_rate_raw = s.rate_raw;
+        for &(i, fail) in &raw_fail {
+            if fail {
+                self.streaks[i] = self.streaks[i].saturating_add(1);
+            } else {
+                self.streaks[i] = 0;
+            }
+            self.set_failing(i, self.streaks[i] >= thresholds[i], s.t, telemetry);
+        }
+
+        // Debounced event checks: a burst of errors opens an episode that
+        // holds for `*_hold_ticks` after the last error.
+        if s.watchdog_resets_delta > 0 {
+            self.wd_hold = c.wd_hold_ticks;
+            for _ in 0..s.watchdog_resets_delta {
+                self.wd_times.push(s.t);
+            }
+        } else {
+            self.wd_hold = self.wd_hold.saturating_sub(1);
+        }
+        self.wd_times.retain(|&t0| s.t - t0 <= c.wd_retry_window_s);
+        self.spi_hold = if s.spi_errors_delta >= c.comm_error_limit {
+            c.comm_hold_ticks
+        } else {
+            self.spi_hold.saturating_sub(1)
+        };
+        self.uart_hold = if s.uart_errors_delta >= c.comm_error_limit {
+            c.comm_hold_ticks
+        } else {
+            self.uart_hold.saturating_sub(1)
+        };
+        self.jtag_hold = if s.jtag_errors_delta >= c.comm_error_limit {
+            c.comm_hold_ticks
+        } else {
+            self.jtag_hold.saturating_sub(1)
+        };
+        let holds = [self.wd_hold, self.spi_hold, self.uart_hold, self.jtag_hold];
+        for (k, &hold) in holds.iter().enumerate() {
+            self.set_failing(7 + k, hold > 0, s.t, telemetry);
+        }
+    }
+
+    /// Updates a check's failing flag, emitting a detection event on the
+    /// rising edge of each episode.
+    fn set_failing(&mut self, i: usize, failing: bool, t: f64, telemetry: &mut Telemetry) {
+        if failing && !self.failing[i] {
+            self.faults_detected += 1;
+            telemetry.record_event(Event::FaultDetected {
+                t,
+                check: CHECKS[i],
+            });
+        }
+        self.failing[i] = failing;
+    }
+
+    /// First failing check label (cause priority = catalog order).
+    fn first_failing(&self) -> Option<usize> {
+        self.failing.iter().position(|&f| f)
+    }
+
+    /// Whether a signal-path (non-comm) check is failing.
+    fn severe_failing(&self) -> bool {
+        self.failing[..FIRST_COMM_CHECK]
+            .iter()
+            .enumerate()
+            .any(|(i, &f)| f && i != 7)
+            || self.wd_budget_exhausted()
+    }
+
+    fn wd_budget_exhausted(&self) -> bool {
+        self.wd_times.len() > self.wd_retry_budget()
+    }
+
+    fn wd_retry_budget(&self) -> usize {
+        self.config.wd_retry_limit as usize
+    }
+
+    fn step_fsm(&mut self, s: &MonitorSample, telemetry: &mut Telemetry) {
+        use SupervisorState as S;
+        let any_failing = self.failing.iter().any(|&f| f);
+        match self.state {
+            S::Init => {
+                if s.locked && s.settled {
+                    self.transition(S::Normal, "ready", s.t, telemetry);
+                } else if s.t - self.init_start.unwrap_or(s.t) > self.config.init_timeout_s {
+                    self.transition(S::SafeState, "init_timeout", s.t, telemetry);
+                }
+            }
+            S::Normal => {
+                self.last_valid_rate = s.rate_dps;
+                self.last_valid_t = s.t;
+                if let Some(i) = self.first_failing() {
+                    if self.config.auto_open_loop && s.closed_loop && i < FIRST_COMM_CHECK && i != 7
+                    {
+                        self.open_loop_fallback = true;
+                    }
+                    self.transition(S::Degraded, CHECKS[i], s.t, telemetry);
+                }
+            }
+            S::Degraded => {
+                if self.wd_budget_exhausted() {
+                    self.transition(S::SafeState, "watchdog_retries", s.t, telemetry);
+                } else if !any_failing {
+                    self.transition(S::Recovery, "checks_clear", s.t, telemetry);
+                } else if self.severe_failing()
+                    && s.t - self.degraded_since > self.config.degraded_timeout_s
+                {
+                    let cause = self.first_failing().map_or("unknown", |i| CHECKS[i]);
+                    self.transition(S::SafeState, cause, s.t, telemetry);
+                }
+            }
+            S::Recovery => {
+                if let Some(i) = self.first_failing() {
+                    self.transition(S::Degraded, CHECKS[i], s.t, telemetry);
+                } else {
+                    self.recovery_streak += 1;
+                    if self.recovery_streak >= self.config.recovery_hold_ticks {
+                        self.transition(S::Normal, "recovered", s.t, telemetry);
+                    }
+                }
+            }
+            S::SafeState => {
+                // Bounded retry with linear backoff; latched once the
+                // budget is spent. SafeState never goes straight to
+                // Normal — every exit passes through Recovery.
+                if self.safe_retries < self.config.safe_retry_limit
+                    && !any_failing
+                    && s.t - self.safe_entered
+                        >= self.config.safe_retry_backoff_s * f64::from(self.safe_retries + 1)
+                {
+                    self.safe_retries += 1;
+                    self.transition(S::Recovery, "safe_retry", s.t, telemetry);
+                }
+            }
+        }
+    }
+
+    fn transition(
+        &mut self,
+        to: SupervisorState,
+        cause: &'static str,
+        t: f64,
+        telemetry: &mut Telemetry,
+    ) {
+        telemetry.record_event(Event::SupervisorTransition {
+            t,
+            from: self.state.label(),
+            to: to.label(),
+            cause,
+        });
+        self.transitions += 1;
+        match to {
+            SupervisorState::Degraded => self.degraded_since = t,
+            SupervisorState::Recovery => self.recovery_streak = 0,
+            SupervisorState::SafeState => self.safe_entered = t,
+            SupervisorState::Normal => {
+                self.open_loop_fallback = false;
+                self.safe_retries = 0;
+            }
+            SupervisorState::Init => {}
+        }
+        self.state = to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascp_sim::telemetry::TelemetryConfig;
+
+    fn healthy(t: f64) -> MonitorSample {
+        MonitorSample {
+            t,
+            locked: true,
+            settled: true,
+            envelope: 0.8,
+            setpoint: 0.8,
+            adc_pri_pp: 1.6,
+            adc_sec_pp: 0.01,
+            rate_raw: (t * 1.0e6) as i32, // always changing
+            ..MonitorSample::default()
+        }
+    }
+
+    fn sup() -> (SafetySupervisor, Telemetry) {
+        (
+            SafetySupervisor::new(SupervisorConfig::default()),
+            Telemetry::new(TelemetryConfig::default()),
+        )
+    }
+
+    /// Runs `n` monitor ticks starting at `t0`, mutating each healthy
+    /// sample with `f`.
+    fn run(
+        s: &mut SafetySupervisor,
+        tel: &mut Telemetry,
+        t0: f64,
+        n: u32,
+        f: impl Fn(&mut MonitorSample),
+    ) -> f64 {
+        let mut t = t0;
+        for k in 0..n {
+            t = t0 + f64::from(k) * 1.0e-3;
+            let mut sample = healthy(t);
+            f(&mut sample);
+            s.poll(&sample, tel);
+        }
+        t
+    }
+
+    #[test]
+    fn init_to_normal_on_ready() {
+        let (mut s, mut tel) = sup();
+        assert_eq!(s.state(), SupervisorState::Init);
+        s.poll(&healthy(0.1), &mut tel);
+        assert_eq!(s.state(), SupervisorState::Normal);
+    }
+
+    #[test]
+    fn init_timeout_latches_safe_state() {
+        let (mut s, mut tel) = sup();
+        let mut sample = healthy(0.0);
+        sample.locked = false;
+        s.poll(&sample, &mut tel);
+        sample.t = 3.0;
+        s.poll(&sample, &mut tel);
+        assert_eq!(s.state(), SupervisorState::SafeState);
+    }
+
+    #[test]
+    fn lock_loss_degrades_then_recovers() {
+        let (mut s, mut tel) = sup();
+        let t = run(&mut s, &mut tel, 0.0, 3, |_| {});
+        assert_eq!(s.state(), SupervisorState::Normal);
+        let t = run(&mut s, &mut tel, t + 1.0e-3, 10, |m| m.locked = false);
+        assert_eq!(s.state(), SupervisorState::Degraded);
+        assert!(s.failing_checks().any(|c| c == "pll_lock"));
+        assert!(s.rate_estimate().is_some(), "estimate goes stale");
+        // Lock returns: Recovery, then Normal after the hold.
+        let _ = run(&mut s, &mut tel, t + 1.0e-3, 150, |_| {});
+        assert_eq!(s.state(), SupervisorState::Normal);
+        assert!(s.rate_estimate().is_none());
+    }
+
+    #[test]
+    fn severe_fault_escalates_to_safe_state_and_never_jumps_to_normal() {
+        let (mut s, mut tel) = sup();
+        let t = run(&mut s, &mut tel, 0.0, 3, |_| {});
+        // Envelope collapse persists past the degraded timeout.
+        let t = run(&mut s, &mut tel, t + 1.0e-3, 2000, |m| m.envelope = 0.0);
+        assert_eq!(s.state(), SupervisorState::SafeState);
+        assert!(s.wants_safe_output());
+        // Health returns; the exit must pass through Recovery.
+        let mut saw_recovery = false;
+        for k in 0..2000u32 {
+            let tt = t + f64::from(k + 1) * 1.0e-3;
+            s.poll(&healthy(tt), &mut tel);
+            if s.state() == SupervisorState::Recovery {
+                saw_recovery = true;
+            }
+            if s.state() == SupervisorState::Normal {
+                break;
+            }
+        }
+        assert_eq!(s.state(), SupervisorState::Normal);
+        assert!(saw_recovery, "SafeState exited without passing Recovery");
+    }
+
+    #[test]
+    fn comm_fault_degrades_but_never_escalates() {
+        let (mut s, mut tel) = sup();
+        let t = run(&mut s, &mut tel, 0.0, 3, |_| {});
+        let _ = run(&mut s, &mut tel, t + 1.0e-3, 2500, |m| {
+            m.spi_errors_delta = 2;
+        });
+        assert_eq!(
+            s.state(),
+            SupervisorState::Degraded,
+            "link noise alone must not reach SafeState"
+        );
+        assert!(!s.wants_open_loop(), "comm faults keep the loop closed");
+    }
+
+    #[test]
+    fn watchdog_retry_budget_exhaustion_latches_safe_state() {
+        let (mut s, mut tel) = sup();
+        let t = run(&mut s, &mut tel, 0.0, 3, |_| {});
+        // A reset every 30 ms: the 4th inside 1 s exhausts the budget.
+        let mut tt = t;
+        for k in 0..10u32 {
+            tt = t + f64::from(k + 1) * 0.03;
+            let mut m = healthy(tt);
+            m.watchdog_resets_delta = 1;
+            s.poll(&m, &mut tel);
+        }
+        assert_eq!(s.state(), SupervisorState::SafeState);
+        let _ = tt;
+    }
+
+    #[test]
+    fn safe_state_retry_budget_is_bounded() {
+        let config = SupervisorConfig {
+            safe_retry_limit: 1,
+            ..SupervisorConfig::default()
+        };
+        let mut s = SafetySupervisor::new(config);
+        let mut tel = Telemetry::new(TelemetryConfig::default());
+        let t = run(&mut s, &mut tel, 0.0, 3, |_| {});
+        let t = run(&mut s, &mut tel, t + 1.0e-3, 2000, |m| m.envelope = 0.0);
+        assert_eq!(s.state(), SupervisorState::SafeState);
+        // The single retry spends the budget; health collapses again while
+        // still in Recovery (before Normal would refill the budget). The
+        // backoff clock started at SafeState entry, ~0.48 s ago, so the
+        // retry lands ~20 ticks into this healthy stretch.
+        let t = run(&mut s, &mut tel, t + 1.0e-3, 100, |_| {});
+        assert_eq!(s.state(), SupervisorState::Recovery);
+        let t = run(&mut s, &mut tel, t + 1.0e-3, 2000, |m| m.envelope = 0.0);
+        assert_eq!(s.state(), SupervisorState::SafeState);
+        // Budget spent: healthy samples can no longer leave SafeState.
+        let _ = run(&mut s, &mut tel, t + 1.0e-3, 3000, |_| {});
+        assert_eq!(s.state(), SupervisorState::SafeState);
+        assert!(s.is_latched());
+    }
+
+    #[test]
+    fn closed_loop_sense_fault_requests_open_loop_fallback() {
+        let (mut s, mut tel) = sup();
+        let t = run(&mut s, &mut tel, 0.0, 3, |m| m.closed_loop = true);
+        let _ = run(&mut s, &mut tel, t + 1.0e-3, 300, |m| {
+            m.closed_loop = true;
+            m.rate_raw = 1234; // stuck word
+        });
+        assert_eq!(s.state(), SupervisorState::Degraded);
+        assert!(s.wants_open_loop());
+    }
+
+    #[test]
+    fn disabled_supervisor_stays_in_init() {
+        let config = SupervisorConfig {
+            enabled: false,
+            ..SupervisorConfig::default()
+        };
+        let mut s = SafetySupervisor::new(config);
+        let mut tel = Telemetry::new(TelemetryConfig::default());
+        s.poll(&healthy(0.1), &mut tel);
+        assert_eq!(s.state(), SupervisorState::Init);
+        assert_eq!(s.transitions(), 0);
+    }
+}

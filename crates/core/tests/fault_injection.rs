@@ -1,0 +1,391 @@
+//! Integration tests: one per fault class in the catalog, checking that
+//! the platform's safety supervisor detects the injected fault and
+//! applies the advertised graceful-degradation contract.
+
+use ascp_core::platform::{Platform, PlatformConfig};
+use ascp_core::supervisor::SupervisorState;
+use ascp_sim::fault::{AdcChannel, FaultKind};
+
+fn quiet() -> PlatformConfig {
+    let mut c = PlatformConfig::default();
+    c.gyro.noise_density = 0.005;
+    c.cpu_enabled = false;
+    c
+}
+
+/// Steps until `pred` holds, returning the time it first did.
+fn run_until(
+    p: &mut Platform,
+    timeout_s: f64,
+    mut pred: impl FnMut(&Platform) -> bool,
+) -> Option<f64> {
+    let ticks = (timeout_s * p.config().dsp_rate.0) as u64;
+    for _ in 0..ticks {
+        p.step();
+        if pred(p) {
+            return Some(p.time());
+        }
+    }
+    None
+}
+
+/// Brings the platform up and waits for the supervisor to declare Normal.
+fn bring_up(p: &mut Platform) -> f64 {
+    p.wait_for_ready(2.0).expect("platform becomes ready");
+    run_until(p, 0.1, |p| {
+        p.supervisor().state() == SupervisorState::Normal
+    })
+    .expect("supervisor reaches Normal")
+}
+
+/// Detection latency for a fault injected at `t_inj`: the supervisor must
+/// leave Normal within `budget_s`.
+fn expect_detection(p: &mut Platform, t_inj: f64, budget_s: f64) -> f64 {
+    let t = run_until(p, budget_s + 0.05, |p| {
+        p.supervisor().state() != SupervisorState::Normal
+    })
+    .unwrap_or_else(|| panic!("fault injected at {t_inj:.3}s was never detected"));
+    let latency = t - t_inj;
+    assert!(
+        latency <= budget_s,
+        "detection latency {latency:.3}s exceeds budget {budget_s}s"
+    );
+    latency
+}
+
+#[test]
+fn mems_drive_loss_is_detected_via_envelope() {
+    let mut c = quiet();
+    c.faults.permanent(FaultKind::MemsDriveLoss, 0.6);
+    let mut p = Platform::new(c);
+    let t0 = bring_up(&mut p);
+    assert!(t0 < 0.6, "bring-up after injection point");
+    run_until(&mut p, 0.65 - t0, |_| false); // advance past injection
+    expect_detection(&mut p, 0.6, 0.8);
+    assert!(
+        p.supervisor()
+            .failing_checks()
+            .any(|ch| ch == "agc_envelope"),
+        "drive loss should surface as an envelope fault"
+    );
+}
+
+#[test]
+fn sensor_disconnect_is_detected_and_rate_goes_stale() {
+    let mut c = quiet();
+    c.faults.permanent(FaultKind::SensorDisconnect, 0.6);
+    let mut p = Platform::new(c);
+    let t0 = bring_up(&mut p);
+    assert!(t0 < 0.6);
+    let (_, stale) = p.supervised_rate_dps();
+    assert!(!stale, "healthy output must not be stale");
+    run_until(&mut p, 0.65 - t0, |_| false);
+    expect_detection(&mut p, 0.6, 0.15);
+    let (held, stale) = p.supervised_rate_dps();
+    assert!(stale, "degraded output must be flagged stale");
+    assert!(held.abs() < 20.0, "held estimate {held} from a 0 °/s run");
+}
+
+#[test]
+fn adc_stuck_code_is_detected() {
+    let mut c = quiet();
+    c.faults.permanent(
+        FaultKind::AdcStuckCode {
+            channel: AdcChannel::Primary,
+            code: 0,
+        },
+        0.6,
+    );
+    let mut p = Platform::new(c);
+    let t0 = bring_up(&mut p);
+    run_until(&mut p, 0.65 - t0, |_| false);
+    expect_detection(&mut p, 0.6, 0.15);
+}
+
+#[test]
+fn adc_stuck_msb_is_detected_as_dc_shift() {
+    let mut c = quiet();
+    let msb = c.adc.bits - 1;
+    c.faults.permanent(
+        FaultKind::AdcStuckBit {
+            channel: AdcChannel::Secondary,
+            bit: msb,
+            value: false,
+        },
+        0.6,
+    );
+    let mut p = Platform::new(c);
+    let t0 = bring_up(&mut p);
+    run_until(&mut p, 0.65 - t0, |_| false);
+    expect_detection(&mut p, 0.6, 0.15);
+    assert!(
+        p.supervisor().failing_checks().any(|ch| ch == "adc_dc"),
+        "stuck MSB should surface as a DC-shift fault"
+    );
+}
+
+#[test]
+fn adc_overload_is_detected_via_clip_rate() {
+    let mut c = quiet();
+    c.faults.permanent(
+        FaultKind::AdcOverload {
+            channel: AdcChannel::Primary,
+            gain: 4.0,
+        },
+        0.6,
+    );
+    let mut p = Platform::new(c);
+    let t0 = bring_up(&mut p);
+    run_until(&mut p, 0.65 - t0, |_| false);
+    expect_detection(&mut p, 0.6, 0.1);
+    assert!(
+        p.supervisor().failing_checks().any(|ch| ch == "adc_clip"),
+        "overload should surface as a clip-rate fault"
+    );
+}
+
+#[test]
+fn reference_droop_is_detected() {
+    let mut c = quiet();
+    c.faults
+        .permanent(FaultKind::ReferenceDroop { frac: 0.4 }, 0.6);
+    let mut p = Platform::new(c);
+    let t0 = bring_up(&mut p);
+    run_until(&mut p, 0.65 - t0, |_| false);
+    expect_detection(&mut p, 0.6, 0.3);
+}
+
+#[test]
+fn pll_unlock_is_detected_and_recovers_through_the_fsm() {
+    let mut c = quiet();
+    c.faults.one_shot(FaultKind::PllUnlock, 0.6, 0.05);
+    let mut p = Platform::new(c);
+    let t0 = bring_up(&mut p);
+    assert!(t0 < 0.6);
+    run_until(&mut p, 0.62 - t0, |_| false);
+    expect_detection(&mut p, 0.6, 0.1);
+    // Re-acquisition is dynamical: the envelope dies while the NCO is
+    // stranded on its rail, the dead-input leak sweeps it back, and the
+    // AGC re-pumps — slow enough that the FSM escalates to SafeState and
+    // recovers through a bounded safe retry. The full walk is
+    // Degraded -> SafeState -> Recovery -> (clip overshoot) -> Normal.
+    let mut saw_recovery = false;
+    let mut saw_safe = false;
+    let back = run_until(&mut p, 4.5, |p| {
+        match p.supervisor().state() {
+            SupervisorState::Recovery => saw_recovery = true,
+            SupervisorState::SafeState => saw_safe = true,
+            _ => {}
+        }
+        p.supervisor().state() == SupervisorState::Normal
+    });
+    assert!(back.is_some(), "PLL never recovered to Normal");
+    assert!(
+        saw_recovery,
+        "recovery must pass through the Recovery state"
+    );
+    assert!(saw_safe, "a rail-kicked PLL should exercise the safe retry");
+}
+
+#[test]
+fn spi_bit_errors_degrade_but_never_escalate() {
+    let mut c = quiet();
+    c.supervisor.spi_probe_period_ticks = 1;
+    c.faults
+        .permanent(FaultKind::SpiBitErrors { rate: 0.9 }, 0.6);
+    let mut p = Platform::new(c);
+    let t0 = bring_up(&mut p);
+    run_until(&mut p, 0.65 - t0, |_| false);
+    expect_detection(&mut p, 0.6, 0.1);
+    assert_eq!(p.supervisor().state(), SupervisorState::Degraded);
+    // Link noise alone must never reach SafeState.
+    if let Some(t) = run_until(&mut p, 0.5, |p| {
+        p.supervisor().state() == SupervisorState::SafeState
+    }) {
+        panic!("comm fault escalated to SafeState at {t:.3}s");
+    }
+}
+
+#[test]
+fn uart_bit_errors_are_detected_from_line_parity() {
+    let mut c = quiet();
+    c.cpu_enabled = true;
+    c.faults
+        .permanent(FaultKind::UartBitErrors { rate: 0.5 }, 0.6);
+    let mut p = Platform::new(c);
+    let t0 = bring_up(&mut p);
+    run_until(&mut p, 0.65 - t0, |_| false);
+    expect_detection(&mut p, 0.6, 0.3);
+    assert!(p.cpu_mut().uart_line_errors() > 0);
+}
+
+#[test]
+fn jtag_corruption_is_detected_by_idcode_probe() {
+    let mut c = quiet();
+    c.supervisor.jtag_probe_period_ticks = 5;
+    c.faults
+        .permanent(FaultKind::JtagCorruption { rate: 0.1 }, 0.6);
+    let mut p = Platform::new(c);
+    let t0 = bring_up(&mut p);
+    run_until(&mut p, 0.65 - t0, |_| false);
+    expect_detection(&mut p, 0.6, 0.2);
+    assert!(p.jtag_probe_errors() > 0);
+}
+
+#[test]
+fn cpu_hang_exhausts_watchdog_retries_into_safe_state() {
+    let mut c = quiet();
+    c.cpu_enabled = true;
+    c.faults.permanent(FaultKind::CpuHang, 0.6);
+    let mut p = Platform::new(c);
+    // Arm the watchdog via its registers: 20 000 machine cycles ≈ 12 ms.
+    {
+        use ascp_mcu8051::periph::Bus16Device;
+        let bus = p.bus_mut();
+        bus.watchdog.write16(1, 20_000);
+        bus.watchdog.write16(0, 1);
+    }
+    let t0 = bring_up(&mut p);
+    assert!(t0 < 0.6);
+    run_until(&mut p, 0.62 - t0, |_| false);
+    expect_detection(&mut p, 0.6, 0.2);
+    // The hang persists: the bounded retry budget must latch SafeState.
+    let latched = run_until(&mut p, 0.6, |p| {
+        p.supervisor().state() == SupervisorState::SafeState
+    });
+    assert!(latched.is_some(), "retry budget never exhausted");
+    assert!(p.watchdog_resets() > p.supervisor().config().wd_retry_limit);
+    // Safe output: the rate DAC parks at mid-scale.
+    p.set_rate(ascp_sim::units::DegPerSec(200.0));
+    run_until(&mut p, 0.02, |_| false);
+    assert!(
+        p.rate_output_dps().abs() < 5.0,
+        "SafeState output not parked: {} °/s",
+        p.rate_output_dps()
+    );
+}
+
+#[test]
+fn watchdog_reset_counts_exactly_once_per_trip() {
+    let mut c = quiet();
+    c.cpu_enabled = true;
+    c.faults.one_shot(FaultKind::CpuHang, 0.6, 0.02);
+    let mut p = Platform::new(c);
+    {
+        use ascp_mcu8051::periph::Bus16Device;
+        let bus = p.bus_mut();
+        bus.watchdog.write16(1, 20_000);
+        bus.watchdog.write16(0, 1);
+    }
+    let t0 = bring_up(&mut p);
+    assert!(t0 < 0.6);
+    run_until(&mut p, 0.75 - t0, |_| false);
+    let resets = p.watchdog_resets();
+    assert!(resets >= 1, "hang never tripped the watchdog");
+    // Exactly one platform reset (and one telemetry count) per expiry.
+    assert_eq!(
+        u64::from(resets),
+        u64::from(p.bus_mut().watchdog.expirations()),
+        "platform resets must match watchdog expirations 1:1"
+    );
+    let snap = p.telemetry_snapshot();
+    let counted = snap
+        .counters
+        .iter()
+        .find(|(k, _)| *k == "cpu.watchdog_resets")
+        .map(|(_, v)| *v);
+    assert_eq!(counted, Some(u64::from(resets)));
+}
+
+#[test]
+fn watchdog_auto_reset_can_be_disabled_via_ctrl_bit1() {
+    let mut c = quiet();
+    c.cpu_enabled = true;
+    c.faults.permanent(FaultKind::CpuHang, 0.2);
+    let mut p = Platform::new(c);
+    {
+        use ascp_mcu8051::periph::Bus16Device;
+        let bus = p.bus_mut();
+        bus.watchdog.write16(1, 20_000);
+        bus.watchdog.write16(0, 1 | 2); // enabled, auto-reset suppressed
+    }
+    run_until(&mut p, 0.4, |_| false);
+    assert!(
+        p.bus_mut().watchdog.expirations() >= 1,
+        "watchdog never expired"
+    );
+    assert_eq!(
+        p.watchdog_resets(),
+        0,
+        "CTRL bit1 must suppress the CPU reset"
+    );
+}
+
+#[test]
+fn closed_loop_sense_fault_falls_back_to_open_loop() {
+    use ascp_core::chain::SenseMode;
+    let mut c = quiet();
+    c.mode = SenseMode::ClosedLoop;
+    c.faults.permanent(
+        FaultKind::AdcStuckCode {
+            channel: AdcChannel::Secondary,
+            code: 100,
+        },
+        0.8,
+    );
+    let mut p = Platform::new(c);
+    let t0 = bring_up(&mut p);
+    assert!(t0 < 0.8, "closed-loop bring-up too slow");
+    assert_eq!(p.chain().mode(), SenseMode::ClosedLoop);
+    run_until(&mut p, 0.85 - t0, |_| false);
+    let detected = run_until(&mut p, 0.5, |p| {
+        p.supervisor().state() != SupervisorState::Normal
+    });
+    assert!(detected.is_some(), "stuck secondary converter undetected");
+    run_until(&mut p, 0.05, |_| false);
+    assert!(p.supervisor().wants_open_loop());
+    assert_eq!(
+        p.chain().mode(),
+        SenseMode::OpenLoop,
+        "platform must fall back to open-loop sensing"
+    );
+}
+
+#[test]
+fn intermittent_fault_emits_paired_events() {
+    let mut c = quiet();
+    c.faults
+        .intermittent(FaultKind::PllUnlock, 0.6, 1.2, 0.15, 0.02, 99);
+    let mut p = Platform::new(c);
+    let t0 = bring_up(&mut p);
+    run_until(&mut p, 1.3 - t0, |_| false);
+    let snap = p.telemetry_snapshot();
+    let injected = snap
+        .events
+        .iter()
+        .filter(|e| e.kind() == "FaultInjected")
+        .count();
+    let cleared = snap
+        .events
+        .iter()
+        .filter(|e| e.kind() == "FaultCleared")
+        .count();
+    assert!(injected >= 2, "expected several bursts, saw {injected}");
+    assert!(
+        (injected as i64 - cleared as i64).abs() <= 1,
+        "unbalanced inject/clear events: {injected} vs {cleared}"
+    );
+}
+
+#[test]
+fn fault_free_run_stays_normal_with_zero_overhead_path() {
+    let mut p = Platform::new(quiet());
+    let t0 = bring_up(&mut p);
+    if let Some(t) = run_until(&mut p, 1.0, |p| {
+        p.supervisor().state() != SupervisorState::Normal
+    }) {
+        panic!("healthy platform left Normal at {t:.3}s (false positive)");
+    }
+    assert_eq!(p.supervisor().faults_detected(), 0);
+    let _ = t0;
+}

@@ -88,6 +88,13 @@ impl Demodulator {
         self.q_filter.reset();
         self.last = None;
     }
+
+    /// Saturated outputs across both channel filters (monotonic; a nonzero
+    /// rate means the baseband datapath is clipping).
+    #[must_use]
+    pub fn saturations(&self) -> u64 {
+        self.i_filter.saturations() + self.q_filter.saturations()
+    }
 }
 
 /// Carrier re-modulator for the secondary (force-rebalance) drive.

@@ -65,6 +65,9 @@ pub struct FirFilter {
     coeffs: Vec<Q30>,
     delay: Vec<Q15>,
     pos: usize,
+    /// Outputs clamped at the accumulator rails (monotonic; a nonzero rate
+    /// means the datapath is clipping, not just carrying a large signal).
+    saturations: u64,
 }
 
 impl FirFilter {
@@ -87,6 +90,7 @@ impl FirFilter {
             coeffs: coeffs.iter().map(|&c| Q30::from_f64(c)).collect(),
             delay: vec![Q15::ZERO; coeffs.len()],
             pos: 0,
+            saturations: 0,
         }
     }
 
@@ -129,6 +133,9 @@ impl FirFilter {
         self.pos = (self.pos + 1) % n;
         // Product is Q15*Q30 = Q45; shift back to Q15 with rounding.
         let shifted = (acc + (1i64 << 29)) >> 30;
+        if !(i64::from(i32::MIN)..=i64::from(i32::MAX)).contains(&shifted) {
+            self.saturations += 1;
+        }
         Q15::from_raw(saturate(shifted))
     }
 
@@ -136,6 +143,12 @@ impl FirFilter {
     #[must_use]
     pub fn group_delay(&self) -> f64 {
         (self.coeffs.len() as f64 - 1.0) / 2.0
+    }
+
+    /// Outputs that hit the saturation clamp since construction.
+    #[must_use]
+    pub fn saturations(&self) -> u64 {
+        self.saturations
     }
 }
 
@@ -193,6 +206,12 @@ impl DecimatingFir {
     pub fn reset(&mut self) {
         self.fir.reset();
         self.counter = 0;
+    }
+
+    /// Saturated outputs of the inner filter (see [`FirFilter::saturations`]).
+    #[must_use]
+    pub fn saturations(&self) -> u64 {
+        self.fir.saturations()
     }
 }
 
@@ -311,5 +330,19 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn empty_coeffs_panics() {
         let _ = FirFilter::from_coeffs(&[]);
+    }
+
+    #[test]
+    fn saturation_counter_counts_clamps() {
+        // Gain ~1.9 on full-scale raw MAX inputs overflows the i32 output.
+        let mut f = FirFilter::from_coeffs(&[1.9]);
+        assert_eq!(f.saturations(), 0);
+        for _ in 0..3 {
+            let y = f.process(Q15::MAX);
+            assert_eq!(y, Q15::MAX, "clamped at the rail");
+        }
+        assert_eq!(f.saturations(), 3);
+        f.process(Q15::from_f64(0.1));
+        assert_eq!(f.saturations(), 3, "in-range output does not count");
     }
 }

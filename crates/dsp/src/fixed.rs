@@ -107,20 +107,24 @@ impl<const FRAC: u32> Fx<FRAC> {
 
     /// Fixed-point multiply: 32×32→64-bit product, rounded shift back by
     /// `FRAC`, saturated to 32 bits — the standard DSP multiplier contract.
+    /// `FRAC == 0` (pure integers) has no fractional shift and no rounding
+    /// term; the guard avoids the `1 << (0 - 1)` underflow that would wrap
+    /// the shift amount.
     #[must_use]
     pub fn mul(self, rhs: Self) -> Self {
         let p = self.0 as i64 * rhs.0 as i64;
-        let rounded = (p + (1i64 << (FRAC - 1))) >> FRAC;
-        Self(saturate_i64(rounded))
+        let round = if FRAC == 0 { 0 } else { 1i64 << (FRAC - 1) };
+        Self(saturate_i64((p + round) >> FRAC))
     }
 
     /// Multiplies by a value in a different Q format, producing `Self`'s
     /// format (coefficient × sample with coefficient in higher precision).
+    /// As with [`Fx::mul`], `F2 == 0` skips the rounding term.
     #[must_use]
     pub fn mul_q<const F2: u32>(self, rhs: Fx<F2>) -> Self {
         let p = self.0 as i64 * rhs.0 as i64;
-        let rounded = (p + (1i64 << (F2 - 1))) >> F2;
-        Self(saturate_i64(rounded))
+        let round = if F2 == 0 { 0 } else { 1i64 << (F2 - 1) };
+        Self(saturate_i64((p + round) >> F2))
     }
 
     /// Arithmetic shift right (divide by 2ⁿ, truncating toward −∞).
@@ -160,6 +164,14 @@ impl<const FRAC: u32> Fx<FRAC> {
     #[must_use]
     pub fn clamp(self, lo: Self, hi: Self) -> Self {
         Self(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// `true` when the word sits at either 32-bit rail — the signature a
+    /// saturating operation leaves behind. Plausibility checks use this to
+    /// distinguish "large signal" from "clipped datapath".
+    #[must_use]
+    pub const fn is_rail(self) -> bool {
+        self.0 == i32::MAX || self.0 == i32::MIN
     }
 
     /// Requantizes to an effective word length of `bits` total bits
@@ -315,6 +327,32 @@ mod tests {
         // Rounding: smallest positive value squared rounds to nearest.
         let eps = Q15::from_raw(1);
         assert_eq!(eps.mul(eps).raw(), 0); // 2^-30 -> rounds to 0 at Q15
+    }
+
+    #[test]
+    fn integer_format_mul_is_exact() {
+        // FRAC = 0: no fractional shift, no rounding bias. This used to
+        // compute `1 << (0 - 1)` and corrupt the shift in release builds.
+        let a = Fx::<0>::from_raw(1000);
+        let b = Fx::<0>::from_raw(-37);
+        assert_eq!(a.mul(b).raw(), -37_000);
+        let c = Q15::from_f64(0.5);
+        assert_eq!(c.mul_q(Fx::<0>::from_raw(3)).raw(), c.raw() * 3);
+    }
+
+    #[test]
+    fn integer_format_mul_saturates() {
+        let big = Fx::<0>::from_raw(1 << 20);
+        assert_eq!(big.mul(big), Fx::<0>::MAX);
+        assert_eq!(big.mul(Fx::<0>::from_raw(-(1 << 20))), Fx::<0>::MIN);
+    }
+
+    #[test]
+    fn rail_detection() {
+        assert!(Q15::MAX.is_rail());
+        assert!(Q15::MIN.is_rail());
+        assert!(!Q15::from_f64(0.999).is_rail());
+        assert!(!Q15::ZERO.is_rail());
     }
 
     #[test]

@@ -135,6 +135,8 @@ pub struct Biquad {
     x: [Q15; 2],
     /// Output history in Q30 raw units.
     y: [i64; 2],
+    /// Outputs clamped at the Q15 rails (monotonic clip counter).
+    saturations: u64,
 }
 
 impl Biquad {
@@ -146,13 +148,21 @@ impl Biquad {
             a: coeffs.a.map(Q30::from_f64),
             x: [Q15::ZERO; 2],
             y: [0; 2],
+            saturations: 0,
         }
     }
 
-    /// Clears the delay elements.
+    /// Clears the delay elements (the clip counter is monotonic and
+    /// survives resets).
     pub fn reset(&mut self) {
         self.x = [Q15::ZERO; 2];
         self.y = [0; 2];
+    }
+
+    /// Outputs that hit the saturation clamp since construction.
+    #[must_use]
+    pub fn saturations(&self) -> u64 {
+        self.saturations
     }
 
     /// Processes one sample.
@@ -173,6 +183,9 @@ impl Biquad {
         self.y[0] = y30;
         // Output at Q15, rounded, saturated.
         let y15 = (y30 + (1i64 << 14)) >> 15;
+        if !(i64::from(i32::MIN)..=i64::from(i32::MAX)).contains(&y15) {
+            self.saturations += 1;
+        }
         Q15::from_raw(y15.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
     }
 }

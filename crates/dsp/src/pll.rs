@@ -40,6 +40,12 @@ pub struct PllConfig {
     pub lock_threshold: f64,
     /// Consecutive in-threshold windows required to declare lock.
     pub lock_count: u32,
+    /// Lock detector amplitude qualification: the averaged in-phase
+    /// amplitude must stay at or above this (±1.0 full-scale units) for a
+    /// window to count toward lock. Guards against the false-lock deadlock
+    /// where a dead pickoff reads as zero phase error while the integrator
+    /// sits on its rail, which would suppress the re-acquisition leak.
+    pub lock_min_amplitude: f64,
 }
 
 impl Default for PllConfig {
@@ -54,6 +60,7 @@ impl Default for PllConfig {
             pd_average: 16,
             lock_threshold: 0.02,
             lock_count: 64,
+            lock_min_amplitude: 0.01,
         }
     }
 }
@@ -85,6 +92,12 @@ impl PllConfig {
         if self.pd_average == 0 {
             return Err("pd_average must be non-zero".to_owned());
         }
+        if !(0.0..1.0).contains(&self.lock_min_amplitude) {
+            return Err(format!(
+                "lock_min_amplitude {} outside [0, 1)",
+                self.lock_min_amplitude
+            ));
+        }
         Ok(())
     }
 }
@@ -96,9 +109,13 @@ pub struct Pll {
     nco: Nco,
     /// Running sum for the phase-detector average (Q15 raw units).
     pd_acc: i64,
+    /// Running sum for the in-phase amplitude average (Q15 raw units).
+    amp_acc: i64,
     pd_count: u32,
     /// Last completed phase-detector average, in ±1.0 float units.
     phase_error: f64,
+    /// Last completed in-phase amplitude average, in ±1.0 float units.
+    amplitude: f64,
     /// Integrator state in Hz.
     integrator: f64,
     /// Current NCO frequency offset from centre, Hz.
@@ -127,8 +144,10 @@ impl Pll {
             config,
             nco,
             pd_acc: 0,
+            amp_acc: 0,
             pd_count: 0,
             phase_error: 0.0,
+            amplitude: 0.0,
             integrator: 0.0,
             freq_offset: 0.0,
             locked_windows: 0,
@@ -150,15 +169,21 @@ impl Pll {
         let (s, c) = self.nco.tick();
 
         // Phase detector: pickoff × cos. At lock (pickoff ∝ sin) the DC
-        // component vanishes.
+        // component vanishes. The in-phase product pickoff × sin measures
+        // signal amplitude (≈ A/2 at lock) and qualifies the lock detector.
         let pd = pickoff.mul(c);
+        let iq = pickoff.mul(s);
         self.pd_acc += pd.raw() as i64;
+        self.amp_acc += iq.raw() as i64;
         self.pd_count += 1;
 
         if self.pd_count == self.config.pd_average {
             let avg = self.pd_acc as f64 / self.config.pd_average as f64 / 32768.0;
+            let avg_amp = self.amp_acc as f64 / self.config.pd_average as f64 / 32768.0;
             self.phase_error = avg;
+            self.amplitude = avg_amp;
             self.pd_acc = 0;
+            self.amp_acc = 0;
             self.pd_count = 0;
 
             // PI controller updates once per averaging window.
@@ -173,8 +198,12 @@ impl Pll {
                 self.config.sample_rate,
             );
 
-            // Lock detector.
-            if avg.abs() < self.config.lock_threshold {
+            // Lock detector: small phase error on a live signal. Without
+            // the amplitude term a dead pickoff (zero signal, zero phase
+            // error) would read as locked and suppress the rail leak below.
+            if avg.abs() < self.config.lock_threshold
+                && avg_amp.abs() >= self.config.lock_min_amplitude
+            {
                 self.locked_windows = self.locked_windows.saturating_add(1);
                 self.unlocked_windows = 0;
             } else {
@@ -186,15 +215,18 @@ impl Pll {
                 self.lock_transitions += 1;
             }
             self.locked = locked_now;
-            // Re-acquisition aid: an overload can wind the integrator onto
-            // its rail, far outside the capture range. Only in that state
-            // (persistently unlocked AND integrator near the rail) leak it
-            // back toward the centre so the loop sweeps through the signal
-            // and recaptures. Normal acquisition never rides the rail, so
-            // the leak cannot disturb it.
-            if self.unlocked_windows > 4 * self.config.lock_count
-                && self.integrator.abs() > 0.8 * max_pull
-            {
+            // Re-acquisition aid, two stranded-NCO cases. (1) Overload on a
+            // live input winds the integrator onto its rail, outside the
+            // capture range: leak it off the rail and the beat-note pull-in
+            // recaptures. (2) A dead pickoff (high-Q resonator driven off
+            // resonance responds only within f0/Q) gives no pull-in at all:
+            // keep leaking all the way back toward the centre until the
+            // resonator answers. Never leak on a live in-range signal — a
+            // proportional leak there forces a large static phase error on
+            // off-centre tones and blocks lock entirely.
+            let railed = self.integrator.abs() > 0.8 * max_pull;
+            let dead = avg_amp.abs() < self.config.lock_min_amplitude;
+            if self.unlocked_windows > 4 * self.config.lock_count && (railed || dead) {
                 self.integrator *= 0.995;
             }
         }
@@ -207,6 +239,13 @@ impl Pll {
     #[must_use]
     pub fn phase_error(&self) -> f64 {
         self.phase_error
+    }
+
+    /// Last completed in-phase amplitude average (±1.0 full-scale; ≈ A/2
+    /// when locked to a sine of amplitude A).
+    #[must_use]
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
     }
 
     /// Current NCO frequency in Hz (the "VCO control" trace of Fig. 5).
@@ -240,14 +279,37 @@ impl Pll {
         self.nco.phase()
     }
 
+    /// Fault injection: kicks the loop onto its integrator rail, the state
+    /// a mechanical shock or overload leaves behind. The NCO runs away to
+    /// the edge of the pull range, lock is lost, and only the
+    /// re-acquisition leak (see [`Pll::process`]) can sweep the loop back
+    /// onto the carrier — so recovery takes the realistic few hundred
+    /// milliseconds rather than being instant.
+    pub fn kick(&mut self) {
+        let max_pull = self.config.center_freq * 0.1;
+        self.integrator = max_pull;
+        self.freq_offset = max_pull;
+        self.nco.set_frequency(
+            self.config.center_freq + self.freq_offset,
+            self.config.sample_rate,
+        );
+        self.locked_windows = 0;
+        if self.locked {
+            self.lock_transitions += 1;
+        }
+        self.locked = false;
+    }
+
     /// Resets all loop state back to the centre frequency.
     pub fn reset(&mut self) {
         self.nco.reset();
         self.nco
             .set_frequency(self.config.center_freq, self.config.sample_rate);
         self.pd_acc = 0;
+        self.amp_acc = 0;
         self.pd_count = 0;
         self.phase_error = 0.0;
+        self.amplitude = 0.0;
         self.integrator = 0.0;
         self.freq_offset = 0.0;
         self.locked_windows = 0;

@@ -7,6 +7,7 @@
 
 use crate::device::JtagDevice;
 use crate::state::TapState;
+use ascp_sim::noise::Rng64;
 use std::error::Error;
 use std::fmt;
 
@@ -67,6 +68,12 @@ pub struct JtagChain {
     cycles: u64,
     /// TCK cycles spent in Shift-IR/Shift-DR (telemetry: payload bits moved).
     shifts: u64,
+    /// Optional chain corruption: (per-shift-bit flip probability, rng).
+    /// Models a marginal TDO trace — only the serial read-back path is
+    /// affected; TDI-driven register loads remain intact.
+    fault: Option<(f64, Rng64)>,
+    /// Shift bits whose TDO value was flipped by the injected fault.
+    corrupted_bits: u64,
 }
 
 impl JtagChain {
@@ -91,6 +98,8 @@ impl JtagChain {
             state: TapState::TestLogicReset,
             cycles: 0,
             shifts: 0,
+            fault: None,
+            corrupted_bits: 0,
         };
         chain.reset();
         chain
@@ -124,6 +133,24 @@ impl JtagChain {
     #[must_use]
     pub fn shifts(&self) -> u64 {
         self.shifts
+    }
+
+    /// Injects TDO read-back corruption: each shifted-out bit flips with
+    /// probability `rate`. Panics unless `rate` is in `[0, 1]`.
+    pub fn set_fault(&mut self, rate: f64, seed: u64) {
+        assert!((0.0..=1.0).contains(&rate), "fault rate must be in [0, 1]");
+        self.fault = Some((rate, Rng64::new(seed)));
+    }
+
+    /// Removes any injected TDO corruption.
+    pub fn clear_fault(&mut self) {
+        self.fault = None;
+    }
+
+    /// Number of shifted-out bits flipped by the injected fault so far.
+    #[must_use]
+    pub fn corrupted_bits(&self) -> u64 {
+        self.corrupted_bits
     }
 
     /// Applies 5 TMS-high clocks (hardware reset) and lands in
@@ -205,6 +232,14 @@ impl JtagChain {
                 }
             }
             _ => {}
+        }
+        if matches!(state, TapState::ShiftIr | TapState::ShiftDr) {
+            if let Some((rate, rng)) = &mut self.fault {
+                if rng.next_f64() < *rate {
+                    tdo = !tdo;
+                    self.corrupted_bits += 1;
+                }
+            }
         }
         self.state = state.next(tms);
         tdo
@@ -488,5 +523,32 @@ mod tests {
         // Each scan moves real payload bits, but far fewer than total TCK.
         assert!(shifts > 0);
         assert!(shifts < chain.cycles());
+    }
+
+    #[test]
+    fn tdo_fault_corrupts_idcode_readback() {
+        let mut chain = reg_chain();
+        chain.set_fault(0.25, 42);
+        let ids = chain.read_idcodes().unwrap();
+        assert_ne!(
+            ids,
+            vec![0x0000_0a01, 0x0000_0b01, 0x0000_0c01],
+            "a 25% flip rate over 96 IDCODE bits must corrupt the read-back"
+        );
+        assert!(chain.corrupted_bits() > 0);
+        // Only the TDO path is faulty: clearing the fault restores reads
+        // because the internal registers were never corrupted.
+        chain.clear_fault();
+        let ids = chain.read_idcodes().unwrap();
+        assert_eq!(ids, vec![0x0000_0a01, 0x0000_0b01, 0x0000_0c01]);
+    }
+
+    #[test]
+    fn tdo_fault_rate_zero_is_harmless() {
+        let mut chain = reg_chain();
+        chain.set_fault(0.0, 1);
+        let ids = chain.read_idcodes().unwrap();
+        assert_eq!(ids, vec![0x0000_0a01, 0x0000_0b01, 0x0000_0c01]);
+        assert_eq!(chain.corrupted_bits(), 0);
     }
 }

@@ -11,6 +11,7 @@
 //! controller, XDATA-mapped devices) attaches through the [`ExternalBus`]
 //! trait passed to [`Cpu::step`].
 
+use ascp_sim::noise::Rng64;
 use std::collections::VecDeque;
 
 /// SFR addresses used by the core.
@@ -173,6 +174,16 @@ pub struct Cpu {
     int0_pin: bool,
     int1_pin: bool,
     halted: bool,
+    /// Injected latch-up: the core burns cycles without fetching, so only
+    /// the (external) watchdog can recover it. Cleared by reset.
+    hung: bool,
+    /// Injected UART line fault: per-byte corruption probability and the
+    /// deterministic bit-flip generator.
+    uart_fault: Option<(f64, Rng64)>,
+    /// Bytes the far-end framing/parity check flagged as corrupted
+    /// (monotonic; models the receiving ECU's line-error counter, so a
+    /// CPU reset does not clear it).
+    uart_line_errors: u64,
 }
 
 impl Default for Cpu {
@@ -202,6 +213,9 @@ impl Cpu {
             int0_pin: false,
             int1_pin: false,
             halted: false,
+            hung: false,
+            uart_fault: None,
+            uart_line_errors: 0,
         };
         cpu.reset();
         cpu
@@ -248,6 +262,10 @@ impl Cpu {
         self.uart_rx_countdown = None;
         self.in_service.clear();
         self.halted = false;
+        // A hardware reset releases an injected latch-up; the platform
+        // re-asserts it while the underlying fault stays active. The UART
+        // line fault and error count live on the harness side and survive.
+        self.hung = false;
     }
 
     /// Program counter.
@@ -332,6 +350,43 @@ impl Cpu {
         self.int1_pin = int1;
     }
 
+    /// Fault injection: latches (or releases) a CPU hang. A hung core
+    /// consumes cycles without fetching instructions — the state a
+    /// latch-up or runaway leaves — and does not kick the watchdog.
+    pub fn set_hung(&mut self, hung: bool) {
+        self.hung = hung;
+    }
+
+    /// `true` while an injected hang is latched.
+    #[must_use]
+    pub fn is_hung(&self) -> bool {
+        self.hung
+    }
+
+    /// Fault injection: corrupts transmitted UART bytes with per-byte
+    /// probability `rate`, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is in `[0, 1]`.
+    pub fn set_uart_fault(&mut self, rate: f64, seed: u64) {
+        assert!((0.0..=1.0).contains(&rate), "corruption rate {rate}");
+        self.uart_fault = Some((rate, Rng64::new(seed)));
+    }
+
+    /// Removes an injected UART line fault.
+    pub fn clear_uart_fault(&mut self) {
+        self.uart_fault = None;
+    }
+
+    /// Transmitted bytes the receiving end flagged as corrupted
+    /// (single-bit flips, always caught by the frame parity check).
+    /// Monotonic across CPU resets.
+    #[must_use]
+    pub fn uart_line_errors(&self) -> u64 {
+        self.uart_line_errors
+    }
+
     // ---- SFR raw accessors (no side effects) ----
 
     fn sfr_load(&self, addr: u8) -> u8 {
@@ -392,8 +447,17 @@ impl Cpu {
             self.iram[addr as usize] = value;
         } else if Self::is_core_sfr(addr) {
             if addr == sfr::SBUF {
-                // Writing SBUF starts a transmission.
-                self.uart_tx.push_back(value);
+                // Writing SBUF starts a transmission. An injected line
+                // fault flips one bit on the wire; the far end's parity
+                // check flags the frame (single-bit errors always detect).
+                let mut wire = value;
+                if let Some((rate, rng)) = &mut self.uart_fault {
+                    if rng.next_f64() < *rate {
+                        wire ^= 1 << (rng.next_u64() % 8);
+                        self.uart_line_errors += 1;
+                    }
+                }
+                self.uart_tx.push_back(wire);
                 self.uart_tx_total += 1;
                 self.uart_tx_countdown = Some(self.uart_cycles_per_byte);
             }
@@ -743,6 +807,13 @@ impl Cpu {
     /// Executes one instruction (servicing pending interrupts first);
     /// returns the machine cycles consumed.
     pub fn step(&mut self, bus: &mut dyn ExternalBus) -> u32 {
+        if self.hung {
+            // Latch-up: the clock runs but nothing fetches, no timers
+            // tick, no watchdog kicks happen. Cycles still accumulate so
+            // an external watchdog sees time passing.
+            self.cycles += 1;
+            return 1;
+        }
         if self.halted {
             self.tick_timers(1);
             self.tick_uart(1);

@@ -18,6 +18,7 @@
 //!   [`crate::cpu::ExternalBus`].
 
 use crate::cpu::ExternalBus;
+use ascp_sim::noise::Rng64;
 use std::collections::VecDeque;
 
 /// A device on the bridged 16-bit peripheral bus.
@@ -82,6 +83,11 @@ pub struct Spi {
     cs: bool,
     last_rx: u8,
     transfers: u64,
+    /// Injected line fault: per-byte corruption probability and generator.
+    fault: Option<(f64, Rng64)>,
+    /// Transfers whose response byte the controller's parity/CRC check
+    /// flagged (monotonic).
+    line_errors: u64,
 }
 
 impl std::fmt::Debug for Spi {
@@ -90,6 +96,7 @@ impl std::fmt::Debug for Spi {
             .field("cs", &self.cs)
             .field("last_rx", &self.last_rx)
             .field("transfers", &self.transfers)
+            .field("line_errors", &self.line_errors)
             .finish()
     }
 }
@@ -116,6 +123,62 @@ impl Spi {
     pub fn transfers(&self) -> u64 {
         self.transfers
     }
+
+    /// Fault injection: corrupts transferred bytes with per-byte
+    /// probability `rate`, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is in `[0, 1]`.
+    pub fn set_fault(&mut self, rate: f64, seed: u64) {
+        assert!((0.0..=1.0).contains(&rate), "corruption rate {rate}");
+        self.fault = Some((rate, Rng64::new(seed)));
+    }
+
+    /// Removes an injected line fault.
+    pub fn clear_fault(&mut self) {
+        self.fault = None;
+    }
+
+    /// Transfers flagged corrupt by the controller's parity check
+    /// (single-bit flips always detect). Monotonic.
+    #[must_use]
+    pub fn line_errors(&self) -> u64 {
+        self.line_errors
+    }
+
+    /// Supervisor line probe: when the bus is idle (CS deselected), clocks
+    /// one harmless `0x00` byte through a transient select and checks the
+    /// `0xff` fill the slave (or open bus) returns. Returns `None` when a
+    /// firmware transaction is in flight (the probe never interferes), or
+    /// `Some(clean)` with the probe verdict.
+    pub fn probe(&mut self) -> Option<bool> {
+        if self.cs {
+            return None;
+        }
+        if let Some(s) = self.slave.as_mut() {
+            s.set_selected(true);
+        }
+        let rx = self.raw_transfer(0x00);
+        if let Some(s) = self.slave.as_mut() {
+            s.set_selected(false);
+        }
+        Some(rx == 0xff)
+    }
+
+    /// One byte on the wire, applying an injected fault to the response.
+    fn raw_transfer(&mut self, mosi: u8) -> u8 {
+        self.transfers += 1;
+        let mut rx = self.slave.as_mut().map_or(0xff, |s| s.transfer(mosi));
+        if let Some((rate, rng)) = &mut self.fault {
+            if rng.next_f64() < *rate {
+                rx ^= 1 << (rng.next_u64() % 8);
+                self.line_errors += 1;
+            }
+        }
+        self.last_rx = rx;
+        rx
+    }
 }
 
 impl Bus16Device for Spi {
@@ -140,11 +203,7 @@ impl Bus16Device for Spi {
                 }
             }
             1 if self.cs => {
-                self.transfers += 1;
-                self.last_rx = self
-                    .slave
-                    .as_mut()
-                    .map_or(0xff, |s| s.transfer(value as u8));
+                let _ = self.raw_transfer(value as u8);
             }
             _ => {}
         }
@@ -283,8 +342,11 @@ impl SpiSlave for SpiEeprom {
     }
 }
 
-/// Watchdog registers: 0 = CTRL (bit0 enable), 1 = RELOAD (ticks),
-/// 2 = KICK (write anything), 3 = STATUS (bit0 expired, write-1-to-clear).
+/// Watchdog registers: 0 = CTRL (bit0 enable, bit1 *suppress* the
+/// automatic CPU reset on expiry — clear by default so enabling with
+/// `CTRL = 1` keeps the classic reset-on-expiry behaviour), 1 = RELOAD
+/// (ticks), 2 = KICK (write anything), 3 = STATUS (bit0 expired,
+/// write-1-to-clear).
 #[derive(Debug, Clone)]
 pub struct Watchdog {
     enabled: bool,
@@ -292,6 +354,9 @@ pub struct Watchdog {
     counter: u32,
     expired: bool,
     expirations: u32,
+    /// When `false` (CTRL bit1 set) an expiry only latches STATUS; the
+    /// platform must not reset the CPU (interrupt-style watchdog).
+    auto_reset: bool,
 }
 
 impl Default for Watchdog {
@@ -310,6 +375,7 @@ impl Watchdog {
             counter: 50_000,
             expired: false,
             expirations: 0,
+            auto_reset: true,
         }
     }
 
@@ -345,12 +411,24 @@ impl Watchdog {
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }
+
+    /// Whether an expiry should hardware-reset the CPU (CTRL bit1 clear).
+    #[must_use]
+    pub fn auto_reset(&self) -> bool {
+        self.auto_reset
+    }
+
+    /// Configured reload value (machine cycles per timeout).
+    #[must_use]
+    pub fn reload(&self) -> u16 {
+        self.reload
+    }
 }
 
 impl Bus16Device for Watchdog {
     fn read16(&mut self, reg: u8) -> u16 {
         match reg {
-            0 => u16::from(self.enabled),
+            0 => u16::from(self.enabled) | (u16::from(!self.auto_reset) << 1),
             1 => self.reload,
             3 => u16::from(self.expired),
             _ => 0xffff,
@@ -361,6 +439,7 @@ impl Bus16Device for Watchdog {
         match reg {
             0 => {
                 self.enabled = value & 1 != 0;
+                self.auto_reset = value & 2 == 0;
                 self.counter = self.reload as u32;
             }
             1 => {
@@ -781,6 +860,49 @@ mod tests {
         let mut w = Watchdog::new();
         w.write16(1, 1);
         assert!(!w.tick(1_000_000));
+    }
+
+    #[test]
+    fn watchdog_auto_reset_default_and_ctrl_bit1() {
+        let mut w = Watchdog::new();
+        assert!(w.auto_reset());
+        w.write16(0, 1); // classic enable keeps auto-reset
+        assert!(w.auto_reset());
+        assert_eq!(w.read16(0), 1);
+        w.write16(0, 1 | 2); // bit1 suppresses the CPU reset
+        assert!(w.is_enabled());
+        assert!(!w.auto_reset());
+        assert_eq!(w.read16(0), 3);
+        w.write16(0, 1);
+        assert!(w.auto_reset());
+    }
+
+    #[test]
+    fn watchdog_counts_one_expiry_per_trip() {
+        let mut w = Watchdog::new();
+        w.write16(1, 100);
+        w.write16(0, 1);
+        // A single long stall trips the dog exactly once; the counter
+        // reloads so the next trip needs another full timeout.
+        assert!(w.tick(150));
+        assert_eq!(w.expirations(), 1);
+        assert!(!w.tick(50));
+        assert_eq!(w.expirations(), 1);
+        assert!(w.tick(60));
+        assert_eq!(w.expirations(), 2);
+    }
+
+    #[test]
+    fn spi_fault_corrupts_and_counts() {
+        let mut spi = Spi::new();
+        assert_eq!(spi.line_errors(), 0);
+        spi.set_fault(1.0, 7);
+        // No slave attached: clean bus reads 0xff, corruption flips a bit.
+        assert_eq!(spi.probe(), Some(false));
+        assert_eq!(spi.line_errors(), 1);
+        spi.clear_fault();
+        assert_eq!(spi.probe(), Some(true));
+        assert_eq!(spi.line_errors(), 1);
     }
 
     #[test]

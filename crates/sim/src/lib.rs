@@ -36,6 +36,7 @@
 //! ```
 
 pub mod allan;
+pub mod fault;
 pub mod noise;
 pub mod stats;
 pub mod telemetry;

@@ -63,6 +63,38 @@ pub enum Event {
         /// Writes since the previous event.
         writes: u64,
     },
+    /// The fault engine activated a scheduled fault.
+    FaultInjected {
+        /// Simulation time, seconds.
+        t: f64,
+        /// Fault label (see `ascp_sim::fault::FaultKind::label`).
+        fault: &'static str,
+    },
+    /// The fault engine cleared a scheduled fault.
+    FaultCleared {
+        /// Simulation time, seconds.
+        t: f64,
+        /// Fault label.
+        fault: &'static str,
+    },
+    /// A supervisor plausibility check fired (once per fault episode).
+    FaultDetected {
+        /// Simulation time, seconds.
+        t: f64,
+        /// Which check tripped (`"pll_lock"`, `"agc_envelope"`, ...).
+        check: &'static str,
+    },
+    /// The safety supervisor changed state.
+    SupervisorTransition {
+        /// Simulation time, seconds.
+        t: f64,
+        /// State left.
+        from: &'static str,
+        /// State entered.
+        to: &'static str,
+        /// Why (`"ready"`, `"init-timeout"`, check label, ...).
+        cause: &'static str,
+    },
 }
 
 impl Event {
@@ -77,6 +109,10 @@ impl Event {
             Self::WatchdogReset { .. } => "WatchdogReset",
             Self::UartTx { .. } => "UartTx",
             Self::RegisterWrite { .. } => "RegisterWrite",
+            Self::FaultInjected { .. } => "FaultInjected",
+            Self::FaultCleared { .. } => "FaultCleared",
+            Self::FaultDetected { .. } => "FaultDetected",
+            Self::SupervisorTransition { .. } => "SupervisorTransition",
         }
     }
 
@@ -90,7 +126,11 @@ impl Event {
             | Self::AdcClip { t, .. }
             | Self::WatchdogReset { t, .. }
             | Self::UartTx { t, .. }
-            | Self::RegisterWrite { t, .. } => *t,
+            | Self::RegisterWrite { t, .. }
+            | Self::FaultInjected { t, .. }
+            | Self::FaultCleared { t, .. }
+            | Self::FaultDetected { t, .. }
+            | Self::SupervisorTransition { t, .. } => *t,
         }
     }
 }
@@ -242,6 +282,24 @@ mod tests {
                 bank: "dsp",
                 writes: 2,
             },
+            Event::FaultInjected {
+                t: 0.0,
+                fault: "pll_unlock",
+            },
+            Event::FaultCleared {
+                t: 0.0,
+                fault: "pll_unlock",
+            },
+            Event::FaultDetected {
+                t: 0.0,
+                check: "pll_lock",
+            },
+            Event::SupervisorTransition {
+                t: 0.0,
+                from: "normal",
+                to: "degraded",
+                cause: "pll_lock",
+            },
         ];
         let kinds: Vec<&str> = all.iter().map(Event::kind).collect();
         assert_eq!(
@@ -253,7 +311,11 @@ mod tests {
                 "AdcClip",
                 "WatchdogReset",
                 "UartTx",
-                "RegisterWrite"
+                "RegisterWrite",
+                "FaultInjected",
+                "FaultCleared",
+                "FaultDetected",
+                "SupervisorTransition"
             ]
         );
     }

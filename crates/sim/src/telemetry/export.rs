@@ -58,6 +58,19 @@ fn event_json(e: &Event) -> String {
             fields.push(format!("\"bank\":\"{}\"", json_escape(bank)));
             fields.push(format!("\"writes\":{writes}"));
         }
+        Event::FaultInjected { fault, .. } | Event::FaultCleared { fault, .. } => {
+            fields.push(format!("\"fault\":\"{}\"", json_escape(fault)));
+        }
+        Event::FaultDetected { check, .. } => {
+            fields.push(format!("\"check\":\"{}\"", json_escape(check)));
+        }
+        Event::SupervisorTransition {
+            from, to, cause, ..
+        } => {
+            fields.push(format!("\"from\":\"{}\"", json_escape(from)));
+            fields.push(format!("\"to\":\"{}\"", json_escape(to)));
+            fields.push(format!("\"cause\":\"{}\"", json_escape(cause)));
+        }
         Event::PllUnlocked { .. } => {}
     }
     format!("{{{}}}", fields.join(","))

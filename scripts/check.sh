@@ -20,4 +20,7 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== fault campaign (smoke: every fault class must be detected) =="
+cargo run --release -q -p ascp-bench --bin fault_campaign -- --smoke
+
 echo "All checks passed."
