@@ -21,13 +21,17 @@ fn main() {
     let mut model = SystemModel::new(SystemModelConfig::default());
     bench("system_model/float_step", || model.step());
 
-    let mut cfg = PlatformConfig::default();
-    cfg.cpu_enabled = false;
+    let cfg = PlatformConfig::builder()
+        .cpu_enabled(false)
+        .build()
+        .expect("valid");
     let mut p = Platform::new(cfg);
     bench("platform/dsp_tick_no_cpu", || p.step());
 
-    let mut cfg = PlatformConfig::default();
-    cfg.cpu_enabled = true;
+    let cfg = PlatformConfig::builder()
+        .cpu_enabled(true)
+        .build()
+        .expect("valid");
     let mut p = Platform::new(cfg);
     bench("platform/dsp_tick_with_cpu", || p.step());
 
@@ -35,14 +39,18 @@ fn main() {
     // The acceptance bar for the observability layer is <= 5% on the
     // default sim loop; sampled profiling (1 in 64 ticks) and scrape-at-
     // monitoring-cadence keep the hot path nearly free.
-    let mut cfg = PlatformConfig::default();
-    cfg.cpu_enabled = false;
+    let cfg = PlatformConfig::builder()
+        .cpu_enabled(false)
+        .build()
+        .expect("valid");
     let mut p_on = Platform::new(cfg);
     let on = bench("platform/tick_telemetry_on", || p_on.step());
 
-    let mut cfg = PlatformConfig::default();
-    cfg.cpu_enabled = false;
-    cfg.telemetry = TelemetryConfig::disabled();
+    let cfg = PlatformConfig::builder()
+        .cpu_enabled(false)
+        .telemetry(TelemetryConfig::disabled())
+        .build()
+        .expect("valid");
     let mut p_off = Platform::new(cfg);
     let off = bench("platform/tick_telemetry_off", || p_off.step());
 
@@ -62,14 +70,18 @@ fn main() {
     // injection hook is one branch per tick, and the supervisor runs only
     // at the 1 kHz monitoring cadence. Acceptance bar: <= 2% on the
     // default sim loop versus the supervisor disabled outright.
-    let mut cfg = PlatformConfig::default();
-    cfg.cpu_enabled = false;
+    let cfg = PlatformConfig::builder()
+        .cpu_enabled(false)
+        .build()
+        .expect("valid");
     let mut p_sup = Platform::new(cfg);
     let sup_on = bench("platform/tick_supervisor_on", || p_sup.step());
 
-    let mut cfg = PlatformConfig::default();
-    cfg.cpu_enabled = false;
-    cfg.supervisor.enabled = false;
+    let cfg = PlatformConfig::builder()
+        .cpu_enabled(false)
+        .supervisor_enabled(false)
+        .build()
+        .expect("valid");
     let mut p_nosup = Platform::new(cfg);
     let sup_off = bench("platform/tick_supervisor_off", || p_nosup.step());
 

@@ -6,48 +6,57 @@
 //! rate noise floor and nonlinearity versus converter resolution.
 //!
 //! ```sh
-//! cargo run --release -p ascp-bench --bin ablation_adc_bits
+//! cargo run --release -p ascp-bench --bin ablation_adc_bits [-- --threads N]
 //! ```
+//!
+//! Each resolution is one scenario on the campaign runner, so the sweep
+//! shards across worker threads.
 
+use ascp_bench::harness::threads_from_args;
 use ascp_bench::write_metrics;
-use ascp_core::characterize::{
-    measure_noise_density, measure_static_transfer, CharacterizationConfig,
-};
-use ascp_core::platform::{Platform, PlatformConfig};
+use ascp_core::prelude::*;
 
 fn main() -> std::io::Result<()> {
-    println!("ablation: ADC resolution sweep");
+    let threads = threads_from_args();
+    println!("ablation: ADC resolution sweep ({threads} worker thread(s))");
     println!(
         "  {:>5} {:>14} {:>14} {:>12}",
         "bits", "noise °/s/√Hz", "nonlin % FS", "sens mV/°/s"
     );
-    let mut cfg_meas = CharacterizationConfig::default();
-    cfg_meas.rate_points = vec![-300.0, -150.0, 0.0, 150.0, 300.0];
-    cfg_meas.samples_per_point = 400;
-    cfg_meas.noise_samples = 1 << 14;
 
-    let mut last_snapshot = None;
-    for bits in [8u32, 10, 12, 14, 16] {
-        let mut cfg = PlatformConfig::default();
-        cfg.adc.bits = bits;
-        cfg.cpu_enabled = false;
-        let mut p = Platform::new(cfg);
-        if p.wait_for_ready(2.0).is_none() {
+    let scenarios: Vec<ScenarioSpec> = [8u32, 10, 12, 14, 16]
+        .iter()
+        .map(|&bits| {
+            let config = PlatformConfig::builder()
+                .cpu_enabled(false)
+                .adc_bits(bits)
+                .build()
+                .expect("valid sweep config");
+            ScenarioSpec::new(format!("bits_{bits}"), config)
+                .with_step(Step::WaitReady { timeout_s: 2.0 })
+                .with_step(Step::MeasureStaticTransfer {
+                    rate_points: vec![-300.0, -150.0, 0.0, 150.0, 300.0],
+                    samples_per_point: 400,
+                })
+                .with_step(Step::MeasureNoiseDensity { samples: 1 << 14 })
+        })
+        .collect();
+    let report = CampaignRunner::new().with_threads(threads).run(scenarios);
+
+    for o in &report.outcomes {
+        let bits = o.name.trim_start_matches("bits_");
+        if o.metric("locked") != Some(1.0) {
             println!("  {bits:>5} failed to lock");
             continue;
         }
-        let t = measure_static_transfer(&mut p, &cfg_meas, 25.0);
-        let noise = measure_noise_density(&mut p, &cfg_meas, t.sensitivity);
         println!(
-            "  {bits:>5} {noise:>14.4} {:>14.4} {:>12.4}",
-            t.nonlinearity_pct_fs,
-            t.sensitivity * 1.0e3
+            "  {bits:>5} {:>14.4} {:>14.4} {:>12.4}",
+            o.metric("noise_density_dps_rthz").unwrap_or(f64::NAN),
+            o.metric("nonlinearity_pct_fs").unwrap_or(f64::NAN),
+            o.metric("sensitivity_v_per_dps").unwrap_or(f64::NAN) * 1.0e3
         );
-        last_snapshot = Some(p.telemetry_snapshot());
     }
-    if let Some(snap) = &last_snapshot {
-        write_metrics("ablation_adc_bits", snap)?;
-    }
+    write_metrics("ablation_adc_bits", &report.to_telemetry())?;
     println!("expected shape: flat across 8..16 bits — the ~15 kHz carrier dithers");
     println!("converter quantization through the demodulator, and the mechanical");
     println!("floor dominates. The knob costs nothing on this sensor, which is why");

@@ -7,24 +7,36 @@
 //! regulated platform.
 //!
 //! ```sh
-//! cargo run --release -p ascp-bench --bin ablation_agc
+//! cargo run --release -p ascp-bench --bin ablation_agc [-- --threads N]
 //! ```
+//!
+//! The two arms are campaign scenarios, so they run concurrently when a
+//! second worker thread is available.
 
+use ascp_bench::harness::threads_from_args;
 use ascp_bench::write_metrics;
-use ascp_core::platform::{Platform, PlatformConfig};
+use ascp_core::prelude::*;
 use ascp_sim::stats;
-use ascp_sim::units::{Celsius, DegPerSec};
 
-/// Measures sensitivity (output °/s per applied °/s) at one temperature.
-fn sensitivity(p: &mut Platform, t: f64) -> f64 {
-    p.set_temperature(Celsius(t));
-    p.run(0.6);
-    p.set_rate(DegPerSec(200.0));
-    let plus = stats::mean(&p.sample_rate_output(0.4, 200));
-    p.set_rate(DegPerSec(-200.0));
-    let minus = stats::mean(&p.sample_rate_output(0.4, 200));
-    p.set_rate(DegPerSec(0.0));
-    (plus - minus) / 400.0
+const TEMPS: [f64; 3] = [-40.0, 25.0, 85.0];
+
+/// Sensitivity-over-temperature protocol shared by both arms.
+fn temp_sweep_steps() -> Vec<Step> {
+    TEMPS
+        .iter()
+        .flat_map(|&t| {
+            [
+                Step::SetTemperature { celsius: t },
+                Step::Run { seconds: 0.6 },
+                Step::MeasureSensitivity {
+                    label: format!("sens_{t}"),
+                    rate_dps: 200.0,
+                    settle_s: 0.4,
+                    samples: 200,
+                },
+            ]
+        })
+        .collect()
 }
 
 fn spread(vals: &[f64]) -> f64 {
@@ -34,44 +46,44 @@ fn spread(vals: &[f64]) -> f64 {
 }
 
 fn main() -> std::io::Result<()> {
-    println!("ablation: AGC on vs off (scale factor across -40/25/85 degC)");
-    let temps = [-40.0, 25.0, 85.0];
+    let threads = threads_from_args();
+    println!(
+        "ablation: AGC on vs off (scale factor across -40/25/85 degC, {threads} worker thread(s))"
+    );
     // Exaggerate the Q temperature coefficient so the effect is clearly
     // visible above measurement noise in a short run.
-    let tc_q = -3.0e-3;
+    let config = || {
+        PlatformConfig::builder()
+            .cpu_enabled(false)
+            .noise_density(0.01)
+            .tc_q(-3.0e-3)
+            .build()
+            .expect("valid ablation config")
+    };
+    let scenarios = vec![
+        // Shipped platform: the AGC regulates the drive over temperature.
+        ScenarioSpec::new("agc_on", config())
+            .with_step(Step::WaitReady { timeout_s: 2.0 })
+            .with_steps(temp_sweep_steps()),
+        // AGC effectively disabled: clamp the drive to the settled value.
+        ScenarioSpec::new("agc_off", config())
+            .with_step(Step::WaitReady { timeout_s: 2.0 })
+            .with_step(Step::FreezeAgcDrive { resettle_s: 1.5 })
+            .with_steps(temp_sweep_steps()),
+    ];
+    let report = CampaignRunner::new().with_threads(threads).run(scenarios);
 
-    // --- AGC regulated (shipped platform) ---
-    let mut cfg = PlatformConfig::default();
-    cfg.cpu_enabled = false;
-    cfg.gyro.noise_density = 0.01;
-    cfg.gyro.tc_q = tc_q;
-    let mut p = Platform::new(cfg);
-    p.wait_for_ready(2.0).expect("lock");
-    let on: Vec<f64> = temps.iter().map(|&t| sensitivity(&mut p, t)).collect();
-    write_metrics("ablation_agc", &p.telemetry_snapshot())?;
-
-    // --- AGC effectively disabled: clamp the drive to the 25 degC value ---
-    let mut cfg = PlatformConfig::default();
-    cfg.cpu_enabled = false;
-    cfg.gyro.noise_density = 0.01;
-    cfg.gyro.tc_q = tc_q;
-    let mut p = Platform::new(cfg);
-    p.wait_for_ready(2.0).expect("lock");
-    // Freeze the AGC by pinning its drive ceiling to the settled value.
-    let settled_drive = p.chain().drive();
-    {
-        let chain_cfg = p.chain().config().clone();
-        let mut frozen = chain_cfg;
-        frozen.agc.max_drive = settled_drive;
-        frozen.agc.kp = 0.0;
-        frozen.agc.ki = 1.0e6; // integrator pegs at max_drive = fixed drive
-        *p.chain_mut() = ascp_core::chain::ConditioningChain::new(frozen);
-        p.run(1.5); // re-lock with the frozen drive
-    }
-    let off: Vec<f64> = temps.iter().map(|&t| sensitivity(&mut p, t)).collect();
+    let arm = |name: &str| -> Vec<f64> {
+        TEMPS
+            .iter()
+            .filter_map(|t| report.metric(name, &format!("sens_{t}")))
+            .collect()
+    };
+    let on = arm("agc_on");
+    let off = arm("agc_off");
 
     println!("  {:>8} {:>14} {:>14}", "temp", "AGC on", "AGC off");
-    for (i, &t) in temps.iter().enumerate() {
+    for (i, &t) in TEMPS.iter().enumerate() {
         println!("  {t:>8.1} {:>14.4} {:>14.4}", on[i], off[i]);
     }
     println!(
@@ -79,6 +91,7 @@ fn main() -> std::io::Result<()> {
         spread(&on),
         spread(&off)
     );
+    write_metrics("ablation_agc", &report.to_telemetry())?;
     println!("expected shape: the regulated loop holds the scale factor; the fixed");
     println!("drive inherits Q(T), exactly why the platform includes an AGC IP.");
     Ok(())

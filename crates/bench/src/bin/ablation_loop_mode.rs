@@ -12,58 +12,80 @@
 //! open loop degrades with the electrode, closed loop does not.
 //!
 //! ```sh
-//! cargo run --release -p ascp-bench --bin ablation_loop_mode
+//! cargo run --release -p ascp-bench --bin ablation_loop_mode [-- --threads N]
 //! ```
+//!
+//! The six (mode × electrode) cells are campaign scenarios, sharded
+//! across worker threads.
 
+use ascp_bench::harness::threads_from_args;
 use ascp_bench::write_metrics;
-use ascp_core::calibrate::trim_rebalance_phase;
-use ascp_core::chain::SenseMode;
-use ascp_core::platform::{Platform, PlatformConfig};
-use ascp_sim::stats;
-use ascp_sim::telemetry::TelemetrySnapshot;
-use ascp_sim::units::DegPerSec;
+use ascp_core::prelude::*;
 
-fn nonlinearity(mode: SenseMode, pickoff_nl: f64) -> (f64, TelemetrySnapshot) {
-    let mut cfg = PlatformConfig::default();
-    cfg.mode = mode;
-    cfg.cpu_enabled = false;
-    cfg.gyro.noise_density = 0.005;
-    cfg.gyro.sense_pickoff_nl = pickoff_nl;
-    let mut p = Platform::new(cfg);
-    p.wait_for_ready(2.0).expect("lock");
-    p.run(0.5);
+const PICKOFF_NLS: [f64; 3] = [3.0e3, 3.0e4, 1.0e5];
+
+fn scenario(mode: SenseMode, pickoff_nl: f64) -> ScenarioSpec {
+    let config = PlatformConfig::builder()
+        .loop_mode(mode)
+        .cpu_enabled(false)
+        .noise_density(0.005)
+        .sense_pickoff_nl(pickoff_nl)
+        .build()
+        .expect("valid ablation config");
+    let tag = if mode == SenseMode::ClosedLoop {
+        "closed"
+    } else {
+        "open"
+    };
+    let mut spec = ScenarioSpec::new(format!("{tag}_{pickoff_nl:.0}"), config)
+        .with_step(Step::WaitReady { timeout_s: 2.0 })
+        .with_step(Step::Run { seconds: 0.5 });
     if mode == SenseMode::ClosedLoop {
         // Final-test axis trim (the paper's on-line parameter trimming).
-        trim_rebalance_phase(&mut p, 200.0, 2);
+        spec = spec.with_step(Step::TrimRebalancePhase {
+            probe_rate_dps: 200.0,
+            iterations: 2,
+        });
     }
-    let rates = [-300.0, -200.0, -100.0, 0.0, 100.0, 200.0, 300.0];
-    let mut outs = Vec::new();
-    for &r in &rates {
-        p.set_rate(DegPerSec(r));
-        p.run(0.5);
-        outs.push(stats::mean(&p.sample_rate_output(0.2, 1000)));
-    }
-    let fit = stats::linear_fit(&rates, &outs);
-    let pct = fit.max_residual / (fit.slope.abs() * 300.0) * 100.0;
-    (pct, p.telemetry_snapshot())
+    spec.with_step(Step::MeasureLinearity {
+        label: "nonlin_pct".into(),
+        rates: vec![-300.0, -200.0, -100.0, 0.0, 100.0, 200.0, 300.0],
+        dwell_s: 0.5,
+        settle_s: 0.2,
+        samples: 1000,
+    })
 }
 
 fn main() -> std::io::Result<()> {
-    println!("ablation: open loop vs force rebalance across electrode quality");
+    let threads = threads_from_args();
+    println!(
+        "ablation: open loop vs force rebalance across electrode quality ({threads} worker thread(s))"
+    );
     println!(
         "  {:>22} {:>14} {:>14}",
         "pickoff cubic coeff", "open loop", "closed loop"
     );
-    let mut last_snapshot = None;
-    for nl in [3.0e3, 3.0e4, 1.0e5] {
-        let (open, _) = nonlinearity(SenseMode::OpenLoop, nl);
-        let (closed, snap) = nonlinearity(SenseMode::ClosedLoop, nl);
+    let scenarios: Vec<ScenarioSpec> = PICKOFF_NLS
+        .iter()
+        .flat_map(|&nl| {
+            [
+                scenario(SenseMode::OpenLoop, nl),
+                scenario(SenseMode::ClosedLoop, nl),
+            ]
+        })
+        .collect();
+    let report = CampaignRunner::new().with_threads(threads).run(scenarios);
+
+    for nl in PICKOFF_NLS {
+        let open = report
+            .metric(&format!("open_{nl:.0}"), "nonlin_pct")
+            .unwrap_or(f64::NAN);
+        let closed = report
+            .metric(&format!("closed_{nl:.0}"), "nonlin_pct")
+            .unwrap_or(f64::NAN);
         println!("  {nl:>22.0} {open:>13.3}% {closed:>13.3}%");
-        last_snapshot = Some(snap);
     }
-    if let Some(snap) = &last_snapshot {
-        write_metrics("ablation_loop_mode", snap)?;
-    }
+    write_metrics("ablation_loop_mode", &report.to_telemetry())?;
     println!("expected shape: open-loop nonlinearity grows with the electrode cubic;");
     println!("force rebalance keeps the deflection at zero and stays flat — the");
     println!("paper's 'more linear and accurate measures' (§4.1).");

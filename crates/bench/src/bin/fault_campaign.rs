@@ -6,20 +6,21 @@
 //! ```sh
 //! cargo run --release -p ascp-bench --bin fault_campaign            # full
 //! cargo run --release -p ascp-bench --bin fault_campaign -- --smoke # CI
+//! cargo run --release -p ascp-bench --bin fault_campaign -- --threads 4
 //! ```
 //!
-//! Results land in `target/experiments/fault_campaign.csv` and
+//! Each fault class is one [`ScenarioSpec`] on the campaign runner, so the
+//! sweep shards across worker threads (`--threads N`, default = available
+//! parallelism) with results identical to the serial run. Results land in
+//! `target/experiments/fault_campaign.csv` and
 //! `target/experiments/fault_campaign.metrics.json`. The process exits
 //! non-zero if any fault class goes undetected — `--smoke` runs the same
 //! sweep but skips the (slow) recovery measurements.
 
+use ascp_bench::harness::threads_from_args;
 use ascp_bench::{experiments_dir, write_metrics};
-use ascp_core::platform::{Platform, PlatformConfig};
-use ascp_core::supervisor::SupervisorState;
-use ascp_mcu8051::periph::Bus16Device;
-use ascp_sim::fault::{AdcChannel, FaultKind};
-use ascp_sim::telemetry::{Telemetry, TelemetryConfig};
-use std::io::Write as _;
+use ascp_core::prelude::*;
+use ascp_sim::fault::AdcChannel;
 
 /// One campaign entry: the fault to inject and its timing envelope.
 struct Case {
@@ -32,17 +33,6 @@ struct Case {
     recover_budget_s: f64,
     /// Whether the 8051 monitor must run (UART framing, watchdog).
     needs_cpu: bool,
-}
-
-/// Measured outcome for one campaign case.
-struct Outcome {
-    label: &'static str,
-    detected: bool,
-    detection_latency_s: f64,
-    recovered: bool,
-    recovery_time_s: f64,
-    residual_rate_dps: f64,
-    final_state: &'static str,
 }
 
 const T_INJECT: f64 = 0.7;
@@ -110,99 +100,42 @@ fn catalog() -> Vec<Case> {
     ]
 }
 
-/// Steps `p` until `pred` holds or `timeout_s` elapses.
-fn run_until(
-    p: &mut Platform,
-    timeout_s: f64,
-    mut pred: impl FnMut(&Platform) -> bool,
-) -> Option<f64> {
-    let ticks = (timeout_s * p.config().dsp_rate.0) as u64;
-    for _ in 0..ticks {
-        p.step();
-        if pred(p) {
-            return Some(p.time());
-        }
-    }
-    None
-}
-
-/// Mean |rate output| over `window_s`.
-fn mean_rate(p: &mut Platform, window_s: f64) -> f64 {
-    let ticks = ((window_s * p.config().dsp_rate.0) as u64).max(1);
-    let mut acc = 0.0;
-    for _ in 0..ticks {
-        p.step();
-        acc += p.rate_output_dps();
-    }
-    acc / ticks as f64
-}
-
-fn run_case(case: &Case, smoke: bool) -> Outcome {
-    let label = case.kind.label();
-    let mut config = PlatformConfig::default();
-    config.gyro.noise_density = 0.005;
-    config.cpu_enabled = case.needs_cpu;
-    config.supervisor.spi_probe_period_ticks = 1;
-    config.supervisor.jtag_probe_period_ticks = 10;
-    config.faults.one_shot(case.kind, T_INJECT, case.duration_s);
-    let mut p = Platform::new(config);
+/// Declares one fault class as a campaign scenario.
+fn scenario(case: &Case, smoke: bool) -> ScenarioSpec {
+    let config = PlatformConfig::builder()
+        .quiet()
+        .cpu_enabled(case.needs_cpu)
+        .spi_probe_period(1)
+        .jtag_probe_period(10)
+        .fault_one_shot(case.kind, T_INJECT, case.duration_s)
+        .build()
+        .expect("valid fault-campaign config");
+    let mut spec = ScenarioSpec::new(case.kind.label(), config);
     if case.needs_cpu {
         // Arm the watchdog through its register interface: 20 000 machine
         // cycles ≈ 12 ms at the divided CPU clock.
-        p.bus_mut().watchdog.write16(1, 20_000);
-        p.bus_mut().watchdog.write16(0, 1);
+        spec = spec.with_step(Step::ArmWatchdog {
+            timeout_cycles: 20_000,
+        });
     }
-
-    p.wait_for_ready(2.0).expect("platform bring-up");
-    run_until(&mut p, 0.1, |p| {
-        p.supervisor().state() == SupervisorState::Normal
-    })
-    .expect("supervisor Normal before injection");
-
-    let baseline = mean_rate(&mut p, 0.05);
-    assert!(p.time() < T_INJECT, "baseline window overran the injection");
-
-    // Detection: first departure from Normal after the injection point.
-    let detect_window = (T_INJECT - p.time()) + case.detect_budget_s;
-    let detected_at = run_until(&mut p, detect_window, |p| {
-        p.supervisor().state() != SupervisorState::Normal
-    });
-    let (detected, detection_latency_s) = match detected_at {
-        Some(t) => (true, t - T_INJECT),
-        None => (false, f64::NAN),
-    };
-
-    let t_clear = T_INJECT + case.duration_s;
-    let (mut recovered, mut recovery_time_s) = (false, f64::NAN);
-    let mut residual_rate_dps = f64::NAN;
-    if detected && !smoke {
-        // Recovery: first return to Normal after the fault clears.
-        let remaining = (t_clear - p.time()).max(0.0) + case.recover_budget_s;
-        if let Some(t) = run_until(&mut p, remaining, |p| {
-            p.supervisor().state() == SupervisorState::Normal
-        }) {
-            recovered = true;
-            recovery_time_s = (t - t_clear).max(0.0);
-            residual_rate_dps = (mean_rate(&mut p, 0.1) - baseline).abs();
-        }
-    }
-
-    Outcome {
-        label,
-        detected,
-        detection_latency_s,
-        recovered,
-        recovery_time_s,
-        residual_rate_dps,
-        final_state: p.supervisor().state().label(),
-    }
+    spec.with_step(Step::WaitReady { timeout_s: 2.0 })
+        .with_step(Step::WaitSupervisorNormal { timeout_s: 0.1 })
+        .with_step(Step::FaultResponse {
+            t_inject_s: T_INJECT,
+            t_clear_s: T_INJECT + case.duration_s,
+            detect_budget_s: case.detect_budget_s,
+            recover_budget_s: case.recover_budget_s,
+            measure_recovery: !smoke,
+        })
 }
 
 fn main() -> std::io::Result<()> {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let threads = threads_from_args();
+    let scenarios: Vec<ScenarioSpec> = catalog().iter().map(|c| scenario(c, smoke)).collect();
     println!(
-        "fault_campaign: sweeping {} fault classes{}",
-        catalog().len(),
+        "fault_campaign: sweeping {} fault classes on {threads} worker thread(s){}",
+        scenarios.len(),
         if smoke {
             " (smoke: detection only)"
         } else {
@@ -210,89 +143,66 @@ fn main() -> std::io::Result<()> {
         }
     );
 
-    let mut outcomes = Vec::new();
-    for case in catalog() {
-        let label = case.kind.label();
-        print!("  {label:<20}");
-        std::io::stdout().flush()?;
-        let o = run_case(&case, smoke);
-        if o.detected {
-            print!("detected in {:>6.1} ms", o.detection_latency_s * 1e3);
+    let report = CampaignRunner::new().with_threads(threads).run(scenarios);
+
+    for o in &report.outcomes {
+        print!("  {:<20}", o.name);
+        if o.metric("detected") == Some(1.0) {
+            print!(
+                "detected in {:>6.1} ms",
+                o.metric("detection_latency_s").unwrap_or(0.0) * 1.0e3
+            );
         } else {
             print!("NOT DETECTED          ");
         }
-        if o.recovered {
+        if o.metric("recovered") == Some(1.0) {
             print!(
                 ", recovered in {:.2} s, residual {:.2} °/s",
-                o.recovery_time_s, o.residual_rate_dps
+                o.metric("recovery_time_s").unwrap_or(0.0),
+                o.metric("residual_rate_dps").unwrap_or(0.0)
             );
-        } else if !smoke && o.detected {
-            print!(", no recovery (final state: {})", o.final_state);
+        } else if !smoke && o.metric("detected") == Some(1.0) {
+            print!(
+                ", no recovery (final state code: {})",
+                o.metric("final_state_code").unwrap_or(-1.0)
+            );
         }
         println!();
-        outcomes.push(o);
     }
 
-    // CSV record, one row per fault class.
+    // Long-format CSV and merged metrics, one artifact per campaign —
+    // both bit-identical for any --threads value.
     let csv_path = experiments_dir()?.join("fault_campaign.csv");
-    let mut csv = String::from(
-        "fault,detected,detection_latency_s,recovered,recovery_time_s,residual_rate_dps,final_state\n",
-    );
-    for o in &outcomes {
-        csv.push_str(&format!(
-            "{},{},{:.4},{},{:.3},{:.3},{}\n",
-            o.label,
-            o.detected,
-            o.detection_latency_s,
-            o.recovered,
-            o.recovery_time_s,
-            o.residual_rate_dps,
-            o.final_state
-        ));
-    }
-    std::fs::write(&csv_path, csv)?;
+    std::fs::write(&csv_path, report.to_csv())?;
     println!("  csv -> {}", csv_path.display());
+    write_metrics("fault_campaign", &report.to_telemetry())?;
+    println!(
+        "  wall clock: {:.2} s on {} thread(s)",
+        report.wall_s, report.threads
+    );
 
-    // Metrics snapshot mirroring the CSV for machine consumption.
-    let mut tel = Telemetry::new(TelemetryConfig::default());
-    let mut detected_total = 0u64;
-    let mut recovered_total = 0u64;
-    for o in &outcomes {
-        let name = |suffix: &str| -> &'static str {
-            Box::leak(format!("fault.{}.{suffix}", o.label).into_boxed_str())
-        };
-        tel.counter_set(name("detected"), u64::from(o.detected));
-        if o.detected {
-            tel.gauge_set(name("detection_latency_s"), o.detection_latency_s);
-            detected_total += 1;
-        }
-        if o.recovered {
-            tel.gauge_set(name("recovery_time_s"), o.recovery_time_s);
-            tel.gauge_set(name("residual_rate_dps"), o.residual_rate_dps);
-            recovered_total += 1;
-        }
-    }
-    tel.counter_set("campaign.classes", outcomes.len() as u64);
-    tel.counter_set("campaign.detected", detected_total);
-    tel.counter_set("campaign.recovered", recovered_total);
-    write_metrics("fault_campaign", &tel.snapshot(0.0))?;
-
-    let undetected: Vec<_> = outcomes
+    let undetected: Vec<&str> = report
+        .outcomes
         .iter()
-        .filter(|o| !o.detected)
-        .map(|o| o.label)
+        .filter(|o| o.metric("detected") != Some(1.0))
+        .map(|o| o.name.as_str())
         .collect();
     if !undetected.is_empty() {
         eprintln!("fault_campaign: UNDETECTED fault classes: {undetected:?}");
         std::process::exit(1);
     }
+    let recovered = report
+        .outcomes
+        .iter()
+        .filter(|o| o.metric("recovered") == Some(1.0))
+        .count();
     println!(
         "fault_campaign: all {} classes detected{}",
-        outcomes.len(),
+        report.outcomes.len(),
         if smoke {
             String::new()
         } else {
-            format!(", {recovered_total} recovered")
+            format!(", {recovered} recovered")
         }
     );
     Ok(())

@@ -19,10 +19,12 @@ use ascp_sim::telemetry::Telemetry;
 fn main() -> std::io::Result<()> {
     println!("fig1: cross-level verification (system model vs full platform)");
     let mut sys_cfg = SystemModelConfig::default();
-    let mut plat_cfg = PlatformConfig::default();
     // Same moderate noise on both levels.
     sys_cfg.gyro.noise_density = 0.02;
-    plat_cfg.gyro.noise_density = 0.02;
+    let plat_cfg = PlatformConfig::builder()
+        .noise_density(0.02)
+        .build()
+        .expect("valid");
 
     let scenario = VerifyScenario::default();
     let report = cross_verify(sys_cfg, plat_cfg, &scenario);

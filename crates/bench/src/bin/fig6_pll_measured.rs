@@ -14,7 +14,7 @@ use ascp_bench::{experiments_dir, write_metrics};
 use ascp_core::platform::{Platform, PlatformConfig};
 
 fn main() -> std::io::Result<()> {
-    let cfg = PlatformConfig::default();
+    let cfg = PlatformConfig::builder().build().expect("valid config");
     let mut platform = Platform::new(cfg);
 
     println!("fig6: full mixed-signal platform, measured lock transient");

@@ -8,29 +8,42 @@
 //! authors for.
 //!
 //! ```sh
-//! cargo run --release -p ascp-bench --bin stability_allan
+//! cargo run --release -p ascp-bench --bin stability_allan [-- --threads N]
 //! ```
+//!
+//! The capture is a one-entry scenario campaign; the Allan analysis reads
+//! the zero-rate series back out of the [`CampaignReport`].
 
+use ascp_bench::harness::threads_from_args;
 use ascp_bench::{experiments_dir, write_metrics};
-use ascp_core::characterize::RateSensor;
-use ascp_core::platform::{Platform, PlatformConfig};
+use ascp_core::prelude::*;
 use ascp_sim::allan::{allan_deviation, angle_random_walk, bias_instability};
 use std::io::Write;
 
 fn main() -> std::io::Result<()> {
-    let mut cfg = PlatformConfig::default();
-    cfg.cpu_enabled = false;
-    let mut p = Platform::new(cfg);
+    let threads = threads_from_args();
+    let config = PlatformConfig::builder()
+        .cpu_enabled(false)
+        .build()
+        .expect("valid stability config");
+    let spec = ScenarioSpec::new("stability", config)
+        .with_step(Step::WaitReady { timeout_s: 2.0 })
+        .with_step(Step::CaptureZeroRate {
+            label: "zero_rate".into(),
+            seconds: 40.0,
+            settle_s: 0.5,
+        });
     println!("stability: locking, then recording 40 s of zero-rate output ...");
-    p.wait_for_ready(2.0).expect("lock");
+    let report = CampaignRunner::new().with_threads(threads).run(vec![spec]);
 
-    let fs = p.output_sample_rate();
-    let n = (40.0 * fs) as usize;
-    let volts = p.sample_output(0.5, n);
-    // Convert to rate using the nominal transfer (5 mV/°/s, 2.5 V null).
-    let rate: Vec<f64> = volts.iter().map(|v| (v - 2.5) / 0.005).collect();
+    let rate = report
+        .series("stability", "zero_rate")
+        .expect("zero-rate capture");
+    let fs = report
+        .metric("stability", "zero_rate_fs_hz")
+        .expect("output sample rate");
 
-    let curve = allan_deviation(&rate, fs, 5);
+    let curve = allan_deviation(rate, fs, 5);
     let path = experiments_dir()?.join("stability_allan.csv");
     let mut f = std::fs::File::create(&path)?;
     writeln!(f, "tau_s,sigma_dps")?;
@@ -50,7 +63,7 @@ fn main() -> std::io::Result<()> {
         bi.map_or("n/a".into(), |v| format!("{v:.4}"))
     );
     println!("  curve -> {}", path.display());
-    write_metrics("stability_allan", &p.telemetry_snapshot())?;
+    write_metrics("stability_allan", &report.to_telemetry())?;
     println!("shape check: −1/2 slope at short τ (white rate noise consistent with");
     println!("Table 1's density row), flattening toward the bias floor at long τ.");
     Ok(())

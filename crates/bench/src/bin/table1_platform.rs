@@ -16,7 +16,8 @@ use ascp_core::platform::{Platform, PlatformConfig};
 
 fn main() -> std::io::Result<()> {
     println!("table1: characterizing the ASCP platform (this work)");
-    let mut platform = Platform::new(PlatformConfig::default());
+    let cfg = PlatformConfig::builder().build().expect("valid config");
+    let mut platform = Platform::new(cfg);
 
     println!("  power-on + final-test calibration sweep ...");
     platform.wait_for_ready(2.0).expect("platform lock");

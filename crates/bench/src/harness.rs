@@ -10,6 +10,27 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// Parses a `--threads N` (or `--threads=N`) flag from the process
+/// arguments; defaults to the machine's available parallelism. Every
+/// campaign-based bin routes its worker count through this, so
+/// `cargo run --bin fault_campaign -- --threads 4` works uniformly.
+#[must_use]
+pub fn threads_from_args() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            if let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) {
+                return n.max(1);
+            }
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+    }
+    ascp_sim::campaign::available_parallelism()
+}
+
 /// Result of one [`bench`] run.
 #[derive(Debug, Clone)]
 pub struct BenchStats {

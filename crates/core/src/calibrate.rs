@@ -199,11 +199,13 @@ mod tests {
 
     #[test]
     fn calibration_reduces_null_drift() {
-        let mut cfg = PlatformConfig::default();
-        cfg.gyro.noise_density = 0.002;
-        cfg.cpu_enabled = false;
         // Exaggerated quadrature drift so the effect dominates noise.
-        cfg.gyro.quadrature_tc = 0.4;
+        let cfg = PlatformConfig::builder()
+            .quiet()
+            .noise_density(0.002)
+            .quadrature_tc(0.4)
+            .build()
+            .expect("valid");
         let mut p = Platform::new(cfg);
         p.wait_for_ready(2.0).expect("ready");
 
@@ -239,9 +241,11 @@ mod tests {
 
     #[test]
     fn calibration_points_cover_requested_temps() {
-        let mut cfg = PlatformConfig::default();
-        cfg.gyro.noise_density = 0.002;
-        cfg.cpu_enabled = false;
+        let cfg = PlatformConfig::builder()
+            .quiet()
+            .noise_density(0.002)
+            .build()
+            .expect("valid");
         let mut p = Platform::new(cfg);
         p.wait_for_ready(2.0).expect("ready");
         let cal = calibrate(&mut p, &CalibrationConfig::fast());

@@ -1,0 +1,751 @@
+//! Scenario campaigns: declarative platform experiments executed on the
+//! parallel [`ascp_sim::campaign`] worker pool.
+//!
+//! The paper's design flow (§2, Fig. 1) explores one programmable platform
+//! across many configurations. This module turns that exploration into
+//! data: a [`ScenarioSpec`] names a configuration (built with
+//! [`PlatformConfig::builder`]), an optional [`FaultPlan`], a duration, a
+//! seed and a list of [`Step`]s (the measurement protocol); a
+//! [`CampaignRunner`] shards a `Vec<ScenarioSpec>` across worker threads —
+//! one independent [`Platform`] per scenario — and merges the per-scenario
+//! metrics into a single [`CampaignReport`] (CSV + telemetry JSON).
+//!
+//! Determinism contract: every scenario derives its noise seed from its
+//! own spec (`seed` override, else the config seed mixed with the
+//! scenario's input index), so a campaign's report is **bit-identical for
+//! any worker-thread count**. Metrics that were not measured (e.g. no
+//! recovery on an undetected fault) are omitted rather than recorded as
+//! NaN, keeping the CSV and JSON artifacts byte-stable.
+//!
+//! # Example
+//!
+//! ```
+//! use ascp_core::campaign::{CampaignRunner, ScenarioSpec, Step};
+//! use ascp_core::platform::PlatformConfig;
+//!
+//! let cfg = PlatformConfig::builder().quiet().build().expect("valid");
+//! let scenarios: Vec<ScenarioSpec> = [50.0, 150.0]
+//!     .iter()
+//!     .map(|&dps| {
+//!         ScenarioSpec::new(format!("rate_{dps}"), cfg.clone())
+//!             .with_step(Step::Run { seconds: 0.02 })
+//!             .with_step(Step::SetRate { dps })
+//!             .with_step(Step::MeasureMeanRate {
+//!                 label: "mean_dps".into(),
+//!                 window_s: 0.01,
+//!             })
+//!     })
+//!     .collect();
+//! let report = CampaignRunner::new().with_threads(2).run(scenarios);
+//! assert_eq!(report.outcomes.len(), 2);
+//! assert!(report.metric("rate_150", "mean_dps").is_some());
+//! ```
+
+use crate::calibrate::trim_rebalance_phase;
+use crate::chain::ConditioningChain;
+use crate::characterize::{
+    measure_noise_density, measure_static_transfer, CharacterizationConfig, RateSensor,
+};
+use crate::platform::{Platform, PlatformConfig};
+use crate::supervisor::SupervisorState;
+use ascp_mcu8051::periph::Bus16Device;
+use ascp_sim::campaign::{available_parallelism, parallel_map};
+use ascp_sim::fault::FaultPlan;
+use ascp_sim::stats;
+use ascp_sim::telemetry::{Telemetry, TelemetryConfig, TelemetrySnapshot};
+use ascp_sim::units::{Celsius, DegPerSec};
+
+/// One step of a scenario's measurement protocol.
+///
+/// Steps run in order against the scenario's private [`Platform`]; each
+/// `Measure*` step appends named metrics (and, for captures, sample
+/// series) to the scenario's [`ScenarioOutcome`]. The step vocabulary
+/// covers the protocols of the repo's bench bins — fault campaign,
+/// ablations and stability runs are all scenario lists now.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// Arms the watchdog through its register interface (needed before
+    /// CPU-hang fault scenarios).
+    ArmWatchdog {
+        /// Watchdog timeout in machine cycles.
+        timeout_cycles: u16,
+    },
+    /// Runs until PLL lock + AGC settling; records `locked` (0/1) and, on
+    /// success, `turn_on_s`. On timeout the remaining steps are skipped.
+    WaitReady {
+        /// Bring-up deadline, seconds.
+        timeout_s: f64,
+    },
+    /// Runs until the safety supervisor reports `Normal`; records
+    /// `supervisor_normal_s`. On timeout the remaining steps are skipped.
+    WaitSupervisorNormal {
+        /// Deadline, seconds.
+        timeout_s: f64,
+    },
+    /// Advances simulated time.
+    Run {
+        /// Simulated seconds (rounded to the nearest DSP tick).
+        seconds: f64,
+    },
+    /// Applies a constant rate stimulus (the rate table).
+    SetRate {
+        /// Rate, °/s.
+        dps: f64,
+    },
+    /// Sets chamber temperature.
+    SetTemperature {
+        /// Temperature, °C.
+        celsius: f64,
+    },
+    /// Freezes the AGC at the currently settled drive (the "AGC off"
+    /// ablation arm), then re-locks for `resettle_s`.
+    FreezeAgcDrive {
+        /// Re-lock time after the swap, seconds.
+        resettle_s: f64,
+    },
+    /// Runs the closed-loop rebalance phase trim (final-test axis trim).
+    TrimRebalancePhase {
+        /// Probe rate, °/s.
+        probe_rate_dps: f64,
+        /// Trim iterations.
+        iterations: u32,
+    },
+    /// Records the mean rate output over a window as metric `label`.
+    MeasureMeanRate {
+        /// Metric name.
+        label: String,
+        /// Averaging window, seconds.
+        window_s: f64,
+    },
+    /// Two-point sensitivity at ±`rate_dps`, recorded as metric `label`
+    /// (output °/s per applied °/s); leaves the rate at zero.
+    MeasureSensitivity {
+        /// Metric name.
+        label: String,
+        /// Probe rate magnitude, °/s.
+        rate_dps: f64,
+        /// Settling time before sampling each polarity, seconds.
+        settle_s: f64,
+        /// Samples per polarity.
+        samples: usize,
+    },
+    /// Linear-fit nonlinearity over a rate sweep, recorded as metric
+    /// `label` (% of the sweep's full scale).
+    MeasureLinearity {
+        /// Metric name.
+        label: String,
+        /// Sweep points, °/s.
+        rates: Vec<f64>,
+        /// Dwell after each rate change, seconds.
+        dwell_s: f64,
+        /// Settling time before sampling, seconds.
+        settle_s: f64,
+        /// Samples per point.
+        samples: usize,
+    },
+    /// Datasheet static transfer: records `sensitivity_v_per_dps`,
+    /// `null_v` and `nonlinearity_pct_fs`, and remembers the sensitivity
+    /// for a following [`Step::MeasureNoiseDensity`].
+    MeasureStaticTransfer {
+        /// Rate sweep points, °/s.
+        rate_points: Vec<f64>,
+        /// Samples per sweep point.
+        samples_per_point: usize,
+    },
+    /// Zero-rate noise density via Welch PSD, recorded as
+    /// `noise_density_dps_rthz` (uses the sensitivity from the last
+    /// [`Step::MeasureStaticTransfer`], else the nominal 5 mV/°/s).
+    MeasureNoiseDensity {
+        /// Capture length, samples.
+        samples: usize,
+    },
+    /// Long zero-rate capture converted to °/s, stored as sample series
+    /// `label` (the Allan-deviation input).
+    CaptureZeroRate {
+        /// Series name.
+        label: String,
+        /// Capture length, seconds.
+        seconds: f64,
+        /// Settling time before the capture, seconds.
+        settle_s: f64,
+    },
+    /// The fault-campaign protocol: baseline rate, detection latency from
+    /// `t_inject_s`, then (optionally) recovery time and residual error
+    /// after `t_clear_s`. Records `baseline_dps`, `detected`,
+    /// `detection_latency_s`, `recovered`, `recovery_time_s`,
+    /// `residual_rate_dps` and `final_state_code` — unmeasured metrics are
+    /// omitted, never NaN.
+    FaultResponse {
+        /// Scheduled fault-injection time (must match the scenario's
+        /// [`FaultPlan`]), seconds.
+        t_inject_s: f64,
+        /// Scheduled fault-clear time, seconds.
+        t_clear_s: f64,
+        /// Deadline for the supervisor to leave `Normal`, from injection.
+        detect_budget_s: f64,
+        /// Deadline to return to `Normal` after the fault clears.
+        recover_budget_s: f64,
+        /// Whether to wait for recovery (the non-smoke campaign).
+        measure_recovery: bool,
+    },
+}
+
+/// One scenario: a platform configuration plus the protocol to run on it.
+///
+/// Build the config with [`PlatformConfig::builder`]; schedule faults
+/// either in the config or through [`ScenarioSpec::with_faults`] (the two
+/// plans are merged). `duration_s` is a floor on simulated time: after the
+/// steps finish, the platform runs on until at least that much simulated
+/// time has elapsed.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scenario name (CSV rows, metric prefixes).
+    pub name: String,
+    /// Platform configuration (from the builder).
+    pub config: PlatformConfig,
+    /// Extra fault plan merged into the config's plan.
+    pub faults: FaultPlan,
+    /// Minimum simulated duration, seconds.
+    pub duration_s: f64,
+    /// Noise-seed override; default derives from the config seed and the
+    /// scenario's input index (deterministic for any thread count).
+    pub seed: Option<u64>,
+    /// Measurement protocol, run in order.
+    pub steps: Vec<Step>,
+}
+
+impl ScenarioSpec {
+    /// Creates a scenario with no steps, no extra faults and no duration
+    /// floor.
+    #[must_use]
+    pub fn new(name: impl Into<String>, config: PlatformConfig) -> Self {
+        Self {
+            name: name.into(),
+            config,
+            faults: FaultPlan::new(),
+            duration_s: 0.0,
+            seed: None,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Merges `faults` into the scenario's fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        for spec in faults.specs() {
+            self.faults.push(*spec);
+        }
+        self
+    }
+
+    /// Sets the minimum simulated duration.
+    #[must_use]
+    pub fn with_duration(mut self, seconds: f64) -> Self {
+        self.duration_s = seconds;
+        self
+    }
+
+    /// Overrides the derived noise seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Appends one protocol step.
+    #[must_use]
+    pub fn with_step(mut self, step: Step) -> Self {
+        self.steps.push(step);
+        self
+    }
+
+    /// Appends several protocol steps.
+    #[must_use]
+    pub fn with_steps(mut self, steps: impl IntoIterator<Item = Step>) -> Self {
+        self.steps.extend(steps);
+        self
+    }
+}
+
+/// Measured result of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Scenario name (copied from the spec).
+    pub name: String,
+    /// Input index in the campaign's scenario list.
+    pub index: usize,
+    /// Effective noise seed the platform ran with.
+    pub seed: u64,
+    /// Named metrics in measurement order.
+    pub metrics: Vec<(String, f64)>,
+    /// Named sample series (e.g. zero-rate captures).
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl ScenarioOutcome {
+    /// Looks up a metric by name.
+    #[must_use]
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a sample series by name.
+    #[must_use]
+    pub fn series(&self, name: &str) -> Option<&[f64]> {
+        self.series
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+}
+
+/// Merged result of a whole campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Per-scenario outcomes, in input order.
+    pub outcomes: Vec<ScenarioOutcome>,
+    /// Worker threads the campaign ran on (not part of the deterministic
+    /// artifacts).
+    pub threads: usize,
+    /// Wall-clock duration, seconds (not part of the deterministic
+    /// artifacts).
+    pub wall_s: f64,
+}
+
+impl CampaignReport {
+    /// Looks up one metric of one scenario.
+    #[must_use]
+    pub fn metric(&self, scenario: &str, metric: &str) -> Option<f64> {
+        self.outcomes
+            .iter()
+            .find(|o| o.name == scenario)
+            .and_then(|o| o.metric(metric))
+    }
+
+    /// Looks up one sample series of one scenario.
+    #[must_use]
+    pub fn series(&self, scenario: &str, series: &str) -> Option<&[f64]> {
+        self.outcomes
+            .iter()
+            .find(|o| o.name == scenario)
+            .and_then(|o| o.series(series))
+    }
+
+    /// Long-format CSV (`scenario,metric,value`), bit-identical for any
+    /// worker-thread count.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut csv = String::from("scenario,metric,value\n");
+        for o in &self.outcomes {
+            for (name, value) in &o.metrics {
+                csv.push_str(&format!("{},{name},{value}\n", o.name));
+            }
+        }
+        csv
+    }
+
+    /// Merges every scenario's metrics into one telemetry snapshot
+    /// (gauge `"<scenario>.<metric>"`), with the wall clock zeroed so the
+    /// JSON export is bit-identical for any worker-thread count.
+    #[must_use]
+    pub fn to_telemetry(&self) -> TelemetrySnapshot {
+        let mut tel = Telemetry::new(TelemetryConfig::default());
+        tel.counter_set("campaign.scenarios", self.outcomes.len() as u64);
+        for o in &self.outcomes {
+            for (name, value) in &o.metrics {
+                let key: &'static str = Box::leak(format!("{}.{name}", o.name).into_boxed_str());
+                tel.gauge_set(key, *value);
+            }
+        }
+        let mut snap = tel.snapshot(0.0);
+        // The collector stamps real wall time; zero it so the JSON export
+        // is byte-stable across runs and thread counts.
+        snap.wall_time_s = 0.0;
+        snap
+    }
+}
+
+/// Executes scenario lists on a fixed worker-thread pool.
+///
+/// Each scenario gets its own independent [`Platform`]; results come back
+/// in input order and are numerically identical for any thread count (see
+/// the module docs).
+#[derive(Debug, Clone)]
+pub struct CampaignRunner {
+    threads: usize,
+}
+
+impl Default for CampaignRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CampaignRunner {
+    /// Runner with one worker per available hardware thread.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            threads: available_parallelism(),
+        }
+    }
+
+    /// Overrides the worker-thread count (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Configured worker-thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every scenario and merges the outcomes.
+    #[must_use]
+    pub fn run(&self, scenarios: Vec<ScenarioSpec>) -> CampaignReport {
+        let start = std::time::Instant::now();
+        let outcomes = parallel_map(scenarios, self.threads, run_scenario);
+        CampaignReport {
+            outcomes,
+            threads: self.threads,
+            wall_s: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// Mixes the config seed with the scenario index (splitmix64 finalizer) so
+/// sibling scenarios decorrelate while staying thread-count independent.
+#[must_use]
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-scenario interpreter state carried between steps.
+#[derive(Default)]
+struct Scratch {
+    /// Sensitivity from the last static-transfer measurement (V per °/s).
+    sensitivity: Option<f64>,
+}
+
+fn run_scenario(index: usize, spec: ScenarioSpec) -> ScenarioOutcome {
+    let mut config = spec.config;
+    for fault in spec.faults.specs() {
+        config.faults.push(*fault);
+    }
+    let seed = spec
+        .seed
+        .unwrap_or_else(|| derive_seed(config.seed, index as u64));
+    config.seed = seed;
+
+    let mut out = ScenarioOutcome {
+        name: spec.name,
+        index,
+        seed,
+        metrics: Vec::new(),
+        series: Vec::new(),
+    };
+    if let Err(e) = config.validate() {
+        // An invalid spec is a scenario result, not a campaign abort.
+        out.metrics.push(("config_valid".into(), 0.0));
+        out.series.push((format!("error: {e}"), Vec::new()));
+        return out;
+    }
+
+    let mut p = Platform::new(config);
+    let mut scratch = Scratch::default();
+    for step in &spec.steps {
+        if !apply_step(&mut p, step, &mut out, &mut scratch) {
+            break;
+        }
+    }
+    if p.time() < spec.duration_s {
+        p.run(spec.duration_s - p.time());
+    }
+    out
+}
+
+/// Steps `p` until `pred` holds or `timeout_s` elapses; returns the
+/// simulation time at which the predicate first held.
+fn run_until(
+    p: &mut Platform,
+    timeout_s: f64,
+    mut pred: impl FnMut(&Platform) -> bool,
+) -> Option<f64> {
+    let ticks = (timeout_s * p.config().dsp_rate.0).round() as u64;
+    for _ in 0..ticks {
+        p.step();
+        if pred(p) {
+            return Some(p.time());
+        }
+    }
+    None
+}
+
+/// Mean rate output (°/s) over `window_s`.
+fn mean_rate(p: &mut Platform, window_s: f64) -> f64 {
+    let ticks = ((window_s * p.config().dsp_rate.0).round() as u64).max(1);
+    let mut acc = 0.0;
+    for _ in 0..ticks {
+        p.step();
+        acc += p.rate_output_dps();
+    }
+    acc / ticks as f64
+}
+
+/// Runs one step; returns `false` when the remaining steps must be
+/// skipped (bring-up failure).
+#[allow(clippy::too_many_lines)]
+fn apply_step(
+    p: &mut Platform,
+    step: &Step,
+    out: &mut ScenarioOutcome,
+    scratch: &mut Scratch,
+) -> bool {
+    let push = |out: &mut ScenarioOutcome, name: &str, value: f64| {
+        out.metrics.push((name.to_owned(), value));
+    };
+    match step {
+        Step::ArmWatchdog { timeout_cycles } => {
+            p.bus_mut().watchdog.write16(1, *timeout_cycles);
+            p.bus_mut().watchdog.write16(0, 1);
+        }
+        Step::WaitReady { timeout_s } => match p.wait_for_ready(*timeout_s) {
+            Some(t) => {
+                push(out, "locked", 1.0);
+                push(out, "turn_on_s", t.0);
+            }
+            None => {
+                push(out, "locked", 0.0);
+                return false;
+            }
+        },
+        Step::WaitSupervisorNormal { timeout_s } => {
+            match run_until(p, *timeout_s, |p| {
+                p.supervisor().state() == SupervisorState::Normal
+            }) {
+                Some(t) => push(out, "supervisor_normal_s", t),
+                None => {
+                    push(out, "supervisor_normal_s", -1.0);
+                    return false;
+                }
+            }
+        }
+        Step::Run { seconds } => p.run(*seconds),
+        Step::SetRate { dps } => p.set_rate(DegPerSec(*dps)),
+        Step::SetTemperature { celsius } => p.set_temperature(Celsius(*celsius)),
+        Step::FreezeAgcDrive { resettle_s } => {
+            let settled_drive = p.chain().drive();
+            let mut frozen = p.chain().config().clone();
+            frozen.agc.max_drive = settled_drive;
+            frozen.agc.kp = 0.0;
+            frozen.agc.ki = 1.0e6; // integrator pegs at max_drive = fixed drive
+            *p.chain_mut() = ConditioningChain::new(frozen);
+            p.run(*resettle_s);
+        }
+        Step::TrimRebalancePhase {
+            probe_rate_dps,
+            iterations,
+        } => {
+            let phase = trim_rebalance_phase(p, *probe_rate_dps, *iterations);
+            push(out, "rebalance_phase_rad", phase);
+        }
+        Step::MeasureMeanRate { label, window_s } => {
+            let mean = mean_rate(p, *window_s);
+            push(out, label, mean);
+        }
+        Step::MeasureSensitivity {
+            label,
+            rate_dps,
+            settle_s,
+            samples,
+        } => {
+            p.set_rate(DegPerSec(*rate_dps));
+            let plus = stats::mean(&p.sample_rate_output(*settle_s, *samples));
+            p.set_rate(DegPerSec(-rate_dps));
+            let minus = stats::mean(&p.sample_rate_output(*settle_s, *samples));
+            p.set_rate(DegPerSec(0.0));
+            push(out, label, (plus - minus) / (2.0 * rate_dps));
+        }
+        Step::MeasureLinearity {
+            label,
+            rates,
+            dwell_s,
+            settle_s,
+            samples,
+        } => {
+            let mut outs = Vec::with_capacity(rates.len());
+            for &r in rates {
+                p.set_rate(DegPerSec(r));
+                p.run(*dwell_s);
+                outs.push(stats::mean(&p.sample_rate_output(*settle_s, *samples)));
+            }
+            p.set_rate(DegPerSec(0.0));
+            let full_scale = rates.iter().fold(0.0f64, |m, r| m.max(r.abs()));
+            let fit = stats::linear_fit(rates, &outs);
+            let pct = fit.max_residual / (fit.slope.abs() * full_scale) * 100.0;
+            push(out, label, pct);
+        }
+        Step::MeasureStaticTransfer {
+            rate_points,
+            samples_per_point,
+        } => {
+            let mut cfg = CharacterizationConfig::default();
+            cfg.rate_points.clone_from(rate_points);
+            cfg.samples_per_point = *samples_per_point;
+            let t = measure_static_transfer(p, &cfg, 25.0);
+            scratch.sensitivity = Some(t.sensitivity);
+            push(out, "sensitivity_v_per_dps", t.sensitivity);
+            push(out, "null_v", t.null);
+            push(out, "nonlinearity_pct_fs", t.nonlinearity_pct_fs);
+        }
+        Step::MeasureNoiseDensity { samples } => {
+            let mut cfg = CharacterizationConfig::default();
+            cfg.noise_samples = *samples;
+            let sensitivity = scratch.sensitivity.unwrap_or(0.005);
+            let noise = measure_noise_density(p, &cfg, sensitivity);
+            push(out, "noise_density_dps_rthz", noise);
+        }
+        Step::CaptureZeroRate {
+            label,
+            seconds,
+            settle_s,
+        } => {
+            let fs = p.output_sample_rate();
+            let n = (seconds * fs).round() as usize;
+            let volts = p.sample_output(*settle_s, n);
+            // Nominal transfer: 5 mV/°/s around the 2.5 V null.
+            let rate: Vec<f64> = volts.iter().map(|v| (v - 2.5) / 0.005).collect();
+            push(out, &format!("{label}_fs_hz"), fs);
+            out.series.push((label.clone(), rate));
+        }
+        Step::FaultResponse {
+            t_inject_s,
+            t_clear_s,
+            detect_budget_s,
+            recover_budget_s,
+            measure_recovery,
+        } => {
+            let baseline = mean_rate(p, 0.05);
+            push(out, "baseline_dps", baseline);
+            // Detection: first departure from Normal after injection.
+            let detect_window = (t_inject_s - p.time()).max(0.0) + detect_budget_s;
+            let detected_at = run_until(p, detect_window, |p| {
+                p.supervisor().state() != SupervisorState::Normal
+            });
+            match detected_at {
+                Some(t) => {
+                    push(out, "detected", 1.0);
+                    push(out, "detection_latency_s", t - t_inject_s);
+                }
+                None => push(out, "detected", 0.0),
+            }
+            if detected_at.is_some() && *measure_recovery {
+                // Recovery: first return to Normal after the fault clears.
+                let remaining = (t_clear_s - p.time()).max(0.0) + recover_budget_s;
+                match run_until(p, remaining, |p| {
+                    p.supervisor().state() == SupervisorState::Normal
+                }) {
+                    Some(t) => {
+                        push(out, "recovered", 1.0);
+                        push(out, "recovery_time_s", (t - t_clear_s).max(0.0));
+                        push(
+                            out,
+                            "residual_rate_dps",
+                            (mean_rate(p, 0.1) - baseline).abs(),
+                        );
+                    }
+                    None => push(out, "recovered", 0.0),
+                }
+            }
+            push(out, "final_state_code", p.supervisor().state().code());
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascp_sim::fault::FaultKind;
+
+    fn quick_cfg() -> PlatformConfig {
+        PlatformConfig::builder().quiet().build().expect("valid")
+    }
+
+    fn quick_scenarios() -> Vec<ScenarioSpec> {
+        vec![
+            ScenarioSpec::new("a", quick_cfg())
+                .with_step(Step::Run { seconds: 0.02 })
+                .with_step(Step::SetRate { dps: 80.0 })
+                .with_step(Step::MeasureMeanRate {
+                    label: "mean_dps".into(),
+                    window_s: 0.01,
+                }),
+            ScenarioSpec::new("b", quick_cfg())
+                .with_faults({
+                    let mut f = FaultPlan::new();
+                    f.one_shot(FaultKind::PllUnlock, 0.01, 0.005);
+                    f
+                })
+                .with_duration(0.03)
+                .with_step(Step::Run { seconds: 0.01 }),
+        ]
+    }
+
+    #[test]
+    fn report_is_identical_across_thread_counts() {
+        let serial = CampaignRunner::new().with_threads(1).run(quick_scenarios());
+        let parallel = CampaignRunner::new().with_threads(4).run(quick_scenarios());
+        assert_eq!(serial.outcomes, parallel.outcomes);
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+    }
+
+    #[test]
+    fn duration_floor_extends_the_run() {
+        let report = CampaignRunner::new().with_threads(1).run(quick_scenarios());
+        // Scenario "b" runs 0.01 s of steps but has a 0.03 s floor; its
+        // fault fired inside the floor, so the plan saw activity.
+        assert_eq!(report.outcomes[1].name, "b");
+    }
+
+    #[test]
+    fn seed_derivation_is_per_index_and_overridable() {
+        let cfg = quick_cfg();
+        let specs = vec![
+            ScenarioSpec::new("x", cfg.clone()),
+            ScenarioSpec::new("y", cfg.clone()),
+            ScenarioSpec::new("z", cfg).with_seed(42),
+        ];
+        let report = CampaignRunner::new().with_threads(2).run(specs);
+        assert_ne!(report.outcomes[0].seed, report.outcomes[1].seed);
+        assert_eq!(report.outcomes[2].seed, 42);
+    }
+
+    #[test]
+    fn invalid_config_becomes_an_outcome_not_a_panic() {
+        let mut spec = ScenarioSpec::new("bad", quick_cfg());
+        spec.config.analog_oversample = 0;
+        let report = CampaignRunner::new().with_threads(1).run(vec![spec]);
+        assert_eq!(report.outcomes[0].metric("config_valid"), Some(0.0));
+    }
+
+    #[test]
+    fn csv_and_telemetry_carry_the_metrics() {
+        let report = CampaignRunner::new().with_threads(1).run(quick_scenarios());
+        let csv = report.to_csv();
+        assert!(csv.starts_with("scenario,metric,value\n"));
+        assert!(csv.contains("a,mean_dps,"));
+        let snap = report.to_telemetry();
+        assert_eq!(snap.wall_time_s, 0.0);
+        assert!(snap.gauge("a.mean_dps").is_some());
+    }
+}

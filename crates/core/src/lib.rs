@@ -21,8 +21,11 @@
 //! - [`baseline`] — behavioural models of the commercial comparators
 //!   (ADXRS300, Gyrostar);
 //! - [`report`] — digital-complexity accounting (the 200 kgate claim).
+//! - [`campaign`] — scenario campaigns on the parallel worker pool
+//!   (declarative experiment sweeps; the bench bins are scenario lists).
 pub mod baseline;
 pub mod calibrate;
+pub mod campaign;
 pub mod chain;
 pub mod characterize;
 pub mod firmware;
@@ -32,3 +35,22 @@ pub mod report;
 pub mod supervisor;
 pub mod system;
 pub mod verify;
+
+/// One-line import for the common platform workflow.
+///
+/// ```
+/// use ascp_core::prelude::*;
+///
+/// let cfg = PlatformConfig::builder().quiet().build().expect("valid");
+/// let mut p = Platform::new(cfg);
+/// p.run(0.001);
+/// ```
+pub mod prelude {
+    pub use crate::campaign::{
+        CampaignReport, CampaignRunner, ScenarioOutcome, ScenarioSpec, Step,
+    };
+    pub use crate::chain::SenseMode;
+    pub use crate::platform::{ConfigError, Platform, PlatformConfig, PlatformConfigBuilder};
+    pub use crate::supervisor::{SupervisorConfig, SupervisorState};
+    pub use ascp_sim::fault::{AdcChannel, FaultKind, FaultPlan, FaultSpec};
+}

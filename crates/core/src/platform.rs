@@ -119,32 +119,79 @@ impl Default for PlatformConfig {
     }
 }
 
+/// A platform configuration rejected by [`PlatformConfig::validate`] /
+/// [`PlatformConfigBuilder::build`], naming the offending field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Wraps a validation message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable reason the configuration was rejected.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid platform config: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<String> for ConfigError {
+    fn from(message: String) -> Self {
+        Self::new(message)
+    }
+}
+
 impl PlatformConfig {
+    /// Starts a fluent builder seeded with the paper's case-study defaults.
+    ///
+    /// The builder is the supported way to construct a non-default
+    /// configuration; it validates ranges on [`PlatformConfigBuilder::build`]
+    /// instead of panicking later inside [`Platform::new`].
+    #[must_use]
+    pub fn builder() -> PlatformConfigBuilder {
+        PlatformConfigBuilder::default()
+    }
+
     /// Validates cross-component consistency.
     ///
     /// # Errors
     ///
-    /// Returns a message naming the offending field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`ConfigError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         self.gyro.validate()?;
         self.adc.validate()?;
         self.drive_dac.validate()?;
         self.rebalance_dac.validate()?;
         self.rate_dac.validate()?;
         if !(self.dsp_rate.0 > 0.0) {
-            return Err("dsp_rate must be positive".into());
+            return Err(ConfigError::new("dsp_rate must be positive"));
         }
         if self.analog_oversample == 0 {
-            return Err("analog_oversample must be non-zero".into());
+            return Err(ConfigError::new("analog_oversample must be non-zero"));
         }
         if self.charge_gain <= 0.0 {
-            return Err("charge_gain must be positive".into());
+            return Err(ConfigError::new("charge_gain must be positive"));
         }
         if usize::from(self.secondary_pga_code) >= Pga::GAIN_LADDER.len() {
-            return Err(format!(
+            return Err(ConfigError::new(format!(
                 "secondary_pga_code {} outside the gain ladder",
                 self.secondary_pga_code
-            ));
+            )));
         }
         Ok(())
     }
@@ -170,6 +217,251 @@ impl PlatformConfig {
             2.0 * self.gyro.angular_gain * 1f64.to_radians() * w * self.gyro.nominal_amplitude;
         let dps_per_cmd = self.gyro.force_scale / force_per_dps;
         dps_per_cmd / 500.0
+    }
+}
+
+/// Fluent builder for [`PlatformConfig`] — the supported construction path
+/// for every non-default configuration.
+///
+/// Field-by-field mutation of `PlatformConfig::default()` used to be the
+/// house style for platform setup; it scattered copy-pasted override
+/// blocks (and duplicated `quiet()` helpers) across every bench bin and
+/// test. The builder centralizes those idioms as named setters and moves
+/// range validation to [`PlatformConfigBuilder::build`], which returns a
+/// [`ConfigError`] instead of panicking inside [`Platform::new`].
+///
+/// # Example
+///
+/// ```
+/// use ascp_core::platform::PlatformConfig;
+///
+/// let cfg = PlatformConfig::builder()
+///     .quiet()            // low sensor noise, monitor CPU off
+///     .adc_bits(14)
+///     .seed(7)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(cfg.adc.bits, 14);
+/// assert!(!cfg.cpu_enabled);
+/// assert!(PlatformConfig::builder().analog_oversample(0).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PlatformConfigBuilder {
+    config: PlatformConfig,
+}
+
+impl PlatformConfigBuilder {
+    /// The test/bench house configuration: quiet sensor
+    /// (`noise_density = 0.005`) with the monitor CPU off. Replaces the
+    /// per-file "quiet config" helpers the tests and bench bins used to
+    /// copy around.
+    #[must_use]
+    pub fn quiet(mut self) -> Self {
+        self.config.gyro.noise_density = 0.005;
+        self.config.cpu_enabled = false;
+        self
+    }
+
+    /// Replaces the sensor parameter set wholesale.
+    #[must_use]
+    pub fn gyro(mut self, gyro: ascp_mems::gyro::GyroParams) -> Self {
+        self.config.gyro = gyro;
+        self
+    }
+
+    /// Sensor rate-noise density (°/s/√Hz).
+    #[must_use]
+    pub fn noise_density(mut self, dps_rt_hz: f64) -> Self {
+        self.config.gyro.noise_density = dps_rt_hz;
+        self
+    }
+
+    /// Resonator Q temperature coefficient (1/°C).
+    #[must_use]
+    pub fn tc_q(mut self, tc: f64) -> Self {
+        self.config.gyro.tc_q = tc;
+        self
+    }
+
+    /// Quadrature temperature coefficient (°/s/°C).
+    #[must_use]
+    pub fn quadrature_tc(mut self, tc: f64) -> Self {
+        self.config.gyro.quadrature_tc = tc;
+        self
+    }
+
+    /// Sense-electrode cubic nonlinearity coefficient.
+    #[must_use]
+    pub fn sense_pickoff_nl(mut self, coeff: f64) -> Self {
+        self.config.gyro.sense_pickoff_nl = coeff;
+        self
+    }
+
+    /// DSP sample rate.
+    #[must_use]
+    pub fn dsp_rate(mut self, rate: Hertz) -> Self {
+        self.config.dsp_rate = rate;
+        self
+    }
+
+    /// Analog solver substeps per DSP sample.
+    #[must_use]
+    pub fn analog_oversample(mut self, substeps: u32) -> Self {
+        self.config.analog_oversample = substeps;
+        self
+    }
+
+    /// Replaces the acquisition-ADC settings (both channels).
+    #[must_use]
+    pub fn adc(mut self, adc: AdcConfig) -> Self {
+        self.config.adc = adc;
+        self
+    }
+
+    /// Acquisition-converter resolution (both channels).
+    #[must_use]
+    pub fn adc_bits(mut self, bits: u32) -> Self {
+        self.config.adc.bits = bits;
+        self
+    }
+
+    /// Charge-amplifier gain (V per displacement unit, both channels).
+    #[must_use]
+    pub fn charge_gain(mut self, gain: f64) -> Self {
+        self.config.charge_gain = gain;
+        self
+    }
+
+    /// Secondary-channel PGA gain code (ladder index).
+    #[must_use]
+    pub fn secondary_pga_code(mut self, code: u8) -> Self {
+        self.config.secondary_pga_code = code;
+        self
+    }
+
+    /// Anti-alias filter corner (Hz).
+    #[must_use]
+    pub fn aaf_corner(mut self, hz: f64) -> Self {
+        self.config.aaf_corner = hz;
+        self
+    }
+
+    /// Sense-path mode (open loop or force rebalance).
+    #[must_use]
+    pub fn loop_mode(mut self, mode: SenseMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Build variant (ASIC ROM monitor vs UART-boot prototype).
+    #[must_use]
+    pub fn variant(mut self, variant: PlatformVariant) -> Self {
+        self.config.variant = variant;
+        self
+    }
+
+    /// Runs (or parks) the 8051 monitor in the loop.
+    #[must_use]
+    pub fn cpu_enabled(mut self, enabled: bool) -> Self {
+        self.config.cpu_enabled = enabled;
+        self
+    }
+
+    /// Overrides the monitor firmware image.
+    #[must_use]
+    pub fn firmware(mut self, image: Vec<u8>) -> Self {
+        self.config.firmware = Some(image);
+        self
+    }
+
+    /// Master noise seed (every component derives its stream from this).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Observability settings.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.config.telemetry = telemetry;
+        self
+    }
+
+    /// Replaces the scheduled fault plan wholesale.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
+    /// Schedules a one-shot fault window `[start_s, start_s + duration_s)`.
+    #[must_use]
+    pub fn fault_one_shot(mut self, kind: FaultKind, start_s: f64, duration_s: f64) -> Self {
+        self.config.faults.one_shot(kind, start_s, duration_s);
+        self
+    }
+
+    /// Schedules a fault from `start_s` to the end of the run.
+    #[must_use]
+    pub fn fault_permanent(mut self, kind: FaultKind, start_s: f64) -> Self {
+        self.config.faults.permanent(kind, start_s);
+        self
+    }
+
+    /// Schedules deterministic intermittent bursts of `kind`.
+    #[must_use]
+    pub fn fault_intermittent(
+        mut self,
+        kind: FaultKind,
+        start_s: f64,
+        end_s: f64,
+        period_s: f64,
+        burst_s: f64,
+        seed: u64,
+    ) -> Self {
+        self.config
+            .faults
+            .intermittent(kind, start_s, end_s, period_s, burst_s, seed);
+        self
+    }
+
+    /// Replaces the safety-supervisor settings wholesale.
+    #[must_use]
+    pub fn supervisor(mut self, supervisor: SupervisorConfig) -> Self {
+        self.config.supervisor = supervisor;
+        self
+    }
+
+    /// Master enable for the safety supervisor.
+    #[must_use]
+    pub fn supervisor_enabled(mut self, enabled: bool) -> Self {
+        self.config.supervisor.enabled = enabled;
+        self
+    }
+
+    /// SPI-bus probe period in monitor ticks (0 = probe off).
+    #[must_use]
+    pub fn spi_probe_period(mut self, ticks: u32) -> Self {
+        self.config.supervisor.spi_probe_period_ticks = ticks;
+        self
+    }
+
+    /// JTAG IDCODE probe period in monitor ticks (0 = probe off).
+    #[must_use]
+    pub fn jtag_probe_period(mut self, ticks: u32) -> Self {
+        self.config.supervisor.jtag_probe_period_ticks = ticks;
+        self
+    }
+
+    /// Validates the assembled configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending field.
+    pub fn build(self) -> Result<PlatformConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -271,7 +563,7 @@ impl Platform {
     #[must_use]
     pub fn new(config: PlatformConfig) -> Self {
         if let Err(e) = config.validate() {
-            panic!("invalid platform config: {e}");
+            panic!("{e}");
         }
         let seed = config.seed;
         let gyro = ascp_mems::gyro::RingGyro::new(config.gyro);
@@ -1034,8 +1326,13 @@ impl Platform {
     }
 
     /// Runs for `seconds` of simulated time.
+    ///
+    /// Duration is converted to DSP ticks by **rounding to the nearest
+    /// tick** (a request of 10.2 µs at 250 kHz runs 3 ticks, not 2), so
+    /// callers asking for non-integer tick multiples get the closest
+    /// realizable duration instead of a silent truncation.
     pub fn run(&mut self, seconds: f64) {
-        let ticks = (seconds * self.config.dsp_rate.0) as u64;
+        let ticks = (seconds * self.config.dsp_rate.0).round() as u64;
         for _ in 0..ticks {
             self.step();
         }
@@ -1064,6 +1361,9 @@ impl Platform {
 
     /// Runs for `seconds` recording the Fig. 6 traces (measured PLL/AGC
     /// waveforms at the monitoring cadence), decimated by `trace_div`.
+    ///
+    /// Like [`Platform::run`], the duration is rounded to the nearest DSP
+    /// tick rather than truncated.
     pub fn run_traces(&mut self, seconds: f64, trace_div: u32) -> TraceSet {
         let div = trace_div.max(1);
         let mut amplitude_control = Trace::with_decimation("amplitude_control", div);
@@ -1071,7 +1371,7 @@ impl Platform {
         let mut amplitude_error = Trace::with_decimation("amplitude_error", div);
         let mut vco_control = Trace::with_decimation("vco_control", div);
         let mut rate_out = Trace::with_decimation("rate_out_volts", div);
-        let ticks = (seconds * self.config.dsp_rate.0) as u64;
+        let ticks = (seconds * self.config.dsp_rate.0).round() as u64;
         for _ in 0..ticks {
             self.step();
             // Sample the observable signals every 50 ticks (the chain's
@@ -1213,16 +1513,9 @@ mod tests {
     use super::*;
     use ascp_sim::stats;
 
-    fn quiet_config() -> PlatformConfig {
-        let mut c = PlatformConfig::default();
-        c.gyro.noise_density = 0.005;
-        c.cpu_enabled = false;
-        c
-    }
-
     #[test]
     fn platform_locks_and_reports_ready() {
-        let mut p = Platform::new(quiet_config());
+        let mut p = Platform::new(PlatformConfig::builder().quiet().build().expect("valid"));
         let ready = p.wait_for_ready(2.0);
         assert!(ready.is_some(), "platform never became ready");
         let t = ready.expect("checked").0;
@@ -1232,7 +1525,7 @@ mod tests {
 
     #[test]
     fn rate_output_tracks_stimulus() {
-        let mut p = Platform::new(quiet_config());
+        let mut p = Platform::new(PlatformConfig::builder().quiet().build().expect("valid"));
         p.wait_for_ready(2.0).expect("ready");
         p.set_rate(DegPerSec(100.0));
         let samples = p.sample_rate_output(0.4, 200);
@@ -1245,7 +1538,7 @@ mod tests {
 
     #[test]
     fn rate_output_sign_symmetry() {
-        let mut p = Platform::new(quiet_config());
+        let mut p = Platform::new(PlatformConfig::builder().quiet().build().expect("valid"));
         p.wait_for_ready(2.0).expect("ready");
         p.set_rate(DegPerSec(150.0));
         let plus = stats::mean(&p.sample_rate_output(0.4, 100));
@@ -1260,7 +1553,7 @@ mod tests {
 
     #[test]
     fn null_output_near_midscale() {
-        let mut p = Platform::new(quiet_config());
+        let mut p = Platform::new(PlatformConfig::builder().quiet().build().expect("valid"));
         p.wait_for_ready(2.0).expect("ready");
         let samples = p.sample_rate_output(0.3, 100);
         let null_v = 2.5 + stats::mean(&samples) * 0.005;
@@ -1269,8 +1562,11 @@ mod tests {
 
     #[test]
     fn cpu_monitor_reports_lock_over_uart() {
-        let mut c = quiet_config();
-        c.cpu_enabled = true;
+        let c = PlatformConfig::builder()
+            .quiet()
+            .cpu_enabled(true)
+            .build()
+            .expect("valid");
         let mut p = Platform::new(c);
         p.wait_for_ready(2.0).expect("ready");
         // Discard frames transmitted before lock, then collect fresh ones.
@@ -1290,7 +1586,7 @@ mod tests {
     fn jtag_reads_back_dsp_status() {
         use crate::registers::DspRegsJtag;
         use ascp_jtag::device::{instructions, RegAccessDevice};
-        let mut p = Platform::new(quiet_config());
+        let mut p = Platform::new(PlatformConfig::builder().quiet().build().expect("valid"));
         p.wait_for_ready(2.0).expect("ready");
         p.run(0.01);
         let jtag = p.jtag_mut();
@@ -1307,7 +1603,7 @@ mod tests {
     fn jtag_configures_pga_gain() {
         use crate::registers::AfeRegsJtag;
         use ascp_jtag::device::{instructions, RegAccessDevice};
-        let mut p = Platform::new(quiet_config());
+        let mut p = Platform::new(PlatformConfig::builder().quiet().build().expect("valid"));
         let jtag = p.jtag_mut();
         jtag.select(taps::AFE, instructions::REG_ACCESS)
             .expect("select");
@@ -1323,15 +1619,72 @@ mod tests {
 
     #[test]
     fn config_validation_rejects_nonsense() {
-        let mut c = PlatformConfig::default();
-        c.analog_oversample = 0;
-        assert!(c.validate().is_err());
-        c = PlatformConfig::default();
-        c.charge_gain = 0.0;
-        assert!(c.validate().is_err());
-        c = PlatformConfig::default();
-        c.secondary_pga_code = 12;
-        assert!(c.validate().is_err());
+        assert!(PlatformConfig::builder()
+            .analog_oversample(0)
+            .build()
+            .is_err());
+        assert!(PlatformConfig::builder().charge_gain(0.0).build().is_err());
+        assert!(PlatformConfig::builder()
+            .secondary_pga_code(12)
+            .build()
+            .is_err());
+        let err = PlatformConfig::builder()
+            .adc_bits(40)
+            .build()
+            .expect_err("40-bit ADC must be rejected");
+        assert!(err.to_string().starts_with("invalid platform config:"));
+    }
+
+    #[test]
+    fn builder_sets_every_documented_field() {
+        let cfg = PlatformConfig::builder()
+            .quiet()
+            .noise_density(0.002)
+            .adc_bits(14)
+            .loop_mode(SenseMode::ClosedLoop)
+            .seed(99)
+            .spi_probe_period(1)
+            .jtag_probe_period(10)
+            .fault_one_shot(
+                FaultKind::AdcStuckCode {
+                    channel: AdcChannel::Primary,
+                    code: 0,
+                },
+                0.5,
+                0.1,
+            )
+            .build()
+            .expect("valid");
+        assert!((cfg.gyro.noise_density - 0.002).abs() < 1e-12);
+        assert!(!cfg.cpu_enabled);
+        assert_eq!(cfg.adc.bits, 14);
+        assert_eq!(cfg.mode, SenseMode::ClosedLoop);
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.supervisor.spi_probe_period_ticks, 1);
+        assert_eq!(cfg.supervisor.jtag_probe_period_ticks, 10);
+        assert_eq!(cfg.faults.len(), 1);
+    }
+
+    #[test]
+    fn run_rounds_to_nearest_tick() {
+        // 250 kHz DSP clock → dt = 4 µs. A request of 10.2 µs is 2.55
+        // ticks: truncation would run 2, rounding must run 3.
+        let mut p = Platform::new(PlatformConfig::builder().quiet().build().expect("valid"));
+        let dt = 1.0 / p.config().dsp_rate.0;
+        p.run(2.55 * dt);
+        assert!(
+            (p.time() - 3.0 * dt).abs() < 1e-12,
+            "run(2.55 dt) advanced {} s, want 3 ticks = {} s",
+            p.time(),
+            3.0 * dt
+        );
+        // And 2.4 ticks rounds down to 2 more.
+        p.run(2.4 * dt);
+        assert!((p.time() - 5.0 * dt).abs() < 1e-12);
+        // run_traces honors the same contract.
+        let mut q = Platform::new(PlatformConfig::builder().quiet().build().expect("valid"));
+        let _ = q.run_traces(2.55 * dt, 1);
+        assert!((q.time() - 3.0 * dt).abs() < 1e-12);
     }
 
     #[test]

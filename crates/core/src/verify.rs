@@ -141,9 +141,11 @@ mod tests {
     fn levels_agree_on_quiet_gyro() {
         let mut sys_cfg = SystemModelConfig::default();
         sys_cfg.gyro.noise_density = 0.002;
-        let mut plat_cfg = PlatformConfig::default();
-        plat_cfg.gyro.noise_density = 0.002;
-        plat_cfg.cpu_enabled = false;
+        let plat_cfg = PlatformConfig::builder()
+            .quiet()
+            .noise_density(0.002)
+            .build()
+            .expect("valid");
         let scenario = VerifyScenario {
             rate_steps: vec![0.0, 150.0],
             dwell: 0.25,

@@ -1,0 +1,169 @@
+//! Determinism contract of the campaign engine: the same `Vec<ScenarioSpec>`
+//! must produce bit-identical `CampaignReport` metrics no matter how many
+//! worker threads shard it. This is what makes `--threads N` safe to use in
+//! CI — parallelism may change wall clock, never numbers.
+//!
+//! A fixed mixed-scenario list runs unconditionally; a randomized
+//! property-test variant runs under `--features proptest`.
+
+use ascp_core::campaign::{CampaignRunner, ScenarioSpec, Step};
+use ascp_core::platform::PlatformConfig;
+use ascp_sim::fault::{AdcChannel, FaultKind};
+
+/// A short but heterogeneous scenario list: distinct configs, explicit and
+/// derived seeds, a fault plan, and both metric- and series-producing steps.
+fn scenario_list() -> Vec<ScenarioSpec> {
+    let quiet = || PlatformConfig::builder().quiet();
+    vec![
+        ScenarioSpec::new("rate_step", quiet().build().expect("valid"))
+            .with_step(Step::Run { seconds: 0.01 })
+            .with_step(Step::SetRate { dps: 120.0 })
+            .with_step(Step::Run { seconds: 0.01 })
+            .with_step(Step::MeasureMeanRate {
+                label: "rate".into(),
+                window_s: 0.01,
+            }),
+        ScenarioSpec::new(
+            "noisier",
+            quiet().noise_density(0.02).build().expect("valid"),
+        )
+        .with_seed(0xDEAD_BEEF)
+        .with_step(Step::Run { seconds: 0.01 })
+        .with_step(Step::MeasureMeanRate {
+            label: "null".into(),
+            window_s: 0.01,
+        }),
+        ScenarioSpec::new(
+            "faulted",
+            quiet()
+                .fault_one_shot(
+                    FaultKind::AdcOverload {
+                        channel: AdcChannel::Primary,
+                        gain: 4.0,
+                    },
+                    0.005,
+                    0.005,
+                )
+                .build()
+                .expect("valid"),
+        )
+        .with_duration(0.02)
+        .with_step(Step::MeasureMeanRate {
+            label: "during".into(),
+            window_s: 0.005,
+        }),
+        ScenarioSpec::new("capture", quiet().build().expect("valid")).with_step(
+            Step::CaptureZeroRate {
+                label: "zr".into(),
+                seconds: 0.01,
+                settle_s: 0.005,
+            },
+        ),
+    ]
+}
+
+/// Strips the wall clock (the only legitimately nondeterministic field) so
+/// reports can be compared whole.
+fn fingerprint(runner: &CampaignRunner, specs: Vec<ScenarioSpec>) -> (String, String) {
+    let report = runner.run(specs);
+    assert_eq!(report.threads, runner.threads());
+    (report.to_csv(), report.to_telemetry().to_json())
+}
+
+#[test]
+fn report_is_bit_identical_at_1_2_and_4_threads() {
+    let (csv1, json1) = fingerprint(&CampaignRunner::new().with_threads(1), scenario_list());
+    let (csv2, json2) = fingerprint(&CampaignRunner::new().with_threads(2), scenario_list());
+    let (csv4, json4) = fingerprint(&CampaignRunner::new().with_threads(4), scenario_list());
+    assert_eq!(csv1, csv2, "CSV differs between 1 and 2 threads");
+    assert_eq!(csv1, csv4, "CSV differs between 1 and 4 threads");
+    assert_eq!(
+        json1, json2,
+        "telemetry JSON differs between 1 and 2 threads"
+    );
+    assert_eq!(
+        json1, json4,
+        "telemetry JSON differs between 1 and 4 threads"
+    );
+}
+
+#[test]
+fn outcomes_are_equal_not_just_rendered_equal() {
+    let a = CampaignRunner::new().with_threads(1).run(scenario_list());
+    let b = CampaignRunner::new().with_threads(4).run(scenario_list());
+    assert_eq!(a.outcomes, b.outcomes);
+}
+
+#[test]
+fn more_threads_than_scenarios_is_fine() {
+    let specs = scenario_list().into_iter().take(2).collect::<Vec<_>>();
+    let a = CampaignRunner::new().with_threads(1).run(specs);
+    let specs = scenario_list().into_iter().take(2).collect::<Vec<_>>();
+    let b = CampaignRunner::new().with_threads(16).run(specs);
+    assert_eq!(a.outcomes, b.outcomes);
+}
+
+#[cfg(feature = "proptest")]
+mod random {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Noise-density index, applied rate, seed override (flag + value),
+    /// fault flag, and duration floor for one randomized scenario.
+    type SpecParams = (u8, f64, (bool, u64), bool, f64);
+
+    fn spec_params() -> impl Strategy<Value = SpecParams> {
+        (
+            0u8..4,                        // noise-density index
+            -300.0f64..300.0,              // applied rate
+            (any::<bool>(), any::<u64>()), // seed override flag + value
+            any::<bool>(),                 // inject a fault?
+            0.005f64..0.02,                // duration floor
+        )
+    }
+
+    fn build(params: &[SpecParams]) -> Vec<ScenarioSpec> {
+        params
+            .iter()
+            .enumerate()
+            .map(|(i, &(nd, rate, (override_seed, seed), fault, dur))| {
+                let mut b = PlatformConfig::builder()
+                    .quiet()
+                    .noise_density([0.002, 0.005, 0.01, 0.02][nd as usize]);
+                if fault {
+                    b = b.fault_one_shot(FaultKind::PllUnlock, 0.004, 0.004);
+                }
+                let mut spec = ScenarioSpec::new(format!("s{i}"), b.build().expect("valid"))
+                    .with_duration(dur)
+                    .with_step(Step::SetRate { dps: rate })
+                    .with_step(Step::MeasureMeanRate {
+                        label: "rate".into(),
+                        window_s: 0.004,
+                    });
+                if override_seed {
+                    spec = spec.with_seed(seed);
+                }
+                spec
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn any_scenario_list_is_thread_count_invariant(
+            params in proptest::collection::vec(spec_params(), 1..6)
+        ) {
+            let one = CampaignRunner::new().with_threads(1).run(build(&params));
+            let two = CampaignRunner::new().with_threads(2).run(build(&params));
+            let four = CampaignRunner::new().with_threads(4).run(build(&params));
+            prop_assert_eq!(&one.outcomes, &two.outcomes);
+            prop_assert_eq!(&one.outcomes, &four.outcomes);
+            prop_assert_eq!(one.to_csv(), four.to_csv());
+            prop_assert_eq!(
+                one.to_telemetry().to_json(),
+                four.to_telemetry().to_json()
+            );
+        }
+    }
+}

@@ -6,13 +6,6 @@ use ascp_core::platform::{Platform, PlatformConfig};
 use ascp_core::supervisor::SupervisorState;
 use ascp_sim::fault::{AdcChannel, FaultKind};
 
-fn quiet() -> PlatformConfig {
-    let mut c = PlatformConfig::default();
-    c.gyro.noise_density = 0.005;
-    c.cpu_enabled = false;
-    c
-}
-
 /// Steps until `pred` holds, returning the time it first did.
 fn run_until(
     p: &mut Platform,
@@ -55,8 +48,11 @@ fn expect_detection(p: &mut Platform, t_inj: f64, budget_s: f64) -> f64 {
 
 #[test]
 fn mems_drive_loss_is_detected_via_envelope() {
-    let mut c = quiet();
-    c.faults.permanent(FaultKind::MemsDriveLoss, 0.6);
+    let c = PlatformConfig::builder()
+        .quiet()
+        .fault_permanent(FaultKind::MemsDriveLoss, 0.6)
+        .build()
+        .expect("valid");
     let mut p = Platform::new(c);
     let t0 = bring_up(&mut p);
     assert!(t0 < 0.6, "bring-up after injection point");
@@ -72,8 +68,11 @@ fn mems_drive_loss_is_detected_via_envelope() {
 
 #[test]
 fn sensor_disconnect_is_detected_and_rate_goes_stale() {
-    let mut c = quiet();
-    c.faults.permanent(FaultKind::SensorDisconnect, 0.6);
+    let c = PlatformConfig::builder()
+        .quiet()
+        .fault_permanent(FaultKind::SensorDisconnect, 0.6)
+        .build()
+        .expect("valid");
     let mut p = Platform::new(c);
     let t0 = bring_up(&mut p);
     assert!(t0 < 0.6);
@@ -88,14 +87,17 @@ fn sensor_disconnect_is_detected_and_rate_goes_stale() {
 
 #[test]
 fn adc_stuck_code_is_detected() {
-    let mut c = quiet();
-    c.faults.permanent(
-        FaultKind::AdcStuckCode {
-            channel: AdcChannel::Primary,
-            code: 0,
-        },
-        0.6,
-    );
+    let c = PlatformConfig::builder()
+        .quiet()
+        .fault_permanent(
+            FaultKind::AdcStuckCode {
+                channel: AdcChannel::Primary,
+                code: 0,
+            },
+            0.6,
+        )
+        .build()
+        .expect("valid");
     let mut p = Platform::new(c);
     let t0 = bring_up(&mut p);
     run_until(&mut p, 0.65 - t0, |_| false);
@@ -104,16 +106,19 @@ fn adc_stuck_code_is_detected() {
 
 #[test]
 fn adc_stuck_msb_is_detected_as_dc_shift() {
-    let mut c = quiet();
-    let msb = c.adc.bits - 1;
-    c.faults.permanent(
-        FaultKind::AdcStuckBit {
-            channel: AdcChannel::Secondary,
-            bit: msb,
-            value: false,
-        },
-        0.6,
-    );
+    let msb = PlatformConfig::default().adc.bits - 1;
+    let c = PlatformConfig::builder()
+        .quiet()
+        .fault_permanent(
+            FaultKind::AdcStuckBit {
+                channel: AdcChannel::Secondary,
+                bit: msb,
+                value: false,
+            },
+            0.6,
+        )
+        .build()
+        .expect("valid");
     let mut p = Platform::new(c);
     let t0 = bring_up(&mut p);
     run_until(&mut p, 0.65 - t0, |_| false);
@@ -126,14 +131,17 @@ fn adc_stuck_msb_is_detected_as_dc_shift() {
 
 #[test]
 fn adc_overload_is_detected_via_clip_rate() {
-    let mut c = quiet();
-    c.faults.permanent(
-        FaultKind::AdcOverload {
-            channel: AdcChannel::Primary,
-            gain: 4.0,
-        },
-        0.6,
-    );
+    let c = PlatformConfig::builder()
+        .quiet()
+        .fault_permanent(
+            FaultKind::AdcOverload {
+                channel: AdcChannel::Primary,
+                gain: 4.0,
+            },
+            0.6,
+        )
+        .build()
+        .expect("valid");
     let mut p = Platform::new(c);
     let t0 = bring_up(&mut p);
     run_until(&mut p, 0.65 - t0, |_| false);
@@ -146,9 +154,11 @@ fn adc_overload_is_detected_via_clip_rate() {
 
 #[test]
 fn reference_droop_is_detected() {
-    let mut c = quiet();
-    c.faults
-        .permanent(FaultKind::ReferenceDroop { frac: 0.4 }, 0.6);
+    let c = PlatformConfig::builder()
+        .quiet()
+        .fault_permanent(FaultKind::ReferenceDroop { frac: 0.4 }, 0.6)
+        .build()
+        .expect("valid");
     let mut p = Platform::new(c);
     let t0 = bring_up(&mut p);
     run_until(&mut p, 0.65 - t0, |_| false);
@@ -157,8 +167,11 @@ fn reference_droop_is_detected() {
 
 #[test]
 fn pll_unlock_is_detected_and_recovers_through_the_fsm() {
-    let mut c = quiet();
-    c.faults.one_shot(FaultKind::PllUnlock, 0.6, 0.05);
+    let c = PlatformConfig::builder()
+        .quiet()
+        .fault_one_shot(FaultKind::PllUnlock, 0.6, 0.05)
+        .build()
+        .expect("valid");
     let mut p = Platform::new(c);
     let t0 = bring_up(&mut p);
     assert!(t0 < 0.6);
@@ -189,10 +202,12 @@ fn pll_unlock_is_detected_and_recovers_through_the_fsm() {
 
 #[test]
 fn spi_bit_errors_degrade_but_never_escalate() {
-    let mut c = quiet();
-    c.supervisor.spi_probe_period_ticks = 1;
-    c.faults
-        .permanent(FaultKind::SpiBitErrors { rate: 0.9 }, 0.6);
+    let c = PlatformConfig::builder()
+        .quiet()
+        .spi_probe_period(1)
+        .fault_permanent(FaultKind::SpiBitErrors { rate: 0.9 }, 0.6)
+        .build()
+        .expect("valid");
     let mut p = Platform::new(c);
     let t0 = bring_up(&mut p);
     run_until(&mut p, 0.65 - t0, |_| false);
@@ -208,10 +223,12 @@ fn spi_bit_errors_degrade_but_never_escalate() {
 
 #[test]
 fn uart_bit_errors_are_detected_from_line_parity() {
-    let mut c = quiet();
-    c.cpu_enabled = true;
-    c.faults
-        .permanent(FaultKind::UartBitErrors { rate: 0.5 }, 0.6);
+    let c = PlatformConfig::builder()
+        .quiet()
+        .cpu_enabled(true)
+        .fault_permanent(FaultKind::UartBitErrors { rate: 0.5 }, 0.6)
+        .build()
+        .expect("valid");
     let mut p = Platform::new(c);
     let t0 = bring_up(&mut p);
     run_until(&mut p, 0.65 - t0, |_| false);
@@ -221,10 +238,12 @@ fn uart_bit_errors_are_detected_from_line_parity() {
 
 #[test]
 fn jtag_corruption_is_detected_by_idcode_probe() {
-    let mut c = quiet();
-    c.supervisor.jtag_probe_period_ticks = 5;
-    c.faults
-        .permanent(FaultKind::JtagCorruption { rate: 0.1 }, 0.6);
+    let c = PlatformConfig::builder()
+        .quiet()
+        .jtag_probe_period(5)
+        .fault_permanent(FaultKind::JtagCorruption { rate: 0.1 }, 0.6)
+        .build()
+        .expect("valid");
     let mut p = Platform::new(c);
     let t0 = bring_up(&mut p);
     run_until(&mut p, 0.65 - t0, |_| false);
@@ -234,9 +253,12 @@ fn jtag_corruption_is_detected_by_idcode_probe() {
 
 #[test]
 fn cpu_hang_exhausts_watchdog_retries_into_safe_state() {
-    let mut c = quiet();
-    c.cpu_enabled = true;
-    c.faults.permanent(FaultKind::CpuHang, 0.6);
+    let c = PlatformConfig::builder()
+        .quiet()
+        .cpu_enabled(true)
+        .fault_permanent(FaultKind::CpuHang, 0.6)
+        .build()
+        .expect("valid");
     let mut p = Platform::new(c);
     // Arm the watchdog via its registers: 20 000 machine cycles ≈ 12 ms.
     {
@@ -267,9 +289,12 @@ fn cpu_hang_exhausts_watchdog_retries_into_safe_state() {
 
 #[test]
 fn watchdog_reset_counts_exactly_once_per_trip() {
-    let mut c = quiet();
-    c.cpu_enabled = true;
-    c.faults.one_shot(FaultKind::CpuHang, 0.6, 0.02);
+    let c = PlatformConfig::builder()
+        .quiet()
+        .cpu_enabled(true)
+        .fault_one_shot(FaultKind::CpuHang, 0.6, 0.02)
+        .build()
+        .expect("valid");
     let mut p = Platform::new(c);
     {
         use ascp_mcu8051::periph::Bus16Device;
@@ -299,9 +324,12 @@ fn watchdog_reset_counts_exactly_once_per_trip() {
 
 #[test]
 fn watchdog_auto_reset_can_be_disabled_via_ctrl_bit1() {
-    let mut c = quiet();
-    c.cpu_enabled = true;
-    c.faults.permanent(FaultKind::CpuHang, 0.2);
+    let c = PlatformConfig::builder()
+        .quiet()
+        .cpu_enabled(true)
+        .fault_permanent(FaultKind::CpuHang, 0.2)
+        .build()
+        .expect("valid");
     let mut p = Platform::new(c);
     {
         use ascp_mcu8051::periph::Bus16Device;
@@ -324,15 +352,18 @@ fn watchdog_auto_reset_can_be_disabled_via_ctrl_bit1() {
 #[test]
 fn closed_loop_sense_fault_falls_back_to_open_loop() {
     use ascp_core::chain::SenseMode;
-    let mut c = quiet();
-    c.mode = SenseMode::ClosedLoop;
-    c.faults.permanent(
-        FaultKind::AdcStuckCode {
-            channel: AdcChannel::Secondary,
-            code: 100,
-        },
-        0.8,
-    );
+    let c = PlatformConfig::builder()
+        .quiet()
+        .loop_mode(SenseMode::ClosedLoop)
+        .fault_permanent(
+            FaultKind::AdcStuckCode {
+                channel: AdcChannel::Secondary,
+                code: 100,
+            },
+            0.8,
+        )
+        .build()
+        .expect("valid");
     let mut p = Platform::new(c);
     let t0 = bring_up(&mut p);
     assert!(t0 < 0.8, "closed-loop bring-up too slow");
@@ -353,9 +384,11 @@ fn closed_loop_sense_fault_falls_back_to_open_loop() {
 
 #[test]
 fn intermittent_fault_emits_paired_events() {
-    let mut c = quiet();
-    c.faults
-        .intermittent(FaultKind::PllUnlock, 0.6, 1.2, 0.15, 0.02, 99);
+    let c = PlatformConfig::builder()
+        .quiet()
+        .fault_intermittent(FaultKind::PllUnlock, 0.6, 1.2, 0.15, 0.02, 99)
+        .build()
+        .expect("valid");
     let mut p = Platform::new(c);
     let t0 = bring_up(&mut p);
     run_until(&mut p, 1.3 - t0, |_| false);
@@ -379,7 +412,7 @@ fn intermittent_fault_emits_paired_events() {
 
 #[test]
 fn fault_free_run_stays_normal_with_zero_overhead_path() {
-    let mut p = Platform::new(quiet());
+    let mut p = Platform::new(PlatformConfig::builder().quiet().build().expect("valid"));
     let t0 = bring_up(&mut p);
     if let Some(t) = run_until(&mut p, 1.0, |p| {
         p.supervisor().state() != SupervisorState::Normal

@@ -1,0 +1,166 @@
+//! Parallel campaign execution: a fixed worker-thread pool that shards a
+//! work list across threads while keeping results in input order.
+//!
+//! The paper's design flow (§2, Fig. 1) sweeps one programmable platform
+//! across many configurations — the throughput bottleneck of platform-based
+//! design. This module is the simulator's answer: [`parallel_map`] runs
+//! independent work items on `std` threads fed from a channel work queue
+//! (no external dependencies) and reassembles the results **in input
+//! order**, so a campaign's output is bit-identical no matter how many
+//! worker threads execute it or how the scheduler interleaves them.
+//!
+//! Determinism contract: each item is handed to the closure together with
+//! its input index, the closure must derive any randomness from the item
+//! itself (seeds travel *in* the work item, never in thread-local state),
+//! and the result vector is ordered by that index. Under those rules
+//! `parallel_map(items, 1, f) == parallel_map(items, n, f)` for every `n`.
+//!
+//! # Example
+//!
+//! ```
+//! use ascp_sim::campaign::parallel_map;
+//!
+//! let squares = parallel_map((0u64..8).collect(), 4, |_idx, x| x * x);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Number of hardware threads available to the process (at least 1).
+///
+/// The default worker count for campaign runners and the `--threads` flag.
+#[must_use]
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f` over `items` on a pool of `threads` worker threads, returning
+/// the results in input order.
+///
+/// Work is distributed through a channel work queue: each worker pulls the
+/// next `(index, item)` pair when it finishes its previous one, so long
+/// items never stall the queue behind short ones. `threads` is clamped to
+/// `1..=items.len()`; with one thread (or one item) the map runs inline on
+/// the calling thread with no pool at all.
+///
+/// The closure receives the item's input index so it can derive
+/// per-item deterministic seeds; see the module docs for the determinism
+/// contract.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker thread after the pool has drained
+/// (via `std::thread::scope`).
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    // Work queue: every item is enqueued up front, the sender dropped, so
+    // workers drain the channel and exit on disconnect.
+    let (work_tx, work_rx) = mpsc::channel::<(usize, T)>();
+    for pair in items.into_iter().enumerate() {
+        work_tx.send(pair).expect("receiver alive while enqueuing");
+    }
+    drop(work_tx);
+    let work_rx = Mutex::new(work_rx);
+
+    let (done_tx, done_rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let work_rx = &work_rx;
+            let done_tx = done_tx.clone();
+            let f = &f;
+            scope.spawn(move || loop {
+                // Hold the queue lock only for the pull, not the work.
+                let job = work_rx.lock().expect("queue lock").recv();
+                match job {
+                    Ok((idx, item)) => {
+                        if done_tx.send((idx, f(idx, item))).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break, // queue drained
+                }
+            });
+        }
+        drop(done_tx);
+    });
+
+    // Reassemble in input order regardless of completion order.
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (idx, result) in done_rx {
+        slots[idx] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every work item produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items, 7, |idx, x| {
+            assert_eq!(idx as u64, x);
+            x * 3
+        });
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let work = |_: usize, x: u64| {
+            // A seeded per-item computation, as a campaign would run.
+            let mut acc = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            for _ in 0..100 {
+                acc = acc.rotate_left(7) ^ 0xdead_beef;
+            }
+            acc
+        };
+        let serial = parallel_map((0..64).collect(), 1, work);
+        for threads in [2, 4, 8] {
+            assert_eq!(serial, parallel_map((0..64).collect(), threads, work));
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let out = parallel_map((0..33).collect::<Vec<u32>>(), 4, |_, x| {
+            count.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 33);
+        assert_eq!(out.len(), 33);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u8> = parallel_map(Vec::new(), 4, |_, x: u8| x);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map(vec![9u8], 16, |_, x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn parallelism_is_at_least_one() {
+        assert!(available_parallelism() >= 1);
+    }
+}

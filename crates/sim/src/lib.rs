@@ -19,7 +19,10 @@
 //! - small numeric [`stats`] helpers (mean/variance, linear regression,
 //!   settling detection) shared by the characterization harness;
 //! - [`vcd`] waveform export (open runs in GTKWave next to RTL dumps) and
-//!   the [`allan`] deviation analysis used for gyro stability figures.
+//!   the [`allan`] deviation analysis used for gyro stability figures;
+//! - a [`campaign`] worker-pool engine that shards independent scenario
+//!   runs across threads with input-order (thread-count-independent)
+//!   results.
 //!
 //! # Example
 //!
@@ -36,6 +39,7 @@
 //! ```
 
 pub mod allan;
+pub mod campaign;
 pub mod fault;
 pub mod noise;
 pub mod stats;

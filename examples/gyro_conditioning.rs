@@ -9,8 +9,8 @@
 //! `target/experiments/gyro_conditioning_lock.csv`.
 
 use ascp::core::calibrate::{calibrate, install, trim_rebalance_phase, CalibrationConfig};
-use ascp::core::chain::SenseMode;
-use ascp::core::platform::{taps, Platform, PlatformConfig};
+use ascp::core::platform::taps;
+use ascp::core::prelude::*;
 use ascp::core::registers::AfeRegsJtag;
 use ascp::jtag::device::{instructions, RegAccessDevice};
 use ascp::sim::stats;
@@ -34,8 +34,10 @@ fn measure_linearity(platform: &mut Platform, label: &str) -> f64 {
 }
 
 fn main() {
-    let mut cfg = PlatformConfig::default();
-    cfg.cpu_enabled = false; // the monitor is shown in `quickstart`
+    let cfg = PlatformConfig::builder()
+        .cpu_enabled(false) // the monitor is shown in `quickstart`
+        .build()
+        .expect("valid config");
     let mut platform = Platform::new(cfg);
 
     // --- 1. power-on: record the measured PLL/AGC waveforms (Fig. 6) ---

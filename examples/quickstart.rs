@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use ascp::core::platform::{Platform, PlatformConfig};
+use ascp::core::prelude::*;
 use ascp::sim::stats;
 use ascp::sim::units::DegPerSec;
 
@@ -12,7 +12,8 @@ fn main() {
     // The platform as the paper's case study configures it: 15 kHz ring
     // gyro, 12-bit SAR ADCs, ×512 secondary PGA, open-loop sense path,
     // 8051 monitor running the built-in firmware.
-    let mut platform = Platform::new(PlatformConfig::default());
+    let cfg = PlatformConfig::builder().build().expect("valid config");
+    let mut platform = Platform::new(cfg);
 
     println!("powering on ...");
     let turn_on = platform

@@ -21,6 +21,6 @@ echo "== cargo test =="
 cargo test -q --workspace
 
 echo "== fault campaign (smoke: every fault class must be detected) =="
-cargo run --release -q -p ascp-bench --bin fault_campaign -- --smoke
+cargo run --release -q -p ascp-bench --bin fault_campaign -- --smoke --threads 4
 
 echo "All checks passed."

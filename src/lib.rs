@@ -21,11 +21,13 @@
 //! # Quickstart
 //!
 //! ```
-//! use ascp::core::platform::{Platform, PlatformConfig};
+//! use ascp::core::prelude::*;
 //! use ascp::sim::units::DegPerSec;
 //!
-//! let mut cfg = PlatformConfig::default();
-//! cfg.cpu_enabled = false; // faster for a doc test
+//! let cfg = PlatformConfig::builder()
+//!     .cpu_enabled(false) // faster for a doc test
+//!     .build()
+//!     .expect("valid config");
 //! let mut platform = Platform::new(cfg);
 //! let turn_on = platform.wait_for_ready(2.0).expect("lock");
 //! assert!(turn_on.0 < 1.5);

@@ -11,16 +11,16 @@ use ascp::sim::stats;
 use ascp::sim::units::{Celsius, DegPerSec};
 
 fn quiet() -> PlatformConfig {
-    let mut cfg = PlatformConfig::default();
-    cfg.gyro.noise_density = 0.005;
-    cfg.cpu_enabled = false;
-    cfg
+    PlatformConfig::builder().quiet().build().expect("valid")
 }
 
 #[test]
 fn end_to_end_rate_measurement_with_cpu_and_jtag() {
-    let mut cfg = quiet();
-    cfg.cpu_enabled = true;
+    let cfg = PlatformConfig::builder()
+        .quiet()
+        .cpu_enabled(true)
+        .build()
+        .expect("valid");
     let mut p = Platform::new(cfg);
     p.wait_for_ready(2.0).expect("lock");
 
@@ -69,8 +69,11 @@ fn end_to_end_rate_measurement_with_cpu_and_jtag() {
 fn full_characterization_matches_paper_shape() {
     // Realistic mechanical noise: below ~0.01 °/s/√Hz the 12-bit rate DAC
     // quantizes the zero-rate output to a constant and the PSD reads zero.
-    let mut cfg = quiet();
-    cfg.gyro.noise_density = 0.05;
+    let cfg = PlatformConfig::builder()
+        .quiet()
+        .noise_density(0.05)
+        .build()
+        .expect("valid");
     let mut p = Platform::new(cfg);
     p.wait_for_ready(2.0).expect("lock");
     let cal = calibrate(&mut p, &CalibrationConfig::fast());
@@ -91,9 +94,12 @@ fn full_characterization_matches_paper_shape() {
 
 #[test]
 fn prototype_variant_boots_over_uart_and_runs_monitor() {
-    let mut cfg = quiet();
-    cfg.cpu_enabled = true;
-    cfg.variant = PlatformVariant::Prototype;
+    let cfg = PlatformConfig::builder()
+        .quiet()
+        .cpu_enabled(true)
+        .variant(PlatformVariant::Prototype)
+        .build()
+        .expect("valid");
     let mut p = Platform::new(cfg);
     // Download the monitor firmware via the boot loader.
     let app = ascp::core::firmware::monitor_image().expect("assembles");
@@ -117,8 +123,11 @@ fn prototype_variant_boots_over_uart_and_runs_monitor() {
 
 #[test]
 fn closed_loop_holds_rate_accuracy_after_trim() {
-    let mut cfg = quiet();
-    cfg.mode = SenseMode::ClosedLoop;
+    let cfg = PlatformConfig::builder()
+        .quiet()
+        .loop_mode(SenseMode::ClosedLoop)
+        .build()
+        .expect("valid");
     let mut p = Platform::new(cfg);
     p.wait_for_ready(2.0).expect("lock");
     p.run(0.5);
@@ -176,12 +185,13 @@ fn jtag_full_readback_over_both_taps() {
 
 #[test]
 fn watchdog_recovers_a_hung_monitor() {
-    let mut cfg = quiet();
-    cfg.cpu_enabled = true;
     // Firmware that kicks once, then hangs forever.
-    cfg.firmware = Some(
-        ascp::mcu8051::asm::assemble(
-            "
+    let cfg = PlatformConfig::builder()
+        .quiet()
+        .cpu_enabled(true)
+        .firmware(
+            ascp::mcu8051::asm::assemble(
+                "
             mov 0xa1, #0x11     ; watchdog reload register
             mov 0xa2, #0x10     ; 4096+ ticks
             mov 0xa3, #0x00
@@ -191,9 +201,11 @@ fn watchdog_recovers_a_hung_monitor() {
             mov 0xa4, #2
             hang: sjmp hang
         ",
+            )
+            .expect("assembles"),
         )
-        .expect("assembles"),
-    );
+        .build()
+        .expect("valid");
     let mut p = Platform::new(cfg);
     p.run(0.2);
     assert!(p.watchdog_resets() > 0, "watchdog never fired");
@@ -224,9 +236,12 @@ fn sram_captures_rate_stream_for_readback() {
 
 #[test]
 fn channel_autodetect_boots_platform_firmware() {
-    let mut cfg = quiet();
-    cfg.cpu_enabled = true;
-    cfg.firmware = Some(ascp::core::firmware::autodetect_boot_image().expect("assembles"));
+    let cfg = PlatformConfig::builder()
+        .quiet()
+        .cpu_enabled(true)
+        .firmware(ascp::core::firmware::autodetect_boot_image().expect("assembles"))
+        .build()
+        .expect("valid");
     let mut p = Platform::new(cfg);
     // Feed the monitor-sized payload marker over the UART.
     let payload =
@@ -248,8 +263,11 @@ fn default_run_populates_telemetry() {
     // The default platform (telemetry enabled out of the box) must yield a
     // meaningful snapshot after an ordinary lock + measure session: stage
     // timing, a metric set spanning every subsystem, and the lock event.
-    let mut cfg = quiet();
-    cfg.cpu_enabled = true;
+    let cfg = PlatformConfig::builder()
+        .quiet()
+        .cpu_enabled(true)
+        .build()
+        .expect("valid");
     let mut p = Platform::new(cfg);
     p.wait_for_ready(2.0).expect("lock");
     p.set_rate(DegPerSec(100.0));
@@ -335,8 +353,11 @@ fn telemetry_exports_parse_and_disabled_is_silent() {
     assert!(json.contains("\"events\""), "{json}");
 
     // A disabled collector records nothing for the same scenario.
-    let mut cfg = quiet();
-    cfg.telemetry = ascp::sim::telemetry::TelemetryConfig::disabled();
+    let cfg = PlatformConfig::builder()
+        .quiet()
+        .telemetry(ascp::sim::telemetry::TelemetryConfig::disabled())
+        .build()
+        .expect("valid");
     let mut p = Platform::new(cfg);
     p.wait_for_ready(2.0).expect("lock");
     let snap = p.telemetry_snapshot();
