@@ -1,39 +1,69 @@
 //! Benchmarks of the platform co-simulation and 8051 subsystem: how many
 //! simulated DSP ticks / CPU instructions per wall second the reproduction
 //! sustains (the practical cost of every table/figure run).
+//!
+//! Flags: `--short` shrinks the measurement protocol (gate/CI smoke);
+//! `--check <path>` compares the run against a committed
+//! `BENCH_platform_sim.json` and exits non-zero if any benchmark's min
+//! ns/iter regressed by more than 50% (noise-tolerant perf guard). Full
+//! (non-`--short`) runs rewrite `BENCH_platform_sim.json` at the
+//! repository root; smoke runs only read it.
 
-use ascp_bench::harness::{bench, black_box};
+use ascp_bench::harness::{
+    bench, black_box, check_against, check_path_from_args, repo_root_path, write_bench_json,
+    BenchStats,
+};
 use ascp_core::platform::{Platform, PlatformConfig};
 use ascp_core::system::{SystemModel, SystemModelConfig};
 use ascp_mcu8051::asm::assemble;
 use ascp_mcu8051::cpu::{Cpu, NullBus};
 use ascp_mems::gyro::{GyroParams, RingGyro};
+use ascp_mems::resonator::Resonator;
 use ascp_sim::telemetry::TelemetryConfig;
 
 fn main() {
     println!("== platform_sim ==");
+    let mut all: Vec<BenchStats> = Vec::new();
+
+    let mut res = Resonator::new(15_000.0, 2_000.0);
+    all.push(bench("mems/resonator_zoh_step", || {
+        res.step(black_box(0.1), 1.0e-6);
+    }));
+    let mut res = Resonator::new(15_000.0, 2_000.0);
+    all.push(bench("mems/resonator_rk4_step", || {
+        res.step_rk4(black_box(0.1), 1.0e-6);
+    }));
 
     let mut gyro = RingGyro::new(GyroParams::default());
-    bench("mems/gyro_rk4_step", || {
+    all.push(bench("mems/gyro_step", || {
         gyro.step(black_box(0.1), 0.0, 1.0e-6)
-    });
+    }));
 
     let mut model = SystemModel::new(SystemModelConfig::default());
-    bench("system_model/float_step", || model.step());
+    all.push(bench("system_model/float_step", || model.step()));
 
     let cfg = PlatformConfig::builder()
         .cpu_enabled(false)
         .build()
         .expect("valid");
     let mut p = Platform::new(cfg);
-    bench("platform/dsp_tick_no_cpu", || p.step());
+    all.push(bench("platform/dsp_tick_no_cpu", || p.step()));
+
+    let cfg = PlatformConfig::builder()
+        .cpu_enabled(false)
+        .build()
+        .expect("valid");
+    let mut p = Platform::new(cfg);
+    all.push(bench("platform/block_1k_ticks_no_cpu", || {
+        p.step_block(1000)
+    }));
 
     let cfg = PlatformConfig::builder()
         .cpu_enabled(true)
         .build()
         .expect("valid");
     let mut p = Platform::new(cfg);
-    bench("platform/dsp_tick_with_cpu", || p.step());
+    all.push(bench("platform/dsp_tick_with_cpu", || p.step()));
 
     // Telemetry overhead: the enabled (default) path vs the no-op path.
     // The acceptance bar for the observability layer is <= 5% on the
@@ -65,6 +95,8 @@ fn main() {
             "OVER"
         }
     );
+    all.push(on);
+    all.push(off);
 
     // Fault-injection + supervisor overhead: with an empty fault plan the
     // injection hook is one branch per tick, and the supervisor runs only
@@ -91,11 +123,33 @@ fn main() {
         "fault/supervisor overhead: {sup_pct:+.2}% per tick ({} <= 2% budget)",
         if sup_pct <= 2.0 { "within" } else { "OVER" }
     );
+    all.push(sup_on);
+    all.push(sup_off);
 
     let rom = assemble("start: mov a, #1\nadd a, #2\nmov r0, a\ndjnz r0, start\nsjmp start\n")
         .expect("assembles");
     let mut cpu = Cpu::new();
     cpu.load_code(&rom);
     let mut bus = NullBus;
-    bench("mcu8051/instruction_step", || cpu.step(&mut bus));
+    all.push(bench("mcu8051/instruction_step", || cpu.step(&mut bus)));
+
+    // Perf guard first (against the committed baseline), then rewrite the
+    // trajectory file with this run. Short (smoke) runs never rewrite the
+    // baseline: their shrunken protocol is too noisy to commit, and the
+    // gate would otherwise dirty the checked-in file on every run.
+    let regressed = check_path_from_args().map(|path| {
+        check_against(&path, &all, 0.5)
+            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", path.display()))
+    });
+    if !ascp_bench::harness::short_mode() {
+        write_bench_json(repo_root_path("BENCH_platform_sim.json"), &all)
+            .expect("write bench trajectory");
+    }
+    if let Some(regressed) = regressed {
+        assert!(
+            regressed.is_empty(),
+            "perf smoke failed — regressed >50%: {regressed:?}"
+        );
+        println!("perf check passed (no benchmark regressed >50%)");
+    }
 }

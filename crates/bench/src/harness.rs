@@ -6,9 +6,55 @@
 //! to resist scheduler noise. Accuracy is in the few-percent range, which
 //! is all the cycle-budget comparisons here need.
 
+use std::io;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Returns `true` when the process was started with `--short`: benches
+/// shrink their warmup/sample budget (~10× faster, noisier) so the
+/// repository gate and CI can smoke-run the kernel benches without paying
+/// the full measurement protocol.
+#[must_use]
+pub fn short_mode() -> bool {
+    std::env::args().any(|a| a == "--short")
+}
+
+/// Resolves `name` against the repository root (two levels above this
+/// crate's manifest). Cargo runs bench binaries with the *package*
+/// directory as cwd, so a bare relative filename would land in
+/// `crates/bench/`; the committed bench-trajectory file lives at the
+/// repo root. Absolute paths pass through unchanged.
+#[must_use]
+pub fn repo_root_path(name: impl AsRef<Path>) -> PathBuf {
+    let name = name.as_ref();
+    if name.is_absolute() {
+        name.to_path_buf()
+    } else {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(name)
+    }
+}
+
+/// Parses `--check <path>` (or `--check=<path>`) from the process
+/// arguments: the committed bench-trajectory file to guard against.
+/// Relative paths are resolved against the repository root (see
+/// [`repo_root_path`]).
+#[must_use]
+pub fn check_path_from_args() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--check" {
+            return args.next().map(repo_root_path);
+        }
+        if let Some(v) = a.strip_prefix("--check=") {
+            return Some(repo_root_path(v));
+        }
+    }
+    None
+}
 
 /// Parses a `--threads N` (or `--threads=N`) flag from the process
 /// arguments; defaults to the machine's available parallelism. Every
@@ -56,9 +102,10 @@ impl std::fmt::Display for BenchStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{:<28} {:>12.1} ns/iter  ({:>14.0} iter/s)",
+            "{:<28} {:>12.1} ns/iter  (min {:>10.1})  ({:>14.0} iter/s)",
             self.name,
             self.ns_per_iter,
+            self.min_ns_per_iter,
             self.per_second()
         )
     }
@@ -68,10 +115,12 @@ impl std::fmt::Display for BenchStats {
 ///
 /// The return value of `f` is passed through [`black_box`] so the work is
 /// not optimized away; wrap inputs in `black_box` at the call site when
-/// they are loop-invariant.
+/// they are loop-invariant. Under [`short_mode`] the warmup and sample
+/// budget shrink ~10× (for gate/CI smoke runs).
 pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> BenchStats {
-    // Warm up (and measure a rough per-call cost) for ~20 ms.
-    let warmup = Duration::from_millis(20);
+    let (warmup_ms, sample_ms, sample_count) = if short_mode() { (5, 1, 5) } else { (20, 10, 9) };
+    // Warm up (and measure a rough per-call cost).
+    let warmup = Duration::from_millis(warmup_ms);
     let start = Instant::now();
     let mut warm_iters: u64 = 0;
     while start.elapsed() < warmup {
@@ -80,9 +129,9 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> BenchStats {
     }
     let rough_ns = warmup.as_nanos() as f64 / warm_iters.max(1) as f64;
 
-    // Calibrate batches to ~10 ms each, then take the median of 9.
-    let iters_per_sample = ((10.0e6 / rough_ns) as u64).clamp(1, 100_000_000);
-    let mut samples: Vec<f64> = (0..9)
+    // Calibrate batches to ~`sample_ms` each, then take the median.
+    let iters_per_sample = ((sample_ms as f64 * 1.0e6 / rough_ns) as u64).clamp(1, 100_000_000);
+    let mut samples: Vec<f64> = (0..sample_count)
         .map(|_| {
             let t = Instant::now();
             for _ in 0..iters_per_sample {
@@ -102,6 +151,111 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> BenchStats {
     stats
 }
 
+/// Serializes a bench run as the repo's bench-trajectory JSON:
+/// `{"<name>": {"min_ns_per_iter": …, "ns_per_iter": …, "per_second": …}}`,
+/// keys in run order. Committed at the repo root as
+/// `BENCH_platform_sim.json`, this is the baseline the CI perf-smoke step
+/// guards against.
+#[must_use]
+pub fn bench_json(stats: &[BenchStats]) -> String {
+    let mut out = String::from("{\n");
+    for (i, s) in stats.iter().enumerate() {
+        let sep = if i + 1 == stats.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  \"{}\": {{\"min_ns_per_iter\": {:.1}, \"ns_per_iter\": {:.1}, \"per_second\": {:.0}}}{sep}\n",
+            s.name, s.min_ns_per_iter, s.ns_per_iter, s.per_second()
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Writes the bench-trajectory JSON to `path` and reports it on stdout.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the file cannot be written.
+pub fn write_bench_json(path: impl AsRef<Path>, stats: &[BenchStats]) -> io::Result<()> {
+    std::fs::write(path.as_ref(), bench_json(stats))?;
+    println!("bench trajectory -> {}", path.as_ref().display());
+    Ok(())
+}
+
+/// Extracts `"name": {"min_ns_per_iter": X` pairs from a bench-trajectory
+/// JSON body (the fixed subset [`bench_json`] emits — no general JSON
+/// parser needed offline).
+#[must_use]
+pub fn parse_bench_json(body: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in body.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, rest)) = rest.split_once('"') else {
+            continue;
+        };
+        let Some(idx) = rest.find("\"min_ns_per_iter\":") else {
+            continue;
+        };
+        let tail = &rest[idx + "\"min_ns_per_iter\":".len()..];
+        let num: String = tail
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name.to_owned(), v));
+        }
+    }
+    out
+}
+
+/// Compares a fresh run against a committed baseline file: prints one row
+/// per shared benchmark and returns the names that regressed by more than
+/// `tolerance` (e.g. `0.5` = 50% slower on the min-ns metric). Benchmarks
+/// missing on either side are reported but never counted as regressions
+/// (the guard is noise-tolerant by design: only a large, reproducible
+/// slowdown on a known benchmark fails).
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the baseline cannot be read.
+pub fn check_against(
+    baseline_path: impl AsRef<Path>,
+    stats: &[BenchStats],
+    tolerance: f64,
+) -> io::Result<Vec<String>> {
+    let body = std::fs::read_to_string(baseline_path.as_ref())?;
+    let baseline = parse_bench_json(&body);
+    let mut regressed = Vec::new();
+    println!(
+        "== perf check vs {} (fail > {:.0}% on min ns/iter) ==",
+        baseline_path.as_ref().display(),
+        tolerance * 100.0
+    );
+    for s in stats {
+        match baseline.iter().find(|(n, _)| n == &s.name) {
+            Some((_, base_min)) if *base_min > 0.0 => {
+                let delta = (s.min_ns_per_iter - base_min) / base_min;
+                let verdict = if delta > tolerance { "REGRESSED" } else { "ok" };
+                println!(
+                    "  {:<28} base {:>10.1}  now {:>10.1}  ({:+7.1}%)  {verdict}",
+                    s.name,
+                    base_min,
+                    s.min_ns_per_iter,
+                    delta * 100.0
+                );
+                if delta > tolerance {
+                    regressed.push(s.name.clone());
+                }
+            }
+            _ => println!("  {:<28} (no baseline entry — skipped)", s.name),
+        }
+    }
+    Ok(regressed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +269,74 @@ mod tests {
             s.ns_per_iter
         );
         assert!(s.min_ns_per_iter <= s.ns_per_iter);
+    }
+
+    #[test]
+    fn bench_json_round_trips_min_ns() {
+        let stats = vec![
+            BenchStats {
+                name: "platform/dsp_tick_no_cpu".into(),
+                iters_per_sample: 1,
+                ns_per_iter: 1000.0,
+                min_ns_per_iter: 950.5,
+            },
+            BenchStats {
+                name: "mems/gyro_step".into(),
+                iters_per_sample: 1,
+                ns_per_iter: 60.0,
+                min_ns_per_iter: 55.0,
+            },
+        ];
+        let body = bench_json(&stats);
+        let parsed = parse_bench_json(&body);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "platform/dsp_tick_no_cpu");
+        assert!((parsed[0].1 - 950.5).abs() < 1e-9);
+        assert!((parsed[1].1 - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn check_against_flags_only_large_regressions() {
+        let dir = std::env::temp_dir().join("ascp_bench_check_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("baseline.json");
+        let baseline = vec![
+            BenchStats {
+                name: "a".into(),
+                iters_per_sample: 1,
+                ns_per_iter: 100.0,
+                min_ns_per_iter: 100.0,
+            },
+            BenchStats {
+                name: "b".into(),
+                iters_per_sample: 1,
+                ns_per_iter: 100.0,
+                min_ns_per_iter: 100.0,
+            },
+        ];
+        std::fs::write(&path, bench_json(&baseline)).expect("write baseline");
+        let now = vec![
+            BenchStats {
+                name: "a".into(),
+                iters_per_sample: 1,
+                ns_per_iter: 120.0,
+                min_ns_per_iter: 120.0, // +20%: within tolerance
+            },
+            BenchStats {
+                name: "b".into(),
+                iters_per_sample: 1,
+                ns_per_iter: 200.0,
+                min_ns_per_iter: 200.0, // +100%: regression
+            },
+            BenchStats {
+                name: "c".into(), // no baseline: skipped, not a failure
+                iters_per_sample: 1,
+                ns_per_iter: 1.0,
+                min_ns_per_iter: 1.0,
+            },
+        ];
+        let regressed = check_against(&path, &now, 0.5).expect("check runs");
+        assert_eq!(regressed, vec!["b".to_owned()]);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -93,7 +93,11 @@ impl Default for PlatformConfig {
         Self {
             gyro: ascp_mems::gyro::GyroParams::default(),
             dsp_rate: Hertz(250_000.0),
-            analog_oversample: 4,
+            // One exact-propagator step per DSP tick. The RK4 solver needed
+            // 4 substeps to keep its truncation error below the Brownian
+            // floor; the ZOH propagator is exact for the held electrode
+            // forces at any step size (see DESIGN.md, analog solver).
+            analog_oversample: 1,
             adc: AdcConfig::default(),
             drive_dac: DacConfig::default(),
             rebalance_dac: DacConfig {
@@ -496,6 +500,19 @@ pub struct Platform {
     cpu: Cpu,
     bus: SystemBus,
     cpu_cycle_debt: f64,
+    /// Cached `1 / dsp_rate` (set at construction; the rate is fixed).
+    dsp_dt: f64,
+    /// Cached `dsp_dt / analog_oversample` (set at construction).
+    sub_dt: f64,
+    /// Cached CPU machine cycles accrued per DSP tick (20 MHz / 12).
+    cpu_cycles_per_tick: f64,
+    /// Monitoring-cadence period in DSP ticks (1 kHz).
+    monitor_period: u64,
+    /// Ticks until the next monitoring-cadence service (countdown replaces
+    /// a per-tick modulo on the hot path).
+    monitor_countdown: u64,
+    /// Cached `!config.faults.is_empty()` (the plan is fixed per run).
+    faults_active: bool,
     /// Held drive forces between DAC updates (DAC units, ±1).
     drive_force: f64,
     rebalance_force: f64,
@@ -658,6 +675,12 @@ impl Platform {
             cpu,
             bus,
             cpu_cycle_debt: 0.0,
+            dsp_dt: 1.0 / config.dsp_rate.0,
+            sub_dt: 1.0 / config.dsp_rate.0 / f64::from(config.analog_oversample),
+            cpu_cycles_per_tick: 20.0e6 / 12.0 / config.dsp_rate.0,
+            monitor_period: (config.dsp_rate.0 as u64 / 1000).max(1),
+            monitor_countdown: (config.dsp_rate.0 as u64 / 1000).max(1),
+            faults_active: !config.faults.is_empty(),
             drive_force: 0.0,
             rebalance_force: 0.0,
             tick: 0,
@@ -856,12 +879,33 @@ impl Platform {
     /// Advances one DSP tick (analog substeps + conversion + chain + DACs +
     /// CPU slice). Returns the chain drive outputs of this tick.
     pub fn step(&mut self) -> ChainDrive {
-        let dsp_dt = 1.0 / self.config.dsp_rate.0;
+        self.step_inner()
+    }
+
+    /// Advances `n` DSP ticks as one blocked kernel call.
+    ///
+    /// Semantically identical to calling [`Platform::step`] `n` times (the
+    /// campaign determinism contract depends on that), but the per-tick
+    /// loop runs through the inlined tick body with every run invariant —
+    /// `dsp_dt`, `sub_dt`, the per-run noise sigmas, the fault-plan
+    /// emptiness flag and the monitoring-cadence countdown — already
+    /// hoisted into fields, so the run-scale entry points ([`Platform::run`],
+    /// [`Platform::run_traces`], the sampling loops and the campaign Step
+    /// executor) pay no per-call setup or dispatch per tick.
+    pub fn step_block(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step_inner();
+        }
+    }
+
+    #[inline]
+    fn step_inner(&mut self) -> ChainDrive {
+        let dsp_dt = self.dsp_dt;
         let sub = self.config.analog_oversample;
-        let sub_dt = dsp_dt / f64::from(sub);
+        let sub_dt = self.sub_dt;
         // Fault engine: a single branch per tick when no faults are
         // scheduled (the common case).
-        if !self.config.faults.is_empty() {
+        if self.faults_active {
             self.apply_faults();
         }
         // Sampled profiling: `mark` is Some only on profiled ticks.
@@ -933,7 +977,7 @@ impl Platform {
 
         // CPU slice: 20 MHz / 12 machine cycles per second.
         if self.config.cpu_enabled {
-            self.cpu_cycle_debt += 20.0e6 / 12.0 * dsp_dt;
+            self.cpu_cycle_debt += self.cpu_cycles_per_tick;
             while self.cpu_cycle_debt >= 1.0 {
                 let spent = self.cpu.step(&mut self.bus);
                 self.cpu_cycle_debt -= f64::from(spent);
@@ -958,11 +1002,10 @@ impl Platform {
 
         self.tick += 1;
         // Slow monitoring cadence: registers + AFE application + safety
-        // supervision at 1 kHz.
-        if self
-            .tick
-            .is_multiple_of((self.config.dsp_rate.0 as u64 / 1000).max(1))
-        {
+        // supervision at 1 kHz. A countdown replaces the per-tick modulo.
+        self.monitor_countdown -= 1;
+        if self.monitor_countdown == 0 {
+            self.monitor_countdown = self.monitor_period;
             self.chain.sync_registers(&self.dsp_regs);
             self.apply_afe_registers();
             self.monitor_ticks += 1;
@@ -1333,9 +1376,7 @@ impl Platform {
     /// realizable duration instead of a silent truncation.
     pub fn run(&mut self, seconds: f64) {
         let ticks = (seconds * self.config.dsp_rate.0).round() as u64;
-        for _ in 0..ticks {
-            self.step();
-        }
+        self.step_block(ticks);
     }
 
     /// Runs until PLL lock and AGC settling, returning the turn-on time, or
@@ -1372,10 +1413,14 @@ impl Platform {
         let mut vco_control = Trace::with_decimation("vco_control", div);
         let mut rate_out = Trace::with_decimation("rate_out_volts", div);
         let ticks = (seconds * self.config.dsp_rate.0).round() as u64;
-        for _ in 0..ticks {
-            self.step();
-            // Sample the observable signals every 50 ticks (the chain's
-            // control-update cadence).
+        // Blocked stepping between observation points: the observable
+        // signals are sampled every 50 ticks (the chain's control-update
+        // cadence), so advance in whole chunks up to each sample tick.
+        let mut left = ticks;
+        while left > 0 {
+            let chunk = (50 - self.tick % 50).min(left);
+            self.step_block(chunk);
+            left -= chunk;
             if self.tick.is_multiple_of(50) {
                 let t = self.time();
                 amplitude_control.push(t, self.chain.drive());
@@ -1406,10 +1451,9 @@ impl Platform {
         let decim = self.chain.config().demod_decimation as u64;
         let mut out = Vec::with_capacity(n);
         while out.len() < n {
-            self.step();
-            if self.tick.is_multiple_of(decim) {
-                out.push(self.rate_output_dps());
-            }
+            // Jump straight to the next decimated output tick.
+            self.step_block(decim - self.tick % decim);
+            out.push(self.rate_output_dps());
         }
         out
     }
@@ -1430,6 +1474,7 @@ impl Platform {
         self.cpu.reset();
         self.tick = 0;
         self.cpu_cycle_debt = 0.0;
+        self.monitor_countdown = self.monitor_period;
         // The supervisor reboots with the platform; a forced open-loop
         // fallback does not survive a cold start.
         self.supervisor.reset();
@@ -1469,10 +1514,9 @@ impl crate::characterize::RateSensor for Platform {
         let decim = u64::from(self.chain.config().demod_decimation);
         let mut out = Vec::with_capacity(n);
         while out.len() < n {
-            self.step();
-            if self.tick.is_multiple_of(decim) {
-                out.push(self.rate_output().0);
-            }
+            // Jump straight to the next decimated output tick.
+            self.step_block(decim - self.tick % decim);
+            out.push(self.rate_output().0);
         }
         out
     }

@@ -119,6 +119,19 @@ impl FirFilter {
         self.pos = 0;
     }
 
+    /// Pushes one sample into the delay line without computing an output.
+    ///
+    /// Used by [`DecimatingFir`] on the input ticks whose output would be
+    /// discarded: the convolution depends only on the delay-line contents
+    /// at the instant it runs, so skipping the MAC between decimated
+    /// output ticks leaves the emitted sample stream bit-identical while
+    /// cutting the per-input cost from O(taps) to O(1).
+    #[inline]
+    pub fn push(&mut self, x: Q15) {
+        self.delay[self.pos] = x;
+        self.pos = (self.pos + 1) % self.coeffs.len();
+    }
+
     /// Processes one sample.
     pub fn process(&mut self, x: Q15) -> Q15 {
         self.delay[self.pos] = x;
@@ -191,13 +204,21 @@ impl DecimatingFir {
     }
 
     /// Feeds one input sample; returns `Some(y)` on the decimated ticks.
+    ///
+    /// The full convolution runs only on the emitting ticks; the other
+    /// `factor − 1` inputs of each frame take the O(1) delay-line
+    /// [`FirFilter::push`] path. The emitted samples are bit-identical to
+    /// filtering every input, because each output depends only on the
+    /// delay-line contents at its own instant. (Saturation counting
+    /// follows the computed outputs, i.e. only samples that are actually
+    /// emitted.)
     pub fn process(&mut self, x: Q15) -> Option<Q15> {
-        let y = self.fir.process(x);
         self.counter += 1;
         if self.counter == self.factor {
             self.counter = 0;
-            Some(y)
+            Some(self.fir.process(x))
         } else {
+            self.fir.push(x);
             None
         }
     }
@@ -306,6 +327,29 @@ mod tests {
             .filter_map(|_| d.process(Q15::from_f64(0.1)))
             .count();
         assert_eq!(outputs, 4);
+    }
+
+    #[test]
+    fn decimator_matches_filtering_every_sample() {
+        // The lazy (push-only between emissions) decimator must produce a
+        // bit-identical output stream to running the full FIR on every
+        // input and keeping every Nth output.
+        let proto = FirFilter::lowpass(0.02, 101);
+        let mut lazy = DecimatingFir::new(proto.clone(), 7);
+        let mut dense = proto;
+        let mut k: u32 = 0;
+        for n in 0..1000u32 {
+            let x = Q15::from_f64(0.4 * f64::from(n % 50) / 50.0 - 0.2);
+            let y_dense = dense.process(x);
+            k += 1;
+            let keep = if k == 7 {
+                k = 0;
+                Some(y_dense)
+            } else {
+                None
+            };
+            assert_eq!(lazy.process(x), keep, "sample {n}");
+        }
     }
 
     #[test]

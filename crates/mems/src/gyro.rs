@@ -143,6 +143,13 @@ pub struct RingGyro {
     sense_noise_density: f64,
     /// Quadrature stiffness coupling (derived, updated with temperature).
     k_quad: f64,
+    /// Step size the cached sigmas below were built for (0 = stale; set
+    /// stale by temperature changes and rebuilt on the next step).
+    sigma_dt: f64,
+    /// Cached per-step sense-force noise sigma `density·√(0.5/dt)`.
+    sigma_s: f64,
+    /// Cached drive-force noise sigma (1 % of the sense sigma).
+    sigma_d: f64,
 }
 
 impl RingGyro {
@@ -171,6 +178,9 @@ impl RingGyro {
             sense_noise: WhiteNoise::new(1.0, params.seed ^ 0x5e),
             sense_noise_density,
             k_quad: 0.0,
+            sigma_dt: 0.0,
+            sigma_s: 0.0,
+            sigma_d: 0.0,
             params,
         };
         gyro.apply_temperature();
@@ -220,6 +230,8 @@ impl RingGyro {
         let quad_rate = (p.quadrature_rate.0 + p.quadrature_tc * dt).to_radians();
         let w = self.drive_mode.frequency() * 2.0 * std::f64::consts::PI;
         self.k_quad = 2.0 * p.angular_gain * quad_rate * w;
+        // Invalidate the per-step noise sigmas alongside the couplings.
+        self.sigma_dt = 0.0;
     }
 
     /// Current drive-mode resonance (what the PLL must track).
@@ -233,21 +245,32 @@ impl RingGyro {
     /// `drive_force` and `rebalance_force` are the commanded electrode
     /// forces in DAC units (±1.0 full scale); `dt` is the solver step.
     pub fn step(&mut self, drive_force: f64, rebalance_force: f64, dt: f64) -> GyroPickoffs {
-        let p = &self.params;
         // White force noise with the configured density, realized per step:
-        // sigma = density · √(fs/2).
-        let sigma_s = self.sense_noise_density * (0.5 / dt).sqrt();
-        // Drive-mode Brownian noise exists too but is ~40 dB below the
-        // regulated drive signal; keep it at 1 % of the sense density.
-        let n_d = 0.01 * sigma_s * self.drive_noise.sample();
-        let n_s = sigma_s * self.sense_noise.sample();
+        // sigma = density · √(fs/2). The sigma (and the 1 % drive-mode
+        // term, ~40 dB below the regulated drive signal) depends only on
+        // `dt`, so it is cached and refreshed when `dt` or the temperature
+        // tuning changes — not recomputed per substep.
+        if dt != self.sigma_dt {
+            self.sigma_s = self.sense_noise_density * (0.5 / dt).sqrt();
+            self.sigma_d = 0.01 * self.sigma_s;
+            self.sigma_dt = dt;
+        }
+        let p = &self.params;
+        let n_d = self.sigma_d * self.drive_noise.sample();
+        let n_s = self.sigma_s * self.sense_noise.sample();
 
-        let dstate = self.drive_mode.state();
-        let omega_rad = self.rate.to_rad_per_sec();
-        let coriolis = -2.0 * p.angular_gain * omega_rad * dstate.v;
-        let quadrature = self.k_quad * dstate.x;
-
+        // The coupling forces ride on the drive motion at the carrier
+        // frequency; evaluating them from the *trapezoid* of the drive
+        // state across the step (both endpoints are exact under the ZOH
+        // propagator) centers their phase mid-step, so one step per DSP
+        // tick carries no systematic Coriolis/quadrature phase lag.
+        let s0 = self.drive_mode.state();
         self.drive_mode.step(p.force_scale * drive_force + n_d, dt);
+        let s1 = self.drive_mode.state();
+        let omega_rad = self.rate.to_rad_per_sec();
+        let coriolis = -2.0 * p.angular_gain * omega_rad * 0.5 * (s0.v + s1.v);
+        let quadrature = self.k_quad * 0.5 * (s0.x + s1.x);
+
         self.sense_mode.step(
             p.force_scale * rebalance_force + coriolis + quadrature + n_s,
             dt,

@@ -23,4 +23,11 @@ cargo test -q --workspace
 echo "== fault campaign (smoke: every fault class must be detected) =="
 cargo run --release -q -p ascp-bench --bin fault_campaign -- --smoke --threads 4
 
+echo "== kernel benches (short mode: build + run smoke, perf guard) =="
+# --short shrinks the measurement protocol ~10x; --check compares the
+# committed baseline and fails only on a >50% min-ns regression (the
+# guard is deliberately noise-tolerant — see ascp_bench::harness).
+cargo bench -p ascp-bench --bench platform_sim -- --short --check BENCH_platform_sim.json
+cargo bench -p ascp-bench --bench dsp_blocks -- --short
+
 echo "All checks passed."
