@@ -9,6 +9,7 @@
 
 use ascp_dsp::fixed::Q15;
 use ascp_sim::noise::WhiteNoise;
+use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 use ascp_sim::units::Volts;
 
 /// SAR ADC configuration.
@@ -244,6 +245,85 @@ impl SarAdc {
     pub fn code_to_volts(&self, code: i32) -> Volts {
         let half = (1i64 << (self.config.bits - 1)) as f64;
         Volts(code as f64 / half * self.config.vref.0)
+    }
+
+    /// Serializes the converter state: noise generator, the seeded DNL
+    /// pattern (saved raw so a restored part keeps its mismatch even if the
+    /// generation recipe changes), counters, injected fault, and reference
+    /// scale.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.noise.save_state(w);
+        w.put_f64_slice(&self.dnl);
+        w.put_u64(self.conversions);
+        w.put_u64(self.clips);
+        match self.fault {
+            None => w.put_u8(0),
+            Some(AdcFault::StuckBit { bit, value }) => {
+                w.put_u8(1);
+                w.put_u32(bit);
+                w.put_bool(value);
+            }
+            Some(AdcFault::StuckCode { code }) => {
+                w.put_u8(2);
+                w.put_i32(code);
+            }
+            Some(AdcFault::Overload { gain }) => {
+                w.put_u8(3);
+                w.put_f64(gain);
+            }
+        }
+        w.put_f64(self.ref_scale);
+    }
+
+    /// Restores state saved by [`SarAdc::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Corrupt`] if the DNL table length does not
+    /// match this converter's resolution, the fault tag is unknown, or the
+    /// reference scale is not physical; propagates other [`SnapshotError`]s
+    /// on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.noise.load_state(r)?;
+        let dnl = r.take_f64_vec()?;
+        if dnl.len() != self.dnl.len() {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "ADC DNL table of {} codes in snapshot, converter has {}",
+                    dnl.len(),
+                    self.dnl.len()
+                ),
+            });
+        }
+        self.conversions = r.take_u64()?;
+        self.clips = r.take_u64()?;
+        self.fault = match r.take_u8()? {
+            0 => None,
+            1 => Some(AdcFault::StuckBit {
+                bit: r.take_u32()?,
+                value: r.take_bool()?,
+            }),
+            2 => Some(AdcFault::StuckCode {
+                code: r.take_i32()?,
+            }),
+            3 => Some(AdcFault::Overload {
+                gain: r.take_f64()?,
+            }),
+            t => {
+                return Err(SnapshotError::Corrupt {
+                    context: format!("unknown ADC fault tag {t}"),
+                });
+            }
+        };
+        let ref_scale = r.take_f64()?;
+        if !(ref_scale.is_finite() && ref_scale > 0.0) {
+            return Err(SnapshotError::Corrupt {
+                context: format!("ADC ref scale {ref_scale} not physical"),
+            });
+        }
+        self.dnl = dnl;
+        self.ref_scale = ref_scale;
+        Ok(())
     }
 }
 

@@ -11,6 +11,7 @@
 //! noise (rate noise density), and rail saturation.
 
 use ascp_sim::noise::{PinkNoise, WhiteNoise};
+use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 use ascp_sim::units::{Celsius, Volts};
 
 /// Programmable-gain amplifier with a single-pole bandwidth limit.
@@ -135,6 +136,46 @@ impl Pga {
     pub fn reset(&mut self) {
         self.state = 0.0;
     }
+
+    /// Serializes the programmable settings (gain code, bandwidth), filter
+    /// state, temperature, and both noise generators.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u8(self.gain_code);
+        w.put_f64(self.bandwidth);
+        w.put_f64(self.state);
+        w.put_f64(self.temperature.0);
+        self.white.save_state(w);
+        self.pink.save_state(w);
+    }
+
+    /// Restores state saved by [`Pga::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Corrupt`] if the gain code is outside the
+    /// ladder or the bandwidth is not physical; propagates other
+    /// [`SnapshotError`]s on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let gain_code = r.take_u8()?;
+        if gain_code as usize >= self.gains.len() {
+            return Err(SnapshotError::Corrupt {
+                context: format!("PGA gain code {gain_code} outside ladder"),
+            });
+        }
+        let bandwidth = r.take_f64()?;
+        if !(bandwidth.is_finite() && bandwidth > 0.0) {
+            return Err(SnapshotError::Corrupt {
+                context: format!("PGA bandwidth {bandwidth} not physical"),
+            });
+        }
+        self.gain_code = gain_code;
+        self.bandwidth = bandwidth;
+        self.state = r.take_f64()?;
+        self.temperature = Celsius(r.take_f64()?);
+        self.white.load_state(r)?;
+        self.pink.load_state(r)?;
+        Ok(())
+    }
 }
 
 /// Charge amplifier: converts a capacitive pickoff displacement (normalized
@@ -174,6 +215,20 @@ impl ChargeAmplifier {
     /// Converts one displacement sample to a voltage.
     pub fn convert(&mut self, displacement: f64) -> Volts {
         Volts((displacement * self.gain + self.noise.sample()).clamp(-self.rail.0, self.rail.0))
+    }
+
+    /// Serializes the noise generator (gain and rails are configuration).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.noise.save_state(w);
+    }
+
+    /// Restores state saved by [`ChargeAmplifier::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.noise.load_state(r)
     }
 }
 

@@ -7,6 +7,7 @@
 
 use ascp_dsp::fixed::Q15;
 use ascp_sim::noise::WhiteNoise;
+use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 use ascp_sim::units::Volts;
 
 /// DAC configuration.
@@ -154,6 +155,35 @@ impl Dac {
     #[must_use]
     pub fn updates(&self) -> u64 {
         self.updates
+    }
+
+    /// Serializes the held output, update counter, noise generator, and
+    /// reference scale.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.noise.save_state(w);
+        w.put_f64(self.held.0);
+        w.put_u64(self.updates);
+        w.put_f64(self.ref_scale);
+    }
+
+    /// Restores state saved by [`Dac::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Corrupt`] if the reference scale is not
+    /// physical; propagates other [`SnapshotError`]s on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.noise.load_state(r)?;
+        self.held = Volts(r.take_f64()?);
+        self.updates = r.take_u64()?;
+        let ref_scale = r.take_f64()?;
+        if !(ref_scale.is_finite() && ref_scale > 0.0) {
+            return Err(SnapshotError::Corrupt {
+                context: format!("DAC ref scale {ref_scale} not physical"),
+            });
+        }
+        self.ref_scale = ref_scale;
+        Ok(())
     }
 }
 

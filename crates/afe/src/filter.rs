@@ -5,6 +5,7 @@
 //! analog solver rate: accurate well past the audio-range corners used
 //! here, stable at any step size.
 
+use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 use ascp_sim::units::Volts;
 
 /// Second-order continuous lowpass `H(s) = ω₀² / (s² + (ω₀/Q)s + ω₀²)`.
@@ -76,6 +77,32 @@ impl AntiAliasFilter {
     pub fn reset(&mut self) {
         self.x = 0.0;
         self.v = 0.0;
+    }
+
+    /// Serializes the programmable corner and the ODE state.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_f64(self.f0);
+        w.put_f64(self.x);
+        w.put_f64(self.v);
+    }
+
+    /// Restores state saved by [`AntiAliasFilter::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Corrupt`] if the saved corner is not
+    /// physical; propagates other [`SnapshotError`]s on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let f0 = r.take_f64()?;
+        if !(f0.is_finite() && f0 > 0.0) {
+            return Err(SnapshotError::Corrupt {
+                context: format!("anti-alias corner {f0} not physical"),
+            });
+        }
+        self.f0 = f0;
+        self.x = r.take_f64()?;
+        self.v = r.take_f64()?;
+        Ok(())
     }
 }
 

@@ -7,6 +7,7 @@
 //! coefficients plus noise.
 
 use ascp_sim::noise::WhiteNoise;
+use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 use ascp_sim::units::{Celsius, Hertz, Volts};
 
 /// Bandgap voltage reference.
@@ -80,6 +81,31 @@ impl VoltageReference {
         let drift = 1.0 + self.tempco * (self.temperature.0 - 25.0);
         Volts(self.nominal.0 * drift * (1.0 - self.droop) + self.noise.sample())
     }
+
+    /// Serializes temperature, injected droop, and the noise generator.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_f64(self.temperature.0);
+        w.put_f64(self.droop);
+        self.noise.save_state(w);
+    }
+
+    /// Restores state saved by [`VoltageReference::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Corrupt`] if the droop fraction is outside
+    /// `[0, 1)`; propagates other [`SnapshotError`]s on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.temperature = Celsius(r.take_f64()?);
+        let droop = r.take_f64()?;
+        if !(0.0..1.0).contains(&droop) {
+            return Err(SnapshotError::Corrupt {
+                context: format!("reference droop fraction {droop} outside [0, 1)"),
+            });
+        }
+        self.droop = droop;
+        self.noise.load_state(r)
+    }
 }
 
 /// System oscillator (the 20 MHz clock of the paper's FPGA prototype).
@@ -137,6 +163,22 @@ impl Oscillator {
     pub fn period(&mut self) -> f64 {
         let f = self.frequency().0;
         (1.0 / f) * (1.0 + self.noise.sample())
+    }
+
+    /// Serializes temperature and the jitter generator.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_f64(self.temperature.0);
+        self.noise.save_state(w);
+    }
+
+    /// Restores state saved by [`Oscillator::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.temperature = Celsius(r.take_f64()?);
+        self.noise.load_state(r)
     }
 }
 

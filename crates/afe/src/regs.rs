@@ -6,6 +6,7 @@
 //! the platform glue (ascp-core) applies the values to the component
 //! models, and the JTAG chain (ascp-jtag) moves the bits.
 
+use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 use std::error::Error;
 use std::fmt;
 
@@ -206,6 +207,35 @@ impl AfeRegisterFile {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         false
+    }
+
+    /// Serializes the register values and the write counter.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u16_slice(&self.values);
+        w.put_u64(self.writes);
+    }
+
+    /// Restores state saved by [`AfeRegisterFile::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Corrupt`] if the register count does not
+    /// match the bank; propagates other [`SnapshotError`]s on malformed
+    /// input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let values = r.take_u16_vec()?;
+        if values.len() != self.values.len() {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "AFE register bank of {} registers in snapshot, expected {}",
+                    values.len(),
+                    self.values.len()
+                ),
+            });
+        }
+        self.values.copy_from_slice(&values);
+        self.writes = r.take_u64()?;
+        Ok(())
     }
 }
 

@@ -13,37 +13,108 @@
 //!
 //! The capture is a one-entry scenario campaign; the Allan analysis reads
 //! the zero-rate series back out of the [`CampaignReport`].
+//!
+//! # Checkpoint & resume
+//!
+//! The lock transient is pure overhead when iterating on the analysis, so
+//! the bring-up can be checkpointed and skipped on later runs:
+//!
+//! ```sh
+//! # First run: lock, save the settled platform, then capture.
+//! cargo run --release -p ascp-bench --bin stability_allan -- --checkpoint settled.ckpt
+//! # Later runs: restore the settled platform, capture immediately.
+//! cargo run --release -p ascp-bench --bin stability_allan -- --resume settled.ckpt
+//! ```
+//!
+//! Restores are bit-exact (see [`ascp_core::checkpoint`]): a resumed run
+//! produces byte-identical samples to the run that saved the checkpoint
+//! continuing past it.
 
 use ascp_bench::harness::threads_from_args;
 use ascp_bench::{experiments_dir, write_metrics};
+use ascp_core::characterize::RateSensor;
+use ascp_core::checkpoint;
 use ascp_core::prelude::*;
 use ascp_sim::allan::{allan_deviation, angle_random_walk, bias_instability};
 use std::io::Write;
 
+/// Value of `--<name> <value>` / `--<name>=<value>` on the command line.
+fn arg_value(name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    let prefix = format!("--{name}=");
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_owned());
+        }
+    }
+    None
+}
+
+fn io_err(e: checkpoint::CheckpointError) -> std::io::Error {
+    std::io::Error::other(e.to_string())
+}
+
 fn main() -> std::io::Result<()> {
     let threads = threads_from_args();
+    let save_path = arg_value("checkpoint");
+    let resume_path = arg_value("resume");
     let config = PlatformConfig::builder()
         .cpu_enabled(false)
         .build()
         .expect("valid stability config");
-    let spec = ScenarioSpec::new("stability", config)
-        .with_step(Step::WaitReady { timeout_s: 2.0 })
-        .with_step(Step::CaptureZeroRate {
-            label: "zero_rate".into(),
-            seconds: 40.0,
-            settle_s: 0.5,
-        });
-    println!("stability: locking, then recording 40 s of zero-rate output ...");
-    let report = CampaignRunner::new().with_threads(threads).run(vec![spec]);
 
-    let rate = report
-        .series("stability", "zero_rate")
-        .expect("zero-rate capture");
-    let fs = report
-        .metric("stability", "zero_rate_fs_hz")
-        .expect("output sample rate");
+    let (rate, fs, report) = if save_path.is_some() || resume_path.is_some() {
+        // Platform-level flow: bring up (or restore) a settled platform,
+        // optionally checkpoint it, then capture directly.
+        let mut p = match &resume_path {
+            Some(path) => {
+                println!("stability: resuming settled platform from {path} ...");
+                checkpoint::restore_from_file(config.clone(), path).map_err(io_err)?
+            }
+            None => {
+                println!("stability: locking (bring-up will be checkpointed) ...");
+                let mut p = Platform::new(config.clone());
+                p.wait_for_ready(2.0).expect("platform locks within 2 s");
+                p
+            }
+        };
+        if let Some(path) = &save_path {
+            checkpoint::save_to_file(&p, path).map_err(io_err)?;
+            println!("  settled checkpoint -> {path}");
+        }
+        println!("stability: recording 40 s of zero-rate output ...");
+        let fs = p.output_sample_rate();
+        let n = (40.0 * fs).round() as usize;
+        let volts = p.sample_output(0.5, n);
+        // Nominal transfer: 5 mV/°/s around the 2.5 V null (the same
+        // conversion Step::CaptureZeroRate applies).
+        let rate: Vec<f64> = volts.iter().map(|v| (v - 2.5) / 0.005).collect();
+        (rate, fs, None)
+    } else {
+        let spec = ScenarioSpec::new("stability", config)
+            .with_step(Step::WaitReady { timeout_s: 2.0 })
+            .with_step(Step::CaptureZeroRate {
+                label: "zero_rate".into(),
+                seconds: 40.0,
+                settle_s: 0.5,
+            });
+        println!("stability: locking, then recording 40 s of zero-rate output ...");
+        let report = CampaignRunner::new().with_threads(threads).run(vec![spec]);
+        let rate = report
+            .series("stability", "zero_rate")
+            .expect("zero-rate capture")
+            .to_vec();
+        let fs = report
+            .metric("stability", "zero_rate_fs_hz")
+            .expect("output sample rate");
+        (rate, fs, Some(report))
+    };
 
-    let curve = allan_deviation(rate, fs, 5);
+    let curve = allan_deviation(&rate, fs, 5);
     let path = experiments_dir()?.join("stability_allan.csv");
     let mut f = std::fs::File::create(&path)?;
     writeln!(f, "tau_s,sigma_dps")?;
@@ -63,7 +134,9 @@ fn main() -> std::io::Result<()> {
         bi.map_or("n/a".into(), |v| format!("{v:.4}"))
     );
     println!("  curve -> {}", path.display());
-    write_metrics("stability_allan", &report.to_telemetry())?;
+    if let Some(report) = report {
+        write_metrics("stability_allan", &report.to_telemetry())?;
+    }
     println!("shape check: −1/2 slope at short τ (white rate noise consistent with");
     println!("Table 1's density row), flattening toward the bias floor at long τ.");
     Ok(())

@@ -77,7 +77,7 @@ pub fn threads_from_args() -> usize {
     ascp_sim::campaign::available_parallelism()
 }
 
-/// Result of one [`bench`] run.
+/// Result of one [`bench()`] run.
 #[derive(Debug, Clone)]
 pub struct BenchStats {
     /// Benchmark label.

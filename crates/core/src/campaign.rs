@@ -15,7 +15,35 @@
 //! scenario's input index), so a campaign's report is **bit-identical for
 //! any worker-thread count**. Metrics that were not measured (e.g. no
 //! recovery on an undetected fault) are omitted rather than recorded as
-//! NaN, keeping the CSV and JSON artifacts byte-stable.
+//! NaN, keeping the CSV and JSON artifacts byte-stable. Scenarios that
+//! share a settle recipe can additionally share the lock transient's cost
+//! through the [`CampaignRunner::with_warm_start`] checkpoint cache —
+//! with reports still byte-identical to cold runs.
+//!
+//! # Step vocabulary
+//!
+//! Steps either evolve platform state or measure it; every measurement
+//! lands in the scenario's [`ScenarioOutcome`] and, through
+//! [`CampaignReport::to_csv`], in the long-format CSV
+//! (`scenario,metric,value` rows).
+//!
+//! | Step | Measures | CSV metric columns |
+//! |------|----------|--------------------|
+//! | [`Step::ArmWatchdog`] | — (arms the watchdog) | — |
+//! | [`Step::WaitReady`] | PLL lock + AGC settling | `locked`, `turn_on_s` |
+//! | [`Step::WaitSupervisorNormal`] | supervisor bring-up | `supervisor_normal_s` |
+//! | [`Step::Run`] | — (advances time) | — |
+//! | [`Step::SetRate`] | — (rate table stimulus) | — |
+//! | [`Step::SetTemperature`] | — (chamber setpoint) | — |
+//! | [`Step::FreezeAgcDrive`] | — (AGC-off ablation arm) | — |
+//! | [`Step::TrimRebalancePhase`] | closed-loop axis trim | `rebalance_phase_rad` |
+//! | [`Step::MeasureMeanRate`] | mean rate over a window | `<label>` |
+//! | [`Step::MeasureSensitivity`] | two-point sensitivity | `<label>` |
+//! | [`Step::MeasureLinearity`] | linear-fit nonlinearity | `<label>` |
+//! | [`Step::MeasureStaticTransfer`] | datasheet static transfer | `sensitivity_v_per_dps`, `null_v`, `nonlinearity_pct_fs` |
+//! | [`Step::MeasureNoiseDensity`] | Welch-PSD noise density | `noise_density_dps_rthz` |
+//! | [`Step::CaptureZeroRate`] | zero-rate series (Allan input) | `<label>_fs_hz` + series `<label>` |
+//! | [`Step::FaultResponse`] | detection/recovery protocol | `baseline_dps`, `detected`, `detection_latency_s`, `recovered`, `recovery_time_s`, `residual_rate_dps`, `final_state_code` |
 //!
 //! # Example
 //!
@@ -46,14 +74,19 @@ use crate::chain::ConditioningChain;
 use crate::characterize::{
     measure_noise_density, measure_static_transfer, CharacterizationConfig, RateSensor,
 };
+use crate::checkpoint;
 use crate::platform::{Platform, PlatformConfig};
 use crate::supervisor::SupervisorState;
 use ascp_mcu8051::periph::Bus16Device;
 use ascp_sim::campaign::{available_parallelism, parallel_map};
 use ascp_sim::fault::FaultPlan;
+use ascp_sim::snapshot::fnv1a64;
 use ascp_sim::stats;
 use ascp_sim::telemetry::{Telemetry, TelemetryConfig, TelemetrySnapshot};
 use ascp_sim::units::{Celsius, DegPerSec};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// One step of a scenario's measurement protocol.
 ///
@@ -313,6 +346,9 @@ pub struct CampaignReport {
     /// Wall-clock duration, seconds (not part of the deterministic
     /// artifacts).
     pub wall_s: f64,
+    /// Scenarios that restored a cached settle checkpoint instead of
+    /// re-running their settle prefix (0 when warm-start is off).
+    pub warm_hits: usize,
 }
 
 impl CampaignReport {
@@ -373,9 +409,23 @@ impl CampaignReport {
 /// Each scenario gets its own independent [`Platform`]; results come back
 /// in input order and are numerically identical for any thread count (see
 /// the module docs).
+///
+/// # Warm-start cache
+///
+/// With [`CampaignRunner::with_warm_start`], scenarios that share a
+/// settle recipe — the same effective configuration (including the
+/// effective noise seed) and the same leading run-in steps — share the
+/// cost of the lock transient. The first scenario per key runs its settle
+/// prefix and takes a [`crate::checkpoint`]; the rest restore
+/// that checkpoint and run only their measurement steps. Because the
+/// cache key covers the effective seed, a restored platform is **bit-
+/// exactly** the platform a cold run would have produced, so warm-start
+/// changes wall-clock time and nothing else: reports stay byte-identical
+/// to cold runs and across worker-thread counts.
 #[derive(Debug, Clone)]
 pub struct CampaignRunner {
     threads: usize,
+    warm_start: bool,
 }
 
 impl Default for CampaignRunner {
@@ -385,11 +435,13 @@ impl Default for CampaignRunner {
 }
 
 impl CampaignRunner {
-    /// Runner with one worker per available hardware thread.
+    /// Runner with one worker per available hardware thread, warm-start
+    /// off.
     #[must_use]
     pub fn new() -> Self {
         Self {
             threads: available_parallelism(),
+            warm_start: false,
         }
     }
 
@@ -400,22 +452,129 @@ impl CampaignRunner {
         self
     }
 
+    /// Enables (or disables) the settle-checkpoint warm-start cache.
+    #[must_use]
+    pub fn with_warm_start(mut self, enabled: bool) -> Self {
+        self.warm_start = enabled;
+        self
+    }
+
     /// Configured worker-thread count.
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
     }
 
+    /// Whether the warm-start cache is enabled.
+    #[must_use]
+    pub fn warm_start(&self) -> bool {
+        self.warm_start
+    }
+
     /// Runs every scenario and merges the outcomes.
     #[must_use]
     pub fn run(&self, scenarios: Vec<ScenarioSpec>) -> CampaignReport {
         let start = std::time::Instant::now();
-        let outcomes = parallel_map(scenarios, self.threads, run_scenario);
+        let cache = self.warm_start.then(WarmCache::default);
+        let hits = AtomicUsize::new(0);
+        let outcomes = parallel_map(scenarios, self.threads, |index, spec| {
+            run_scenario(index, spec, cache.as_ref(), &hits)
+        });
         CampaignReport {
             outcomes,
             threads: self.threads,
             wall_s: start.elapsed().as_secs_f64(),
+            warm_hits: hits.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// One cached settle: the checkpoint taken after the settle prefix plus
+/// the metrics those prefix steps recorded (replayed into every outcome
+/// that restores this entry) and whether the prefix aborted (bring-up
+/// failure: the remaining steps are skipped, exactly as on a cold run).
+struct WarmEntry {
+    checkpoint: Vec<u8>,
+    metrics: Vec<(String, f64)>,
+    aborted: bool,
+}
+
+/// Keyed settle-checkpoint store shared by all campaign workers.
+///
+/// Each key maps to a [`OnceLock`]: the first scenario to claim it runs
+/// the settle prefix while any siblings with the same key block, then
+/// everyone restores the one checkpoint.
+#[derive(Default)]
+struct WarmCache {
+    entries: Mutex<HashMap<u64, Arc<OnceLock<WarmEntry>>>>,
+}
+
+impl WarmCache {
+    fn slot(&self, key: u64) -> Arc<OnceLock<WarmEntry>> {
+        self.entries
+            .lock()
+            .expect("warm cache poisoned")
+            .entry(key)
+            .or_default()
+            .clone()
+    }
+}
+
+/// Number of leading steps that form the scenario's settle prefix:
+/// bring-up, environment and calibration, but no measurement and no rate
+/// stimulus. [`Step::SetRate`] ends the prefix because the applied rate
+/// is what varies across a rate table — settling happens at zero rate so
+/// sibling scenarios can share it. `Measure*`, `Capture*` and
+/// [`Step::FaultResponse`] end it because their work is the measurement
+/// itself.
+fn settle_prefix_len(steps: &[Step]) -> usize {
+    steps
+        .iter()
+        .take_while(|s| {
+            matches!(
+                s,
+                Step::ArmWatchdog { .. }
+                    | Step::WaitReady { .. }
+                    | Step::WaitSupervisorNormal { .. }
+                    | Step::Run { .. }
+                    | Step::SetTemperature { .. }
+                    | Step::FreezeAgcDrive { .. }
+                    | Step::TrimRebalancePhase { .. }
+            )
+        })
+        .count()
+}
+
+/// Warm-start cache key: the effective configuration digest (which covers
+/// the effective seed and the merged fault specs) mixed with a canonical
+/// encoding of the settle-prefix steps.
+fn warm_key(config: &PlatformConfig, prefix: &[Step]) -> u64 {
+    let canon = format!("{:#018x}|{prefix:?}", checkpoint::config_digest(config));
+    fnv1a64(canon.as_bytes())
+}
+
+/// Runs the settle prefix cold and packages the result for the cache.
+fn warm_prefix(config: &PlatformConfig, prefix: &[Step]) -> WarmEntry {
+    let mut p = Platform::new(config.clone());
+    let mut out = ScenarioOutcome {
+        name: String::new(),
+        index: 0,
+        seed: config.seed,
+        metrics: Vec::new(),
+        series: Vec::new(),
+    };
+    let mut scratch = Scratch::default();
+    let mut aborted = false;
+    for step in prefix {
+        if !apply_step(&mut p, step, &mut out, &mut scratch) {
+            aborted = true;
+            break;
+        }
+    }
+    WarmEntry {
+        checkpoint: checkpoint::save(&p),
+        metrics: out.metrics,
+        aborted,
     }
 }
 
@@ -436,7 +595,12 @@ struct Scratch {
     sensitivity: Option<f64>,
 }
 
-fn run_scenario(index: usize, spec: ScenarioSpec) -> ScenarioOutcome {
+fn run_scenario(
+    index: usize,
+    spec: ScenarioSpec,
+    cache: Option<&WarmCache>,
+    hits: &AtomicUsize,
+) -> ScenarioOutcome {
     let mut config = spec.config;
     for fault in spec.faults.specs() {
         config.faults.push(*fault);
@@ -460,11 +624,36 @@ fn run_scenario(index: usize, spec: ScenarioSpec) -> ScenarioOutcome {
         return out;
     }
 
-    let mut p = Platform::new(config);
+    let prefix = cache.map_or(0, |_| settle_prefix_len(&spec.steps));
     let mut scratch = Scratch::default();
-    for step in &spec.steps {
-        if !apply_step(&mut p, step, &mut out, &mut scratch) {
-            break;
+    let (mut p, aborted, resume_at) = match cache {
+        Some(cache) if prefix > 0 => {
+            let slot = cache.slot(warm_key(&config, &spec.steps[..prefix]));
+            let mut warmed_here = false;
+            let entry = slot.get_or_init(|| {
+                warmed_here = true;
+                warm_prefix(&config, &spec.steps[..prefix])
+            });
+            match checkpoint::restore(config.clone(), &entry.checkpoint) {
+                Ok(p) => {
+                    if !warmed_here {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    out.metrics.extend(entry.metrics.iter().cloned());
+                    (p, entry.aborted, prefix)
+                }
+                // A key collision between different configs is caught by
+                // the checkpoint's config digest; fall back to a cold run.
+                Err(_) => (Platform::new(config), false, 0),
+            }
+        }
+        _ => (Platform::new(config), false, 0),
+    };
+    if !aborted {
+        for step in &spec.steps[resume_at..] {
+            if !apply_step(&mut p, step, &mut out, &mut scratch) {
+                break;
+            }
         }
     }
     if p.time() < spec.duration_s {
@@ -736,6 +925,79 @@ mod tests {
         spec.config.analog_oversample = 0;
         let report = CampaignRunner::new().with_threads(1).run(vec![spec]);
         assert_eq!(report.outcomes[0].metric("config_valid"), Some(0.0));
+    }
+
+    /// Sixteen scenarios sharing one settle recipe (same config, same
+    /// explicit seed, same lock prefix) but measuring different rates.
+    fn shared_settle_scenarios() -> Vec<ScenarioSpec> {
+        (0..16)
+            .map(|i| {
+                let dps = f64::from(i) * 20.0 - 150.0;
+                ScenarioSpec::new(format!("rate_{i}"), quick_cfg())
+                    .with_seed(7)
+                    .with_step(Step::Run { seconds: 0.03 })
+                    .with_step(Step::SetRate { dps })
+                    .with_step(Step::MeasureMeanRate {
+                        label: "mean_dps".into(),
+                        window_s: 0.005,
+                    })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn warm_start_is_byte_identical_to_cold() {
+        let cold = CampaignRunner::new()
+            .with_threads(2)
+            .run(shared_settle_scenarios());
+        let warm = CampaignRunner::new()
+            .with_threads(2)
+            .with_warm_start(true)
+            .run(shared_settle_scenarios());
+        assert_eq!(cold.warm_hits, 0);
+        assert_eq!(warm.warm_hits, 15, "15 of 16 scenarios must hit the cache");
+        assert_eq!(cold.outcomes, warm.outcomes);
+        assert_eq!(cold.to_csv(), warm.to_csv());
+    }
+
+    #[test]
+    fn warm_start_report_is_identical_across_thread_counts() {
+        let runs: Vec<_> = [1, 2, 4]
+            .iter()
+            .map(|&t| {
+                CampaignRunner::new()
+                    .with_threads(t)
+                    .with_warm_start(true)
+                    .run(shared_settle_scenarios())
+            })
+            .collect();
+        assert_eq!(runs[0].outcomes, runs[1].outcomes);
+        assert_eq!(runs[0].outcomes, runs[2].outcomes);
+        assert_eq!(runs[0].to_csv(), runs[1].to_csv());
+        assert_eq!(runs[0].to_csv(), runs[2].to_csv());
+    }
+
+    #[test]
+    fn derived_seeds_never_share_the_warm_cache() {
+        // Without an explicit seed, every scenario's effective seed (and
+        // so its warm key) differs: the cache must not conflate them.
+        let specs: Vec<_> = (0..4)
+            .map(|i| {
+                ScenarioSpec::new(format!("s{i}"), quick_cfg())
+                    .with_step(Step::Run { seconds: 0.01 })
+                    .with_step(Step::MeasureMeanRate {
+                        label: "m".into(),
+                        window_s: 0.002,
+                    })
+            })
+            .collect();
+        let cold = CampaignRunner::new().with_threads(1).run(specs.clone());
+        let warm = CampaignRunner::new()
+            .with_threads(1)
+            .with_warm_start(true)
+            .run(specs);
+        assert_eq!(warm.warm_hits, 0);
+        assert_eq!(cold.outcomes, warm.outcomes);
     }
 
     #[test]

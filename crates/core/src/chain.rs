@@ -15,6 +15,7 @@ use ascp_dsp::demod::{Demodulator, IqSample, Modulator};
 use ascp_dsp::fixed::{Q15, Q30};
 use ascp_dsp::iir::{Biquad, BiquadCoeffs};
 use ascp_dsp::pll::{PiController, Pll, PllConfig};
+use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 
 /// A positive gain of arbitrary magnitude factored into a Q30 mantissa in
 /// `[0.5, 1)` and a power-of-two shift — how RTL implements "multiply by
@@ -541,6 +542,114 @@ impl ConditioningChain {
             ((self.temperature + 50.0) * 10.0).clamp(0.0, 65535.0) as u16,
         );
         r.set(DspReg::Heartbeat, self.heartbeat);
+    }
+
+    /// Serializes all loop state plus the run-time-mutable configuration
+    /// (sense mode, rebalance phase trim, compensator polynomials). The
+    /// immutable configuration — filter orders, loop gains, sample rates —
+    /// is not written: a restore target must be built from the same
+    /// [`ChainConfig`].
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.leaf("cfg ", |w| {
+            w.put_u8(match self.config.mode {
+                SenseMode::OpenLoop => 0,
+                SenseMode::ClosedLoop => 1,
+            });
+            w.put_f64(self.config.rebalance_phase_rad);
+        });
+        w.leaf("comp", |w| self.config.compensator.save_state(w));
+        w.leaf("pll ", |w| self.pll.save_state(w));
+        w.leaf("agc ", |w| self.agc.save_state(w));
+        w.leaf("demd", |w| self.demod.save_state(w));
+        w.leaf("rbli", |w| self.rebalance_i.save_state(w));
+        w.leaf("rblq", |w| self.rebalance_q.save_state(w));
+        w.leaf("olp ", |w| self.output_lp.save_state(w));
+        w.leaf("loop", |w| {
+            w.put_i32(self.cmd.i.raw());
+            w.put_i32(self.cmd.q.raw());
+            w.put_i32(self.baseband.i.raw());
+            w.put_i32(self.baseband.q.raw());
+            w.put_i32(self.rate_out.raw());
+            w.put_i32(self.quad_out.raw());
+            w.put_u16(self.heartbeat);
+            w.put_bool(self.enabled);
+            w.put_bool(self.output_valid);
+            w.put_f64(self.temperature);
+            w.put_u64(self.saturation_events);
+        });
+    }
+
+    /// Restores state saved by [`ConditioningChain::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Corrupt`] on an unknown sense-mode tag or
+    /// a non-finite phase trim; propagates errors from the sub-blocks.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let (mode, phase) = r.leaf("cfg ", |r| {
+            let mode = match r.take_u8()? {
+                0 => SenseMode::OpenLoop,
+                1 => SenseMode::ClosedLoop,
+                tag => {
+                    return Err(SnapshotError::Corrupt {
+                        context: format!("unknown sense-mode tag {tag}"),
+                    })
+                }
+            };
+            let phase = r.take_f64()?;
+            if !phase.is_finite() {
+                return Err(SnapshotError::Corrupt {
+                    context: format!("rebalance phase {phase} not finite"),
+                });
+            }
+            Ok((mode, phase))
+        })?;
+        self.config.mode = mode;
+        self.config.rebalance_phase_rad = phase;
+        let comp = &mut self.config.compensator;
+        r.leaf("comp", |r| comp.load_state(r))?;
+        let pll = &mut self.pll;
+        r.leaf("pll ", |r| pll.load_state(r))?;
+        let agc = &mut self.agc;
+        r.leaf("agc ", |r| agc.load_state(r))?;
+        let demod = &mut self.demod;
+        r.leaf("demd", |r| demod.load_state(r))?;
+        let rebalance_i = &mut self.rebalance_i;
+        r.leaf("rbli", |r| rebalance_i.load_state(r))?;
+        let rebalance_q = &mut self.rebalance_q;
+        r.leaf("rblq", |r| rebalance_q.load_state(r))?;
+        let output_lp = &mut self.output_lp;
+        r.leaf("olp ", |r| output_lp.load_state(r))?;
+        let (cmd, baseband, rate_out, quad_out, heartbeat, enabled, output_valid, temp, sats) =
+            r.leaf("loop", |r| {
+                Ok((
+                    IqSample {
+                        i: Q15::from_raw(r.take_i32()?),
+                        q: Q15::from_raw(r.take_i32()?),
+                    },
+                    IqSample {
+                        i: Q15::from_raw(r.take_i32()?),
+                        q: Q15::from_raw(r.take_i32()?),
+                    },
+                    Q15::from_raw(r.take_i32()?),
+                    Q15::from_raw(r.take_i32()?),
+                    r.take_u16()?,
+                    r.take_bool()?,
+                    r.take_bool()?,
+                    r.take_f64()?,
+                    r.take_u64()?,
+                ))
+            })?;
+        self.cmd = cmd;
+        self.baseband = baseband;
+        self.rate_out = rate_out;
+        self.quad_out = quad_out;
+        self.heartbeat = heartbeat;
+        self.enabled = enabled;
+        self.output_valid = output_valid;
+        self.temperature = temp;
+        self.saturation_events = sats;
+        Ok(())
     }
 
     /// Resets all loop state (power-on).

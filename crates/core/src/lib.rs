@@ -28,6 +28,7 @@ pub mod calibrate;
 pub mod campaign;
 pub mod chain;
 pub mod characterize;
+pub mod checkpoint;
 pub mod firmware;
 pub mod platform;
 pub mod registers;

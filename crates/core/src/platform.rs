@@ -29,6 +29,7 @@ use ascp_jtag::device::RegAccessDevice;
 use ascp_mcu8051::cpu::Cpu;
 use ascp_mcu8051::periph::SystemBus;
 use ascp_sim::fault::{AdcChannel, FaultEdge, FaultKind, FaultPlan};
+use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 use ascp_sim::telemetry::{Event, Telemetry, TelemetryConfig, TelemetrySnapshot};
 use ascp_sim::trace::{Trace, TraceSet};
 use ascp_sim::units::{Celsius, DegPerSec, Hertz, Seconds, Volts};
@@ -1460,6 +1461,242 @@ impl Platform {
 }
 
 impl Platform {
+    /// Serializes the entire mutable platform state — sensor modes, every
+    /// AFE component, the DSP chain, both register banks, the JTAG chain,
+    /// the 8051 and its peripherals, the fault-plan cursor and the safety
+    /// supervisor — as a sequence of tagged sections.
+    ///
+    /// Two things are deliberately **not** written:
+    ///
+    /// - the configuration ([`PlatformConfig`]): a restore target must be
+    ///   built from the same configuration (the checkpoint layer in
+    ///   [`crate::checkpoint`] enforces that with a config digest);
+    /// - telemetry (metrics, events, stage profiles): observability output,
+    ///   not simulation state — restoring it would double-count history.
+    ///
+    /// See `DESIGN.md` §11 for the format and the congruence rules.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.leaf("afer", |w| self.afe_regs.borrow().save_state(w));
+        w.leaf("dspr", |w| self.dsp_regs.borrow().save_state(w));
+        w.leaf("gyro", |w| self.gyro.save_state(w));
+        w.leaf("chgp", |w| self.charge_pri.save_state(w));
+        w.leaf("chgs", |w| self.charge_sec.save_state(w));
+        w.leaf("aafp", |w| self.aaf_pri.save_state(w));
+        w.leaf("aafs", |w| self.aaf_sec.save_state(w));
+        w.leaf("pgap", |w| self.pga_pri.save_state(w));
+        w.leaf("pgas", |w| self.pga_sec.save_state(w));
+        w.leaf("adcp", |w| self.adc_pri.save_state(w));
+        w.leaf("adcs", |w| self.adc_sec.save_state(w));
+        w.leaf("dacd", |w| self.drive_dac.save_state(w));
+        w.leaf("dacb", |w| self.rebalance_dac.save_state(w));
+        w.leaf("dacr", |w| self.rate_dac.save_state(w));
+        w.leaf("vref", |w| self.vref.save_state(w));
+        w.container("chan", |w| self.chain.save_state(w));
+        w.leaf("jtag", |w| self.jtag.save_state(w));
+        w.leaf("cpu ", |w| self.cpu.save_state(w));
+        w.container("bus ", |w| self.bus.save_state(w));
+        w.leaf("flts", |w| self.config.faults.save_state(w));
+        w.leaf("supv", |w| self.supervisor.save_state(w));
+        w.leaf("kern", |w| {
+            w.put_u64(self.tick);
+            w.put_f64(self.cpu_cycle_debt);
+            w.put_u64(self.monitor_countdown);
+            w.put_f64(self.drive_force);
+            w.put_f64(self.rebalance_force);
+            w.put_f64(self.temperature.0);
+            w.put_u32(self.watchdog_resets);
+            w.put_bool(self.last_locked);
+            w.put_u64(self.last_clips_pri);
+            w.put_u64(self.last_clips_sec);
+            w.put_u32(self.last_wd_resets);
+            w.put_u64(self.last_uart_tx);
+            w.put_bool(self.uart_was_idle);
+            w.put_u64(self.last_dsp_writes);
+            w.put_u64(self.last_afe_writes);
+            w.put_bool(self.agc_settled_seen);
+            w.put_f64(self.drive_gate);
+            w.put_f64(self.pickoff_gate);
+            w.put_f64(self.pri_min);
+            w.put_f64(self.pri_max);
+            w.put_f64(self.sec_min);
+            w.put_f64(self.sec_max);
+            w.put_u64(self.last_sup_clips);
+            w.put_u32(self.last_sup_wd);
+            w.put_u64(self.last_spi_errors);
+            w.put_u64(self.last_uart_errors);
+            w.put_u64(self.last_jtag_errors);
+            w.put_u64(self.jtag_probe_errors);
+            w.put_u64(self.monitor_ticks);
+            w.put_bool(self.cpu_hang_active);
+            w.put_bool(self.open_loop_forced);
+        });
+    }
+
+    /// Restores state saved by [`Platform::save_state`] onto a platform
+    /// built from the **same** [`PlatformConfig`]. After a successful
+    /// restore, stepping this platform produces byte-identical traces to
+    /// stepping the one that was saved.
+    ///
+    /// The AFE register bank is restored first and applied to the analog
+    /// components before their own sections load, so a run-time resolution
+    /// change (the ADCs are rebuilt when `AdcBits` changes) is replayed
+    /// before the converter state arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] if any section is malformed, truncated,
+    /// or structurally incongruent with this platform's configuration. The
+    /// platform may be left partially restored on error; callers should
+    /// discard it (the checkpoint layer restores into a freshly built
+    /// platform, so a failed restore never corrupts a live one).
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        {
+            let afe_regs = &self.afe_regs;
+            r.leaf("afer", |r| afe_regs.borrow_mut().load_state(r))?;
+        }
+        self.apply_afe_registers();
+        {
+            let dsp_regs = &self.dsp_regs;
+            r.leaf("dspr", |r| dsp_regs.borrow_mut().load_state(r))?;
+        }
+        let gyro = &mut self.gyro;
+        r.leaf("gyro", |r| gyro.load_state(r))?;
+        let charge_pri = &mut self.charge_pri;
+        r.leaf("chgp", |r| charge_pri.load_state(r))?;
+        let charge_sec = &mut self.charge_sec;
+        r.leaf("chgs", |r| charge_sec.load_state(r))?;
+        let aaf_pri = &mut self.aaf_pri;
+        r.leaf("aafp", |r| aaf_pri.load_state(r))?;
+        let aaf_sec = &mut self.aaf_sec;
+        r.leaf("aafs", |r| aaf_sec.load_state(r))?;
+        let pga_pri = &mut self.pga_pri;
+        r.leaf("pgap", |r| pga_pri.load_state(r))?;
+        let pga_sec = &mut self.pga_sec;
+        r.leaf("pgas", |r| pga_sec.load_state(r))?;
+        let adc_pri = &mut self.adc_pri;
+        r.leaf("adcp", |r| adc_pri.load_state(r))?;
+        let adc_sec = &mut self.adc_sec;
+        r.leaf("adcs", |r| adc_sec.load_state(r))?;
+        let drive_dac = &mut self.drive_dac;
+        r.leaf("dacd", |r| drive_dac.load_state(r))?;
+        let rebalance_dac = &mut self.rebalance_dac;
+        r.leaf("dacb", |r| rebalance_dac.load_state(r))?;
+        let rate_dac = &mut self.rate_dac;
+        r.leaf("dacr", |r| rate_dac.load_state(r))?;
+        let vref = &mut self.vref;
+        r.leaf("vref", |r| vref.load_state(r))?;
+        let chain = &mut self.chain;
+        r.container("chan", |r| chain.load_state(r))?;
+        let jtag = &mut self.jtag;
+        r.leaf("jtag", |r| jtag.load_state(r))?;
+        let cpu = &mut self.cpu;
+        r.leaf("cpu ", |r| cpu.load_state(r))?;
+        let bus = &mut self.bus;
+        r.container("bus ", |r| bus.load_state(r))?;
+        let faults = &mut self.config.faults;
+        r.leaf("flts", |r| faults.load_state(r))?;
+        let supervisor = &mut self.supervisor;
+        r.leaf("supv", |r| supervisor.load_state(r))?;
+        let monitor_period = self.monitor_period;
+        let kern = r.leaf("kern", |r| {
+            let tick = r.take_u64()?;
+            let cpu_cycle_debt = r.take_f64()?;
+            let monitor_countdown = r.take_u64()?;
+            if monitor_countdown == 0 || monitor_countdown > monitor_period {
+                return Err(SnapshotError::Corrupt {
+                    context: format!(
+                        "monitor countdown {monitor_countdown} outside 1..={monitor_period}"
+                    ),
+                });
+            }
+            Ok((
+                tick,
+                cpu_cycle_debt,
+                monitor_countdown,
+                r.take_f64()?,
+                r.take_f64()?,
+                r.take_f64()?,
+                r.take_u32()?,
+                r.take_bool()?,
+                [
+                    r.take_u64()?,
+                    r.take_u64()?,
+                    u64::from(r.take_u32()?),
+                    r.take_u64()?,
+                ],
+                r.take_bool()?,
+                [r.take_u64()?, r.take_u64()?],
+                r.take_bool()?,
+                [r.take_f64()?, r.take_f64()?],
+                [r.take_f64()?, r.take_f64()?, r.take_f64()?, r.take_f64()?],
+                [
+                    r.take_u64()?,
+                    u64::from(r.take_u32()?),
+                    r.take_u64()?,
+                    r.take_u64()?,
+                    r.take_u64()?,
+                    r.take_u64()?,
+                    r.take_u64()?,
+                ],
+                r.take_bool()?,
+                r.take_bool()?,
+            ))
+        })?;
+        let (
+            tick,
+            cpu_cycle_debt,
+            monitor_countdown,
+            drive_force,
+            rebalance_force,
+            temperature,
+            watchdog_resets,
+            last_locked,
+            clip_scrape,
+            uart_was_idle,
+            write_scrape,
+            agc_settled_seen,
+            gates,
+            windows,
+            sup_scrape,
+            cpu_hang_active,
+            open_loop_forced,
+        ) = kern;
+        self.tick = tick;
+        self.cpu_cycle_debt = cpu_cycle_debt;
+        self.monitor_countdown = monitor_countdown;
+        self.drive_force = drive_force;
+        self.rebalance_force = rebalance_force;
+        self.temperature = Celsius(temperature);
+        self.watchdog_resets = watchdog_resets;
+        self.last_locked = last_locked;
+        self.last_clips_pri = clip_scrape[0];
+        self.last_clips_sec = clip_scrape[1];
+        self.last_wd_resets = clip_scrape[2] as u32;
+        self.last_uart_tx = clip_scrape[3];
+        self.uart_was_idle = uart_was_idle;
+        self.last_dsp_writes = write_scrape[0];
+        self.last_afe_writes = write_scrape[1];
+        self.agc_settled_seen = agc_settled_seen;
+        self.drive_gate = gates[0];
+        self.pickoff_gate = gates[1];
+        self.pri_min = windows[0];
+        self.pri_max = windows[1];
+        self.sec_min = windows[2];
+        self.sec_max = windows[3];
+        self.last_sup_clips = sup_scrape[0];
+        self.last_sup_wd = sup_scrape[1] as u32;
+        self.last_spi_errors = sup_scrape[2];
+        self.last_uart_errors = sup_scrape[3];
+        self.last_jtag_errors = sup_scrape[4];
+        self.jtag_probe_errors = sup_scrape[5];
+        self.monitor_ticks = sup_scrape[6];
+        self.cpu_hang_active = cpu_hang_active;
+        self.open_loop_forced = open_loop_forced;
+        // The fault-edge scratch buffer is transient; never restored.
+        self.fault_edges.clear();
+        Ok(())
+    }
+
     /// Power-on reset: sensor motion stops, every loop restarts, the CPU
     /// reboots. Models a cold start for turn-on-time measurements.
     pub fn power_on_reset(&mut self) {

@@ -16,6 +16,7 @@
 use ascp_afe::regs::AfeRegisterFile;
 use ascp_jtag::device::RegisterBus;
 use ascp_mcu8051::periph::Bus16Device;
+use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -118,6 +119,35 @@ impl DspRegs {
     #[must_use]
     pub fn bus_writes(&self) -> u64 {
         self.bus_writes
+    }
+
+    /// Serializes the register values, the control-dirty latch and the
+    /// bus-write counter.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u16_slice(&self.values);
+        w.put_bool(self.control_dirty);
+        w.put_u64(self.bus_writes);
+    }
+
+    /// Restores state saved by [`DspRegs::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Corrupt`] on a register-count mismatch.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let values = r.take_u16_vec()?;
+        if values.len() != DSP_REG_COUNT {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "DSP register bank of {} registers in snapshot, expected {DSP_REG_COUNT}",
+                    values.len()
+                ),
+            });
+        }
+        self.values.copy_from_slice(&values);
+        self.control_dirty = r.take_bool()?;
+        self.bus_writes = r.take_u64()?;
+        Ok(())
     }
 }
 

@@ -32,6 +32,7 @@
 //! `SafeState` directs the platform to park the rate output at mid-scale
 //! (the customer-visible "output invalid" level).
 
+use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 use ascp_sim::telemetry::{Event, Telemetry};
 
 /// Supervisor FSM states.
@@ -73,6 +74,33 @@ impl SupervisorState {
             Self::SafeState => 3.0,
             Self::Recovery => 4.0,
         }
+    }
+
+    /// Stable integer code for serialization (inverse of
+    /// [`SupervisorState::from_tag`]); numerically equal to
+    /// [`SupervisorState::code`].
+    #[must_use]
+    pub fn tag(self) -> u8 {
+        match self {
+            Self::Init => 0,
+            Self::Normal => 1,
+            Self::Degraded => 2,
+            Self::SafeState => 3,
+            Self::Recovery => 4,
+        }
+    }
+
+    /// Decodes a [`SupervisorState::tag`] value; `None` for codes ≥ 5.
+    #[must_use]
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => Self::Init,
+            1 => Self::Normal,
+            2 => Self::Degraded,
+            3 => Self::SafeState,
+            4 => Self::Recovery,
+            _ => return None,
+        })
     }
 }
 
@@ -371,6 +399,71 @@ impl SafetySupervisor {
     pub fn reset(&mut self) {
         let config = self.config.clone();
         *self = Self::new(config);
+    }
+
+    /// Serializes the FSM state and every episode counter. Configuration
+    /// is not written: a restore target must be built from the same
+    /// [`SupervisorConfig`].
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u8(self.state.tag());
+        for &s in &self.streaks {
+            w.put_u32(s);
+        }
+        for &f in &self.failing {
+            w.put_bool(f);
+        }
+        w.put_i32(self.last_rate_raw);
+        w.put_u32(self.spi_hold);
+        w.put_u32(self.uart_hold);
+        w.put_u32(self.jtag_hold);
+        w.put_u32(self.wd_hold);
+        w.put_f64_slice(&self.wd_times);
+        w.put_opt_f64(self.init_start);
+        w.put_f64(self.degraded_since);
+        w.put_u32(self.recovery_streak);
+        w.put_f64(self.safe_entered);
+        w.put_u32(self.safe_retries);
+        w.put_f64(self.last_valid_rate);
+        w.put_f64(self.last_valid_t);
+        w.put_bool(self.open_loop_fallback);
+        w.put_u64(self.transitions);
+        w.put_u64(self.faults_detected);
+    }
+
+    /// Restores state saved by [`SafetySupervisor::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Corrupt`] on an unknown FSM-state tag;
+    /// propagates other [`SnapshotError`]s on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let tag = r.take_u8()?;
+        self.state = SupervisorState::from_tag(tag).ok_or_else(|| SnapshotError::Corrupt {
+            context: format!("unknown supervisor state tag {tag}"),
+        })?;
+        for s in &mut self.streaks {
+            *s = r.take_u32()?;
+        }
+        for f in &mut self.failing {
+            *f = r.take_bool()?;
+        }
+        self.last_rate_raw = r.take_i32()?;
+        self.spi_hold = r.take_u32()?;
+        self.uart_hold = r.take_u32()?;
+        self.jtag_hold = r.take_u32()?;
+        self.wd_hold = r.take_u32()?;
+        self.wd_times = r.take_f64_vec()?;
+        self.init_start = r.take_opt_f64()?;
+        self.degraded_since = r.take_f64()?;
+        self.recovery_streak = r.take_u32()?;
+        self.safe_entered = r.take_f64()?;
+        self.safe_retries = r.take_u32()?;
+        self.last_valid_rate = r.take_f64()?;
+        self.last_valid_t = r.take_f64()?;
+        self.open_loop_fallback = r.take_bool()?;
+        self.transitions = r.take_u64()?;
+        self.faults_detected = r.take_u64()?;
+        Ok(())
     }
 
     /// Evaluates one monitoring sample and advances the FSM, recording

@@ -1,0 +1,93 @@
+//! Property-based tests of checkpoint round-trips: for random platform
+//! configurations and random split points, `restore(save(p))` must be a
+//! perfect fork — stepping the original and the restored platform `n`
+//! more ticks yields byte-identical state, whatever `k` ticks of history
+//! preceded the save.
+//!
+//! Gated behind the `proptest` feature:
+//! `cargo test -p ascp-core --features proptest`.
+
+use ascp_core::chain::SenseMode;
+use ascp_core::checkpoint;
+use ascp_core::platform::{Platform, PlatformConfig};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Random simulation-relevant configuration knobs: ADC resolution, loop
+/// mode, CPU on/off, supervisor on/off, analog oversampling and the
+/// master noise seed.
+fn config_strategy() -> impl Strategy<Value = PlatformConfig> {
+    (
+        10u32..=14,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        1u32..=2,
+        any::<u64>(),
+    )
+        .prop_map(|(bits, closed, cpu, sup, oversample, seed)| {
+            PlatformConfig::builder()
+                .adc_bits(bits)
+                .loop_mode(if closed {
+                    SenseMode::ClosedLoop
+                } else {
+                    SenseMode::OpenLoop
+                })
+                .cpu_enabled(cpu)
+                .supervisor_enabled(sup)
+                .analog_oversample(oversample)
+                .seed(seed)
+                .build()
+                .expect("strategy emits valid configs")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn restore_then_step_is_bit_exact(
+        config in config_strategy(),
+        k in 0u64..400,
+        n in 1u64..400,
+    ) {
+        let mut original = Platform::new(config.clone());
+        original.step_block(k);
+        let bytes = checkpoint::save(&original);
+        let mut resumed = checkpoint::restore(config, &bytes)
+            .map_err(|e| TestCaseError::fail(format!("restore after {k} ticks: {e}")))?;
+        prop_assert_eq!(
+            checkpoint::save(&original),
+            checkpoint::save(&resumed),
+            "restore must reproduce the saved state exactly (k={})",
+            k
+        );
+        original.step_block(n);
+        resumed.step_block(n);
+        prop_assert_eq!(
+            checkpoint::save(&original),
+            checkpoint::save(&resumed),
+            "fork must stay byte-identical after {} more ticks (k={})",
+            n,
+            k
+        );
+    }
+
+    #[test]
+    fn truncation_never_panics(
+        config in config_strategy(),
+        k in 0u64..200,
+        cut in 0usize..10_000,
+    ) {
+        let mut p = Platform::new(config.clone());
+        p.step_block(k);
+        let bytes = checkpoint::save(&p);
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        // Any truncation must yield a typed error, never a panic or an
+        // accidental success (the payload is length-prefixed throughout).
+        prop_assert!(checkpoint::restore(config, &bytes[..cut]).is_err());
+    }
+}

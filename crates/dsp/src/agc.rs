@@ -13,6 +13,7 @@
 use crate::cordic::to_polar;
 use crate::fixed::Q15;
 use crate::pll::PiController;
+use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 
 /// AGC configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -190,6 +191,39 @@ impl Agc {
         self.pi.reset();
         self.samples = 0;
         self.settled_at_sample = None;
+    }
+
+    /// Serializes detector accumulators, envelope/drive state and the PI
+    /// integrator. The configuration is not saved.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_i64(self.i_acc);
+        w.put_i64(self.q_acc);
+        w.put_u32(self.count);
+        w.put_f64(self.envelope);
+        w.put_f64(self.error);
+        w.put_f64(self.drive);
+        self.pi.save_state(w);
+        w.put_u64(self.samples);
+        w.put_opt_u64(self.settled_at_sample);
+    }
+
+    /// Restores state saved by [`Agc::save_state`] into an AGC built from
+    /// the same configuration (bit-exact continuation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.i_acc = r.take_i64()?;
+        self.q_acc = r.take_i64()?;
+        self.count = r.take_u32()?;
+        self.envelope = r.take_f64()?;
+        self.error = r.take_f64()?;
+        self.drive = r.take_f64()?;
+        self.pi.load_state(r)?;
+        self.samples = r.take_u64()?;
+        self.settled_at_sample = r.take_opt_u64()?;
+        Ok(())
     }
 }
 

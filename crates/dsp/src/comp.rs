@@ -7,6 +7,7 @@
 //! test), and applies `y = (x − offset(T)) · gain(T)` in fixed point.
 
 use crate::fixed::{Q15, Q30};
+use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 
 /// Polynomial in the normalized temperature `u = (T − T0) / Tscale`,
 /// evaluated by Horner's rule in Q30.
@@ -64,6 +65,40 @@ impl TempPolynomial {
             acc = acc.mul(u).sat_add(*c);
         }
         acc
+    }
+
+    /// Serializes the coefficients and temperature normalization.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        let raw: Vec<i32> = self.coeffs.iter().map(|c| c.raw()).collect();
+        w.put_i32_slice(&raw);
+        w.put_f64(self.t0);
+        w.put_f64(self.tscale);
+    }
+
+    /// Restores state saved by [`TempPolynomial::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Corrupt`] for an empty coefficient list or
+    /// a non-positive temperature scale.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let raw = r.take_i32_vec()?;
+        if raw.is_empty() {
+            return Err(SnapshotError::Corrupt {
+                context: "temperature polynomial with no coefficients".into(),
+            });
+        }
+        let t0 = r.take_f64()?;
+        let tscale = r.take_f64()?;
+        if !(t0.is_finite() && tscale.is_finite() && tscale > 0.0) {
+            return Err(SnapshotError::Corrupt {
+                context: format!("polynomial normalization t0={t0} tscale={tscale} not physical"),
+            });
+        }
+        self.coeffs = raw.into_iter().map(Q30::from_raw).collect();
+        self.t0 = t0;
+        self.tscale = tscale;
+        Ok(())
     }
 
     /// Float-side evaluation (design/verification reference).
@@ -131,6 +166,29 @@ impl Compensator {
     #[must_use]
     pub fn gain(&self) -> Q30 {
         self.cur_gain
+    }
+
+    /// Serializes both polynomials (calibration can install fitted
+    /// coefficients at run time, so they are state, not configuration)
+    /// and the temperature-derived correction cache.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.offset.save_state(w);
+        self.gain.save_state(w);
+        w.put_i32(self.cur_offset.raw());
+        w.put_i32(self.cur_gain.raw());
+    }
+
+    /// Restores state saved by [`Compensator::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.offset.load_state(r)?;
+        self.gain.load_state(r)?;
+        self.cur_offset = Q15::from_raw(r.take_i32()?);
+        self.cur_gain = Q30::from_raw(r.take_i32()?);
+        Ok(())
     }
 }
 

@@ -12,6 +12,7 @@
 
 use crate::fir::{DecimatingFir, FirFilter};
 use crate::fixed::Q15;
+use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 
 /// I/Q synchronous demodulator with decimating post-filters.
 #[derive(Debug, Clone)]
@@ -94,6 +95,39 @@ impl Demodulator {
     #[must_use]
     pub fn saturations(&self) -> u64 {
         self.i_filter.saturations() + self.q_filter.saturations()
+    }
+
+    /// Serializes both channel filters and the held output pair.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.i_filter.save_state(w);
+        self.q_filter.save_state(w);
+        match self.last {
+            Some(s) => {
+                w.put_bool(true);
+                w.put_i32(s.i.raw());
+                w.put_i32(s.q.raw());
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    /// Restores state saved by [`Demodulator::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.i_filter.load_state(r)?;
+        self.q_filter.load_state(r)?;
+        self.last = if r.take_bool()? {
+            Some(IqSample {
+                i: Q15::from_raw(r.take_i32()?),
+                q: Q15::from_raw(r.take_i32()?),
+            })
+        } else {
+            None
+        };
+        Ok(())
     }
 }
 

@@ -8,6 +8,7 @@
 //! system-model → RTL hand-off.
 
 use crate::fixed::{Q15, Q30};
+use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 
 /// Designs a linear-phase lowpass FIR by the windowed-sinc method
 /// (Hamming window).
@@ -163,6 +164,46 @@ impl FirFilter {
     pub fn saturations(&self) -> u64 {
         self.saturations
     }
+
+    /// Serializes the delay line, write position and clip counter. The
+    /// coefficients are design-time configuration and are not saved.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        let raw: Vec<i32> = self.delay.iter().map(|q| q.raw()).collect();
+        w.put_i32_slice(&raw);
+        w.put_u64(self.pos as u64);
+        w.put_u64(self.saturations);
+    }
+
+    /// Restores state saved by [`FirFilter::save_state`] into a filter of
+    /// the same length.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Corrupt`] if the saved delay-line length or write
+    /// position does not match this filter, plus the underlying decode
+    /// errors.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let raw = r.take_i32_vec()?;
+        if raw.len() != self.delay.len() {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "FIR delay line of {} taps in snapshot, filter has {}",
+                    raw.len(),
+                    self.delay.len()
+                ),
+            });
+        }
+        let pos = r.take_u64()? as usize;
+        if pos >= raw.len() {
+            return Err(SnapshotError::Corrupt {
+                context: format!("FIR write position {pos} out of range {}", raw.len()),
+            });
+        }
+        self.delay = raw.into_iter().map(Q15::from_raw).collect();
+        self.pos = pos;
+        self.saturations = r.take_u64()?;
+        Ok(())
+    }
 }
 
 fn saturate(v: i64) -> i32 {
@@ -233,6 +274,30 @@ impl DecimatingFir {
     #[must_use]
     pub fn saturations(&self) -> u64 {
         self.fir.saturations()
+    }
+
+    /// Serializes the inner filter and the decimation phase counter.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.fir.save_state(w);
+        w.put_u32(self.counter);
+    }
+
+    /// Restores state saved by [`DecimatingFir::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Corrupt`] if the saved phase exceeds the
+    /// decimation factor, plus the inner filter's errors.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.fir.load_state(r)?;
+        let counter = r.take_u32()?;
+        if counter >= self.factor {
+            return Err(SnapshotError::Corrupt {
+                context: format!("decimation phase {counter} out of range {}", self.factor),
+            });
+        }
+        self.counter = counter;
+        Ok(())
     }
 }
 

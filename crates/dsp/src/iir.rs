@@ -7,6 +7,7 @@
 //! accumulator), matching the MATLAB → RTL flow.
 
 use crate::fixed::{Q15, Q30};
+use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 
 /// Normalized biquad coefficients (a0 = 1):
 /// `y[n] = b0 x[n] + b1 x[n−1] + b2 x[n−2] − a1 y[n−1] − a2 y[n−2]`.
@@ -187,6 +188,30 @@ impl Biquad {
             self.saturations += 1;
         }
         Q15::from_raw(y15.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+    }
+
+    /// Serializes the delay elements and clip counter (coefficients are
+    /// configuration and are not saved).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_i32(self.x[0].raw());
+        w.put_i32(self.x[1].raw());
+        w.put_i64(self.y[0]);
+        w.put_i64(self.y[1]);
+        w.put_u64(self.saturations);
+    }
+
+    /// Restores state saved by [`Biquad::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.x[0] = Q15::from_raw(r.take_i32()?);
+        self.x[1] = Q15::from_raw(r.take_i32()?);
+        self.y[0] = r.take_i64()?;
+        self.y[1] = r.take_i64()?;
+        self.saturations = r.take_u64()?;
+        Ok(())
     }
 }
 

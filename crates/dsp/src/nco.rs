@@ -6,6 +6,7 @@
 //! drive and the quadrature references used by the demodulators.
 
 use crate::fixed::Q15;
+use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 
 /// Lookup-table size (quarter wave); full wave resolved to 4×1024 points,
 /// matching a 12-bit phase truncation typical of small mixed-signal ASICs.
@@ -107,6 +108,23 @@ impl Nco {
         let out = Self::lookup(self.phase);
         self.phase = self.phase.wrapping_add(self.increment);
         out
+    }
+
+    /// Serializes the phase accumulator and increment.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u32(self.phase);
+        w.put_u32(self.increment);
+    }
+
+    /// Restores the phase accumulator and increment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.phase = r.take_u32()?;
+        self.increment = r.take_u32()?;
+        Ok(())
     }
 
     /// Sine/cosine of an arbitrary 32-bit phase word.

@@ -21,6 +21,7 @@
 
 use crate::fixed::Q15;
 use crate::nco::Nco;
+use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 
 /// PLL configuration (gains are applied to the Q15 phase-detector output).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -316,6 +317,45 @@ impl Pll {
         self.unlocked_windows = 0;
         self.locked = false;
     }
+
+    /// Serializes all loop state (NCO phase word, detector accumulators,
+    /// loop filter, lock detector). The configuration is not saved.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.nco.save_state(w);
+        w.put_i64(self.pd_acc);
+        w.put_i64(self.amp_acc);
+        w.put_u32(self.pd_count);
+        w.put_f64(self.phase_error);
+        w.put_f64(self.amplitude);
+        w.put_f64(self.integrator);
+        w.put_f64(self.freq_offset);
+        w.put_u32(self.locked_windows);
+        w.put_u32(self.unlocked_windows);
+        w.put_bool(self.locked);
+        w.put_u64(self.lock_transitions);
+    }
+
+    /// Restores loop state saved by [`Pll::save_state`] into a PLL built
+    /// from the same configuration (bit-exact continuation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.nco.load_state(r)?;
+        self.pd_acc = r.take_i64()?;
+        self.amp_acc = r.take_i64()?;
+        self.pd_count = r.take_u32()?;
+        self.phase_error = r.take_f64()?;
+        self.amplitude = r.take_f64()?;
+        self.integrator = r.take_f64()?;
+        self.freq_offset = r.take_f64()?;
+        self.locked_windows = r.take_u32()?;
+        self.unlocked_windows = r.take_u32()?;
+        self.locked = r.take_bool()?;
+        self.lock_transitions = r.take_u64()?;
+        Ok(())
+    }
 }
 
 /// PI controller on a scalar measurement — shared by the AGC and the
@@ -370,6 +410,21 @@ impl PiController {
     /// Resets the integrator.
     pub fn reset(&mut self) {
         self.integrator = 0.0;
+    }
+
+    /// Serializes the integrator (gains and limits are configuration).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_f64(self.integrator);
+    }
+
+    /// Restores the integrator saved by [`PiController::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.integrator = r.take_f64()?;
+        Ok(())
     }
 }
 

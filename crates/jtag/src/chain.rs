@@ -8,6 +8,7 @@
 use crate::device::JtagDevice;
 use crate::state::TapState;
 use ascp_sim::noise::Rng64;
+use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 use std::error::Error;
 use std::fmt;
 
@@ -399,6 +400,84 @@ impl JtagChain {
             .get_mut(index)
             .map(|s| &mut *s.device)
             .ok_or(ChainError::NoSuchDevice { index, len })
+    }
+
+    /// Serializes the TAP FSM state, counters, injected fault, and every
+    /// slot's shift/instruction registers plus the device's own state (via
+    /// [`JtagDevice::save_state`]).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u8(self.state.code());
+        w.put_u64(self.cycles);
+        w.put_u64(self.shifts);
+        match &self.fault {
+            Some((rate, rng)) => {
+                w.put_bool(true);
+                w.put_f64(*rate);
+                rng.save_state(w);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u64(self.corrupted_bits);
+        w.put_u32(self.slots.len() as u32);
+        for slot in &self.slots {
+            w.put_u64(slot.ir);
+            w.put_u64(slot.ir_shift);
+            w.put_u64(slot.dr_shift);
+            w.put_u32(slot.dr_len as u32);
+            slot.device.save_state(w);
+        }
+    }
+
+    /// Restores state saved by [`JtagChain::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Corrupt`] if the TAP state code is invalid
+    /// or the device count does not match this chain; propagates other
+    /// [`SnapshotError`]s on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let code = r.take_u8()?;
+        let state = TapState::from_code(code).ok_or_else(|| SnapshotError::Corrupt {
+            context: format!("TAP state code {code} out of range"),
+        })?;
+        let cycles = r.take_u64()?;
+        let shifts = r.take_u64()?;
+        let fault = if r.take_bool()? {
+            let rate = r.take_f64()?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(SnapshotError::Corrupt {
+                    context: format!("JTAG fault rate {rate} outside [0, 1]"),
+                });
+            }
+            let mut rng = Rng64::new(1);
+            rng.load_state(r)?;
+            Some((rate, rng))
+        } else {
+            None
+        };
+        let corrupted_bits = r.take_u64()?;
+        let count = r.take_u32()? as usize;
+        if count != self.slots.len() {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "JTAG chain of {count} devices in snapshot, chain has {}",
+                    self.slots.len()
+                ),
+            });
+        }
+        self.state = state;
+        self.cycles = cycles;
+        self.shifts = shifts;
+        self.fault = fault;
+        self.corrupted_bits = corrupted_bits;
+        for slot in &mut self.slots {
+            slot.ir = r.take_u64()?;
+            slot.ir_shift = r.take_u64()?;
+            slot.dr_shift = r.take_u64()?;
+            slot.dr_len = r.take_u32()? as usize;
+            slot.device.load_state(r)?;
+        }
+        Ok(())
     }
 }
 

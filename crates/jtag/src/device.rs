@@ -4,6 +4,8 @@
 //! decodes the instruction register into a data register; the chain
 //! ([`crate::chain::JtagChain`]) moves the bits.
 
+use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
+
 /// Behavioural model of one TAP in the chain.
 ///
 /// Object-safe: the chain holds `Box<dyn JtagDevice>`.
@@ -23,6 +25,25 @@ pub trait JtagDevice {
 
     /// Applies the shifted-in DR value at Update-DR.
     fn update_dr(&mut self, ir: u64, value: u64);
+
+    /// Serializes device-internal state for platform checkpointing.
+    ///
+    /// The default writes nothing — correct for stateless devices such as
+    /// [`BypassDevice`]. Devices with internal latches must override both
+    /// hooks symmetrically.
+    fn save_state(&self, w: &mut StateWriter) {
+        let _ = w;
+    }
+
+    /// Restores state written by [`JtagDevice::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError`] on malformed input.
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// Standard instruction encodings used by ASCP devices (4-bit IR).
@@ -157,6 +178,19 @@ impl<B: RegisterBus> JtagDevice for RegAccessDevice<B> {
                 self.last_read = self.bus.read(addr).unwrap_or(0xffff);
             }
         }
+    }
+
+    /// Serializes the read-back latch and the rejected-write counter (the
+    /// wrapped bus serializes with its owning subsystem, not here).
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put_u16(self.last_read);
+        w.put_u32(self.write_errors);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.last_read = r.take_u16()?;
+        self.write_errors = r.take_u32()?;
+        Ok(())
     }
 }
 

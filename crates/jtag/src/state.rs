@@ -90,6 +90,56 @@ impl TapState {
     pub fn is_shifting(self) -> bool {
         matches!(self, TapState::ShiftDr | TapState::ShiftIr)
     }
+
+    /// Stable numeric code for serialization (inverse of
+    /// [`TapState::from_code`]).
+    #[must_use]
+    pub fn code(self) -> u8 {
+        use TapState::*;
+        match self {
+            TestLogicReset => 0,
+            RunTestIdle => 1,
+            SelectDrScan => 2,
+            CaptureDr => 3,
+            ShiftDr => 4,
+            Exit1Dr => 5,
+            PauseDr => 6,
+            Exit2Dr => 7,
+            UpdateDr => 8,
+            SelectIrScan => 9,
+            CaptureIr => 10,
+            ShiftIr => 11,
+            Exit1Ir => 12,
+            PauseIr => 13,
+            Exit2Ir => 14,
+            UpdateIr => 15,
+        }
+    }
+
+    /// Decodes a [`TapState::code`] value; `None` for codes ≥ 16.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<TapState> {
+        use TapState::*;
+        Some(match code {
+            0 => TestLogicReset,
+            1 => RunTestIdle,
+            2 => SelectDrScan,
+            3 => CaptureDr,
+            4 => ShiftDr,
+            5 => Exit1Dr,
+            6 => PauseDr,
+            7 => Exit2Dr,
+            8 => UpdateDr,
+            9 => SelectIrScan,
+            10 => CaptureIr,
+            11 => ShiftIr,
+            12 => Exit1Ir,
+            13 => PauseIr,
+            14 => Exit2Ir,
+            15 => UpdateIr,
+            _ => return None,
+        })
+    }
 }
 
 #[cfg(test)]

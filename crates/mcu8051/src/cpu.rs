@@ -12,6 +12,7 @@
 //! trait passed to [`Cpu::step`].
 
 use ascp_sim::noise::Rng64;
+use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 use std::collections::VecDeque;
 
 /// SFR addresses used by the core.
@@ -140,6 +141,28 @@ impl IntSource {
             Self::Timer1 => 0x08,
             Self::Serial => 0x10,
         }
+    }
+
+    /// Stable numeric code for serialization.
+    fn code(self) -> u8 {
+        match self {
+            Self::Ext0 => 0,
+            Self::Timer0 => 1,
+            Self::Ext1 => 2,
+            Self::Timer1 => 3,
+            Self::Serial => 4,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => Self::Ext0,
+            1 => Self::Timer0,
+            2 => Self::Ext1,
+            3 => Self::Timer1,
+            4 => Self::Serial,
+            _ => return None,
+        })
     }
 }
 
@@ -385,6 +408,113 @@ impl Cpu {
     #[must_use]
     pub fn uart_line_errors(&self) -> u64 {
         self.uart_line_errors
+    }
+
+    /// Serializes the complete core state: PC, IRAM, SFRs, code memory
+    /// (runtime-mutable through the program-download path), counters, UART
+    /// queues and timing, the interrupt in-service stack, pins, and
+    /// injected-fault state.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u16(self.pc);
+        w.put_u8_slice(&self.iram);
+        w.put_u8_slice(&self.sfrs);
+        w.put_u8_slice(&self.code);
+        w.put_u64(self.cycles);
+        w.put_u64(self.instructions);
+        w.put_u64(self.uart_tx_total);
+        w.put_opt_u32(self.uart_tx_countdown);
+        w.put_u8_slice(self.uart_tx.iter().copied().collect::<Vec<u8>>().as_slice());
+        w.put_u8_slice(self.uart_rx.iter().copied().collect::<Vec<u8>>().as_slice());
+        w.put_u32(self.uart_cycles_per_byte);
+        w.put_opt_u32(self.uart_rx_countdown);
+        w.put_u32(self.in_service.len() as u32);
+        for &(src, high) in &self.in_service {
+            w.put_u8(src.code());
+            w.put_bool(high);
+        }
+        w.put_bool(self.int0_pin);
+        w.put_bool(self.int1_pin);
+        w.put_bool(self.halted);
+        w.put_bool(self.hung);
+        match &self.uart_fault {
+            Some((rate, rng)) => {
+                w.put_bool(true);
+                w.put_f64(*rate);
+                rng.save_state(w);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u64(self.uart_line_errors);
+    }
+
+    /// Restores state saved by [`Cpu::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Corrupt`] if the IRAM/SFR images have the
+    /// wrong size, the code image exceeds 64 KiB, an interrupt-source code
+    /// is unknown, or the fault rate is outside `[0, 1]`; propagates other
+    /// [`SnapshotError`]s on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let pc = r.take_u16()?;
+        let iram = r.take_u8_vec()?;
+        let sfrs = r.take_u8_vec()?;
+        if iram.len() != 256 || sfrs.len() != 128 {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "CPU memory images {}B IRAM / {}B SFR (expected 256/128)",
+                    iram.len(),
+                    sfrs.len()
+                ),
+            });
+        }
+        let code = r.take_u8_vec()?;
+        if code.len() > 0x1_0000 {
+            return Err(SnapshotError::Corrupt {
+                context: format!("CPU code image of {} bytes exceeds 64 KiB", code.len()),
+            });
+        }
+        self.pc = pc;
+        self.iram.copy_from_slice(&iram);
+        self.sfrs.copy_from_slice(&sfrs);
+        self.code = code;
+        self.cycles = r.take_u64()?;
+        self.instructions = r.take_u64()?;
+        self.uart_tx_total = r.take_u64()?;
+        self.uart_tx_countdown = r.take_opt_u32()?;
+        self.uart_tx = r.take_u8_vec()?.into();
+        self.uart_rx = r.take_u8_vec()?.into();
+        self.uart_cycles_per_byte = r.take_u32()?;
+        self.uart_rx_countdown = r.take_opt_u32()?;
+        let n = r.take_u32()? as usize;
+        let mut in_service = Vec::with_capacity(n.min(16));
+        for _ in 0..n {
+            let code = r.take_u8()?;
+            let src = IntSource::from_code(code).ok_or_else(|| SnapshotError::Corrupt {
+                context: format!("unknown interrupt source code {code}"),
+            })?;
+            in_service.push((src, r.take_bool()?));
+        }
+        self.in_service = in_service;
+        self.int0_pin = r.take_bool()?;
+        self.int1_pin = r.take_bool()?;
+        self.halted = r.take_bool()?;
+        self.hung = r.take_bool()?;
+        self.uart_fault = if r.take_bool()? {
+            let rate = r.take_f64()?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(SnapshotError::Corrupt {
+                    context: format!("UART fault rate {rate} outside [0, 1]"),
+                });
+            }
+            let mut rng = Rng64::new(1);
+            rng.load_state(r)?;
+            Some((rate, rng))
+        } else {
+            None
+        };
+        self.uart_line_errors = r.take_u64()?;
+        Ok(())
     }
 
     // ---- SFR raw accessors (no side effects) ----

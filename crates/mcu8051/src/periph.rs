@@ -19,6 +19,7 @@
 
 use crate::cpu::ExternalBus;
 use ascp_sim::noise::Rng64;
+use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 use std::collections::VecDeque;
 
 /// A device on the bridged 16-bit peripheral bus.
@@ -73,6 +74,25 @@ pub trait SpiSlave {
 
     /// Chip-select edge; `false` = deselected (command boundary).
     fn set_selected(&mut self, selected: bool);
+
+    /// Serializes slave-internal state for platform checkpointing.
+    ///
+    /// The default writes nothing — correct only for stateless slaves.
+    /// Slaves with memory or a command state machine (e.g. [`SpiEeprom`])
+    /// must override both hooks symmetrically.
+    fn save_state(&self, w: &mut StateWriter) {
+        let _ = w;
+    }
+
+    /// Restores state written by [`SpiSlave::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError`] on malformed input.
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// SPI master registers (device-local): 0 = CTRL (bit0 CS), 1 = DATA
@@ -164,6 +184,63 @@ impl Spi {
             s.set_selected(false);
         }
         Some(rx == 0xff)
+    }
+
+    /// Serializes controller state and (via its [`SpiSlave::save_state`]
+    /// hook) the attached slave.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_bool(self.cs);
+        w.put_u8(self.last_rx);
+        w.put_u64(self.transfers);
+        w.put_bool(self.fault.is_some());
+        if let Some((rate, rng)) = &self.fault {
+            w.put_f64(*rate);
+            rng.save_state(w);
+        }
+        w.put_u64(self.line_errors);
+        w.put_bool(self.slave.is_some());
+        if let Some(slave) = &self.slave {
+            slave.save_state(w);
+        }
+    }
+
+    /// Restores state saved by [`Spi::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Corrupt`] if the snapshot's slave presence
+    /// does not match this controller, or on out-of-range fields.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.cs = r.take_bool()?;
+        self.last_rx = r.take_u8()?;
+        self.transfers = r.take_u64()?;
+        if r.take_bool()? {
+            let rate = r.take_f64()?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(SnapshotError::Corrupt {
+                    context: format!("SPI fault rate {rate} outside [0, 1]"),
+                });
+            }
+            let mut rng = Rng64::new(1);
+            rng.load_state(r)?;
+            self.fault = Some((rate, rng));
+        } else {
+            self.fault = None;
+        }
+        self.line_errors = r.take_u64()?;
+        let has_slave = r.take_bool()?;
+        if has_slave != self.slave.is_some() {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "SPI snapshot slave presence {has_slave}, controller has slave: {}",
+                    self.slave.is_some()
+                ),
+            });
+        }
+        if let Some(slave) = self.slave.as_mut() {
+            slave.load_state(r)?;
+        }
+        Ok(())
     }
 
     /// One byte on the wire, applying an injected fault to the response.
@@ -279,6 +356,64 @@ impl SpiEeprom {
 }
 
 impl SpiSlave for SpiEeprom {
+    /// Serializes the memory array, command state machine and WREN latch.
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put_u8_slice(&self.memory);
+        match self.state {
+            EepromState::Idle => w.put_u8(0),
+            EepromState::AddrHi(cmd) => {
+                w.put_u8(1);
+                w.put_u8(cmd);
+            }
+            EepromState::AddrLo { cmd, hi } => {
+                w.put_u8(2);
+                w.put_u8(cmd);
+                w.put_u8(hi);
+            }
+            EepromState::Stream { cmd, addr } => {
+                w.put_u8(3);
+                w.put_u8(cmd);
+                w.put_u16(addr);
+            }
+            EepromState::Status => w.put_u8(4),
+        }
+        w.put_bool(self.write_enabled);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let memory = r.take_u8_vec()?;
+        if memory.len() != self.memory.len() {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "EEPROM snapshot of {} bytes, device has {}",
+                    memory.len(),
+                    self.memory.len()
+                ),
+            });
+        }
+        self.memory = memory;
+        self.state = match r.take_u8()? {
+            0 => EepromState::Idle,
+            1 => EepromState::AddrHi(r.take_u8()?),
+            2 => EepromState::AddrLo {
+                cmd: r.take_u8()?,
+                hi: r.take_u8()?,
+            },
+            3 => EepromState::Stream {
+                cmd: r.take_u8()?,
+                addr: r.take_u16()?,
+            },
+            4 => EepromState::Status,
+            tag => {
+                return Err(SnapshotError::Corrupt {
+                    context: format!("unknown EEPROM state tag {tag}"),
+                })
+            }
+        };
+        self.write_enabled = r.take_bool()?;
+        Ok(())
+    }
+
     fn transfer(&mut self, mosi: u8) -> u8 {
         match self.state {
             EepromState::Idle => {
@@ -423,6 +558,31 @@ impl Watchdog {
     pub fn reload(&self) -> u16 {
         self.reload
     }
+
+    /// Serializes the full watchdog state.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_bool(self.enabled);
+        w.put_u16(self.reload);
+        w.put_u32(self.counter);
+        w.put_bool(self.expired);
+        w.put_u32(self.expirations);
+        w.put_bool(self.auto_reset);
+    }
+
+    /// Restores state saved by [`Watchdog::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.enabled = r.take_bool()?;
+        self.reload = r.take_u16()?;
+        self.counter = r.take_u32()?;
+        self.expired = r.take_bool()?;
+        self.expirations = r.take_u32()?;
+        self.auto_reset = r.take_bool()?;
+        Ok(())
+    }
 }
 
 impl Bus16Device for Watchdog {
@@ -538,6 +698,49 @@ impl SramController {
         }
     }
 
+    /// Serializes the SRAM contents and capture-pointer state.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u16_slice(&self.memory);
+        w.put_u32(self.write_ptr as u32);
+        w.put_bool(self.capturing);
+        w.put_u16(self.read_addr);
+        w.put_bool(self.wrapped);
+    }
+
+    /// Restores state saved by [`SramController::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Corrupt`] on a capacity mismatch or an
+    /// out-of-range write pointer.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let memory = r.take_u16_vec()?;
+        if memory.len() != self.memory.len() {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "SRAM snapshot of {} samples, controller has {}",
+                    memory.len(),
+                    self.memory.len()
+                ),
+            });
+        }
+        self.memory = memory;
+        let write_ptr = r.take_u32()? as usize;
+        if write_ptr >= self.memory.len() {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "SRAM write pointer {write_ptr} outside capacity {}",
+                    self.memory.len()
+                ),
+            });
+        }
+        self.write_ptr = write_ptr;
+        self.capturing = r.take_bool()?;
+        self.read_addr = r.take_u16()?;
+        self.wrapped = r.take_bool()?;
+        Ok(())
+    }
+
     /// Byte write (MOVX path; general-purpose external RAM use).
     pub fn write_byte(&mut self, addr: u16, value: u8) {
         let idx = (addr as usize / 2) % self.memory.len();
@@ -606,6 +809,46 @@ impl CacheController {
     #[must_use]
     pub fn total_written(&self) -> u32 {
         self.total_written
+    }
+
+    /// Serializes the write address, pending queue and byte counter.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u16(self.addr);
+        w.put_u32(self.pending.len() as u32);
+        for &(addr, byte) in &self.pending {
+            w.put_u16(addr);
+            w.put_u8(byte);
+        }
+        w.put_u32(self.total_written);
+    }
+
+    /// Restores state saved by [`CacheController::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.addr = r.take_u16()?;
+        let n = r.take_u32()? as usize;
+        // Each queued write is 3 bytes; reject impossible counts before
+        // allocating.
+        if n.saturating_mul(3) > r.remaining() {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "cache-controller queue count {n} exceeds remaining {} bytes",
+                    r.remaining()
+                ),
+            });
+        }
+        let mut pending = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let addr = r.take_u16()?;
+            let byte = r.take_u8()?;
+            pending.push_back((addr, byte));
+        }
+        self.pending = pending;
+        self.total_written = r.take_u32()?;
+        Ok(())
     }
 
     fn sfr_read(&mut self, addr: u8) -> Option<u8> {
@@ -685,6 +928,42 @@ impl SystemBus {
             bridge_addr: 0,
             bridge_data: 0,
         }
+    }
+
+    /// Serializes the bridge latches and all owned peripherals.
+    ///
+    /// The DSP window ([`SystemBus::dsp`]) is platform-owned glue and is
+    /// serialized by the platform alongside the DSP register bank itself,
+    /// not here.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.leaf("brdg", |w| {
+            w.put_u8(self.bridge_addr);
+            w.put_u16(self.bridge_data);
+        });
+        w.leaf("spi ", |w| self.spi.save_state(w));
+        w.leaf("wdog", |w| self.watchdog.save_state(w));
+        w.leaf("sram", |w| self.sram.save_state(w));
+        w.leaf("cach", |w| self.cache.save_state(w));
+    }
+
+    /// Restores state saved by [`SystemBus::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError`] from any peripheral section.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let (addr, data) = r.leaf("brdg", |r| Ok((r.take_u8()?, r.take_u16()?)))?;
+        self.bridge_addr = addr;
+        self.bridge_data = data;
+        let spi = &mut self.spi;
+        r.leaf("spi ", |r| spi.load_state(r))?;
+        let watchdog = &mut self.watchdog;
+        r.leaf("wdog", |r| watchdog.load_state(r))?;
+        let sram = &mut self.sram;
+        r.leaf("sram", |r| sram.load_state(r))?;
+        let cache = &mut self.cache;
+        r.leaf("cach", |r| cache.load_state(r))?;
+        Ok(())
     }
 
     fn bus16_read(&mut self, addr: u8) -> u16 {

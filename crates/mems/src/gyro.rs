@@ -23,6 +23,7 @@
 
 use crate::resonator::Resonator;
 use ascp_sim::noise::WhiteNoise;
+use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 use ascp_sim::units::{Celsius, DegPerSec, Hertz};
 
 /// Physical and error parameters of the ring gyro.
@@ -304,6 +305,38 @@ impl RingGyro {
     pub fn reset(&mut self) {
         self.drive_mode.reset();
         self.sense_mode.reset();
+    }
+
+    /// Serializes the mechanical state: both mode resonators, the applied
+    /// stimulus (temperature, rate), the Brownian-noise generators, and the
+    /// temperature-derived quadrature coupling. The per-`dt` noise sigmas
+    /// are caches and are not saved.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_f64(self.temperature.0);
+        w.put_f64(self.rate.0);
+        self.drive_mode.save_state(w);
+        self.sense_mode.save_state(w);
+        self.drive_noise.save_state(w);
+        self.sense_noise.save_state(w);
+        w.put_f64(self.k_quad);
+    }
+
+    /// Restores state saved by [`RingGyro::save_state`] and marks the
+    /// cached per-step noise sigmas stale (rebuilt on the next step).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.temperature = Celsius(r.take_f64()?);
+        self.rate = DegPerSec(r.take_f64()?);
+        self.drive_mode.load_state(r)?;
+        self.sense_mode.load_state(r)?;
+        self.drive_noise.load_state(r)?;
+        self.sense_noise.load_state(r)?;
+        self.k_quad = r.take_f64()?;
+        self.sigma_dt = 0.0;
+        Ok(())
     }
 }
 

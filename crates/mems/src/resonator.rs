@@ -10,6 +10,8 @@
 //! integrator is kept as [`Resonator::step_rk4`] for cross-checks). The
 //! 2×2 matrix is cached per `dt` and invalidated by [`Resonator::retune`].
 
+use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
+
 /// State of a 1-DOF resonator: displacement and velocity.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ModeState {
@@ -199,6 +201,40 @@ impl Resonator {
     #[must_use]
     pub fn envelope_tau(&self) -> f64 {
         2.0 * self.q / self.omega
+    }
+
+    /// Serializes tuning and motion state. The cached `exp(A·dt)`
+    /// propagator is *not* saved — it is a pure function of `(ω, Q, dt)`
+    /// and is rebuilt on the first step after restore.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_f64(self.omega);
+        w.put_f64(self.q);
+        w.put_f64(self.state.x);
+        w.put_f64(self.state.v);
+    }
+
+    /// Restores state saved by [`Resonator::save_state`] and invalidates
+    /// the cached propagator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Corrupt`] if the saved tuning is not
+    /// physical (non-positive or non-finite ω or Q); propagates other
+    /// [`SnapshotError`]s on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let omega = r.take_f64()?;
+        let q = r.take_f64()?;
+        if !(omega > 0.0 && omega.is_finite() && q > 0.0 && q.is_finite()) {
+            return Err(SnapshotError::Corrupt {
+                context: format!("resonator tuning omega={omega} q={q} not physical"),
+            });
+        }
+        self.omega = omega;
+        self.q = q;
+        self.state.x = r.take_f64()?;
+        self.state.v = r.take_f64()?;
+        self.prop = None;
+        Ok(())
     }
 }
 

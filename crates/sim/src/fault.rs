@@ -27,6 +27,7 @@
 //! ```
 
 use crate::noise::Rng64;
+use crate::snapshot::{SnapshotError, StateReader, StateWriter};
 
 /// Which SAR ADC channel a converter fault targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -307,6 +308,60 @@ impl FaultPlan {
     #[must_use]
     pub fn is_active(&self, kind: FaultKind) -> bool {
         self.states.iter().any(|s| s.active && s.spec.kind == kind)
+    }
+
+    /// Serializes the runtime cursor of every scheduled fault (active
+    /// flags, burst generators, next toggle times). The specs themselves
+    /// are configuration and are *not* saved; a restore target must be
+    /// built from the same plan.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u32(self.states.len() as u32);
+        for st in &self.states {
+            w.put_bool(st.active);
+            match &st.rng {
+                Some(rng) => {
+                    w.put_bool(true);
+                    rng.save_state(w);
+                }
+                None => w.put_bool(false),
+            }
+            w.put_f64(st.next_toggle_s);
+            w.put_bool(st.burst_on);
+        }
+    }
+
+    /// Restores the runtime cursor saved by [`FaultPlan::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Corrupt`] if the saved cursor count or RNG
+    /// presence disagrees with this plan's specs (the checkpoint belongs
+    /// to a different configuration), plus the underlying decode errors.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.take_u32()? as usize;
+        if n != self.states.len() {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "fault plan has {} specs but snapshot carries {n} cursors",
+                    self.states.len()
+                ),
+            });
+        }
+        for st in &mut self.states {
+            st.active = r.take_bool()?;
+            let has_rng = r.take_bool()?;
+            if has_rng != st.rng.is_some() {
+                return Err(SnapshotError::Corrupt {
+                    context: "fault cursor RNG presence mismatch".to_owned(),
+                });
+            }
+            if let Some(rng) = st.rng.as_mut() {
+                rng.load_state(r)?;
+            }
+            st.next_toggle_s = r.take_f64()?;
+            st.burst_on = r.take_bool()?;
+        }
+        Ok(())
     }
 }
 

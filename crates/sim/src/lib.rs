@@ -22,7 +22,10 @@
 //!   the [`allan`] deviation analysis used for gyro stability figures;
 //! - a [`campaign`] worker-pool engine that shards independent scenario
 //!   runs across threads with input-order (thread-count-independent)
-//!   results.
+//!   results;
+//! - binary state [`snapshot`] primitives (self-describing length-prefixed
+//!   sections, bit-exact `f64` encoding, typed decode errors) that the
+//!   platform checkpoint format in `ascp-core` builds on.
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@ pub mod allan;
 pub mod campaign;
 pub mod fault;
 pub mod noise;
+pub mod snapshot;
 pub mod stats;
 pub mod telemetry;
 pub mod trace;

@@ -9,7 +9,11 @@
 //!
 //! All sources are deterministic given a seed so experiments are exactly
 //! reproducible — the simulation-kernel equivalent of a logged bench
-//! measurement.
+//! measurement. Every source exposes `save_state`/`load_state` over the
+//! [`crate::snapshot`] primitives so the platform checkpoint can capture
+//! RNG streams bit-exactly mid-run.
+
+use crate::snapshot::{SnapshotError, StateReader, StateWriter};
 
 /// Minimal deterministic PRNG: xorshift64* with a SplitMix64-scrambled
 /// seed.
@@ -73,6 +77,28 @@ impl Rng64 {
     pub fn gen_range(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi && (hi - lo).is_finite(), "empty range {lo}..{hi}");
         lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Serializes the generator state.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u64(self.state);
+    }
+
+    /// Restores the generator state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.state = r.take_u64()?;
+        if self.state == 0 {
+            // A zero xorshift state is absorbing; it can never be produced
+            // by a healthy generator, so the bytes are corrupt.
+            return Err(SnapshotError::Corrupt {
+                context: "Rng64 state of zero".to_owned(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -155,6 +181,25 @@ impl WhiteNoise {
         self.cached = Some(r * theta.sin());
         r * theta.cos() * self.sigma
     }
+
+    /// Serializes sigma, the PRNG, and the cached Box–Muller half-sample.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_f64(self.sigma);
+        self.rng.save_state(w);
+        w.put_opt_f64(self.cached);
+    }
+
+    /// Restores the full source state (bit-exact continuation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.sigma = r.take_f64()?;
+        self.rng.load_state(r)?;
+        self.cached = r.take_opt_f64()?;
+        Ok(())
+    }
 }
 
 /// Pink (1/f) noise via the Voss–McCartney multi-row algorithm.
@@ -197,6 +242,34 @@ impl PinkNoise {
         let k = (self.counter.trailing_zeros() as usize).min(self.rows.len() - 1);
         self.rows[k] = self.white.sample();
         self.rows.iter().sum::<f64>() * self.scale
+    }
+
+    /// Serializes the inner white source, row ladder, counter and scale.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.white.save_state(w);
+        w.put_f64_slice(&self.rows);
+        w.put_u64(self.counter);
+        w.put_f64(self.scale);
+    }
+
+    /// Restores the full source state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError`] on malformed input; the saved row
+    /// ladder must be non-empty.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.white.load_state(r)?;
+        let rows = r.take_f64_vec()?;
+        if rows.is_empty() {
+            return Err(SnapshotError::Corrupt {
+                context: "pink noise with zero rows".to_owned(),
+            });
+        }
+        self.rows = rows;
+        self.counter = r.take_u64()?;
+        self.scale = r.take_f64()?;
+        Ok(())
     }
 }
 
@@ -244,6 +317,25 @@ impl RandomWalk {
     #[must_use]
     pub fn value(&self) -> f64 {
         self.state
+    }
+
+    /// Serializes the inner white source, walk state and limit.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.white.save_state(w);
+        w.put_f64(self.state);
+        w.put_f64(self.limit);
+    }
+
+    /// Restores the full source state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.white.load_state(r)?;
+        self.state = r.take_f64()?;
+        self.limit = r.take_f64()?;
+        Ok(())
     }
 }
 

@@ -1,0 +1,95 @@
+//! Checkpoint & resume: snapshot a settled platform, restore it
+//! bit-exactly, and warm-start a rate-table campaign from a shared
+//! settle prefix.
+//!
+//! ```sh
+//! cargo run --release --example checkpoint_resume
+//! ```
+
+use std::time::Instant;
+
+use ascp::core::checkpoint;
+use ascp::core::prelude::*;
+use ascp::sim::units::DegPerSec;
+
+fn main() {
+    let cfg = PlatformConfig::builder().build().expect("valid config");
+
+    // ---- 1. Settle once, checkpoint the whole platform -----------------
+    let mut original = Platform::new(cfg.clone());
+    println!("settling (PLL lock + AGC convergence) ...");
+    let turn_on = original.wait_for_ready(2.0).expect("lock");
+    println!("ready in {:.0} ms", turn_on.to_millis());
+
+    let path = std::env::temp_dir().join("ascp_checkpoint_resume.ckpt");
+    checkpoint::save_to_file(&original, &path).expect("write checkpoint");
+    let size = std::fs::metadata(&path).expect("stat").len();
+    println!("checkpoint -> {} ({size} bytes)", path.display());
+
+    // ---- 2. Restore in a "new process" and prove bit-exactness ---------
+    let mut restored = checkpoint::restore_from_file(cfg.clone(), &path).expect("restore");
+    for p in [&mut original, &mut restored] {
+        p.set_rate(DegPerSec(120.0));
+        p.run(0.2);
+    }
+    assert_eq!(
+        checkpoint::save(&original),
+        checkpoint::save(&restored),
+        "restored platform must stay byte-identical to the original"
+    );
+    println!(
+        "restored platform tracks the original bit-exactly: both read {:.3} °/s",
+        restored.rate_output_dps()
+    );
+
+    // ---- 3. Warm-start a rate table from the shared settle prefix ------
+    let scenarios = |tag: &str| -> Vec<ScenarioSpec> {
+        [-150.0, -50.0, 50.0, 150.0]
+            .iter()
+            .map(|&dps| {
+                ScenarioSpec::new(format!("{tag}_{dps:+.0}dps"), cfg.clone())
+                    .with_seed(0xa5c)
+                    .with_steps([
+                        Step::WaitReady { timeout_s: 2.0 },
+                        Step::Run { seconds: 0.05 },
+                        Step::SetRate { dps },
+                        Step::MeasureMeanRate {
+                            label: "mean_dps".into(),
+                            window_s: 0.05,
+                        },
+                    ])
+            })
+            .collect()
+    };
+
+    let t = Instant::now();
+    let cold = CampaignRunner::new().run(scenarios("rate"));
+    let cold_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let warm = CampaignRunner::new()
+        .with_warm_start(true)
+        .run(scenarios("rate"));
+    let warm_s = t.elapsed().as_secs_f64();
+
+    assert_eq!(
+        cold.to_csv(),
+        warm.to_csv(),
+        "warm-start must not change any result"
+    );
+    println!(
+        "\n4-point rate table: cold {cold_s:.2} s, warm {warm_s:.2} s \
+         ({:.1}x, {} cache hits), results byte-identical",
+        cold_s / warm_s,
+        warm.warm_hits
+    );
+    for o in &warm.outcomes {
+        println!(
+            "  {:<14} -> {:+8.2} °/s",
+            o.name,
+            o.metric("mean_dps").expect("measured")
+        );
+    }
+
+    std::fs::remove_file(&path).ok();
+}

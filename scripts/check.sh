@@ -3,10 +3,23 @@
 # (no registry access — the only external crate, proptest, is vendored as a
 # shim under vendor/ behind an off-by-default feature).
 #
-# Usage: scripts/check.sh
+# Usage: scripts/check.sh [--docs]
+#   --docs   additionally build the API docs with rustdoc warnings denied
+#            (the same gate CI runs; catches broken intra-doc links).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+RUN_DOCS=0
+for arg in "$@"; do
+    case "$arg" in
+    --docs) RUN_DOCS=1 ;;
+    *)
+        echo "unknown flag: $arg (supported: --docs)" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "== cargo fmt --check =="
 cargo fmt --all --check
@@ -29,5 +42,11 @@ echo "== kernel benches (short mode: build + run smoke, perf guard) =="
 # guard is deliberately noise-tolerant — see ascp_bench::harness).
 cargo bench -p ascp-bench --bench platform_sim -- --short --check BENCH_platform_sim.json
 cargo bench -p ascp-bench --bench dsp_blocks -- --short
+cargo bench -p ascp-bench --bench campaign_warmstart -- --short
+
+if [ "$RUN_DOCS" = 1 ]; then
+    echo "== cargo doc (rustdoc warnings are errors) =="
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+fi
 
 echo "All checks passed."
