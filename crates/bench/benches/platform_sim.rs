@@ -96,6 +96,33 @@ fn main() {
         }
     );
     all.push(on);
+
+    // Full observability: span tracing attached *and* the flight recorder
+    // armed (but never triggered — the config is healthy). This is the
+    // per-tick cost of running a campaign with `--tracing` + recorder on:
+    // one `Option` branch plus a handful of `f64` stores for the ring.
+    // Acceptance bar: <= 5% versus the plain default tick.
+    let cfg = PlatformConfig::builder()
+        .cpu_enabled(false)
+        .recorder(ascp_sim::telemetry::RecorderConfig::fault_triggers(2048))
+        .build()
+        .expect("valid");
+    let mut p_obs = Platform::new(cfg);
+    let collector = ascp_sim::telemetry::trace::TraceCollector::new();
+    p_obs.attach_trace(collector.recorder(1));
+    let observed = bench("platform/dsp_tick_observed", || p_obs.step());
+    let plain = all
+        .iter()
+        .find(|s| s.name == "platform/dsp_tick_no_cpu")
+        .expect("baseline bench ran")
+        .clone();
+    let obs_pct =
+        (observed.min_ns_per_iter - plain.min_ns_per_iter) / plain.min_ns_per_iter * 100.0;
+    println!(
+        "trace+recorder overhead: {obs_pct:+.2}% per tick ({} <= 5% budget)",
+        if obs_pct <= 5.0 { "within" } else { "OVER" }
+    );
+    all.push(observed);
     all.push(off);
 
     // Fault-injection + supervisor overhead: with an empty fault plan the

@@ -12,15 +12,27 @@
 //! Each fault class is one [`ScenarioSpec`] on the campaign runner, so the
 //! sweep shards across worker threads (`--threads N`, default = available
 //! parallelism) with results identical to the serial run. Results land in
-//! `target/experiments/fault_campaign.csv` and
-//! `target/experiments/fault_campaign.metrics.json`. The process exits
-//! non-zero if any fault class goes undetected — `--smoke` runs the same
-//! sweep but skips the (slow) recovery measurements.
+//! `target/experiments/`: the long-format CSV, merged metrics JSON, a
+//! Chrome trace (`fault_campaign.trace.json`, load in Perfetto), one
+//! flight-recorder capture bundle per triggered scenario, and the
+//! fault-class × supervisor-transition coverage matrix (`.coverage.md` /
+//! `.coverage.csv`). The process exits non-zero if any fault class goes
+//! undetected — `--smoke` runs the same sweep but skips the (slow)
+//! recovery measurements. `--check-coverage <baseline.csv>` additionally
+//! fails the run when a previously-exercised coverage cell goes dark, and
+//! `--serve-metrics <addr>` serves live Prometheus metrics while the
+//! campaign runs.
 
-use ascp_bench::harness::threads_from_args;
+use ascp_bench::harness::{arg_value, metrics_server_from_args, repo_root_path, threads_from_args};
 use ascp_bench::{experiments_dir, write_metrics};
 use ascp_core::prelude::*;
 use ascp_sim::fault::AdcChannel;
+use ascp_sim::telemetry::RecorderConfig;
+use std::sync::Arc;
+
+/// Pre-trigger flight-recorder depth: 2048 DSP ticks ≈ 2 ms of signal
+/// history ahead of every supervisor trigger.
+const RECORDER_DEPTH: usize = 2048;
 
 /// One campaign entry: the fault to inject and its timing envelope.
 struct Case {
@@ -108,6 +120,7 @@ fn scenario(case: &Case, smoke: bool) -> ScenarioSpec {
         .spi_probe_period(1)
         .jtag_probe_period(10)
         .fault_one_shot(case.kind, T_INJECT, case.duration_s)
+        .recorder(RecorderConfig::fault_triggers(RECORDER_DEPTH))
         .build()
         .expect("valid fault-campaign config");
     let mut spec = ScenarioSpec::new(case.kind.label(), config);
@@ -143,7 +156,18 @@ fn main() -> std::io::Result<()> {
         }
     );
 
-    let report = CampaignRunner::new().with_threads(threads).run(scenarios);
+    let metrics_server = metrics_server_from_args();
+    let mut runner = CampaignRunner::new()
+        .with_threads(threads)
+        .with_tracing(true)
+        .with_progress(true);
+    if let Some(server) = &metrics_server {
+        runner = runner.with_observer(Arc::new(server.clone()));
+    }
+    let report = runner.run(scenarios);
+    if let Some(server) = &metrics_server {
+        server.publish(report.to_telemetry().to_prometheus());
+    }
 
     for o in &report.outcomes {
         print!("  {:<20}", o.name);
@@ -176,10 +200,64 @@ fn main() -> std::io::Result<()> {
     std::fs::write(&csv_path, report.to_csv())?;
     println!("  csv -> {}", csv_path.display());
     write_metrics("fault_campaign", &report.to_telemetry())?;
+
+    // Observability artifacts: Chrome trace, flight-recorder captures, and
+    // the fault-class × supervisor-transition coverage matrix.
+    if let Some(trace) = &report.trace {
+        let trace_path = experiments_dir()?.join("fault_campaign.trace.json");
+        std::fs::write(&trace_path, trace.to_chrome_json())?;
+        println!(
+            "  trace -> {} ({} spans, load in Perfetto / chrome://tracing)",
+            trace_path.display(),
+            trace.spans.len()
+        );
+    }
+    let mut captures = 0usize;
+    for o in &report.outcomes {
+        if let Some(capture) = &o.capture {
+            let path = experiments_dir()?.join(format!("fault_campaign.capture.{}.json", o.name));
+            std::fs::write(&path, capture.to_json())?;
+            captures += 1;
+        }
+    }
+    println!("  flight recorder: {captures} capture bundle(s) -> target/experiments/");
+
+    let coverage = report.coverage();
+    let md_path = experiments_dir()?.join("fault_campaign.coverage.md");
+    let csv_cov_path = experiments_dir()?.join("fault_campaign.coverage.csv");
+    std::fs::write(&md_path, coverage.to_markdown())?;
+    std::fs::write(&csv_cov_path, coverage.to_csv())?;
+    println!(
+        "  coverage: {}/{} fault classes exercised -> {}",
+        coverage.exercised_classes().len(),
+        coverage.classes().len(),
+        md_path.display()
+    );
+
     println!(
         "  wall clock: {:.2} s on {} thread(s)",
         report.wall_s, report.threads
     );
+
+    // CI guard: a previously-exercised coverage cell going dark is a
+    // regression even when every fault is still detected.
+    if let Some(baseline) = arg_value("check-coverage") {
+        let path = repo_root_path(&baseline);
+        let body = std::fs::read_to_string(&path)?;
+        let lost = coverage.regressions(&body);
+        if lost.is_empty() {
+            println!("  coverage check vs {}: ok", path.display());
+        } else {
+            eprintln!(
+                "fault_campaign: coverage REGRESSION vs {} — cells no longer exercised:",
+                path.display()
+            );
+            for (class, edge) in &lost {
+                eprintln!("  {class} × {edge}");
+            }
+            std::process::exit(1);
+        }
+    }
 
     let undetected: Vec<&str> = report
         .outcomes

@@ -30,29 +30,14 @@
 //! produces byte-identical samples to the run that saved the checkpoint
 //! continuing past it.
 
-use ascp_bench::harness::threads_from_args;
+use ascp_bench::harness::{arg_value, metrics_server_from_args, threads_from_args};
 use ascp_bench::{experiments_dir, write_metrics};
 use ascp_core::characterize::RateSensor;
 use ascp_core::checkpoint;
 use ascp_core::prelude::*;
 use ascp_sim::allan::{allan_deviation, angle_random_walk, bias_instability};
 use std::io::Write;
-
-/// Value of `--<name> <value>` / `--<name>=<value>` on the command line.
-fn arg_value(name: &str) -> Option<String> {
-    let flag = format!("--{name}");
-    let prefix = format!("--{name}=");
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == flag {
-            return args.next();
-        }
-        if let Some(v) = a.strip_prefix(&prefix) {
-            return Some(v.to_owned());
-        }
-    }
-    None
-}
+use std::sync::Arc;
 
 fn io_err(e: checkpoint::CheckpointError) -> std::io::Error {
     std::io::Error::other(e.to_string())
@@ -103,7 +88,17 @@ fn main() -> std::io::Result<()> {
                 settle_s: 0.5,
             });
         println!("stability: locking, then recording 40 s of zero-rate output ...");
-        let report = CampaignRunner::new().with_threads(threads).run(vec![spec]);
+        let metrics_server = metrics_server_from_args();
+        let mut runner = CampaignRunner::new()
+            .with_threads(threads)
+            .with_progress(true);
+        if let Some(server) = &metrics_server {
+            runner = runner.with_observer(Arc::new(server.clone()));
+        }
+        let report = runner.run(vec![spec]);
+        if let Some(server) = &metrics_server {
+            server.publish(report.to_telemetry().to_prometheus());
+        }
         let rate = report
             .series("stability", "zero_rate")
             .expect("zero-rate capture")

@@ -82,7 +82,8 @@ use ascp_sim::campaign::{available_parallelism, parallel_map};
 use ascp_sim::fault::FaultPlan;
 use ascp_sim::snapshot::fnv1a64;
 use ascp_sim::stats;
-use ascp_sim::telemetry::{Telemetry, TelemetryConfig, TelemetrySnapshot};
+use ascp_sim::telemetry::trace::{SpanId, TraceCollector, TraceLog, TraceRecorder};
+use ascp_sim::telemetry::{CaptureBundle, Event, Telemetry, TelemetryConfig, TelemetrySnapshot};
 use ascp_sim::units::{Celsius, DegPerSec};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -223,6 +224,30 @@ pub enum Step {
     },
 }
 
+impl Step {
+    /// Stable variant label (trace span names, progress lines).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::ArmWatchdog { .. } => "ArmWatchdog",
+            Self::WaitReady { .. } => "WaitReady",
+            Self::WaitSupervisorNormal { .. } => "WaitSupervisorNormal",
+            Self::Run { .. } => "Run",
+            Self::SetRate { .. } => "SetRate",
+            Self::SetTemperature { .. } => "SetTemperature",
+            Self::FreezeAgcDrive { .. } => "FreezeAgcDrive",
+            Self::TrimRebalancePhase { .. } => "TrimRebalancePhase",
+            Self::MeasureMeanRate { .. } => "MeasureMeanRate",
+            Self::MeasureSensitivity { .. } => "MeasureSensitivity",
+            Self::MeasureLinearity { .. } => "MeasureLinearity",
+            Self::MeasureStaticTransfer { .. } => "MeasureStaticTransfer",
+            Self::MeasureNoiseDensity { .. } => "MeasureNoiseDensity",
+            Self::CaptureZeroRate { .. } => "CaptureZeroRate",
+            Self::FaultResponse { .. } => "FaultResponse",
+        }
+    }
+}
+
 /// One scenario: a platform configuration plus the protocol to run on it.
 ///
 /// Build the config with [`PlatformConfig::builder`]; schedule faults
@@ -313,6 +338,15 @@ pub struct ScenarioOutcome {
     pub metrics: Vec<(String, f64)>,
     /// Named sample series (e.g. zero-rate captures).
     pub series: Vec<(String, Vec<f64>)>,
+    /// Fault-class labels injected in this scenario, deduplicated in
+    /// catalog order (coverage-matrix rows).
+    pub fault_classes: Vec<&'static str>,
+    /// Supervisor `(from, to)` transitions observed, in order
+    /// (coverage-matrix columns). Empty when telemetry is disabled.
+    pub transitions: Vec<(&'static str, &'static str)>,
+    /// Flight-recorder capture, when the scenario armed a recorder and a
+    /// trigger fired.
+    pub capture: Option<CaptureBundle>,
 }
 
 impl ScenarioOutcome {
@@ -349,6 +383,10 @@ pub struct CampaignReport {
     /// Scenarios that restored a cached settle checkpoint instead of
     /// re-running their settle prefix (0 when warm-start is off).
     pub warm_hits: usize,
+    /// Merged span trace (present when the runner had tracing enabled).
+    /// Wall-clock bounds inside are not part of the deterministic
+    /// artifacts; the span structure and sim-time bounds are.
+    pub trace: Option<TraceLog>,
 }
 
 impl CampaignReport {
@@ -402,6 +440,57 @@ impl CampaignReport {
         snap.wall_time_s = 0.0;
         snap
     }
+
+    /// Builds the fault-class × transition coverage matrix over this
+    /// report's outcomes (see [`crate::coverage`]).
+    #[must_use]
+    pub fn coverage(&self) -> crate::coverage::CoverageMatrix {
+        crate::coverage::CoverageMatrix::from_outcomes(&self.outcomes)
+    }
+}
+
+/// One line of campaign progress, emitted as each scenario finishes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioProgress {
+    /// Input index of the finished scenario.
+    pub index: usize,
+    /// Total scenarios in the campaign.
+    pub total: usize,
+    /// Scenario name.
+    pub name: String,
+    /// Wall-clock time this scenario took, milliseconds.
+    pub wall_ms: f64,
+    /// Warm-start result: `Some(true)` hit, `Some(false)` miss, `None`
+    /// when the cache is off.
+    pub warm: Option<bool>,
+    /// Whether the scenario's flight recorder froze a capture.
+    pub triggered: bool,
+    /// Scenarios finished so far (completion order, not input order).
+    pub completed: usize,
+}
+
+impl std::fmt::Display for ScenarioProgress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:>2}/{}] {:<28} {:>8.1} ms",
+            self.completed, self.total, self.name, self.wall_ms
+        )?;
+        match self.warm {
+            Some(true) => write!(f, "  warm=hit ")?,
+            Some(false) => write!(f, "  warm=miss")?,
+            None => {}
+        }
+        write!(f, "  trigger={}", if self.triggered { "y" } else { "n" })
+    }
+}
+
+/// Receives per-scenario progress callbacks from a running campaign (e.g.
+/// a live metrics endpoint). Callbacks arrive from worker threads in
+/// completion order.
+pub trait CampaignObserver: Send + Sync {
+    /// Called once per scenario, as it finishes.
+    fn scenario_finished(&self, progress: &ScenarioProgress);
 }
 
 /// Executes scenario lists on a fixed worker-thread pool.
@@ -422,10 +511,25 @@ impl CampaignReport {
 /// exactly** the platform a cold run would have produced, so warm-start
 /// changes wall-clock time and nothing else: reports stay byte-identical
 /// to cold runs and across worker-thread counts.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CampaignRunner {
     threads: usize,
     warm_start: bool,
+    tracing: bool,
+    progress: bool,
+    observer: Option<Arc<dyn CampaignObserver>>,
+}
+
+impl std::fmt::Debug for CampaignRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignRunner")
+            .field("threads", &self.threads)
+            .field("warm_start", &self.warm_start)
+            .field("tracing", &self.tracing)
+            .field("progress", &self.progress)
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
 }
 
 impl Default for CampaignRunner {
@@ -435,13 +539,16 @@ impl Default for CampaignRunner {
 }
 
 impl CampaignRunner {
-    /// Runner with one worker per available hardware thread, warm-start
-    /// off.
+    /// Runner with one worker per available hardware thread, warm-start,
+    /// tracing and progress off.
     #[must_use]
     pub fn new() -> Self {
         Self {
             threads: available_parallelism(),
             warm_start: false,
+            tracing: false,
+            progress: false,
+            observer: None,
         }
     }
 
@@ -459,6 +566,31 @@ impl CampaignRunner {
         self
     }
 
+    /// Enables (or disables) span tracing: the report carries a merged
+    /// [`TraceLog`] with campaign → scenario → step spans. Tracing never
+    /// changes simulation arithmetic — outcomes stay byte-identical with
+    /// it on or off.
+    #[must_use]
+    pub fn with_tracing(mut self, enabled: bool) -> Self {
+        self.tracing = enabled;
+        self
+    }
+
+    /// Enables (or disables) a one-line progress report per finished
+    /// scenario on stdout (completion order).
+    #[must_use]
+    pub fn with_progress(mut self, enabled: bool) -> Self {
+        self.progress = enabled;
+        self
+    }
+
+    /// Installs a progress observer (e.g. a live metrics endpoint).
+    #[must_use]
+    pub fn with_observer(mut self, observer: Arc<dyn CampaignObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
     /// Configured worker-thread count.
     #[must_use]
     pub fn threads(&self) -> usize {
@@ -471,20 +603,69 @@ impl CampaignRunner {
         self.warm_start
     }
 
+    /// Whether span tracing is enabled.
+    #[must_use]
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
     /// Runs every scenario and merges the outcomes.
     #[must_use]
     pub fn run(&self, scenarios: Vec<ScenarioSpec>) -> CampaignReport {
         let start = std::time::Instant::now();
+        let total = scenarios.len();
         let cache = self.warm_start.then(WarmCache::default);
         let hits = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let collector = self.tracing.then(TraceCollector::new);
+        // The campaign root span lives on track 0; scenario tracks are
+        // `index + 1`.
+        let mut root = collector.as_ref().map(|c| {
+            let mut rec = c.recorder(0);
+            let id = rec.begin("campaign", 0.0);
+            (rec, id)
+        });
         let outcomes = parallel_map(scenarios, self.threads, |index, spec| {
-            run_scenario(index, spec, cache.as_ref(), &hits)
+            let t0 = std::time::Instant::now();
+            let rec = collector.as_ref().map(|c| c.recorder(index as u64 + 1));
+            let (out, warm_hit, rec) = run_scenario(index, spec, cache.as_ref(), &hits, rec);
+            if let (Some(c), Some(rec)) = (collector.as_ref(), rec) {
+                c.merge(rec);
+            }
+            let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if self.progress || self.observer.is_some() {
+                let progress = ScenarioProgress {
+                    index,
+                    total,
+                    name: out.name.clone(),
+                    wall_ms: t0.elapsed().as_secs_f64() * 1.0e3,
+                    warm: cache.as_ref().map(|_| warm_hit),
+                    triggered: out.capture.is_some(),
+                    completed,
+                };
+                if self.progress {
+                    println!("{progress}");
+                }
+                if let Some(obs) = self.observer.as_deref() {
+                    obs.scenario_finished(&progress);
+                }
+            }
+            out
+        });
+        let trace = collector.map(|c| {
+            if let Some((mut rec, id)) = root.take() {
+                rec.annotate(id, "scenarios", total.to_string());
+                rec.end(id, 0.0);
+                c.merge(rec);
+            }
+            c.into_log()
         });
         CampaignReport {
             outcomes,
             threads: self.threads,
             wall_s: start.elapsed().as_secs_f64(),
             warm_hits: hits.load(Ordering::Relaxed),
+            trace,
         }
     }
 }
@@ -496,7 +677,23 @@ impl CampaignRunner {
 struct WarmEntry {
     checkpoint: Vec<u8>,
     metrics: Vec<(String, f64)>,
+    /// Supervisor transitions the prefix produced. Checkpoints skip
+    /// telemetry, so a restored platform starts with an empty event log;
+    /// replaying these keeps warm outcomes byte-identical to cold ones.
+    transitions: Vec<(&'static str, &'static str)>,
     aborted: bool,
+}
+
+/// Supervisor `(from, to)` transition pairs retained in the event log.
+fn scrape_transitions(p: &Platform) -> Vec<(&'static str, &'static str)> {
+    p.telemetry()
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::SupervisorTransition { from, to, .. } => Some((*from, *to)),
+            _ => None,
+        })
+        .collect()
 }
 
 /// Keyed settle-checkpoint store shared by all campaign workers.
@@ -562,6 +759,9 @@ fn warm_prefix(config: &PlatformConfig, prefix: &[Step]) -> WarmEntry {
         seed: config.seed,
         metrics: Vec::new(),
         series: Vec::new(),
+        fault_classes: Vec::new(),
+        transitions: Vec::new(),
+        capture: None,
     };
     let mut scratch = Scratch::default();
     let mut aborted = false;
@@ -574,6 +774,7 @@ fn warm_prefix(config: &PlatformConfig, prefix: &[Step]) -> WarmEntry {
     WarmEntry {
         checkpoint: checkpoint::save(&p),
         metrics: out.metrics,
+        transitions: scrape_transitions(&p),
         aborted,
     }
 }
@@ -600,7 +801,8 @@ fn run_scenario(
     spec: ScenarioSpec,
     cache: Option<&WarmCache>,
     hits: &AtomicUsize,
-) -> ScenarioOutcome {
+    trace: Option<TraceRecorder>,
+) -> (ScenarioOutcome, bool, Option<TraceRecorder>) {
     let mut config = spec.config;
     for fault in spec.faults.specs() {
         config.faults.push(*fault);
@@ -609,6 +811,16 @@ fn run_scenario(
         .seed
         .unwrap_or_else(|| derive_seed(config.seed, index as u64));
     config.seed = seed;
+    let fault_classes = {
+        let mut classes: Vec<&'static str> = Vec::new();
+        for fault in config.faults.specs() {
+            let label = fault.kind.label();
+            if !classes.contains(&label) {
+                classes.push(label);
+            }
+        }
+        classes
+    };
 
     let mut out = ScenarioOutcome {
         name: spec.name,
@@ -616,16 +828,28 @@ fn run_scenario(
         seed,
         metrics: Vec::new(),
         series: Vec::new(),
+        fault_classes,
+        transitions: Vec::new(),
+        capture: None,
     };
+    let mut trace = trace;
+    let span = trace.as_mut().map_or(SpanId::NULL, |tr| {
+        tr.begin(format!("scenario:{}", out.name), 0.0)
+    });
     if let Err(e) = config.validate() {
         // An invalid spec is a scenario result, not a campaign abort.
         out.metrics.push(("config_valid".into(), 0.0));
         out.series.push((format!("error: {e}"), Vec::new()));
-        return out;
+        if let Some(tr) = trace.as_mut() {
+            tr.annotate(span, "config_valid", "false");
+            tr.end(span, 0.0);
+        }
+        return (out, false, trace);
     }
 
     let prefix = cache.map_or(0, |_| settle_prefix_len(&spec.steps));
     let mut scratch = Scratch::default();
+    let mut warm_hit = false;
     let (mut p, aborted, resume_at) = match cache {
         Some(cache) if prefix > 0 => {
             let slot = cache.slot(warm_key(&config, &spec.steps[..prefix]));
@@ -636,10 +860,14 @@ fn run_scenario(
             });
             match checkpoint::restore(config.clone(), &entry.checkpoint) {
                 Ok(p) => {
-                    if !warmed_here {
+                    warm_hit = !warmed_here;
+                    if warm_hit {
                         hits.fetch_add(1, Ordering::Relaxed);
                     }
                     out.metrics.extend(entry.metrics.iter().cloned());
+                    // Checkpoints skip telemetry: replay the prefix's
+                    // transitions so warm outcomes match cold ones.
+                    out.transitions.extend(entry.transitions.iter().copied());
                     (p, entry.aborted, prefix)
                 }
                 // A key collision between different configs is caught by
@@ -649,9 +877,22 @@ fn run_scenario(
         }
         _ => (Platform::new(config), false, 0),
     };
+    if let Some(mut tr) = trace.take() {
+        tr.annotate(span, "warm", if warm_hit { "hit" } else { "miss" });
+        p.attach_trace(tr);
+    }
     if !aborted {
         for step in &spec.steps[resume_at..] {
-            if !apply_step(&mut p, step, &mut out, &mut scratch) {
+            let t_begin = p.time();
+            let step_span = p
+                .trace_mut()
+                .map_or(SpanId::NULL, |tr| tr.begin(step.label(), t_begin));
+            let keep_going = apply_step(&mut p, step, &mut out, &mut scratch);
+            let t_end = p.time();
+            if let Some(tr) = p.trace_mut() {
+                tr.end(step_span, t_end);
+            }
+            if !keep_going {
                 break;
             }
         }
@@ -659,7 +900,21 @@ fn run_scenario(
     if p.time() < spec.duration_s {
         p.run(spec.duration_s - p.time());
     }
-    out
+    // Deterministic observability results: transitions, capture, and (when
+    // a recorder was armed) whether it fired.
+    out.transitions.extend(scrape_transitions(&p));
+    out.capture = p.take_capture();
+    if p.recorder().is_some() {
+        out.metrics.push((
+            "recorder_triggered".into(),
+            f64::from(u8::from(out.capture.is_some())),
+        ));
+    }
+    let mut trace = p.take_trace();
+    if let Some(tr) = trace.as_mut() {
+        tr.end(span, p.time());
+    }
+    (out, warm_hit, trace)
 }
 
 /// Steps `p` until `pred` holds or `timeout_s` elapses; returns the

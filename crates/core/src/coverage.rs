@@ -1,0 +1,236 @@
+//! Campaign coverage accounting: fault class × supervisor transition.
+//!
+//! A fault campaign is only as good as the state space it exercises. This
+//! module folds finished [`ScenarioOutcome`]s
+//! into a coverage matrix whose rows are fault classes (the eleven
+//! [`FaultKind`] labels plus `"none"` for fault-free
+//! scenarios) and whose columns are the canonical supervisor FSM edges
+//! ([`FSM_EDGES`]). A cell records which
+//! scenarios drove that fault class through that transition; empty cells are
+//! untested behaviour, reported explicitly instead of silently.
+//!
+//! The matrix is derived purely from deterministic outcome fields
+//! (`fault_classes`, `transitions`), so it is bit-stable across thread
+//! counts and warm starts, and its CSV long form doubles as a coverage
+//! baseline: [`CoverageMatrix::regressions`] diffs a current run against a
+//! committed baseline so CI can fail when a previously-exercised cell goes
+//! dark.
+
+use crate::campaign::ScenarioOutcome;
+use crate::supervisor::FSM_EDGES;
+use ascp_sim::fault::FaultKind;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Row label for scenarios that inject no faults at all.
+pub const NO_FAULT_CLASS: &str = "none";
+
+/// Fault-class × supervisor-transition coverage matrix.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageMatrix {
+    /// Row universe: every known fault class, plus observed extras.
+    classes: Vec<String>,
+    /// Column universe: every canonical FSM edge, plus observed extras.
+    transitions: Vec<(String, String)>,
+    /// `(class, "from->to")` → scenario names that exercised the cell.
+    cells: BTreeMap<(String, String), BTreeSet<String>>,
+    /// Scenario count folded in.
+    scenarios: usize,
+}
+
+fn edge_key(from: &str, to: &str) -> String {
+    format!("{from}->{to}")
+}
+
+impl CoverageMatrix {
+    /// Builds the matrix from finished scenario outcomes.
+    ///
+    /// Every transition a scenario observed is credited to every fault
+    /// class that scenario injected (or to [`NO_FAULT_CLASS`] when it
+    /// injected none): the matrix answers "under which fault conditions has
+    /// this supervisor edge been seen", not "which fault caused it".
+    #[must_use]
+    pub fn from_outcomes(outcomes: &[ScenarioOutcome]) -> Self {
+        let mut m = Self {
+            classes: FaultKind::ALL_LABELS
+                .iter()
+                .map(|&s| s.to_owned())
+                .collect(),
+            transitions: FSM_EDGES
+                .iter()
+                .map(|&(f, t)| (f.to_owned(), t.to_owned()))
+                .collect(),
+            cells: BTreeMap::new(),
+            scenarios: outcomes.len(),
+        };
+        for out in outcomes {
+            let classes: Vec<&str> = if out.fault_classes.is_empty() {
+                vec![NO_FAULT_CLASS]
+            } else {
+                out.fault_classes.clone()
+            };
+            for class in &classes {
+                if !m.classes.iter().any(|c| c == class) {
+                    m.classes.push((*class).to_owned());
+                }
+            }
+            for &(from, to) in &out.transitions {
+                if !m.transitions.iter().any(|(f, t)| f == from && t == to) {
+                    m.transitions.push((from.to_owned(), to.to_owned()));
+                }
+                for class in &classes {
+                    m.cells
+                        .entry(((*class).to_owned(), edge_key(from, to)))
+                        .or_default()
+                        .insert(out.name.clone());
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of scenarios folded into the matrix.
+    #[must_use]
+    pub fn scenarios(&self) -> usize {
+        self.scenarios
+    }
+
+    /// Row labels (known fault classes first, then observed extras).
+    #[must_use]
+    pub fn classes(&self) -> &[String] {
+        &self.classes
+    }
+
+    /// Scenarios credited to a `(class, from, to)` cell, empty when dark.
+    #[must_use]
+    pub fn cell(&self, class: &str, from: &str, to: &str) -> Vec<&str> {
+        self.cells
+            .get(&(class.to_owned(), edge_key(from, to)))
+            .map(|set| set.iter().map(String::as_str).collect())
+            .unwrap_or_default()
+    }
+
+    /// Fault classes exercised by at least one scenario transition.
+    #[must_use]
+    pub fn exercised_classes(&self) -> Vec<&str> {
+        self.classes
+            .iter()
+            .filter(|class| self.cells.keys().any(|(c, _)| c == *class))
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// `(class, transition)` cells with no covering scenario.
+    #[must_use]
+    pub fn unexercised(&self) -> Vec<(String, String)> {
+        let mut dark = Vec::new();
+        for class in &self.classes {
+            for (from, to) in &self.transitions {
+                let key = (class.clone(), edge_key(from, to));
+                if !self.cells.contains_key(&key) {
+                    dark.push(key);
+                }
+            }
+        }
+        dark
+    }
+
+    /// Renders the matrix as a GitHub-flavoured markdown table.
+    ///
+    /// Cells show the number of covering scenarios; `·` marks dark cells.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "# Coverage matrix ({} scenarios, {}/{} fault classes exercised)",
+            self.scenarios,
+            self.exercised_classes().len(),
+            self.classes.len(),
+        );
+        s.push('\n');
+        s.push_str("| fault class |");
+        for (from, to) in &self.transitions {
+            let _ = write!(s, " {from}→{to} |");
+        }
+        s.push('\n');
+        s.push_str("|---|");
+        for _ in &self.transitions {
+            s.push_str("---|");
+        }
+        s.push('\n');
+        for class in &self.classes {
+            let _ = write!(s, "| `{class}` |");
+            for (from, to) in &self.transitions {
+                let key = (class.clone(), edge_key(from, to));
+                match self.cells.get(&key) {
+                    Some(set) => {
+                        let _ = write!(s, " {} |", set.len());
+                    }
+                    None => s.push_str(" · |"),
+                }
+            }
+            s.push('\n');
+        }
+        let dark = self.unexercised();
+        let _ = writeln!(
+            s,
+            "\n{} of {} cells exercised.",
+            self.classes.len() * self.transitions.len() - dark.len(),
+            self.classes.len() * self.transitions.len(),
+        );
+        s
+    }
+
+    /// Long-form CSV: one `scenario,fault_class,transition` row per credit.
+    ///
+    /// Rows are sorted, so the CSV is byte-stable and diffs cleanly; it is
+    /// also the baseline format consumed by [`Self::regressions`].
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut rows = Vec::new();
+        for ((class, edge), scenarios) in &self.cells {
+            for scenario in scenarios {
+                rows.push(format!("{scenario},{class},{edge}"));
+            }
+        }
+        rows.sort();
+        let mut s = String::from("scenario,fault_class,transition\n");
+        for row in rows {
+            s.push_str(&row);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// `(fault_class, transition)` pairs covered in `baseline_csv` (a prior
+    /// [`Self::to_csv`] dump) but dark in this matrix.
+    ///
+    /// Scenario names are deliberately ignored: renaming or merging
+    /// scenarios is fine as long as the *cell* stays exercised.
+    #[must_use]
+    pub fn regressions(&self, baseline_csv: &str) -> Vec<(String, String)> {
+        let current: BTreeSet<(&str, &str)> = self
+            .cells
+            .keys()
+            .map(|(class, edge)| (class.as_str(), edge.as_str()))
+            .collect();
+        let mut lost = BTreeSet::new();
+        for line in baseline_csv.lines().skip(1) {
+            let mut fields = line.splitn(3, ',');
+            let (Some(_scenario), Some(class), Some(edge)) =
+                (fields.next(), fields.next(), fields.next())
+            else {
+                continue;
+            };
+            let (class, edge) = (class.trim(), edge.trim());
+            if class.is_empty() || edge.is_empty() {
+                continue;
+            }
+            if !current.contains(&(class, edge)) {
+                lost.insert((class.to_owned(), edge.to_owned()));
+            }
+        }
+        lost.into_iter().collect()
+    }
+}

@@ -29,6 +29,7 @@ pub mod campaign;
 pub mod chain;
 pub mod characterize;
 pub mod checkpoint;
+pub mod coverage;
 pub mod firmware;
 pub mod platform;
 pub mod registers;

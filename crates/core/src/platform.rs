@@ -13,8 +13,8 @@
 use crate::chain::{ChainConfig, ChainDrive, ConditioningChain, SenseMode};
 use crate::firmware;
 use crate::registers::{
-    shared_afe_regs, shared_dsp_regs, AfeRegsJtag, DspRegsBus16, DspRegsJtag, SharedAfeRegs,
-    SharedDspRegs,
+    shared_afe_regs, shared_dsp_regs, AfeRegsJtag, DspReg, DspRegsBus16, DspRegsJtag,
+    SharedAfeRegs, SharedDspRegs,
 };
 use crate::supervisor::{MonitorSample, SafetySupervisor, SupervisorConfig, SupervisorState};
 use ascp_afe::adc::{AdcConfig, AdcFault, SarAdc};
@@ -30,7 +30,11 @@ use ascp_mcu8051::cpu::Cpu;
 use ascp_mcu8051::periph::SystemBus;
 use ascp_sim::fault::{AdcChannel, FaultEdge, FaultKind, FaultPlan};
 use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
-use ascp_sim::telemetry::{Event, Telemetry, TelemetryConfig, TelemetrySnapshot};
+use ascp_sim::telemetry::trace::{SpanId, TraceRecorder};
+use ascp_sim::telemetry::{
+    CaptureBundle, Event, FlightRecorder, SignalFrame, Telemetry, TelemetryConfig,
+    TelemetrySnapshot,
+};
 use ascp_sim::trace::{Trace, TraceSet};
 use ascp_sim::units::{Celsius, DegPerSec, Hertz, Seconds, Volts};
 
@@ -393,6 +397,14 @@ impl PlatformConfigBuilder {
         self
     }
 
+    /// Arms the flight recorder (a sub-field of the telemetry settings;
+    /// like all observability it never affects simulation arithmetic).
+    #[must_use]
+    pub fn recorder(mut self, recorder: ascp_sim::telemetry::RecorderConfig) -> Self {
+        self.config.telemetry.recorder = recorder;
+        self
+    }
+
     /// Replaces the scheduled fault plan wholesale.
     #[must_use]
     pub fn faults(mut self, faults: FaultPlan) -> Self {
@@ -559,6 +571,11 @@ pub struct Platform {
     cpu_hang_active: bool,
     /// Supervisor forced the chain open loop (restored on recovery).
     open_loop_forced: bool,
+    /// Black-box flight recorder (`None` unless armed by config).
+    /// Observability only: excluded from checkpoints and config digests.
+    recorder: Option<FlightRecorder>,
+    /// Attached span recorder (campaign tracing). Observability only.
+    trace: Option<TraceRecorder>,
 }
 
 impl std::fmt::Debug for Platform {
@@ -714,6 +731,12 @@ impl Platform {
             monitor_ticks: 0,
             cpu_hang_active: false,
             open_loop_forced: false,
+            recorder: config
+                .telemetry
+                .recorder
+                .armed()
+                .then(|| FlightRecorder::new(config.telemetry.recorder.clone())),
+            trace: None,
             config,
         };
         platform.apply_afe_registers();
@@ -894,8 +917,55 @@ impl Platform {
     /// [`Platform::run_traces`], the sampling loops and the campaign Step
     /// executor) pay no per-call setup or dispatch per tick.
     pub fn step_block(&mut self, n: u64) {
+        if self.trace.is_some() && n >= Self::TRACE_BLOCK_MIN_TICKS {
+            self.step_block_traced(n);
+        } else {
+            for _ in 0..n {
+                self.step_inner();
+            }
+        }
+    }
+
+    /// Blocks shorter than this are not worth a span: the per-sample loops
+    /// (50-tick decimation blocks) would otherwise explode the trace.
+    const TRACE_BLOCK_MIN_TICKS: u64 = 256;
+
+    /// [`Platform::step_block`] wrapped in a span carrying the tick count
+    /// and the stage wall-time accumulated inside the block (the profiled
+    /// stage boundaries of the tick kernel).
+    fn step_block_traced(&mut self, n: u64) {
+        let t0 = self.time();
+        let stages_before: Vec<(&'static str, f64)> = self
+            .telemetry
+            .stage_times()
+            .map(|(stage, seconds, _)| (stage, seconds))
+            .collect();
+        let id = self
+            .trace
+            .as_mut()
+            .map_or(SpanId::NULL, |tr| tr.begin("step_block", t0));
         for _ in 0..n {
             self.step_inner();
+        }
+        let t1 = self.time();
+        let stage_args: Vec<(String, String)> = self
+            .telemetry
+            .stage_times()
+            .filter_map(|(stage, seconds, _)| {
+                let before = stages_before
+                    .iter()
+                    .find(|&&(s, _)| s == stage)
+                    .map_or(0.0, |&(_, secs)| secs);
+                let delta = seconds - before;
+                (delta > 0.0).then(|| (format!("stage.{stage}"), format!("{:.1}us", delta * 1.0e6)))
+            })
+            .collect();
+        if let Some(tr) = self.trace.as_mut() {
+            tr.annotate(id, "ticks", n.to_string());
+            for (key, value) in stage_args {
+                tr.annotate(id, key, value);
+            }
+            tr.end(id, t1);
         }
     }
 
@@ -972,6 +1042,19 @@ impl Platform {
         self.bus
             .sram
             .capture(drive.rate_out.raw().clamp(-32768, 32767) as i16 as u16);
+
+        // Flight recorder: one frame per tick into the pre-trigger ring
+        // (a no-op branch unless armed, and frozen rings stop recording).
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record(SignalFrame {
+                t: self.tick as f64 * dsp_dt,
+                rate_dps: (self.rate_dac.held().0 - self.config.rate_dac.midscale.0) / 0.005,
+                demod_i: drive.rate_out.to_f64(),
+                demod_q: self.chain.quad_out().to_f64(),
+                agc_drive: self.chain.drive(),
+                supervisor_state: self.supervisor.state().tag(),
+            });
+        }
         if let Some(m) = mark {
             mark = Some(self.telemetry.stage_mark("dac_update", m));
         }
@@ -1191,7 +1274,19 @@ impl Platform {
         self.last_uart_errors = uart_errors;
         self.last_jtag_errors = jtag_errors;
         self.reset_adc_window();
+        let prev_state = self.supervisor.state();
+        let prev_faults = self.supervisor.faults_detected();
         self.supervisor.poll(&sample, &mut self.telemetry);
+        let state = self.supervisor.state();
+        if state != prev_state {
+            if let Some(tr) = self.trace.as_mut() {
+                tr.instant(
+                    format!("supervisor {}->{}", prev_state.label(), state.label()),
+                    t,
+                );
+            }
+        }
+        self.check_recorder_triggers(prev_state, prev_faults, t);
 
         // Graceful degradation: open-loop fallback while the rebalance
         // path is implicated, restored once the FSM is Normal again.
@@ -1204,6 +1299,105 @@ impl Platform {
             self.chain.set_mode(self.config.mode);
             self.open_loop_forced = false;
         }
+    }
+
+    /// Evaluates the flight-recorder triggers after a supervisor poll and
+    /// freezes the ring on the first one that fires. Trigger precedence
+    /// follows severity (SafeState > leaving Normal > check episode), but
+    /// only the *first* freeze ever populates the capture, so a cascade
+    /// still reports its initial failure.
+    fn check_recorder_triggers(&mut self, prev_state: SupervisorState, prev_faults: u64, t: f64) {
+        let Some(rec) = self.recorder.as_ref() else {
+            return;
+        };
+        if rec.is_frozen() {
+            return;
+        }
+        let cfg = rec.config().clone();
+        let state = self.supervisor.state();
+        let cause = if cfg.trigger_safe_state
+            && state == SupervisorState::SafeState
+            && prev_state != SupervisorState::SafeState
+        {
+            Some("safe_state")
+        } else if cfg.trigger_degraded
+            && prev_state == SupervisorState::Normal
+            && state != SupervisorState::Normal
+        {
+            Some("degraded")
+        } else if cfg.trigger_check_fail && self.supervisor.faults_detected() > prev_faults {
+            Some("check_fail")
+        } else {
+            None
+        };
+        let Some(cause) = cause else {
+            return;
+        };
+        let events: Vec<Event> = {
+            let log = self.telemetry.events();
+            let skip = log.len().saturating_sub(cfg.event_capacity);
+            log.iter().skip(skip).cloned().collect()
+        };
+        let registers = self.key_registers();
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.freeze(cause, t, events, registers);
+        }
+        if let Some(tr) = self.trace.as_mut() {
+            tr.instant(format!("recorder trigger: {cause}"), t);
+        }
+    }
+
+    /// Key DSP register values for a flight-recorder capture bundle (the
+    /// read-back state a bench engineer would dump over JTAG at failure).
+    fn key_registers(&self) -> Vec<(String, u16)> {
+        let named = [
+            ("dsp.status", DspReg::Status),
+            ("dsp.pll_freq_lo", DspReg::PllFreqLo),
+            ("dsp.pll_freq_hi", DspReg::PllFreqHi),
+            ("dsp.agc_envelope", DspReg::AgcEnvelope),
+            ("dsp.rate_out", DspReg::RateOut),
+            ("dsp.quad_out", DspReg::QuadOut),
+            ("dsp.phase_error", DspReg::PhaseError),
+            ("dsp.drive_amp", DspReg::DriveAmp),
+            ("dsp.temperature", DspReg::Temperature),
+            ("dsp.control", DspReg::Control),
+            ("dsp.heartbeat", DspReg::Heartbeat),
+        ];
+        let regs = self.dsp_regs.borrow();
+        named
+            .iter()
+            .map(|&(name, reg)| (name.to_owned(), regs.read(reg)))
+            .collect()
+    }
+
+    /// Attaches a span recorder: subsequent blocked runs emit `step_block`
+    /// spans and supervisor transitions become instant markers.
+    pub fn attach_trace(&mut self, trace: TraceRecorder) {
+        self.trace = Some(trace);
+    }
+
+    /// Detaches and returns the span recorder, when one is attached.
+    pub fn take_trace(&mut self) -> Option<TraceRecorder> {
+        self.trace.take()
+    }
+
+    /// Mutable access to the attached span recorder.
+    pub fn trace_mut(&mut self) -> Option<&mut TraceRecorder> {
+        self.trace.as_mut()
+    }
+
+    /// The flight recorder, when armed.
+    #[must_use]
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Removes and returns the flight recorder's frozen capture (re-arming
+    /// the ring), when a trigger has fired.
+    pub fn take_capture(&mut self) -> Option<CaptureBundle> {
+        self.recorder
+            .as_mut()
+            .and_then(FlightRecorder::take_capture)
     }
 
     /// Mirrors the components' local counters into the telemetry registry

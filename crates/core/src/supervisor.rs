@@ -270,6 +270,23 @@ const CHECKS: [&str; 11] = [
 /// own (the signal path is still plausible).
 const FIRST_COMM_CHECK: usize = 8;
 
+/// Every `(from, to)` edge of the supervisor FSM, by state label.
+///
+/// This is the column universe of the campaign coverage matrix: keeping
+/// the catalog next to `step_fsm` means a new transition arm that is not
+/// added here shows up as a coverage row the matrix cannot account for,
+/// and a removed arm leaves a permanently unexercisable cell.
+pub const FSM_EDGES: [(&str, &str); 8] = [
+    ("init", "normal"),
+    ("init", "safe_state"),
+    ("normal", "degraded"),
+    ("degraded", "recovery"),
+    ("degraded", "safe_state"),
+    ("recovery", "normal"),
+    ("recovery", "degraded"),
+    ("safe_state", "recovery"),
+];
+
 /// The safety supervisor.
 #[derive(Debug, Clone)]
 pub struct SafetySupervisor {

@@ -103,6 +103,97 @@ fn more_threads_than_scenarios_is_fine() {
     assert_eq!(a.outcomes, b.outcomes);
 }
 
+/// Tracing is observability, not simulation state: switching it on (at any
+/// thread count) must leave the deterministic artifacts byte-identical.
+#[test]
+fn tracing_does_not_change_results() {
+    let (csv_off, json_off) = fingerprint(&CampaignRunner::new().with_threads(1), scenario_list());
+    for threads in [1, 2, 4] {
+        let (csv, json) = fingerprint(
+            &CampaignRunner::new()
+                .with_threads(threads)
+                .with_tracing(true),
+            scenario_list(),
+        );
+        assert_eq!(
+            csv_off, csv,
+            "CSV differs with tracing on at {threads} threads"
+        );
+        assert_eq!(
+            json_off, json,
+            "telemetry JSON differs with tracing on at {threads} threads"
+        );
+    }
+}
+
+/// Structural contract of the campaign trace: one span per scenario, each
+/// with at least one `Step` child nested inside it, sim-time monotonic.
+#[test]
+fn trace_has_nested_step_spans_per_scenario() {
+    let specs = scenario_list();
+    let names: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
+    let report = CampaignRunner::new()
+        .with_threads(2)
+        .with_tracing(true)
+        .run(specs);
+    let trace = report.trace.as_ref().expect("tracing was enabled");
+
+    let campaign = trace.span("campaign").expect("campaign root span");
+    assert_eq!(campaign.parent, 0, "campaign span is a root");
+
+    for name in &names {
+        let label = format!("scenario:{name}");
+        let scenario = trace
+            .span(&label)
+            .unwrap_or_else(|| panic!("missing span {label}"));
+        assert!(scenario.sim_end_s >= scenario.sim_start_s, "{label}");
+        let steps = trace.children(scenario.id);
+        assert!(!steps.is_empty(), "{label} has no Step child spans");
+        let mut last_start = f64::NEG_INFINITY;
+        for step in steps {
+            assert!(
+                step.sim_start_s >= scenario.sim_start_s && step.sim_end_s <= scenario.sim_end_s,
+                "step {} of {label} escapes its scenario interval",
+                step.label
+            );
+            assert!(
+                step.sim_start_s >= last_start,
+                "step {} of {label} goes backwards in sim time",
+                step.label
+            );
+            assert!(step.sim_end_s >= step.sim_start_s, "{}", step.label);
+            last_start = step.sim_start_s;
+        }
+    }
+}
+
+/// An armed flight recorder must not perturb determinism, and its capture
+/// (a deterministic function of sim state) must be thread-count invariant.
+#[test]
+fn recorder_capture_is_thread_count_invariant() {
+    let specs = || {
+        let config = PlatformConfig::builder()
+            .quiet()
+            .fault_one_shot(FaultKind::SensorDisconnect, 0.7, 0.05)
+            .recorder(ascp_sim::telemetry::RecorderConfig::fault_triggers(64))
+            .build()
+            .expect("valid");
+        vec![ScenarioSpec::new("rec", config)
+            .with_duration(0.8)
+            .with_step(Step::WaitReady { timeout_s: 2.0 })
+            .with_step(Step::WaitSupervisorNormal { timeout_s: 0.1 })]
+    };
+    let a = CampaignRunner::new().with_threads(1).run(specs());
+    let b = CampaignRunner::new()
+        .with_threads(4)
+        .with_tracing(true)
+        .run(specs());
+    assert_eq!(a.outcomes, b.outcomes);
+    let capture = a.outcomes[0].capture.as_ref().expect("trigger fired");
+    assert!(!capture.frames.is_empty());
+    assert_eq!(a.outcomes[0].metric("recorder_triggered"), Some(1.0));
+}
+
 #[cfg(feature = "proptest")]
 mod random {
     use super::*;

@@ -129,6 +129,23 @@ impl FaultKind {
             Self::CpuHang => "cpu_hang",
         }
     }
+
+    /// Every fault-class label, in catalog order. This is the row universe
+    /// of the campaign coverage matrix: a report can say a class was never
+    /// exercised only because the full catalog is known statically.
+    pub const ALL_LABELS: [&'static str; 11] = [
+        "mems_drive_loss",
+        "sensor_disconnect",
+        "adc_stuck_bit",
+        "adc_stuck_code",
+        "adc_overload",
+        "reference_droop",
+        "pll_unlock",
+        "spi_bit_errors",
+        "uart_bit_errors",
+        "jtag_corruption",
+        "cpu_hang",
+    ];
 }
 
 /// When a fault is active.

@@ -6,7 +6,7 @@
 //! full, the *oldest* events are dropped and counted, so a long run keeps
 //! its most recent history and never grows without bound.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// A typed, timestamped simulation event. `t` is simulation time, seconds.
 #[derive(Debug, Clone, PartialEq)]
@@ -142,6 +142,7 @@ pub struct EventLog {
     capacity: usize,
     dropped: u64,
     total: u64,
+    kind_counts: BTreeMap<&'static str, u64>,
 }
 
 impl EventLog {
@@ -154,12 +155,15 @@ impl EventLog {
             capacity,
             dropped: 0,
             total: 0,
+            kind_counts: BTreeMap::new(),
         }
     }
 
-    /// Appends an event, evicting the oldest when full.
+    /// Appends an event, evicting the oldest when full. Per-kind counts
+    /// track every push, so eviction never loses the tally.
     pub fn push(&mut self, event: Event) {
         self.total += 1;
+        *self.kind_counts.entry(event.kind()).or_insert(0) += 1;
         if self.capacity == 0 {
             self.dropped += 1;
             return;
@@ -206,10 +210,16 @@ impl EventLog {
         self.total
     }
 
-    /// Count of retained events of the given kind.
+    /// Events ever pushed of the given kind (retained or evicted). A map
+    /// lookup, not a ring scan — cheap even for hot callers.
     #[must_use]
     pub fn count_kind(&self, kind: &str) -> usize {
-        self.ring.iter().filter(|e| e.kind() == kind).count()
+        self.kind_counts.get(kind).copied().unwrap_or(0) as usize
+    }
+
+    /// Per-kind totals (retained or evicted), sorted by kind label.
+    pub fn kind_counts(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.kind_counts.iter().map(|(&k, &n)| (k, n))
     }
 }
 
@@ -329,5 +339,17 @@ mod tests {
         assert_eq!(log.count_kind("PllUnlocked"), 2);
         assert_eq!(log.count_kind("UartTx"), 1);
         assert_eq!(log.count_kind("PllLocked"), 0);
+        let counts: Vec<_> = log.kind_counts().collect();
+        assert_eq!(counts, [("PllUnlocked", 2), ("UartTx", 1)]);
+    }
+
+    #[test]
+    fn kind_counts_survive_eviction() {
+        let mut log = EventLog::new(1);
+        for k in 0..3 {
+            log.push(ev(f64::from(k)));
+        }
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.count_kind("PllUnlocked"), 3);
     }
 }

@@ -8,7 +8,7 @@ use super::{Event, TelemetrySnapshot};
 use std::fmt::Write as _;
 
 /// Escapes a string for a JSON value position.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -27,7 +27,7 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Formats an `f64` as a JSON number (`null` for non-finite values).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -36,7 +36,7 @@ fn json_f64(v: f64) -> String {
 }
 
 /// Renders one event as a JSON object.
-fn event_json(e: &Event) -> String {
+pub(crate) fn event_json(e: &Event) -> String {
     let mut fields = vec![
         format!("\"kind\":\"{}\"", e.kind()),
         format!("\"t\":{}", json_f64(e.time())),
@@ -163,6 +163,14 @@ impl TelemetrySnapshot {
         let items: Vec<String> = self.events.iter().map(event_json).collect();
         s.push_str(&items.join(", "));
         s.push_str("],\n");
+        s.push_str("  \"event_counts\": {");
+        let items: Vec<String> = self
+            .event_counts
+            .iter()
+            .map(|(kind, n)| format!("\"{}\": {n}", json_escape(kind)))
+            .collect();
+        s.push_str(&items.join(", "));
+        s.push_str("},\n");
         let _ = writeln!(s, "  \"events_total\": {},", self.events_total);
         let _ = writeln!(s, "  \"events_dropped\": {}", self.events_dropped);
         s.push_str("}\n");
@@ -174,8 +182,8 @@ impl TelemetrySnapshot {
     /// Every non-comment line is `name value` or `name{label="v"} value`;
     /// comment lines start with `#`. Counters get the conventional
     /// `_total` suffix, per-stage timings come out as one
-    /// `ascp_stage_seconds_total{stage="..."}` family, and event counts as
-    /// `ascp_events_total{kind="..."}`.
+    /// `ascp_stage_seconds_total{stage="..."}` family, and per-kind event
+    /// totals as `ascp_telemetry_events_total{kind="..."}`.
     #[must_use]
     pub fn to_prometheus(&self) -> String {
         let mut s = String::with_capacity(4096);
@@ -211,14 +219,10 @@ impl TelemetrySnapshot {
                 );
             }
         }
-        let mut kinds: Vec<&'static str> = self.events.iter().map(Event::kind).collect();
-        kinds.sort_unstable();
-        kinds.dedup();
-        if !kinds.is_empty() {
-            let _ = writeln!(s, "# TYPE ascp_events counter");
-            for kind in kinds {
-                let n = self.events.iter().filter(|e| e.kind() == kind).count();
-                let _ = writeln!(s, "ascp_events{{kind=\"{kind}\"}} {n}");
+        if !self.event_counts.is_empty() {
+            let _ = writeln!(s, "# TYPE ascp_telemetry_events_total counter");
+            for (kind, n) in &self.event_counts {
+                let _ = writeln!(s, "ascp_telemetry_events_total{{kind=\"{kind}\"}} {n}");
             }
         }
         let _ = writeln!(s, "# TYPE ascp_sim_time_seconds gauge");

@@ -34,11 +34,15 @@
 
 mod events;
 mod export;
+pub mod recorder;
 mod registry;
+pub mod trace;
 
 pub use events::{Event, EventLog};
 pub use export::prometheus_name;
+pub use recorder::{CaptureBundle, FlightRecorder, RecorderConfig, SignalFrame};
 pub use registry::{Histogram, MetricsRegistry, HISTOGRAM_BUCKETS, HISTOGRAM_MIN};
+pub use trace::{SpanId, TraceCollector, TraceLog, TraceRecorder};
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -55,6 +59,9 @@ pub struct TelemetryConfig {
     /// `Instant::now()` costs tens of nanoseconds; sampling keeps the
     /// overhead of six timestamps per tick far below the ≈µs tick cost.
     pub profile_every: u32,
+    /// Flight-recorder settings (disarmed by default). Pure observability:
+    /// excluded from the platform config digest, never checkpointed.
+    pub recorder: RecorderConfig,
 }
 
 impl Default for TelemetryConfig {
@@ -63,6 +70,7 @@ impl Default for TelemetryConfig {
             enabled: true,
             event_capacity: 1024,
             profile_every: 64,
+            recorder: RecorderConfig::default(),
         }
     }
 }
@@ -273,6 +281,7 @@ impl Telemetry {
                 })
                 .collect(),
             events: self.events.iter().cloned().collect(),
+            event_counts: self.events.kind_counts().collect(),
             events_total: self.events.total(),
             events_dropped: self.events.dropped(),
         }
@@ -324,6 +333,8 @@ pub struct TelemetrySnapshot {
     pub stages: Vec<StageBreakdown>,
     /// Retained events, oldest first.
     pub events: Vec<Event>,
+    /// Per-kind event totals (retained or dropped), sorted by kind label.
+    pub event_counts: Vec<(&'static str, u64)>,
     /// Events ever recorded (retained or dropped).
     pub events_total: u64,
     /// Events dropped by the ring bound.
@@ -349,10 +360,14 @@ impl TelemetrySnapshot {
             .map(|(_, v)| *v)
     }
 
-    /// Retained events of the given kind.
+    /// Events of the given kind ever recorded (a map built once at
+    /// snapshot time — no per-call scan of the event ring).
     #[must_use]
     pub fn count_events(&self, kind: &str) -> usize {
-        self.events.iter().filter(|e| e.kind() == kind).count()
+        self.event_counts
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map_or(0, |&(_, n)| n as usize)
     }
 }
 
@@ -484,7 +499,7 @@ mod tests {
         }
         assert!(text.contains("ascp_adc_conversions_total 7"), "{text}");
         assert!(
-            text.contains("ascp_events{kind=\"WatchdogReset\"} 1"),
+            text.contains("ascp_telemetry_events_total{kind=\"WatchdogReset\"} 1"),
             "{text}"
         );
     }

@@ -1,0 +1,506 @@
+//! Hierarchical span tracing with a Chrome trace-event exporter.
+//!
+//! Where the [`EventLog`](super::EventLog) records *what happened*, spans
+//! record *where the time went*: a campaign opens a span, every scenario
+//! opens a child span on its own track, and each scenario `Step` nests one
+//! level deeper. Spans carry both wall-clock bounds (nanoseconds from a
+//! shared epoch) and simulation-time bounds, so one capture answers both
+//! "which scenario is slow" and "when in simulated time did it happen".
+//!
+//! The design splits recording from merging so the hot path never locks:
+//!
+//! - [`TraceRecorder`] is a single-threaded, bounded recorder. Each campaign
+//!   worker owns one (keyed by a `track` id, which becomes the Chrome `tid`),
+//!   so recording a span is a couple of `Vec` pushes.
+//! - [`TraceCollector`] hands out recorders sharing one wall-clock epoch and
+//!   merges them back under a mutex — once per scenario, not per span.
+//! - [`TraceLog`] is the merged, immutable result;
+//!   [`TraceLog::to_chrome_json`] renders the Chrome trace-event format that
+//!   Perfetto and `chrome://tracing` load directly.
+//!
+//! The recorder is deliberately forgiving: ending a span whose children are
+//! still open closes the children first (at the same instant), dropping a
+//! span on capacity overflow returns a null [`SpanId`] that makes every
+//! later call on it a no-op, and [`TraceRecorder::finish`] closes whatever
+//! is left. The invariant that survives all of that: exported spans are
+//! always well-nested — every child interval lies inside its parent's.
+//!
+//! # Example
+//!
+//! ```
+//! use ascp_sim::telemetry::trace::TraceCollector;
+//!
+//! let collector = TraceCollector::new();
+//! let mut rec = collector.recorder(1);
+//! let scenario = rec.begin("scenario:warmup", 0.0);
+//! let step = rec.begin("WaitReady", 0.0);
+//! rec.end(step, 0.25);
+//! rec.end(scenario, 0.25);
+//! collector.merge(rec);
+//! let log = collector.into_log();
+//! assert_eq!(log.spans.len(), 2);
+//! assert!(log.to_chrome_json().starts_with("{\"traceEvents\":["));
+//! ```
+
+use super::export::{json_escape, json_f64};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default bound on records (spans + instants) per recorder.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// Handle to an open span. `SpanId::NULL` (returned when the recorder is
+/// full) makes `end`/`annotate` no-ops, so callers never branch on drops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The null handle: operations on it do nothing.
+    pub const NULL: Self = Self(0);
+
+    /// `true` for the null handle.
+    #[must_use]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// One completed (or still open) span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Unique id: `track << 32 | serial` (serial starts at 1).
+    pub id: u64,
+    /// Enclosing span's id, `0` for a root span.
+    pub parent: u64,
+    /// Human label (`"campaign"`, `"scenario:adc_stuck_bit"`, `"WaitReady"`).
+    pub label: String,
+    /// Track (Chrome `tid`): one per campaign worker slot.
+    pub track: u64,
+    /// Wall-clock open instant, nanoseconds from the collector epoch.
+    pub wall_start_ns: u64,
+    /// Wall-clock close instant, nanoseconds from the collector epoch.
+    pub wall_end_ns: u64,
+    /// Simulation time at open, seconds.
+    pub sim_start_s: f64,
+    /// Simulation time at close, seconds.
+    pub sim_end_s: f64,
+    /// Free-form `(key, value)` annotations (warm hit/miss, tick counts, …).
+    pub args: Vec<(String, String)>,
+}
+
+/// A point-in-time marker (supervisor transition, recorder trigger, …).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceInstant {
+    /// Human label (`"supervisor normal->degraded"`).
+    pub label: String,
+    /// Track (Chrome `tid`).
+    pub track: u64,
+    /// Wall-clock instant, nanoseconds from the collector epoch.
+    pub wall_ns: u64,
+    /// Simulation time, seconds.
+    pub sim_t_s: f64,
+}
+
+/// Single-threaded bounded span recorder for one track.
+///
+/// Obtain one from [`TraceCollector::recorder`] so wall timestamps share
+/// the collector's epoch.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    epoch: Instant,
+    track: u64,
+    serial: u64,
+    /// Indices into `spans` of the currently open spans, outermost first.
+    stack: Vec<usize>,
+    spans: Vec<TraceSpan>,
+    instants: Vec<TraceInstant>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceRecorder {
+    /// A standalone recorder with its own epoch (tests, single-platform use).
+    #[must_use]
+    pub fn standalone(track: u64) -> Self {
+        Self::with_epoch(Instant::now(), track, DEFAULT_TRACE_CAPACITY)
+    }
+
+    fn with_epoch(epoch: Instant, track: u64, capacity: usize) -> Self {
+        Self {
+            epoch,
+            track,
+            serial: 0,
+            stack: Vec::new(),
+            spans: Vec::new(),
+            instants: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// This recorder's track id.
+    #[must_use]
+    pub fn track(&self) -> u64 {
+        self.track
+    }
+
+    /// Records (spans + instants) dropped by the capacity bound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of currently open spans.
+    #[must_use]
+    pub fn open_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// All spans recorded so far (open spans have `wall_end_ns == 0`).
+    #[must_use]
+    pub fn spans(&self) -> &[TraceSpan] {
+        &self.spans
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Opens a span at simulation time `sim_t`, nested under the innermost
+    /// open span. Returns [`SpanId::NULL`] when the recorder is full.
+    pub fn begin(&mut self, label: impl Into<String>, sim_t: f64) -> SpanId {
+        if self.spans.len() + self.instants.len() >= self.capacity {
+            self.dropped += 1;
+            return SpanId::NULL;
+        }
+        self.serial += 1;
+        let id = (self.track << 32) | self.serial;
+        let parent = self.stack.last().map_or(0, |&i| self.spans[i].id);
+        self.stack.push(self.spans.len());
+        self.spans.push(TraceSpan {
+            id,
+            parent,
+            label: label.into(),
+            track: self.track,
+            wall_start_ns: self.now_ns(),
+            wall_end_ns: 0,
+            sim_start_s: sim_t,
+            sim_end_s: sim_t,
+            args: Vec::new(),
+        });
+        SpanId(id)
+    }
+
+    /// Closes the span `id` at simulation time `sim_t`, first closing any
+    /// children still open inside it (at the same instant, so nesting stays
+    /// well-formed). Null or already-closed ids are ignored.
+    pub fn end(&mut self, id: SpanId, sim_t: f64) {
+        if id.is_null() || !self.stack.iter().any(|&i| self.spans[i].id == id.0) {
+            return;
+        }
+        let now = self.now_ns();
+        while let Some(i) = self.stack.pop() {
+            let span = &mut self.spans[i];
+            span.wall_end_ns = now;
+            span.sim_end_s = span.sim_start_s.max(sim_t);
+            if span.id == id.0 {
+                break;
+            }
+        }
+    }
+
+    /// Attaches a `(key, value)` annotation to the still-open span `id`.
+    pub fn annotate(&mut self, id: SpanId, key: impl Into<String>, value: impl Into<String>) {
+        if id.is_null() {
+            return;
+        }
+        if let Some(&i) = self.stack.iter().find(|&&i| self.spans[i].id == id.0) {
+            self.spans[i].args.push((key.into(), value.into()));
+        }
+    }
+
+    /// Records a point-in-time marker at simulation time `sim_t`.
+    pub fn instant(&mut self, label: impl Into<String>, sim_t: f64) {
+        if self.spans.len() + self.instants.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.instants.push(TraceInstant {
+            label: label.into(),
+            track: self.track,
+            wall_ns: self.now_ns(),
+            sim_t_s: sim_t,
+        });
+    }
+
+    /// Closes every open span at simulation time `sim_t` (crash-safe flush).
+    pub fn finish(&mut self, sim_t: f64) {
+        let now = self.now_ns();
+        while let Some(i) = self.stack.pop() {
+            let span = &mut self.spans[i];
+            span.wall_end_ns = now;
+            span.sim_end_s = span.sim_start_s.max(sim_t);
+        }
+    }
+}
+
+/// Merged, immutable trace from one campaign (or one platform run).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceLog {
+    /// All spans, in merge order (scenario tracks, then the campaign root).
+    pub spans: Vec<TraceSpan>,
+    /// All instant markers.
+    pub instants: Vec<TraceInstant>,
+    /// Records dropped across all merged recorders.
+    pub dropped: u64,
+}
+
+impl TraceLog {
+    /// First span whose label matches exactly.
+    #[must_use]
+    pub fn span(&self, label: &str) -> Option<&TraceSpan> {
+        self.spans.iter().find(|s| s.label == label)
+    }
+
+    /// Direct children of the span `parent_id`, in recording order.
+    #[must_use]
+    pub fn children(&self, parent_id: u64) -> Vec<&TraceSpan> {
+        self.spans
+            .iter()
+            .filter(|s| s.parent == parent_id)
+            .collect()
+    }
+
+    /// Renders the Chrome trace-event JSON format (one `traceEvents` array;
+    /// loadable in Perfetto / `chrome://tracing`).
+    ///
+    /// Two synthetic processes keep the two time axes apart: `pid 0` lays
+    /// spans out on the wall clock (µs from the collector epoch), `pid 1`
+    /// replays the same spans plus all instant markers on the simulation
+    /// clock (1 sim-second = 1 s of trace time).
+    #[must_use]
+    pub fn to_chrome_json(&self) -> String {
+        let mut events: Vec<String> = Vec::with_capacity(2 * self.spans.len() + 4);
+        events.push(meta_event("process_name", 0, "wall clock"));
+        events.push(meta_event("process_name", 1, "sim time"));
+        for s in &self.spans {
+            let mut args: Vec<String> = vec![
+                format!("\"sim_t0_s\":{}", json_f64(s.sim_start_s)),
+                format!("\"sim_t1_s\":{}", json_f64(s.sim_end_s)),
+            ];
+            for (k, v) in &s.args {
+                args.push(format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+            }
+            let wall_ts = s.wall_start_ns as f64 / 1.0e3;
+            let wall_dur = s.wall_end_ns.saturating_sub(s.wall_start_ns) as f64 / 1.0e3;
+            events.push(format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{{}}}}}",
+                json_escape(&s.label),
+                s.track,
+                json_f64(wall_ts),
+                json_f64(wall_dur),
+                args.join(",")
+            ));
+            if s.sim_end_s > s.sim_start_s {
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}}}",
+                    json_escape(&s.label),
+                    s.track,
+                    json_f64(s.sim_start_s * 1.0e6),
+                    json_f64((s.sim_end_s - s.sim_start_s) * 1.0e6)
+                ));
+            }
+        }
+        for i in &self.instants {
+            events.push(format!(
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{}}}",
+                json_escape(&i.label),
+                i.track,
+                json_f64(i.sim_t_s * 1.0e6)
+            ));
+        }
+        format!("{{\"traceEvents\":[{}]}}\n", events.join(","))
+    }
+}
+
+fn meta_event(name: &str, pid: u64, value: &str) -> String {
+    format!(
+        "{{\"name\":\"{name}\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+        json_escape(value)
+    )
+}
+
+/// Thread-safe span sink shared by the campaign worker pool.
+///
+/// Hands out per-worker [`TraceRecorder`]s sharing one wall-clock epoch and
+/// merges them back under a mutex — the lock is taken once per scenario.
+#[derive(Debug)]
+pub struct TraceCollector {
+    epoch: Instant,
+    log: Mutex<TraceLog>,
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceCollector {
+    /// A collector whose epoch is "now".
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            log: Mutex::new(TraceLog::default()),
+        }
+    }
+
+    /// A bounded recorder for `track`, timestamping against this epoch.
+    #[must_use]
+    pub fn recorder(&self, track: u64) -> TraceRecorder {
+        TraceRecorder::with_epoch(self.epoch, track, DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Folds a recorder's spans into the shared log, closing any span the
+    /// recorder left open.
+    pub fn merge(&self, mut rec: TraceRecorder) {
+        let last_sim = rec.spans.iter().map(|s| s.sim_end_s).fold(0.0, f64::max);
+        rec.finish(last_sim);
+        let mut log = self.log.lock().expect("trace log poisoned");
+        log.spans.append(&mut rec.spans);
+        log.instants.append(&mut rec.instants);
+        log.dropped += rec.dropped;
+    }
+
+    /// Consumes the collector, returning the merged log.
+    #[must_use]
+    pub fn into_log(self) -> TraceLog {
+        self.log.into_inner().expect("trace log poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_carry_both_clocks() {
+        let mut rec = TraceRecorder::standalone(3);
+        let outer = rec.begin("scenario:x", 0.0);
+        let inner = rec.begin("WaitReady", 0.1);
+        assert_eq!(rec.open_depth(), 2);
+        rec.end(inner, 0.4);
+        rec.end(outer, 0.9);
+        assert_eq!(rec.open_depth(), 0);
+        let [s_outer, s_inner] = rec.spans() else {
+            panic!("expected two spans");
+        };
+        assert_eq!(s_inner.parent, s_outer.id);
+        assert_eq!(s_outer.parent, 0);
+        assert_eq!(s_outer.track, 3);
+        assert!(s_outer.wall_end_ns >= s_inner.wall_end_ns);
+        assert!(s_inner.wall_start_ns >= s_outer.wall_start_ns);
+        assert_eq!(s_inner.sim_end_s, 0.4);
+        assert_eq!(s_outer.sim_end_s, 0.9);
+    }
+
+    #[test]
+    fn ending_parent_closes_open_children() {
+        let mut rec = TraceRecorder::standalone(0);
+        let outer = rec.begin("outer", 0.0);
+        let _inner = rec.begin("inner", 0.2);
+        rec.end(outer, 1.0);
+        assert_eq!(rec.open_depth(), 0);
+        assert!(rec.spans().iter().all(|s| s.wall_end_ns >= s.wall_start_ns));
+        assert!(rec.spans().iter().all(|s| s.sim_end_s >= s.sim_start_s));
+    }
+
+    #[test]
+    fn ending_twice_and_null_ids_are_noops() {
+        let mut rec = TraceRecorder::standalone(0);
+        let a = rec.begin("a", 0.0);
+        rec.end(a, 0.5);
+        rec.end(a, 0.7);
+        rec.end(SpanId::NULL, 0.8);
+        rec.annotate(SpanId::NULL, "k", "v");
+        assert_eq!(rec.spans().len(), 1);
+        assert_eq!(rec.spans()[0].sim_end_s, 0.5);
+    }
+
+    #[test]
+    fn capacity_bound_drops_and_counts() {
+        let mut rec = TraceRecorder::with_epoch(Instant::now(), 0, 2);
+        let a = rec.begin("a", 0.0);
+        rec.instant("mark", 0.1);
+        let b = rec.begin("overflow", 0.2);
+        assert!(b.is_null());
+        rec.instant("overflow", 0.3);
+        assert_eq!(rec.dropped(), 2);
+        rec.end(b, 0.4);
+        rec.end(a, 0.5);
+        assert_eq!(rec.spans().len(), 1);
+        assert_eq!(rec.open_depth(), 0);
+    }
+
+    #[test]
+    fn annotations_attach_to_open_spans_only() {
+        let mut rec = TraceRecorder::standalone(0);
+        let a = rec.begin("a", 0.0);
+        rec.annotate(a, "warm", "hit");
+        rec.end(a, 0.1);
+        rec.annotate(a, "late", "ignored");
+        assert_eq!(rec.spans()[0].args, [("warm".into(), "hit".into())]);
+    }
+
+    #[test]
+    fn collector_merges_tracks_with_shared_epoch() {
+        let collector = TraceCollector::new();
+        let mut r1 = collector.recorder(1);
+        let mut r2 = collector.recorder(2);
+        let a = r1.begin("scenario:a", 0.0);
+        let b = r2.begin("scenario:b", 0.0);
+        r1.end(a, 1.0);
+        r2.end(b, 2.0);
+        collector.merge(r1);
+        collector.merge(r2);
+        let log = collector.into_log();
+        assert_eq!(log.spans.len(), 2);
+        assert_eq!(log.dropped, 0);
+        assert!(log.span("scenario:a").is_some());
+        assert_eq!(log.span("scenario:b").unwrap().track, 2);
+    }
+
+    #[test]
+    fn merge_closes_leaked_spans() {
+        let collector = TraceCollector::new();
+        let mut rec = collector.recorder(1);
+        let _leaked = rec.begin("scenario:leaky", 0.0);
+        let _inner = rec.begin("Run", 3.0);
+        collector.merge(rec);
+        let log = collector.into_log();
+        assert!(log.spans.iter().all(|s| s.wall_end_ns >= s.wall_start_ns));
+        assert!(log.spans.iter().all(|s| s.sim_end_s >= s.sim_start_s));
+        assert_eq!(log.span("scenario:leaky").unwrap().sim_end_s, 3.0);
+    }
+
+    #[test]
+    fn chrome_json_contains_spans_instants_and_metadata() {
+        let collector = TraceCollector::new();
+        let mut rec = collector.recorder(1);
+        let a = rec.begin("scenario:\"quoted\"", 0.0);
+        rec.annotate(a, "warm", "miss");
+        rec.instant("supervisor init->normal", 0.05);
+        rec.end(a, 0.5);
+        collector.merge(rec);
+        let json = collector.into_log().to_chrome_json();
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"ph\":\"i\""), "{json}");
+        assert!(json.contains("\"ph\":\"M\""), "{json}");
+        assert!(json.contains("scenario:\\\"quoted\\\""), "{json}");
+        assert!(json.contains("\"warm\":\"miss\""), "{json}");
+        // Balanced structure (cheap sanity; full parse lives in prop tests).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests of the span tracer: for *any* interleaving of begin /
+//! end / instant calls — balanced or not, targeting live or stale span
+//! handles — the recorder's stack stays consistent and the merged log is
+//! well-nested (every child interval lies inside its parent's, wall and
+//! sim time both monotonic per span).
+
+use ascp_sim::telemetry::trace::{SpanId, TraceCollector, TraceLog};
+use proptest::prelude::*;
+
+/// One scripted call against the recorder. `end` indexes into the list of
+/// span handles issued so far (modulo its length), so scripts exercise
+/// ending out of order, ending twice, and ending while children are open.
+#[derive(Debug, Clone)]
+enum Op {
+    Begin,
+    End(usize),
+    Instant,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (any::<u8>(), any::<usize>()).prop_map(|(tag, idx)| match tag % 5 {
+            0 | 1 => Op::Begin,
+            2 | 3 => Op::End(idx),
+            _ => Op::Instant,
+        }),
+        0..64,
+    )
+}
+
+/// Replays a script with monotonically increasing sim time and returns the
+/// merged log.
+fn replay(script: &[Op]) -> TraceLog {
+    let collector = TraceCollector::new();
+    let mut rec = collector.recorder(1);
+    let mut issued: Vec<SpanId> = Vec::new();
+    for (k, op) in script.iter().enumerate() {
+        let t = k as f64 * 0.25;
+        match op {
+            Op::Begin => issued.push(rec.begin(format!("span{k}"), t)),
+            Op::End(raw) if !issued.is_empty() => {
+                let id = issued[raw % issued.len()];
+                rec.end(id, t);
+            }
+            Op::End(_) => {}
+            Op::Instant => rec.instant(format!("mark{k}"), t),
+        }
+    }
+    rec.finish(script.len() as f64 * 0.25);
+    assert_eq!(rec.open_depth(), 0, "finish must close every open span");
+    collector.merge(rec);
+    collector.into_log()
+}
+
+proptest! {
+    #[test]
+    fn any_call_sequence_yields_a_well_nested_log(script in ops()) {
+        let log = replay(&script);
+
+        for span in &log.spans {
+            prop_assert!(span.wall_end_ns >= span.wall_start_ns, "{}", span.label);
+            prop_assert!(span.sim_end_s >= span.sim_start_s, "{}", span.label);
+            if span.parent != 0 {
+                let parent = log
+                    .spans
+                    .iter()
+                    .find(|p| p.id == span.parent)
+                    .expect("parent span is in the log");
+                prop_assert!(
+                    parent.wall_start_ns <= span.wall_start_ns
+                        && span.wall_end_ns <= parent.wall_end_ns,
+                    "{} escapes {} on the wall clock",
+                    span.label,
+                    parent.label
+                );
+                prop_assert!(
+                    parent.sim_start_s <= span.sim_start_s
+                        && span.sim_end_s <= parent.sim_end_s,
+                    "{} escapes {} in sim time",
+                    span.label,
+                    parent.label
+                );
+            }
+        }
+
+        // The Chrome export of any log is structurally balanced JSON.
+        let json = log.to_chrome_json();
+        let has_header = json.starts_with("{\"traceEvents\":[");
+        prop_assert!(has_header, "{}", &json[..json.len().min(40)]);
+        prop_assert_eq!(json.matches('{').count(), json.matches('}').count());
+        prop_assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn span_count_is_bounded_by_begins(script in ops()) {
+        let begins = script.iter().filter(|op| matches!(op, Op::Begin)).count();
+        let log = replay(&script);
+        prop_assert!(log.spans.len() + log.dropped as usize <= begins);
+        prop_assert_eq!(log.spans.len(), begins); // capacity is never hit here
+    }
+}

@@ -33,8 +33,13 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test -q --workspace
 
-echo "== fault campaign (smoke: every fault class must be detected) =="
-cargo run --release -q -p ascp-bench --bin fault_campaign -- --smoke --threads 4
+echo "== fault campaign (smoke: detection + coverage vs committed baseline) =="
+# Emits the Chrome trace, flight-recorder captures and the coverage matrix
+# under target/experiments/; fails if any fault class goes undetected OR
+# if a (fault class x supervisor transition) cell exercised by the
+# committed COVERAGE_fault_campaign.csv baseline goes dark.
+cargo run --release -q -p ascp-bench --bin fault_campaign -- --smoke --threads 4 \
+    --check-coverage COVERAGE_fault_campaign.csv
 
 echo "== kernel benches (short mode: build + run smoke, perf guard) =="
 # --short shrinks the measurement protocol ~10x; --check compares the
