@@ -9,10 +9,10 @@
 //!
 //! Flags: `--short` shrinks the protocol (gate/CI smoke; never rewrites
 //! the committed baseline), `--threads N` pins the worker count. Full runs
-//! merge `campaign/*` entries into `BENCH_platform_sim.json` at the repo
+//! merge this bench's entries into `BENCH_platform_sim.json` at the repo
 //! root, preserving the other benches' entries.
 
-use ascp_bench::harness::{repo_root_path, short_mode, threads_from_args, BenchStats};
+use ascp_bench::harness::{merge_into_baseline, short_mode, threads_from_args, BenchStats};
 use ascp_core::campaign::{CampaignRunner, ScenarioSpec, Step};
 use ascp_core::platform::PlatformConfig;
 
@@ -46,37 +46,6 @@ fn best_wall(runner: &CampaignRunner, settle_s: f64, window_s: f64, reps: usize)
     (0..reps)
         .map(|_| runner.run(rate_table(settle_s, window_s)).wall_s)
         .fold(f64::INFINITY, f64::min)
-}
-
-/// Splices this run's `campaign/*` entries into the committed bench
-/// trajectory, keeping every other benchmark's line verbatim.
-fn merge_into_baseline(stats: &[BenchStats]) -> std::io::Result<()> {
-    let path = repo_root_path("BENCH_platform_sim.json");
-    let body = std::fs::read_to_string(&path).unwrap_or_else(|_| "{\n}\n".into());
-    let mut lines: Vec<String> = body
-        .lines()
-        .map(str::trim)
-        .filter(|l| l.starts_with('"') && !l.starts_with("\"campaign/"))
-        .map(|l| l.trim_end_matches(',').to_owned())
-        .collect();
-    for s in stats {
-        lines.push(format!(
-            "\"{}\": {{\"min_ns_per_iter\": {:.1}, \"ns_per_iter\": {:.1}, \"per_second\": {:.0}}}",
-            s.name,
-            s.min_ns_per_iter,
-            s.ns_per_iter,
-            s.per_second()
-        ));
-    }
-    let mut out = String::from("{\n");
-    for (i, l) in lines.iter().enumerate() {
-        let sep = if i + 1 == lines.len() { "" } else { "," };
-        out.push_str(&format!("  {l}{sep}\n"));
-    }
-    out.push_str("}\n");
-    std::fs::write(&path, out)?;
-    println!("bench trajectory -> {}", path.display());
-    Ok(())
 }
 
 fn main() -> std::io::Result<()> {

@@ -22,13 +22,42 @@
 //! fails the run when a previously-exercised coverage cell goes dark, and
 //! `--serve-metrics <addr>` serves live Prometheus metrics while the
 //! campaign runs.
+//!
+//! # Supervision, chaos, and crash recovery
+//!
+//! The sweep runs under the campaign supervision layer (panic isolation,
+//! watchdog, deterministic retry — see `ascp_core::campaign`):
+//!
+//! - `--chaos` injects seeded worker panics and stalls (the supervision
+//!   layer's analogue of the device's `FaultPlan`); `--chaos-seed N`
+//!   picks the injection pattern. Healthy scenarios' CSV rows stay
+//!   byte-identical to an undisturbed run.
+//! - `--deadline S` arms the per-scenario wall-clock watchdog.
+//! - `--journal <path>` journals each completed scenario; re-running the
+//!   same command after a crash/`SIGKILL` resumes, re-executing only the
+//!   unfinished scenarios, with a byte-identical merged report.
+//!
+//! Exit codes: `0` all scenarios healthy and every fault detected, `1`
+//! scenario-level failures (undetected faults, poisoned scenarios,
+//! coverage regressions), `2` infrastructure errors (journal I/O).
 
-use ascp_bench::harness::{arg_value, metrics_server_from_args, repo_root_path, threads_from_args};
+use ascp_bench::harness::{
+    arg_value, flag_present, metrics_server_from_args, repo_root_path, run_to_exit,
+    threads_from_args, EXIT_SCENARIO_FAILURE,
+};
 use ascp_bench::{experiments_dir, write_metrics};
 use ascp_core::prelude::*;
 use ascp_sim::fault::AdcChannel;
 use ascp_sim::telemetry::RecorderConfig;
 use std::sync::Arc;
+
+/// Default chaos seed: chosen so the 11-class catalog draws at least one
+/// panic and one stall injection.
+const CHAOS_SEED: u64 = 0xC4A0;
+
+/// Default chaos stall cap, seconds: long enough to prove the stall
+/// happened, short enough for CI smoke.
+const CHAOS_STALL_CAP_S: f64 = 2.0;
 
 /// Pre-trigger flight-recorder depth: 2048 DSP ticks ≈ 2 ms of signal
 /// history ahead of every supervisor trigger.
@@ -142,8 +171,14 @@ fn scenario(case: &Case, smoke: bool) -> ScenarioSpec {
         })
 }
 
-fn main() -> std::io::Result<()> {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+fn main() {
+    run_to_exit("fault_campaign", run);
+}
+
+#[allow(clippy::too_many_lines)]
+fn run() -> Result<i32, Box<dyn std::error::Error>> {
+    let smoke = flag_present("smoke");
+    let chaos = flag_present("chaos");
     let threads = threads_from_args();
     let scenarios: Vec<ScenarioSpec> = catalog().iter().map(|c| scenario(c, smoke)).collect();
     println!(
@@ -161,16 +196,59 @@ fn main() -> std::io::Result<()> {
         .with_threads(threads)
         .with_tracing(true)
         .with_progress(true);
+    if chaos {
+        let seed = arg_value("chaos-seed")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(CHAOS_SEED);
+        runner = runner.with_chaos(ChaosPlan::new(seed).with_stall_cap_s(CHAOS_STALL_CAP_S));
+        println!("  chaos: seeded worker panics + stalls (seed {seed:#x}); healthy rows stay byte-identical");
+    }
+    if let Some(deadline) = arg_value("deadline").and_then(|v| v.parse::<f64>().ok()) {
+        runner = runner.with_deadline_s(deadline);
+        println!("  watchdog: per-scenario deadline {deadline} s");
+    }
     if let Some(server) = &metrics_server {
         runner = runner.with_observer(Arc::new(server.clone()));
     }
-    let report = runner.run(scenarios);
+    let journal_path = arg_value("journal");
+    let report = match &journal_path {
+        Some(path) => {
+            // `resume` starts fresh when the journal does not exist yet,
+            // so the same command line works before and after a crash.
+            let report = runner.resume(scenarios, path)?;
+            if report.resumed > 0 {
+                println!(
+                    "  journal: resumed {} completed scenario(s) from {path}",
+                    report.resumed
+                );
+            } else {
+                println!("  journal: recording to {path}");
+            }
+            report
+        }
+        None => runner.run(scenarios),
+    };
     if let Some(server) = &metrics_server {
         server.publish(report.to_telemetry().to_prometheus());
     }
 
     for o in &report.outcomes {
         print!("  {:<20}", o.name);
+        if o.failed() {
+            let history: Vec<&str> = o.attempt_errors.iter().map(ScenarioError::label).collect();
+            println!(
+                "POISONED after {} attempt(s): {history:?}",
+                o.attempt_errors.len()
+            );
+            continue;
+        }
+        if o.retries() > 0 {
+            print!(
+                "[{} retr{}] ",
+                o.retries(),
+                if o.retries() == 1 { "y" } else { "ies" }
+            );
+        }
         if o.metric("detected") == Some(1.0) {
             print!(
                 "detected in {:>6.1} ms",
@@ -234,10 +312,26 @@ fn main() -> std::io::Result<()> {
         md_path.display()
     );
 
+    if chaos || report.retries_total() > 0 || report.poisoned() > 0 {
+        println!(
+            "  supervision: {} retr{}, {} timeout(s), {} panic(s), {} poisoned",
+            report.retries_total(),
+            if report.retries_total() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            report.timeouts_total(),
+            report.panics_total(),
+            report.poisoned(),
+        );
+    }
     println!(
         "  wall clock: {:.2} s on {} thread(s)",
         report.wall_s, report.threads
     );
+
+    let mut scenario_failures = false;
 
     // CI guard: a previously-exercised coverage cell going dark is a
     // regression even when every fault is still detected.
@@ -255,19 +349,27 @@ fn main() -> std::io::Result<()> {
             for (class, edge) in &lost {
                 eprintln!("  {class} × {edge}");
             }
-            std::process::exit(1);
+            scenario_failures = true;
         }
     }
 
+    let poisoned = report.failed_scenarios();
+    if !poisoned.is_empty() {
+        eprintln!("fault_campaign: POISONED scenarios (retries exhausted): {poisoned:?}");
+        scenario_failures = true;
+    }
     let undetected: Vec<&str> = report
         .outcomes
         .iter()
-        .filter(|o| o.metric("detected") != Some(1.0))
+        .filter(|o| !o.failed() && o.metric("detected") != Some(1.0))
         .map(|o| o.name.as_str())
         .collect();
     if !undetected.is_empty() {
         eprintln!("fault_campaign: UNDETECTED fault classes: {undetected:?}");
-        std::process::exit(1);
+        scenario_failures = true;
+    }
+    if scenario_failures {
+        return Ok(EXIT_SCENARIO_FAILURE);
     }
     let recovered = report
         .outcomes
@@ -283,5 +385,5 @@ fn main() -> std::io::Result<()> {
             format!(", {recovered} recovered")
         }
     );
-    Ok(())
+    Ok(0)
 }

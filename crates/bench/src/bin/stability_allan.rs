@@ -30,7 +30,9 @@
 //! produces byte-identical samples to the run that saved the checkpoint
 //! continuing past it.
 
-use ascp_bench::harness::{arg_value, metrics_server_from_args, threads_from_args};
+use ascp_bench::harness::{
+    arg_value, metrics_server_from_args, run_to_exit, threads_from_args, EXIT_SCENARIO_FAILURE,
+};
 use ascp_bench::{experiments_dir, write_metrics};
 use ascp_core::characterize::RateSensor;
 use ascp_core::checkpoint;
@@ -43,7 +45,14 @@ fn io_err(e: checkpoint::CheckpointError) -> std::io::Error {
     std::io::Error::other(e.to_string())
 }
 
-fn main() -> std::io::Result<()> {
+fn main() {
+    // Exit taxonomy: 0 ok, 1 scenario-level failures (poisoned capture
+    // scenario, missing series), 2 infrastructure errors (I/O,
+    // checkpoint decode).
+    run_to_exit("stability_allan", run);
+}
+
+fn run() -> Result<i32, Box<dyn std::error::Error>> {
     let threads = threads_from_args();
     let save_path = arg_value("checkpoint");
     let resume_path = arg_value("resume");
@@ -63,7 +72,10 @@ fn main() -> std::io::Result<()> {
             None => {
                 println!("stability: locking (bring-up will be checkpointed) ...");
                 let mut p = Platform::new(config.clone());
-                p.wait_for_ready(2.0).expect("platform locks within 2 s");
+                if p.wait_for_ready(2.0).is_none() {
+                    eprintln!("stability_allan: platform failed to lock within 2 s");
+                    return Ok(EXIT_SCENARIO_FAILURE);
+                }
                 p
             }
         };
@@ -99,13 +111,20 @@ fn main() -> std::io::Result<()> {
         if let Some(server) = &metrics_server {
             server.publish(report.to_telemetry().to_prometheus());
         }
-        let rate = report
-            .series("stability", "zero_rate")
-            .expect("zero-rate capture")
-            .to_vec();
-        let fs = report
-            .metric("stability", "zero_rate_fs_hz")
-            .expect("output sample rate");
+        if report.poisoned() > 0 {
+            eprintln!(
+                "stability_allan: capture scenario poisoned: {:?}",
+                report.failed_scenarios()
+            );
+            return Ok(EXIT_SCENARIO_FAILURE);
+        }
+        let (Some(rate), Some(fs)) = (
+            report.series("stability", "zero_rate").map(<[f64]>::to_vec),
+            report.metric("stability", "zero_rate_fs_hz"),
+        ) else {
+            eprintln!("stability_allan: capture scenario produced no zero-rate series");
+            return Ok(EXIT_SCENARIO_FAILURE);
+        };
         (rate, fs, Some(report))
     };
 
@@ -134,5 +153,5 @@ fn main() -> std::io::Result<()> {
     }
     println!("shape check: −1/2 slope at short τ (white rate noise consistent with");
     println!("Table 1's density row), flattening toward the bias floor at long τ.");
-    Ok(())
+    Ok(0)
 }

@@ -7,6 +7,7 @@
 //! is all the cycle-budget comparisons here need.
 
 use ascp_core::campaign::{CampaignObserver, ScenarioProgress};
+use std::error::Error;
 use std::io;
 use std::io::{Read as _, Write as _};
 use std::net::{TcpListener, TcpStream};
@@ -80,6 +81,38 @@ pub fn threads_from_args() -> usize {
         }
     }
     ascp_sim::campaign::available_parallelism()
+}
+
+/// Returns `true` when the bare flag `--<name>` appears in the process
+/// arguments (`--chaos`, `--smoke`, …).
+#[must_use]
+pub fn flag_present(name: &str) -> bool {
+    let flag = format!("--{name}");
+    std::env::args().any(|a| a == flag)
+}
+
+/// Exit code for scenario-level failures: undetected faults, poisoned
+/// (retry-exhausted) scenarios, coverage regressions. The campaign ran;
+/// its *results* are bad.
+pub const EXIT_SCENARIO_FAILURE: i32 = 1;
+
+/// Exit code for infrastructure errors: journal create/read failures,
+/// I/O errors, checkpoint decode errors. The campaign could not run (or
+/// could not persist) at all.
+pub const EXIT_INFRA_ERROR: i32 = 2;
+
+/// Runs a campaign bin under the shared exit-code taxonomy: the closure
+/// returns the exit code for completed runs (0 ok, [`EXIT_SCENARIO_FAILURE`]
+/// for bad results), and any propagated error is reported on stderr and
+/// mapped to [`EXIT_INFRA_ERROR`].
+pub fn run_to_exit(name: &str, run: impl FnOnce() -> Result<i32, Box<dyn Error>>) -> ! {
+    match run() {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("{name}: infrastructure error: {e}");
+            std::process::exit(EXIT_INFRA_ERROR);
+        }
+    }
 }
 
 /// Parses `--<name> <value>` (or `--<name>=<value>`) from the process
@@ -359,6 +392,52 @@ pub fn parse_bench_json(body: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// Splices this run's entries into the committed bench trajectory at the
+/// repo root (`BENCH_platform_sim.json`), replacing lines whose benchmark
+/// name matches one of `stats` **exactly** and keeping every other
+/// benchmark's line verbatim — so independent bench bins can each merge
+/// their own entries without clobbering each other's.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the file cannot be written.
+pub fn merge_into_baseline(stats: &[BenchStats]) -> io::Result<()> {
+    let path = repo_root_path("BENCH_platform_sim.json");
+    let body = std::fs::read_to_string(&path).unwrap_or_else(|_| "{\n}\n".into());
+    let replaced: Vec<&str> = stats.iter().map(|s| s.name.as_str()).collect();
+    let mut lines: Vec<String> = body
+        .lines()
+        .map(str::trim)
+        .filter(|l| {
+            l.starts_with('"')
+                && !replaced.iter().any(|name| {
+                    l.strip_prefix('"')
+                        .and_then(|rest| rest.split_once('"'))
+                        .is_some_and(|(n, _)| n == *name)
+                })
+        })
+        .map(|l| l.trim_end_matches(',').to_owned())
+        .collect();
+    for s in stats {
+        lines.push(format!(
+            "\"{}\": {{\"min_ns_per_iter\": {:.1}, \"ns_per_iter\": {:.1}, \"per_second\": {:.0}}}",
+            s.name,
+            s.min_ns_per_iter,
+            s.ns_per_iter,
+            s.per_second()
+        ));
+    }
+    let mut out = String::from("{\n");
+    for (i, l) in lines.iter().enumerate() {
+        let sep = if i + 1 == lines.len() { "" } else { "," };
+        out.push_str(&format!("  {l}{sep}\n"));
+    }
+    out.push_str("}\n");
+    std::fs::write(&path, out)?;
+    println!("bench trajectory -> {}", path.display());
+    Ok(())
+}
+
 /// Compares a fresh run against a committed baseline file: prints one row
 /// per shared benchmark and returns the names that regressed by more than
 /// `tolerance` (e.g. `0.5` = 50% slower on the min-ns metric). Benchmarks
@@ -455,6 +534,8 @@ mod tests {
             warm: None,
             triggered: true,
             completed: 1,
+            retries: 0,
+            status: ascp_core::campaign::ScenarioStatus::Done,
         });
 
         let mut stream = TcpStream::connect(server.addr()).expect("connect");

@@ -20,12 +20,31 @@
 //! through the [`CampaignRunner::with_warm_start`] checkpoint cache —
 //! with reports still byte-identical to cold runs.
 //!
+//! # Supervision
+//!
+//! The runner is fault-tolerant: scenarios execute under a supervision
+//! layer whose per-scenario FSM is `Queued → Running → {Done, Retrying(n)
+//! → Running, TimedOut → Retrying, Poisoned}`. A panicking scenario is
+//! caught ([`ScenarioError::Panicked`]) instead of killing the pool; a
+//! scenario overrunning the [`CampaignRunner::with_deadline_s`] wall-clock
+//! deadline is cancelled by a watchdog thread
+//! ([`ScenarioError::TimedOut`]); failed attempts are retried (default
+//! once, [`CampaignRunner::with_retries`]) with the derived seed
+//! **unchanged**, so a retried success is byte-identical to a first-try
+//! run; a scenario that exhausts its retries is quarantined as
+//! [`ScenarioStatus::Poisoned`] and ships as a failed CSV row instead of
+//! aborting the campaign. [`CampaignRunner::run_with_journal`] records
+//! each completed scenario in a crash-tolerant append-only journal
+//! ([`crate::journal`]) and [`CampaignRunner::resume`] merges it back
+//! byte-identically after a crash; [`CampaignRunner::with_chaos`] injects
+//! deterministic worker panics/stalls to exercise all of the above.
+//!
 //! # Step vocabulary
 //!
 //! Steps either evolve platform state or measure it; every measurement
 //! lands in the scenario's [`ScenarioOutcome`] and, through
 //! [`CampaignReport::to_csv`], in the long-format CSV
-//! (`scenario,metric,value` rows).
+//! (`scenario,metric,value,status` rows).
 //!
 //! | Step | Measures | CSV metric columns |
 //! |------|----------|--------------------|
@@ -75,19 +94,23 @@ use crate::characterize::{
     measure_noise_density, measure_static_transfer, CharacterizationConfig, RateSensor,
 };
 use crate::checkpoint;
+use crate::journal::{self, JournalError, JournalWriter};
 use crate::platform::{Platform, PlatformConfig};
 use crate::supervisor::SupervisorState;
 use ascp_mcu8051::periph::Bus16Device;
-use ascp_sim::campaign::{available_parallelism, parallel_map};
+use ascp_sim::campaign::{available_parallelism, panic_message, try_parallel_map, MapError};
 use ascp_sim::fault::FaultPlan;
 use ascp_sim::snapshot::fnv1a64;
 use ascp_sim::stats;
-use ascp_sim::telemetry::trace::{SpanId, TraceCollector, TraceLog, TraceRecorder};
+use ascp_sim::telemetry::trace::{SpanId, TraceCollector, TraceLog};
 use ascp_sim::telemetry::{CaptureBundle, Event, Telemetry, TelemetryConfig, TelemetrySnapshot};
 use ascp_sim::units::{Celsius, DegPerSec};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
 
 /// One step of a scenario's measurement protocol.
 ///
@@ -325,6 +348,168 @@ impl ScenarioSpec {
     }
 }
 
+/// Why one attempt of a scenario failed (the supervision taxonomy).
+///
+/// Failed attempts are retried with the scenario's seed unchanged (see
+/// [`derive_seed`]), so a retry that succeeds is byte-identical to a
+/// first-try success; a scenario that exhausts its retries is quarantined
+/// as [`ScenarioStatus::Poisoned`] with its attempt errors preserved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The scenario's worker panicked; the payload is captured as text.
+    Panicked {
+        /// Panic payload rendered as text.
+        message: String,
+    },
+    /// The scenario overran the campaign's per-scenario wall-clock
+    /// deadline and was cancelled by the watchdog (or a chaos stall hit
+    /// its cap). Carries the *configured* limit, not the measured wall
+    /// time, so reports stay deterministic.
+    TimedOut {
+        /// The deadline that was enforced, seconds.
+        deadline_s: f64,
+    },
+    /// The worker pool returned no result for this scenario (a worker
+    /// died without reporting; should be unreachable).
+    Missing,
+}
+
+impl ScenarioError {
+    /// Stable taxonomy label (CSV, telemetry, trace annotations).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Panicked { .. } => "panicked",
+            Self::TimedOut { .. } => "timed_out",
+            Self::Missing => "missing",
+        }
+    }
+
+    /// Numeric code for the `scenario_error` CSV row (1/2/3).
+    #[must_use]
+    pub fn code(&self) -> f64 {
+        match self {
+            Self::Panicked { .. } => 1.0,
+            Self::TimedOut { .. } => 2.0,
+            Self::Missing => 3.0,
+        }
+    }
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Panicked { message } => write!(f, "scenario panicked: {message}"),
+            Self::TimedOut { deadline_s } => {
+                write!(f, "scenario overran its {deadline_s} s deadline")
+            }
+            Self::Missing => write!(f, "scenario produced no result"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Terminal supervision state of a scenario.
+///
+/// The per-scenario FSM is `Queued → Running → {Done, Retrying(n) →
+/// Running, TimedOut → Retrying, Poisoned}`; only the two terminal states
+/// appear in outcomes — everything in between is visible through
+/// [`ScenarioOutcome::attempt_errors`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScenarioStatus {
+    /// The scenario completed (possibly after retries) and its metrics
+    /// are trustworthy.
+    #[default]
+    Done,
+    /// The scenario failed every attempt and was quarantined; it carries
+    /// no metrics, only its error history.
+    Poisoned,
+}
+
+impl ScenarioStatus {
+    /// Stable label for the CSV `status` column (`ok` / `poisoned`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Done => "ok",
+            Self::Poisoned => "poisoned",
+        }
+    }
+}
+
+/// What the chaos plan injects into one scenario attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosInjection {
+    /// No injection: the attempt runs normally.
+    None,
+    /// The worker panics before building the platform.
+    Panic,
+    /// The worker stalls (a cancel-polling sleep) until the watchdog
+    /// cancels it or the stall cap elapses.
+    Stall,
+}
+
+/// Deterministic worker-fault injection: the supervision layer's analogue
+/// of [`FaultPlan`].
+///
+/// Each scenario's injection is derived from the chaos seed and the
+/// scenario's input index ([`derive_seed`]`(seed, index) % 4`: 0 panic,
+/// 1 stall, else none), so a chaos campaign is reproducible at any thread
+/// count. Injections apply to the first `persist_attempts` attempts only;
+/// the retry that follows runs clean with the scenario seed unchanged, so
+/// every healthy metric is byte-identical to an undisturbed run.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    /// Seed the per-scenario injections derive from.
+    pub seed: u64,
+    /// Attempts that receive the injection (default 1: attempt 0 only, so
+    /// default retries recover every scenario).
+    pub persist_attempts: u32,
+    /// Upper bound on a stall when no watchdog deadline is set, seconds.
+    pub stall_cap_s: f64,
+}
+
+impl ChaosPlan {
+    /// Plan with the default persistence (attempt 0 only) and a 30 s
+    /// stall cap.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            persist_attempts: 1,
+            stall_cap_s: 30.0,
+        }
+    }
+
+    /// Sets how many attempts per scenario receive the injection.
+    #[must_use]
+    pub fn with_persist_attempts(mut self, attempts: u32) -> Self {
+        self.persist_attempts = attempts;
+        self
+    }
+
+    /// Sets the stall cap (seconds).
+    #[must_use]
+    pub fn with_stall_cap_s(mut self, seconds: f64) -> Self {
+        self.stall_cap_s = seconds;
+        self
+    }
+
+    /// The injection for one `(scenario index, attempt)` pair.
+    #[must_use]
+    pub fn decide(&self, index: usize, attempt: u32) -> ChaosInjection {
+        if attempt >= self.persist_attempts {
+            return ChaosInjection::None;
+        }
+        match derive_seed(self.seed, index as u64) % 4 {
+            0 => ChaosInjection::Panic,
+            1 => ChaosInjection::Stall,
+            _ => ChaosInjection::None,
+        }
+    }
+}
+
 /// Measured result of one scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioOutcome {
@@ -345,11 +530,35 @@ pub struct ScenarioOutcome {
     /// (coverage-matrix columns). Empty when telemetry is disabled.
     pub transitions: Vec<(&'static str, &'static str)>,
     /// Flight-recorder capture, when the scenario armed a recorder and a
-    /// trigger fired.
+    /// trigger fired. Captures are **not** journaled: a resumed campaign
+    /// reloads every other field of a completed scenario, but not this
+    /// one (the `recorder_triggered` metric survives, so the CSV and
+    /// telemetry artifacts are unaffected).
     pub capture: Option<CaptureBundle>,
+    /// Errors of the failed attempts that preceded this outcome, in
+    /// attempt order. Empty for a first-try success; for a
+    /// [`ScenarioStatus::Poisoned`] scenario it holds every attempt.
+    pub attempt_errors: Vec<ScenarioError>,
+    /// Terminal supervision status.
+    pub status: ScenarioStatus,
 }
 
 impl ScenarioOutcome {
+    /// Retries performed (attempts beyond the first).
+    #[must_use]
+    pub fn retries(&self) -> usize {
+        match self.status {
+            ScenarioStatus::Done => self.attempt_errors.len(),
+            ScenarioStatus::Poisoned => self.attempt_errors.len().saturating_sub(1),
+        }
+    }
+
+    /// `true` when the scenario exhausted its retries.
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        self.status == ScenarioStatus::Poisoned
+    }
+
     /// Looks up a metric by name.
     #[must_use]
     pub fn metric(&self, name: &str) -> Option<f64> {
@@ -383,6 +592,10 @@ pub struct CampaignReport {
     /// Scenarios that restored a cached settle checkpoint instead of
     /// re-running their settle prefix (0 when warm-start is off).
     pub warm_hits: usize,
+    /// Scenarios loaded from a journal instead of executed (0 unless the
+    /// report came from [`CampaignRunner::resume`]; not part of the
+    /// deterministic artifacts).
+    pub resumed: usize,
     /// Merged span trace (present when the runner had tracing enabled).
     /// Wall-clock bounds inside are not part of the deterministic
     /// artifacts; the span structure and sim-time bounds are.
@@ -408,14 +621,76 @@ impl CampaignReport {
             .and_then(|o| o.series(series))
     }
 
-    /// Long-format CSV (`scenario,metric,value`), bit-identical for any
-    /// worker-thread count.
+    /// Total retry attempts across the campaign (the
+    /// `ascp_campaign_retries_total` counter).
+    #[must_use]
+    pub fn retries_total(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.retries() as u64).sum()
+    }
+
+    /// Total timed-out attempts (the `ascp_campaign_timeouts_total`
+    /// counter).
+    #[must_use]
+    pub fn timeouts_total(&self) -> u64 {
+        self.attempt_error_count(|e| matches!(e, ScenarioError::TimedOut { .. }))
+    }
+
+    /// Total panicked attempts (the `ascp_campaign_panics_total` counter).
+    #[must_use]
+    pub fn panics_total(&self) -> u64 {
+        self.attempt_error_count(|e| matches!(e, ScenarioError::Panicked { .. }))
+    }
+
+    fn attempt_error_count(&self, pred: impl Fn(&ScenarioError) -> bool) -> u64 {
+        self.outcomes
+            .iter()
+            .flat_map(|o| &o.attempt_errors)
+            .filter(|e| pred(e))
+            .count() as u64
+    }
+
+    /// Scenarios quarantined after exhausting their retries.
+    #[must_use]
+    pub fn poisoned(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.failed()).count()
+    }
+
+    /// Names of the quarantined scenarios, in input order.
+    #[must_use]
+    pub fn failed_scenarios(&self) -> Vec<&str> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.failed())
+            .map(|o| o.name.as_str())
+            .collect()
+    }
+
+    /// Long-format CSV (`scenario,metric,value,status`), bit-identical
+    /// for any worker-thread count.
+    ///
+    /// Metric rows of a completed scenario carry status `ok` — including
+    /// scenarios that succeeded on a retry, whose rows are byte-identical
+    /// to a first-try run. A poisoned scenario has no metric rows; it
+    /// contributes `scenario_error` (the last error's
+    /// [`ScenarioError::code`]) and `scenario_attempts` rows with status
+    /// `poisoned`, so partial results ship instead of aborting the
+    /// artifact.
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut csv = String::from("scenario,metric,value\n");
+        let mut csv = String::from("scenario,metric,value,status\n");
         for o in &self.outcomes {
+            let status = o.status.label();
             for (name, value) in &o.metrics {
-                csv.push_str(&format!("{},{name},{value}\n", o.name));
+                csv.push_str(&format!("{},{name},{value},{status}\n", o.name));
+            }
+            if o.failed() {
+                let code = o.attempt_errors.last().map_or(0.0, ScenarioError::code);
+                csv.push_str(&format!("{},scenario_error,{code},{status}\n", o.name));
+                csv.push_str(&format!(
+                    "{},scenario_attempts,{},{status}\n",
+                    o.name,
+                    o.attempt_errors.len()
+                ));
             }
         }
         csv
@@ -428,6 +703,10 @@ impl CampaignReport {
     pub fn to_telemetry(&self) -> TelemetrySnapshot {
         let mut tel = Telemetry::new(TelemetryConfig::default());
         tel.counter_set("campaign.scenarios", self.outcomes.len() as u64);
+        tel.counter_set("campaign.retries_total", self.retries_total());
+        tel.counter_set("campaign.timeouts_total", self.timeouts_total());
+        tel.counter_set("campaign.panics_total", self.panics_total());
+        tel.counter_set("campaign.poisoned_scenarios", self.poisoned() as u64);
         for o in &self.outcomes {
             for (name, value) in &o.metrics {
                 let key: &'static str = Box::leak(format!("{}.{name}", o.name).into_boxed_str());
@@ -467,6 +746,10 @@ pub struct ScenarioProgress {
     pub triggered: bool,
     /// Scenarios finished so far (completion order, not input order).
     pub completed: usize,
+    /// Retry attempts this scenario needed (0 on a first-try success).
+    pub retries: usize,
+    /// Terminal supervision status.
+    pub status: ScenarioStatus,
 }
 
 impl std::fmt::Display for ScenarioProgress {
@@ -481,7 +764,14 @@ impl std::fmt::Display for ScenarioProgress {
             Some(false) => write!(f, "  warm=miss")?,
             None => {}
         }
-        write!(f, "  trigger={}", if self.triggered { "y" } else { "n" })
+        write!(f, "  trigger={}", if self.triggered { "y" } else { "n" })?;
+        if self.retries > 0 {
+            write!(f, "  retries={}", self.retries)?;
+        }
+        if self.status == ScenarioStatus::Poisoned {
+            write!(f, "  POISONED")?;
+        }
+        Ok(())
     }
 }
 
@@ -518,6 +808,10 @@ pub struct CampaignRunner {
     tracing: bool,
     progress: bool,
     observer: Option<Arc<dyn CampaignObserver>>,
+    max_retries: u32,
+    backoff_ms: u64,
+    deadline_s: Option<f64>,
+    chaos: Option<ChaosPlan>,
 }
 
 impl std::fmt::Debug for CampaignRunner {
@@ -528,6 +822,10 @@ impl std::fmt::Debug for CampaignRunner {
             .field("tracing", &self.tracing)
             .field("progress", &self.progress)
             .field("observer", &self.observer.is_some())
+            .field("max_retries", &self.max_retries)
+            .field("backoff_ms", &self.backoff_ms)
+            .field("deadline_s", &self.deadline_s)
+            .field("chaos", &self.chaos.is_some())
             .finish()
     }
 }
@@ -549,6 +847,10 @@ impl CampaignRunner {
             tracing: false,
             progress: false,
             observer: None,
+            max_retries: 1,
+            backoff_ms: 10,
+            deadline_s: None,
+            chaos: None,
         }
     }
 
@@ -591,10 +893,62 @@ impl CampaignRunner {
         self
     }
 
+    /// Sets the retry budget for failed scenarios (attempts beyond the
+    /// first; default 1). Retries re-derive the scenario seed with
+    /// [`derive_seed`] unchanged, so a retried success is byte-identical
+    /// to a first-try one; a scenario that fails every attempt is
+    /// quarantined as [`ScenarioStatus::Poisoned`].
+    #[must_use]
+    pub fn with_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Sets the base backoff between attempts, milliseconds (doubles per
+    /// retry, capped at 64× base; default 10 ms). Wall-clock only — never
+    /// part of the deterministic artifacts.
+    #[must_use]
+    pub fn with_backoff_ms(mut self, backoff_ms: u64) -> Self {
+        self.backoff_ms = backoff_ms;
+        self
+    }
+
+    /// Arms the watchdog: each scenario attempt gets a wall-clock
+    /// deadline of `seconds`; overrunning attempts are cancelled at the
+    /// next heartbeat (step boundaries and ~1024-tick run chunks) and
+    /// recorded as [`ScenarioError::TimedOut`]. Warm-cache waits are
+    /// excluded from the budget. No watchdog thread exists until this is
+    /// set.
+    #[must_use]
+    pub fn with_deadline_s(mut self, seconds: f64) -> Self {
+        self.deadline_s = Some(seconds);
+        self
+    }
+
+    /// Installs a deterministic chaos plan (seeded worker panics and
+    /// stalls) exercising the supervision layer; see [`ChaosPlan`].
+    #[must_use]
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
     /// Configured worker-thread count.
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Configured retry budget.
+    #[must_use]
+    pub fn max_retries(&self) -> u32 {
+        self.max_retries
+    }
+
+    /// Configured per-scenario deadline, if the watchdog is armed.
+    #[must_use]
+    pub fn deadline_s(&self) -> Option<f64> {
+        self.deadline_s
     }
 
     /// Whether the warm-start cache is enabled.
@@ -610,13 +964,102 @@ impl CampaignRunner {
     }
 
     /// Runs every scenario and merges the outcomes.
+    ///
+    /// Infallible: supervision turns worker failures into per-scenario
+    /// outcomes, never a campaign abort. Check
+    /// [`CampaignReport::poisoned`] for quarantined scenarios.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice — only if the (journal-less) execution core
+    /// reports a journal error, which it cannot.
     #[must_use]
     pub fn run(&self, scenarios: Vec<ScenarioSpec>) -> CampaignReport {
-        let start = std::time::Instant::now();
+        self.run_campaign(scenarios, Vec::new(), None)
+            .expect("campaign without a journal cannot fail")
+    }
+
+    /// Runs the campaign while journaling each completed scenario to
+    /// `path` (created fresh), so a crashed or killed campaign can be
+    /// [`CampaignRunner::resume`]d.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError`] when the journal file cannot be created or
+    /// written.
+    pub fn run_with_journal(
+        &self,
+        scenarios: Vec<ScenarioSpec>,
+        path: impl AsRef<Path>,
+    ) -> Result<CampaignReport, JournalError> {
+        let digest = journal::campaign_digest(&scenarios);
+        let writer = JournalWriter::create(path, digest)?;
+        self.run_campaign(scenarios, Vec::new(), Some(&writer))
+    }
+
+    /// Resumes a journaled campaign: scenarios recorded in `path` are
+    /// loaded instead of re-executed (a torn final record is discarded;
+    /// duplicate records last-wins), the rest run normally, and the
+    /// merged report is byte-identical to an uninterrupted
+    /// [`CampaignRunner::run_with_journal`] at any thread count. A
+    /// missing journal file starts a fresh journaled run.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError`] when the journal exists but was written by a
+    /// different campaign (config-digest mismatch), is not a journal
+    /// file, or cannot be read/appended.
+    pub fn resume(
+        &self,
+        scenarios: Vec<ScenarioSpec>,
+        path: impl AsRef<Path>,
+    ) -> Result<CampaignReport, JournalError> {
+        let path = path.as_ref();
+        if !path.exists() {
+            return self.run_with_journal(scenarios, path);
+        }
+        let digest = journal::campaign_digest(&scenarios);
+        let recorded = journal::read(path, digest)?;
         let total = scenarios.len();
+        let preloaded: Vec<ScenarioOutcome> =
+            recorded.into_iter().filter(|o| o.index < total).collect();
+        let writer = JournalWriter::append_to(path, digest)?;
+        self.run_campaign(scenarios, preloaded, Some(&writer))
+    }
+
+    /// The execution core: runs every scenario not already `preloaded`
+    /// under supervision (panic isolation, watchdog, retry, chaos),
+    /// journals completions, and merges everything in input order.
+    #[allow(clippy::too_many_lines)]
+    fn run_campaign(
+        &self,
+        scenarios: Vec<ScenarioSpec>,
+        preloaded: Vec<ScenarioOutcome>,
+        writer: Option<&JournalWriter>,
+    ) -> Result<CampaignReport, JournalError> {
+        let start = Instant::now();
+        let total = scenarios.len();
+        let resumed = preloaded.len();
+        let done_indices: HashSet<usize> = preloaded.iter().map(|o| o.index).collect();
+        let work: Vec<(usize, ScenarioSpec)> = scenarios
+            .into_iter()
+            .enumerate()
+            .filter(|(index, _)| !done_indices.contains(index))
+            .collect();
+        // Identity of each work item, kept outside the pool so even a
+        // scenario whose slot comes back empty gets a typed placeholder.
+        let meta: Vec<(usize, String, u64)> = work
+            .iter()
+            .map(|(index, spec)| {
+                let seed = spec
+                    .seed
+                    .unwrap_or_else(|| derive_seed(spec.config.seed, *index as u64));
+                (*index, spec.name.clone(), seed)
+            })
+            .collect();
         let cache = self.warm_start.then(WarmCache::default);
         let hits = AtomicUsize::new(0);
-        let done = AtomicUsize::new(0);
+        let done = AtomicUsize::new(resumed);
         let collector = self.tracing.then(TraceCollector::new);
         // The campaign root span lives on track 0; scenario tracks are
         // `index + 1`.
@@ -625,12 +1068,64 @@ impl CampaignRunner {
             let id = rec.begin("campaign", 0.0);
             (rec, id)
         });
-        let outcomes = parallel_map(scenarios, self.threads, |index, spec| {
-            let t0 = std::time::Instant::now();
-            let rec = collector.as_ref().map(|c| c.recorder(index as u64 + 1));
-            let (out, warm_hit, rec) = run_scenario(index, spec, cache.as_ref(), &hits, rec);
-            if let (Some(c), Some(rec)) = (collector.as_ref(), rec) {
-                c.merge(rec);
+        let watchdog = self.deadline_s.map(|d| Watchdog::spawn(work.len(), d));
+        let journal_failure: Mutex<Option<JournalError>> = Mutex::new(None);
+
+        let slots = try_parallel_map(work, self.threads, |slot, (index, spec)| {
+            let t0 = Instant::now();
+            let ctx = AttemptCtx {
+                watchdog: watchdog.as_ref(),
+                slot,
+            };
+            let mut errors: Vec<ScenarioError> = Vec::new();
+            let (out, warm_hit) = loop {
+                let attempt = errors.len() as u32;
+                if attempt > 0 {
+                    let factor = 1u64 << u64::from((attempt - 1).min(6));
+                    std::thread::sleep(Duration::from_millis(self.backoff_ms * factor));
+                }
+                ctx.arm();
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    run_attempt(
+                        index,
+                        attempt,
+                        &spec,
+                        cache.as_ref(),
+                        &hits,
+                        collector.as_ref(),
+                        ctx,
+                        self.chaos.as_ref(),
+                    )
+                }));
+                ctx.disarm();
+                let attempt_result = caught.unwrap_or_else(|payload| {
+                    Err(ScenarioError::Panicked {
+                        message: panic_message(payload.as_ref()),
+                    })
+                });
+                match attempt_result {
+                    Ok((mut out, warm_hit)) => {
+                        out.attempt_errors.clone_from(&errors);
+                        break (out, warm_hit);
+                    }
+                    Err(err) => {
+                        errors.push(err);
+                        if errors.len() > self.max_retries as usize {
+                            let seed = spec
+                                .seed
+                                .unwrap_or_else(|| derive_seed(spec.config.seed, index as u64));
+                            break (poisoned_outcome(index, &spec.name, seed, errors), false);
+                        }
+                    }
+                }
+            };
+            if let Some(writer) = writer {
+                if let Err(e) = writer.append(&out) {
+                    let mut parked = journal_failure
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    parked.get_or_insert(e);
+                }
             }
             let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
             if self.progress || self.observer.is_some() {
@@ -642,6 +1137,8 @@ impl CampaignRunner {
                     warm: cache.as_ref().map(|_| warm_hit),
                     triggered: out.capture.is_some(),
                     completed,
+                    retries: out.retries(),
+                    status: out.status,
                 };
                 if self.progress {
                     println!("{progress}");
@@ -652,21 +1149,243 @@ impl CampaignRunner {
             }
             out
         });
+        drop(watchdog); // stops the scanner thread
+
+        let mut outcomes = preloaded;
+        outcomes.reserve(slots.len());
+        for (slot, result) in slots.into_iter().enumerate() {
+            match result {
+                Ok(out) => outcomes.push(out),
+                // The supervised closure itself failed — convert the pool
+                // error into a quarantined placeholder so the report still
+                // covers every scenario.
+                Err(e) => {
+                    let (index, name, seed) = &meta[slot];
+                    let err = match e {
+                        MapError::Panicked { message } => ScenarioError::Panicked { message },
+                        MapError::Missing => ScenarioError::Missing,
+                    };
+                    outcomes.push(poisoned_outcome(*index, name, *seed, vec![err]));
+                }
+            }
+        }
+        outcomes.sort_by_key(|o| o.index);
+
+        if let Some(e) = journal_failure
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+        {
+            return Err(e);
+        }
+
+        let poisoned = outcomes.iter().filter(|o| o.failed()).count();
+        let retries: usize = outcomes.iter().map(ScenarioOutcome::retries).sum();
         let trace = collector.map(|c| {
             if let Some((mut rec, id)) = root.take() {
                 rec.annotate(id, "scenarios", total.to_string());
+                rec.annotate(id, "resumed", resumed.to_string());
+                rec.annotate(id, "retries", retries.to_string());
+                rec.annotate(id, "poisoned", poisoned.to_string());
                 rec.end(id, 0.0);
                 c.merge(rec);
             }
             c.into_log()
         });
-        CampaignReport {
+        Ok(CampaignReport {
             outcomes,
             threads: self.threads,
             wall_s: start.elapsed().as_secs_f64(),
             warm_hits: hits.load(Ordering::Relaxed),
+            resumed,
             trace,
+        })
+    }
+}
+
+/// The quarantined outcome of a scenario that failed every attempt.
+fn poisoned_outcome(
+    index: usize,
+    name: &str,
+    seed: u64,
+    errors: Vec<ScenarioError>,
+) -> ScenarioOutcome {
+    ScenarioOutcome {
+        name: name.to_owned(),
+        index,
+        seed,
+        metrics: Vec::new(),
+        series: Vec::new(),
+        fault_classes: Vec::new(),
+        transitions: Vec::new(),
+        capture: None,
+        attempt_errors: errors,
+        status: ScenarioStatus::Poisoned,
+    }
+}
+
+/// Ticks per cancellation check inside tick-stepped measurement loops.
+const HEARTBEAT_TICKS: u64 = 1024;
+
+/// Ticks per [`Platform::step_block`] chunk inside [`run_for`].
+const RUN_BLOCK_TICKS: u64 = 4096;
+
+/// Marker error: the watchdog cancelled this attempt.
+struct Cancelled;
+
+/// Per-attempt-slot watchdog state.
+struct WatchdogSlot {
+    armed: AtomicBool,
+    cancelled: AtomicBool,
+    armed_at_ms: AtomicU64,
+    heartbeat_ms: AtomicU64,
+}
+
+/// State shared between workers and the scanner thread.
+struct WatchdogShared {
+    slots: Vec<WatchdogSlot>,
+    epoch: Instant,
+    deadline: Duration,
+    shutdown: AtomicBool,
+}
+
+impl WatchdogShared {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+}
+
+/// Deadline enforcement for scenario attempts: workers arm a slot when an
+/// attempt starts and heartbeat from cancellation points; a scanner
+/// thread marks slots whose attempt has outlived the deadline, and the
+/// worker observes the mark cooperatively (at step boundaries and run
+/// chunks) — the pool keeps draining while an overrunner winds down.
+struct Watchdog {
+    shared: Arc<WatchdogShared>,
+    scanner: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    fn spawn(slots: usize, deadline_s: f64) -> Self {
+        let shared = Arc::new(WatchdogShared {
+            slots: (0..slots)
+                .map(|_| WatchdogSlot {
+                    armed: AtomicBool::new(false),
+                    cancelled: AtomicBool::new(false),
+                    armed_at_ms: AtomicU64::new(0),
+                    heartbeat_ms: AtomicU64::new(0),
+                })
+                .collect(),
+            epoch: Instant::now(),
+            deadline: Duration::from_secs_f64(deadline_s.max(0.0)),
+            shutdown: AtomicBool::new(false),
+        });
+        let scan = Arc::clone(&shared);
+        let scanner = std::thread::spawn(move || {
+            let deadline_ms = scan.deadline.as_millis() as u64;
+            while !scan.shutdown.load(Ordering::SeqCst) {
+                let now = scan.now_ms();
+                for slot in &scan.slots {
+                    if slot.armed.load(Ordering::SeqCst)
+                        && now.saturating_sub(slot.armed_at_ms.load(Ordering::SeqCst)) > deadline_ms
+                    {
+                        slot.cancelled.store(true, Ordering::SeqCst);
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+        Self {
+            shared,
+            scanner: Some(scanner),
         }
+    }
+
+    fn deadline_s(&self) -> f64 {
+        self.shared.deadline.as_secs_f64()
+    }
+
+    fn arm(&self, slot: usize) {
+        let s = &self.shared.slots[slot];
+        let now = self.shared.now_ms();
+        s.cancelled.store(false, Ordering::SeqCst);
+        s.armed_at_ms.store(now, Ordering::SeqCst);
+        s.heartbeat_ms.store(now, Ordering::SeqCst);
+        s.armed.store(true, Ordering::SeqCst);
+    }
+
+    fn disarm(&self, slot: usize) {
+        self.shared.slots[slot].armed.store(false, Ordering::SeqCst);
+    }
+
+    fn heartbeat(&self, slot: usize) {
+        self.shared.slots[slot]
+            .heartbeat_ms
+            .store(self.shared.now_ms(), Ordering::SeqCst);
+    }
+
+    fn cancelled(&self, slot: usize) -> bool {
+        self.shared.slots[slot].cancelled.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.scanner.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A worker's handle on the watchdog for one scenario attempt (no-op when
+/// the watchdog is unarmed).
+#[derive(Clone, Copy)]
+struct AttemptCtx<'a> {
+    watchdog: Option<&'a Watchdog>,
+    slot: usize,
+}
+
+impl AttemptCtx<'_> {
+    /// A context with no watchdog (warm-prefix execution, tests).
+    const NONE: AttemptCtx<'static> = AttemptCtx {
+        watchdog: None,
+        slot: 0,
+    };
+
+    fn arm(&self) {
+        if let Some(w) = self.watchdog {
+            w.arm(self.slot);
+        }
+    }
+
+    fn disarm(&self) {
+        if let Some(w) = self.watchdog {
+            w.disarm(self.slot);
+        }
+    }
+
+    /// Heartbeats and observes a pending cancellation.
+    fn check(&self) -> Result<(), Cancelled> {
+        match self.watchdog {
+            Some(w) => {
+                w.heartbeat(self.slot);
+                if w.cancelled(self.slot) {
+                    Err(Cancelled)
+                } else {
+                    Ok(())
+                }
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Whether the slot has been cancelled (no heartbeat side effect).
+    fn cancelled(&self) -> bool {
+        self.watchdog.is_some_and(|w| w.cancelled(self.slot))
+    }
+
+    fn deadline_s(&self) -> Option<f64> {
+        self.watchdog.map(Watchdog::deadline_s)
     }
 }
 
@@ -751,6 +1470,10 @@ fn warm_key(config: &PlatformConfig, prefix: &[Step]) -> u64 {
 }
 
 /// Runs the settle prefix cold and packages the result for the cache.
+///
+/// Uncancellable by design ([`AttemptCtx::NONE`]): the produced entry is
+/// shared by every sibling scenario with the same key, so it must never
+/// be a partial artifact of one worker's deadline.
 fn warm_prefix(config: &PlatformConfig, prefix: &[Step]) -> WarmEntry {
     let mut p = Platform::new(config.clone());
     let mut out = ScenarioOutcome {
@@ -762,13 +1485,20 @@ fn warm_prefix(config: &PlatformConfig, prefix: &[Step]) -> WarmEntry {
         fault_classes: Vec::new(),
         transitions: Vec::new(),
         capture: None,
+        attempt_errors: Vec::new(),
+        status: ScenarioStatus::Done,
     };
     let mut scratch = Scratch::default();
     let mut aborted = false;
     for step in prefix {
-        if !apply_step(&mut p, step, &mut out, &mut scratch) {
-            aborted = true;
-            break;
+        match apply_step(&mut p, step, &mut out, &mut scratch, AttemptCtx::NONE) {
+            Ok(true) => {}
+            // `Err(Cancelled)` is unreachable with a null context; treat
+            // it like an abort for totality.
+            Ok(false) | Err(Cancelled) => {
+                aborted = true;
+                break;
+            }
         }
     }
     WarmEntry {
@@ -796,14 +1526,46 @@ struct Scratch {
     sensitivity: Option<f64>,
 }
 
-fn run_scenario(
+/// Runs one attempt of one scenario.
+///
+/// `Err` means the attempt was cancelled by the watchdog (a panic
+/// propagates to the caller's `catch_unwind` instead); `Ok` carries the
+/// outcome plus whether the warm cache hit. Chaos injections fire before
+/// the platform is built, so an injected attempt never perturbs
+/// simulation state.
+#[allow(clippy::too_many_arguments)]
+fn run_attempt(
     index: usize,
-    spec: ScenarioSpec,
+    attempt: u32,
+    spec: &ScenarioSpec,
     cache: Option<&WarmCache>,
     hits: &AtomicUsize,
-    trace: Option<TraceRecorder>,
-) -> (ScenarioOutcome, bool, Option<TraceRecorder>) {
-    let mut config = spec.config;
+    collector: Option<&TraceCollector>,
+    ctx: AttemptCtx<'_>,
+    chaos: Option<&ChaosPlan>,
+) -> Result<(ScenarioOutcome, bool), ScenarioError> {
+    if let Some(plan) = chaos {
+        match plan.decide(index, attempt) {
+            ChaosInjection::Panic => {
+                panic!("chaos: injected worker panic (scenario {index}, attempt {attempt})")
+            }
+            ChaosInjection::Stall => {
+                // A hung worker: sleeps until the watchdog cancels the
+                // slot, capped so unsupervised chaos runs still end. The
+                // recorded deadline is the configured limit (min of
+                // watchdog deadline and cap), never measured time.
+                let cap = plan.stall_cap_s.max(0.0);
+                let limit = ctx.deadline_s().map_or(cap, |d| d.min(cap));
+                let t0 = Instant::now();
+                while !ctx.cancelled() && t0.elapsed().as_secs_f64() < cap {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                return Err(ScenarioError::TimedOut { deadline_s: limit });
+            }
+            ChaosInjection::None => {}
+        }
+    }
+    let mut config = spec.config.clone();
     for fault in spec.faults.specs() {
         config.faults.push(*fault);
     }
@@ -823,7 +1585,7 @@ fn run_scenario(
     };
 
     let mut out = ScenarioOutcome {
-        name: spec.name,
+        name: spec.name.clone(),
         index,
         seed,
         metrics: Vec::new(),
@@ -831,25 +1593,41 @@ fn run_scenario(
         fault_classes,
         transitions: Vec::new(),
         capture: None,
+        attempt_errors: Vec::new(),
+        status: ScenarioStatus::Done,
     };
-    let mut trace = trace;
+    let mut trace = collector.map(|c| c.recorder(index as u64 + 1));
     let span = trace.as_mut().map_or(SpanId::NULL, |tr| {
         tr.begin(format!("scenario:{}", out.name), 0.0)
     });
+    if attempt > 0 {
+        if let Some(tr) = trace.as_mut() {
+            tr.annotate(span, "attempt", attempt.to_string());
+        }
+    }
     if let Err(e) = config.validate() {
         // An invalid spec is a scenario result, not a campaign abort.
         out.metrics.push(("config_valid".into(), 0.0));
         out.series.push((format!("error: {e}"), Vec::new()));
-        if let Some(tr) = trace.as_mut() {
+        if let Some(mut tr) = trace.take() {
             tr.annotate(span, "config_valid", "false");
             tr.end(span, 0.0);
+            if let Some(c) = collector {
+                c.merge(tr);
+            }
         }
-        return (out, false, trace);
+        return Ok((out, false));
     }
 
     let prefix = cache.map_or(0, |_| settle_prefix_len(&spec.steps));
     let mut scratch = Scratch::default();
     let mut warm_hit = false;
+    // Warm-cache waits (blocking on a sibling's settle prefix) are not
+    // this scenario's own work: exclude them from the deadline budget by
+    // disarming around the cache access and re-arming after.
+    if prefix > 0 {
+        ctx.disarm();
+    }
     let (mut p, aborted, resume_at) = match cache {
         Some(cache) if prefix > 0 => {
             let slot = cache.slot(warm_key(&config, &spec.steps[..prefix]));
@@ -877,28 +1655,45 @@ fn run_scenario(
         }
         _ => (Platform::new(config), false, 0),
     };
+    if prefix > 0 {
+        ctx.arm();
+    }
     if let Some(mut tr) = trace.take() {
         tr.annotate(span, "warm", if warm_hit { "hit" } else { "miss" });
         p.attach_trace(tr);
     }
+    let mut cancelled = false;
     if !aborted {
         for step in &spec.steps[resume_at..] {
             let t_begin = p.time();
             let step_span = p
                 .trace_mut()
                 .map_or(SpanId::NULL, |tr| tr.begin(step.label(), t_begin));
-            let keep_going = apply_step(&mut p, step, &mut out, &mut scratch);
+            let step_result = apply_step(&mut p, step, &mut out, &mut scratch, ctx);
             let t_end = p.time();
             if let Some(tr) = p.trace_mut() {
                 tr.end(step_span, t_end);
             }
-            if !keep_going {
-                break;
+            match step_result {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(Cancelled) => {
+                    cancelled = true;
+                    break;
+                }
             }
         }
     }
-    if p.time() < spec.duration_s {
-        p.run(spec.duration_s - p.time());
+    if !cancelled && p.time() < spec.duration_s {
+        let remaining = spec.duration_s - p.time();
+        cancelled = run_for(&mut p, remaining, ctx).is_err();
+    }
+    if cancelled {
+        // The attempt's trace recorder dies with the platform: only
+        // completed attempts contribute spans.
+        return Err(ScenarioError::TimedOut {
+            deadline_s: ctx.deadline_s().unwrap_or(0.0),
+        });
     }
     // Deterministic observability results: transitions, capture, and (when
     // a recorder was armed) whether it fired.
@@ -910,50 +1705,78 @@ fn run_scenario(
             f64::from(u8::from(out.capture.is_some())),
         ));
     }
-    let mut trace = p.take_trace();
-    if let Some(tr) = trace.as_mut() {
+    if let Some(mut tr) = p.take_trace() {
         tr.end(span, p.time());
+        if let Some(c) = collector {
+            c.merge(tr);
+        }
     }
-    (out, warm_hit, trace)
+    Ok((out, warm_hit))
+}
+
+/// Advances `p` by `seconds` — identical tick rounding to
+/// [`Platform::run`] — in [`RUN_BLOCK_TICKS`] chunks so a pending
+/// watchdog cancellation is observed between chunks.
+fn run_for(p: &mut Platform, seconds: f64, ctx: AttemptCtx<'_>) -> Result<(), Cancelled> {
+    let mut ticks = (seconds * p.config().dsp_rate.0).round() as u64;
+    while ticks > 0 {
+        ctx.check()?;
+        let block = ticks.min(RUN_BLOCK_TICKS);
+        p.step_block(block);
+        ticks -= block;
+    }
+    Ok(())
 }
 
 /// Steps `p` until `pred` holds or `timeout_s` elapses; returns the
-/// simulation time at which the predicate first held.
+/// simulation time at which the predicate first held. Heartbeats (and
+/// observes cancellation) every [`HEARTBEAT_TICKS`] ticks.
 fn run_until(
     p: &mut Platform,
     timeout_s: f64,
+    ctx: AttemptCtx<'_>,
     mut pred: impl FnMut(&Platform) -> bool,
-) -> Option<f64> {
+) -> Result<Option<f64>, Cancelled> {
     let ticks = (timeout_s * p.config().dsp_rate.0).round() as u64;
-    for _ in 0..ticks {
+    for i in 0..ticks {
+        if i % HEARTBEAT_TICKS == 0 {
+            ctx.check()?;
+        }
         p.step();
         if pred(p) {
-            return Some(p.time());
+            return Ok(Some(p.time()));
         }
     }
-    None
+    Ok(None)
 }
 
 /// Mean rate output (°/s) over `window_s`.
-fn mean_rate(p: &mut Platform, window_s: f64) -> f64 {
+fn mean_rate(p: &mut Platform, window_s: f64, ctx: AttemptCtx<'_>) -> Result<f64, Cancelled> {
     let ticks = ((window_s * p.config().dsp_rate.0).round() as u64).max(1);
     let mut acc = 0.0;
-    for _ in 0..ticks {
+    for i in 0..ticks {
+        if i % HEARTBEAT_TICKS == 0 {
+            ctx.check()?;
+        }
         p.step();
         acc += p.rate_output_dps();
     }
-    acc / ticks as f64
+    Ok(acc / ticks as f64)
 }
 
-/// Runs one step; returns `false` when the remaining steps must be
-/// skipped (bring-up failure).
+/// Runs one step; `Ok(false)` means the remaining steps must be skipped
+/// (bring-up failure), `Err(Cancelled)` that the watchdog cancelled the
+/// attempt. Long uncancellable measurement primitives observe a pending
+/// cancellation at their boundary ([`AttemptCtx::check`]); tick-stepped
+/// loops observe it every [`HEARTBEAT_TICKS`] ticks.
 #[allow(clippy::too_many_lines)]
 fn apply_step(
     p: &mut Platform,
     step: &Step,
     out: &mut ScenarioOutcome,
     scratch: &mut Scratch,
-) -> bool {
+    ctx: AttemptCtx<'_>,
+) -> Result<bool, Cancelled> {
     let push = |out: &mut ScenarioOutcome, name: &str, value: f64| {
         out.metrics.push((name.to_owned(), value));
     };
@@ -962,28 +1785,31 @@ fn apply_step(
             p.bus_mut().watchdog.write16(1, *timeout_cycles);
             p.bus_mut().watchdog.write16(0, 1);
         }
-        Step::WaitReady { timeout_s } => match p.wait_for_ready(*timeout_s) {
-            Some(t) => {
-                push(out, "locked", 1.0);
-                push(out, "turn_on_s", t.0);
-            }
-            None => {
-                push(out, "locked", 0.0);
-                return false;
-            }
-        },
-        Step::WaitSupervisorNormal { timeout_s } => {
-            match run_until(p, *timeout_s, |p| {
-                p.supervisor().state() == SupervisorState::Normal
-            }) {
-                Some(t) => push(out, "supervisor_normal_s", t),
+        Step::WaitReady { timeout_s } => {
+            ctx.check()?;
+            match p.wait_for_ready(*timeout_s) {
+                Some(t) => {
+                    push(out, "locked", 1.0);
+                    push(out, "turn_on_s", t.0);
+                }
                 None => {
-                    push(out, "supervisor_normal_s", -1.0);
-                    return false;
+                    push(out, "locked", 0.0);
+                    return Ok(false);
                 }
             }
         }
-        Step::Run { seconds } => p.run(*seconds),
+        Step::WaitSupervisorNormal { timeout_s } => {
+            match run_until(p, *timeout_s, ctx, |p| {
+                p.supervisor().state() == SupervisorState::Normal
+            })? {
+                Some(t) => push(out, "supervisor_normal_s", t),
+                None => {
+                    push(out, "supervisor_normal_s", -1.0);
+                    return Ok(false);
+                }
+            }
+        }
+        Step::Run { seconds } => run_for(p, *seconds, ctx)?,
         Step::SetRate { dps } => p.set_rate(DegPerSec(*dps)),
         Step::SetTemperature { celsius } => p.set_temperature(Celsius(*celsius)),
         Step::FreezeAgcDrive { resettle_s } => {
@@ -993,17 +1819,18 @@ fn apply_step(
             frozen.agc.kp = 0.0;
             frozen.agc.ki = 1.0e6; // integrator pegs at max_drive = fixed drive
             *p.chain_mut() = ConditioningChain::new(frozen);
-            p.run(*resettle_s);
+            run_for(p, *resettle_s, ctx)?;
         }
         Step::TrimRebalancePhase {
             probe_rate_dps,
             iterations,
         } => {
+            ctx.check()?;
             let phase = trim_rebalance_phase(p, *probe_rate_dps, *iterations);
             push(out, "rebalance_phase_rad", phase);
         }
         Step::MeasureMeanRate { label, window_s } => {
-            let mean = mean_rate(p, *window_s);
+            let mean = mean_rate(p, *window_s, ctx)?;
             push(out, label, mean);
         }
         Step::MeasureSensitivity {
@@ -1012,6 +1839,7 @@ fn apply_step(
             settle_s,
             samples,
         } => {
+            ctx.check()?;
             p.set_rate(DegPerSec(*rate_dps));
             let plus = stats::mean(&p.sample_rate_output(*settle_s, *samples));
             p.set_rate(DegPerSec(-rate_dps));
@@ -1029,7 +1857,7 @@ fn apply_step(
             let mut outs = Vec::with_capacity(rates.len());
             for &r in rates {
                 p.set_rate(DegPerSec(r));
-                p.run(*dwell_s);
+                run_for(p, *dwell_s, ctx)?;
                 outs.push(stats::mean(&p.sample_rate_output(*settle_s, *samples)));
             }
             p.set_rate(DegPerSec(0.0));
@@ -1042,6 +1870,7 @@ fn apply_step(
             rate_points,
             samples_per_point,
         } => {
+            ctx.check()?;
             let mut cfg = CharacterizationConfig::default();
             cfg.rate_points.clone_from(rate_points);
             cfg.samples_per_point = *samples_per_point;
@@ -1052,6 +1881,7 @@ fn apply_step(
             push(out, "nonlinearity_pct_fs", t.nonlinearity_pct_fs);
         }
         Step::MeasureNoiseDensity { samples } => {
+            ctx.check()?;
             let mut cfg = CharacterizationConfig::default();
             cfg.noise_samples = *samples;
             let sensitivity = scratch.sensitivity.unwrap_or(0.005);
@@ -1063,6 +1893,7 @@ fn apply_step(
             seconds,
             settle_s,
         } => {
+            ctx.check()?;
             let fs = p.output_sample_rate();
             let n = (seconds * fs).round() as usize;
             let volts = p.sample_output(*settle_s, n);
@@ -1078,13 +1909,13 @@ fn apply_step(
             recover_budget_s,
             measure_recovery,
         } => {
-            let baseline = mean_rate(p, 0.05);
+            let baseline = mean_rate(p, 0.05, ctx)?;
             push(out, "baseline_dps", baseline);
             // Detection: first departure from Normal after injection.
             let detect_window = (t_inject_s - p.time()).max(0.0) + detect_budget_s;
-            let detected_at = run_until(p, detect_window, |p| {
+            let detected_at = run_until(p, detect_window, ctx, |p| {
                 p.supervisor().state() != SupervisorState::Normal
-            });
+            })?;
             match detected_at {
                 Some(t) => {
                     push(out, "detected", 1.0);
@@ -1095,16 +1926,16 @@ fn apply_step(
             if detected_at.is_some() && *measure_recovery {
                 // Recovery: first return to Normal after the fault clears.
                 let remaining = (t_clear_s - p.time()).max(0.0) + recover_budget_s;
-                match run_until(p, remaining, |p| {
+                match run_until(p, remaining, ctx, |p| {
                     p.supervisor().state() == SupervisorState::Normal
-                }) {
+                })? {
                     Some(t) => {
                         push(out, "recovered", 1.0);
                         push(out, "recovery_time_s", (t - t_clear_s).max(0.0));
                         push(
                             out,
                             "residual_rate_dps",
-                            (mean_rate(p, 0.1) - baseline).abs(),
+                            (mean_rate(p, 0.1, ctx)? - baseline).abs(),
                         );
                     }
                     None => push(out, "recovered", 0.0),
@@ -1113,7 +1944,7 @@ fn apply_step(
             push(out, "final_state_code", p.supervisor().state().code());
         }
     }
-    true
+    Ok(true)
 }
 
 #[cfg(test)]
@@ -1259,10 +2090,94 @@ mod tests {
     fn csv_and_telemetry_carry_the_metrics() {
         let report = CampaignRunner::new().with_threads(1).run(quick_scenarios());
         let csv = report.to_csv();
-        assert!(csv.starts_with("scenario,metric,value\n"));
+        assert!(csv.starts_with("scenario,metric,value,status\n"));
         assert!(csv.contains("a,mean_dps,"));
+        assert!(csv.lines().skip(1).all(|l| l.ends_with(",ok")));
         let snap = report.to_telemetry();
         assert_eq!(snap.wall_time_s, 0.0);
         assert!(snap.gauge("a.mean_dps").is_some());
+        assert_eq!(snap.counter("campaign.retries_total"), 0);
+        assert_eq!(snap.counter("campaign.poisoned_scenarios"), 0);
+    }
+
+    #[test]
+    fn chaos_decisions_are_deterministic_and_expire() {
+        let plan = ChaosPlan::new(0xC0FFEE);
+        for index in 0..64 {
+            assert_eq!(plan.decide(index, 0), plan.decide(index, 0));
+            assert_eq!(plan.decide(index, 1), ChaosInjection::None);
+        }
+        let wider = plan.clone().with_persist_attempts(2);
+        for index in 0..64 {
+            assert_eq!(wider.decide(index, 1), wider.decide(index, 0));
+            assert_eq!(wider.decide(index, 2), ChaosInjection::None);
+        }
+    }
+
+    #[test]
+    fn scenario_error_taxonomy_is_stable() {
+        let panicked = ScenarioError::Panicked {
+            message: "boom".into(),
+        };
+        let timed_out = ScenarioError::TimedOut { deadline_s: 1.5 };
+        assert_eq!(panicked.label(), "panicked");
+        assert_eq!(timed_out.label(), "timed_out");
+        assert_eq!(ScenarioError::Missing.label(), "missing");
+        assert_eq!(panicked.code(), 1.0);
+        assert_eq!(timed_out.code(), 2.0);
+        assert_eq!(ScenarioError::Missing.code(), 3.0);
+        assert!(panicked.to_string().contains("boom"));
+        assert!(timed_out.to_string().contains("1.5"));
+    }
+
+    /// A chaos seed whose decision for scenario 0 is `wanted`.
+    fn chaos_seed_with(wanted: ChaosInjection) -> u64 {
+        (0..1024)
+            .find(|&s| ChaosPlan::new(s).decide(0, 0) == wanted)
+            .expect("some seed produces the wanted injection")
+    }
+
+    #[test]
+    fn poisoned_scenarios_ship_as_failed_rows_not_aborts() {
+        let seed = chaos_seed_with(ChaosInjection::Panic);
+        let report = CampaignRunner::new()
+            .with_threads(2)
+            .with_retries(0)
+            .with_chaos(ChaosPlan::new(seed).with_stall_cap_s(0.05))
+            .run(quick_scenarios());
+        assert_eq!(report.outcomes.len(), 2, "pool must drain past the panic");
+        let poisoned = &report.outcomes[0];
+        assert!(poisoned.failed());
+        assert!(poisoned.metrics.is_empty());
+        assert_eq!(poisoned.attempt_errors.len(), 1);
+        assert_eq!(poisoned.attempt_errors[0].label(), "panicked");
+        let csv = report.to_csv();
+        assert!(csv.contains("a,scenario_error,1,poisoned"));
+        assert!(csv.contains("a,scenario_attempts,1,poisoned"));
+        assert_eq!(report.poisoned(), report.failed_scenarios().len());
+        assert_eq!(report.panics_total(), 1);
+        assert_eq!(
+            report.to_telemetry().counter("campaign.poisoned_scenarios"),
+            report.poisoned() as u64
+        );
+    }
+
+    #[test]
+    fn retry_makes_chaos_byte_identical_to_undisturbed() {
+        let seed = chaos_seed_with(ChaosInjection::Panic);
+        let clean = CampaignRunner::new().with_threads(2).run(quick_scenarios());
+        let chaotic = CampaignRunner::new()
+            .with_threads(2)
+            .with_retries(1)
+            .with_backoff_ms(1)
+            .with_chaos(ChaosPlan::new(seed).with_stall_cap_s(0.05))
+            .run(quick_scenarios());
+        assert_eq!(chaotic.poisoned(), 0, "one retry must absorb the chaos");
+        assert!(chaotic.retries_total() >= 1, "chaos must have fired");
+        assert_eq!(clean.to_csv(), chaotic.to_csv());
+        for (a, b) in clean.outcomes.iter().zip(&chaotic.outcomes) {
+            assert_eq!(a.metrics, b.metrics);
+            assert_eq!(a.seed, b.seed, "retry must not re-derive the seed");
+        }
     }
 }

@@ -22,7 +22,11 @@
 //!   (ADXRS300, Gyrostar);
 //! - [`report`] — digital-complexity accounting (the 200 kgate claim).
 //! - [`campaign`] — scenario campaigns on the parallel worker pool
-//!   (declarative experiment sweeps; the bench bins are scenario lists).
+//!   (declarative experiment sweeps; the bench bins are scenario lists),
+//!   executed under a fault-tolerant supervision layer (panic isolation,
+//!   deadline watchdog, deterministic retry, chaos injection).
+//! - [`journal`] — crash-recoverable campaign journal (append-only
+//!   outcome records; `CampaignRunner::resume` merges byte-identically).
 pub mod baseline;
 pub mod calibrate;
 pub mod campaign;
@@ -31,6 +35,7 @@ pub mod characterize;
 pub mod checkpoint;
 pub mod coverage;
 pub mod firmware;
+pub mod journal;
 pub mod platform;
 pub mod registers;
 pub mod report;
@@ -49,9 +54,11 @@ pub mod verify;
 /// ```
 pub mod prelude {
     pub use crate::campaign::{
-        CampaignReport, CampaignRunner, ScenarioOutcome, ScenarioSpec, Step,
+        CampaignReport, CampaignRunner, ChaosPlan, ScenarioError, ScenarioOutcome, ScenarioSpec,
+        ScenarioStatus, Step,
     };
     pub use crate::chain::SenseMode;
+    pub use crate::journal::JournalError;
     pub use crate::platform::{ConfigError, Platform, PlatformConfig, PlatformConfigBuilder};
     pub use crate::supervisor::{SupervisorConfig, SupervisorState};
     pub use ascp_sim::fault::{AdcChannel, FaultKind, FaultPlan, FaultSpec};

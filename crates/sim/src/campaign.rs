@@ -15,6 +15,15 @@
 //! and the result vector is ordered by that index. Under those rules
 //! `parallel_map(items, 1, f) == parallel_map(items, n, f)` for every `n`.
 //!
+//! Fault tolerance: a panicking work item must never take the pool down
+//! with it. [`try_parallel_map`] catches each item's panic and returns a
+//! per-slot [`Result`] — sibling items keep running, the queue mutex is
+//! never left poisoned (workers recover a poisoned lock instead of
+//! cascading), and a slot that somehow produced no result decodes as
+//! [`MapError::Missing`] instead of a second panic during reassembly.
+//! [`parallel_map`] keeps the infallible signature by re-raising the first
+//! failure *after* the pool has drained.
+//!
 //! # Example
 //!
 //! ```
@@ -24,8 +33,10 @@
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Number of hardware threads available to the process (at least 1).
 ///
@@ -35,24 +46,70 @@ pub fn available_parallelism() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
+/// Why one work item of a [`try_parallel_map`] call produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The closure panicked on this item; the payload's message is
+    /// captured. Sibling items are unaffected.
+    Panicked {
+        /// Panic payload rendered as text (`&str` / `String` payloads are
+        /// passed through, anything else becomes a placeholder).
+        message: String,
+    },
+    /// The item's result never arrived — a worker died without reporting.
+    /// Should be unreachable given the panic capture, kept as a typed
+    /// error so reassembly can never panic.
+    Missing,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Panicked { message } => write!(f, "work item panicked: {message}"),
+            Self::Missing => write!(f, "work item produced no result"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Renders a caught panic payload as text.
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+///
+/// The queue and result channels only hand out ownership of work items —
+/// there is no invariant a panicking worker could have half-updated, so
+/// the poison flag carries no information here and clearing it keeps
+/// sibling workers alive.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Maps `f` over `items` on a pool of `threads` worker threads, returning
-/// the results in input order.
+/// per-item results in input order: `Ok` for items that completed, a typed
+/// [`MapError`] for items whose closure panicked.
 ///
 /// Work is distributed through a channel work queue: each worker pulls the
 /// next `(index, item)` pair when it finishes its previous one, so long
 /// items never stall the queue behind short ones. `threads` is clamped to
 /// `1..=items.len()`; with one thread (or one item) the map runs inline on
-/// the calling thread with no pool at all.
+/// the calling thread with no pool at all (panics are still captured, so
+/// the single-threaded path honors the same isolation contract).
 ///
 /// The closure receives the item's input index so it can derive
 /// per-item deterministic seeds; see the module docs for the determinism
 /// contract.
-///
-/// # Panics
-///
-/// Propagates a panic from any worker thread after the pool has drained
-/// (via `std::thread::scope`).
-pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+pub fn try_parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<Result<R, MapError>>
 where
     T: Send,
     R: Send,
@@ -60,11 +117,16 @@ where
 {
     let n = items.len();
     let threads = threads.clamp(1, n.max(1));
+    let guarded = |idx: usize, item: T| -> Result<R, MapError> {
+        catch_unwind(AssertUnwindSafe(|| f(idx, item))).map_err(|payload| MapError::Panicked {
+            message: panic_message(payload.as_ref()),
+        })
+    };
     if threads <= 1 {
         return items
             .into_iter()
             .enumerate()
-            .map(|(i, item)| f(i, item))
+            .map(|(i, item)| guarded(i, item))
             .collect();
     }
 
@@ -77,18 +139,22 @@ where
     drop(work_tx);
     let work_rx = Mutex::new(work_rx);
 
-    let (done_tx, done_rx) = mpsc::channel::<(usize, R)>();
+    let (done_tx, done_rx) = mpsc::channel::<(usize, Result<R, MapError>)>();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let work_rx = &work_rx;
             let done_tx = done_tx.clone();
-            let f = &f;
+            let guarded = &guarded;
             scope.spawn(move || loop {
-                // Hold the queue lock only for the pull, not the work.
-                let job = work_rx.lock().expect("queue lock").recv();
+                // Hold the queue lock only for the pull, not the work. A
+                // sibling that panicked while holding it (it cannot — the
+                // guard is dropped before the closure runs — but defense
+                // in depth) must not cascade, so the poison flag is
+                // cleared rather than propagated.
+                let job = lock_unpoisoned(work_rx).recv();
                 match job {
                     Ok((idx, item)) => {
-                        if done_tx.send((idx, f(idx, item))).is_err() {
+                        if done_tx.send((idx, guarded(idx, item))).is_err() {
                             break;
                         }
                     }
@@ -99,14 +165,43 @@ where
         drop(done_tx);
     });
 
-    // Reassemble in input order regardless of completion order.
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    // Reassemble in input order regardless of completion order. A slot no
+    // worker reported decodes as an error, never a reassembly panic.
+    let mut slots: Vec<Option<Result<R, MapError>>> = (0..n).map(|_| None).collect();
     for (idx, result) in done_rx {
         slots[idx] = Some(result);
     }
     slots
         .into_iter()
-        .map(|slot| slot.expect("every work item produced a result"))
+        .map(|slot| slot.unwrap_or(Err(MapError::Missing)))
+        .collect()
+}
+
+/// Maps `f` over `items` on a pool of `threads` worker threads, returning
+/// the results in input order.
+///
+/// Infallible facade over [`try_parallel_map`]: use it when the closure
+/// cannot fail. See [`try_parallel_map`] for the scheduling and
+/// determinism contract.
+///
+/// # Panics
+///
+/// Re-raises the first item's captured panic **after** the pool has
+/// drained — sibling items still complete, and the internal queue mutex
+/// is never left poisoned for them.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    try_parallel_map(items, threads, f)
+        .into_iter()
+        .enumerate()
+        .map(|(idx, slot)| match slot {
+            Ok(r) => r,
+            Err(e) => panic!("parallel_map item {idx}: {e}"),
+        })
         .collect()
 }
 
@@ -162,5 +257,68 @@ mod tests {
     #[test]
     fn parallelism_is_at_least_one() {
         assert!(available_parallelism() >= 1);
+    }
+
+    /// One panicking item must not take its siblings (or the queue mutex)
+    /// with it: every other slot still completes, at any thread count.
+    #[test]
+    fn panic_is_isolated_to_its_slot() {
+        for threads in [1, 2, 4, 8] {
+            let out = try_parallel_map((0u64..16).collect(), threads, |_, x| {
+                assert!(x != 5, "injected panic on item 5");
+                x * 2
+            });
+            assert_eq!(out.len(), 16);
+            for (i, slot) in out.iter().enumerate() {
+                if i == 5 {
+                    match slot {
+                        Err(MapError::Panicked { message }) => {
+                            assert!(message.contains("injected panic"), "{message}");
+                        }
+                        other => panic!("slot 5 should be Panicked, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(*slot, Ok(i as u64 * 2), "sibling slot {i} lost");
+                }
+            }
+        }
+    }
+
+    /// Several concurrent panics drain cleanly too (regression for the
+    /// poisoned-queue cascade).
+    #[test]
+    fn many_panics_still_drain_the_queue() {
+        let out = try_parallel_map((0u32..40).collect(), 4, |_, x| {
+            assert!(x % 3 != 0, "boom {x}");
+            x
+        });
+        let ok = out.iter().filter(|s| s.is_ok()).count();
+        let failed = out.iter().filter(|s| s.is_err()).count();
+        assert_eq!(ok, 26);
+        assert_eq!(failed, 14);
+    }
+
+    /// The infallible facade still propagates a panic — but only after the
+    /// pool has drained, and with the item index in the message.
+    #[test]
+    fn parallel_map_reraises_after_drain() {
+        let completed = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map((0u64..8).collect(), 2, |_, x| {
+                assert!(x != 3, "late failure");
+                completed.fetch_add(1, Ordering::SeqCst);
+                x
+            })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        assert!(panic_message(payload.as_ref()).contains("item 3"));
+        assert_eq!(completed.load(Ordering::SeqCst), 7, "siblings must finish");
+    }
+
+    #[test]
+    fn panic_message_renders_common_payloads() {
+        assert_eq!(panic_message(&"boom"), "boom");
+        assert_eq!(panic_message(&String::from("heap boom")), "heap boom");
+        assert_eq!(panic_message(&42u32), "non-string panic payload");
     }
 }

@@ -40,6 +40,41 @@ echo "== fault campaign (smoke: detection + coverage vs committed baseline) =="
 # committed COVERAGE_fault_campaign.csv baseline goes dark.
 cargo run --release -q -p ascp-bench --bin fault_campaign -- --smoke --threads 4 \
     --check-coverage COVERAGE_fault_campaign.csv
+cp target/experiments/fault_campaign.csv target/experiments/fault_campaign.reference.csv
+
+echo "== chaos campaign (seeded worker panics + stalls; retry must make it invisible) =="
+# The supervision layer's chaos mode injects worker panics and stalls;
+# every scenario must recover on its deterministic retry, so the CSV is
+# byte-identical to the undisturbed smoke run above.
+cargo run --release -q -p ascp-bench --bin fault_campaign -- --chaos --smoke --threads 4
+cmp target/experiments/fault_campaign.csv target/experiments/fault_campaign.reference.csv \
+    || { echo "chaos campaign CSV differs from the undisturbed run" >&2; exit 1; }
+
+echo "== exit-code taxonomy (0 ok, 1 scenario failures, 2 infra errors) =="
+# An unwritable journal path is an infrastructure error: exit 2, no sweep.
+set +e
+target/release/fault_campaign --smoke --journal /nonexistent/dir/fc.journal >/dev/null 2>&1
+infra_code=$?
+set -e
+[ "$infra_code" -eq 2 ] \
+    || { echo "expected exit 2 for journal infra error, got $infra_code" >&2; exit 1; }
+
+echo "== kill -9 + resume (crash-recoverable journal) =="
+# SIGKILL the campaign mid-run, then re-run the same command line: the
+# journal resumes the completed scenarios and the merged CSV must be
+# byte-identical to the undisturbed run. The binary is exec'd directly so
+# the kill hits the campaign process, not a cargo wrapper.
+JOURNAL=target/experiments/kill_resume.journal
+rm -f "$JOURNAL"
+target/release/fault_campaign --smoke --threads 4 --journal "$JOURNAL" >/dev/null 2>&1 &
+campaign_pid=$!
+sleep 2
+kill -9 "$campaign_pid" 2>/dev/null || true
+wait "$campaign_pid" 2>/dev/null || true
+target/release/fault_campaign --smoke --threads 4 --journal "$JOURNAL"
+cmp target/experiments/fault_campaign.csv target/experiments/fault_campaign.reference.csv \
+    || { echo "resumed campaign CSV differs from the undisturbed run" >&2; exit 1; }
+rm -f "$JOURNAL"
 
 echo "== kernel benches (short mode: build + run smoke, perf guard) =="
 # --short shrinks the measurement protocol ~10x; --check compares the
@@ -48,6 +83,7 @@ echo "== kernel benches (short mode: build + run smoke, perf guard) =="
 cargo bench -p ascp-bench --bench platform_sim -- --short --check BENCH_platform_sim.json
 cargo bench -p ascp-bench --bench dsp_blocks -- --short
 cargo bench -p ascp-bench --bench campaign_warmstart -- --short
+cargo bench -p ascp-bench --bench campaign_supervised -- --short
 
 if [ "$RUN_DOCS" = 1 ]; then
     echo "== cargo doc (rustdoc warnings are errors) =="
