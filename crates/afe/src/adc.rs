@@ -8,7 +8,7 @@
 //! input-referred noise, offset/gain error, and hard clipping at the rails.
 
 use ascp_dsp::fixed::Q15;
-use ascp_sim::noise::WhiteNoise;
+use ascp_sim::noise::{WhiteLanes, WhiteNoise};
 use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 use ascp_sim::units::Volts;
 
@@ -327,6 +327,169 @@ impl SarAdc {
     }
 }
 
+/// Lane-parallel SAR ADC kernel: batched thermal-noise draws plus the
+/// per-lane conversion pipeline of [`SarAdc::convert_q15`], expression for
+/// expression (INL bow, seeded DNL lookup, clip accounting,
+/// left-justification into Q15).
+///
+/// Extraction refuses converters with an active injected fault — faulted
+/// scenarios take the scalar path, keeping the fault logic in one place.
+#[derive(Debug, Clone)]
+pub struct AdcLanes {
+    half: Vec<f64>,
+    offset: Vec<f64>,
+    gain: Vec<f64>,
+    inl_lsb: Vec<f64>,
+    lsb: Vec<f64>,
+    vref_eff: Vec<f64>,
+    shift: Vec<u32>,
+    /// Per-lane seeded DNL tables, cloned once at extraction.
+    dnl: Vec<Vec<f64>>,
+    conversions: Vec<u64>,
+    clips: Vec<u64>,
+    noise: WhiteLanes,
+    draw: Vec<f64>,
+    /// Scratch: pre-DNL fractional codes between the two convert passes.
+    ideal: Vec<f64>,
+}
+
+impl AdcLanes {
+    /// Captures N converters for lockstep conversion.
+    ///
+    /// Returns `None` if any converter has an active fault or the noise
+    /// generators are not phase-uniform.
+    pub fn extract<'a>(adcs: impl Iterator<Item = &'a SarAdc>) -> Option<Self> {
+        let cs: Vec<&SarAdc> = adcs.collect();
+        if cs.iter().any(|a| a.fault.is_some()) {
+            return None;
+        }
+        let noise = WhiteLanes::extract(cs.iter().map(|a| &a.noise))?;
+        let n = cs.len();
+        let mut lanes = Self {
+            half: Vec::with_capacity(n),
+            offset: Vec::with_capacity(n),
+            gain: Vec::with_capacity(n),
+            inl_lsb: Vec::with_capacity(n),
+            lsb: Vec::with_capacity(n),
+            vref_eff: Vec::with_capacity(n),
+            shift: Vec::with_capacity(n),
+            dnl: Vec::with_capacity(n),
+            conversions: Vec::with_capacity(n),
+            clips: Vec::with_capacity(n),
+            noise,
+            draw: vec![0.0; n],
+            ideal: vec![0.0; n],
+        };
+        for a in &cs {
+            let c = &a.config;
+            lanes.half.push((1i64 << (c.bits - 1)) as f64);
+            lanes.offset.push(c.offset.0);
+            lanes.gain.push(c.gain);
+            lanes.inl_lsb.push(c.inl_lsb);
+            lanes.lsb.push(a.lsb());
+            lanes.vref_eff.push(c.vref.0 * a.ref_scale);
+            lanes.shift.push(15 - (c.bits - 1));
+            lanes.dnl.push(a.dnl.clone());
+            lanes.conversions.push(a.conversions);
+            lanes.clips.push(a.clips);
+        }
+        Some(lanes)
+    }
+
+    /// Cheaply re-synchronizes an extracted kernel with its source
+    /// converters, skipping the per-lane DNL table clone (the expensive
+    /// part of [`AdcLanes::extract`] — up to `2^bits` entries per lane).
+    ///
+    /// Sound because the DNL table is a pure function of the converter's
+    /// seeded configuration: as long as the resolution is unchanged, the
+    /// tables captured at extraction are still exact. Returns `false` —
+    /// and leaves `self` unmodified — when the caller must fall back to a
+    /// full re-extraction: a converter was rebuilt at a different
+    /// resolution, carries an active fault, or the noise generators lost
+    /// phase uniformity.
+    pub fn refresh<'a>(&mut self, adcs: impl Iterator<Item = &'a SarAdc>) -> bool {
+        let cs: Vec<&SarAdc> = adcs.collect();
+        if cs.len() != self.half.len() || cs.iter().any(|a| a.fault.is_some()) {
+            return false;
+        }
+        if cs
+            .iter()
+            .zip(&self.dnl)
+            .any(|(a, dnl)| dnl.len() != a.dnl.len())
+        {
+            return false;
+        }
+        let Some(noise) = WhiteLanes::extract(cs.iter().map(|a| &a.noise)) else {
+            return false;
+        };
+        self.noise = noise;
+        for (l, a) in cs.into_iter().enumerate() {
+            let c = &a.config;
+            self.half[l] = (1i64 << (c.bits - 1)) as f64;
+            self.offset[l] = c.offset.0;
+            self.gain[l] = c.gain;
+            self.inl_lsb[l] = c.inl_lsb;
+            self.lsb[l] = a.lsb();
+            self.vref_eff[l] = c.vref.0 * a.ref_scale;
+            self.shift[l] = 15 - (c.bits - 1);
+            self.conversions[l] = a.conversions;
+            self.clips[l] = a.clips;
+        }
+        true
+    }
+
+    /// Writes noise state and the conversion/clip counters back.
+    pub fn restore<'a>(&self, adcs: impl Iterator<Item = &'a mut SarAdc>) {
+        let mut cs: Vec<&mut SarAdc> = adcs.collect();
+        self.noise.restore(cs.iter_mut().map(|a| &mut a.noise));
+        for (l, a) in cs.into_iter().enumerate() {
+            a.conversions = self.conversions[l];
+            a.clips = self.clips[l];
+        }
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.half.len()
+    }
+
+    /// Converts one voltage per lane into left-justified Q15 raw codes.
+    #[inline]
+    pub fn convert_q15(&mut self, input: &[f64], out: &mut [i32]) {
+        let n = self.half.len();
+        self.noise.sample(&mut self.draw);
+        // Pass 1 (auto-vectorizes): the analog front — offset, gain,
+        // thermal noise, INL bow — down to the ideal fractional code.
+        for (l, &x) in input.iter().enumerate().take(n) {
+            let mut v = (x + self.offset[l]) * self.gain[l] + self.draw[l];
+            let vref = self.vref_eff[l];
+            let u = (v / vref).clamp(-1.0, 1.0);
+            v += self.inl_lsb[l] * (1.0 - u * u) * self.lsb[l];
+            self.ideal[l] = (v / vref) * self.half[l];
+        }
+        // Pass 2 (scalar): decision rounding plus the seeded per-code DNL
+        // perturbation — `round` (half away from zero) and the data-
+        // dependent table gather have no AVX2 lowering, so isolating them
+        // here is what lets pass 1 vectorize.
+        for (l, o) in out.iter_mut().enumerate().take(n) {
+            self.conversions[l] += 1;
+            let half = self.half[l];
+            let ideal = self.ideal[l];
+            let mut code = ideal.round();
+            let idx = (code + half) as isize;
+            if idx >= 0 && (idx as usize) < self.dnl[l].len() {
+                code = (ideal + self.dnl[l][idx as usize]).round();
+            }
+            if code < -half || code > half - 1.0 {
+                self.clips[l] += 1;
+            }
+            let code = code.clamp(-half, half - 1.0) as i32;
+            *o = code << self.shift[l];
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,5 +652,51 @@ mod tests {
             bits: 20,
             ..AdcConfig::default()
         });
+    }
+
+    #[test]
+    fn adc_lanes_match_scalar_bit_for_bit() {
+        // Mixed resolutions and error terms per lane, clipping included.
+        let mut scalars: Vec<SarAdc> = (0..6)
+            .map(|i| {
+                SarAdc::new(AdcConfig {
+                    bits: 10 + (i as u32 % 4) * 2,
+                    inl_lsb: 0.5 * i as f64,
+                    seed: 0xadc0 ^ (i as u64) << 5,
+                    ..AdcConfig::default()
+                })
+            })
+            .collect();
+        let mut lanes = AdcLanes::extract(scalars.iter()).expect("no faults");
+        let mut reference = scalars.clone();
+        let mut input = vec![0.0; 6];
+        let mut out = vec![0i32; 6];
+        for k in 0..500u64 {
+            for (l, v) in input.iter_mut().enumerate() {
+                // Sweep through the range, hitting the rails sometimes.
+                *v = 3.0 * (0.13 * (k as f64 + l as f64)).sin();
+            }
+            lanes.convert_q15(&input, &mut out);
+            for (l, a) in reference.iter_mut().enumerate() {
+                assert_eq!(
+                    a.convert_q15(Volts(input[l])).raw(),
+                    out[l],
+                    "lane {l} tick {k}"
+                );
+            }
+        }
+        lanes.restore(scalars.iter_mut());
+        for (a, b) in scalars.iter_mut().zip(reference.iter_mut()) {
+            assert_eq!(a.convert_q15(Volts(0.5)), b.convert_q15(Volts(0.5)));
+            assert_eq!(a.conversions(), b.conversions());
+            assert_eq!(a.clips(), b.clips());
+        }
+    }
+
+    #[test]
+    fn adc_lanes_reject_active_faults() {
+        let mut adc = SarAdc::new(AdcConfig::default());
+        adc.set_fault(Some(AdcFault::StuckCode { code: 7 }));
+        assert!(AdcLanes::extract(std::iter::once(&adc)).is_none());
     }
 }

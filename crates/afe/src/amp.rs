@@ -10,7 +10,7 @@
 //! its temperature drift (null stability), input-referred white + flicker
 //! noise (rate noise density), and rail saturation.
 
-use ascp_sim::noise::{PinkNoise, WhiteNoise};
+use ascp_sim::noise::{PinkLanes, PinkNoise, WhiteLanes, WhiteNoise};
 use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 use ascp_sim::units::{Celsius, Volts};
 
@@ -232,6 +232,136 @@ impl ChargeAmplifier {
     }
 }
 
+/// Lane-parallel PGA kernel: N amplifiers in lockstep with batched noise
+/// and per-lane cached pole coefficients.
+///
+/// The one-pole update and clamp are the exact expressions of
+/// [`Pga::process`]; the `alpha` coefficient (an `exp` per scalar call) is
+/// precomputed per lane for the fixed fleet `dt` — the same pure function
+/// of the same inputs, hence the same bits.
+#[derive(Debug, Clone)]
+pub struct PgaLanes {
+    gain: Vec<f64>,
+    offset_eff: Vec<f64>,
+    alpha: Vec<f64>,
+    state: Vec<f64>,
+    rail: Vec<f64>,
+    white: WhiteLanes,
+    pink: PinkLanes,
+    w_draw: Vec<f64>,
+    p_draw: Vec<f64>,
+}
+
+impl PgaLanes {
+    /// Captures N PGAs for lockstep processing at sample interval `dt`.
+    ///
+    /// Returns `None` if the noise generators are not phase-uniform.
+    pub fn extract<'a>(pgas: impl Iterator<Item = &'a Pga>, dt: f64) -> Option<Self> {
+        let ps: Vec<&Pga> = pgas.collect();
+        let white = WhiteLanes::extract(ps.iter().map(|p| &p.white))?;
+        let pink = PinkLanes::extract(ps.iter().map(|p| &p.pink))?;
+        let n = ps.len();
+        let mut lanes = Self {
+            gain: Vec::with_capacity(n),
+            offset_eff: Vec::with_capacity(n),
+            alpha: Vec::with_capacity(n),
+            state: Vec::with_capacity(n),
+            rail: Vec::with_capacity(n),
+            white,
+            pink,
+            w_draw: vec![0.0; n],
+            p_draw: vec![0.0; n],
+        };
+        for p in &ps {
+            lanes.gain.push(p.gain());
+            lanes.offset_eff.push(p.effective_offset().0);
+            lanes
+                .alpha
+                .push(1.0 - (-2.0 * std::f64::consts::PI * p.bandwidth * dt).exp());
+            lanes.state.push(p.state);
+            lanes.rail.push(p.rail.0);
+        }
+        Some(lanes)
+    }
+
+    /// Writes filter state and noise generators back.
+    pub fn restore<'a>(&self, pgas: impl Iterator<Item = &'a mut Pga>) {
+        let mut ps: Vec<&mut Pga> = pgas.collect();
+        self.white.restore(ps.iter_mut().map(|p| &mut p.white));
+        self.pink.restore(ps.iter_mut().map(|p| &mut p.pink));
+        for (l, p) in ps.into_iter().enumerate() {
+            p.state = self.state[l];
+        }
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.gain.len()
+    }
+
+    /// Processes one sample per lane.
+    #[inline]
+    pub fn process(&mut self, input: &[f64], out: &mut [f64]) {
+        let n = self.gain.len();
+        self.white.sample(&mut self.w_draw);
+        self.pink.sample(&mut self.p_draw);
+        for l in 0..n {
+            let x = input[l] + self.offset_eff[l] + self.w_draw[l] + self.p_draw[l];
+            let y_target = x * self.gain[l];
+            self.state[l] += self.alpha[l] * (y_target - self.state[l]);
+            out[l] = self.state[l].clamp(-self.rail[l], self.rail[l]);
+        }
+    }
+}
+
+/// Lane-parallel charge-amplifier kernel (batched noise + SoA convert).
+#[derive(Debug, Clone)]
+pub struct ChargeLanes {
+    gain: Vec<f64>,
+    rail: Vec<f64>,
+    noise: WhiteLanes,
+    draw: Vec<f64>,
+}
+
+impl ChargeLanes {
+    /// Captures N charge amps; `None` if noise phases are not uniform.
+    pub fn extract<'a>(amps: impl Iterator<Item = &'a ChargeAmplifier>) -> Option<Self> {
+        let cs: Vec<&ChargeAmplifier> = amps.collect();
+        let noise = WhiteLanes::extract(cs.iter().map(|c| &c.noise))?;
+        let n = cs.len();
+        Some(Self {
+            gain: cs.iter().map(|c| c.gain).collect(),
+            rail: cs.iter().map(|c| c.rail.0).collect(),
+            noise,
+            draw: vec![0.0; n],
+        })
+    }
+
+    /// Writes the noise generators back (gain and rails are configuration).
+    pub fn restore<'a>(&self, amps: impl Iterator<Item = &'a mut ChargeAmplifier>) {
+        let mut cs: Vec<&mut ChargeAmplifier> = amps.collect();
+        self.noise.restore(cs.iter_mut().map(|c| &mut c.noise));
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.gain.len()
+    }
+
+    /// Converts one displacement sample per lane.
+    #[inline]
+    pub fn convert(&mut self, displacement: &[f64], out: &mut [f64]) {
+        let n = self.gain.len();
+        self.noise.sample(&mut self.draw);
+        for l in 0..n {
+            out[l] =
+                (displacement[l] * self.gain[l] + self.draw[l]).clamp(-self.rail[l], self.rail[l]);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,5 +466,67 @@ mod tests {
         let mut pga = quiet_pga();
         pga.set_bandwidth(5_000.0);
         assert_eq!(pga.bandwidth(), 5_000.0);
+    }
+
+    #[test]
+    fn pga_lanes_match_scalar_bit_for_bit() {
+        for n in [1usize, 3, 8] {
+            let mut scalars: Vec<Pga> = (0..n)
+                .map(|i| {
+                    let mut p = Pga::new(
+                        200_000.0 * (1.0 + 0.01 * i as f64),
+                        100.0e-6 * (i as f64 + 1.0),
+                        2.0e-6,
+                        20.0e-6,
+                        42 ^ (i as u64) << 4,
+                    );
+                    p.set_gain_code((i % 4) as u8);
+                    p.set_temperature(Celsius(25.0 + 10.0 * i as f64));
+                    p
+                })
+                .collect();
+            let mut lanes = PgaLanes::extract(scalars.iter(), DT).expect("uniform phase");
+            let mut reference = scalars.clone();
+            let mut input = vec![0.0; n];
+            let mut out = vec![0.0; n];
+            for k in 0..600u64 {
+                for (l, x) in input.iter_mut().enumerate() {
+                    *x = 0.01 * (0.05 * (k as f64 + l as f64)).sin();
+                }
+                lanes.process(&input, &mut out);
+                for (l, p) in reference.iter_mut().enumerate() {
+                    let y = p.process(Volts(input[l]), DT);
+                    assert_eq!(y.0.to_bits(), out[l].to_bits(), "lane {l} tick {k}");
+                }
+            }
+            lanes.restore(scalars.iter_mut());
+            for (a, b) in scalars.iter_mut().zip(reference.iter_mut()) {
+                assert_eq!(a.process(Volts(0.02), DT), b.process(Volts(0.02), DT));
+            }
+        }
+    }
+
+    #[test]
+    fn charge_lanes_match_scalar_bit_for_bit() {
+        let mut scalars: Vec<ChargeAmplifier> = (0..5)
+            .map(|i| ChargeAmplifier::new(1.0e7, 50.0e-6, 7 ^ (i as u64) << 3))
+            .collect();
+        let mut lanes = ChargeLanes::extract(scalars.iter()).expect("uniform phase");
+        let mut reference = scalars.clone();
+        let mut disp = vec![0.0; 5];
+        let mut out = vec![0.0; 5];
+        for k in 0..400u64 {
+            for (l, d) in disp.iter_mut().enumerate() {
+                *d = 1.0e-8 * (0.2 * (k as f64 - l as f64)).cos();
+            }
+            lanes.convert(&disp, &mut out);
+            for (l, c) in reference.iter_mut().enumerate() {
+                assert_eq!(c.convert(disp[l]).0.to_bits(), out[l].to_bits(), "lane {l}");
+            }
+        }
+        lanes.restore(scalars.iter_mut());
+        for (a, b) in scalars.iter_mut().zip(reference.iter_mut()) {
+            assert_eq!(a.convert(2.0e-9), b.convert(2.0e-9));
+        }
     }
 }

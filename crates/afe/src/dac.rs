@@ -6,7 +6,7 @@
 //! (5 mV/°/s around a 2.5 V null).
 
 use ascp_dsp::fixed::Q15;
-use ascp_sim::noise::WhiteNoise;
+use ascp_sim::noise::{WhiteLanes, WhiteNoise};
 use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 use ascp_sim::units::Volts;
 
@@ -187,6 +187,107 @@ impl Dac {
     }
 }
 
+/// Lane-parallel DAC kernel: batched output-noise draws plus the per-lane
+/// code → volts mapping of [`Dac::write_q15`], expression for expression.
+#[derive(Debug, Clone)]
+pub struct DacLanes {
+    half: Vec<f64>,
+    vref: Vec<f64>,
+    ref_scale: Vec<f64>,
+    gain: Vec<f64>,
+    offset: Vec<f64>,
+    midscale: Vec<f64>,
+    shift: Vec<u32>,
+    held: Vec<f64>,
+    updates: Vec<u64>,
+    noise: WhiteLanes,
+    draw: Vec<f64>,
+}
+
+impl DacLanes {
+    /// Captures N DACs for lockstep writes.
+    ///
+    /// Returns `None` if the noise generators are not phase-uniform.
+    pub fn extract<'a>(dacs: impl Iterator<Item = &'a Dac>) -> Option<Self> {
+        let ds: Vec<&Dac> = dacs.collect();
+        let noise = WhiteLanes::extract(ds.iter().map(|d| &d.noise))?;
+        let n = ds.len();
+        let mut lanes = Self {
+            half: Vec::with_capacity(n),
+            vref: Vec::with_capacity(n),
+            ref_scale: Vec::with_capacity(n),
+            gain: Vec::with_capacity(n),
+            offset: Vec::with_capacity(n),
+            midscale: Vec::with_capacity(n),
+            shift: Vec::with_capacity(n),
+            held: Vec::with_capacity(n),
+            updates: Vec::with_capacity(n),
+            noise,
+            draw: vec![0.0; n],
+        };
+        for d in &ds {
+            let c = &d.config;
+            lanes.half.push((1i64 << (c.bits - 1)) as f64);
+            lanes.vref.push(c.vref.0);
+            lanes.ref_scale.push(d.ref_scale);
+            lanes.gain.push(c.gain);
+            lanes.offset.push(c.offset.0);
+            lanes.midscale.push(c.midscale.0);
+            lanes.shift.push(15 - (c.bits - 1));
+            lanes.held.push(d.held.0);
+            lanes.updates.push(d.updates);
+        }
+        Some(lanes)
+    }
+
+    /// Writes held outputs, update counters, and noise state back.
+    pub fn restore<'a>(&self, dacs: impl Iterator<Item = &'a mut Dac>) {
+        let mut ds: Vec<&mut Dac> = dacs.collect();
+        self.noise.restore(ds.iter_mut().map(|d| &mut d.noise));
+        for (l, d) in ds.into_iter().enumerate() {
+            d.held = Volts(self.held[l]);
+            d.updates = self.updates[l];
+        }
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.half.len()
+    }
+
+    /// Held (noiseless) output per lane — [`Dac::held`] across the fleet.
+    #[must_use]
+    pub fn held_outputs(&self) -> &[f64] {
+        &self.held
+    }
+
+    /// Mid-scale offset per lane (the rate-output null voltage).
+    #[must_use]
+    pub fn midscales(&self) -> &[f64] {
+        &self.midscale
+    }
+
+    /// Writes one Q15 raw sample per lane; the noisy analog output lands in
+    /// `out[l]`.
+    #[inline]
+    pub fn write_q15(&mut self, raw: &[i32], out: &mut [f64]) {
+        let n = self.half.len();
+        self.noise.sample(&mut self.draw);
+        for l in 0..n {
+            self.updates[l] += 1;
+            let half = self.half[l];
+            let code = raw[l] >> self.shift[l];
+            let code = (code as f64).clamp(-half, half - 1.0);
+            let v = code / half * self.vref[l] * self.ref_scale[l] * self.gain[l]
+                + self.offset[l]
+                + self.midscale[l];
+            self.held[l] = v;
+            out[l] = v + self.draw[l];
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,5 +389,45 @@ mod tests {
             bits: 4,
             ..DacConfig::default()
         });
+    }
+
+    #[test]
+    fn dac_lanes_match_scalar_bit_for_bit() {
+        let mut scalars: Vec<Dac> = (0..5)
+            .map(|i| {
+                Dac::new(DacConfig {
+                    bits: 10 + (i as u32 % 3) * 2,
+                    midscale: Volts(0.5 * i as f64),
+                    gain: 1.0 + 0.001 * i as f64,
+                    seed: 0xdac0 ^ (i as u64) << 6,
+                    ..DacConfig::default()
+                })
+            })
+            .collect();
+        let mut lanes = DacLanes::extract(scalars.iter()).expect("uniform phase");
+        let mut reference = scalars.clone();
+        let mut raw = vec![0i32; 5];
+        let mut out = vec![0.0; 5];
+        for k in 0..400u64 {
+            for (l, r) in raw.iter_mut().enumerate() {
+                *r = Q15::from_f64(0.8 * (0.11 * (k as f64 + l as f64)).sin()).raw();
+            }
+            lanes.write_q15(&raw, &mut out);
+            for (l, d) in reference.iter_mut().enumerate() {
+                assert_eq!(
+                    d.write_q15(Q15::from_raw(raw[l])).0.to_bits(),
+                    out[l].to_bits(),
+                    "lane {l} tick {k}"
+                );
+            }
+        }
+        lanes.restore(scalars.iter_mut());
+        for (a, b) in scalars.iter_mut().zip(reference.iter_mut()) {
+            assert_eq!(
+                a.write_q15(Q15::from_f64(0.3)),
+                b.write_q15(Q15::from_f64(0.3))
+            );
+            assert_eq!(a.updates(), b.updates());
+        }
     }
 }

@@ -106,6 +106,66 @@ impl AntiAliasFilter {
     }
 }
 
+/// Lane-parallel anti-alias filter kernel: SoA semi-implicit Euler.
+///
+/// Same update expressions as [`AntiAliasFilter::process`]; `ω = 2πf₀` is
+/// hoisted per lane (the scalar path recomputes it each call — pure, same
+/// bits).
+#[derive(Debug, Clone)]
+pub struct AafLanes {
+    w: Vec<f64>,
+    q: Vec<f64>,
+    x: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl AafLanes {
+    /// Captures N filters for lockstep processing.
+    pub fn extract<'a>(filters: impl Iterator<Item = &'a AntiAliasFilter>) -> Self {
+        let mut lanes = Self {
+            w: Vec::new(),
+            q: Vec::new(),
+            x: Vec::new(),
+            v: Vec::new(),
+        };
+        for f in filters {
+            lanes.w.push(2.0 * std::f64::consts::PI * f.f0);
+            lanes.q.push(f.q);
+            lanes.x.push(f.x);
+            lanes.v.push(f.v);
+        }
+        lanes
+    }
+
+    /// Writes the ODE state back.
+    pub fn restore<'a>(&self, filters: impl Iterator<Item = &'a mut AntiAliasFilter>) {
+        for (l, f) in filters.enumerate() {
+            f.x = self.x[l];
+            f.v = self.v[l];
+        }
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.w.len()
+    }
+
+    /// Advances every lane by `dt` with input `u[l]`; output lands in
+    /// `out[l]`.
+    #[inline]
+    pub fn process(&mut self, u: &[f64], dt: f64, out: &mut [f64]) {
+        let n = self.w.len();
+        for (l, o) in out.iter_mut().enumerate().take(n) {
+            let w = self.w[l];
+            let a = w * w * (u[l] - self.x[l]) - (w / self.q[l]) * self.v[l];
+            self.v[l] += a * dt;
+            self.x[l] += self.v[l] * dt;
+            *o = self.x[l];
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +243,33 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_zero_corner() {
         let _ = AntiAliasFilter::butterworth(0.0);
+    }
+
+    #[test]
+    fn aaf_lanes_match_scalar_bit_for_bit() {
+        let mut scalars: Vec<AntiAliasFilter> = (0..6)
+            .map(|i| AntiAliasFilter::butterworth(60_000.0 * (1.0 + 0.02 * i as f64)))
+            .collect();
+        let mut lanes = AafLanes::extract(scalars.iter());
+        let mut reference = scalars.clone();
+        let mut u = vec![0.0; 6];
+        let mut out = vec![0.0; 6];
+        for k in 0..2000u64 {
+            for (l, x) in u.iter_mut().enumerate() {
+                *x = 0.5 * (0.3 * (k as f64 + 2.0 * l as f64)).sin();
+            }
+            lanes.process(&u, DT, &mut out);
+            for (l, f) in reference.iter_mut().enumerate() {
+                assert_eq!(
+                    f.process(Volts(u[l]), DT).0.to_bits(),
+                    out[l].to_bits(),
+                    "lane {l} tick {k}"
+                );
+            }
+        }
+        lanes.restore(scalars.iter_mut());
+        for (a, b) in scalars.iter_mut().zip(reference.iter_mut()) {
+            assert_eq!(a.process(Volts(0.1), DT), b.process(Volts(0.1), DT));
+        }
     }
 }

@@ -13,7 +13,7 @@
 //! benches' entries.
 
 use ascp_bench::harness::{merge_into_baseline, short_mode, threads_from_args, BenchStats};
-use ascp_core::campaign::{CampaignRunner, ScenarioSpec, Step};
+use ascp_core::campaign::{CampaignOptions, CampaignRunner, ScenarioSpec, Step};
 use ascp_core::platform::PlatformConfig;
 
 /// The acceptance bar: supervised wall clock / bare wall clock − 1.
@@ -60,13 +60,22 @@ fn main() -> std::io::Result<()> {
         (0.05, 0.005, 4)
     };
 
-    let bare = CampaignRunner::new().with_threads(threads);
+    let bare = CampaignRunner::with_options(
+        CampaignOptions::builder()
+            .threads(threads)
+            .build()
+            .expect("valid options"),
+    );
     // Fully armed: watchdog thread scanning every slot against a (never
     // hit) deadline, retry budget, heartbeats from every step hook.
-    let supervised = CampaignRunner::new()
-        .with_threads(threads)
-        .with_deadline_s(60.0)
-        .with_retries(1);
+    let supervised = CampaignRunner::with_options(
+        CampaignOptions::builder()
+            .threads(threads)
+            .deadline_s(60.0)
+            .retries(1)
+            .build()
+            .expect("valid options"),
+    );
 
     // Identity first: supervision must change wall clock and nothing else.
     let bare_report = bare.run(rate_table(settle_s, window_s));

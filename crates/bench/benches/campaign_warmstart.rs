@@ -13,7 +13,7 @@
 //! root, preserving the other benches' entries.
 
 use ascp_bench::harness::{merge_into_baseline, short_mode, threads_from_args, BenchStats};
-use ascp_core::campaign::{CampaignRunner, ScenarioSpec, Step};
+use ascp_core::campaign::{CampaignOptions, CampaignRunner, ScenarioSpec, Step};
 use ascp_core::platform::PlatformConfig;
 
 /// The lock-dominated 16-point rate table: one shared settle recipe
@@ -60,10 +60,19 @@ fn main() -> std::io::Result<()> {
         (0.05, 0.005, 2)
     };
 
-    let cold_runner = CampaignRunner::new().with_threads(threads);
-    let warm_runner = CampaignRunner::new()
-        .with_threads(threads)
-        .with_warm_start(true);
+    let cold_runner = CampaignRunner::with_options(
+        CampaignOptions::builder()
+            .threads(threads)
+            .build()
+            .expect("valid options"),
+    );
+    let warm_runner = CampaignRunner::with_options(
+        CampaignOptions::builder()
+            .threads(threads)
+            .warm_start(true)
+            .build()
+            .expect("valid options"),
+    );
 
     // Byte-identity first: warm-start must change wall clock and nothing
     // else, whatever the thread count.

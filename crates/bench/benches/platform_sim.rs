@@ -13,7 +13,7 @@ use ascp_bench::harness::{
     bench, black_box, check_against, check_path_from_args, repo_root_path, write_bench_json,
     BenchStats,
 };
-use ascp_core::platform::{Platform, PlatformConfig};
+use ascp_core::platform::{Platform, PlatformConfig, PlatformFleet};
 use ascp_core::system::{SystemModel, SystemModelConfig};
 use ascp_mcu8051::asm::assemble;
 use ascp_mcu8051::cpu::{Cpu, NullBus};
@@ -152,6 +152,49 @@ fn main() {
     );
     all.push(sup_on);
     all.push(sup_off);
+
+    // Batched fleet throughput: N platforms stepped in lockstep through
+    // the structure-of-arrays lane kernels versus the same N stepped
+    // independently — the hot path under the `monte_carlo` campaign axis.
+    // The original acceptance bar was > 4x aggregate ticks/sec at
+    // N = 8–16; the honest measured result on this class of host is
+    // ~2x (see DESIGN.md §14: the per-lane Gaussian noise draws are
+    // inherently serial under the bit-exactness contract and dominate
+    // the tick), so the print reports against the 4x bar truthfully
+    // rather than moving the goalposts.
+    const FLEET_N: usize = 16;
+    let make_members = || -> Vec<Platform> {
+        (0..FLEET_N)
+            .map(|i| {
+                Platform::new(
+                    PlatformConfig::builder()
+                        .cpu_enabled(false)
+                        .seed(0x5eed_0000 + i as u64)
+                        .build()
+                        .expect("valid"),
+                )
+            })
+            .collect()
+    };
+    let mut independents = make_members();
+    let scalar_x16 = bench("platform/fleet_scalar_x16", || {
+        for p in &mut independents {
+            p.step();
+        }
+    });
+    let mut fleet = PlatformFleet::new(make_members()).expect("fleet eligible");
+    let fleet_x16 = bench("platform/fleet_tick_x16", || fleet.step());
+    let fleet_speedup = scalar_x16.min_ns_per_iter / fleet_x16.min_ns_per_iter;
+    println!(
+        "fleet speedup at N={FLEET_N}: {fleet_speedup:.2}x aggregate ({} > 4x bar)",
+        if fleet_speedup > 4.0 {
+            "meets"
+        } else {
+            "MISSES"
+        }
+    );
+    all.push(scalar_x16);
+    all.push(fleet_x16);
 
     let rom = assemble("start: mov a, #1\nadd a, #2\nmov r0, a\ndjnz r0, start\nsjmp start\n")
         .expect("assembles");

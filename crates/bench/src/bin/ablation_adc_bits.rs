@@ -12,12 +12,12 @@
 //! Each resolution is one scenario on the campaign runner, so the sweep
 //! shards across worker threads.
 
-use ascp_bench::harness::threads_from_args;
+use ascp_bench::harness::Args;
 use ascp_bench::write_metrics;
 use ascp_core::prelude::*;
 
 fn main() -> std::io::Result<()> {
-    let threads = threads_from_args();
+    let threads = Args::parse("ablation_adc_bits").threads;
     println!("ablation: ADC resolution sweep ({threads} worker thread(s))");
     println!(
         "  {:>5} {:>14} {:>14} {:>12}",
@@ -41,7 +41,13 @@ fn main() -> std::io::Result<()> {
                 .with_step(Step::MeasureNoiseDensity { samples: 1 << 14 })
         })
         .collect();
-    let report = CampaignRunner::new().with_threads(threads).run(scenarios);
+    let report = CampaignRunner::with_options(
+        CampaignOptions::builder()
+            .threads(threads)
+            .build()
+            .expect("valid options"),
+    )
+    .run(scenarios);
 
     for o in &report.outcomes {
         let bits = o.name.trim_start_matches("bits_");

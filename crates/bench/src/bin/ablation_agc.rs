@@ -13,7 +13,7 @@
 //! The two arms are campaign scenarios, so they run concurrently when a
 //! second worker thread is available.
 
-use ascp_bench::harness::threads_from_args;
+use ascp_bench::harness::Args;
 use ascp_bench::write_metrics;
 use ascp_core::prelude::*;
 use ascp_sim::stats;
@@ -46,7 +46,7 @@ fn spread(vals: &[f64]) -> f64 {
 }
 
 fn main() -> std::io::Result<()> {
-    let threads = threads_from_args();
+    let threads = Args::parse("ablation_agc").threads;
     println!(
         "ablation: AGC on vs off (scale factor across -40/25/85 degC, {threads} worker thread(s))"
     );
@@ -71,7 +71,13 @@ fn main() -> std::io::Result<()> {
             .with_step(Step::FreezeAgcDrive { resettle_s: 1.5 })
             .with_steps(temp_sweep_steps()),
     ];
-    let report = CampaignRunner::new().with_threads(threads).run(scenarios);
+    let report = CampaignRunner::with_options(
+        CampaignOptions::builder()
+            .threads(threads)
+            .build()
+            .expect("valid options"),
+    )
+    .run(scenarios);
 
     let arm = |name: &str| -> Vec<f64> {
         TEMPS

@@ -18,7 +18,7 @@
 //! The six (mode × electrode) cells are campaign scenarios, sharded
 //! across worker threads.
 
-use ascp_bench::harness::threads_from_args;
+use ascp_bench::harness::Args;
 use ascp_bench::write_metrics;
 use ascp_core::prelude::*;
 
@@ -57,7 +57,7 @@ fn scenario(mode: SenseMode, pickoff_nl: f64) -> ScenarioSpec {
 }
 
 fn main() -> std::io::Result<()> {
-    let threads = threads_from_args();
+    let threads = Args::parse("ablation_loop_mode").threads;
     println!(
         "ablation: open loop vs force rebalance across electrode quality ({threads} worker thread(s))"
     );
@@ -74,7 +74,13 @@ fn main() -> std::io::Result<()> {
             ]
         })
         .collect();
-    let report = CampaignRunner::new().with_threads(threads).run(scenarios);
+    let report = CampaignRunner::with_options(
+        CampaignOptions::builder()
+            .threads(threads)
+            .build()
+            .expect("valid options"),
+    )
+    .run(scenarios);
 
     for nl in PICKOFF_NLS {
         let open = report

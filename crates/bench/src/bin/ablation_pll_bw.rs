@@ -14,7 +14,7 @@
 //! configurations, not platforms); the platform spot check is a one-entry
 //! scenario campaign.
 
-use ascp_bench::harness::threads_from_args;
+use ascp_bench::harness::Args;
 use ascp_bench::write_metrics;
 use ascp_core::prelude::*;
 use ascp_core::system::{SystemModel, SystemModelConfig};
@@ -22,7 +22,7 @@ use ascp_sim::campaign::parallel_map;
 use ascp_sim::stats;
 
 fn main() -> std::io::Result<()> {
-    let threads = threads_from_args();
+    let threads = Args::parse("ablation_pll_bw").threads;
     println!(
         "ablation: PLL loop gain sweep (float model for speed, platform spot check, {threads} worker thread(s))"
     );
@@ -62,7 +62,13 @@ fn main() -> std::io::Result<()> {
         .expect("valid spot-check config");
     let spot =
         ScenarioSpec::new("shipped_gains", config).with_step(Step::WaitReady { timeout_s: 3.0 });
-    let report = CampaignRunner::new().with_threads(threads).run(vec![spot]);
+    let report = CampaignRunner::with_options(
+        CampaignOptions::builder()
+            .threads(threads)
+            .build()
+            .expect("valid options"),
+    )
+    .run(vec![spot]);
     let turn_on = report.metric("shipped_gains", "turn_on_s");
     println!(
         "  platform (shipped gains): turn-on {} ms",

@@ -41,10 +41,7 @@
 //! scenario-level failures (undetected faults, poisoned scenarios,
 //! coverage regressions), `2` infrastructure errors (journal I/O).
 
-use ascp_bench::harness::{
-    arg_value, flag_present, metrics_server_from_args, repo_root_path, run_to_exit,
-    threads_from_args, EXIT_SCENARIO_FAILURE,
-};
+use ascp_bench::harness::{repo_root_path, run_to_exit, Args, EXIT_SCENARIO_FAILURE};
 use ascp_bench::{experiments_dir, write_metrics};
 use ascp_core::prelude::*;
 use ascp_sim::fault::AdcChannel;
@@ -177,9 +174,10 @@ fn main() {
 
 #[allow(clippy::too_many_lines)]
 fn run() -> Result<i32, Box<dyn std::error::Error>> {
-    let smoke = flag_present("smoke");
-    let chaos = flag_present("chaos");
-    let threads = threads_from_args();
+    let args = Args::parse("fault_campaign");
+    let smoke = args.smoke;
+    let chaos = args.chaos;
+    let threads = args.threads;
     let scenarios: Vec<ScenarioSpec> = catalog().iter().map(|c| scenario(c, smoke)).collect();
     println!(
         "fault_campaign: sweeping {} fault classes on {threads} worker thread(s){}",
@@ -191,26 +189,25 @@ fn run() -> Result<i32, Box<dyn std::error::Error>> {
         }
     );
 
-    let metrics_server = metrics_server_from_args();
-    let mut runner = CampaignRunner::new()
-        .with_threads(threads)
-        .with_tracing(true)
-        .with_progress(true);
+    let metrics_server = args.metrics_server();
+    let mut options = CampaignOptions::builder()
+        .threads(threads)
+        .tracing(true)
+        .progress(true);
     if chaos {
-        let seed = arg_value("chaos-seed")
-            .and_then(|v| v.parse::<u64>().ok())
-            .unwrap_or(CHAOS_SEED);
-        runner = runner.with_chaos(ChaosPlan::new(seed).with_stall_cap_s(CHAOS_STALL_CAP_S));
+        let seed = args.chaos_seed.unwrap_or(CHAOS_SEED);
+        options = options.chaos(ChaosPlan::new(seed).with_stall_cap_s(CHAOS_STALL_CAP_S));
         println!("  chaos: seeded worker panics + stalls (seed {seed:#x}); healthy rows stay byte-identical");
     }
-    if let Some(deadline) = arg_value("deadline").and_then(|v| v.parse::<f64>().ok()) {
-        runner = runner.with_deadline_s(deadline);
+    if let Some(deadline) = args.deadline_s {
+        options = options.deadline_s(deadline);
         println!("  watchdog: per-scenario deadline {deadline} s");
     }
     if let Some(server) = &metrics_server {
-        runner = runner.with_observer(Arc::new(server.clone()));
+        options = options.observer(Arc::new(server.clone()));
     }
-    let journal_path = arg_value("journal");
+    let runner = CampaignRunner::with_options(options.build()?);
+    let journal_path = args.journal.clone();
     let report = match &journal_path {
         Some(path) => {
             // `resume` starts fresh when the journal does not exist yet,
@@ -335,8 +332,8 @@ fn run() -> Result<i32, Box<dyn std::error::Error>> {
 
     // CI guard: a previously-exercised coverage cell going dark is a
     // regression even when every fault is still detected.
-    if let Some(baseline) = arg_value("check-coverage") {
-        let path = repo_root_path(&baseline);
+    if let Some(baseline) = args.check_coverage.as_deref() {
+        let path = repo_root_path(baseline);
         let body = std::fs::read_to_string(&path)?;
         let lost = coverage.regressions(&body);
         if lost.is_empty() {

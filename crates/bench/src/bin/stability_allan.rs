@@ -30,9 +30,7 @@
 //! produces byte-identical samples to the run that saved the checkpoint
 //! continuing past it.
 
-use ascp_bench::harness::{
-    arg_value, metrics_server_from_args, run_to_exit, threads_from_args, EXIT_SCENARIO_FAILURE,
-};
+use ascp_bench::harness::{run_to_exit, Args, EXIT_SCENARIO_FAILURE};
 use ascp_bench::{experiments_dir, write_metrics};
 use ascp_core::characterize::RateSensor;
 use ascp_core::checkpoint;
@@ -53,9 +51,10 @@ fn main() {
 }
 
 fn run() -> Result<i32, Box<dyn std::error::Error>> {
-    let threads = threads_from_args();
-    let save_path = arg_value("checkpoint");
-    let resume_path = arg_value("resume");
+    let args = Args::parse("stability_allan");
+    let threads = args.threads;
+    let save_path = args.checkpoint.clone();
+    let resume_path = args.resume.clone();
     let config = PlatformConfig::builder()
         .cpu_enabled(false)
         .build()
@@ -100,14 +99,12 @@ fn run() -> Result<i32, Box<dyn std::error::Error>> {
                 settle_s: 0.5,
             });
         println!("stability: locking, then recording 40 s of zero-rate output ...");
-        let metrics_server = metrics_server_from_args();
-        let mut runner = CampaignRunner::new()
-            .with_threads(threads)
-            .with_progress(true);
+        let metrics_server = args.metrics_server();
+        let mut options = CampaignOptions::builder().threads(threads).progress(true);
         if let Some(server) = &metrics_server {
-            runner = runner.with_observer(Arc::new(server.clone()));
+            options = options.observer(Arc::new(server.clone()));
         }
-        let report = runner.run(vec![spec]);
+        let report = CampaignRunner::with_options(options.build()?).run(vec![spec]);
         if let Some(server) = &metrics_server {
             server.publish(report.to_telemetry().to_prometheus());
         }

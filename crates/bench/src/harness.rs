@@ -134,6 +134,212 @@ pub fn arg_value(name: &str) -> Option<String> {
     None
 }
 
+/// Usage text answered to `--help` (and appended to flag errors) by
+/// [`Args::parse`].
+pub const USAGE: &str = "\
+Shared campaign-bin options:
+  --threads N           campaign worker threads (default: available parallelism)
+  --seed N              base noise-seed override
+  --smoke               CI smoke mode: skip the slow measurement arms
+  --short               shrunken bench measurement protocol (~10x faster)
+  --chaos               enable seeded chaos injection (worker panics/stalls)
+  --chaos-seed N        chaos plan seed (default: bin-specific)
+  --deadline S          per-scenario wall-clock watchdog, in seconds
+  --journal PATH        crash-recoverable campaign journal (resumes if present)
+  --checkpoint PATH     save a settled platform checkpoint after bring-up
+  --resume PATH         restore a settled platform checkpoint
+  --serve-metrics ADDR  live Prometheus endpoint (e.g. 127.0.0.1:9464)
+  --check PATH          bench-trajectory baseline to check against
+  --check-coverage PATH coverage-matrix baseline to check against
+  --help                print this help and exit";
+
+/// Typed command-line arguments shared by the campaign bins
+/// (`fault_campaign`, `stability_allan`, the `ablation_*` family).
+///
+/// [`Args::parse`] recognises the full shared vocabulary — individual
+/// bins simply ignore fields they have no use for — so every bin accepts
+/// a uniform flag set, `--help` is answered consistently, and an unknown
+/// flag (or a malformed value) is a usage error that exits with
+/// [`EXIT_INFRA_ERROR`] instead of being silently ignored.
+///
+/// Not for `cargo bench` harness benches: libtest passes its own flags
+/// (`--bench`, filter strings), which this parser would reject — benches
+/// keep using the tolerant [`short_mode`] / [`check_path_from_args`]
+/// helpers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// `--threads N`: campaign worker threads, clamped to ≥ 1.
+    pub threads: usize,
+    /// `--seed N`: base noise-seed override.
+    pub seed: Option<u64>,
+    /// `--smoke`: CI smoke mode (skip slow measurement arms).
+    pub smoke: bool,
+    /// `--short`: shrunken bench measurement protocol.
+    pub short: bool,
+    /// `--chaos`: enable seeded chaos injection.
+    pub chaos: bool,
+    /// `--chaos-seed N`: chaos plan seed.
+    pub chaos_seed: Option<u64>,
+    /// `--deadline S`: per-scenario wall-clock watchdog, seconds.
+    pub deadline_s: Option<f64>,
+    /// `--journal PATH`: crash-recoverable campaign journal.
+    pub journal: Option<String>,
+    /// `--checkpoint PATH`: save a settled platform checkpoint.
+    pub checkpoint: Option<String>,
+    /// `--resume PATH`: restore a settled platform checkpoint.
+    pub resume: Option<String>,
+    /// `--serve-metrics ADDR`: live Prometheus endpoint address.
+    pub serve_metrics: Option<String>,
+    /// `--check PATH`: bench-trajectory baseline, repo-root relative.
+    pub check: Option<PathBuf>,
+    /// `--check-coverage PATH`: coverage-matrix baseline.
+    pub check_coverage: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            threads: ascp_sim::campaign::available_parallelism(),
+            seed: None,
+            smoke: false,
+            short: false,
+            chaos: false,
+            chaos_seed: None,
+            deadline_s: None,
+            journal: None,
+            checkpoint: None,
+            resume: None,
+            serve_metrics: None,
+            check: None,
+            check_coverage: None,
+        }
+    }
+}
+
+impl Args {
+    /// Parses the process arguments; answers `--help` with [`USAGE`] on
+    /// stdout (exit 0) and any parse error on stderr (exit
+    /// [`EXIT_INFRA_ERROR`]).
+    #[must_use]
+    pub fn parse(bin: &str) -> Self {
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(Some(args)) => args,
+            Ok(None) => {
+                println!("{bin}\n\n{USAGE}");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("{bin}: {e}\n\n{USAGE}");
+                std::process::exit(EXIT_INFRA_ERROR);
+            }
+        }
+    }
+
+    /// Parses an explicit argument list (no program name). `Ok(None)`
+    /// means `--help` was requested.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the unknown flag, the flag whose
+    /// value is missing, or the value that failed to parse.
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Option<Self>, String> {
+        let mut out = Self::default();
+        let mut args = args.into_iter();
+        // `--flag value` and `--flag=value` are both accepted.
+        let next_value =
+            |flag: &str, inline: Option<&str>, args: &mut dyn Iterator<Item = String>| {
+                inline.map(str::to_owned).map_or_else(
+                    || {
+                        args.next()
+                            .ok_or_else(|| format!("--{flag}: missing value"))
+                    },
+                    Ok,
+                )
+            };
+        while let Some(arg) = args.next() {
+            let (flag, inline) = match arg.strip_prefix("--") {
+                Some(rest) => match rest.split_once('=') {
+                    Some((f, v)) => (f.to_owned(), Some(v.to_owned())),
+                    None => (rest.to_owned(), None),
+                },
+                None => return Err(format!("unexpected positional argument `{arg}`")),
+            };
+            let inline = inline.as_deref();
+            match flag.as_str() {
+                "help" => return Ok(None),
+                "smoke" => out.smoke = true,
+                "short" => out.short = true,
+                "chaos" => out.chaos = true,
+                "threads" => {
+                    let v = next_value("threads", inline, &mut args)?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("--threads: not a number: `{v}`"))?;
+                    out.threads = n.max(1);
+                }
+                "seed" => {
+                    let v = next_value("seed", inline, &mut args)?;
+                    out.seed = Some(
+                        v.parse()
+                            .map_err(|_| format!("--seed: not a number: `{v}`"))?,
+                    );
+                }
+                "chaos-seed" => {
+                    let v = next_value("chaos-seed", inline, &mut args)?;
+                    out.chaos_seed = Some(
+                        v.parse()
+                            .map_err(|_| format!("--chaos-seed: not a number: `{v}`"))?,
+                    );
+                }
+                "deadline" => {
+                    let v = next_value("deadline", inline, &mut args)?;
+                    let d: f64 = v
+                        .parse()
+                        .map_err(|_| format!("--deadline: not a number: `{v}`"))?;
+                    if !d.is_finite() || d <= 0.0 {
+                        return Err(format!("--deadline: must be finite and > 0 (got {v})"));
+                    }
+                    out.deadline_s = Some(d);
+                }
+                "journal" => out.journal = Some(next_value("journal", inline, &mut args)?),
+                "checkpoint" => {
+                    out.checkpoint = Some(next_value("checkpoint", inline, &mut args)?);
+                }
+                "resume" => out.resume = Some(next_value("resume", inline, &mut args)?),
+                "serve-metrics" => {
+                    out.serve_metrics = Some(next_value("serve-metrics", inline, &mut args)?);
+                }
+                "check" => {
+                    out.check = Some(repo_root_path(next_value("check", inline, &mut args)?));
+                }
+                "check-coverage" => {
+                    out.check_coverage = Some(next_value("check-coverage", inline, &mut args)?);
+                }
+                other => return Err(format!("unknown flag `--{other}`")),
+            }
+        }
+        Ok(Some(out))
+    }
+
+    /// Builds a [`MetricsServer`] when `--serve-metrics` was given. A
+    /// bind failure is reported on stderr and ignored (observability must
+    /// never kill the run it observes).
+    #[must_use]
+    pub fn metrics_server(&self) -> Option<MetricsServer> {
+        let addr = self.serve_metrics.as_deref()?;
+        match MetricsServer::bind(addr) {
+            Ok(server) => {
+                println!("serving live metrics on http://{}/metrics", server.addr());
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("warning: --serve-metrics {addr}: bind failed ({e}); continuing without");
+                None
+            }
+        }
+    }
+}
+
 /// A std-only Prometheus scrape endpoint for live campaign observability.
 ///
 /// Binds a TCP listener and serves the most recently published
@@ -486,6 +692,108 @@ pub fn check_against(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn parse(args: &[&str]) -> Result<Option<Args>, String> {
+        Args::try_parse(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn args_parse_the_full_shared_vocabulary() {
+        let args = parse(&[
+            "--threads=4",
+            "--seed",
+            "7",
+            "--smoke",
+            "--chaos",
+            "--chaos-seed=99",
+            "--deadline",
+            "2.5",
+            "--journal",
+            "j.bin",
+            "--checkpoint=cp.bin",
+            "--resume",
+            "cp.bin",
+            "--serve-metrics",
+            "127.0.0.1:0",
+            "--check-coverage",
+            "cov.csv",
+        ])
+        .expect("valid")
+        .expect("not help");
+        assert_eq!(args.threads, 4);
+        assert_eq!(args.seed, Some(7));
+        assert!(args.smoke && args.chaos && !args.short);
+        assert_eq!(args.chaos_seed, Some(99));
+        assert_eq!(args.deadline_s, Some(2.5));
+        assert_eq!(args.journal.as_deref(), Some("j.bin"));
+        assert_eq!(args.checkpoint.as_deref(), Some("cp.bin"));
+        assert_eq!(args.resume.as_deref(), Some("cp.bin"));
+        assert_eq!(args.serve_metrics.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(args.check_coverage.as_deref(), Some("cov.csv"));
+    }
+
+    #[test]
+    fn args_defaults_match_the_legacy_helpers() {
+        let args = parse(&[]).expect("valid").expect("not help");
+        assert_eq!(args, Args::default());
+        assert_eq!(
+            args.threads,
+            ascp_sim::campaign::available_parallelism(),
+            "default thread count is the machine's parallelism"
+        );
+        // `--threads 0` clamps like `threads_from_args` always has.
+        let clamped = parse(&["--threads", "0"])
+            .expect("valid")
+            .expect("not help");
+        assert_eq!(clamped.threads, 1);
+    }
+
+    #[test]
+    fn args_reject_unknown_flags_and_bad_values() {
+        assert!(parse(&["--frobnicate"])
+            .expect_err("unknown flag")
+            .contains("--frobnicate"));
+        assert!(parse(&["positional"])
+            .expect_err("positional")
+            .contains("positional"));
+        assert!(parse(&["--threads"])
+            .expect_err("missing value")
+            .contains("missing value"));
+        assert!(parse(&["--threads", "many"])
+            .expect_err("bad number")
+            .contains("not a number"));
+        assert!(parse(&["--deadline", "-1"])
+            .expect_err("bad deadline")
+            .contains("deadline"));
+        assert!(parse(&["--help"]).expect("help is valid").is_none());
+    }
+
+    #[test]
+    fn args_check_resolves_against_the_repo_root() {
+        let args = parse(&["--check", "BENCH_x.json"])
+            .expect("valid")
+            .expect("not help");
+        assert_eq!(args.check, Some(repo_root_path("BENCH_x.json")));
+        let usage_flags = [
+            "--threads",
+            "--seed",
+            "--smoke",
+            "--short",
+            "--chaos",
+            "--chaos-seed",
+            "--deadline",
+            "--journal",
+            "--checkpoint",
+            "--resume",
+            "--serve-metrics",
+            "--check",
+            "--check-coverage",
+            "--help",
+        ];
+        for flag in usage_flags {
+            assert!(USAGE.contains(flag), "{flag} missing from USAGE");
+        }
+    }
 
     #[test]
     fn bench_reports_plausible_timing() {

@@ -17,8 +17,30 @@
 //! recovery on an undetected fault) are omitted rather than recorded as
 //! NaN, keeping the CSV and JSON artifacts byte-stable. Scenarios that
 //! share a settle recipe can additionally share the lock transient's cost
-//! through the [`CampaignRunner::with_warm_start`] checkpoint cache —
-//! with reports still byte-identical to cold runs.
+//! through the warm-start checkpoint cache
+//! (`CampaignOptions::builder().warm_start(true)`) — with reports still
+//! byte-identical to cold runs.
+//!
+//! Runner behaviour is configured through [`CampaignOptions`], a typed
+//! options struct with a validating builder
+//! ([`CampaignOptions::builder`]); the former `CampaignRunner::with_*`
+//! setters survive as deprecated delegates.
+//!
+//! # Monte-Carlo axis
+//!
+//! [`ScenarioSpec::monte_carlo`] expands one spec into `n` *lanes* —
+//! scenarios named `{name}/mc{i}` whose seeds derive from the spec's base
+//! seed and whose physical parameters (resonator frequency, quality
+//! factors, quadrature rate, charge gain) are perturbed per lane by a
+//! [`Dispersion`] — the paper's device-mismatch exploration as one line
+//! of campaign code. Lanes are ordinary scenarios: they journal, resume,
+//! retry, and land in the CSV individually. Consecutive sibling lanes
+//! whose steps use only the lockstep-safe vocabulary (`Run`, `SetRate`,
+//! `SetTemperature`, `MeasureMeanRate`) additionally execute *batched*
+//! on a [`PlatformFleet`] — structure-of-arrays, up to 16 lanes per
+//! fleet — with **byte-identical** results to scalar execution (fleet
+//! batching is a wall-clock optimisation, never an arithmetic change;
+//! disable it with `CampaignOptions::builder().fleet(false)`).
 //!
 //! # Supervision
 //!
@@ -26,18 +48,20 @@
 //! layer whose per-scenario FSM is `Queued → Running → {Done, Retrying(n)
 //! → Running, TimedOut → Retrying, Poisoned}`. A panicking scenario is
 //! caught ([`ScenarioError::Panicked`]) instead of killing the pool; a
-//! scenario overrunning the [`CampaignRunner::with_deadline_s`] wall-clock
-//! deadline is cancelled by a watchdog thread
+//! scenario overrunning the configured wall-clock deadline
+//! (`CampaignOptions::builder().deadline_s(..)`) is cancelled by a
+//! watchdog thread
 //! ([`ScenarioError::TimedOut`]); failed attempts are retried (default
-//! once, [`CampaignRunner::with_retries`]) with the derived seed
+//! once, `CampaignOptions::builder().retries(..)`) with the derived seed
 //! **unchanged**, so a retried success is byte-identical to a first-try
 //! run; a scenario that exhausts its retries is quarantined as
 //! [`ScenarioStatus::Poisoned`] and ships as a failed CSV row instead of
 //! aborting the campaign. [`CampaignRunner::run_with_journal`] records
 //! each completed scenario in a crash-tolerant append-only journal
 //! ([`crate::journal`]) and [`CampaignRunner::resume`] merges it back
-//! byte-identically after a crash; [`CampaignRunner::with_chaos`] injects
-//! deterministic worker panics/stalls to exercise all of the above.
+//! byte-identically after a crash; a chaos plan
+//! (`CampaignOptions::builder().chaos(..)`) injects deterministic worker
+//! panics/stalls to exercise all of the above.
 //!
 //! # Step vocabulary
 //!
@@ -67,7 +91,7 @@
 //! # Example
 //!
 //! ```
-//! use ascp_core::campaign::{CampaignRunner, ScenarioSpec, Step};
+//! use ascp_core::campaign::{CampaignOptions, CampaignRunner, ScenarioSpec, Step};
 //! use ascp_core::platform::PlatformConfig;
 //!
 //! let cfg = PlatformConfig::builder().quiet().build().expect("valid");
@@ -83,7 +107,10 @@
 //!             })
 //!     })
 //!     .collect();
-//! let report = CampaignRunner::new().with_threads(2).run(scenarios);
+//! let report = CampaignRunner::with_options(
+//!     CampaignOptions::builder().threads(2).build().expect("valid"),
+//! )
+//! .run(scenarios);
 //! assert_eq!(report.outcomes.len(), 2);
 //! assert!(report.metric("rate_150", "mean_dps").is_some());
 //! ```
@@ -95,7 +122,7 @@ use crate::characterize::{
 };
 use crate::checkpoint;
 use crate::journal::{self, JournalError, JournalWriter};
-use crate::platform::{Platform, PlatformConfig};
+use crate::platform::{ConfigError, Platform, PlatformConfig, PlatformFleet};
 use crate::supervisor::SupervisorState;
 use ascp_mcu8051::periph::Bus16Device;
 use ascp_sim::campaign::{available_parallelism, panic_message, try_parallel_map, MapError};
@@ -104,7 +131,7 @@ use ascp_sim::snapshot::fnv1a64;
 use ascp_sim::stats;
 use ascp_sim::telemetry::trace::{SpanId, TraceCollector, TraceLog};
 use ascp_sim::telemetry::{CaptureBundle, Event, Telemetry, TelemetryConfig, TelemetrySnapshot};
-use ascp_sim::units::{Celsius, DegPerSec};
+use ascp_sim::units::{Celsius, DegPerSec, Hertz};
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
@@ -271,6 +298,70 @@ impl Step {
     }
 }
 
+/// Per-lane manufacturing dispersion for a Monte-Carlo campaign axis.
+///
+/// Each field is the half-width of a uniform spread applied to one
+/// process-sensitive platform parameter; a lane's actual draw comes from
+/// its position-derived seed (see [`ScenarioSpec::monte_carlo`]), so the
+/// dispersed population is deterministic for any worker-thread count.
+/// The default is zero spread on every axis (lanes differ only in their
+/// noise seeds).
+///
+/// | Field | Dispersed parameter |
+/// |-------|---------------------|
+/// | `omega_frac` | resonance `gyro.f0`, ±fraction |
+/// | `q_frac` | `gyro.q_drive` and `gyro.q_sense`, ±fraction (independent draws) |
+/// | `offset_dps` | quadrature leakage `gyro.quadrature_rate`, ±°/s |
+/// | `gain_frac` | `charge_gain`, ±fraction |
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Dispersion {
+    /// Resonance-frequency spread, ± fraction of nominal `f0`.
+    pub omega_frac: f64,
+    /// Quality-factor spread, ± fraction of nominal (drive and sense
+    /// draw independently).
+    pub q_frac: f64,
+    /// Quadrature-offset spread, ± °/s added to the nominal leakage.
+    pub offset_dps: f64,
+    /// Charge-amplifier gain spread, ± fraction of nominal.
+    pub gain_frac: f64,
+}
+
+impl Dispersion {
+    /// No spread on any axis (lanes differ only by noise seed).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Sets the resonance-frequency spread (± fraction).
+    #[must_use]
+    pub fn with_omega_frac(mut self, frac: f64) -> Self {
+        self.omega_frac = frac;
+        self
+    }
+
+    /// Sets the quality-factor spread (± fraction).
+    #[must_use]
+    pub fn with_q_frac(mut self, frac: f64) -> Self {
+        self.q_frac = frac;
+        self
+    }
+
+    /// Sets the quadrature-offset spread (± °/s).
+    #[must_use]
+    pub fn with_offset_dps(mut self, dps: f64) -> Self {
+        self.offset_dps = dps;
+        self
+    }
+
+    /// Sets the charge-gain spread (± fraction).
+    #[must_use]
+    pub fn with_gain_frac(mut self, frac: f64) -> Self {
+        self.gain_frac = frac;
+        self
+    }
+}
+
 /// One scenario: a platform configuration plus the protocol to run on it.
 ///
 /// Build the config with [`PlatformConfig::builder`]; schedule faults
@@ -293,6 +384,10 @@ pub struct ScenarioSpec {
     pub seed: Option<u64>,
     /// Measurement protocol, run in order.
     pub steps: Vec<Step>,
+    /// Monte-Carlo axis: `Some((lanes, dispersion))` expands this spec
+    /// into `lanes` dispersed scenarios before execution (see
+    /// [`ScenarioSpec::monte_carlo`]); `None` runs it as-is.
+    pub monte_carlo: Option<(usize, Dispersion)>,
 }
 
 impl ScenarioSpec {
@@ -307,6 +402,7 @@ impl ScenarioSpec {
             duration_s: 0.0,
             seed: None,
             steps: Vec::new(),
+            monte_carlo: None,
         }
     }
 
@@ -327,9 +423,37 @@ impl ScenarioSpec {
     }
 
     /// Overrides the derived noise seed.
+    ///
+    /// # Interaction with [`ScenarioSpec::monte_carlo`]
+    ///
+    /// On a plain scenario the override is used verbatim. On a
+    /// Monte-Carlo spec it replaces the **base** of the per-lane seed
+    /// stream, not the lanes' seeds themselves: lane `i` (at expanded
+    /// campaign index `e`) runs with `derive_seed(seed, e)`, so sibling
+    /// lanes still draw distinct noise and dispersion — an explicit seed
+    /// pins the whole dispersed population reproducibly without
+    /// collapsing it onto one sample. (A population of identical lanes
+    /// would be a pointless Monte-Carlo; if one exact seed per lane is
+    /// really wanted, expand manually into plain specs.)
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
+        self
+    }
+
+    /// Adds a Monte-Carlo axis: before execution the spec expands into
+    /// `lanes` scenarios named `{name}/mc0 … {name}/mc{lanes-1}`, each
+    /// with an independent position-derived noise seed and a
+    /// configuration perturbed by `dispersion` (drawn from that same
+    /// seed). Lane outcomes are ordinary [`ScenarioOutcome`]s — the CSV
+    /// carries one row set per lane, byte-identical whether the lanes ran
+    /// batched on a [`PlatformFleet`] or as independent scalar scenarios,
+    /// at any worker-thread count.
+    ///
+    /// `lanes` is clamped to at least 1.
+    #[must_use]
+    pub fn monte_carlo(mut self, lanes: usize, dispersion: Dispersion) -> Self {
+        self.monte_carlo = Some((lanes.max(1), dispersion));
         self
     }
 
@@ -783,26 +907,17 @@ pub trait CampaignObserver: Send + Sync {
     fn scenario_finished(&self, progress: &ScenarioProgress);
 }
 
-/// Executes scenario lists on a fixed worker-thread pool.
+/// Validated execution settings for a [`CampaignRunner`].
 ///
-/// Each scenario gets its own independent [`Platform`]; results come back
-/// in input order and are numerically identical for any thread count (see
-/// the module docs).
-///
-/// # Warm-start cache
-///
-/// With [`CampaignRunner::with_warm_start`], scenarios that share a
-/// settle recipe — the same effective configuration (including the
-/// effective noise seed) and the same leading run-in steps — share the
-/// cost of the lock transient. The first scenario per key runs its settle
-/// prefix and takes a [`crate::checkpoint`]; the rest restore
-/// that checkpoint and run only their measurement steps. Because the
-/// cache key covers the effective seed, a restored platform is **bit-
-/// exactly** the platform a cold run would have produced, so warm-start
-/// changes wall-clock time and nothing else: reports stay byte-identical
-/// to cold runs and across worker-thread counts.
+/// Replaces the runner's historical pile of `with_*` setters with one
+/// typed, validated options object: build it with
+/// [`CampaignOptions::builder`], hand it to
+/// [`CampaignRunner::with_options`]. The old setters survive as
+/// deprecated delegates with their exact legacy semantics (silent
+/// clamping instead of validation errors); see DESIGN.md §14 for the
+/// old → new mapping table.
 #[derive(Clone)]
-pub struct CampaignRunner {
+pub struct CampaignOptions {
     threads: usize,
     warm_start: bool,
     tracing: bool,
@@ -812,11 +927,12 @@ pub struct CampaignRunner {
     backoff_ms: u64,
     deadline_s: Option<f64>,
     chaos: Option<ChaosPlan>,
+    fleet: bool,
 }
 
-impl std::fmt::Debug for CampaignRunner {
+impl std::fmt::Debug for CampaignOptions {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CampaignRunner")
+        f.debug_struct("CampaignOptions")
             .field("threads", &self.threads)
             .field("warm_start", &self.warm_start)
             .field("tracing", &self.tracing)
@@ -826,21 +942,16 @@ impl std::fmt::Debug for CampaignRunner {
             .field("backoff_ms", &self.backoff_ms)
             .field("deadline_s", &self.deadline_s)
             .field("chaos", &self.chaos.is_some())
+            .field("fleet", &self.fleet)
             .finish()
     }
 }
 
-impl Default for CampaignRunner {
+impl Default for CampaignOptions {
+    /// One worker per available hardware thread; warm-start, tracing and
+    /// progress off; one retry with 10 ms base backoff; no watchdog, no
+    /// chaos; fleet batching on.
     fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl CampaignRunner {
-    /// Runner with one worker per available hardware thread, warm-start,
-    /// tracing and progress off.
-    #[must_use]
-    pub fn new() -> Self {
         Self {
             threads: available_parallelism(),
             warm_start: false,
@@ -851,104 +962,24 @@ impl CampaignRunner {
             backoff_ms: 10,
             deadline_s: None,
             chaos: None,
+            fleet: true,
         }
     }
+}
 
-    /// Overrides the worker-thread count (clamped to at least 1).
+impl CampaignOptions {
+    /// Starts a validating builder from the defaults.
     #[must_use]
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
-        self
-    }
-
-    /// Enables (or disables) the settle-checkpoint warm-start cache.
-    #[must_use]
-    pub fn with_warm_start(mut self, enabled: bool) -> Self {
-        self.warm_start = enabled;
-        self
-    }
-
-    /// Enables (or disables) span tracing: the report carries a merged
-    /// [`TraceLog`] with campaign → scenario → step spans. Tracing never
-    /// changes simulation arithmetic — outcomes stay byte-identical with
-    /// it on or off.
-    #[must_use]
-    pub fn with_tracing(mut self, enabled: bool) -> Self {
-        self.tracing = enabled;
-        self
-    }
-
-    /// Enables (or disables) a one-line progress report per finished
-    /// scenario on stdout (completion order).
-    #[must_use]
-    pub fn with_progress(mut self, enabled: bool) -> Self {
-        self.progress = enabled;
-        self
-    }
-
-    /// Installs a progress observer (e.g. a live metrics endpoint).
-    #[must_use]
-    pub fn with_observer(mut self, observer: Arc<dyn CampaignObserver>) -> Self {
-        self.observer = Some(observer);
-        self
-    }
-
-    /// Sets the retry budget for failed scenarios (attempts beyond the
-    /// first; default 1). Retries re-derive the scenario seed with
-    /// [`derive_seed`] unchanged, so a retried success is byte-identical
-    /// to a first-try one; a scenario that fails every attempt is
-    /// quarantined as [`ScenarioStatus::Poisoned`].
-    #[must_use]
-    pub fn with_retries(mut self, max_retries: u32) -> Self {
-        self.max_retries = max_retries;
-        self
-    }
-
-    /// Sets the base backoff between attempts, milliseconds (doubles per
-    /// retry, capped at 64× base; default 10 ms). Wall-clock only — never
-    /// part of the deterministic artifacts.
-    #[must_use]
-    pub fn with_backoff_ms(mut self, backoff_ms: u64) -> Self {
-        self.backoff_ms = backoff_ms;
-        self
-    }
-
-    /// Arms the watchdog: each scenario attempt gets a wall-clock
-    /// deadline of `seconds`; overrunning attempts are cancelled at the
-    /// next heartbeat (step boundaries and ~1024-tick run chunks) and
-    /// recorded as [`ScenarioError::TimedOut`]. Warm-cache waits are
-    /// excluded from the budget. No watchdog thread exists until this is
-    /// set.
-    #[must_use]
-    pub fn with_deadline_s(mut self, seconds: f64) -> Self {
-        self.deadline_s = Some(seconds);
-        self
-    }
-
-    /// Installs a deterministic chaos plan (seeded worker panics and
-    /// stalls) exercising the supervision layer; see [`ChaosPlan`].
-    #[must_use]
-    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
-        self.chaos = Some(plan);
-        self
+    pub fn builder() -> CampaignOptionsBuilder {
+        CampaignOptionsBuilder {
+            options: Self::default(),
+        }
     }
 
     /// Configured worker-thread count.
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
-    }
-
-    /// Configured retry budget.
-    #[must_use]
-    pub fn max_retries(&self) -> u32 {
-        self.max_retries
-    }
-
-    /// Configured per-scenario deadline, if the watchdog is armed.
-    #[must_use]
-    pub fn deadline_s(&self) -> Option<f64> {
-        self.deadline_s
     }
 
     /// Whether the warm-start cache is enabled.
@@ -963,7 +994,374 @@ impl CampaignRunner {
         self.tracing
     }
 
-    /// Runs every scenario and merges the outcomes.
+    /// Whether per-scenario progress lines are printed.
+    #[must_use]
+    pub fn progress(&self) -> bool {
+        self.progress
+    }
+
+    /// Configured retry budget (attempts beyond the first).
+    #[must_use]
+    pub fn max_retries(&self) -> u32 {
+        self.max_retries
+    }
+
+    /// Base backoff between attempts, milliseconds.
+    #[must_use]
+    pub fn backoff_ms(&self) -> u64 {
+        self.backoff_ms
+    }
+
+    /// Configured per-scenario deadline, if the watchdog is armed.
+    #[must_use]
+    pub fn deadline_s(&self) -> Option<f64> {
+        self.deadline_s
+    }
+
+    /// The chaos plan, if one is installed.
+    #[must_use]
+    pub fn chaos(&self) -> Option<&ChaosPlan> {
+        self.chaos.as_ref()
+    }
+
+    /// Whether eligible Monte-Carlo lanes run batched on a
+    /// [`PlatformFleet`].
+    #[must_use]
+    pub fn fleet(&self) -> bool {
+        self.fleet
+    }
+}
+
+/// Validating builder for [`CampaignOptions`].
+///
+/// Every setter stores its raw value; [`CampaignOptionsBuilder::build`]
+/// validates the whole set at once and names the offending field — the
+/// same [`ConfigError`] contract as [`PlatformConfig::builder`]. Unlike
+/// the deprecated `CampaignRunner::with_*` setters, nothing is silently
+/// clamped: `threads(0)` is an error here, not a 1.
+#[derive(Clone, Debug)]
+pub struct CampaignOptionsBuilder {
+    options: CampaignOptions,
+}
+
+impl CampaignOptionsBuilder {
+    /// Worker-thread count (must be ≥ 1).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads;
+        self
+    }
+
+    /// Enables (or disables) the settle-checkpoint warm-start cache.
+    #[must_use]
+    pub fn warm_start(mut self, enabled: bool) -> Self {
+        self.options.warm_start = enabled;
+        self
+    }
+
+    /// Enables (or disables) span tracing (campaign → scenario → step
+    /// spans in the report's [`TraceLog`]). Never changes simulation
+    /// arithmetic.
+    #[must_use]
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.options.tracing = enabled;
+        self
+    }
+
+    /// Enables (or disables) one-line per-scenario progress on stdout.
+    #[must_use]
+    pub fn progress(mut self, enabled: bool) -> Self {
+        self.options.progress = enabled;
+        self
+    }
+
+    /// Installs a progress observer (e.g. a live metrics endpoint).
+    #[must_use]
+    pub fn observer(mut self, observer: Arc<dyn CampaignObserver>) -> Self {
+        self.options.observer = Some(observer);
+        self
+    }
+
+    /// Retry budget for failed scenarios (attempts beyond the first;
+    /// default 1). Retries keep the derived seed unchanged, so a retried
+    /// success is byte-identical to a first-try one.
+    #[must_use]
+    pub fn retries(mut self, max_retries: u32) -> Self {
+        self.options.max_retries = max_retries;
+        self
+    }
+
+    /// Base backoff between attempts, milliseconds (doubles per retry,
+    /// capped at 64× base; default 10, must be ≤ 60 000). Wall-clock
+    /// only — never part of the deterministic artifacts.
+    #[must_use]
+    pub fn backoff_ms(mut self, backoff_ms: u64) -> Self {
+        self.options.backoff_ms = backoff_ms;
+        self
+    }
+
+    /// Arms the watchdog with a per-attempt wall-clock deadline in
+    /// seconds (must be finite and > 0). Overrunning attempts are
+    /// cancelled cooperatively and recorded as
+    /// [`ScenarioError::TimedOut`].
+    #[must_use]
+    pub fn deadline_s(mut self, seconds: f64) -> Self {
+        self.options.deadline_s = Some(seconds);
+        self
+    }
+
+    /// Installs a deterministic chaos plan (seeded worker panics and
+    /// stalls); see [`ChaosPlan`].
+    #[must_use]
+    pub fn chaos(mut self, plan: ChaosPlan) -> Self {
+        self.options.chaos = Some(plan);
+        self
+    }
+
+    /// Enables (or disables, e.g. to force the scalar reference path in
+    /// an equivalence test) batched [`PlatformFleet`] execution of
+    /// eligible Monte-Carlo lanes. Default on; never changes results,
+    /// only wall-clock time.
+    #[must_use]
+    pub fn fleet(mut self, enabled: bool) -> Self {
+        self.options.fleet = enabled;
+        self
+    }
+
+    /// Validates and returns the options.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the offending field: zero threads, a
+    /// non-finite or non-positive deadline, a backoff base above 60 s, or
+    /// a chaos plan with a negative / non-finite stall cap.
+    pub fn build(self) -> Result<CampaignOptions, ConfigError> {
+        let o = &self.options;
+        if o.threads == 0 {
+            return Err(ConfigError::new("threads: must be at least 1"));
+        }
+        if let Some(d) = o.deadline_s {
+            if !d.is_finite() || d <= 0.0 {
+                return Err(ConfigError::new(format!(
+                    "deadline_s: must be finite and > 0 (got {d})"
+                )));
+            }
+        }
+        if o.backoff_ms > 60_000 {
+            return Err(ConfigError::new(format!(
+                "backoff_ms: must be ≤ 60000 (got {})",
+                o.backoff_ms
+            )));
+        }
+        if let Some(plan) = &o.chaos {
+            if !plan.stall_cap_s.is_finite() || plan.stall_cap_s < 0.0 {
+                return Err(ConfigError::new(format!(
+                    "chaos.stall_cap_s: must be finite and ≥ 0 (got {})",
+                    plan.stall_cap_s
+                )));
+            }
+        }
+        Ok(self.options)
+    }
+}
+
+/// Executes scenario lists on a fixed worker-thread pool.
+///
+/// Each scenario gets its own independent [`Platform`]; results come back
+/// in input order and are numerically identical for any thread count (see
+/// the module docs). Configure it with [`CampaignOptions`]:
+///
+/// ```
+/// use ascp_core::campaign::{CampaignOptions, CampaignRunner};
+/// let runner = CampaignRunner::with_options(
+///     CampaignOptions::builder().threads(2).build().expect("valid"),
+/// );
+/// assert_eq!(runner.options().threads(), 2);
+/// ```
+///
+/// # Warm-start cache
+///
+/// With `CampaignOptions::builder().warm_start(true)`, scenarios that
+/// share a settle recipe — the same effective configuration (including
+/// the effective noise seed) and the same leading run-in steps — share
+/// the cost of the lock transient. The first scenario per key runs its
+/// settle prefix and takes a [`crate::checkpoint`]; the rest restore
+/// that checkpoint and run only their measurement steps. Because the
+/// cache key covers the effective seed, a restored platform is **bit-
+/// exactly** the platform a cold run would have produced, so warm-start
+/// changes wall-clock time and nothing else: reports stay byte-identical
+/// to cold runs and across worker-thread counts.
+#[derive(Clone, Debug)]
+pub struct CampaignRunner {
+    options: CampaignOptions,
+}
+
+impl Default for CampaignRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CampaignRunner {
+    /// Runner with the default options (see [`CampaignOptions::default`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            options: CampaignOptions::default(),
+        }
+    }
+
+    /// Runner with validated options (the non-deprecated configuration
+    /// path).
+    #[must_use]
+    pub fn with_options(options: CampaignOptions) -> Self {
+        Self { options }
+    }
+
+    /// The runner's options.
+    #[must_use]
+    pub fn options(&self) -> &CampaignOptions {
+        &self.options
+    }
+
+    /// Overrides the worker-thread count (clamped to at least 1).
+    #[deprecated(
+        note = "use CampaignOptions::builder().threads(n) with CampaignRunner::with_options"
+    )]
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads.max(1);
+        self
+    }
+
+    /// Enables (or disables) the settle-checkpoint warm-start cache.
+    #[deprecated(
+        note = "use CampaignOptions::builder().warm_start(enabled) with CampaignRunner::with_options"
+    )]
+    #[must_use]
+    pub fn with_warm_start(mut self, enabled: bool) -> Self {
+        self.options.warm_start = enabled;
+        self
+    }
+
+    /// Enables (or disables) span tracing: the report carries a merged
+    /// [`TraceLog`] with campaign → scenario → step spans. Tracing never
+    /// changes simulation arithmetic — outcomes stay byte-identical with
+    /// it on or off.
+    #[deprecated(
+        note = "use CampaignOptions::builder().tracing(enabled) with CampaignRunner::with_options"
+    )]
+    #[must_use]
+    pub fn with_tracing(mut self, enabled: bool) -> Self {
+        self.options.tracing = enabled;
+        self
+    }
+
+    /// Enables (or disables) a one-line progress report per finished
+    /// scenario on stdout (completion order).
+    #[deprecated(
+        note = "use CampaignOptions::builder().progress(enabled) with CampaignRunner::with_options"
+    )]
+    #[must_use]
+    pub fn with_progress(mut self, enabled: bool) -> Self {
+        self.options.progress = enabled;
+        self
+    }
+
+    /// Installs a progress observer (e.g. a live metrics endpoint).
+    #[deprecated(
+        note = "use CampaignOptions::builder().observer(observer) with CampaignRunner::with_options"
+    )]
+    #[must_use]
+    pub fn with_observer(mut self, observer: Arc<dyn CampaignObserver>) -> Self {
+        self.options.observer = Some(observer);
+        self
+    }
+
+    /// Sets the retry budget for failed scenarios (attempts beyond the
+    /// first; default 1). Retries re-derive the scenario seed with
+    /// [`derive_seed`] unchanged, so a retried success is byte-identical
+    /// to a first-try one; a scenario that fails every attempt is
+    /// quarantined as [`ScenarioStatus::Poisoned`].
+    #[deprecated(
+        note = "use CampaignOptions::builder().retries(n) with CampaignRunner::with_options"
+    )]
+    #[must_use]
+    pub fn with_retries(mut self, max_retries: u32) -> Self {
+        self.options.max_retries = max_retries;
+        self
+    }
+
+    /// Sets the base backoff between attempts, milliseconds (doubles per
+    /// retry, capped at 64× base; default 10 ms). Wall-clock only — never
+    /// part of the deterministic artifacts.
+    #[deprecated(
+        note = "use CampaignOptions::builder().backoff_ms(ms) with CampaignRunner::with_options"
+    )]
+    #[must_use]
+    pub fn with_backoff_ms(mut self, backoff_ms: u64) -> Self {
+        self.options.backoff_ms = backoff_ms;
+        self
+    }
+
+    /// Arms the watchdog: each scenario attempt gets a wall-clock
+    /// deadline of `seconds`; overrunning attempts are cancelled at the
+    /// next heartbeat (step boundaries and ~1024-tick run chunks) and
+    /// recorded as [`ScenarioError::TimedOut`]. Warm-cache waits are
+    /// excluded from the budget. No watchdog thread exists until this is
+    /// set.
+    #[deprecated(
+        note = "use CampaignOptions::builder().deadline_s(seconds) with CampaignRunner::with_options"
+    )]
+    #[must_use]
+    pub fn with_deadline_s(mut self, seconds: f64) -> Self {
+        self.options.deadline_s = Some(seconds);
+        self
+    }
+
+    /// Installs a deterministic chaos plan (seeded worker panics and
+    /// stalls) exercising the supervision layer; see [`ChaosPlan`].
+    #[deprecated(
+        note = "use CampaignOptions::builder().chaos(plan) with CampaignRunner::with_options"
+    )]
+    #[must_use]
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        self.options.chaos = Some(plan);
+        self
+    }
+
+    /// Configured worker-thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.options.threads
+    }
+
+    /// Configured retry budget.
+    #[must_use]
+    pub fn max_retries(&self) -> u32 {
+        self.options.max_retries
+    }
+
+    /// Configured per-scenario deadline, if the watchdog is armed.
+    #[must_use]
+    pub fn deadline_s(&self) -> Option<f64> {
+        self.options.deadline_s
+    }
+
+    /// Whether the warm-start cache is enabled.
+    #[must_use]
+    pub fn warm_start(&self) -> bool {
+        self.options.warm_start
+    }
+
+    /// Whether span tracing is enabled.
+    #[must_use]
+    pub fn tracing(&self) -> bool {
+        self.options.tracing
+    }
+
+    /// Runs every scenario (Monte-Carlo specs expanded into their lanes
+    /// first) and merges the outcomes.
     ///
     /// Infallible: supervision turns worker failures into per-scenario
     /// outcomes, never a campaign abort. Check
@@ -975,13 +1373,17 @@ impl CampaignRunner {
     /// reports a journal error, which it cannot.
     #[must_use]
     pub fn run(&self, scenarios: Vec<ScenarioSpec>) -> CampaignReport {
-        self.run_campaign(scenarios, Vec::new(), None)
+        let (scenarios, parents) = expand_monte_carlo(scenarios);
+        self.run_campaign(scenarios, &parents, Vec::new(), None)
             .expect("campaign without a journal cannot fail")
     }
 
     /// Runs the campaign while journaling each completed scenario to
     /// `path` (created fresh), so a crashed or killed campaign can be
-    /// [`CampaignRunner::resume`]d.
+    /// [`CampaignRunner::resume`]d. Journal records (and the campaign
+    /// digest) are keyed by the **expanded** scenario list: Monte-Carlo
+    /// lanes journal individually, so a crash mid-population loses only
+    /// unfinished lanes.
     ///
     /// # Errors
     ///
@@ -992,9 +1394,10 @@ impl CampaignRunner {
         scenarios: Vec<ScenarioSpec>,
         path: impl AsRef<Path>,
     ) -> Result<CampaignReport, JournalError> {
+        let (scenarios, parents) = expand_monte_carlo(scenarios);
         let digest = journal::campaign_digest(&scenarios);
         let writer = JournalWriter::create(path, digest)?;
-        self.run_campaign(scenarios, Vec::new(), Some(&writer))
+        self.run_campaign(scenarios, &parents, Vec::new(), Some(&writer))
     }
 
     /// Resumes a journaled campaign: scenarios recorded in `path` are
@@ -1015,25 +1418,72 @@ impl CampaignRunner {
         path: impl AsRef<Path>,
     ) -> Result<CampaignReport, JournalError> {
         let path = path.as_ref();
-        if !path.exists() {
-            return self.run_with_journal(scenarios, path);
-        }
+        let (scenarios, parents) = expand_monte_carlo(scenarios);
         let digest = journal::campaign_digest(&scenarios);
+        if !path.exists() {
+            let writer = JournalWriter::create(path, digest)?;
+            return self.run_campaign(scenarios, &parents, Vec::new(), Some(&writer));
+        }
         let recorded = journal::read(path, digest)?;
         let total = scenarios.len();
         let preloaded: Vec<ScenarioOutcome> =
             recorded.into_iter().filter(|o| o.index < total).collect();
         let writer = JournalWriter::append_to(path, digest)?;
-        self.run_campaign(scenarios, preloaded, Some(&writer))
+        self.run_campaign(scenarios, &parents, preloaded, Some(&writer))
+    }
+
+    /// Partitions the remaining work into pool units: runs of consecutive
+    /// fleet-eligible Monte-Carlo sibling lanes become
+    /// [`WorkUnit::Fleet`] groups of at most [`FLEET_GROUP_MAX`] lanes;
+    /// everything else runs scalar. Grouping is disabled wholesale when a
+    /// runner feature the fleet cannot express is on (warm-start cache,
+    /// span tracing, chaos injection) — those campaigns run every lane
+    /// scalar, with byte-identical results.
+    fn plan_units(
+        &self,
+        work: Vec<(usize, ScenarioSpec)>,
+        parents: &[Option<usize>],
+    ) -> Vec<WorkUnit> {
+        let fleet_allowed = self.options.fleet
+            && !self.options.warm_start
+            && !self.options.tracing
+            && self.options.chaos.is_none();
+        let mut units: Vec<WorkUnit> = Vec::new();
+        for (index, spec) in work {
+            let parent = parents.get(index).copied().flatten();
+            if fleet_allowed && parent.is_some() && fleet_eligible(&spec) {
+                if let Some(WorkUnit::Fleet(group)) = units.last_mut() {
+                    if parents[group[0].0] == parent && group.len() < FLEET_GROUP_MAX {
+                        group.push((index, spec));
+                        continue;
+                    }
+                }
+                units.push(WorkUnit::Fleet(vec![(index, spec)]));
+            } else {
+                units.push(WorkUnit::Single(Box::new((index, spec))));
+            }
+        }
+        // A one-lane fleet is scalar execution plus sync overhead: demote.
+        for unit in &mut units {
+            if let WorkUnit::Fleet(group) = unit {
+                if group.len() == 1 {
+                    *unit = WorkUnit::Single(Box::new(group.pop().expect("length checked")));
+                }
+            }
+        }
+        units
     }
 
     /// The execution core: runs every scenario not already `preloaded`
     /// under supervision (panic isolation, watchdog, retry, chaos),
     /// journals completions, and merges everything in input order.
+    /// `parents` maps each expanded index to its Monte-Carlo parent
+    /// (`None` for plain scenarios) and keys fleet grouping.
     #[allow(clippy::too_many_lines)]
     fn run_campaign(
         &self,
         scenarios: Vec<ScenarioSpec>,
+        parents: &[Option<usize>],
         preloaded: Vec<ScenarioOutcome>,
         writer: Option<&JournalWriter>,
     ) -> Result<CampaignReport, JournalError> {
@@ -1046,21 +1496,27 @@ impl CampaignRunner {
             .enumerate()
             .filter(|(index, _)| !done_indices.contains(index))
             .collect();
-        // Identity of each work item, kept outside the pool so even a
+        let units = self.plan_units(work, parents);
+        // Identity of each unit's lanes, kept outside the pool so even a
         // scenario whose slot comes back empty gets a typed placeholder.
-        let meta: Vec<(usize, String, u64)> = work
+        let meta: Vec<Vec<(usize, String, u64)>> = units
             .iter()
-            .map(|(index, spec)| {
-                let seed = spec
-                    .seed
-                    .unwrap_or_else(|| derive_seed(spec.config.seed, *index as u64));
-                (*index, spec.name.clone(), seed)
+            .map(|unit| {
+                unit.lanes()
+                    .iter()
+                    .map(|(index, spec)| {
+                        let seed = spec
+                            .seed
+                            .unwrap_or_else(|| derive_seed(spec.config.seed, *index as u64));
+                        (*index, spec.name.clone(), seed)
+                    })
+                    .collect()
             })
             .collect();
-        let cache = self.warm_start.then(WarmCache::default);
+        let cache = self.options.warm_start.then(WarmCache::default);
         let hits = AtomicUsize::new(0);
         let done = AtomicUsize::new(resumed);
-        let collector = self.tracing.then(TraceCollector::new);
+        let collector = self.options.tracing.then(TraceCollector::new);
         // The campaign root span lives on track 0; scenario tracks are
         // `index + 1`.
         let mut root = collector.as_ref().map(|c| {
@@ -1068,59 +1524,17 @@ impl CampaignRunner {
             let id = rec.begin("campaign", 0.0);
             (rec, id)
         });
-        let watchdog = self.deadline_s.map(|d| Watchdog::spawn(work.len(), d));
+        let watchdog = self
+            .options
+            .deadline_s
+            .map(|d| Watchdog::spawn(units.len(), d));
         let journal_failure: Mutex<Option<JournalError>> = Mutex::new(None);
 
-        let slots = try_parallel_map(work, self.threads, |slot, (index, spec)| {
-            let t0 = Instant::now();
-            let ctx = AttemptCtx {
-                watchdog: watchdog.as_ref(),
-                slot,
-            };
-            let mut errors: Vec<ScenarioError> = Vec::new();
-            let (out, warm_hit) = loop {
-                let attempt = errors.len() as u32;
-                if attempt > 0 {
-                    let factor = 1u64 << u64::from((attempt - 1).min(6));
-                    std::thread::sleep(Duration::from_millis(self.backoff_ms * factor));
-                }
-                ctx.arm();
-                let caught = catch_unwind(AssertUnwindSafe(|| {
-                    run_attempt(
-                        index,
-                        attempt,
-                        &spec,
-                        cache.as_ref(),
-                        &hits,
-                        collector.as_ref(),
-                        ctx,
-                        self.chaos.as_ref(),
-                    )
-                }));
-                ctx.disarm();
-                let attempt_result = caught.unwrap_or_else(|payload| {
-                    Err(ScenarioError::Panicked {
-                        message: panic_message(payload.as_ref()),
-                    })
-                });
-                match attempt_result {
-                    Ok((mut out, warm_hit)) => {
-                        out.attempt_errors.clone_from(&errors);
-                        break (out, warm_hit);
-                    }
-                    Err(err) => {
-                        errors.push(err);
-                        if errors.len() > self.max_retries as usize {
-                            let seed = spec
-                                .seed
-                                .unwrap_or_else(|| derive_seed(spec.config.seed, index as u64));
-                            break (poisoned_outcome(index, &spec.name, seed, errors), false);
-                        }
-                    }
-                }
-            };
+        // Journals one finished outcome and emits its progress line
+        // (shared by the scalar and fleet arms below).
+        let finish = |out: &ScenarioOutcome, wall_ms: f64, warm: Option<bool>| {
             if let Some(writer) = writer {
-                if let Err(e) = writer.append(&out) {
+                if let Err(e) = writer.append(out) {
                     let mut parked = journal_failure
                         .lock()
                         .unwrap_or_else(PoisonError::into_inner);
@@ -1128,26 +1542,148 @@ impl CampaignRunner {
                 }
             }
             let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
-            if self.progress || self.observer.is_some() {
+            if self.options.progress || self.options.observer.is_some() {
                 let progress = ScenarioProgress {
-                    index,
+                    index: out.index,
                     total,
                     name: out.name.clone(),
-                    wall_ms: t0.elapsed().as_secs_f64() * 1.0e3,
-                    warm: cache.as_ref().map(|_| warm_hit),
+                    wall_ms,
+                    warm,
                     triggered: out.capture.is_some(),
                     completed,
                     retries: out.retries(),
                     status: out.status,
                 };
-                if self.progress {
+                if self.options.progress {
                     println!("{progress}");
                 }
-                if let Some(obs) = self.observer.as_deref() {
+                if let Some(obs) = self.options.observer.as_deref() {
                     obs.scenario_finished(&progress);
                 }
             }
-            out
+        };
+
+        let slots = try_parallel_map(units, self.options.threads, |slot, unit| {
+            let t0 = Instant::now();
+            let ctx = AttemptCtx {
+                watchdog: watchdog.as_ref(),
+                slot,
+            };
+            match unit {
+                WorkUnit::Single(lane) => {
+                    let (index, spec) = *lane;
+                    let mut errors: Vec<ScenarioError> = Vec::new();
+                    let (out, warm_hit) = loop {
+                        let attempt = errors.len() as u32;
+                        if attempt > 0 {
+                            let factor = 1u64 << u64::from((attempt - 1).min(6));
+                            std::thread::sleep(Duration::from_millis(
+                                self.options.backoff_ms * factor,
+                            ));
+                        }
+                        ctx.arm();
+                        let caught = catch_unwind(AssertUnwindSafe(|| {
+                            run_attempt(
+                                index,
+                                attempt,
+                                &spec,
+                                cache.as_ref(),
+                                &hits,
+                                collector.as_ref(),
+                                ctx,
+                                self.options.chaos.as_ref(),
+                            )
+                        }));
+                        ctx.disarm();
+                        let attempt_result = caught.unwrap_or_else(|payload| {
+                            Err(ScenarioError::Panicked {
+                                message: panic_message(payload.as_ref()),
+                            })
+                        });
+                        match attempt_result {
+                            Ok((mut out, warm_hit)) => {
+                                out.attempt_errors.clone_from(&errors);
+                                break (out, warm_hit);
+                            }
+                            Err(err) => {
+                                errors.push(err);
+                                if errors.len() > self.options.max_retries as usize {
+                                    let seed = spec.seed.unwrap_or_else(|| {
+                                        derive_seed(spec.config.seed, index as u64)
+                                    });
+                                    break (
+                                        poisoned_outcome(index, &spec.name, seed, errors),
+                                        false,
+                                    );
+                                }
+                            }
+                        }
+                    };
+                    finish(
+                        &out,
+                        t0.elapsed().as_secs_f64() * 1.0e3,
+                        cache.as_ref().map(|_| warm_hit),
+                    );
+                    vec![out]
+                }
+                WorkUnit::Fleet(lanes) => {
+                    let mut errors: Vec<ScenarioError> = Vec::new();
+                    let outs = loop {
+                        let attempt = errors.len() as u32;
+                        if attempt > 0 {
+                            let factor = 1u64 << u64::from((attempt - 1).min(6));
+                            std::thread::sleep(Duration::from_millis(
+                                self.options.backoff_ms * factor,
+                            ));
+                        }
+                        ctx.arm();
+                        let caught =
+                            catch_unwind(AssertUnwindSafe(|| run_fleet_attempt(&lanes, ctx)));
+                        ctx.disarm();
+                        let attempt_result = caught.unwrap_or_else(|payload| {
+                            Err(ScenarioError::Panicked {
+                                message: panic_message(payload.as_ref()),
+                            })
+                        });
+                        match attempt_result {
+                            Ok(mut outs) => {
+                                for out in &mut outs {
+                                    out.attempt_errors.clone_from(&errors);
+                                }
+                                break outs;
+                            }
+                            Err(err) => {
+                                errors.push(err);
+                                if errors.len() > self.options.max_retries as usize {
+                                    // The group fails whole: every lane is
+                                    // quarantined with the shared history.
+                                    break lanes
+                                        .iter()
+                                        .map(|(index, spec)| {
+                                            let seed = spec.seed.unwrap_or_else(|| {
+                                                derive_seed(spec.config.seed, *index as u64)
+                                            });
+                                            poisoned_outcome(
+                                                *index,
+                                                &spec.name,
+                                                seed,
+                                                errors.clone(),
+                                            )
+                                        })
+                                        .collect();
+                                }
+                            }
+                        }
+                    };
+                    // Wall time amortized over the batch: the lanes ran as
+                    // one lockstep unit.
+                    let lane_ms = t0.elapsed().as_secs_f64() * 1.0e3 / outs.len().max(1) as f64;
+                    for out in &outs {
+                        finish(out, lane_ms, None);
+                    }
+                    outs
+                }
+            }
         });
         drop(watchdog); // stops the scanner thread
 
@@ -1155,17 +1691,20 @@ impl CampaignRunner {
         outcomes.reserve(slots.len());
         for (slot, result) in slots.into_iter().enumerate() {
             match result {
-                Ok(out) => outcomes.push(out),
+                Ok(outs) => outcomes.extend(outs),
                 // The supervised closure itself failed — convert the pool
-                // error into a quarantined placeholder so the report still
-                // covers every scenario.
+                // error into quarantined placeholders so the report still
+                // covers every scenario of the unit.
                 Err(e) => {
-                    let (index, name, seed) = &meta[slot];
-                    let err = match e {
-                        MapError::Panicked { message } => ScenarioError::Panicked { message },
-                        MapError::Missing => ScenarioError::Missing,
-                    };
-                    outcomes.push(poisoned_outcome(*index, name, *seed, vec![err]));
+                    for (index, name, seed) in &meta[slot] {
+                        let err = match &e {
+                            MapError::Panicked { message } => ScenarioError::Panicked {
+                                message: message.clone(),
+                            },
+                            MapError::Missing => ScenarioError::Missing,
+                        };
+                        outcomes.push(poisoned_outcome(*index, name, *seed, vec![err]));
+                    }
                 }
             }
         }
@@ -1193,13 +1732,235 @@ impl CampaignRunner {
         });
         Ok(CampaignReport {
             outcomes,
-            threads: self.threads,
+            threads: self.options.threads,
             wall_s: start.elapsed().as_secs_f64(),
             warm_hits: hits.load(Ordering::Relaxed),
             resumed,
             trace,
         })
     }
+}
+
+/// Maximum Monte-Carlo lanes batched onto one [`PlatformFleet`] work
+/// unit. Sixteen AVX2 f64 lanes keep the SoA buffers inside L1/L2 while
+/// leaving enough units for the worker pool to balance.
+const FLEET_GROUP_MAX: usize = 16;
+
+/// One unit of pool work: a scalar scenario, or consecutive Monte-Carlo
+/// sibling lanes batched onto one [`PlatformFleet`].
+enum WorkUnit {
+    Single(Box<(usize, ScenarioSpec)>),
+    Fleet(Vec<(usize, ScenarioSpec)>),
+}
+
+impl WorkUnit {
+    /// The unit's lanes in input order (a single scenario is one lane).
+    fn lanes(&self) -> &[(usize, ScenarioSpec)] {
+        match self {
+            Self::Single(lane) => std::slice::from_ref(lane),
+            Self::Fleet(lanes) => lanes,
+        }
+    }
+}
+
+/// Whether a lane spec can run on the batched fleet path: only the
+/// lockstep-safe step vocabulary, no monitor CPU, no fault plans, and a
+/// configuration that validates. Anything subtler — armed recorders,
+/// gated paths, non-uniform lane state — is caught by
+/// [`PlatformFleet::new`] at attempt time, which falls back to scalar
+/// execution with identical results.
+fn fleet_eligible(spec: &ScenarioSpec) -> bool {
+    spec.config.validate().is_ok()
+        && !spec.config.cpu_enabled
+        && spec.config.faults.is_empty()
+        && spec.faults.is_empty()
+        && spec.steps.iter().all(|s| {
+            matches!(
+                s,
+                Step::Run { .. }
+                    | Step::SetRate { .. }
+                    | Step::SetTemperature { .. }
+                    | Step::MeasureMeanRate { .. }
+            )
+        })
+}
+
+/// Uniform draw in [-1, 1) for one dispersion channel of one lane,
+/// derived from the lane seed with the same splitmix mixing as
+/// [`derive_seed`] (channel ↦ independent stream).
+fn dispersion_draw(lane_seed: u64, channel: u64) -> f64 {
+    let bits = derive_seed(lane_seed, channel);
+    (bits >> 11) as f64 * (2.0 / (1u64 << 53) as f64) - 1.0
+}
+
+/// Applies one lane's dispersion draws to its configuration (see the
+/// [`Dispersion`] field table).
+fn disperse_config(config: &mut PlatformConfig, d: &Dispersion, lane_seed: u64) {
+    let g = &mut config.gyro;
+    g.f0 = Hertz(g.f0.0 * (1.0 + d.omega_frac * dispersion_draw(lane_seed, 0)));
+    g.q_drive *= 1.0 + d.q_frac * dispersion_draw(lane_seed, 1);
+    g.q_sense *= 1.0 + d.q_frac * dispersion_draw(lane_seed, 2);
+    g.quadrature_rate =
+        DegPerSec(g.quadrature_rate.0 + d.offset_dps * dispersion_draw(lane_seed, 3));
+    config.charge_gain *= 1.0 + d.gain_frac * dispersion_draw(lane_seed, 4);
+}
+
+/// Expands every Monte-Carlo spec into its dispersed lanes, in input
+/// order. Lane `i` of a spec becomes scenario `{name}/mc{i}` with seed
+/// `derive_seed(base, expanded_index)` — `base` being the spec's seed
+/// override or its config seed — and a configuration perturbed by the
+/// spec's [`Dispersion`] drawn from that same lane seed. Returns the
+/// expanded list plus, per expanded index, the input index of the
+/// Monte-Carlo parent (`None` for plain scenarios): the grouping key for
+/// batched fleet execution.
+fn expand_monte_carlo(scenarios: Vec<ScenarioSpec>) -> (Vec<ScenarioSpec>, Vec<Option<usize>>) {
+    let mut expanded = Vec::with_capacity(scenarios.len());
+    let mut parents = Vec::with_capacity(scenarios.len());
+    for (parent, spec) in scenarios.into_iter().enumerate() {
+        let Some((lanes, dispersion)) = spec.monte_carlo else {
+            expanded.push(spec);
+            parents.push(None);
+            continue;
+        };
+        let base = spec.seed.unwrap_or(spec.config.seed);
+        for lane in 0..lanes {
+            let lane_seed = derive_seed(base, expanded.len() as u64);
+            let mut s = spec.clone();
+            s.monte_carlo = None;
+            s.name = format!("{}/mc{lane}", spec.name);
+            s.seed = Some(lane_seed);
+            disperse_config(&mut s.config, &dispersion, lane_seed);
+            expanded.push(s);
+            parents.push(Some(parent));
+        }
+    }
+    (expanded, parents)
+}
+
+/// Advances a fleet by `seconds` — identical tick rounding to [`run_for`]
+/// — in [`RUN_BLOCK_TICKS`] chunks so a pending watchdog cancellation is
+/// observed between chunks.
+fn fleet_run_for(
+    fleet: &mut PlatformFleet,
+    dsp_rate: f64,
+    seconds: f64,
+    ctx: AttemptCtx<'_>,
+) -> Result<(), Cancelled> {
+    let mut ticks = (seconds * dsp_rate).round() as u64;
+    while ticks > 0 {
+        ctx.check()?;
+        let block = ticks.min(RUN_BLOCK_TICKS);
+        fleet.step_block(block);
+        ticks -= block;
+    }
+    Ok(())
+}
+
+/// Runs one attempt of a group of Monte-Carlo sibling lanes batched on a
+/// [`PlatformFleet`]: the SoA transcription of [`run_attempt`] restricted
+/// to the fleet-safe step vocabulary ([`fleet_eligible`]). Outcomes are
+/// byte-identical to running each lane through the scalar path — the
+/// fleet's determinism contract. If the built platforms turn out
+/// fleet-ineligible after all (e.g. an armed recorder), the lanes fall
+/// back to scalar execution inside this same attempt, with identical
+/// results.
+fn run_fleet_attempt(
+    lanes: &[(usize, ScenarioSpec)],
+    ctx: AttemptCtx<'_>,
+) -> Result<Vec<ScenarioOutcome>, ScenarioError> {
+    let dummy_hits = AtomicUsize::new(0);
+    let mut outs = Vec::with_capacity(lanes.len());
+    let mut platforms = Vec::with_capacity(lanes.len());
+    for (index, spec) in lanes {
+        let mut config = spec.config.clone();
+        let seed = spec
+            .seed
+            .unwrap_or_else(|| derive_seed(config.seed, *index as u64));
+        config.seed = seed;
+        outs.push(ScenarioOutcome {
+            name: spec.name.clone(),
+            index: *index,
+            seed,
+            metrics: Vec::new(),
+            series: Vec::new(),
+            // Eligibility guarantees empty fault plans, so the scalar
+            // path's class scrape is vacuous here.
+            fault_classes: Vec::new(),
+            transitions: Vec::new(),
+            capture: None,
+            attempt_errors: Vec::new(),
+            status: ScenarioStatus::Done,
+        });
+        platforms.push(Platform::new(config));
+    }
+    let mut fleet = match PlatformFleet::new(platforms) {
+        Ok(fleet) => fleet,
+        // Grouping is an optimistic fast path: anything the fleet's own
+        // eligibility check rejects runs scalar in this same slot.
+        Err(_ineligible) => {
+            return lanes
+                .iter()
+                .map(|(index, spec)| {
+                    run_attempt(*index, 0, spec, None, &dummy_hits, None, ctx, None)
+                        .map(|(out, _)| out)
+                })
+                .collect();
+        }
+    };
+    // Monte-Carlo siblings share their parent's steps, duration, and DSP
+    // rate; only seeds and dispersed physical parameters differ.
+    let spec0 = &lanes[0].1;
+    let dsp_rate = spec0.config.dsp_rate.0;
+    let timed_out = |_: Cancelled| ScenarioError::TimedOut {
+        deadline_s: ctx.deadline_s().unwrap_or(0.0),
+    };
+    let mut acc = vec![0.0; lanes.len()];
+    for step in &spec0.steps {
+        match step {
+            Step::Run { seconds } => {
+                fleet_run_for(&mut fleet, dsp_rate, *seconds, ctx).map_err(timed_out)?;
+            }
+            Step::SetRate { dps } => fleet.for_each_platform(|p| p.set_rate(DegPerSec(*dps))),
+            Step::SetTemperature { celsius } => {
+                fleet.for_each_platform(|p| p.set_temperature(Celsius(*celsius)));
+            }
+            Step::MeasureMeanRate { label, window_s } => {
+                // Mirrors [`mean_rate`] tick-for-tick, accumulating every
+                // lane from the same lockstep sweep.
+                let ticks = ((window_s * dsp_rate).round() as u64).max(1);
+                acc.iter_mut().for_each(|a| *a = 0.0);
+                for i in 0..ticks {
+                    if i % HEARTBEAT_TICKS == 0 {
+                        ctx.check().map_err(timed_out)?;
+                    }
+                    fleet.step();
+                    for (lane, a) in acc.iter_mut().enumerate() {
+                        *a += fleet.rate_output_dps(lane);
+                    }
+                }
+                for (lane, out) in outs.iter_mut().enumerate() {
+                    out.metrics.push((label.clone(), acc[lane] / ticks as f64));
+                }
+            }
+            other => unreachable!("non-fleet step `{}` grouped onto a fleet", other.label()),
+        }
+    }
+    if fleet.time() < spec0.duration_s {
+        let remaining = spec0.duration_s - fleet.time();
+        fleet_run_for(&mut fleet, dsp_rate, remaining, ctx).map_err(timed_out)?;
+    }
+    let mut members = fleet.into_platforms();
+    for (out, p) in outs.iter_mut().zip(&mut members) {
+        out.transitions.extend(scrape_transitions(p));
+        out.capture = p.take_capture();
+        if p.recorder().is_some() {
+            out.metrics.push((
+                "recorder_triggered".into(),
+                f64::from(u8::from(out.capture.is_some())),
+            ));
+        }
+    }
+    Ok(outs)
 }
 
 /// The quarantined outcome of a scenario that failed every attempt.
@@ -1956,6 +2717,16 @@ mod tests {
         PlatformConfig::builder().quiet().build().expect("valid")
     }
 
+    /// Runner with `threads` workers and otherwise default options.
+    fn runner(threads: usize) -> CampaignRunner {
+        CampaignRunner::with_options(
+            CampaignOptions::builder()
+                .threads(threads)
+                .build()
+                .expect("valid options"),
+        )
+    }
+
     fn quick_scenarios() -> Vec<ScenarioSpec> {
         vec![
             ScenarioSpec::new("a", quick_cfg())
@@ -1978,15 +2749,15 @@ mod tests {
 
     #[test]
     fn report_is_identical_across_thread_counts() {
-        let serial = CampaignRunner::new().with_threads(1).run(quick_scenarios());
-        let parallel = CampaignRunner::new().with_threads(4).run(quick_scenarios());
+        let serial = runner(1).run(quick_scenarios());
+        let parallel = runner(4).run(quick_scenarios());
         assert_eq!(serial.outcomes, parallel.outcomes);
         assert_eq!(serial.to_csv(), parallel.to_csv());
     }
 
     #[test]
     fn duration_floor_extends_the_run() {
-        let report = CampaignRunner::new().with_threads(1).run(quick_scenarios());
+        let report = runner(1).run(quick_scenarios());
         // Scenario "b" runs 0.01 s of steps but has a 0.03 s floor; its
         // fault fired inside the floor, so the plan saw activity.
         assert_eq!(report.outcomes[1].name, "b");
@@ -2000,7 +2771,7 @@ mod tests {
             ScenarioSpec::new("y", cfg.clone()),
             ScenarioSpec::new("z", cfg).with_seed(42),
         ];
-        let report = CampaignRunner::new().with_threads(2).run(specs);
+        let report = runner(2).run(specs);
         assert_ne!(report.outcomes[0].seed, report.outcomes[1].seed);
         assert_eq!(report.outcomes[2].seed, 42);
     }
@@ -2009,7 +2780,7 @@ mod tests {
     fn invalid_config_becomes_an_outcome_not_a_panic() {
         let mut spec = ScenarioSpec::new("bad", quick_cfg());
         spec.config.analog_oversample = 0;
-        let report = CampaignRunner::new().with_threads(1).run(vec![spec]);
+        let report = runner(1).run(vec![spec]);
         assert_eq!(report.outcomes[0].metric("config_valid"), Some(0.0));
     }
 
@@ -2033,13 +2804,15 @@ mod tests {
 
     #[test]
     fn warm_start_is_byte_identical_to_cold() {
-        let cold = CampaignRunner::new()
-            .with_threads(2)
-            .run(shared_settle_scenarios());
-        let warm = CampaignRunner::new()
-            .with_threads(2)
-            .with_warm_start(true)
-            .run(shared_settle_scenarios());
+        let cold = runner(2).run(shared_settle_scenarios());
+        let warm = CampaignRunner::with_options(
+            CampaignOptions::builder()
+                .threads(2)
+                .warm_start(true)
+                .build()
+                .expect("valid options"),
+        )
+        .run(shared_settle_scenarios());
         assert_eq!(cold.warm_hits, 0);
         assert_eq!(warm.warm_hits, 15, "15 of 16 scenarios must hit the cache");
         assert_eq!(cold.outcomes, warm.outcomes);
@@ -2051,10 +2824,14 @@ mod tests {
         let runs: Vec<_> = [1, 2, 4]
             .iter()
             .map(|&t| {
-                CampaignRunner::new()
-                    .with_threads(t)
-                    .with_warm_start(true)
-                    .run(shared_settle_scenarios())
+                CampaignRunner::with_options(
+                    CampaignOptions::builder()
+                        .threads(t)
+                        .warm_start(true)
+                        .build()
+                        .expect("valid options"),
+                )
+                .run(shared_settle_scenarios())
             })
             .collect();
         assert_eq!(runs[0].outcomes, runs[1].outcomes);
@@ -2077,18 +2854,22 @@ mod tests {
                     })
             })
             .collect();
-        let cold = CampaignRunner::new().with_threads(1).run(specs.clone());
-        let warm = CampaignRunner::new()
-            .with_threads(1)
-            .with_warm_start(true)
-            .run(specs);
+        let cold = runner(1).run(specs.clone());
+        let warm = CampaignRunner::with_options(
+            CampaignOptions::builder()
+                .threads(1)
+                .warm_start(true)
+                .build()
+                .expect("valid options"),
+        )
+        .run(specs);
         assert_eq!(warm.warm_hits, 0);
         assert_eq!(cold.outcomes, warm.outcomes);
     }
 
     #[test]
     fn csv_and_telemetry_carry_the_metrics() {
-        let report = CampaignRunner::new().with_threads(1).run(quick_scenarios());
+        let report = runner(1).run(quick_scenarios());
         let csv = report.to_csv();
         assert!(csv.starts_with("scenario,metric,value,status\n"));
         assert!(csv.contains("a,mean_dps,"));
@@ -2140,11 +2921,15 @@ mod tests {
     #[test]
     fn poisoned_scenarios_ship_as_failed_rows_not_aborts() {
         let seed = chaos_seed_with(ChaosInjection::Panic);
-        let report = CampaignRunner::new()
-            .with_threads(2)
-            .with_retries(0)
-            .with_chaos(ChaosPlan::new(seed).with_stall_cap_s(0.05))
-            .run(quick_scenarios());
+        let report = CampaignRunner::with_options(
+            CampaignOptions::builder()
+                .threads(2)
+                .retries(0)
+                .chaos(ChaosPlan::new(seed).with_stall_cap_s(0.05))
+                .build()
+                .expect("valid options"),
+        )
+        .run(quick_scenarios());
         assert_eq!(report.outcomes.len(), 2, "pool must drain past the panic");
         let poisoned = &report.outcomes[0];
         assert!(poisoned.failed());
@@ -2165,13 +2950,17 @@ mod tests {
     #[test]
     fn retry_makes_chaos_byte_identical_to_undisturbed() {
         let seed = chaos_seed_with(ChaosInjection::Panic);
-        let clean = CampaignRunner::new().with_threads(2).run(quick_scenarios());
-        let chaotic = CampaignRunner::new()
-            .with_threads(2)
-            .with_retries(1)
-            .with_backoff_ms(1)
-            .with_chaos(ChaosPlan::new(seed).with_stall_cap_s(0.05))
-            .run(quick_scenarios());
+        let clean = runner(2).run(quick_scenarios());
+        let chaotic = CampaignRunner::with_options(
+            CampaignOptions::builder()
+                .threads(2)
+                .retries(1)
+                .backoff_ms(1)
+                .chaos(ChaosPlan::new(seed).with_stall_cap_s(0.05))
+                .build()
+                .expect("valid options"),
+        )
+        .run(quick_scenarios());
         assert_eq!(chaotic.poisoned(), 0, "one retry must absorb the chaos");
         assert!(chaotic.retries_total() >= 1, "chaos must have fired");
         assert_eq!(clean.to_csv(), chaotic.to_csv());
@@ -2179,5 +2968,235 @@ mod tests {
             assert_eq!(a.metrics, b.metrics);
             assert_eq!(a.seed, b.seed, "retry must not re-derive the seed");
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setters_delegate_to_options() {
+        let runner = CampaignRunner::new()
+            .with_threads(3)
+            .with_warm_start(true)
+            .with_tracing(true)
+            .with_retries(5)
+            .with_backoff_ms(7)
+            .with_deadline_s(2.5);
+        let o = runner.options();
+        assert_eq!(o.threads(), 3);
+        assert!(o.warm_start());
+        assert!(o.tracing());
+        assert_eq!(o.max_retries(), 5);
+        assert_eq!(o.backoff_ms(), 7);
+        assert_eq!(o.deadline_s(), Some(2.5));
+        // The legacy setter clamps where the builder errors.
+        assert_eq!(CampaignRunner::new().with_threads(0).options().threads(), 1);
+    }
+
+    #[test]
+    fn options_builder_validates_each_field() {
+        let err = |b: CampaignOptionsBuilder| b.build().expect_err("invalid").to_string();
+        assert!(err(CampaignOptions::builder().threads(0)).contains("threads"));
+        assert!(err(CampaignOptions::builder().deadline_s(0.0)).contains("deadline_s"));
+        assert!(err(CampaignOptions::builder().deadline_s(f64::NAN)).contains("deadline_s"));
+        assert!(err(CampaignOptions::builder().backoff_ms(60_001)).contains("backoff_ms"));
+        assert!(
+            err(CampaignOptions::builder().chaos(ChaosPlan::new(1).with_stall_cap_s(f64::NAN)))
+                .contains("stall_cap_s")
+        );
+        let o = CampaignOptions::builder()
+            .threads(2)
+            .retries(3)
+            .backoff_ms(20)
+            .deadline_s(4.0)
+            .fleet(false)
+            .build()
+            .expect("valid");
+        assert_eq!(o.threads(), 2);
+        assert_eq!(o.max_retries(), 3);
+        assert_eq!(o.backoff_ms(), 20);
+        assert_eq!(o.deadline_s(), Some(4.0));
+        assert!(!o.fleet());
+        assert!(
+            CampaignOptions::default().fleet(),
+            "fleet batching defaults on"
+        );
+    }
+
+    /// A five-lane Monte-Carlo spec dispersing every supported parameter,
+    /// using only the fleet-safe step vocabulary.
+    fn mc_spec() -> ScenarioSpec {
+        ScenarioSpec::new("mc", quick_cfg())
+            .with_step(Step::Run { seconds: 0.02 })
+            .with_step(Step::SetRate { dps: 60.0 })
+            .with_step(Step::MeasureMeanRate {
+                label: "mean_dps".into(),
+                window_s: 0.01,
+            })
+            .monte_carlo(
+                5,
+                Dispersion::none()
+                    .with_omega_frac(0.02)
+                    .with_q_frac(0.05)
+                    .with_offset_dps(10.0)
+                    .with_gain_frac(0.03),
+            )
+    }
+
+    #[test]
+    fn monte_carlo_expands_into_distinct_dispersed_lanes() {
+        let report = runner(1).run(vec![mc_spec()]);
+        assert_eq!(report.outcomes.len(), 5);
+        for (lane, out) in report.outcomes.iter().enumerate() {
+            assert_eq!(out.name, format!("mc/mc{lane}"));
+            assert!(!out.failed());
+        }
+        let seeds: HashSet<u64> = report.outcomes.iter().map(|o| o.seed).collect();
+        assert_eq!(seeds.len(), 5, "per-lane seeds must be distinct");
+        let means: Vec<f64> = report
+            .outcomes
+            .iter()
+            .map(|o| o.metric("mean_dps").expect("measured"))
+            .collect();
+        for pair in means.windows(2) {
+            assert_ne!(pair[0], pair[1], "dispersion must perturb the physics");
+        }
+    }
+
+    #[test]
+    fn fleet_execution_is_byte_identical_to_scalar() {
+        let scalar = CampaignRunner::with_options(
+            CampaignOptions::builder()
+                .threads(1)
+                .fleet(false)
+                .build()
+                .expect("valid"),
+        )
+        .run(vec![mc_spec()]);
+        for threads in [1, 4] {
+            let fleet = runner(threads).run(vec![mc_spec()]);
+            assert_eq!(scalar.outcomes, fleet.outcomes);
+            assert_eq!(scalar.to_csv(), fleet.to_csv());
+        }
+    }
+
+    #[test]
+    fn spec_seed_override_still_disperses_lanes() {
+        // A spec-level seed replaces the *base* of the per-lane stream,
+        // not the lanes' seeds: lane `e` still draws
+        // `derive_seed(base, e)`, so lanes stay distinct.
+        let spec = mc_spec().with_seed(42);
+        let a = runner(1).run(vec![spec.clone()]);
+        let b = runner(2).run(vec![spec]);
+        assert_eq!(a.to_csv(), b.to_csv());
+        let seeds: Vec<u64> = a.outcomes.iter().map(|o| o.seed).collect();
+        for (lane, &seed) in seeds.iter().enumerate() {
+            assert_eq!(seed, derive_seed(42, lane as u64));
+        }
+        assert_eq!(seeds.iter().collect::<HashSet<_>>().len(), 5);
+        let means: Vec<f64> = a
+            .outcomes
+            .iter()
+            .map(|o| o.metric("mean_dps").expect("measured"))
+            .collect();
+        for pair in means.windows(2) {
+            assert_ne!(pair[0], pair[1], "seeded lanes must still disperse");
+        }
+    }
+
+    #[test]
+    fn mixed_campaign_interleaves_scalar_and_fleet_units() {
+        // Plain scenario + Monte-Carlo population + faulted scenario:
+        // only the population batches; outcomes keep expanded order.
+        let mut specs = quick_scenarios();
+        specs.insert(1, mc_spec());
+        let fleet = runner(2).run(specs.clone());
+        let scalar = CampaignRunner::with_options(
+            CampaignOptions::builder()
+                .threads(2)
+                .fleet(false)
+                .build()
+                .expect("valid"),
+        )
+        .run(specs);
+        assert_eq!(fleet.outcomes.len(), 7);
+        assert_eq!(fleet.outcomes[0].name, "a");
+        assert_eq!(fleet.outcomes[1].name, "mc/mc0");
+        assert_eq!(fleet.outcomes[5].name, "mc/mc4");
+        assert_eq!(fleet.outcomes[6].name, "b");
+        assert_eq!(fleet.outcomes, scalar.outcomes);
+        assert_eq!(fleet.to_csv(), scalar.to_csv());
+    }
+
+    #[test]
+    fn monte_carlo_campaign_resumes_byte_identically() {
+        let path =
+            std::env::temp_dir().join(format!("ascp_mc_resume_{}.journal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let first = runner(2)
+            .resume(vec![mc_spec()], &path)
+            .expect("fresh journaled run");
+        assert_eq!(first.resumed, 0);
+        let second = runner(2).resume(vec![mc_spec()], &path).expect("resume");
+        assert_eq!(second.resumed, 5, "every expanded lane must preload");
+        assert_eq!(first.to_csv(), second.to_csv());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn planner_batches_eligible_sibling_lanes() {
+        let (expanded, parents) = expand_monte_carlo(vec![mc_spec()]);
+        let work: Vec<(usize, ScenarioSpec)> = expanded.into_iter().enumerate().collect();
+        let units = runner(1).plan_units(work.clone(), &parents);
+        assert_eq!(units.len(), 1);
+        assert!(matches!(&units[0], WorkUnit::Fleet(lanes) if lanes.len() == 5));
+        // The batched lanes must be genuinely fleet-able, not silently
+        // falling back to scalar at attempt time.
+        let platforms: Vec<Platform> = units[0]
+            .lanes()
+            .iter()
+            .map(|(index, spec)| {
+                let mut config = spec.config.clone();
+                config.seed = spec
+                    .seed
+                    .unwrap_or_else(|| derive_seed(config.seed, *index as u64));
+                Platform::new(config)
+            })
+            .collect();
+        assert!(
+            PlatformFleet::new(platforms).is_ok(),
+            "dispersed mc lanes must be fleet-eligible"
+        );
+        // Warm-start and fleet(false) both force every lane scalar.
+        for options in [
+            CampaignOptions::builder().warm_start(true),
+            CampaignOptions::builder().fleet(false),
+        ] {
+            let scalar_runner = CampaignRunner::with_options(options.build().expect("valid"));
+            let units = scalar_runner.plan_units(work.clone(), &parents);
+            assert_eq!(units.len(), 5);
+            assert!(units.iter().all(|u| matches!(u, WorkUnit::Single(_))));
+        }
+    }
+
+    #[test]
+    fn planner_splits_populations_at_the_fleet_width() {
+        let spec = mc_spec().monte_carlo(20, Dispersion::none());
+        let (expanded, parents) = expand_monte_carlo(vec![spec]);
+        let work: Vec<(usize, ScenarioSpec)> = expanded.into_iter().enumerate().collect();
+        let units = runner(1).plan_units(work, &parents);
+        let widths: Vec<usize> = units.iter().map(|u| u.lanes().len()).collect();
+        assert_eq!(widths, vec![FLEET_GROUP_MAX, 4]);
+    }
+
+    #[test]
+    fn dispersion_draws_are_deterministic_and_bounded() {
+        for channel in 0..5 {
+            let d = dispersion_draw(0xDEAD_BEEF, channel);
+            assert_eq!(d, dispersion_draw(0xDEAD_BEEF, channel));
+            assert!((-1.0..1.0).contains(&d));
+        }
+        let distinct: HashSet<u64> = (0..5)
+            .map(|c| dispersion_draw(0xDEAD_BEEF, c).to_bits())
+            .collect();
+        assert_eq!(distinct.len(), 5, "channels must be independent streams");
     }
 }

@@ -395,17 +395,56 @@ impl ConditioningChain {
         if !self.enabled {
             return ChainDrive::default();
         }
+        let (s, c, primary_drive) = self.primary_stage(primary);
+        let demod_out = self.demod.process(secondary, s, c);
+        self.finish_stage(demod_out, s, c, primary_drive)
+    }
+
+    /// Whether the chain is processing (control-register enable bit).
+    pub(crate) fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The demodulator (fleet lane extraction).
+    pub(crate) fn demod(&self) -> &Demodulator {
+        &self.demod
+    }
+
+    /// The demodulator, mutable (fleet lane write-back).
+    pub(crate) fn demod_mut(&mut self) -> &mut Demodulator {
+        &mut self.demod
+    }
+
+    /// First half of [`ConditioningChain::process`]: PLL references, AGC
+    /// drive amplitude, and the primary drive sample. Split out so the
+    /// fleet driver can run the demodulator as a batched lane kernel
+    /// between the two stages; the scalar path composes the same pieces.
+    #[inline]
+    pub(crate) fn primary_stage(&mut self, primary: Q15) -> (Q15, Q15, Q15) {
         // Primary loop: PLL references + AGC drive amplitude.
         let (s, c) = self.pll.process(primary);
         let drive_amp = self.agc.process(primary, s, c);
         // Drive force in velocity phase (cos) — displacement then tracks sin.
         let primary_drive = Q15::from_f64(drive_amp).mul(c);
+        (s, c, primary_drive)
+    }
 
-        // Sense path: demodulate. dsp's Demodulator mixes i↔sin, q↔cos; for
+    /// Second half of [`ConditioningChain::process`]: consumes the
+    /// demodulator emission (if this tick produced one) and finishes the
+    /// output, rebalance, and re-modulation work.
+    #[inline]
+    pub(crate) fn finish_stage(
+        &mut self,
+        demod_out: Option<IqSample>,
+        s: Q15,
+        c: Q15,
+        primary_drive: Q15,
+    ) -> ChainDrive {
+        // Sense path emission. dsp's Demodulator mixes i↔sin, q↔cos; for
         // the gyro the Coriolis (rate) term is velocity-phase (cos), so the
         // chain's rate channel is the demodulator's q output.
         let mut rate_sample = None;
-        if let Some(out) = self.demod.process(secondary, s, c) {
+        if let Some(out) = demod_out {
             self.baseband = IqSample {
                 i: out.q, // rate
                 q: out.i, // quadrature

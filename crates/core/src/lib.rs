@@ -54,12 +54,14 @@ pub mod verify;
 /// ```
 pub mod prelude {
     pub use crate::campaign::{
-        CampaignReport, CampaignRunner, ChaosPlan, ScenarioError, ScenarioOutcome, ScenarioSpec,
-        ScenarioStatus, Step,
+        CampaignOptions, CampaignOptionsBuilder, CampaignReport, CampaignRunner, ChaosPlan,
+        Dispersion, ScenarioError, ScenarioOutcome, ScenarioSpec, ScenarioStatus, Step,
     };
     pub use crate::chain::SenseMode;
     pub use crate::journal::JournalError;
-    pub use crate::platform::{ConfigError, Platform, PlatformConfig, PlatformConfigBuilder};
+    pub use crate::platform::{
+        ConfigError, Platform, PlatformConfig, PlatformConfigBuilder, PlatformFleet,
+    };
     pub use crate::supervisor::{SupervisorConfig, SupervisorState};
     pub use ascp_sim::fault::{AdcChannel, FaultKind, FaultPlan, FaultSpec};
 }

@@ -6,7 +6,20 @@
 //! A fixed mixed-scenario list runs unconditionally; a randomized
 //! property-test variant runs under `--features proptest`.
 
-use ascp_core::campaign::{CampaignRunner, ScenarioSpec, Step};
+use ascp_core::campaign::{
+    CampaignOptions, CampaignOptionsBuilder, CampaignRunner, ScenarioSpec, Step,
+};
+
+/// Runner with `threads` workers and otherwise default options.
+fn runner(threads: usize) -> CampaignRunner {
+    configured(CampaignOptions::builder().threads(threads))
+}
+
+/// Runner from a fully-specified options builder.
+fn configured(options: CampaignOptionsBuilder) -> CampaignRunner {
+    CampaignRunner::with_options(options.build().expect("valid options"))
+}
+
 use ascp_core::platform::PlatformConfig;
 use ascp_sim::fault::{AdcChannel, FaultKind};
 
@@ -72,9 +85,9 @@ fn fingerprint(runner: &CampaignRunner, specs: Vec<ScenarioSpec>) -> (String, St
 
 #[test]
 fn report_is_bit_identical_at_1_2_and_4_threads() {
-    let (csv1, json1) = fingerprint(&CampaignRunner::new().with_threads(1), scenario_list());
-    let (csv2, json2) = fingerprint(&CampaignRunner::new().with_threads(2), scenario_list());
-    let (csv4, json4) = fingerprint(&CampaignRunner::new().with_threads(4), scenario_list());
+    let (csv1, json1) = fingerprint(&runner(1), scenario_list());
+    let (csv2, json2) = fingerprint(&runner(2), scenario_list());
+    let (csv4, json4) = fingerprint(&runner(4), scenario_list());
     assert_eq!(csv1, csv2, "CSV differs between 1 and 2 threads");
     assert_eq!(csv1, csv4, "CSV differs between 1 and 4 threads");
     assert_eq!(
@@ -89,17 +102,17 @@ fn report_is_bit_identical_at_1_2_and_4_threads() {
 
 #[test]
 fn outcomes_are_equal_not_just_rendered_equal() {
-    let a = CampaignRunner::new().with_threads(1).run(scenario_list());
-    let b = CampaignRunner::new().with_threads(4).run(scenario_list());
+    let a = runner(1).run(scenario_list());
+    let b = runner(4).run(scenario_list());
     assert_eq!(a.outcomes, b.outcomes);
 }
 
 #[test]
 fn more_threads_than_scenarios_is_fine() {
     let specs = scenario_list().into_iter().take(2).collect::<Vec<_>>();
-    let a = CampaignRunner::new().with_threads(1).run(specs);
+    let a = runner(1).run(specs);
     let specs = scenario_list().into_iter().take(2).collect::<Vec<_>>();
-    let b = CampaignRunner::new().with_threads(16).run(specs);
+    let b = runner(16).run(specs);
     assert_eq!(a.outcomes, b.outcomes);
 }
 
@@ -107,12 +120,10 @@ fn more_threads_than_scenarios_is_fine() {
 /// thread count) must leave the deterministic artifacts byte-identical.
 #[test]
 fn tracing_does_not_change_results() {
-    let (csv_off, json_off) = fingerprint(&CampaignRunner::new().with_threads(1), scenario_list());
+    let (csv_off, json_off) = fingerprint(&runner(1), scenario_list());
     for threads in [1, 2, 4] {
         let (csv, json) = fingerprint(
-            &CampaignRunner::new()
-                .with_threads(threads)
-                .with_tracing(true),
+            &configured(CampaignOptions::builder().threads(threads).tracing(true)),
             scenario_list(),
         );
         assert_eq!(
@@ -132,10 +143,7 @@ fn tracing_does_not_change_results() {
 fn trace_has_nested_step_spans_per_scenario() {
     let specs = scenario_list();
     let names: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
-    let report = CampaignRunner::new()
-        .with_threads(2)
-        .with_tracing(true)
-        .run(specs);
+    let report = configured(CampaignOptions::builder().threads(2).tracing(true)).run(specs);
     let trace = report.trace.as_ref().expect("tracing was enabled");
 
     let campaign = trace.span("campaign").expect("campaign root span");
@@ -183,11 +191,8 @@ fn recorder_capture_is_thread_count_invariant() {
             .with_step(Step::WaitReady { timeout_s: 2.0 })
             .with_step(Step::WaitSupervisorNormal { timeout_s: 0.1 })]
     };
-    let a = CampaignRunner::new().with_threads(1).run(specs());
-    let b = CampaignRunner::new()
-        .with_threads(4)
-        .with_tracing(true)
-        .run(specs());
+    let a = runner(1).run(specs());
+    let b = configured(CampaignOptions::builder().threads(4).tracing(true)).run(specs());
     assert_eq!(a.outcomes, b.outcomes);
     let capture = a.outcomes[0].capture.as_ref().expect("trigger fired");
     assert!(!capture.frames.is_empty());
@@ -245,9 +250,9 @@ mod random {
         fn any_scenario_list_is_thread_count_invariant(
             params in proptest::collection::vec(spec_params(), 1..6)
         ) {
-            let one = CampaignRunner::new().with_threads(1).run(build(&params));
-            let two = CampaignRunner::new().with_threads(2).run(build(&params));
-            let four = CampaignRunner::new().with_threads(4).run(build(&params));
+            let one = runner(1).run(build(&params));
+            let two = runner(2).run(build(&params));
+            let four = runner(4).run(build(&params));
             prop_assert_eq!(&one.outcomes, &two.outcomes);
             prop_assert_eq!(&one.outcomes, &four.outcomes);
             prop_assert_eq!(one.to_csv(), four.to_csv());

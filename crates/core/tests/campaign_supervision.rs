@@ -5,8 +5,20 @@
 //! makes for healthy campaigns, extended to unhealthy ones.
 
 use ascp_core::campaign::{
-    CampaignRunner, ChaosInjection, ChaosPlan, ScenarioError, ScenarioSpec, ScenarioStatus, Step,
+    CampaignOptions, CampaignOptionsBuilder, CampaignRunner, ChaosInjection, ChaosPlan,
+    ScenarioError, ScenarioSpec, ScenarioStatus, Step,
 };
+
+/// Runner with `threads` workers and otherwise default options.
+fn runner(threads: usize) -> CampaignRunner {
+    configured(CampaignOptions::builder().threads(threads))
+}
+
+/// Runner from a fully-specified options builder.
+fn configured(options: CampaignOptionsBuilder) -> CampaignRunner {
+    CampaignRunner::with_options(options.build().expect("valid options"))
+}
+
 use ascp_core::platform::PlatformConfig;
 
 /// A small healthy campaign: eight cheap rate-measurement scenarios.
@@ -52,11 +64,13 @@ fn chaos_without_retries_poisons_deterministically_at_any_thread_count() {
     // `TimedOut` after the cap, keeping the test fast.
     let chaos = ChaosPlan::new(seed).with_stall_cap_s(0.05);
     let run = |threads: usize| {
-        CampaignRunner::new()
-            .with_threads(threads)
-            .with_retries(0)
-            .with_chaos(chaos.clone())
-            .run(scenario_list())
+        configured(
+            CampaignOptions::builder()
+                .threads(threads)
+                .retries(0)
+                .chaos(chaos.clone()),
+        )
+        .run(scenario_list())
     };
     let one = run(1);
     let two = run(2);
@@ -67,7 +81,7 @@ fn chaos_without_retries_poisons_deterministically_at_any_thread_count() {
 
     // The poisoning pattern matches the plan exactly, and healthy rows
     // match an undisturbed run byte-for-byte.
-    let clean = CampaignRunner::new().with_threads(2).run(scenario_list());
+    let clean = runner(2).run(scenario_list());
     for (i, o) in one.outcomes.iter().enumerate() {
         match chaos.decide(i, 0) {
             ChaosInjection::None => {
@@ -103,14 +117,16 @@ fn chaos_without_retries_poisons_deterministically_at_any_thread_count() {
 #[test]
 fn chaos_with_retries_is_byte_identical_to_undisturbed() {
     let seed = chaos_seed_with_both(8);
-    let clean = CampaignRunner::new().with_threads(2).run(scenario_list());
+    let clean = runner(2).run(scenario_list());
     for threads in [1, 2, 4] {
-        let chaotic = CampaignRunner::new()
-            .with_threads(threads)
-            .with_retries(1)
-            .with_backoff_ms(1)
-            .with_chaos(ChaosPlan::new(seed).with_stall_cap_s(0.05))
-            .run(scenario_list());
+        let chaotic = configured(
+            CampaignOptions::builder()
+                .threads(threads)
+                .retries(1)
+                .backoff_ms(1)
+                .chaos(ChaosPlan::new(seed).with_stall_cap_s(0.05)),
+        )
+        .run(scenario_list());
         assert_eq!(chaotic.poisoned(), 0, "retry must recover every scenario");
         assert!(chaotic.retries_total() > 0, "chaos must have injected");
         assert_eq!(
@@ -137,13 +153,16 @@ fn watchdog_cancels_overrunning_scenarios_at_the_configured_deadline() {
             plan.decide(0, 0) == ChaosInjection::Stall && plan.decide(1, 0) == ChaosInjection::None
         })
         .expect("some seed stalls scenario 0 only");
-    let report = CampaignRunner::new()
-        .with_threads(2)
-        .with_retries(0)
-        .with_deadline_s(0.05)
-        // Cap far above the deadline: only the watchdog can end the stall.
-        .with_chaos(ChaosPlan::new(seed).with_stall_cap_s(10.0))
-        .run(scenario_list().into_iter().take(2).collect());
+    let report = configured(
+        CampaignOptions::builder()
+            .threads(2)
+            .retries(0)
+            .deadline_s(0.05)
+            // Cap far above the deadline: only the watchdog can end the
+            // stall.
+            .chaos(ChaosPlan::new(seed).with_stall_cap_s(10.0)),
+    )
+    .run(scenario_list().into_iter().take(2).collect());
     let stalled = &report.outcomes[0];
     assert_eq!(stalled.status, ScenarioStatus::Poisoned);
     assert_eq!(
@@ -161,12 +180,14 @@ fn watchdog_cancels_overrunning_scenarios_at_the_configured_deadline() {
 #[test]
 fn supervision_counters_reach_prometheus_and_json() {
     let seed = chaos_seed_with_both(8);
-    let report = CampaignRunner::new()
-        .with_threads(2)
-        .with_retries(1)
-        .with_backoff_ms(1)
-        .with_chaos(ChaosPlan::new(seed).with_stall_cap_s(0.05))
-        .run(scenario_list());
+    let report = configured(
+        CampaignOptions::builder()
+            .threads(2)
+            .retries(1)
+            .backoff_ms(1)
+            .chaos(ChaosPlan::new(seed).with_stall_cap_s(0.05)),
+    )
+    .run(scenario_list());
     let snap = report.to_telemetry();
     assert_eq!(
         snap.counter("campaign.retries_total"),
@@ -189,12 +210,14 @@ fn supervision_counters_reach_prometheus_and_json() {
 /// pure observation until something fails.
 #[test]
 fn supervision_is_invisible_on_a_healthy_campaign() {
-    let bare = CampaignRunner::new().with_threads(2).run(scenario_list());
-    let supervised = CampaignRunner::new()
-        .with_threads(2)
-        .with_deadline_s(60.0)
-        .with_retries(2)
-        .run(scenario_list());
+    let bare = runner(2).run(scenario_list());
+    let supervised = configured(
+        CampaignOptions::builder()
+            .threads(2)
+            .deadline_s(60.0)
+            .retries(2),
+    )
+    .run(scenario_list());
     assert_eq!(bare.outcomes, supervised.outcomes);
     assert_eq!(bare.to_csv(), supervised.to_csv());
     assert_eq!(supervised.retries_total(), 0);

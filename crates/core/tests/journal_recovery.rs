@@ -3,7 +3,20 @@
 //! byte-identical merged report or fail with a typed error — never
 //! silently produce a different campaign.
 
-use ascp_core::campaign::{CampaignRunner, ScenarioSpec, Step};
+use ascp_core::campaign::{
+    CampaignOptions, CampaignOptionsBuilder, CampaignRunner, ScenarioSpec, Step,
+};
+
+/// Runner with `threads` workers and otherwise default options.
+fn runner(threads: usize) -> CampaignRunner {
+    configured(CampaignOptions::builder().threads(threads))
+}
+
+/// Runner from a fully-specified options builder.
+fn configured(options: CampaignOptionsBuilder) -> CampaignRunner {
+    CampaignRunner::with_options(options.build().expect("valid options"))
+}
+
 use ascp_core::journal::{self, JournalError, JournalWriter, HEADER_LEN};
 use ascp_core::platform::PlatformConfig;
 use std::path::PathBuf;
@@ -56,8 +69,7 @@ fn record_boundaries(bytes: &[u8]) -> Vec<usize> {
 #[test]
 fn truncated_mid_record_journal_resumes_byte_identically() {
     let path = scratch("truncated.journal");
-    let baseline = CampaignRunner::new()
-        .with_threads(2)
+    let baseline = runner(2)
         .run_with_journal(scenario_list(), &path)
         .expect("journaled run");
     let full = std::fs::read(&path).expect("journal bytes");
@@ -78,8 +90,7 @@ fn truncated_mid_record_journal_resumes_byte_identically() {
     for cut in cuts {
         for threads in [1, 2, 4] {
             std::fs::write(&path, &full[..cut]).expect("write truncated journal");
-            let resumed = CampaignRunner::new()
-                .with_threads(threads)
+            let resumed = runner(threads)
                 .resume(scenario_list(), &path)
                 .expect("resume survives a torn tail");
             assert_eq!(
@@ -100,8 +111,7 @@ fn truncated_mid_record_journal_resumes_byte_identically() {
 #[test]
 fn config_digest_mismatch_is_a_typed_error() {
     let path = scratch("mismatch.journal");
-    CampaignRunner::new()
-        .with_threads(2)
+    runner(2)
         .run_with_journal(scenario_list(), &path)
         .expect("journaled run");
 
@@ -136,8 +146,7 @@ fn non_journal_file_is_rejected() {
 #[test]
 fn duplicate_scenario_records_resolve_last_wins() {
     let path = scratch("duplicates.journal");
-    let report = CampaignRunner::new()
-        .with_threads(1)
+    let report = runner(1)
         .run_with_journal(scenario_list(), &path)
         .expect("journaled run");
     let digest = journal::campaign_digest(&scenario_list());
@@ -170,7 +179,7 @@ fn duplicate_scenario_records_resolve_last_wins() {
 /// byte-identical to the uninterrupted run, at 1, 2, and 4 threads.
 #[test]
 fn partial_journal_resumes_to_byte_identical_merged_report() {
-    let baseline = CampaignRunner::new().with_threads(2).run(scenario_list());
+    let baseline = runner(2).run(scenario_list());
     let digest = journal::campaign_digest(&scenario_list());
 
     for (case, subset) in [vec![0usize, 2, 5], vec![3], (0..6).collect::<Vec<_>>()]
@@ -186,8 +195,7 @@ fn partial_journal_resumes_to_byte_identical_merged_report() {
                 writer.append(&baseline.outcomes[i]).expect("append");
             }
             drop(writer);
-            let resumed = CampaignRunner::new()
-                .with_threads(threads)
+            let resumed = runner(threads)
                 .resume(scenario_list(), &path)
                 .expect("resume");
             assert_eq!(resumed.resumed, subset.len(), "case {case}");
@@ -209,8 +217,7 @@ fn partial_journal_resumes_to_byte_identical_merged_report() {
 fn resume_without_a_journal_starts_fresh() {
     let path = scratch("fresh.journal");
     std::fs::remove_file(&path).ok();
-    let report = CampaignRunner::new()
-        .with_threads(2)
+    let report = runner(2)
         .resume(scenario_list(), &path)
         .expect("fresh start");
     assert_eq!(report.resumed, 0);

@@ -301,6 +301,123 @@ impl DecimatingFir {
     }
 }
 
+/// Lane-parallel decimating FIR: N identical-design filters in lockstep
+/// over a `[tap][lane]`-contiguous delay matrix.
+///
+/// The write position and decimation phase are shared (lockstep lanes feed
+/// one sample per tick each), so the per-tick work is one contiguous row
+/// write, and on emitting ticks a tap-major MAC whose inner loop runs
+/// across lanes — `i32×i32→i64` multiply-adds over contiguous memory. All
+/// arithmetic is integer and identical to [`FirFilter::process`], so the
+/// emitted codes match the scalar filters bit for bit.
+///
+/// Extraction requires uniform coefficients, write position, decimation
+/// factor, and phase across lanes; per-lane saturation counters are kept
+/// and written back.
+#[derive(Debug, Clone)]
+pub struct DecimatingFirLanes {
+    coeffs: Vec<Q30>,
+    /// Raw Q15 delay samples, `[tap][lane]` so the MAC inner loop is unit
+    /// stride across lanes.
+    delay: Vec<i32>,
+    taps: usize,
+    n: usize,
+    pos: usize,
+    factor: u32,
+    counter: u32,
+    saturations: Vec<u64>,
+    acc: Vec<i64>,
+}
+
+impl DecimatingFirLanes {
+    /// Captures N decimating filters for lockstep processing.
+    ///
+    /// Returns `None` if the filter designs or phases differ across lanes
+    /// (or the iterator is empty).
+    pub fn extract<'a>(firs: impl Iterator<Item = &'a DecimatingFir>) -> Option<Self> {
+        let fs: Vec<&DecimatingFir> = firs.collect();
+        let first = *fs.first()?;
+        let taps = first.fir.coeffs.len();
+        if fs.iter().any(|f| {
+            f.fir.coeffs != first.fir.coeffs
+                || f.fir.pos != first.fir.pos
+                || f.factor != first.factor
+                || f.counter != first.counter
+        }) {
+            return None;
+        }
+        let n = fs.len();
+        let mut delay = vec![0i32; taps * n];
+        for (l, f) in fs.iter().enumerate() {
+            for (t, q) in f.fir.delay.iter().enumerate() {
+                delay[t * n + l] = q.raw();
+            }
+        }
+        Some(Self {
+            coeffs: first.fir.coeffs.clone(),
+            delay,
+            taps,
+            n,
+            pos: first.fir.pos,
+            factor: first.factor,
+            counter: first.counter,
+            saturations: fs.iter().map(|f| f.fir.saturations).collect(),
+            acc: vec![0i64; n],
+        })
+    }
+
+    /// Writes delay lines, phase, and saturation counters back.
+    pub fn restore<'a>(&self, firs: impl Iterator<Item = &'a mut DecimatingFir>) {
+        for (l, f) in firs.enumerate() {
+            for (t, q) in f.fir.delay.iter_mut().enumerate() {
+                *q = Q15::from_raw(self.delay[t * self.n + l]);
+            }
+            f.fir.pos = self.pos;
+            f.fir.saturations = self.saturations[l];
+            f.counter = self.counter;
+        }
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.n
+    }
+
+    /// Feeds one raw Q15 sample per lane. Returns `true` on decimated
+    /// output ticks, with the emitted raw Q15 codes in `out`.
+    #[inline]
+    pub fn process(&mut self, x: &[i32], out: &mut [i32]) -> bool {
+        let n = self.n;
+        self.delay[self.pos * n..self.pos * n + n].copy_from_slice(&x[..n]);
+        self.counter += 1;
+        if self.counter != self.factor {
+            self.pos = (self.pos + 1) % self.taps;
+            return false;
+        }
+        self.counter = 0;
+        self.acc.fill(0);
+        let mut idx = self.pos;
+        for c in &self.coeffs {
+            let cr = c.raw() as i64;
+            let row = &self.delay[idx * n..idx * n + n];
+            for (a, &r) in self.acc.iter_mut().zip(row) {
+                *a += i64::from(r) * cr;
+            }
+            idx = if idx == 0 { self.taps - 1 } else { idx - 1 };
+        }
+        self.pos = (self.pos + 1) % self.taps;
+        for (l, o) in out.iter_mut().enumerate().take(n) {
+            let shifted = (self.acc[l] + (1i64 << 29)) >> 30;
+            if !(i64::from(i32::MIN)..=i64::from(i32::MAX)).contains(&shifted) {
+                self.saturations[l] += 1;
+            }
+            *o = saturate(shifted);
+        }
+        true
+    }
+}
+
 /// Measures the filter's magnitude response at `freq` (fraction of the
 /// sample rate) by driving a sine through a clone of it. Float-side test
 /// helper mirroring a network-analyzer sweep.

@@ -21,8 +21,8 @@
 //! real ring gyros, in phase with displacement and therefore 90° away from
 //! the Coriolis term, which is in phase with velocity).
 
-use crate::resonator::Resonator;
-use ascp_sim::noise::WhiteNoise;
+use crate::resonator::{Resonator, ResonatorLanes};
+use ascp_sim::noise::{WhiteLanes, WhiteNoise};
 use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 use ascp_sim::units::{Celsius, DegPerSec, Hertz};
 
@@ -340,6 +340,158 @@ impl RingGyro {
     }
 }
 
+/// Lane-parallel ring-gyro kernel: N gyros advancing in lockstep with
+/// structure-of-arrays mode state and batched Brownian noise.
+///
+/// Per-lane parameters (resonance, Q, quadrature, rate, temperature-derived
+/// couplings) may differ — Monte-Carlo dispersion lives here — but every
+/// lane executes the *same expressions* as [`RingGyro::step`] in the same
+/// order, so each lane's trajectory is bit-identical to stepping that gyro
+/// alone. Extraction fails (returns `None`) only if the noise generators
+/// are out of lockstep phase, which cannot happen for gyros stepped the
+/// same number of times.
+#[derive(Debug, Clone)]
+pub struct GyroLanes {
+    dt: f64,
+    drive: ResonatorLanes,
+    sense: ResonatorLanes,
+    /// Fused `[drive | sense]` Brownian sources, 2N lanes: one batched
+    /// draw per substep instead of two (lanes are independent, so fusing
+    /// populations cannot change any lane's stream).
+    noise: WhiteLanes,
+    angular_gain: Vec<f64>,
+    force_scale: Vec<f64>,
+    k_quad: Vec<f64>,
+    pickoff_nl: Vec<f64>,
+    /// Applied rate in rad/s (the scalar step converts per call; pure).
+    rate_rad: Vec<f64>,
+    sigma_s: Vec<f64>,
+    sigma_d: Vec<f64>,
+    // Scratch buffers (allocated once, reused every substep).
+    s0x: Vec<f64>,
+    s0v: Vec<f64>,
+    /// `[drive | sense]` noise draws, 2N wide.
+    n_ds: Vec<f64>,
+    force_d: Vec<f64>,
+    force_s: Vec<f64>,
+}
+
+impl GyroLanes {
+    /// Captures N gyros for lockstep stepping at solver step `dt`.
+    ///
+    /// Returns `None` if the Brownian-noise generators are not phase-uniform
+    /// (see [`WhiteLanes::extract`]).
+    pub fn extract<'a>(gyros: impl Iterator<Item = &'a RingGyro>, dt: f64) -> Option<Self> {
+        let gs: Vec<&RingGyro> = gyros.collect();
+        let noise = WhiteLanes::extract(
+            gs.iter()
+                .map(|g| &g.drive_noise)
+                .chain(gs.iter().map(|g| &g.sense_noise)),
+        )?;
+        let n = gs.len();
+        let mut lanes = Self {
+            dt,
+            drive: ResonatorLanes::extract(gs.iter().map(|g| &g.drive_mode), dt),
+            sense: ResonatorLanes::extract(gs.iter().map(|g| &g.sense_mode), dt),
+            noise,
+            angular_gain: Vec::with_capacity(n),
+            force_scale: Vec::with_capacity(n),
+            k_quad: Vec::with_capacity(n),
+            pickoff_nl: Vec::with_capacity(n),
+            rate_rad: Vec::with_capacity(n),
+            sigma_s: Vec::with_capacity(n),
+            sigma_d: Vec::with_capacity(n),
+            s0x: vec![0.0; n],
+            s0v: vec![0.0; n],
+            n_ds: vec![0.0; 2 * n],
+            force_d: vec![0.0; n],
+            force_s: vec![0.0; n],
+        };
+        for g in &gs {
+            lanes.angular_gain.push(g.params.angular_gain);
+            lanes.force_scale.push(g.params.force_scale);
+            lanes.k_quad.push(g.k_quad);
+            lanes.pickoff_nl.push(g.params.sense_pickoff_nl);
+            lanes.rate_rad.push(g.rate.to_rad_per_sec());
+            // Same expressions the scalar step caches per dt.
+            let sigma_s = g.sense_noise_density * (0.5 / dt).sqrt();
+            lanes.sigma_s.push(sigma_s);
+            lanes.sigma_d.push(0.01 * sigma_s);
+        }
+        Some(lanes)
+    }
+
+    /// Writes lane state back into the gyros; the per-`dt` sigma caches are
+    /// marked stale and rebuilt (identically) on the next scalar step.
+    pub fn restore<'a>(&self, gyros: impl Iterator<Item = &'a mut RingGyro>) {
+        let mut gs: Vec<&mut RingGyro> = gyros.collect();
+        self.drive.restore(gs.iter_mut().map(|g| &mut g.drive_mode));
+        self.sense.restore(gs.iter_mut().map(|g| &mut g.sense_mode));
+        {
+            let mut drive: Vec<&mut WhiteNoise> = Vec::with_capacity(gs.len());
+            let mut sense: Vec<&mut WhiteNoise> = Vec::with_capacity(gs.len());
+            for g in gs.iter_mut() {
+                drive.push(&mut g.drive_noise);
+                sense.push(&mut g.sense_noise);
+            }
+            self.noise.restore(drive.into_iter().chain(sense));
+        }
+        for g in gs {
+            g.sigma_dt = 0.0;
+        }
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.angular_gain.len()
+    }
+
+    /// The solver step the lanes were extracted for.
+    #[must_use]
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Advances every lane one solver step; pickoffs land in
+    /// `primary[l]` / `secondary[l]`.
+    #[inline]
+    pub fn step(
+        &mut self,
+        drive_force: &[f64],
+        rebalance_force: &[f64],
+        primary: &mut [f64],
+        secondary: &mut [f64],
+    ) {
+        let n = self.angular_gain.len();
+        self.noise.sample(&mut self.n_ds);
+        self.s0x.copy_from_slice(self.drive.x());
+        self.s0v.copy_from_slice(self.drive.v());
+        for (l, &f) in drive_force.iter().enumerate().take(n) {
+            self.force_d[l] = self.force_scale[l] * f + self.sigma_d[l] * self.n_ds[l];
+        }
+        self.drive.step(&self.force_d);
+        let s1x = self.drive.x();
+        let s1v = self.drive.v();
+        for l in 0..n {
+            let coriolis =
+                -2.0 * self.angular_gain[l] * self.rate_rad[l] * 0.5 * (self.s0v[l] + s1v[l]);
+            let quadrature = self.k_quad[l] * 0.5 * (self.s0x[l] + s1x[l]);
+            self.force_s[l] = self.force_scale[l] * rebalance_force[l]
+                + coriolis
+                + quadrature
+                + self.sigma_s[l] * self.n_ds[n + l];
+        }
+        self.sense.step(&self.force_s);
+        primary[..n].copy_from_slice(self.drive.x());
+        let xs_all = self.sense.x();
+        for l in 0..n {
+            let xs = xs_all[l];
+            secondary[l] = xs * (1.0 - self.pickoff_nl[l] * xs * xs);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -476,6 +628,65 @@ mod tests {
             last
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn gyro_lanes_match_scalar_bit_for_bit() {
+        // Dispersed lanes (different f0/Q/quadrature/rate/temperature per
+        // lane) stepped SoA must reproduce the scalar trajectories exactly,
+        // noise included.
+        for n in [1usize, 3, 8] {
+            let mut scalars: Vec<RingGyro> = (0..n)
+                .map(|i| {
+                    let mut p = GyroParams::default();
+                    p.q_drive = 2_000.0 * (1.0 + 0.05 * i as f64);
+                    p.f0 = Hertz(p.f0.0 * (1.0 + 0.001 * i as f64));
+                    p.quadrature_rate = DegPerSec(80.0 + 3.0 * i as f64);
+                    p.seed = 0x5eed_6b70 ^ (i as u64) << 8;
+                    let mut g = RingGyro::new(p);
+                    g.set_rate(DegPerSec(10.0 * i as f64));
+                    g.set_temperature(Celsius(25.0 + 5.0 * i as f64));
+                    g
+                })
+                .collect();
+            let mut reference = scalars.clone();
+            let mut lanes = GyroLanes::extract(scalars.iter(), DT).expect("uniform phase");
+            assert_eq!(lanes.lanes(), n);
+
+            let mut drive = vec![0.0; n];
+            let mut rebal = vec![0.0; n];
+            let mut primary = vec![0.0; n];
+            let mut secondary = vec![0.0; n];
+            for k in 0..4000u64 {
+                for l in 0..n {
+                    drive[l] = 0.4 * (0.09 * (k as f64 + l as f64)).cos();
+                    rebal[l] = 0.01 * (0.04 * k as f64).sin();
+                }
+                lanes.step(&drive, &rebal, &mut primary, &mut secondary);
+                for (l, g) in reference.iter_mut().enumerate() {
+                    let out = g.step(drive[l], rebal[l], DT);
+                    assert_eq!(
+                        out.primary.to_bits(),
+                        primary[l].to_bits(),
+                        "primary lane {l} tick {k}"
+                    );
+                    assert_eq!(
+                        out.secondary.to_bits(),
+                        secondary[l].to_bits(),
+                        "secondary lane {l} tick {k}"
+                    );
+                }
+            }
+            // Write-back: the restored gyros must continue exactly like the
+            // scalar references.
+            lanes.restore(scalars.iter_mut());
+            for (a, b) in scalars.iter_mut().zip(reference.iter_mut()) {
+                for k in 0..100u64 {
+                    let f = 0.3 * (0.07 * k as f64).cos();
+                    assert_eq!(a.step(f, 0.0, DT), b.step(f, 0.0, DT));
+                }
+            }
+        }
     }
 
     #[test]

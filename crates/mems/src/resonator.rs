@@ -238,6 +238,100 @@ impl Resonator {
     }
 }
 
+/// Lane-parallel ZOH propagator: N resonators stepping in lockstep over
+/// structure-of-arrays state.
+///
+/// The hot-loop layout the fleet driver uses: contiguous `[x0..xN]` and
+/// `[v0..vN]` arrays with per-lane cached `exp(A·dt)` coefficients, so the
+/// four multiply-adds of [`Resonator::step`] auto-vectorize across lanes.
+/// Each lane's arithmetic is the *same expression* as the scalar step —
+/// Rust performs no FP reassociation or contraction, so per-lane results
+/// are bit-identical to stepping each resonator scalar.
+#[derive(Debug, Clone)]
+pub struct ResonatorLanes {
+    x: Vec<f64>,
+    v: Vec<f64>,
+    p00: Vec<f64>,
+    p01: Vec<f64>,
+    p10: Vec<f64>,
+    p11: Vec<f64>,
+    inv_w2: Vec<f64>,
+}
+
+impl ResonatorLanes {
+    /// Captures N resonators for lockstep stepping at step size `dt`,
+    /// computing each lane's propagator with the same closed form the
+    /// scalar path caches.
+    pub fn extract<'a>(res: impl Iterator<Item = &'a Resonator>, dt: f64) -> Self {
+        let mut lanes = Self {
+            x: Vec::new(),
+            v: Vec::new(),
+            p00: Vec::new(),
+            p01: Vec::new(),
+            p10: Vec::new(),
+            p11: Vec::new(),
+            inv_w2: Vec::new(),
+        };
+        for r in res {
+            let p = match r.prop {
+                Some(p) if p.dt == dt => p,
+                _ => Propagator::compute(r.omega, r.q, dt),
+            };
+            lanes.x.push(r.state.x);
+            lanes.v.push(r.state.v);
+            lanes.p00.push(p.p00);
+            lanes.p01.push(p.p01);
+            lanes.p10.push(p.p10);
+            lanes.p11.push(p.p11);
+            lanes.inv_w2.push(p.inv_w2);
+        }
+        lanes
+    }
+
+    /// Writes the lane motion state back. The scalar propagator cache is
+    /// invalidated; the next scalar step rebuilds the identical matrix.
+    pub fn restore<'a>(&self, res: impl Iterator<Item = &'a mut Resonator>) {
+        for (l, r) in res.enumerate() {
+            r.state.x = self.x[l];
+            r.state.v = self.v[l];
+            r.prop = None;
+        }
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Per-lane displacements.
+    #[must_use]
+    pub fn x(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Per-lane velocities.
+    #[must_use]
+    pub fn v(&self) -> &[f64] {
+        &self.v
+    }
+
+    /// Advances every lane one step under its `force[l]` — the SoA twin of
+    /// [`Resonator::step`].
+    #[inline]
+    pub fn step(&mut self, force: &[f64]) {
+        let n = self.x.len();
+        assert_eq!(force.len(), n, "lane count mismatch");
+        for (l, &f) in force.iter().enumerate().take(n) {
+            let xeq = f * self.inv_w2[l];
+            let dx = self.x[l] - xeq;
+            let v = self.v[l];
+            self.x[l] = xeq + self.p00[l] * dx + self.p01[l] * v;
+            self.v[l] = self.p10[l] * dx + self.p11[l] * v;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -502,6 +596,49 @@ mod tests {
             r.state().x,
             reference.state().x
         );
+    }
+
+    #[test]
+    fn lanes_match_scalar_bit_for_bit() {
+        // SoA lockstep stepping must produce the exact bits of stepping each
+        // resonator alone — the fleet path's correctness contract.
+        for n in [1usize, 2, 5, 8, 16] {
+            let mut scalars: Vec<Resonator> = (0..n)
+                .map(|i| {
+                    let mut r =
+                        Resonator::new(F0 * (1.0 + 0.003 * i as f64), 50.0 + 7.0 * i as f64);
+                    r.state = ModeState {
+                        x: 1.0e-7 * i as f64,
+                        v: -2.0e-4 * i as f64,
+                    };
+                    r
+                })
+                .collect();
+            let mut lanes = ResonatorLanes::extract(scalars.iter(), DT);
+            let mut force = vec![0.0; n];
+            let w = 2.0 * std::f64::consts::PI * F0;
+            for k in 0..5000u64 {
+                for (l, f) in force.iter_mut().enumerate() {
+                    *f = 1.0e5 * (w * k as f64 * DT).cos() * (1.0 + 0.1 * l as f64);
+                }
+                lanes.step(&force);
+                for (l, r) in scalars.iter_mut().enumerate() {
+                    r.step(force[l], DT);
+                }
+                for (l, r) in scalars.iter().enumerate() {
+                    assert_eq!(r.state().x.to_bits(), lanes.x()[l].to_bits(), "x lane {l}");
+                    assert_eq!(r.state().v.to_bits(), lanes.v()[l].to_bits(), "v lane {l}");
+                }
+            }
+            // Restore round-trips and the scalar continues identically.
+            let mut restored = scalars.clone();
+            lanes.restore(restored.iter_mut());
+            for (a, b) in scalars.iter_mut().zip(restored.iter_mut()) {
+                a.step(3.3e4, DT);
+                b.step(3.3e4, DT);
+                assert_eq!(a.state(), b.state());
+            }
+        }
     }
 
     #[test]

@@ -44,6 +44,7 @@
 pub mod allan;
 pub mod campaign;
 pub mod fault;
+pub mod mathx;
 pub mod noise;
 pub mod snapshot;
 pub mod stats;

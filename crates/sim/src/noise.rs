@@ -13,6 +13,7 @@
 //! [`crate::snapshot`] primitives so the platform checkpoint can capture
 //! RNG streams bit-exactly mid-run.
 
+use crate::mathx;
 use crate::snapshot::{SnapshotError, StateReader, StateWriter};
 
 /// Minimal deterministic PRNG: xorshift64* with a SplitMix64-scrambled
@@ -56,17 +57,12 @@ impl Rng64 {
 
     /// Next raw 64-bit output (xorshift64*).
     pub fn next_u64(&mut self) -> u64 {
-        let mut x = self.state;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.state = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        xorshift_next(&mut self.state)
     }
 
     /// Uniform sample in `[0, 1)` from the top 53 bits.
     pub fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        uniform_53(self.next_u64())
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -100,6 +96,41 @@ impl Rng64 {
         }
         Ok(())
     }
+}
+
+/// One xorshift64* advance on a raw state word — the single source of
+/// truth for the sequence, shared by [`Rng64`] and the batched
+/// [`WhiteLanes`] path so both walks are bit-identical.
+#[inline(always)]
+fn xorshift_next(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Maps a raw output word to a uniform in `[0, 1)` via the top 53 bits.
+#[inline(always)]
+fn uniform_53(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// [`uniform_53`] rewritten without the `u64 → f64` cast, which has no
+/// AVX2 instruction and scalarizes any loop containing it. The 53-bit
+/// integer is split into 32-bit halves, each planted in a double's
+/// mantissa field, and recombined with adds that are provably exact
+/// (every intermediate is an integer below 2^53, hence representable) —
+/// so the result is bit-identical to the cast, but the loop vectorizes.
+#[inline(always)]
+fn uniform_53_split(word: u64) -> f64 {
+    // 2^84 + 2^52: the exponent offsets planted in the halves below.
+    const MAGIC: f64 = (1u128 << 84) as f64 + (1u64 << 52) as f64;
+    let u = word >> 11;
+    let hi = f64::from_bits((u >> 32) | (0x453u64 << 52)); // 2^84 + (u>>32)·2^32
+    let lo = f64::from_bits((u & 0xffff_ffff) | (0x433u64 << 52)); // 2^52 + (u & 2^32-1)
+    ((hi - MAGIC) + lo) * (1.0 / (1u64 << 53) as f64)
 }
 
 /// Gaussian white-noise source (Box–Muller over a seeded PRNG).
@@ -168,7 +199,9 @@ impl WhiteNoise {
         if let Some(z) = self.cached.take() {
             return z * self.sigma;
         }
-        // Box–Muller: two uniforms -> two independent normals.
+        // Box–Muller: two uniforms -> two independent normals, through the
+        // deterministic `mathx` kernels so scalar and SoA-lane execution
+        // produce identical bits.
         let u1: f64 = loop {
             let u = self.rng.next_f64();
             if u > 0.0 {
@@ -176,10 +209,9 @@ impl WhiteNoise {
             }
         };
         let u2: f64 = self.rng.next_f64();
-        let r = (-2.0 * u1.ln()).sqrt();
-        let theta = 2.0 * std::f64::consts::PI * u2;
-        self.cached = Some(r * theta.sin());
-        r * theta.cos() * self.sigma
+        let (z_cos, z_sin) = mathx::box_muller(u1, u2);
+        self.cached = Some(z_sin);
+        z_cos * self.sigma
     }
 
     /// Serializes sigma, the PRNG, and the cached Box–Muller half-sample.
@@ -273,6 +305,257 @@ impl PinkNoise {
     }
 }
 
+/// Structure-of-arrays mirror of N [`WhiteNoise`] sources stepping in
+/// lockstep — the fleet execution path.
+///
+/// Extraction captures each lane's PRNG walk, Box–Muller cache and sigma;
+/// [`WhiteLanes::sample`] then advances every lane by exactly one draw,
+/// with the expensive `ln`/`sincos`/`sqrt` work batched over contiguous
+/// arrays (see [`crate::mathx`]) so it auto-vectorizes. Per-lane outputs
+/// are bit-identical to calling [`WhiteNoise::sample`] on each source —
+/// the property the fleet's byte-identical-CSV contract rests on.
+///
+/// Lockstep requires a *uniform* lane population: every lane on the same
+/// Box–Muller phase, and sigmas either all zero or all nonzero (a
+/// zero-sigma source never advances its PRNG). [`WhiteLanes::extract`]
+/// returns `None` when the population is mixed; callers fall back to
+/// scalar sampling.
+#[derive(Debug, Clone)]
+pub struct WhiteLanes {
+    sigma: Vec<f64>,
+    state: Vec<u64>,
+    cached: Vec<f64>,
+    has_cached: bool,
+    all_zero: bool,
+    // Scratch buffers for the batched transform.
+    u1: Vec<f64>,
+    u2: Vec<f64>,
+    z_cos: Vec<f64>,
+    z_sin: Vec<f64>,
+}
+
+impl WhiteLanes {
+    /// Captures a lane population from the given sources. Returns `None`
+    /// if the lanes cannot step in lockstep (mixed Box–Muller phase, or a
+    /// mix of zero and nonzero sigmas).
+    pub fn extract<'a>(sources: impl Iterator<Item = &'a WhiteNoise>) -> Option<Self> {
+        let mut sigma = Vec::new();
+        let mut state = Vec::new();
+        let mut cached = Vec::new();
+        let mut phase: Option<bool> = None;
+        for s in sources {
+            match phase {
+                None => phase = Some(s.cached.is_some()),
+                Some(p) if p != s.cached.is_some() => return None,
+                Some(_) => {}
+            }
+            sigma.push(s.sigma);
+            state.push(s.rng.state);
+            cached.push(s.cached.unwrap_or(0.0));
+        }
+        let n = sigma.len();
+        let zeros = sigma.iter().filter(|&&s| s == 0.0).count();
+        if zeros != 0 && zeros != n {
+            return None;
+        }
+        Some(Self {
+            sigma,
+            state,
+            cached,
+            has_cached: phase.unwrap_or(false),
+            all_zero: zeros == n && n > 0,
+            u1: vec![0.0; n],
+            u2: vec![0.0; n],
+            z_cos: vec![0.0; n],
+            z_sin: vec![0.0; n],
+        })
+    }
+
+    /// Writes the lane state back into the sources (same order and count
+    /// as extraction).
+    pub fn restore<'a>(&self, sources: impl Iterator<Item = &'a mut WhiteNoise>) {
+        for (l, s) in sources.enumerate() {
+            s.rng.state = self.state[l];
+            s.cached = if self.has_cached {
+                Some(self.cached[l])
+            } else {
+                None
+            };
+        }
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.sigma.len()
+    }
+
+    /// Draws one sample per lane into `out` (`out.len()` must equal
+    /// [`WhiteLanes::lanes`]). Bit-identical per lane to
+    /// [`WhiteNoise::sample`].
+    pub fn sample(&mut self, out: &mut [f64]) {
+        let n = self.state.len();
+        assert_eq!(out.len(), n, "lane count mismatch");
+        if self.all_zero {
+            out.fill(0.0);
+            return;
+        }
+        if self.has_cached {
+            self.has_cached = false;
+            for (o, (&z, &sg)) in out.iter_mut().zip(self.cached.iter().zip(&self.sigma)) {
+                *o = z * sg;
+            }
+            return;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            // AVX2 only — see `mathx::box_muller_slice` for why there is
+            // deliberately no AVX-512 tier.
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: guarded by the runtime AVX2 check above.
+                unsafe { self.transform_avx2(out) };
+                return;
+            }
+        }
+        self.transform(out);
+    }
+
+    /// The Box–Muller tick: advance every lane's PRNG twice (u1 with
+    /// rejection, then u2), transform, emit cos and cache sin.
+    /// The rejection branch fires with probability 2^-53 — the repair
+    /// loop below keeps the per-lane sequence exactly equal to the
+    /// scalar path without blocking vectorization of the common case.
+    #[inline(always)]
+    fn transform(&mut self, out: &mut [f64]) {
+        let n = self.state.len();
+        for l in 0..n {
+            self.u1[l] = uniform_53_split(xorshift_next(&mut self.state[l]));
+        }
+        for l in 0..n {
+            while self.u1[l] == 0.0 {
+                self.u1[l] = uniform_53_split(xorshift_next(&mut self.state[l]));
+            }
+        }
+        for l in 0..n {
+            self.u2[l] = uniform_53_split(xorshift_next(&mut self.state[l]));
+        }
+        mathx::box_muller_slice(&self.u1, &self.u2, &mut self.z_cos, &mut self.z_sin);
+        for (o, (&zc, &sg)) in out.iter_mut().zip(self.z_cos.iter().zip(&self.sigma)) {
+            *o = zc * sg;
+        }
+        self.cached.copy_from_slice(&self.z_sin);
+        self.has_cached = true;
+    }
+
+    /// AVX2 copy of the transform: vectorizes the xorshift walk (64-bit
+    /// shifts, xors, and the constant multiply, which LLVM lowers through
+    /// `vpmuludq` pieces) and the split-add uniform conversion around the
+    /// already-dispatched Box–Muller batch. Integer and IEEE float ops
+    /// produce identical bits at any width.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn transform_avx2(&mut self, out: &mut [f64]) {
+        self.transform(out);
+    }
+}
+
+/// Structure-of-arrays mirror of N [`PinkNoise`] sources in lockstep.
+///
+/// The Voss–McCartney row index is a pure function of the shared sample
+/// counter, so lockstep lanes always update the same row: one batched
+/// white draw plus a vertical row sum per sample. Bit-identical per lane
+/// to [`PinkNoise::sample`].
+#[derive(Debug, Clone)]
+pub struct PinkLanes {
+    white: WhiteLanes,
+    /// Row ladder, `[row][lane]` contiguous by lane.
+    rows: Vec<f64>,
+    n_rows: usize,
+    counter: u64,
+    scale: Vec<f64>,
+    draw: Vec<f64>,
+}
+
+impl PinkLanes {
+    /// Captures a lane population. Returns `None` if the sources disagree
+    /// on row count or counter phase, or their inner white sources cannot
+    /// run in lockstep.
+    pub fn extract<'a>(sources: impl Iterator<Item = &'a PinkNoise>) -> Option<Self> {
+        let sources: Vec<&PinkNoise> = sources.collect();
+        let first = sources.first()?;
+        let n_rows = first.rows.len();
+        let counter = first.counter;
+        if sources
+            .iter()
+            .any(|s| s.rows.len() != n_rows || s.counter != counter)
+        {
+            return None;
+        }
+        let white = WhiteLanes::extract(sources.iter().map(|s| &s.white))?;
+        let n = sources.len();
+        let mut rows = vec![0.0; n_rows * n];
+        for (l, s) in sources.iter().enumerate() {
+            for (r, &v) in s.rows.iter().enumerate() {
+                rows[r * n + l] = v;
+            }
+        }
+        Some(Self {
+            white,
+            rows,
+            n_rows,
+            counter,
+            scale: sources.iter().map(|s| s.scale).collect(),
+            draw: vec![0.0; n],
+        })
+    }
+
+    /// Writes the lane state back into the sources (row ladder, counter,
+    /// and the inner white source's PRNG walk and cache).
+    pub fn restore<'a>(&self, sources: impl Iterator<Item = &'a mut PinkNoise>) {
+        let n = self.scale.len();
+        for (l, s) in sources.enumerate() {
+            for r in 0..self.n_rows {
+                s.rows[r] = self.rows[r * n + l];
+            }
+            s.counter = self.counter;
+            s.white.rng.state = self.white.state[l];
+            s.white.cached = if self.white.has_cached {
+                Some(self.white.cached[l])
+            } else {
+                None
+            };
+        }
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.scale.len()
+    }
+
+    /// Draws one sample per lane into `out`.
+    pub fn sample(&mut self, out: &mut [f64]) {
+        let n = self.scale.len();
+        assert_eq!(out.len(), n, "lane count mismatch");
+        self.counter = self.counter.wrapping_add(1);
+        let k = (self.counter.trailing_zeros() as usize).min(self.n_rows - 1);
+        self.white.sample(&mut self.draw);
+        self.rows[k * n..(k + 1) * n].copy_from_slice(&self.draw);
+        // Vertical sum in scalar row order (row 0 first) so each lane's
+        // accumulation matches `rows.iter().sum()` bit-for-bit.
+        out.copy_from_slice(&self.rows[..n]);
+        for r in 1..self.n_rows {
+            let row = &self.rows[r * n..(r + 1) * n];
+            for l in 0..n {
+                out[l] += row[l];
+            }
+        }
+        for (o, &sc) in out.iter_mut().zip(&self.scale) {
+            *o *= sc;
+        }
+    }
+}
+
 /// Integrated-white (random-walk / Brownian) noise source.
 ///
 /// Each call adds a Gaussian increment of standard deviation
@@ -362,6 +645,18 @@ mod tests {
     }
 
     #[test]
+    fn uniform_split_matches_cast_exactly() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..100_000 {
+            let w = xorshift_next(&mut state);
+            assert_eq!(uniform_53(w).to_bits(), uniform_53_split(w).to_bits());
+        }
+        for w in [0u64, 1, 0x7ff, 0x800, u64::MAX, 1 << 63, (1 << 43) - 1] {
+            assert_eq!(uniform_53(w).to_bits(), uniform_53_split(w).to_bits());
+        }
+    }
+
+    #[test]
     fn rng64_distinct_seeds_diverge() {
         let mut a = Rng64::new(5);
         let mut b = Rng64::new(6);
@@ -422,6 +717,86 @@ mod tests {
             var_diff < 1.2 * var,
             "pink spectrum not low-frequency weighted: var={var} var_diff={var_diff}"
         );
+    }
+
+    #[test]
+    fn white_lanes_match_scalar_bit_for_bit() {
+        for n in [1usize, 2, 7, 8, 16] {
+            let mut scalar: Vec<WhiteNoise> = (0..n)
+                .map(|l| WhiteNoise::new(0.5 + l as f64 * 0.1, 1000 + l as u64))
+                .collect();
+            let mut lanes = WhiteLanes::extract(scalar.iter()).expect("uniform population");
+            let mut out = vec![0.0; n];
+            for tick in 0..257 {
+                lanes.sample(&mut out);
+                for (l, s) in scalar.iter_mut().enumerate() {
+                    let want = s.sample();
+                    assert_eq!(
+                        want.to_bits(),
+                        out[l].to_bits(),
+                        "tick {tick} lane {l}: {want} vs {}",
+                        out[l]
+                    );
+                }
+            }
+            // Round-trip: restored sources continue the stream bit-exactly.
+            let mut restored: Vec<WhiteNoise> = (0..n)
+                .map(|l| WhiteNoise::new(0.5 + l as f64 * 0.1, 1000 + l as u64))
+                .collect();
+            lanes.restore(restored.iter_mut());
+            for (l, (a, b)) in restored.iter_mut().zip(scalar.iter_mut()).enumerate() {
+                for _ in 0..8 {
+                    assert_eq!(a.sample().to_bits(), b.sample().to_bits(), "lane {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn white_lanes_reject_mixed_phase_or_sigma() {
+        let mut a = WhiteNoise::new(1.0, 1);
+        let b = WhiteNoise::new(1.0, 2);
+        a.sample(); // a now holds a cached half-sample, b does not
+        assert!(WhiteLanes::extract([&a, &b].into_iter()).is_none());
+        let c = WhiteNoise::new(0.0, 3);
+        let d = WhiteNoise::new(1.0, 4);
+        assert!(WhiteLanes::extract([&c, &d].into_iter()).is_none());
+        // All-zero sigma is a valid (silent) population.
+        let e = WhiteNoise::new(0.0, 5);
+        let mut lanes = WhiteLanes::extract([&c, &e].into_iter()).expect("all-zero ok");
+        let mut out = vec![1.0; 2];
+        lanes.sample(&mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn pink_lanes_match_scalar_bit_for_bit() {
+        for n in [1usize, 3, 8] {
+            let mut scalar: Vec<PinkNoise> = (0..n)
+                .map(|l| PinkNoise::new(0.3 + l as f64 * 0.05, 14, 70 + l as u64))
+                .collect();
+            let mut lanes = PinkLanes::extract(scalar.iter()).expect("uniform population");
+            let mut out = vec![0.0; n];
+            for tick in 0..300 {
+                lanes.sample(&mut out);
+                for (l, s) in scalar.iter_mut().enumerate() {
+                    assert_eq!(
+                        s.sample().to_bits(),
+                        out[l].to_bits(),
+                        "tick {tick} lane {l}"
+                    );
+                }
+            }
+            let mut restored: Vec<PinkNoise> = (0..n)
+                .map(|l| PinkNoise::new(0.3 + l as f64 * 0.05, 14, 70 + l as u64))
+                .collect();
+            lanes.restore(restored.iter_mut());
+            for (a, b) in restored.iter_mut().zip(scalar.iter_mut()) {
+                for _ in 0..40 {
+                    assert_eq!(a.sample().to_bits(), b.sample().to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -67,9 +67,13 @@ fn main() {
     let cold_s = t.elapsed().as_secs_f64();
 
     let t = Instant::now();
-    let warm = CampaignRunner::new()
-        .with_warm_start(true)
-        .run(scenarios("rate"));
+    let warm = CampaignRunner::with_options(
+        CampaignOptions::builder()
+            .warm_start(true)
+            .build()
+            .expect("valid options"),
+    )
+    .run(scenarios("rate"));
     let warm_s = t.elapsed().as_secs_f64();
 
     assert_eq!(

@@ -84,6 +84,7 @@ cargo bench -p ascp-bench --bench platform_sim -- --short --check BENCH_platform
 cargo bench -p ascp-bench --bench dsp_blocks -- --short
 cargo bench -p ascp-bench --bench campaign_warmstart -- --short
 cargo bench -p ascp-bench --bench campaign_supervised -- --short
+cargo bench -p ascp-bench --bench campaign_montecarlo -- --short
 
 if [ "$RUN_DOCS" = 1 ]; then
     echo "== cargo doc (rustdoc warnings are errors) =="
