@@ -2,7 +2,7 @@
 //!
 //! A rate-table campaign is lock-dominated: every scenario spends most of
 //! its simulated time waiting for PLL lock and AGC settling before a short
-//! measurement window. With [`CampaignRunner::with_warm_start`], scenarios
+//! measurement window. With `CampaignOptions::builder().warm_start(true)`, scenarios
 //! that share a settle recipe restore one cached checkpoint instead of
 //! re-running the transient — this bench measures the wall-clock win on a
 //! 16-point rate table and guards the >= 3x acceptance bar.

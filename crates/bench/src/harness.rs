@@ -350,7 +350,7 @@ impl Args {
 ///
 /// The server also implements [`CampaignObserver`]: attach it to a
 /// [`CampaignRunner`](ascp_core::campaign::CampaignRunner) via
-/// `with_observer` and it self-updates `ascp_campaign_scenarios_completed`
+/// `CampaignOptions::builder().observer(..)` and it self-updates `ascp_campaign_scenarios_completed`
 /// / `ascp_campaign_recorder_triggers` gauges as scenarios finish, in
 /// addition to whatever body the driver publishes.
 #[derive(Debug, Clone)]

@@ -23,8 +23,9 @@
 //!
 //! Runner behaviour is configured through [`CampaignOptions`], a typed
 //! options struct with a validating builder
-//! ([`CampaignOptions::builder`]); the former `CampaignRunner::with_*`
-//! setters survive as deprecated delegates.
+//! ([`CampaignOptions::builder`]). The former `CampaignRunner::with_*`
+//! setters were removed after a deprecation cycle; see DESIGN.md §14
+//! for the old → new mapping table.
 //!
 //! # Monte-Carlo axis
 //!
@@ -912,10 +913,9 @@ pub trait CampaignObserver: Send + Sync {
 /// Replaces the runner's historical pile of `with_*` setters with one
 /// typed, validated options object: build it with
 /// [`CampaignOptions::builder`], hand it to
-/// [`CampaignRunner::with_options`]. The old setters survive as
-/// deprecated delegates with their exact legacy semantics (silent
-/// clamping instead of validation errors); see DESIGN.md §14 for the
-/// old → new mapping table.
+/// [`CampaignRunner::with_options`]. The old setters went through a
+/// deprecation cycle and are gone; see DESIGN.md §14 for the old → new
+/// mapping table.
 #[derive(Clone)]
 pub struct CampaignOptions {
     threads: usize,
@@ -1037,8 +1037,8 @@ impl CampaignOptions {
 /// Every setter stores its raw value; [`CampaignOptionsBuilder::build`]
 /// validates the whole set at once and names the offending field — the
 /// same [`ConfigError`] contract as [`PlatformConfig::builder`]. Unlike
-/// the deprecated `CampaignRunner::with_*` setters, nothing is silently
-/// clamped: `threads(0)` is an error here, not a 1.
+/// the removed legacy `CampaignRunner::with_*` setters, nothing is
+/// silently clamped: `threads(0)` is an error here, not a 1.
 #[derive(Clone, Debug)]
 pub struct CampaignOptionsBuilder {
     options: CampaignOptions,
@@ -1211,7 +1211,7 @@ impl CampaignRunner {
         }
     }
 
-    /// Runner with validated options (the non-deprecated configuration
+    /// Runner with validated options (the only configuration
     /// path).
     #[must_use]
     pub fn with_options(options: CampaignOptions) -> Self {
@@ -1222,112 +1222,6 @@ impl CampaignRunner {
     #[must_use]
     pub fn options(&self) -> &CampaignOptions {
         &self.options
-    }
-
-    /// Overrides the worker-thread count (clamped to at least 1).
-    #[deprecated(
-        note = "use CampaignOptions::builder().threads(n) with CampaignRunner::with_options"
-    )]
-    #[must_use]
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.options.threads = threads.max(1);
-        self
-    }
-
-    /// Enables (or disables) the settle-checkpoint warm-start cache.
-    #[deprecated(
-        note = "use CampaignOptions::builder().warm_start(enabled) with CampaignRunner::with_options"
-    )]
-    #[must_use]
-    pub fn with_warm_start(mut self, enabled: bool) -> Self {
-        self.options.warm_start = enabled;
-        self
-    }
-
-    /// Enables (or disables) span tracing: the report carries a merged
-    /// [`TraceLog`] with campaign → scenario → step spans. Tracing never
-    /// changes simulation arithmetic — outcomes stay byte-identical with
-    /// it on or off.
-    #[deprecated(
-        note = "use CampaignOptions::builder().tracing(enabled) with CampaignRunner::with_options"
-    )]
-    #[must_use]
-    pub fn with_tracing(mut self, enabled: bool) -> Self {
-        self.options.tracing = enabled;
-        self
-    }
-
-    /// Enables (or disables) a one-line progress report per finished
-    /// scenario on stdout (completion order).
-    #[deprecated(
-        note = "use CampaignOptions::builder().progress(enabled) with CampaignRunner::with_options"
-    )]
-    #[must_use]
-    pub fn with_progress(mut self, enabled: bool) -> Self {
-        self.options.progress = enabled;
-        self
-    }
-
-    /// Installs a progress observer (e.g. a live metrics endpoint).
-    #[deprecated(
-        note = "use CampaignOptions::builder().observer(observer) with CampaignRunner::with_options"
-    )]
-    #[must_use]
-    pub fn with_observer(mut self, observer: Arc<dyn CampaignObserver>) -> Self {
-        self.options.observer = Some(observer);
-        self
-    }
-
-    /// Sets the retry budget for failed scenarios (attempts beyond the
-    /// first; default 1). Retries re-derive the scenario seed with
-    /// [`derive_seed`] unchanged, so a retried success is byte-identical
-    /// to a first-try one; a scenario that fails every attempt is
-    /// quarantined as [`ScenarioStatus::Poisoned`].
-    #[deprecated(
-        note = "use CampaignOptions::builder().retries(n) with CampaignRunner::with_options"
-    )]
-    #[must_use]
-    pub fn with_retries(mut self, max_retries: u32) -> Self {
-        self.options.max_retries = max_retries;
-        self
-    }
-
-    /// Sets the base backoff between attempts, milliseconds (doubles per
-    /// retry, capped at 64× base; default 10 ms). Wall-clock only — never
-    /// part of the deterministic artifacts.
-    #[deprecated(
-        note = "use CampaignOptions::builder().backoff_ms(ms) with CampaignRunner::with_options"
-    )]
-    #[must_use]
-    pub fn with_backoff_ms(mut self, backoff_ms: u64) -> Self {
-        self.options.backoff_ms = backoff_ms;
-        self
-    }
-
-    /// Arms the watchdog: each scenario attempt gets a wall-clock
-    /// deadline of `seconds`; overrunning attempts are cancelled at the
-    /// next heartbeat (step boundaries and ~1024-tick run chunks) and
-    /// recorded as [`ScenarioError::TimedOut`]. Warm-cache waits are
-    /// excluded from the budget. No watchdog thread exists until this is
-    /// set.
-    #[deprecated(
-        note = "use CampaignOptions::builder().deadline_s(seconds) with CampaignRunner::with_options"
-    )]
-    #[must_use]
-    pub fn with_deadline_s(mut self, seconds: f64) -> Self {
-        self.options.deadline_s = Some(seconds);
-        self
-    }
-
-    /// Installs a deterministic chaos plan (seeded worker panics and
-    /// stalls) exercising the supervision layer; see [`ChaosPlan`].
-    #[deprecated(
-        note = "use CampaignOptions::builder().chaos(plan) with CampaignRunner::with_options"
-    )]
-    #[must_use]
-    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
-        self.options.chaos = Some(plan);
-        self
     }
 
     /// Configured worker-thread count.
@@ -2968,27 +2862,6 @@ mod tests {
             assert_eq!(a.metrics, b.metrics);
             assert_eq!(a.seed, b.seed, "retry must not re-derive the seed");
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_setters_delegate_to_options() {
-        let runner = CampaignRunner::new()
-            .with_threads(3)
-            .with_warm_start(true)
-            .with_tracing(true)
-            .with_retries(5)
-            .with_backoff_ms(7)
-            .with_deadline_s(2.5);
-        let o = runner.options();
-        assert_eq!(o.threads(), 3);
-        assert!(o.warm_start());
-        assert!(o.tracing());
-        assert_eq!(o.max_retries(), 5);
-        assert_eq!(o.backoff_ms(), 7);
-        assert_eq!(o.deadline_s(), Some(2.5));
-        // The legacy setter clamps where the builder errors.
-        assert_eq!(CampaignRunner::new().with_threads(0).options().threads(), 1);
     }
 
     #[test]

@@ -33,7 +33,12 @@
 //!   caller-supplied config, and the stored digest rejects a mismatched
 //!   one with [`CheckpointError::ConfigMismatch`];
 //! - telemetry (metrics, events, stage profiles): observability output,
-//!   deliberately excluded so that restoring never double-counts history.
+//!   deliberately excluded so that restoring never double-counts history;
+//! - the 8051 translation cache ([`ascp_mcu8051::xlate`]): derived
+//!   entirely from code memory, rebuilt lazily after a restore, and
+//!   excluded so checkpoint bytes are identical whether the cache is
+//!   enabled, disabled, hot, or cold (its hit/miss counters are likewise
+//!   telemetry, not state).
 //!
 //! # Example
 //!
@@ -338,6 +343,28 @@ mod tests {
             save(&resumed),
             "restored platform must evolve identically"
         );
+    }
+
+    /// The 8051 translation cache is an execution strategy, not state:
+    /// checkpoint bytes must be identical with it hot, cold, or off,
+    /// and a checkpoint taken from a cached run must restore into an
+    /// uncached platform (and vice versa) bit-exactly.
+    #[test]
+    fn checkpoint_bytes_independent_of_translation_cache() {
+        let config = quiet_config(42);
+        let mut cached = Platform::new(config.clone());
+        let mut uncached = Platform::new(config.clone());
+        uncached.cpu_mut().set_xlate_enabled(false);
+        cached.step_block(800);
+        uncached.step_block(800);
+        let ckpt = save(&cached);
+        assert_eq!(ckpt, save(&uncached), "cache state leaked into checkpoint");
+        // Cross-restore: cached checkpoint into an uncached platform.
+        let mut resumed = restore(config, &ckpt).expect("restore");
+        resumed.cpu_mut().set_xlate_enabled(false);
+        cached.step_block(300);
+        resumed.step_block(300);
+        assert_eq!(save(&cached), save(&resumed));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! controller, XDATA-mapped devices) attaches through the [`ExternalBus`]
 //! trait passed to [`Cpu::step`].
 
+use crate::xlate::{self, XlateCache};
 use ascp_sim::noise::Rng64;
 use ascp_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 use std::collections::VecDeque;
@@ -94,6 +95,34 @@ pub trait ExternalBus {
 
     /// MOVX write.
     fn xdata_write(&mut self, addr: u16, value: u8);
+
+    /// `true` if the bus wants [`ExternalBus::after_instructions`] calls
+    /// during batched execution ([`Cpu::run_slice`] / [`Cpu::run_cycles`]).
+    /// Buses that return `false` (the default) pay nothing per
+    /// instruction on the batched replay fast path.
+    fn wants_instruction_hook(&self) -> bool {
+        false
+    }
+
+    /// Called by batched execution after `spent` machine cycles of
+    /// instructions have retired; return `true` to stop the slice at
+    /// this instruction boundary (e.g. a watchdog expiry the platform
+    /// must turn into a CPU reset). Batches never span more than
+    /// [`ExternalBus::instruction_batch_headroom`] cycles, and cycles in
+    /// one batch contain no bus-visible side effects, so accounting here
+    /// is equivalent to a call after every instruction.
+    fn after_instructions(&mut self, spent: u32) -> bool {
+        let _ = spent;
+        false
+    }
+
+    /// Upper bound on machine cycles that may be reported through one
+    /// [`ExternalBus::after_instructions`] call without changing the
+    /// bus's observable behaviour (e.g. a watchdog's cycles-to-expiry
+    /// minus one). `0` forces per-instruction accounting.
+    fn instruction_batch_headroom(&self) -> u64 {
+        u64::MAX
+    }
 }
 
 /// A bus with nothing attached (reads float to 0xFF).
@@ -111,6 +140,18 @@ impl ExternalBus for NullBus {
         0xff
     }
     fn xdata_write(&mut self, _addr: u16, _value: u8) {}
+}
+
+/// Result of one [`Cpu::run_slice`] call: cycles executed and whether
+/// the bus's instruction hook stopped the slice early (the caller
+/// handles the stop — e.g. a watchdog reset — and may call again with
+/// the remaining budget).
+#[derive(Debug, Clone, Copy)]
+pub struct SliceOutcome {
+    /// Machine cycles executed in this slice.
+    pub executed: u64,
+    /// `true` when [`ExternalBus::after_instructions`] requested a stop.
+    pub stopped: bool,
 }
 
 /// Interrupt sources in priority-vector order.
@@ -207,6 +248,15 @@ pub struct Cpu {
     /// (monotonic; models the receiving ECU's line-error counter, so a
     /// CPU reset does not clear it).
     uart_line_errors: u64,
+    /// Basic-block translation cache (decode-once replay). Derived
+    /// entirely from code memory; **never serialized** — see
+    /// [`crate::xlate`] for the invalidation rules.
+    xlate: XlateCache,
+    /// Replay enabled (default). Disabling falls back to the per-step
+    /// fetch/decode interpreter — behaviour is bit-identical; only the
+    /// speed differs. Not serialized: an execution-strategy knob, not
+    /// architectural state.
+    xlate_enabled: bool,
 }
 
 impl Default for Cpu {
@@ -239,6 +289,8 @@ impl Cpu {
             hung: false,
             uart_fault: None,
             uart_line_errors: 0,
+            xlate: XlateCache::default(),
+            xlate_enabled: true,
         };
         cpu.reset();
         cpu
@@ -264,6 +316,9 @@ impl Cpu {
             self.code.resize(idx + 1, 0);
         }
         self.code[idx] = value;
+        // Self-modifying code: drop cached blocks decoded from the
+        // patched span; they re-decode lazily on next execution.
+        self.xlate.code_written(addr);
     }
 
     /// Hardware reset: PC = 0, SP = 7, ports high, everything else zero.
@@ -289,6 +344,9 @@ impl Cpu {
         // re-asserts it while the underlying fault stays active. The UART
         // line fault and error count live on the harness side and survive.
         self.hung = false;
+        // Reset flushes the translation cache (safety net: the reset and
+        // program-download paths interleave on the watchdog/JTAG side).
+        self.xlate.flush();
     }
 
     /// Program counter.
@@ -410,10 +468,60 @@ impl Cpu {
         self.uart_line_errors
     }
 
+    // ---- translation cache (see crate::xlate) ----
+
+    /// Enables or disables the basic-block translation cache. Execution
+    /// is bit-identical either way (pinned by the differential tests);
+    /// only throughput changes. Disabling also drops cached blocks so a
+    /// later re-enable starts cold.
+    pub fn set_xlate_enabled(&mut self, enabled: bool) {
+        self.xlate_enabled = enabled;
+        if !enabled {
+            self.xlate.flush();
+        }
+    }
+
+    /// `true` while the translation cache is enabled (the default).
+    #[must_use]
+    pub fn xlate_enabled(&self) -> bool {
+        self.xlate_enabled
+    }
+
+    /// Basic-block entries replayed from an already-decoded block.
+    #[must_use]
+    pub fn xlate_hits(&self) -> u64 {
+        self.xlate.hits()
+    }
+
+    /// Basic blocks decoded from code memory (cache misses).
+    #[must_use]
+    pub fn xlate_misses(&self) -> u64 {
+        self.xlate.misses()
+    }
+
+    /// Cache flushes (`code_write` into a cached block, `load_code`,
+    /// reset, snapshot restore) that dropped at least one block.
+    #[must_use]
+    pub fn xlate_invalidations(&self) -> u64 {
+        self.xlate.invalidations()
+    }
+
+    /// Number of basic blocks currently cached.
+    #[must_use]
+    pub fn xlate_cached_blocks(&self) -> usize {
+        self.xlate.cached_blocks()
+    }
+
     /// Serializes the complete core state: PC, IRAM, SFRs, code memory
     /// (runtime-mutable through the program-download path), counters, UART
     /// queues and timing, the interrupt in-service stack, pins, and
     /// injected-fault state.
+    ///
+    /// The translation cache and its hit/miss/invalidation counters are
+    /// deliberately **not** serialized: the cache is a pure function of
+    /// the code image saved here, so snapshot bytes are identical whether
+    /// execution ran cached or interpreted, and the PR 5 format (and the
+    /// warm-start cache keys derived from it) is unchanged.
     pub fn save_state(&self, w: &mut StateWriter) {
         w.put_u16(self.pc);
         w.put_u8_slice(&self.iram);
@@ -514,6 +622,9 @@ impl Cpu {
             None
         };
         self.uart_line_errors = r.take_u64()?;
+        // Code memory may have been replaced wholesale; the translation
+        // cache rebuilds lazily from the restored image.
+        self.xlate.flush();
         Ok(())
     }
 
@@ -716,10 +827,17 @@ impl Cpu {
         self.code.get(addr as usize).copied().unwrap_or(0)
     }
 
-    fn fetch16(&mut self) -> u16 {
-        let hi = self.fetch();
-        let lo = self.fetch();
-        u16::from_be_bytes([hi, lo])
+    /// Interpreter decode: fetches the opcode and its operand bytes,
+    /// advancing PC past the instruction — the uncached twin of a
+    /// [`crate::xlate::MicroOp`] replay. Both paths feed the same
+    /// [`Cpu::execute_decoded`] core, so they cannot diverge.
+    #[inline]
+    fn fetch_decoded(&mut self) -> (u8, u8, u8) {
+        let op = self.fetch();
+        let operands = xlate::OPERAND_COUNT[op as usize];
+        let a = if operands >= 1 { self.fetch() } else { 0 };
+        let b = if operands >= 2 { self.fetch() } else { 0 };
+        (op, a, b)
     }
 
     fn rel_jump(&mut self, offset: u8) {
@@ -730,25 +848,46 @@ impl Cpu {
 
     fn add(&mut self, operand: u8, with_carry: bool) {
         let a = self.sfr_load(sfr::ACC);
-        let c = u16::from(with_carry && self.get_flag(psw::CY));
+        let psw0 = self.sfr_load(sfr::PSW);
+        let c = u16::from(with_carry && psw0 & psw::CY != 0);
         let sum = a as u16 + operand as u16 + c;
         let half = (a & 0x0f) as u16 + (operand & 0x0f) as u16 + c;
         let signed = (a as i8 as i16) + (operand as i8 as i16) + c as i16;
-        self.set_flag(psw::CY, sum > 0xff);
-        self.set_flag(psw::AC, half > 0x0f);
-        self.set_flag(psw::OV, !(-128..=127).contains(&signed));
+        // One PSW read-modify-write for all three flags (the per-flag
+        // set_flag chain is a measurable store-forwarding stall in the
+        // interpreter hot loop).
+        let mut pswv = psw0 & !(psw::CY | psw::AC | psw::OV);
+        if sum > 0xff {
+            pswv |= psw::CY;
+        }
+        if half > 0x0f {
+            pswv |= psw::AC;
+        }
+        if !(-128..=127).contains(&signed) {
+            pswv |= psw::OV;
+        }
+        self.sfr_store(sfr::PSW, pswv);
         self.sfr_store(sfr::ACC, sum as u8);
     }
 
     fn subb(&mut self, operand: u8) {
         let a = self.sfr_load(sfr::ACC);
-        let c = u16::from(self.get_flag(psw::CY));
+        let psw0 = self.sfr_load(sfr::PSW);
+        let c = u16::from(psw0 & psw::CY != 0);
         let diff = (a as i16) - (operand as i16) - c as i16;
         let half = (a & 0x0f) as i16 - (operand & 0x0f) as i16 - c as i16;
         let signed = (a as i8 as i16) - (operand as i8 as i16) - c as i16;
-        self.set_flag(psw::CY, diff < 0);
-        self.set_flag(psw::AC, half < 0);
-        self.set_flag(psw::OV, !(-128..=127).contains(&signed));
+        let mut pswv = psw0 & !(psw::CY | psw::AC | psw::OV);
+        if diff < 0 {
+            pswv |= psw::CY;
+        }
+        if half < 0 {
+            pswv |= psw::AC;
+        }
+        if !(-128..=127).contains(&signed) {
+            pswv |= psw::OV;
+        }
+        self.sfr_store(sfr::PSW, pswv);
         self.sfr_store(sfr::ACC, diff as u8);
     }
 
@@ -878,11 +1017,18 @@ impl Cpu {
         self.sfr_store(sfr::TCON, tcon);
     }
 
+    /// Hot-path interrupt poll: one SFR load and a mask when interrupts
+    /// are globally disabled (the common case between `EA` writes).
+    #[inline]
     fn pending_interrupt(&self) -> Option<(IntSource, bool)> {
-        let ie = self.sfr_load(sfr::IE);
-        if ie & 0x80 == 0 {
+        if self.sfr_load(sfr::IE) & 0x80 == 0 {
             return None; // EA clear
         }
+        self.pending_interrupt_enabled()
+    }
+
+    fn pending_interrupt_enabled(&self) -> Option<(IntSource, bool)> {
+        let ie = self.sfr_load(sfr::IE);
         let ip = self.sfr_load(sfr::IP);
         let tcon = self.sfr_load(sfr::TCON);
         let scon = self.sfr_load(sfr::SCON);
@@ -936,6 +1082,12 @@ impl Cpu {
 
     /// Executes one instruction (servicing pending interrupts first);
     /// returns the machine cycles consumed.
+    ///
+    /// With the translation cache enabled (the default), the instruction
+    /// is replayed from a predecoded basic block ([`crate::xlate`])
+    /// instead of being fetched and decoded from code memory; interrupts
+    /// are still sampled here, at every instruction boundary, so IRQ
+    /// latency, cycle counts and bus traces are bit-identical either way.
     pub fn step(&mut self, bus: &mut dyn ExternalBus) -> u32 {
         if self.hung {
             // Latch-up: the clock runs but nothing fetches, no timers
@@ -945,59 +1097,259 @@ impl Cpu {
             return 1;
         }
         if self.halted {
-            self.tick_timers(1);
-            self.tick_uart(1);
+            self.tick_peripherals(1);
             self.cycles += 1;
             return 1;
         }
         if let Some((src, high)) = self.pending_interrupt() {
             self.service_interrupt(src, high);
         }
-        let op = self.fetch();
-        let cycles = self.execute(op, bus);
+        let mut predicted = 0u8;
+        let (op, a, b) = if self.xlate_enabled {
+            if let Some(uop) = self.xlate.cursor_next(self.pc) {
+                // Straight-line replay: the cursor is mid-block and the
+                // next micro-op is exactly where PC points.
+                self.pc = uop.next_pc;
+                predicted = uop.cycles();
+                (uop.op, uop.a, uop.b)
+            } else {
+                self.enter_block()
+            }
+        } else {
+            self.fetch_decoded()
+        };
+        let cycles = self.execute_decoded(op, a, b, bus);
+        debug_assert!(
+            predicted == 0 || u32::from(predicted) == cycles,
+            "micro-op cycle table disagrees with execution for {op:#04x}"
+        );
         self.instructions += 1;
-        self.cycles += cycles as u64;
-        self.tick_timers(cycles);
-        self.tick_uart(cycles);
+        self.cycles += u64::from(cycles);
+        self.tick_peripherals(cycles);
         cycles
     }
 
-    /// Runs until `cycles` machine cycles have elapsed (at least one step).
+    /// Cold half of the cached step: block-entry lookup (decoding the
+    /// block on a miss) with interpreter fallback for PCs outside code
+    /// memory.
+    fn enter_block(&mut self) -> (u8, u8, u8) {
+        if let Some(uop) = self.xlate.lookup(self.pc, &self.code) {
+            self.pc = uop.next_pc;
+            (uop.op, uop.a, uop.b)
+        } else {
+            self.fetch_decoded()
+        }
+    }
+
+    /// Per-instruction peripheral tick with cheap idle fast paths. The
+    /// guards skip only calls that would be observable no-ops: timers
+    /// with TR0 and TR1 clear, and the UART with no transmission in
+    /// flight, no deliverable RX byte and both interrupt pins low — so
+    /// behaviour is exactly [`Cpu::tick_timers`] + [`Cpu::tick_uart`].
+    #[inline]
+    fn tick_peripherals(&mut self, machine_cycles: u32) {
+        if self.sfr_load(sfr::TCON) & 0x50 != 0 {
+            self.tick_timers(machine_cycles);
+        }
+        if self.uart_tx_countdown.is_some() || self.int0_pin || self.int1_pin {
+            self.tick_uart(machine_cycles);
+        } else {
+            let scon = self.sfr_load(sfr::SCON);
+            if scon & 0x10 != 0 && scon & 0x01 == 0 && !self.uart_rx.is_empty() {
+                self.tick_uart(machine_cycles);
+            }
+        }
+    }
+
+    /// Runs until `cycles` machine cycles have elapsed.
+    ///
+    /// Batched twin of calling [`Cpu::step`] in a loop — behaviour is
+    /// bit-identical (same instruction boundaries, interrupt latencies,
+    /// peripheral timing and bus traffic), but when the translation
+    /// cache is enabled and the machine is *quiet* — interrupts globally
+    /// disabled, timers stopped, UART idle — cached micro-ops replay in
+    /// a tight loop that skips the per-instruction interrupt poll and
+    /// peripheral tick. Those are provable no-ops while quiet, and only
+    /// a `Direct`/`Xdata`-class instruction (the ones that can write IE,
+    /// TCON, SCON, SBUF, PCON or reach the external bus) can end
+    /// quiescence, so the loop falls back to the careful per-instruction
+    /// path exactly at the first instruction that could tell the
+    /// difference. Buses that want per-instruction accounting (the
+    /// platform watchdog) bound the batches via
+    /// [`ExternalBus::instruction_batch_headroom`].
     pub fn run_cycles(&mut self, cycles: u64, bus: &mut dyn ExternalBus) -> u64 {
-        let target = self.cycles + cycles;
+        let target = self.cycles.saturating_add(cycles);
+        let hook = bus.wants_instruction_hook();
         let mut executed = 0u64;
         while self.cycles < target {
-            executed += u64::from(self.step(bus));
+            let (spent, _stopped) = self.run_chunk(target - self.cycles, bus, hook);
+            executed += spent;
         }
         executed
     }
 
+    /// Runs up to `budget` machine cycles (fractional budgets execute
+    /// while at least one whole cycle remains, exactly like the
+    /// platform's historical `while debt >= 1.0 { step() }` loop — the
+    /// last instruction may overshoot), stopping early when the bus's
+    /// [`ExternalBus::after_instructions`] hook requests it (watchdog
+    /// expiry). The caller handles the stop (e.g. resets the CPU) and
+    /// calls again with the remaining budget.
+    pub fn run_slice(&mut self, budget: f64, bus: &mut dyn ExternalBus) -> SliceOutcome {
+        let limit = if budget >= 1.0 { budget as u64 } else { 0 };
+        let hook = bus.wants_instruction_hook();
+        let mut executed = 0u64;
+        while executed < limit {
+            let (spent, stopped) = self.run_chunk(limit - executed, bus, hook);
+            executed += spent;
+            if stopped {
+                return SliceOutcome {
+                    executed,
+                    stopped: true,
+                };
+            }
+        }
+        SliceOutcome {
+            executed,
+            stopped: false,
+        }
+    }
+
+    /// One batched-execution chunk: a quiet replay batch when the
+    /// machine state allows it, otherwise a single careful [`Cpu::step`].
+    /// Returns cycles spent and whether the bus hook asked to stop.
+    fn run_chunk(&mut self, remaining: u64, bus: &mut dyn ExternalBus, hook: bool) -> (u64, bool) {
+        if self.xlate_enabled && !self.hung && !self.halted && self.peripherals_quiet() {
+            let headroom = if hook {
+                bus.instruction_batch_headroom()
+            } else {
+                u64::MAX
+            };
+            if headroom > 0 {
+                let limit = remaining.min(headroom).min(u64::from(u32::MAX));
+                let done = self.replay_quiet(limit, bus);
+                if done > 0 {
+                    // `done` fits u32: limit was clamped above.
+                    #[allow(clippy::cast_possible_truncation)]
+                    let stop = hook && bus.after_instructions(done as u32);
+                    return (done, stop);
+                }
+            }
+        }
+        let spent = self.step(bus);
+        let stop = hook && bus.after_instructions(spent);
+        (u64::from(spent), stop)
+    }
+
+    /// `true` when no per-instruction sampling can observe anything:
+    /// interrupts are globally disabled (IE.EA clear), both timers are
+    /// stopped (TCON.TR0/TR1 clear) and the UART is idle (no
+    /// transmission in flight, both interrupt pins low, no deliverable
+    /// RX byte). Under these conditions [`Cpu::pending_interrupt`] and
+    /// [`Cpu::tick_peripherals`] are no-ops, and only a `Direct`-class
+    /// instruction can change that.
+    fn peripherals_quiet(&self) -> bool {
+        if self.sfr_load(sfr::IE) & 0x80 != 0 || self.sfr_load(sfr::TCON) & 0x50 != 0 {
+            return false;
+        }
+        if self.uart_tx_countdown.is_some() || self.int0_pin || self.int1_pin {
+            return false;
+        }
+        let scon = self.sfr_load(sfr::SCON);
+        !(scon & 0x10 != 0 && scon & 0x01 == 0 && !self.uart_rx.is_empty())
+    }
+
+    /// The quiet-replay hot loop: executes cached micro-ops until the
+    /// cycle `limit` is reached, a non-quiet-safe op (or uncached /
+    /// out-of-code PC) needs the careful path, whichever comes first.
+    /// Returns the machine cycles executed.
+    fn replay_quiet(&mut self, limit: u64, bus: &mut dyn ExternalBus) -> u64 {
+        // Counters accumulate in locals and flush once at loop exit: no
+        // execution arm reads them, and the save/accessor paths only run
+        // between slices.
+        let mut executed = 0u64;
+        let mut retired = 0u64;
+        // The arena moves out of the cache for the duration of the loop
+        // so it can be indexed as a local slice (pointer and cursor in
+        // registers) while `execute_decoded` mutably borrows `self`.
+        // Sound because nothing the loop executes can touch the cache:
+        // no 8051 instruction writes code memory, and every flush path
+        // (`code_write`, `load_code`, `load_state`, `reset`,
+        // `set_xlate_enabled`) is an external API, not an instruction.
+        // Block decodes (cold path) hand the arena back first.
+        let mut ops = std::mem::take(&mut self.xlate.ops);
+        let mut cur = self.xlate.cur as usize;
+        let mut end = self.xlate.cur_end as usize;
+        while executed < limit {
+            if cur >= end || ops[cur].pc != self.pc {
+                // Block boundary or divergence: rewind for a same-block
+                // re-entry (hot-loop backward jump), else do the full
+                // lookup — which may decode a new block into the arena,
+                // so it borrows the real cache. PCs outside code memory
+                // leave the quiet loop for the interpreter.
+                if !self.xlate.reenter(self.pc) {
+                    self.xlate.ops = ops;
+                    let ok = self.xlate.position(self.pc, &self.code);
+                    ops = std::mem::take(&mut self.xlate.ops);
+                    if !ok {
+                        break;
+                    }
+                    end = self.xlate.cur_end as usize;
+                }
+                cur = self.xlate.cur as usize;
+                continue;
+            }
+            let uop = ops[cur];
+            if !uop.quiet_safe() {
+                break;
+            }
+            cur += 1;
+            self.pc = uop.next_pc;
+            let spent = self.execute_decoded(uop.op, uop.a, uop.b, bus);
+            debug_assert!(
+                u32::from(uop.cycles()) == spent,
+                "micro-op cycle table disagrees with execution for {:#04x}",
+                uop.op
+            );
+            retired += 1;
+            executed += u64::from(spent);
+        }
+        self.xlate.ops = ops;
+        self.xlate.cur = u32::try_from(cur).unwrap_or(xlate::NONE_IDX);
+        self.instructions += retired;
+        self.cycles += executed;
+        executed
+    }
+
+    /// The single execution core: one instruction's semantics, with the
+    /// opcode and operand bytes already fetched (PC points past the
+    /// instruction). Both the interpreter ([`Cpu::fetch_decoded`]) and
+    /// the translation-cache replay feed this function, so cached and
+    /// uncached execution share every side effect by construction.
     #[allow(clippy::too_many_lines)]
-    fn execute(&mut self, op: u8, bus: &mut dyn ExternalBus) -> u32 {
+    #[inline(always)]
+    fn execute_decoded(&mut self, op: u8, a: u8, b: u8, bus: &mut dyn ExternalBus) -> u32 {
         match op {
             0x00 => 1, // NOP
             // AJMP / ACALL (page encoded in opcode bits 7..5)
             0x01 | 0x21 | 0x41 | 0x61 | 0x81 | 0xa1 | 0xc1 | 0xe1 => {
-                let lo = self.fetch();
                 let page = (op >> 5) as u16;
-                self.pc = (self.pc & 0xf800) | (page << 8) | lo as u16;
+                self.pc = (self.pc & 0xf800) | (page << 8) | a as u16;
                 2
             }
             0x11 | 0x31 | 0x51 | 0x71 | 0x91 | 0xb1 | 0xd1 | 0xf1 => {
-                let lo = self.fetch();
                 let page = (op >> 5) as u16;
                 self.push_pc();
-                self.pc = (self.pc & 0xf800) | (page << 8) | lo as u16;
+                self.pc = (self.pc & 0xf800) | (page << 8) | a as u16;
                 2
             }
             0x02 => {
-                self.pc = self.fetch16();
+                self.pc = u16::from_be_bytes([a, b]);
                 2
             } // LJMP
             0x12 => {
-                let target = self.fetch16();
                 self.push_pc();
-                self.pc = target;
+                self.pc = u16::from_be_bytes([a, b]);
                 2
             } // LCALL
             0x03 => {
@@ -1035,15 +1387,13 @@ impl Cpu {
                 1
             } // DEC A
             0x05 => {
-                let d = self.fetch();
-                let v = self.direct_read(d, bus).wrapping_add(1);
-                self.direct_write(d, v, bus);
+                let v = self.direct_read(a, bus).wrapping_add(1);
+                self.direct_write(a, v, bus);
                 1
             } // INC dir
             0x15 => {
-                let d = self.fetch();
-                let v = self.direct_read(d, bus).wrapping_sub(1);
-                self.direct_write(d, v, bus);
+                let v = self.direct_read(a, bus).wrapping_sub(1);
+                self.direct_write(a, v, bus);
                 1
             } // DEC dir
             0x06 | 0x07 => {
@@ -1075,61 +1425,50 @@ impl Cpu {
                 2
             } // INC DPTR
             0x10 => {
-                let bit = self.fetch();
-                let rel = self.fetch();
-                if self.bit_read(bit, bus) {
-                    self.bit_write(bit, false, bus);
-                    self.rel_jump(rel);
+                if self.bit_read(a, bus) {
+                    self.bit_write(a, false, bus);
+                    self.rel_jump(b);
                 }
                 2
             } // JBC
             0x20 => {
-                let bit = self.fetch();
-                let rel = self.fetch();
-                if self.bit_read(bit, bus) {
-                    self.rel_jump(rel);
+                if self.bit_read(a, bus) {
+                    self.rel_jump(b);
                 }
                 2
             } // JB
             0x30 => {
-                let bit = self.fetch();
-                let rel = self.fetch();
-                if !self.bit_read(bit, bus) {
-                    self.rel_jump(rel);
+                if !self.bit_read(a, bus) {
+                    self.rel_jump(b);
                 }
                 2
             } // JNB
             0x40 => {
-                let rel = self.fetch();
                 if self.get_flag(psw::CY) {
-                    self.rel_jump(rel);
+                    self.rel_jump(a);
                 }
                 2
             } // JC
             0x50 => {
-                let rel = self.fetch();
                 if !self.get_flag(psw::CY) {
-                    self.rel_jump(rel);
+                    self.rel_jump(a);
                 }
                 2
             } // JNC
             0x60 => {
-                let rel = self.fetch();
                 if self.sfr_load(sfr::ACC) == 0 {
-                    self.rel_jump(rel);
+                    self.rel_jump(a);
                 }
                 2
             } // JZ
             0x70 => {
-                let rel = self.fetch();
                 if self.sfr_load(sfr::ACC) != 0 {
-                    self.rel_jump(rel);
+                    self.rel_jump(a);
                 }
                 2
             } // JNZ
             0x80 => {
-                let rel = self.fetch();
-                self.rel_jump(rel);
+                self.rel_jump(a);
                 2
             } // SJMP
             0x73 => {
@@ -1151,13 +1490,11 @@ impl Cpu {
             } // RETI
             // ADD / ADDC / SUBB
             0x24 => {
-                let v = self.fetch();
-                self.add(v, false);
+                self.add(a, false);
                 1
             }
             0x25 => {
-                let d = self.fetch();
-                let v = self.direct_read(d, bus);
+                let v = self.direct_read(a, bus);
                 self.add(v, false);
                 1
             }
@@ -1172,13 +1509,11 @@ impl Cpu {
                 1
             }
             0x34 => {
-                let v = self.fetch();
-                self.add(v, true);
+                self.add(a, true);
                 1
             }
             0x35 => {
-                let d = self.fetch();
-                let v = self.direct_read(d, bus);
+                let v = self.direct_read(a, bus);
                 self.add(v, true);
                 1
             }
@@ -1193,13 +1528,11 @@ impl Cpu {
                 1
             }
             0x94 => {
-                let v = self.fetch();
-                self.subb(v);
+                self.subb(a);
                 1
             }
             0x95 => {
-                let d = self.fetch();
-                let v = self.direct_read(d, bus);
+                let v = self.direct_read(a, bus);
                 self.subb(v);
                 1
             }
@@ -1215,7 +1548,7 @@ impl Cpu {
             }
             // Logic: ORL / ANL / XRL
             0x42 | 0x52 | 0x62 => {
-                let d = self.fetch();
+                let d = a;
                 let v = self.direct_read(d, bus);
                 let a = self.sfr_load(sfr::ACC);
                 let r = match op {
@@ -1227,8 +1560,8 @@ impl Cpu {
                 1
             }
             0x43 | 0x53 | 0x63 => {
-                let d = self.fetch();
-                let imm = self.fetch();
+                let d = a;
+                let imm = b;
                 let v = self.direct_read(d, bus);
                 let r = match op {
                     0x43 => v | imm,
@@ -1239,7 +1572,7 @@ impl Cpu {
                 2
             }
             0x44 | 0x54 | 0x64 => {
-                let imm = self.fetch();
+                let imm = a;
                 let a = self.sfr_load(sfr::ACC);
                 let r = match op {
                     0x44 => a | imm,
@@ -1250,7 +1583,7 @@ impl Cpu {
                 1
             }
             0x45 | 0x55 | 0x65 => {
-                let d = self.fetch();
+                let d = a;
                 let v = self.direct_read(d, bus);
                 let a = self.sfr_load(sfr::ACC);
                 let r = match op {
@@ -1285,95 +1618,78 @@ impl Cpu {
             }
             // Carry-bit logic
             0x72 => {
-                let bit = self.fetch();
-                let v = self.bit_read(bit, bus);
+                let v = self.bit_read(a, bus);
                 let c = self.get_flag(psw::CY);
                 self.set_flag(psw::CY, c | v);
                 2
             } // ORL C,bit
             0xa0 => {
-                let bit = self.fetch();
-                let v = self.bit_read(bit, bus);
+                let v = self.bit_read(a, bus);
                 let c = self.get_flag(psw::CY);
                 self.set_flag(psw::CY, c | !v);
                 2
             } // ORL C,/bit
             0x82 => {
-                let bit = self.fetch();
-                let v = self.bit_read(bit, bus);
+                let v = self.bit_read(a, bus);
                 let c = self.get_flag(psw::CY);
                 self.set_flag(psw::CY, c & v);
                 2
             } // ANL C,bit
             0xb0 => {
-                let bit = self.fetch();
-                let v = self.bit_read(bit, bus);
+                let v = self.bit_read(a, bus);
                 let c = self.get_flag(psw::CY);
                 self.set_flag(psw::CY, c & !v);
                 2
             } // ANL C,/bit
             // MOV immediate / register forms
             0x74 => {
-                let v = self.fetch();
-                self.sfr_store(sfr::ACC, v);
+                self.sfr_store(sfr::ACC, a);
                 1
             }
             0x75 => {
-                let d = self.fetch();
-                let v = self.fetch();
-                self.direct_write(d, v, bus);
+                self.direct_write(a, b, bus);
                 2
             }
             0x76 | 0x77 => {
-                let v = self.fetch();
-                self.indirect_write(self.reg(op & 1), v);
+                self.indirect_write(self.reg(op & 1), a);
                 1
             }
             0x78..=0x7f => {
-                let v = self.fetch();
-                self.set_reg(op & 7, v);
+                self.set_reg(op & 7, a);
                 1
             }
             0x85 => {
                 // MOV dest,src is encoded src-first.
-                let src = self.fetch();
-                let dst = self.fetch();
-                let v = self.direct_read(src, bus);
-                self.direct_write(dst, v, bus);
+                let v = self.direct_read(a, bus);
+                self.direct_write(b, v, bus);
                 2
             }
             0x86 | 0x87 => {
-                let d = self.fetch();
                 let v = self.indirect_read(self.reg(op & 1));
-                self.direct_write(d, v, bus);
+                self.direct_write(a, v, bus);
                 2
             }
             0x88..=0x8f => {
-                let d = self.fetch();
                 let v = self.reg(op & 7);
-                self.direct_write(d, v, bus);
+                self.direct_write(a, v, bus);
                 2
             }
             0x90 => {
-                let v = self.fetch16();
-                self.set_dptr(v);
+                self.set_dptr(u16::from_be_bytes([a, b]));
                 2
             } // MOV DPTR,#
             0xa6 | 0xa7 => {
-                let d = self.fetch();
-                let v = self.direct_read(d, bus);
+                let v = self.direct_read(a, bus);
                 self.indirect_write(self.reg(op & 1), v);
                 2
             }
             0xa8..=0xaf => {
-                let d = self.fetch();
-                let v = self.direct_read(d, bus);
+                let v = self.direct_read(a, bus);
                 self.set_reg(op & 7, v);
                 2
             }
             0xe5 => {
-                let d = self.fetch();
-                let v = self.direct_read(d, bus);
+                let v = self.direct_read(a, bus);
                 self.sfr_store(sfr::ACC, v);
                 1
             }
@@ -1388,9 +1704,8 @@ impl Cpu {
                 1
             }
             0xf5 => {
-                let d = self.fetch();
                 let v = self.sfr_load(sfr::ACC);
-                self.direct_write(d, v, bus);
+                self.direct_write(a, v, bus);
                 1
             }
             0xf6 | 0xf7 => {
@@ -1490,8 +1805,7 @@ impl Cpu {
             } // CPL A
             // Bit ops
             0xc2 => {
-                let bit = self.fetch();
-                self.bit_write(bit, false, bus);
+                self.bit_write(a, false, bus);
                 1
             } // CLR bit
             0xc3 => {
@@ -1499,8 +1813,7 @@ impl Cpu {
                 1
             } // CLR C
             0xd2 => {
-                let bit = self.fetch();
-                self.bit_write(bit, true, bus);
+                self.bit_write(a, true, bus);
                 1
             } // SETB bit
             0xd3 => {
@@ -1508,9 +1821,8 @@ impl Cpu {
                 1
             } // SETB C
             0xb2 => {
-                let bit = self.fetch();
-                let v = self.bit_read(bit, bus);
-                self.bit_write(bit, !v, bus);
+                let v = self.bit_read(a, bus);
+                self.bit_write(a, !v, bus);
                 1
             } // CPL bit
             0xb3 => {
@@ -1519,33 +1831,29 @@ impl Cpu {
                 1
             } // CPL C
             0x92 => {
-                let bit = self.fetch();
                 let c = self.get_flag(psw::CY);
-                self.bit_write(bit, c, bus);
+                self.bit_write(a, c, bus);
                 2
             } // MOV bit,C
             0xa2 => {
-                let bit = self.fetch();
-                let v = self.bit_read(bit, bus);
+                let v = self.bit_read(a, bus);
                 self.set_flag(psw::CY, v);
                 1
             } // MOV C,bit
             // PUSH / POP
             0xc0 => {
-                let d = self.fetch();
-                let v = self.direct_read(d, bus);
+                let v = self.direct_read(a, bus);
                 self.push(v);
                 2
             }
             0xd0 => {
-                let d = self.fetch();
                 let v = self.pop();
-                self.direct_write(d, v, bus);
+                self.direct_write(a, v, bus);
                 2
             }
             // XCH / XCHD
             0xc5 => {
-                let d = self.fetch();
+                let d = a;
                 let v = self.direct_read(d, bus);
                 let a = self.sfr_load(sfr::ACC);
                 self.direct_write(d, a, bus);
@@ -1578,52 +1886,43 @@ impl Cpu {
             }
             // CJNE
             0xb4 => {
-                let imm = self.fetch();
-                let rel = self.fetch();
+                let imm = a;
                 let a = self.sfr_load(sfr::ACC);
-                self.cjne(a, imm, rel);
+                self.cjne(a, imm, b);
                 2
             }
             0xb5 => {
-                let d = self.fetch();
-                let rel = self.fetch();
+                let d = a;
                 let a = self.sfr_load(sfr::ACC);
                 let v = self.direct_read(d, bus);
-                self.cjne(a, v, rel);
+                self.cjne(a, v, b);
                 2
             }
             0xb6 | 0xb7 => {
-                let imm = self.fetch();
-                let rel = self.fetch();
                 let v = self.indirect_read(self.reg(op & 1));
-                self.cjne(v, imm, rel);
+                self.cjne(v, a, b);
                 2
             }
             0xb8..=0xbf => {
-                let imm = self.fetch();
-                let rel = self.fetch();
                 let v = self.reg(op & 7);
-                self.cjne(v, imm, rel);
+                self.cjne(v, a, b);
                 2
             }
             // DJNZ
             0xd5 => {
-                let d = self.fetch();
-                let rel = self.fetch();
-                let v = self.direct_read(d, bus).wrapping_sub(1);
-                self.direct_write(d, v, bus);
+                let v = self.direct_read(a, bus).wrapping_sub(1);
+                self.direct_write(a, v, bus);
                 if v != 0 {
-                    self.rel_jump(rel);
+                    self.rel_jump(b);
                 }
                 2
             }
             0xd8..=0xdf => {
                 let n = op & 7;
-                let rel = self.fetch();
                 let v = self.reg(n).wrapping_sub(1);
                 self.set_reg(n, v);
                 if v != 0 {
-                    self.rel_jump(rel);
+                    self.rel_jump(a);
                 }
                 2
             }

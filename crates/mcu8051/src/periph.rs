@@ -553,6 +553,19 @@ impl Watchdog {
         self.auto_reset
     }
 
+    /// Machine cycles that may elapse in one batched [`Watchdog::tick`]
+    /// without its observable behaviour diverging from per-cycle
+    /// ticking: one less than the cycles to expiry (the countdown is
+    /// linear until it crosses zero), or `u64::MAX` when disabled.
+    #[must_use]
+    pub fn batch_headroom(&self) -> u64 {
+        if self.enabled {
+            u64::from(self.counter).saturating_sub(1)
+        } else {
+            u64::MAX
+        }
+    }
+
     /// Configured reload value (machine cycles per timeout).
     #[must_use]
     pub fn reload(&self) -> u16 {
@@ -1039,6 +1052,22 @@ impl ExternalBus for SystemBus {
 
     fn xdata_write(&mut self, addr: u16, value: u8) {
         self.sram.write_byte(addr, value);
+    }
+
+    // The platform ticks the watchdog at every instruction boundary.
+    // Batched execution keeps that exact: batches are bounded by the
+    // cycles-to-expiry headroom and contain no bus writes (so no kicks),
+    // making one `tick(batch)` equal to per-instruction ticks.
+    fn wants_instruction_hook(&self) -> bool {
+        true
+    }
+
+    fn after_instructions(&mut self, spent: u32) -> bool {
+        self.watchdog.tick(spent) && self.watchdog.auto_reset()
+    }
+
+    fn instruction_batch_headroom(&self) -> u64 {
+        self.watchdog.batch_headroom()
     }
 }
 

@@ -1,0 +1,615 @@
+//! Basic-block predecode and translation cache for the 8051 ISS.
+//!
+//! The interpreter in [`crate::cpu`] re-fetches and re-decodes every
+//! instruction from code memory — up to three bounds-checked byte loads
+//! plus a 256-way dispatch per step. Firmware, however, spends nearly all
+//! of its time in small loops, so the same few instructions are decoded
+//! millions of times. This module decodes each **basic block** once into
+//! a cached run of [`MicroOp`]s (opcode, pre-extracted operand bytes,
+//! successor PC, cycle count, side-effect class), keyed by entry PC and
+//! terminated at unconditional control flow; [`crate::cpu::Cpu::step`]
+//! then replays cached blocks instead of fetching — the QEMU-style
+//! translation-block idea, scaled down to a predecode cache (micro-ops
+//! still execute through the one shared semantic core, so behaviour is
+//! bit-identical by construction).
+//!
+//! # What is cached, and what is not
+//!
+//! A [`MicroOp`] caches only what is a pure function of code memory: the
+//! opcode byte, up to two operand bytes, the instruction length and its
+//! machine-cycle cost. All *state* — registers, flags, SFRs, timers, the
+//! UART, interrupt sampling — lives in the CPU and is touched only by the
+//! shared execution core, once per instruction, exactly as the
+//! interpreter does. Interrupts are sampled at instruction boundaries in
+//! both paths, so IRQ latency, cycle counts and bus traces cannot
+//! diverge. All micro-ops live in one flat arena ([`XlateCache::ops`]);
+//! a block is a contiguous run inside it, and straight-line replay is a
+//! single bounds-checked load per instruction.
+//!
+//! # Invalidation
+//!
+//! The cache mirrors code memory and nothing else, so it must be dropped
+//! whenever code memory can have changed:
+//!
+//! - [`crate::cpu::Cpu::code_write`] — the JTAG/cache-controller program
+//!   download path — invalidates when the written address falls inside
+//!   the span covered by any cached block (a whole-cache flush: patches
+//!   are rare and the cache rebuilds lazily);
+//! - [`crate::cpu::Cpu::load_code`] and `load_state` replace code memory
+//!   outright and always flush;
+//! - [`crate::cpu::Cpu::reset`] flushes as a safety net (the watchdog
+//!   reset path re-enters firmware from the vector table).
+//!
+//! The cache is **never** serialized: checkpoints capture code memory and
+//! the translation cache is a pure function of it, so PR 5 snapshot bytes
+//! and warm-start cache keys are unchanged whether the cache is on, off,
+//! warm or cold. Restoring a checkpoint flushes and the cache rebuilds on
+//! the next executed block.
+
+/// Coarse side-effect class of one instruction (micro-op metadata).
+///
+/// Used by the block builder to find terminators, by the batched replay
+/// loop in [`crate::cpu::Cpu::run_slice`] to find instructions that can
+/// wake idle peripherals (only `Direct` and `Xdata` ops can reach IE,
+/// TCON, SCON, SBUF, PCON or the external bus), and exported so
+/// diagnostics can summarize what a cached block touches. The class is a
+/// *may*-analysis: `Direct` means the instruction can reach the external
+/// SFR bus (direct or bit addressing at 0x80+), not that it will.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OpClass {
+    /// Touches only CPU-internal state (registers, ACC, IRAM, flags).
+    Local,
+    /// Direct or bit addressing — may reach the external SFR bus.
+    Direct,
+    /// MOVX — reaches the external XDATA bus.
+    Xdata,
+    /// MOVC — reads code memory (data tables; never written by the CPU).
+    CodeRead,
+    /// Conditional control flow (falls through when not taken).
+    CondFlow,
+    /// Unconditional control flow — always terminates a basic block.
+    Flow,
+}
+
+/// One predecoded instruction: everything [`crate::cpu::Cpu`] would have
+/// fetched from code memory, extracted once. Exactly 8 bytes so the
+/// replay arena packs 8 per cache line; the cycle count, side-effect
+/// class and quiet-safety bit share one packed metadata byte.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroOp {
+    /// Address of the opcode byte.
+    pub pc: u16,
+    /// Address of the next sequential instruction (`pc` + length, which
+    /// is where PC points while this instruction executes).
+    pub next_pc: u16,
+    /// The opcode.
+    pub op: u8,
+    /// First operand byte (0 when the instruction has none).
+    pub a: u8,
+    /// Second operand byte (0 when the instruction has fewer than two).
+    pub b: u8,
+    /// Packed metadata: bits 0–2 machine cycles, bits 3–5 side-effect
+    /// class discriminant, bit 6 the quiet-safety flag.
+    meta: u8,
+}
+
+/// `meta` bit 6: set when the op cannot wake idle peripherals or enable
+/// interrupts (class is neither `Direct` nor `Xdata`) — the batched
+/// replay loop may execute it without re-sampling peripheral state.
+const META_QUIET: u8 = 0x40;
+
+impl MicroOp {
+    fn pack(pc: u16, next_pc: u16, op: u8, a: u8, b: u8, cycles: u8, class: OpClass) -> Self {
+        let quiet = !matches!(class, OpClass::Direct | OpClass::Xdata);
+        let meta = (cycles & 0x07) | ((class as u8) << 3) | (u8::from(quiet) * META_QUIET);
+        Self {
+            pc,
+            next_pc,
+            op,
+            a,
+            b,
+            meta,
+        }
+    }
+
+    /// Total instruction length in bytes (1–3).
+    #[must_use]
+    pub fn size_bytes(&self) -> u16 {
+        self.next_pc.wrapping_sub(self.pc)
+    }
+
+    /// Machine cycles the instruction costs (fixed per opcode on this
+    /// core, branch taken or not).
+    #[must_use]
+    pub fn cycles(&self) -> u8 {
+        self.meta & 0x07
+    }
+
+    /// Side-effect class (from the opcode's decode metadata).
+    #[must_use]
+    pub fn class(&self) -> OpClass {
+        match (self.meta >> 3) & 0x07 {
+            0 => OpClass::Local,
+            1 => OpClass::Direct,
+            2 => OpClass::Xdata,
+            3 => OpClass::CodeRead,
+            4 => OpClass::CondFlow,
+            _ => OpClass::Flow,
+        }
+    }
+
+    /// `true` when replay may execute this op without re-sampling
+    /// peripheral/interrupt state: the op cannot write an SFR by direct
+    /// address or touch the external bus, so it cannot start a UART
+    /// transmission, set a timer running, enable interrupts or halt the
+    /// core.
+    #[must_use]
+    pub fn quiet_safe(&self) -> bool {
+        self.meta & META_QUIET != 0
+    }
+}
+
+/// Decode metadata for one opcode: operand byte count, machine cycles,
+/// side-effect class. This is the single decode truth both the
+/// interpreter's fetch loop (through the [`OPERAND_COUNT`] /
+/// [`BASE_CYCLES`] tables) and the block builder share; the execution
+/// semantics live in `Cpu::execute_decoded`, which debug-asserts its
+/// cycle result against this table on the replay path.
+#[must_use]
+pub const fn decode_meta(op: u8) -> (u8, u8, OpClass) {
+    use OpClass::{CodeRead, CondFlow, Direct, Flow, Local, Xdata};
+    match op {
+        0x00 => (0, 1, Local),                                                 // NOP
+        0x01 | 0x21 | 0x41 | 0x61 | 0x81 | 0xa1 | 0xc1 | 0xe1 => (1, 2, Flow), // AJMP
+        0x11 | 0x31 | 0x51 | 0x71 | 0x91 | 0xb1 | 0xd1 | 0xf1 => (1, 2, Flow), // ACALL
+        0x02 | 0x12 => (2, 2, Flow),                                           // LJMP / LCALL
+        0x03 | 0x13 | 0x23 | 0x33 => (0, 1, Local),                            // RR/RRC/RL/RLC
+        0x04 | 0x14 => (0, 1, Local),                                          // INC/DEC A
+        0x05 | 0x15 => (1, 1, Direct),                                         // INC/DEC dir
+        0x06 | 0x07 | 0x16 | 0x17 => (0, 1, Local),                            // INC/DEC @Ri
+        0x08..=0x0f | 0x18..=0x1f => (0, 1, Local),                            // INC/DEC Rn
+        0xa3 => (0, 2, Local),                                                 // INC DPTR
+        0x10 => (2, 2, CondFlow),                                              // JBC
+        0x20 | 0x30 => (2, 2, CondFlow),                                       // JB / JNB
+        0x40 | 0x50 | 0x60 | 0x70 => (1, 2, CondFlow),                         // JC/JNC/JZ/JNZ
+        0x80 => (1, 2, Flow),                                                  // SJMP
+        0x73 => (0, 2, Flow),                                                  // JMP @A+DPTR
+        0x22 | 0x32 => (0, 2, Flow),                                           // RET / RETI
+        0x24 | 0x34 | 0x94 => (1, 1, Local),                                   // ADD/ADDC/SUBB #
+        0x25 | 0x35 | 0x95 => (1, 1, Direct),                                  // ADD/ADDC/SUBB dir
+        0x26 | 0x27 | 0x36 | 0x37 | 0x96 | 0x97 => (0, 1, Local),              // ... @Ri
+        0x28..=0x2f | 0x38..=0x3f | 0x98..=0x9f => (0, 1, Local),              // ... Rn
+        0x42 | 0x52 | 0x62 => (1, 1, Direct),                                  // ORL/ANL/XRL dir,A
+        0x43 | 0x53 | 0x63 => (2, 2, Direct),                                  // ORL/ANL/XRL dir,#
+        0x44 | 0x54 | 0x64 => (1, 1, Local),                                   // ORL/ANL/XRL A,#
+        0x45 | 0x55 | 0x65 => (1, 1, Direct),                                  // ORL/ANL/XRL A,dir
+        0x46 | 0x47 | 0x56 | 0x57 | 0x66 | 0x67 => (0, 1, Local),              // ... A,@Ri
+        0x48..=0x4f | 0x58..=0x5f | 0x68..=0x6f => (0, 1, Local),              // ... A,Rn
+        0x72 | 0xa0 | 0x82 | 0xb0 => (1, 2, Direct),                           // ORL/ANL C,(/)bit
+        0x74 => (1, 1, Local),                                                 // MOV A,#
+        0x75 => (2, 2, Direct),                                                // MOV dir,#
+        0x76 | 0x77 => (1, 1, Local),                                          // MOV @Ri,#
+        0x78..=0x7f => (1, 1, Local),                                          // MOV Rn,#
+        0x85 => (2, 2, Direct),                                                // MOV dir,dir
+        0x86 | 0x87 => (1, 2, Direct),                                         // MOV dir,@Ri
+        0x88..=0x8f => (1, 2, Direct),                                         // MOV dir,Rn
+        0x90 => (2, 2, Local),                                                 // MOV DPTR,#
+        0xa6 | 0xa7 => (1, 2, Direct),                                         // MOV @Ri,dir
+        0xa8..=0xaf => (1, 2, Direct),                                         // MOV Rn,dir
+        0xe5 => (1, 1, Direct),                                                // MOV A,dir
+        0xe6..=0xef => (0, 1, Local),                                          // MOV A,@Ri/Rn
+        0xf5 => (1, 1, Direct),                                                // MOV dir,A
+        0xf6..=0xff => (0, 1, Local),                                          // MOV @Ri/Rn,A
+        0x83 | 0x93 => (0, 2, CodeRead),                                       // MOVC
+        0xe0 | 0xe2 | 0xe3 | 0xf0 | 0xf2 | 0xf3 => (0, 2, Xdata),              // MOVX
+        0xa4 | 0x84 => (0, 4, Local),                                          // MUL / DIV
+        0xd4 | 0xc4 | 0xe4 | 0xf4 => (0, 1, Local),                            // DA/SWAP/CLR/CPL A
+        0xc2 | 0xd2 | 0xb2 => (1, 1, Direct),                                  // CLR/SETB/CPL bit
+        0xc3 | 0xd3 | 0xb3 => (0, 1, Local),                                   // CLR/SETB/CPL C
+        0x92 => (1, 2, Direct),                                                // MOV bit,C
+        0xa2 => (1, 1, Direct),                                                // MOV C,bit
+        0xc0 | 0xd0 => (1, 2, Direct),                                         // PUSH / POP
+        0xc5 => (1, 1, Direct),                                                // XCH A,dir
+        0xc6 | 0xc7 | 0xc8..=0xcf | 0xd6 | 0xd7 => (0, 1, Local),              // XCH/XCHD
+        0xb4 | 0xb5 => (2, 2, CondFlow),                                       // CJNE A,#/dir
+        0xb6..=0xbf => (2, 2, CondFlow),                                       // CJNE @Ri/Rn,#
+        0xd5 => (2, 2, CondFlow),                                              // DJNZ dir
+        0xd8..=0xdf => (1, 2, CondFlow),                                       // DJNZ Rn
+        0xa5 => (0, 1, Local),                                                 // reserved (NOP)
+    }
+}
+
+const fn operand_table() -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut op = 0usize;
+    while op < 256 {
+        t[op] = decode_meta(op as u8).0;
+        op += 1;
+    }
+    t
+}
+
+/// Operand byte count per opcode — the interpreter's one-load decode
+/// table (replaces a second 256-way dispatch on the uncached path).
+pub static OPERAND_COUNT: [u8; 256] = operand_table();
+
+const fn cycle_table() -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut op = 0usize;
+    while op < 256 {
+        t[op] = decode_meta(op as u8).1;
+        op += 1;
+    }
+    t
+}
+
+/// Machine cycles per opcode (fixed on this core, branch taken or not).
+pub static BASE_CYCLES: [u8; 256] = cycle_table();
+
+/// Upper bound on micro-ops per block. Long straight-line runs split into
+/// several blocks; replay chains through them with one cache lookup each.
+const MAX_BLOCK_OPS: usize = 64;
+
+/// Sentinel index: no block / invalid cursor.
+pub(crate) const NONE_IDX: u32 = u32::MAX;
+
+/// Bounds of one decoded block: where its micro-ops live in the arena
+/// and which code bytes it decoded (for invalidation).
+#[derive(Debug, Clone, Copy)]
+struct BlockMeta {
+    /// First micro-op in [`XlateCache::ops`].
+    first_op: u32,
+    /// One past the last micro-op.
+    end_op: u32,
+    /// Code address of the first instruction.
+    entry: u16,
+    /// Exclusive end of the code bytes this block decoded.
+    end: u16,
+}
+
+impl BlockMeta {
+    /// `true` if a write to `addr` lands inside this block's code span.
+    fn covers(self, addr: u16) -> bool {
+        self.entry <= addr && addr < self.end
+    }
+}
+
+/// The translation cache: a flat micro-op arena, per-block bounds, a
+/// direct-mapped entry-PC index, the replay cursor, and hit/miss/
+/// invalidation telemetry.
+///
+/// Excluded from checkpoints (see module docs) — a fresh, empty cache is
+/// semantically identical to a warm one.
+#[derive(Debug, Clone)]
+pub(crate) struct XlateCache {
+    /// All micro-ops of all blocks, contiguous per block. `pub(crate)`
+    /// (like the cursor fields) so `Cpu`'s quiet replay loop can move it
+    /// out with `mem::take` and iterate it as a local slice while
+    /// `execute_decoded` borrows the CPU — see `Cpu::replay_quiet`.
+    pub(crate) ops: Vec<MicroOp>,
+    /// Per-block arena ranges and code spans.
+    blocks: Vec<BlockMeta>,
+    /// Entry PC → index into `blocks` (`NONE_IDX` when none). Sized to
+    /// code memory; PCs beyond it fall back to the interpreter fetch.
+    map: Vec<u32>,
+    /// Replay cursor: next micro-op in the arena (`NONE_IDX` invalid) …
+    pub(crate) cur: u32,
+    /// … and the exclusive end of the current block's run (≤ ops.len()).
+    pub(crate) cur_end: u32,
+    /// Arena index of the current block's first micro-op and its entry
+    /// PC — a one-compare fast path for re-entering the same block (the
+    /// shape of every firmware hot loop) without a map lookup.
+    cur_first: u32,
+    cur_entry: u16,
+    /// Lowest / highest+1 code address covered by any cached block
+    /// (invalidation early-out for writes outside every block).
+    span_lo: u16,
+    span_hi: u16,
+    /// Block entries served from cache.
+    hits: u64,
+    /// Blocks decoded (cache misses).
+    misses: u64,
+    /// Whole-cache flushes that actually dropped blocks.
+    invalidations: u64,
+}
+
+impl Default for XlateCache {
+    fn default() -> Self {
+        Self {
+            ops: Vec::new(),
+            blocks: Vec::new(),
+            map: Vec::new(),
+            cur: NONE_IDX,
+            cur_end: 0,
+            cur_first: NONE_IDX,
+            cur_entry: 0,
+            span_lo: 0,
+            span_hi: 0,
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+}
+
+impl XlateCache {
+    /// Returns the micro-op at the replay cursor if its address matches
+    /// `pc` (the fall-through / straight-line hot path) without
+    /// consuming it. Returns `None` when the cursor is invalid, the
+    /// block is exhausted, or control flow diverged — callers then go
+    /// through [`XlateCache::position`].
+    #[inline]
+    pub(crate) fn cursor_peek(&self, pc: u16) -> Option<MicroOp> {
+        // `cur >= cur_end` also covers the invalid cursor (NONE_IDX) and
+        // keeps the arena index in bounds (cur_end ≤ ops.len()).
+        if self.cur >= self.cur_end {
+            return None;
+        }
+        let uop = self.ops[self.cur as usize];
+        if uop.pc != pc {
+            return None;
+        }
+        Some(uop)
+    }
+
+    /// Peek-and-consume in one call (the single-step replay path).
+    #[inline]
+    pub(crate) fn cursor_next(&mut self, pc: u16) -> Option<MicroOp> {
+        let uop = self.cursor_peek(pc)?;
+        self.cur += 1;
+        Some(uop)
+    }
+
+    /// One-compare same-block re-entry (the backward jump closing every
+    /// firmware hot loop): if `pc` is the current block's entry, rewinds
+    /// the cursor to its first micro-op without a map lookup.
+    #[inline]
+    pub(crate) fn reenter(&mut self, pc: u16) -> bool {
+        if pc == self.cur_entry && self.cur_first != NONE_IDX {
+            self.cur = self.cur_first;
+            self.hits += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Points the cursor at the block entered at `pc`, decoding it on a
+    /// miss. Returns `false` when `pc` is outside code memory — the
+    /// caller falls back to the interpreter fetch (running off the end
+    /// of the ROM executes zeros; not worth caching).
+    pub(crate) fn position(&mut self, pc: u16, code: &[u8]) -> bool {
+        if self.reenter(pc) {
+            return true;
+        }
+        if self.map.len() != code.len() {
+            // Code grew (program download) since the map was sized.
+            self.map.resize(code.len(), NONE_IDX);
+        }
+        let Some(&slot) = self.map.get(pc as usize) else {
+            return false;
+        };
+        let meta = if slot == NONE_IDX {
+            let Some(meta) = self.build_block(code, pc) else {
+                return false;
+            };
+            let idx = u32::try_from(self.blocks.len()).expect("block count fits u32");
+            self.blocks.push(meta);
+            self.map[pc as usize] = idx;
+            self.misses += 1;
+            meta
+        } else {
+            self.hits += 1;
+            self.blocks[slot as usize]
+        };
+        self.cur = meta.first_op;
+        self.cur_end = meta.end_op;
+        self.cur_first = meta.first_op;
+        self.cur_entry = meta.entry;
+        true
+    }
+
+    /// Looks up (or decodes) the block entered at `pc`, pointing the
+    /// cursor past its first micro-op and returning that op. `None` when
+    /// `pc` is outside code memory.
+    pub(crate) fn lookup(&mut self, pc: u16, code: &[u8]) -> Option<MicroOp> {
+        if !self.position(pc, code) {
+            return None;
+        }
+        self.cursor_next(pc)
+    }
+
+    /// Decodes one basic block starting at `entry` into the arena.
+    /// Returns `None` when `entry` is outside code memory or the first
+    /// instruction's bytes would wrap the 64 KiB address space
+    /// (degenerate; left to the interpreter).
+    fn build_block(&mut self, code: &[u8], entry: u16) -> Option<BlockMeta> {
+        if entry as usize >= code.len() {
+            return None;
+        }
+        let first_op = u32::try_from(self.ops.len()).expect("arena fits u32");
+        let mut pc = entry;
+        loop {
+            let op = code[pc as usize];
+            let (operands, cycles, class) = decode_meta(op);
+            let Some(next) = pc.checked_add(u16::from(1 + operands)) else {
+                break; // instruction bytes would wrap the address space
+            };
+            // Operand bytes past the end of the image read as zero,
+            // exactly like the interpreter's fetch.
+            let at = |off: u16| code.get((pc + off) as usize).copied().unwrap_or(0);
+            self.ops.push(MicroOp::pack(
+                pc,
+                next,
+                op,
+                if operands >= 1 { at(1) } else { 0 },
+                if operands >= 2 { at(2) } else { 0 },
+                cycles,
+                class,
+            ));
+            pc = next;
+            let decoded = self.ops.len() - first_op as usize;
+            if class == OpClass::Flow || decoded >= MAX_BLOCK_OPS || pc as usize >= code.len() {
+                break;
+            }
+        }
+        if self.ops.len() == first_op as usize {
+            return None;
+        }
+        let meta = BlockMeta {
+            first_op,
+            end_op: u32::try_from(self.ops.len()).expect("arena fits u32"),
+            entry,
+            end: pc,
+        };
+        if self.blocks.is_empty() {
+            self.span_lo = meta.entry;
+            self.span_hi = meta.end;
+        } else {
+            self.span_lo = self.span_lo.min(meta.entry);
+            self.span_hi = self.span_hi.max(meta.end);
+        }
+        Some(meta)
+    }
+
+    /// Reacts to one byte of code memory being overwritten: flushes the
+    /// cache when the write lands inside the span any cached block
+    /// decoded from. Writes outside every block (the common program-
+    /// download case: fresh code regions) cost one range check.
+    pub(crate) fn code_written(&mut self, addr: u16) {
+        if self.blocks.is_empty() || addr < self.span_lo || addr >= self.span_hi {
+            return;
+        }
+        if self.blocks.iter().any(|b| b.covers(addr)) {
+            self.flush();
+        }
+    }
+
+    /// Drops every cached block (counted when anything was cached).
+    pub(crate) fn flush(&mut self) {
+        if !self.blocks.is_empty() {
+            self.invalidations += 1;
+        }
+        self.ops.clear();
+        self.blocks.clear();
+        self.map.clear();
+        self.cur = NONE_IDX;
+        self.cur_end = 0;
+        self.cur_first = NONE_IDX;
+        self.cur_entry = 0;
+        self.span_lo = 0;
+        self.span_hi = 0;
+    }
+
+    /// Block entries served from already-decoded blocks.
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Blocks decoded from code memory.
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Whole-cache flushes that dropped at least one block.
+    pub(crate) fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Number of blocks currently cached.
+    pub(crate) fn cached_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_meta_covers_every_opcode() {
+        for op in 0u16..=255 {
+            let (operands, cycles, _) = decode_meta(op as u8);
+            assert!(operands <= 2, "opcode {op:#04x} operands");
+            assert!((1..=4).contains(&cycles), "opcode {op:#04x} cycles");
+            assert_eq!(OPERAND_COUNT[op as usize], operands);
+            assert_eq!(BASE_CYCLES[op as usize], cycles);
+        }
+    }
+
+    #[test]
+    fn micro_op_is_cache_friendly() {
+        assert_eq!(std::mem::size_of::<MicroOp>(), 8);
+    }
+
+    #[test]
+    fn block_terminates_at_unconditional_flow() {
+        // mov a,#1; add a,#2; sjmp -4
+        let code = [0x74, 0x01, 0x24, 0x02, 0x80, 0xfc];
+        let mut cache = XlateCache::default();
+        let first = cache.lookup(0, &code).expect("block decodes");
+        assert_eq!(first.op, 0x74);
+        assert_eq!(first.size_bytes(), 2);
+        let meta = cache.blocks[0];
+        assert_eq!((meta.entry, meta.end), (0, 6));
+        assert_eq!(meta.end_op - meta.first_op, 3);
+        assert_eq!(cache.ops[2].class(), OpClass::Flow);
+        assert_eq!(cache.ops[1].a, 0x02);
+    }
+
+    #[test]
+    fn block_runs_through_conditional_flow() {
+        // djnz r0,-2 ; nop ; sjmp -4 — the conditional does not end it.
+        let code = [0xd8, 0xfe, 0x00, 0x80, 0xfc];
+        let mut cache = XlateCache::default();
+        let first = cache.lookup(0, &code).expect("block decodes");
+        assert_eq!(first.class(), OpClass::CondFlow);
+        let meta = cache.blocks[0];
+        assert_eq!(meta.end_op - meta.first_op, 3);
+    }
+
+    #[test]
+    fn block_stops_at_end_of_image() {
+        let code = [0x00, 0x00]; // two NOPs, no terminator
+        let mut cache = XlateCache::default();
+        cache.lookup(0, &code).expect("block decodes");
+        let meta = cache.blocks[0];
+        assert_eq!(meta.end_op - meta.first_op, 2);
+        assert_eq!(meta.end, 2);
+    }
+
+    #[test]
+    fn cursor_replays_straight_line_and_detects_divergence() {
+        let code = [0x74, 0x01, 0x24, 0x02, 0x80, 0xfc];
+        let mut cache = XlateCache::default();
+        let u0 = cache.lookup(0, &code).expect("entry");
+        let u1 = cache.cursor_next(u0.next_pc).expect("fall-through");
+        assert_eq!(u1.op, 0x24);
+        // Control flow diverged (e.g. interrupt): wrong PC → miss.
+        assert!(cache.cursor_next(0x0003).is_none());
+    }
+
+    #[test]
+    fn lookup_miss_then_hit_then_flush() {
+        let code = [0x74, 0x2a, 0x80, 0xfc]; // mov a,#42; sjmp -4
+        let mut cache = XlateCache::default();
+        let first = cache.lookup(0, &code).expect("first micro-op");
+        assert_eq!(first.op, 0x74);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        cache.lookup(0, &code).expect("cached micro-op");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        cache.code_written(3); // inside the block span
+        assert_eq!(cache.invalidations(), 1);
+        assert_eq!(cache.cached_blocks(), 0);
+    }
+
+    #[test]
+    fn write_outside_span_does_not_flush() {
+        let code = [0x74, 0x2a, 0x80, 0xfc, 0x00, 0x00, 0x00, 0x00];
+        let mut cache = XlateCache::default();
+        cache.lookup(0, &code).expect("decodes");
+        cache.code_written(6); // beyond block end (4)
+        assert_eq!(cache.invalidations(), 0);
+        assert_eq!(cache.cached_blocks(), 1);
+    }
+}

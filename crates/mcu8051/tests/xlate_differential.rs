@@ -1,0 +1,534 @@
+//! Differential tests pinning the basic-block translation cache
+//! ([`ascp_mcu8051::xlate`]) to the per-step interpreter.
+//!
+//! The cache is a pure execution-strategy optimisation: with it on or
+//! off — and whether execution is driven by [`Cpu::step`] or the
+//! batched [`Cpu::run_cycles`] replay — the architectural state,
+//! cycle/instruction counters, interrupt timing, UART traffic, and
+//! every external-bus access must be bit-identical. These tests pin
+//! that claim with:
+//!
+//! - randomised firmware (a deterministic xorshift generator emitting
+//!   `asm.rs` source) run four ways and compared via full
+//!   `save_state` checkpoint bytes plus a recorded bus trace;
+//! - interrupt-latency tests: INT0/INT1 pins and a UART RX interrupt
+//!   asserted while the CPU is mid-way through a cached block must be
+//!   taken at the identical cycle;
+//! - a self-modifying-code test: a `code_write` into a cached block
+//!   (JTAG-style patch) invalidates it, the next execution re-decodes,
+//!   and the patched run stays trace-identical to an uncached twin.
+
+use ascp_mcu8051::asm::assemble;
+use ascp_mcu8051::cpu::{Cpu, ExternalBus};
+use ascp_sim::snapshot::StateWriter;
+
+/// Bus that records every access (kind, addr, value) in call order and
+/// backs MOVX with a small deterministic RAM so reads depend on prior
+/// writes. SFR reads return a fixed function of the address.
+#[derive(Default)]
+struct RecordingBus {
+    xdata: Vec<u8>,
+    trace: Vec<(u8, u16, u8)>,
+}
+
+impl RecordingBus {
+    fn new() -> Self {
+        Self {
+            xdata: vec![0; 256],
+            trace: Vec::new(),
+        }
+    }
+}
+
+impl ExternalBus for RecordingBus {
+    fn sfr_read(&mut self, addr: u8) -> Option<u8> {
+        let value = addr.wrapping_mul(31) ^ 0x5a;
+        self.trace.push((0, u16::from(addr), value));
+        Some(value)
+    }
+    fn sfr_write(&mut self, addr: u8, value: u8) -> bool {
+        self.trace.push((1, u16::from(addr), value));
+        false
+    }
+    fn xdata_read(&mut self, addr: u16) -> u8 {
+        let value = self.xdata[usize::from(addr) % self.xdata.len()];
+        self.trace.push((2, addr, value));
+        value
+    }
+    fn xdata_write(&mut self, addr: u16, value: u8) {
+        let len = self.xdata.len();
+        self.xdata[usize::from(addr) % len] = value;
+        self.trace.push((3, addr, value));
+    }
+}
+
+/// Serializes the full architectural state to bytes. The translation
+/// cache is deliberately excluded from `save_state`, so equal bytes
+/// here mean equal PC, IRAM, SFRs, interrupt state, UART queues, and
+/// cycle/instruction counters.
+fn checkpoint(cpu: &Cpu) -> Vec<u8> {
+    let mut w = StateWriter::new();
+    cpu.save_state(&mut w);
+    w.into_bytes()
+}
+
+/// Minimal deterministic RNG (xorshift64*) — `proptest` is an optional
+/// feature, and these tests want reproducible firmware per seed anyway.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        Self(seed | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+    fn byte(&mut self) -> u8 {
+        (self.next() & 0xff) as u8
+    }
+}
+
+/// Emits one random instruction template into `out`. Templates are
+/// self-contained (forward labels resolve within the template) and
+/// never touch R7 (the outer loop counter), SP, PSW bank bits, or
+/// PCON, so the scaffold stays intact. `periph` additionally enables
+/// timer/UART/interrupt excitement.
+fn emit_template(rng: &mut XorShift, out: &mut String, label: &mut u32, periph: bool) {
+    use std::fmt::Write as _;
+    let scratch = 0x30 + rng.below(0x28); // direct scratch 0x30..0x57
+    let imm = rng.byte();
+    let reg = rng.below(6); // r0..r5
+    let bit = 0x08 + rng.below(0x38); // bit space -> iram 0x21..0x27
+    let n = *label;
+    *label += 1;
+    let kinds = if periph { 22 } else { 18 };
+    match rng.below(kinds) {
+        0 => writeln!(out, "    mov a, #{imm}").unwrap(),
+        1 => {
+            let op = ["add", "addc", "subb"][rng.below(3) as usize];
+            writeln!(out, "    {op} a, #{imm}").unwrap();
+        }
+        2 => writeln!(out, "    mov r{reg}, #{imm}").unwrap(),
+        3 => {
+            let op = ["mov a, r", "mov r", "xch a, r"][rng.below(3) as usize];
+            if op == "mov r" {
+                writeln!(out, "    mov r{reg}, a").unwrap();
+            } else {
+                writeln!(out, "    {op}{reg}").unwrap();
+            }
+        }
+        4 => {
+            let op = [
+                "inc a", "dec a", "cpl a", "swap a", "rl a", "rlc a", "rr a", "rrc a", "da a",
+            ][rng.below(9) as usize];
+            writeln!(out, "    {op}").unwrap();
+        }
+        5 => {
+            let op = ["anl", "orl", "xrl"][rng.below(3) as usize];
+            writeln!(out, "    {op} a, #{imm}").unwrap();
+        }
+        6 => writeln!(out, "    mov 0x{scratch:02x}, #{imm}").unwrap(),
+        7 => {
+            let op = ["mov a, ", "inc ", "dec ", "xch a, "][rng.below(4) as usize];
+            writeln!(out, "    {op}0x{scratch:02x}").unwrap();
+        }
+        8 => {
+            // Indirect via R0 into the scratch window.
+            writeln!(out, "    mov r0, #0x{scratch:02x}").unwrap();
+            writeln!(out, "    mov @r0, #{imm}").unwrap();
+            writeln!(out, "    inc @r0").unwrap();
+            writeln!(out, "    mov a, @r0").unwrap();
+        }
+        9 => {
+            let nz = imm | 1;
+            writeln!(out, "    mov b, #{nz}").unwrap();
+            let op = ["mul ab", "div ab"][rng.below(2) as usize];
+            writeln!(out, "    {op}").unwrap();
+        }
+        10 => {
+            let op = ["setb", "clr", "cpl"][rng.below(3) as usize];
+            writeln!(out, "    {op} 0x{bit:02x}").unwrap();
+        }
+        11 => {
+            let op = ["setb c", "clr c", "cpl c"][rng.below(3) as usize];
+            writeln!(out, "    {op}").unwrap();
+            writeln!(out, "    mov 0x{bit:02x}, c").unwrap();
+            writeln!(out, "    anl c, 0x{bit:02x}").unwrap();
+        }
+        12 => {
+            writeln!(out, "    cjne a, #{imm}, t{n}").unwrap();
+            writeln!(out, "    inc b").unwrap();
+            writeln!(out, "t{n}:").unwrap();
+        }
+        13 => {
+            let op = ["jz", "jnz", "jc", "jnc"][rng.below(4) as usize];
+            writeln!(out, "    {op} t{n}").unwrap();
+            writeln!(out, "    cpl a").unwrap();
+            writeln!(out, "t{n}:").unwrap();
+        }
+        14 => {
+            let op = ["jb", "jnb", "jbc"][rng.below(3) as usize];
+            writeln!(out, "    {op} 0x{bit:02x}, t{n}").unwrap();
+            writeln!(out, "    inc 0x{scratch:02x}").unwrap();
+            writeln!(out, "t{n}:").unwrap();
+        }
+        15 => {
+            // Inner countdown loop: re-enters a cached block many times.
+            let count = 2 + rng.below(4);
+            writeln!(out, "    mov 0x{scratch:02x}, #{count}").unwrap();
+            writeln!(out, "t{n}:").unwrap();
+            writeln!(out, "    djnz 0x{scratch:02x}, t{n}").unwrap();
+        }
+        16 => {
+            writeln!(out, "    push acc").unwrap();
+            writeln!(out, "    lcall helper{}", rng.below(2)).unwrap();
+            writeln!(out, "    pop acc").unwrap();
+        }
+        17 => {
+            // MOVC constant-table lookup.
+            writeln!(out, "    mov dptr, #table").unwrap();
+            writeln!(out, "    mov a, #{}", rng.below(16)).unwrap();
+            writeln!(out, "    movc a, @a+dptr").unwrap();
+        }
+        18 => {
+            // MOVX through the external bus (trace-visible).
+            writeln!(out, "    mov dptr, #0x{:02x}", rng.byte()).unwrap();
+            let op = ["movx @dptr, a", "movx a, @dptr"][rng.below(2) as usize];
+            writeln!(out, "    {op}").unwrap();
+        }
+        19 => {
+            // Timer 0, mode 2 auto-reload, with its interrupt enabled.
+            let reload = 0x80 | rng.byte();
+            writeln!(out, "    orl tmod, #0x02").unwrap();
+            writeln!(out, "    mov th0, #{reload}").unwrap();
+            writeln!(out, "    orl ie, #0x82").unwrap();
+            writeln!(out, "    setb tr0").unwrap();
+        }
+        20 => {
+            // UART transmit (and the serial interrupt on some rolls).
+            writeln!(out, "    mov scon, #0x50").unwrap();
+            if rng.below(2) == 0 {
+                writeln!(out, "    orl ie, #0x90").unwrap();
+            }
+            writeln!(out, "    mov sbuf, #{imm}").unwrap();
+        }
+        _ => {
+            // Occasionally stop the timer again so quiet replay re-engages.
+            writeln!(out, "    clr tr0").unwrap();
+        }
+    }
+}
+
+/// Builds a complete random firmware image: interrupt vectors with
+/// counting ISRs, a scaffolded main loop of random templates, helper
+/// subroutines, and a MOVC table.
+fn random_firmware(seed: u64, body_len: usize, periph: bool) -> Vec<u8> {
+    use std::fmt::Write as _;
+    let mut rng = XorShift::new(seed);
+    let mut label = 0u32;
+    let mut src = String::new();
+    src.push_str("    ljmp main\n");
+    src.push_str("org 0x0003\n    inc 0x72\n    reti\n");
+    src.push_str("org 0x000b\n    inc 0x70\n    reti\n");
+    src.push_str("org 0x0013\n    inc 0x73\n    reti\n");
+    src.push_str("org 0x001b\n    inc 0x74\n    reti\n");
+    src.push_str(
+        "org 0x0023\n    clr ri\n    clr ti\n    push acc\n    mov a, sbuf\n    mov 0x71, a\n    pop acc\n    reti\n",
+    );
+    src.push_str("org 0x0040\nmain:\n    mov 0x78, #0\nouter:\n");
+    for _ in 0..body_len {
+        emit_template(&mut rng, &mut src, &mut label, periph);
+    }
+    src.push_str("    inc 0x78\n    ljmp outer\n");
+    src.push_str("helper0:\n    inc b\n    ret\n");
+    src.push_str("helper1:\n    xrl a, #0x5a\n    ret\n");
+    src.push_str("org 0x0300\ntable:\n");
+    write!(src, "    db {}", rng.byte()).unwrap();
+    for _ in 1..16 {
+        write!(src, ", {}", rng.byte()).unwrap();
+    }
+    src.push('\n');
+    assemble(&src).unwrap_or_else(|e| panic!("seed {seed}: {e:?}\n{src}"))
+}
+
+/// How a variant advances the CPU to each sampling mark.
+#[derive(Clone, Copy)]
+enum Drive {
+    /// Per-step interpreter loop.
+    Step,
+    /// One `run_cycles` call per mark.
+    Batch,
+    /// `run_cycles` in fixed-size chunks (exercises mid-block resume).
+    Chunks(u64),
+}
+
+struct RunOutcome {
+    checkpoints: Vec<Vec<u8>>,
+    trace: Vec<(u8, u16, u8)>,
+    tx: Vec<u8>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Runs `rom` to `marks` successive cycle marks spaced `sample_every`
+/// apart, checkpointing at each. All variants stop at the *first
+/// instruction boundary at or past each mark*, which is the same
+/// boundary regardless of drive mode — `run_cycles(target)` and a
+/// `step` loop both stop at the first boundary >= target.
+fn run_variant(
+    rom: &[u8],
+    xlate: bool,
+    drive: Drive,
+    sample_every: u64,
+    marks: usize,
+    mut on_mark: impl FnMut(usize, &mut Cpu),
+) -> RunOutcome {
+    let mut cpu = Cpu::new();
+    cpu.load_code(rom);
+    cpu.set_xlate_enabled(xlate);
+    let mut bus = RecordingBus::new();
+    let mut checkpoints = Vec::with_capacity(marks);
+    for mark in 0..marks {
+        let target = sample_every * (mark as u64 + 1);
+        match drive {
+            Drive::Step => {
+                while cpu.cycles() < target {
+                    cpu.step(&mut bus);
+                }
+            }
+            Drive::Batch => {
+                cpu.run_cycles(target - cpu.cycles(), &mut bus);
+            }
+            Drive::Chunks(chunk) => {
+                while cpu.cycles() < target {
+                    let need = (target - cpu.cycles()).min(chunk);
+                    cpu.run_cycles(need, &mut bus);
+                }
+            }
+        }
+        checkpoints.push(checkpoint(&cpu));
+        on_mark(mark, &mut cpu);
+    }
+    RunOutcome {
+        checkpoints,
+        trace: bus.trace,
+        tx: cpu.uart_take_tx(),
+        hits: cpu.xlate_hits(),
+        misses: cpu.xlate_misses(),
+    }
+}
+
+/// Asserts two runs are observationally identical: every checkpoint,
+/// the full bus trace, and the drained UART TX stream.
+fn assert_identical(label: &str, base: &RunOutcome, other: &RunOutcome) {
+    assert_eq!(
+        base.checkpoints.len(),
+        other.checkpoints.len(),
+        "{label}: checkpoint count"
+    );
+    for (i, (a, b)) in base.checkpoints.iter().zip(&other.checkpoints).enumerate() {
+        assert_eq!(a, b, "{label}: checkpoint bytes diverge at mark {i}");
+    }
+    assert_eq!(base.trace, other.trace, "{label}: bus trace diverges");
+    assert_eq!(base.tx, other.tx, "{label}: UART TX diverges");
+}
+
+/// Tentpole pin: random firmware, four execution strategies, identical
+/// checkpoints + bus traces + UART output. Seeds cover plain ALU/flow
+/// firmware and firmware that enables timers, UART, and interrupts.
+#[test]
+fn random_firmware_differential() {
+    for (seed, periph) in [
+        (0x1234_5678, false),
+        (0x0bad_cafe, false),
+        (0xdead_beef, true),
+        (0x00c0_ffee, true),
+        (0x1357_9bdf, true),
+    ] {
+        let rom = random_firmware(seed, 40, periph);
+        let nop = |_: usize, _: &mut Cpu| {};
+        let base = run_variant(&rom, false, Drive::Step, 997, 40, nop);
+        let cached_step = run_variant(&rom, true, Drive::Step, 997, 40, nop);
+        let cached_batch = run_variant(&rom, true, Drive::Batch, 997, 40, nop);
+        let cached_chunks = run_variant(&rom, true, Drive::Chunks(313), 997, 40, nop);
+        let uncached_chunks = run_variant(&rom, false, Drive::Chunks(71), 997, 40, nop);
+        assert_identical(&format!("seed {seed:#x} cached-step"), &base, &cached_step);
+        assert_identical(
+            &format!("seed {seed:#x} cached-batch"),
+            &base,
+            &cached_batch,
+        );
+        assert_identical(
+            &format!("seed {seed:#x} cached-chunks"),
+            &base,
+            &cached_chunks,
+        );
+        assert_identical(
+            &format!("seed {seed:#x} uncached-chunks"),
+            &base,
+            &uncached_chunks,
+        );
+        assert!(
+            cached_step.hits > 0 && cached_step.misses > 0,
+            "seed {seed:#x}: cache never engaged (hits={}, misses={})",
+            cached_step.hits,
+            cached_step.misses
+        );
+        assert_eq!(base.hits, 0, "uncached run must not touch the cache");
+    }
+}
+
+/// Satellite: INT0/INT1 latency. The pins are raised at a sampling mark
+/// where the cached CPU sits mid-way through a cached block; the
+/// interrupt must be taken at the identical cycle in every variant
+/// (pinned by checkpoint equality at every subsequent mark, which
+/// includes the cycle counter, PC, and the ISR hit counters).
+#[test]
+fn external_interrupt_latency_identical_mid_block() {
+    let rom = assemble(
+        "    ljmp main\n\
+         org 0x0003\n    inc 0x72\n    reti\n\
+         org 0x0013\n    inc 0x73\n    reti\n\
+         org 0x0040\n\
+         main:\n    orl ie, #0x85\n\
+         loop:\n    mov a, #1\n    add a, #2\n    mov r0, a\n    inc 0x30\n    djnz r0, loop\n    sjmp loop\n",
+    )
+    .unwrap();
+    // Pulse INT0 at mark 5 (drop it at mark 8), INT1 at mark 11 (drop at 13).
+    // An odd sample spacing lands the marks mid-block.
+    let pins = |mark: usize, cpu: &mut Cpu| match mark {
+        5 => cpu.set_int_pins(true, false),
+        8 | 13 => cpu.set_int_pins(false, false),
+        11 => cpu.set_int_pins(false, true),
+        _ => {}
+    };
+    let base = run_variant(&rom, false, Drive::Step, 13, 40, pins);
+    let cached_step = run_variant(&rom, true, Drive::Step, 13, 40, pins);
+    let cached_chunk = run_variant(&rom, true, Drive::Chunks(5), 13, 40, pins);
+    let cached_batch = run_variant(&rom, true, Drive::Batch, 13, 40, pins);
+    assert_identical("int cached-step", &base, &cached_step);
+    assert_identical("int cached-chunk", &base, &cached_chunk);
+    assert_identical("int cached-batch", &base, &cached_batch);
+
+    // Both ISRs actually ran (the latency comparison is not vacuous).
+    let mut probe = Cpu::new();
+    probe.load_code(&rom);
+    let mut bus = RecordingBus::new();
+    for mark in 0..40usize {
+        probe.run_cycles(13 * (mark as u64 + 1) - probe.cycles(), &mut bus);
+        pins(mark, &mut probe);
+    }
+    assert!(probe.iram(0x72) > 0, "INT0 ISR never ran");
+    assert!(probe.iram(0x73) > 0, "INT1 ISR never ran");
+    assert!(probe.xlate_hits() > 0, "cache never engaged");
+}
+
+/// Satellite: UART RX interrupt latency. A byte is injected at a mark;
+/// the serial ISR must fire at the identical cycle cached vs uncached,
+/// and the received byte must land in IRAM identically.
+#[test]
+fn uart_interrupt_latency_identical() {
+    let rom = assemble(
+        "    ljmp main\n\
+         org 0x0023\n    clr ri\n    clr ti\n    push acc\n    mov a, sbuf\n    mov 0x71, a\n    pop acc\n    reti\n\
+         org 0x0040\n\
+         main:\n    mov scon, #0x50\n    orl ie, #0x90\n\
+         loop:\n    inc 0x30\n    mov r1, #4\n\
+         spin:\n    djnz r1, spin\n    sjmp loop\n",
+    )
+    .unwrap();
+    let inject = |mark: usize, cpu: &mut Cpu| {
+        if mark == 3 {
+            cpu.uart_inject_rx(0x5a);
+        }
+    };
+    let base = run_variant(&rom, false, Drive::Step, 251, 30, inject);
+    let cached_step = run_variant(&rom, true, Drive::Step, 251, 30, inject);
+    let cached_batch = run_variant(&rom, true, Drive::Batch, 251, 30, inject);
+    assert_identical("uart cached-step", &base, &cached_step);
+    assert_identical("uart cached-batch", &base, &cached_batch);
+
+    let mut probe = Cpu::new();
+    probe.load_code(&rom);
+    let mut bus = RecordingBus::new();
+    for mark in 0..30usize {
+        probe.run_cycles(251 * (mark as u64 + 1) - probe.cycles(), &mut bus);
+        inject(mark, &mut probe);
+    }
+    assert_eq!(probe.iram(0x71), 0x5a, "serial ISR never captured the byte");
+}
+
+/// Satellite: self-modifying code. A `code_write` (JTAG-style patch)
+/// into a hot cached block invalidates it; the next execution
+/// re-decodes (miss counter grows) and the patched run stays
+/// checkpoint- and trace-identical to an uncached twin patched at the
+/// same instruction boundary.
+#[test]
+fn code_write_invalidates_and_stays_identical() {
+    let rom = assemble(
+        "start:\n    mov a, #1\n    add a, #2\n    mov r0, a\n    movx @r0, a\n    djnz r0, start\n    sjmp start\n",
+    )
+    .unwrap();
+    // The immediate of `add a, #2` is the byte at address 3.
+    assert_eq!(rom[2], 0x24, "opcode layout changed; update the patch site");
+    let patch = |mark: usize, cpu: &mut Cpu| {
+        if mark == 10 {
+            cpu.code_write(3, 5);
+        }
+    };
+    let base = run_variant(&rom, false, Drive::Step, 101, 25, patch);
+    let cached_step = run_variant(&rom, true, Drive::Step, 101, 25, patch);
+    let cached_batch = run_variant(&rom, true, Drive::Batch, 101, 25, patch);
+    assert_identical("smc cached-step", &base, &cached_step);
+    assert_identical("smc cached-batch", &base, &cached_batch);
+
+    // The patch really went through the invalidate/re-decode path.
+    let mut probe = Cpu::new();
+    probe.load_code(&rom);
+    let mut bus = RecordingBus::new();
+    probe.run_cycles(1_000, &mut bus);
+    let warm_misses = probe.xlate_misses();
+    assert!(probe.xlate_hits() > 0, "block never replayed while warm");
+    assert_eq!(probe.xlate_invalidations(), 0);
+    probe.code_write(3, 5);
+    assert!(
+        probe.xlate_invalidations() > 0,
+        "code_write into a cached block must invalidate"
+    );
+    probe.run_cycles(1_000, &mut bus);
+    assert!(
+        probe.xlate_misses() > warm_misses,
+        "patched block was not re-decoded"
+    );
+}
+
+/// A write to code memory *outside* any cached block must not flush
+/// the cache (the span check keeps hot blocks alive).
+#[test]
+fn code_write_outside_cached_span_keeps_blocks() {
+    let rom = assemble("start:\n    mov a, #1\n    djnz r0, start\n    sjmp start\n").unwrap();
+    let mut cpu = Cpu::new();
+    // Give the image some slack so address 0x200 is writable.
+    let mut image = rom;
+    image.resize(0x400, 0);
+    cpu.load_code(&image);
+    let mut bus = RecordingBus::new();
+    cpu.run_cycles(500, &mut bus);
+    let blocks = cpu.xlate_cached_blocks();
+    assert!(blocks > 0);
+    cpu.code_write(0x200, 0xab);
+    assert_eq!(
+        cpu.xlate_invalidations(),
+        0,
+        "unrelated write flushed the cache"
+    );
+    assert_eq!(cpu.xlate_cached_blocks(), blocks);
+}

@@ -80,6 +80,9 @@ echo "== kernel benches (short mode: build + run smoke, perf guard) =="
 # --short shrinks the measurement protocol ~10x; --check compares the
 # committed baseline and fails only on a >50% min-ns regression (the
 # guard is deliberately noise-tolerant — see ascp_bench::harness).
+# platform_sim covers the 8051 ISS translation-cache entries
+# (mcu8051/instruction_step, _uncached, block_replay) so an ISS perf
+# regression fails this gate.
 cargo bench -p ascp-bench --bench platform_sim -- --short --check BENCH_platform_sim.json
 cargo bench -p ascp-bench --bench dsp_blocks -- --short
 cargo bench -p ascp-bench --bench campaign_warmstart -- --short
