@@ -27,6 +27,12 @@
 //!   deadline watchdog, deterministic retry, chaos injection).
 //! - [`journal`] — crash-recoverable campaign journal (append-only
 //!   outcome records; `CampaignRunner::resume` merges byte-identically).
+//! - [`frontend`] — the generic sensor-conditioning channel: any
+//!   [`ascp_mems::frontend::SensorFrontEnd`] conditioned from the same IP
+//!   portfolio, with supervisor wire-fault checks, campaign measurements
+//!   and checkpointing.
+//! - [`datasheet`] — the cross-sensor datasheet report generator (the
+//!   paper's Table 1 extended across sensor families).
 pub mod baseline;
 pub mod calibrate;
 pub mod campaign;
@@ -34,7 +40,9 @@ pub mod chain;
 pub mod characterize;
 pub mod checkpoint;
 pub mod coverage;
+pub mod datasheet;
 pub mod firmware;
+pub mod frontend;
 pub mod journal;
 pub mod platform;
 pub mod registers;
@@ -58,6 +66,11 @@ pub mod prelude {
         Dispersion, ScenarioError, ScenarioOutcome, ScenarioSpec, ScenarioStatus, Step,
     };
     pub use crate::chain::SenseMode;
+    pub use crate::datasheet::CrossSensorReport;
+    pub use crate::frontend::{
+        run_channel_scenarios, ChannelConfig, ChannelMeasurement, ChannelScenario, ChannelStatus,
+        SensorChannel,
+    };
     pub use crate::journal::JournalError;
     pub use crate::platform::{
         ConfigError, Platform, PlatformConfig, PlatformConfigBuilder, PlatformFleet,

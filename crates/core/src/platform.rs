@@ -1202,6 +1202,18 @@ impl Platform {
                 self.cpu_hang_active = on;
                 self.cpu.set_hung(on);
             }
+            // Wire faults were introduced for the generic sensor channels
+            // (see `ascp_core::frontend`); on the gyro platform the three
+            // harness failures collapse onto the pickoff path. Not
+            // connected and a ground short both kill the pickoff signal
+            // (the synchronous demodulator rejects the resulting DC
+            // level), a reversed connector inverts it.
+            FaultKind::WireNotConnected | FaultKind::WireShortToGround => {
+                self.pickoff_gate = if on { 0.0 } else { 1.0 };
+            }
+            FaultKind::WireReversePolarity => {
+                self.pickoff_gate = if on { -1.0 } else { 1.0 };
+            }
         }
         self.telemetry.record_event(if on {
             Event::FaultInjected {

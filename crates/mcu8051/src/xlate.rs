@@ -22,7 +22,7 @@
 //! shared execution core, once per instruction, exactly as the
 //! interpreter does. Interrupts are sampled at instruction boundaries in
 //! both paths, so IRQ latency, cycle counts and bus traces cannot
-//! diverge. All micro-ops live in one flat arena ([`XlateCache::ops`]);
+//! diverge. All micro-ops live in one flat arena (`XlateCache::ops`);
 //! a block is a contiguous run inside it, and straight-line replay is a
 //! single bounds-checked load per instruction.
 //!

@@ -11,7 +11,9 @@
 //! and an excitation voltage, produce a differential output voltage with
 //! noise and temperature effects.
 
+use crate::frontend::{Conditioning, Excitation, PlausibilityBands, SensorFrontEnd};
 use ascp_sim::noise::WhiteNoise;
+use ascp_sim::snapshot::{fnv1a64, SnapshotError, StateReader, StateWriter};
 use ascp_sim::units::{Celsius, Volts};
 
 /// A sensor producing a differential voltage from excitation.
@@ -102,6 +104,86 @@ impl AnalogSensor for CapacitivePressureSensor {
 
     fn kind(&self) -> &'static str {
         "capacitive-pressure"
+    }
+}
+
+/// Promotion onto the platform's generic front-end contract: DC
+/// excitation from the shared bandgap, an exact half-bridge inversion
+/// table, and wire-fault bands tuned to the bridge's small output span
+/// (the short check is disabled — a dead bridge and 0 kPa both read 0 V).
+impl SensorFrontEnd for CapacitivePressureSensor {
+    fn kind(&self) -> &'static str {
+        AnalogSensor::kind(self)
+    }
+
+    fn unit(&self) -> &'static str {
+        "kPa"
+    }
+
+    fn range(&self) -> (f64, f64) {
+        AnalogSensor::range(self)
+    }
+
+    fn excitation(&self) -> Excitation {
+        Excitation::Dc { volts: 2.5 }
+    }
+
+    fn conditioning(&self) -> Conditioning {
+        // Invert the half-bridge ratio d/(2+d), d = sens·p/FS, exactly at
+        // nine breakpoints; between them the table interpolates linearly.
+        let points = (0..=8)
+            .map(|i| {
+                let p = self.full_scale_kpa * f64::from(i) / 8.0;
+                let d = self.sensitivity * p / self.full_scale_kpa;
+                (d / (2.0 + d), p)
+            })
+            .collect();
+        Conditioning::Table { points }
+    }
+
+    fn plausibility(&self) -> PlausibilityBands {
+        PlausibilityBands::Ratiometric {
+            short_below: -1.0,
+            reverse: Some((0.15, 0.25)),
+            open_above: 0.96,
+        }
+    }
+
+    fn set_stimulus(&mut self, value: f64) {
+        AnalogSensor::set_stimulus(self, value);
+    }
+
+    fn stimulus(&self) -> f64 {
+        AnalogSensor::stimulus(self)
+    }
+
+    fn set_temperature(&mut self, t: Celsius) {
+        AnalogSensor::set_temperature(self, t);
+    }
+
+    fn sense(&mut self, excitation: Volts, _dt: f64) -> Volts {
+        self.sample(excitation)
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put_f64(self.pressure_kpa);
+        w.put_f64(self.temperature.0);
+        self.noise.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.pressure_kpa = r.take_f64()?;
+        self.temperature = Celsius(r.take_f64()?);
+        self.noise.load_state(r)
+    }
+
+    fn config_digest(&self) -> u64 {
+        let mut w = StateWriter::new();
+        w.put_u8_slice(b"capacitive-pressure/v1");
+        w.put_f64(self.full_scale_kpa);
+        w.put_f64(self.sensitivity);
+        w.put_f64(self.temp_coeff);
+        fnv1a64(w.bytes())
     }
 }
 
@@ -223,9 +305,87 @@ impl AnalogSensor for InductivePositionSensor {
     }
 }
 
+/// Promotion onto the generic front-end contract: the LVDT keeps the
+/// gyro-style carrier excitation and coherent demodulation. It has no
+/// pilot imbalance and a true null at mid-stroke, so only the open-harness
+/// check is electrically available — the cross-sensor coverage report
+/// shows exactly that contrast against the pilot-carrying accelerometer.
+impl SensorFrontEnd for InductivePositionSensor {
+    fn kind(&self) -> &'static str {
+        AnalogSensor::kind(self)
+    }
+
+    fn unit(&self) -> &'static str {
+        "mm"
+    }
+
+    fn range(&self) -> (f64, f64) {
+        AnalogSensor::range(self)
+    }
+
+    fn excitation(&self) -> Excitation {
+        Excitation::Carrier {
+            freq_hz: 5_000.0,
+            amplitude_v: 3.0,
+        }
+    }
+
+    fn conditioning(&self) -> Conditioning {
+        Conditioning::Linear {
+            scale: 1.0 / self.sensitivity,
+            offset: 0.0,
+        }
+    }
+
+    fn plausibility(&self) -> PlausibilityBands {
+        PlausibilityBands::Carrier {
+            open_above: 0.5,
+            ac_floor: -1.0,
+            reverse_below: -2.0,
+        }
+    }
+
+    fn set_stimulus(&mut self, value: f64) {
+        AnalogSensor::set_stimulus(self, value);
+    }
+
+    fn stimulus(&self) -> f64 {
+        AnalogSensor::stimulus(self)
+    }
+
+    fn set_temperature(&mut self, t: Celsius) {
+        AnalogSensor::set_temperature(self, t);
+    }
+
+    fn sense(&mut self, excitation: Volts, _dt: f64) -> Volts {
+        self.sample(excitation)
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put_f64(self.position_mm);
+        self.noise.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.position_mm = r.take_f64()?;
+        self.noise.load_state(r)
+    }
+
+    fn config_digest(&self) -> u64 {
+        let mut w = StateWriter::new();
+        w.put_u8_slice(b"inductive-position/v1");
+        w.put_f64(self.stroke_mm);
+        w.put_f64(self.sensitivity);
+        fnv1a64(w.bytes())
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use super::{
+        AnalogSensor, CapacitivePressureSensor, InductivePositionSensor, ResistiveTempBridge,
+    };
+    use ascp_sim::units::{Celsius, Volts};
 
     #[test]
     fn pressure_output_monotonic() {

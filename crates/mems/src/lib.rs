@@ -11,7 +11,13 @@
 //!   modes, Coriolis transfer, quadrature error, Brownian noise and
 //!   temperature drift;
 //! - [`generic`] — capacitive/resistive/inductive behavioural sensors for
-//!   the "generic platform" demonstrations.
+//!   the "generic platform" demonstrations;
+//! - [`frontend`] — the [`frontend::SensorFrontEnd`] trait: the contract a
+//!   sensor family implements to be conditioned by the generic platform
+//!   channel (excitation needs, conditioning recipe, plausibility bands,
+//!   wire-fault hooks, checkpointing);
+//! - [`pressure`] — automotive MAP/IAT ratiometric-divider front-ends;
+//! - [`accel`] — a capacitive accelerometer reusing the resonator kernel.
 //!
 //! # Example
 //!
@@ -26,6 +32,9 @@
 //! assert!(out.primary.abs() < 1.0);
 //! ```
 
+pub mod accel;
+pub mod frontend;
 pub mod generic;
 pub mod gyro;
+pub mod pressure;
 pub mod resonator;

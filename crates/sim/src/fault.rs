@@ -109,6 +109,15 @@ pub enum FaultKind {
     },
     /// Monitoring 8051 hangs (latch-up): only the watchdog can recover it.
     CpuHang,
+    /// Sensor signal wire not connected: the conditioned input floats to
+    /// the pull-up rail (dbus-adc style open-harness signature).
+    WireNotConnected,
+    /// Sensor signal wire shorted to ground: the conditioned input reads
+    /// near 0 V regardless of stimulus.
+    WireShortToGround,
+    /// Sensor connector mated reverse: the input sits in the
+    /// protection-diode band near one diode drop above ground.
+    WireReversePolarity,
 }
 
 impl FaultKind {
@@ -127,13 +136,16 @@ impl FaultKind {
             Self::UartBitErrors { .. } => "uart_bit_errors",
             Self::JtagCorruption { .. } => "jtag_corruption",
             Self::CpuHang => "cpu_hang",
+            Self::WireNotConnected => "wire_not_connected",
+            Self::WireShortToGround => "wire_short_to_ground",
+            Self::WireReversePolarity => "wire_reverse_polarity",
         }
     }
 
     /// Every fault-class label, in catalog order. This is the row universe
     /// of the campaign coverage matrix: a report can say a class was never
     /// exercised only because the full catalog is known statically.
-    pub const ALL_LABELS: [&'static str; 11] = [
+    pub const ALL_LABELS: [&'static str; 14] = [
         "mems_drive_loss",
         "sensor_disconnect",
         "adc_stuck_bit",
@@ -145,6 +157,9 @@ impl FaultKind {
         "uart_bit_errors",
         "jtag_corruption",
         "cpu_hang",
+        "wire_not_connected",
+        "wire_short_to_ground",
+        "wire_reverse_polarity",
     ];
 }
 
@@ -542,6 +557,9 @@ mod tests {
             FaultKind::UartBitErrors { rate: 0.1 },
             FaultKind::JtagCorruption { rate: 0.01 },
             FaultKind::CpuHang,
+            FaultKind::WireNotConnected,
+            FaultKind::WireShortToGround,
+            FaultKind::WireReversePolarity,
         ];
         let labels: Vec<&str> = all.iter().map(|k| k.label()).collect();
         assert_eq!(
@@ -557,9 +575,13 @@ mod tests {
                 "spi_bit_errors",
                 "uart_bit_errors",
                 "jtag_corruption",
-                "cpu_hang"
+                "cpu_hang",
+                "wire_not_connected",
+                "wire_short_to_ground",
+                "wire_reverse_polarity"
             ]
         );
+        assert_eq!(FaultKind::ALL_LABELS.len(), labels.len());
         assert_eq!(AdcChannel::Primary.label(), "primary");
         assert_eq!(AdcChannel::Secondary.label(), "secondary");
     }

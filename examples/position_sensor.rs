@@ -1,89 +1,59 @@
 //! Platform genericity #2: an inductive (LVDT-style) position channel.
 //!
 //! The gyro chain's core trick — synchronous carrier demodulation — is
-//! exactly how inductive sensors are conditioned: excite the primary with a
-//! carrier, demodulate the secondary coherently, read amplitude (position
-//! magnitude) and phase (direction). This example reuses the *same* NCO and
-//! demodulator IPs from the gyro chain on an
-//! [`ascp::mems::generic::InductivePositionSensor`].
+//! exactly how inductive sensors are conditioned: excite the primary with
+//! a carrier, demodulate the secondary coherently, read amplitude and
+//! sign. Earlier revisions of this example wired the NCO, ADC and
+//! demodulator together by hand and inverted the transfer with a constant
+//! baked into the example. The sensor now implements
+//! [`ascp::mems::frontend::SensorFrontEnd`] — it *declares* carrier
+//! excitation (5 kHz, 3 V) and a linear conditioning recipe, and the
+//! generic [`SensorChannel`] instantiates the same NCO + demodulator IPs
+//! the gyro chain uses, plus open-wire supervision.
 //!
 //! ```sh
 //! cargo run --release --example position_sensor
 //! ```
 
-use ascp::afe::adc::{AdcConfig, SarAdc};
-use ascp::dsp::demod::Demodulator;
-use ascp::dsp::nco::Nco;
-use ascp::mems::generic::{AnalogSensor, InductivePositionSensor};
-use ascp::sim::stats;
-use ascp::sim::units::Volts;
-
-/// LVDT conditioning channel from the portfolio: NCO excitation at 5 kHz,
-/// SAR acquisition at 100 kHz, coherent I/Q demodulation.
-struct PositionChannel {
-    sensor: InductivePositionSensor,
-    nco: Nco,
-    adc: SarAdc,
-    demod: Demodulator,
-    fs: f64,
-}
-
-impl PositionChannel {
-    fn new() -> Self {
-        let fs = 100_000.0;
-        let mut nco = Nco::new();
-        nco.set_frequency(5_000.0, fs);
-        Self {
-            sensor: InductivePositionSensor::new(5.0, 0.05, 17),
-            nco,
-            adc: SarAdc::new(AdcConfig::default()),
-            // 200 Hz channel filter, decimate to 2 kHz.
-            demod: Demodulator::new(200.0 / fs, 101, 50),
-            fs,
-        }
-    }
-
-    /// Averaged position reading in millimetres (sign from the I channel).
-    fn read_mm(&mut self, n: usize) -> f64 {
-        let mut outs = Vec::with_capacity(n);
-        while outs.len() < n {
-            let (s, c) = self.nco.tick();
-            // Excite the primary with the NCO carrier at 3 V amplitude.
-            let excitation = Volts(3.0 * s.to_f64());
-            let secondary = self.sensor.sample(excitation);
-            let q = self.adc.convert_q15(Volts(secondary.0));
-            if let Some(out) = self.demod.process(q, s, c) {
-                outs.push(out.i.to_f64());
-            }
-        }
-        // Transfer: ratio = sensitivity·x (0.05/mm), excitation 3 V into a
-        // ±2.5 V ADC: I = 0.05·x·3/2.5.
-        stats::mean(&outs) / (0.05 * 3.0 / 2.5)
-    }
-
-    fn fs(&self) -> f64 {
-        self.fs
-    }
-}
+use ascp::core::prelude::*;
+use ascp::mems::generic::InductivePositionSensor;
 
 fn main() {
-    let mut ch = PositionChannel::new();
+    let cfg = ChannelConfig::new("position", 17);
+    let mut ch = SensorChannel::new(cfg, Box::new(InductivePositionSensor::new(5.0, 0.05, 17)));
     println!(
-        "LVDT channel: 5 kHz excitation, coherent demodulation at {} kHz",
-        ch.fs() / 1000.0
+        "LVDT channel from the shared portfolio: {} ({}), {:?} excitation",
+        ch.frontend().kind(),
+        ch.frontend().unit(),
+        ch.frontend().excitation(),
     );
+    ch.settle(0.05);
+
     println!(
         "  {:>12} {:>12} {:>10}",
         "applied mm", "read mm", "error µm"
     );
     let mut worst = 0.0f64;
     for x in [-5.0, -3.0, -1.0, -0.1, 0.0, 0.1, 1.0, 3.0, 5.0] {
-        ch.sensor.set_stimulus(x);
-        let r = ch.read_mm(40);
+        ch.set_stimulus(x);
+        ch.settle(0.02);
+        let r = ch.read(40);
         let err_um = (r - x).abs() * 1000.0;
         worst = worst.max(err_um);
         println!("  {x:>12.2} {r:>12.3} {err_um:>10.1}");
     }
     println!("worst-case error: {worst:.1} µm over the ±5 mm stroke");
+
+    // An LVDT has no pilot imbalance and a genuine null at mid-stroke, so
+    // only the open-wire check is armed — the channel still catches a
+    // broken harness from the same monitor path the other sensors use.
+    let mut plan = FaultPlan::new();
+    // The plan is scheduled in absolute channel time.
+    plan.one_shot(FaultKind::WireNotConnected, ch.time() + 0.01, 0.05);
+    ch.set_fault_plan(plan);
+    ch.settle(0.04);
+    println!("during open-wire fault: status {:?}", ch.status());
+    ch.settle(0.05);
+    println!("after the fault clears: status {:?}", ch.status());
     println!("(same NCO + demodulator IPs as the gyro chain — the paper's reusable portfolio)");
 }

@@ -3,121 +3,73 @@
 //! address the design of the sensor interface for a wide range of
 //! automotive applications").
 //!
-//! The gyro needed a PLL and demodulators; a manifold-pressure channel
-//! needs excitation, a PGA, an ADC and decimating filters. Both are drawn
-//! from the same crates — that is the platform-based-design claim.
+//! Earlier revisions of this example hand-assembled the channel (bandgap +
+//! PGA + ADC + CIC, with an ad-hoc transfer inversion and a two-point
+//! calibration baked into the example itself). The sensor now implements
+//! [`ascp::mems::frontend::SensorFrontEnd`], so the whole datapath — plus
+//! the dbus-adc-style wire-harness supervisor the hand-rolled channel
+//! never had — comes from one [`SensorChannel`] instantiation. The
+//! conditioning recipe (an exact half-bridge inversion table) lives on the
+//! sensor, where a platform retarget can swap it over JTAG.
 //!
 //! ```sh
 //! cargo run --release --example pressure_platform
 //! ```
 
-use ascp::afe::adc::{AdcConfig, SarAdc};
-use ascp::afe::amp::Pga;
-use ascp::afe::refs::VoltageReference;
-use ascp::dsp::cic::CicDecimator;
-use ascp::dsp::comp::{Compensator, TempPolynomial};
-use ascp::mems::generic::{AnalogSensor, CapacitivePressureSensor};
-use ascp::sim::stats;
-use ascp::sim::units::{Celsius, Volts};
+use ascp::core::prelude::*;
+use ascp::mems::generic::CapacitivePressureSensor;
+use ascp::sim::units::Celsius;
 
-/// A pressure-conditioning channel assembled from the portfolio.
-struct PressureChannel {
-    sensor: CapacitivePressureSensor,
-    excitation: VoltageReference,
-    pga: Pga,
-    adc: SarAdc,
-    cic: CicDecimator,
-    comp: Compensator,
-    fs: f64,
-}
-
-impl PressureChannel {
-    fn new() -> Self {
-        let mut pga = Pga::new(50_000.0, 50.0e-6, 1.0e-6, 10.0e-6, 7);
-        pga.set_gain_code(3); // ×8: bridge output is ~0.24 V at FS
-        Self {
-            sensor: CapacitivePressureSensor::new(400.0, 0.2, 3),
-            excitation: VoltageReference::bandgap_2v5(11),
-            pga,
-            adc: SarAdc::new(AdcConfig::default()),
-            cic: CicDecimator::new(3, 64),
-            comp: Compensator::identity(),
-            fs: 100_000.0,
-        }
-    }
-
-    /// One decimated pressure reading in kPa (averaging `n` outputs).
-    fn read_kpa(&mut self, n: usize) -> f64 {
-        let mut outs = Vec::with_capacity(n);
-        while outs.len() < n {
-            let exc = self.excitation.output();
-            let v = self.sensor.sample(exc);
-            let amp = self.pga.process(v, 1.0 / self.fs);
-            let q = self.adc.convert_q15(amp);
-            if let Some(y) = self.cic.process(q) {
-                outs.push(self.comp.apply(y).to_f64());
-            }
-        }
-        // Transfer: ratio ≈ sens/(2+sens·p/FS)·exc; inverted linearly after
-        // compensation. Scale factor from the design dimensioning:
-        // FS (400 kPa) maps to code 0.2/(2.2)·2.5V·8/2.5 = 0.727.
-        stats::mean(&outs) / 0.727 * 400.0
-    }
-
-    /// Two-point calibration against applied pressure references, like a
-    /// final-test trim: solves offset and gain directly and installs them
-    /// as constant compensation polynomials.
-    fn calibrate(&mut self) {
-        let (p_lo, p_hi) = (50.0, 350.0);
-        self.sensor.set_stimulus(p_lo);
-        let r_lo = self.read_kpa(40);
-        self.sensor.set_stimulus(p_hi);
-        let r_hi = self.read_kpa(40);
-        // Work in the chain's Q15 domain (kPa × 0.727/400 per the transfer).
-        let to_q = 0.727 / 400.0;
-        let gain = (p_hi - p_lo) / (r_hi - r_lo);
-        let offset = (r_lo - p_lo / gain) * to_q;
-        self.comp = Compensator::new(
-            TempPolynomial::constant(offset),
-            TempPolynomial::constant(gain),
-        );
-        self.comp.set_temperature(25.0);
-    }
+fn channel() -> SensorChannel {
+    let mut cfg = ChannelConfig::new("pressure", 7);
+    // Bridge output is ~0.23 V at full scale: amplify ×8 before the ADC.
+    cfg.gain_code = 3;
+    SensorChannel::new(cfg, Box::new(CapacitivePressureSensor::new(400.0, 0.2, 3)))
 }
 
 fn main() {
-    let mut ch = PressureChannel::new();
+    let mut ch = channel();
+    println!(
+        "pressure channel from the shared portfolio: {} ({}), {:?} excitation",
+        ch.frontend().kind(),
+        ch.frontend().unit(),
+        ch.frontend().excitation(),
+    );
+    ch.settle(0.01);
 
-    println!("uncalibrated transfer:");
-    for p in [0.0, 100.0, 200.0, 300.0, 400.0] {
-        ch.sensor.set_stimulus(p);
-        println!(
-            "  applied {p:>5.0} kPa -> read {:>7.2} kPa",
-            ch.read_kpa(40)
-        );
-    }
-
-    ch.sensor.set_stimulus(0.0);
-    ch.calibrate();
-
-    println!("after two-point calibration:");
+    println!("conditioned transfer (table inversion on the front-end):");
     let mut worst = 0.0f64;
     for p in [0.0, 100.0, 200.0, 300.0, 400.0] {
-        ch.sensor.set_stimulus(p);
-        let r = ch.read_kpa(40);
+        ch.set_stimulus(p);
+        ch.settle(0.005);
+        let r = ch.read(40);
         worst = worst.max((r - p).abs());
-        println!("  applied {p:>5.0} kPa -> read {:>7.2} kPa", r);
+        println!("  applied {p:>5.0} kPa -> read {r:>7.2} kPa");
     }
-    println!("worst-case error after calibration: {worst:.2} kPa");
+    println!("worst-case error: {worst:.2} kPa over the 400 kPa span");
 
     println!("temperature sensitivity at 200 kPa:");
-    ch.sensor.set_stimulus(200.0);
+    ch.set_stimulus(200.0);
     for t in [-40.0, 25.0, 125.0] {
-        ch.sensor.set_temperature(Celsius(t));
-        println!("  {t:>6.1} °C -> {:>7.2} kPa", ch.read_kpa(40));
+        ch.set_temperature(Celsius(t));
+        ch.settle(0.005);
+        println!("  {t:>6.1} °C -> {:>7.2} kPa", ch.read(40));
     }
+    ch.set_temperature(Celsius(25.0));
 
-    // The same excitation reference the gyro platform uses.
-    let exc: Volts = ch.excitation.output();
-    println!("(excitation from the shared bandgap IP: {:.4} V)", exc.0);
+    // The hand-rolled channel had no harness diagnostics at all. The
+    // generic channel's monitor ADC classifies wire faults from the same
+    // node the signal path conditions.
+    println!("wire-harness supervision (new with the generic channel):");
+    let mut plan = FaultPlan::new();
+    // The plan is scheduled in absolute channel time.
+    plan.one_shot(FaultKind::WireNotConnected, ch.time() + 0.01, 0.05);
+    ch.set_fault_plan(plan);
+    ch.settle(0.04);
+    println!("  during open-wire fault: status {:?}", ch.status());
+    ch.settle(0.05);
+    println!("  after the fault clears: status {:?}", ch.status());
+    for (from, to) in ch.transitions() {
+        println!("  transition {from} -> {to}");
+    }
 }

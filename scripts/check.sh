@@ -42,6 +42,15 @@ cargo run --release -q -p ascp-bench --bin fault_campaign -- --smoke --threads 4
     --check-coverage COVERAGE_fault_campaign.csv
 cp target/experiments/fault_campaign.csv target/experiments/fault_campaign.reference.csv
 
+echo "== sensor datasheet (smoke: three sensor families + wire-fault coverage) =="
+# One campaign sweeps the gyro, the MAP/IAT pressure/temperature pair and
+# the capacitive accelerometer through the shared conditioning portfolio;
+# fails if a sensor family fails to characterize, a scheduled wire fault
+# (not_connected / short_to_ground / reverse_polarity) goes undetected, or
+# a cell of the committed COVERAGE_sensor_datasheet.csv baseline goes dark.
+cargo run --release -q -p ascp-bench --bin sensor_datasheet -- --smoke --threads 4 \
+    --check-coverage COVERAGE_sensor_datasheet.csv
+
 echo "== chaos campaign (seeded worker panics + stalls; retry must make it invisible) =="
 # The supervision layer's chaos mode injects worker panics and stalls;
 # every scenario must recover on its deterministic retry, so the CSV is
